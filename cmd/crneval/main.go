@@ -1,0 +1,109 @@
+// Command crneval evaluates a trained CRN model interactively: containment
+// rates between two queries, or pool-based cardinality estimates for one
+// query, always alongside the exact ground truth from the executor.
+//
+// Usage:
+//
+//	crneval -model crn.model -q1 "SELECT * FROM title WHERE title.kind_id = 1" \
+//	        -q2 "SELECT * FROM title WHERE title.kind_id < 4"
+//
+//	crneval -model crn.model -pool 300 \
+//	        -q "SELECT * FROM title, cast_info WHERE title.id = cast_info.movie_id"
+//
+// The -titles/-db-seed flags must match the values used by crntrain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crn"
+	"crn/internal/metrics"
+)
+
+func main() {
+	titles := flag.Int("titles", 4000, "synthetic database size (title rows)")
+	dbSeed := flag.Int64("db-seed", 1, "database generation seed")
+	modelPath := flag.String("model", "crn.model", "model file from crntrain")
+	q1SQL := flag.String("q1", "", "first query (containment mode)")
+	q2SQL := flag.String("q2", "", "second query (containment mode)")
+	qSQL := flag.String("q", "", "query (cardinality mode)")
+	poolSize := flag.Int("pool", 300, "queries-pool size (cardinality mode)")
+	poolSeed := flag.Int64("pool-seed", 7, "queries-pool generation seed")
+	flag.Parse()
+
+	sys, err := crn.OpenSynthetic(crn.DataConfig{Titles: *titles, Seed: *dbSeed})
+	if err != nil {
+		fail("open database: %v", err)
+	}
+	blob, err := os.ReadFile(*modelPath)
+	if err != nil {
+		fail("read model: %v", err)
+	}
+	model, err := sys.LoadContainmentModel(blob)
+	if err != nil {
+		fail("load model: %v", err)
+	}
+
+	switch {
+	case *q1SQL != "" && *q2SQL != "":
+		q1, err := sys.ParseQuery(*q1SQL)
+		if err != nil {
+			fail("parse -q1: %v", err)
+		}
+		q2, err := sys.ParseQuery(*q2SQL)
+		if err != nil {
+			fail("parse -q2: %v", err)
+		}
+		est, err := model.EstimateContainment(q1, q2)
+		if err != nil {
+			fail("estimate: %v", err)
+		}
+		truth, err := sys.TrueContainment(q1, q2)
+		if err != nil {
+			fail("execute: %v", err)
+		}
+		fmt.Printf("Q1 ⊂%% Q2 estimated: %6.2f%%\n", est*100)
+		fmt.Printf("Q1 ⊂%% Q2 actual:    %6.2f%%\n", truth*100)
+		fmt.Printf("q-error:            %s\n", metrics.FormatQ(metrics.RateQError(truth, est)))
+	case *qSQL != "":
+		q, err := sys.ParseQuery(*qSQL)
+		if err != nil {
+			fail("parse -q: %v", err)
+		}
+		p := sys.NewQueriesPool()
+		if err := sys.SeedPool(p, *poolSize, *poolSeed); err != nil {
+			fail("seed pool: %v", err)
+		}
+		base, err := sys.AnalyzeBaseline()
+		if err != nil {
+			fail("analyze: %v", err)
+		}
+		est := sys.CardinalityEstimator(model, p).WithFallback(base)
+		got, err := est.EstimateCardinality(q)
+		if err != nil {
+			fail("estimate: %v", err)
+		}
+		truth, err := sys.TrueCardinality(q)
+		if err != nil {
+			fail("execute: %v", err)
+		}
+		baseline, err := base.EstimateCard(q)
+		if err != nil {
+			fail("baseline: %v", err)
+		}
+		fmt.Printf("actual cardinality:        %d\n", truth)
+		fmt.Printf("Cnt2Crd(CRN) estimate:     %.0f  (q-error %s)\n",
+			got, metrics.FormatQ(metrics.CardQError(float64(truth), got)))
+		fmt.Printf("PostgreSQL-style estimate: %.0f  (q-error %s)\n",
+			baseline, metrics.FormatQ(metrics.CardQError(float64(truth), baseline)))
+	default:
+		fail("provide either -q1 and -q2 (containment) or -q (cardinality)")
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "crneval: "+format+"\n", args...)
+	os.Exit(1)
+}

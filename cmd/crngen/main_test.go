@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestParseDist(t *testing.T) {
+	d, err := parseDist("0:40,1:30, 2:30", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 40 || d[1] != 30 || d[2] != 30 {
+		t.Errorf("dist = %v", d)
+	}
+	// Empty spec defaults to the cnt_test1 distribution.
+	d, err = parseDist("", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range d {
+		total += n
+	}
+	if total != 300 {
+		t.Errorf("default dist total = %d", total)
+	}
+	for _, bad := range []string{"0-40", "x:1", "0:y"} {
+		if _, err := parseDist(bad, 10); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command crntrain trains a CRN containment-rate model over the synthetic
+// database and writes the serialized model to a file. The model is bound to
+// the database's featurization (schema one-hots and column min/max
+// statistics), so evaluation must use the same -titles/-db-seed values.
+//
+// Usage:
+//
+//	crntrain -titles 4000 -pairs 6000 -hidden 64 -o crn.model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"crn"
+	icrn "crn/internal/crn"
+)
+
+func main() {
+	titles := flag.Int("titles", 4000, "synthetic database size (title rows)")
+	dbSeed := flag.Int64("db-seed", 1, "database generation seed")
+	pairs := flag.Int("pairs", 6000, "training pairs (0-2 joins, §3.1.2)")
+	genSeed := flag.Int64("seed", 1, "workload generation seed")
+	hidden := flag.Int("hidden", 64, "hidden layer size H")
+	epochs := flag.Int("epochs", 60, "maximum training epochs")
+	patience := flag.Int("patience", 10, "early-stopping patience")
+	loss := flag.String("loss", "q-error", "training loss: q-error, mse or mae")
+	out := flag.String("o", "crn.model", "output model file")
+	flag.Parse()
+
+	sys, err := crn.OpenSynthetic(crn.DataConfig{Titles: *titles, Seed: *dbSeed})
+	if err != nil {
+		fail("open database: %v", err)
+	}
+	mcfg := icrn.DefaultConfig()
+	mcfg.Hidden = *hidden
+	mcfg.Epochs = *epochs
+	mcfg.Patience = *patience
+	mcfg.Loss = *loss
+
+	start := time.Now()
+	model, err := sys.TrainContainmentModel(crn.TrainConfig{
+		Pairs: *pairs,
+		Seed:  *genSeed,
+		Model: mcfg,
+		Progress: func(epoch int, valQ float64) {
+			fmt.Fprintf(os.Stderr, "epoch %3d: validation mean q-error %.3f\n", epoch, valQ)
+		},
+	})
+	if err != nil {
+		fail("train: %v", err)
+	}
+	blob, err := model.Save()
+	if err != nil {
+		fail("serialize: %v", err)
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fail("write %s: %v", *out, err)
+	}
+	fmt.Printf("trained in %v, wrote %d bytes to %s\n",
+		time.Since(start).Round(time.Second), len(blob), *out)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "crntrain: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,355 @@
+// Package crn reproduces "Improved Cardinality Estimation by Learning
+// Queries Containment Rates" (Hayek & Shmueli, EDBT 2020) as a
+// self-contained Go library.
+//
+// The containment rate of query Q1 in query Q2 over a database D is the
+// fraction of Q1's result rows that also appear in Q2's result. The paper
+// (1) learns containment rates directly with a specialized deep model (CRN)
+// and (2) turns any containment-rate estimator into a cardinality estimator
+// with the help of a queries pool of previously executed queries — improving
+// multi-join cardinality estimates by orders of magnitude over PostgreSQL
+// and MSCN baselines.
+//
+// This package is the public facade. A typical session:
+//
+//	sys, _ := crn.OpenSynthetic(crn.DataConfig{Titles: 4000, Seed: 1})
+//	q1, _ := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1990")
+//	q2, _ := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1980")
+//
+//	model, _ := sys.TrainContainmentModel(crn.TrainConfig{Pairs: 5000})
+//	rate, _ := model.EstimateContainment(q1, q2) // ≈ 1.0: q1 ⊆ q2
+//
+//	pool := sys.NewQueriesPool()
+//	sys.RecordExecuted(pool, q2) // executes q2, stores its true cardinality
+//	est := sys.CardinalityEstimator(model, pool)
+//	card, _ := est.EstimateCardinality(q1)
+//
+// Everything underneath — the synthetic IMDb-like database, the exact
+// executor used for ground truth, the neural-network stack, the MSCN and
+// PostgreSQL baselines, and the full experiment harness regenerating every
+// table and figure of the paper — lives in internal/ packages and is
+// exercised through cmd/repro and the root benchmarks.
+package crn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crn/internal/algebra"
+	"crn/internal/card"
+	"crn/internal/contain"
+	icrn "crn/internal/crn"
+	"crn/internal/datagen"
+	"crn/internal/db"
+	"crn/internal/exec"
+	"crn/internal/feature"
+	"crn/internal/optimizer"
+	"crn/internal/pg"
+	"crn/internal/pool"
+	"crn/internal/query"
+	"crn/internal/schema"
+	"crn/internal/sqlparse"
+	"crn/internal/workload"
+)
+
+// Query is a conjunctive SELECT * query (tables, equi-joins, column
+// predicates); see ParseQuery.
+type Query = query.Query
+
+// DataConfig sizes the synthetic IMDb-like database.
+type DataConfig struct {
+	Titles int   // rows in the fact table `title` (0 = 4000)
+	Seed   int64 // generation seed (0 = 1)
+}
+
+// System is an opened database with its exact executor: the substrate on
+// which models are trained and queries are answered.
+type System struct {
+	schema *schema.Schema
+	db     *db.Database
+	exec   *exec.Executor
+	enc    *feature.Encoder
+}
+
+// OpenSynthetic generates a synthetic IMDb-like database (see
+// internal/datagen for the correlation structure) and opens it.
+func OpenSynthetic(cfg DataConfig) (*System, error) {
+	dg := datagen.DefaultConfig()
+	if cfg.Titles > 0 {
+		dg.Titles = cfg.Titles
+	}
+	if cfg.Seed != 0 {
+		dg.Seed = cfg.Seed
+	}
+	d, err := datagen.Generate(dg)
+	if err != nil {
+		return nil, err
+	}
+	return Open(d)
+}
+
+// Open wraps an existing frozen database.
+func Open(d *db.Database) (*System, error) {
+	ex, err := exec.New(d)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := feature.NewEncoder(d.Schema, d)
+	if err != nil {
+		return nil, err
+	}
+	return &System{schema: d.Schema, db: d, exec: ex, enc: enc}, nil
+}
+
+// Schema returns the database schema.
+func (s *System) Schema() *schema.Schema { return s.schema }
+
+// DB returns the underlying database snapshot.
+func (s *System) DB() *db.Database { return s.db }
+
+// ParseQuery parses the supported conjunctive SQL dialect, e.g.
+// "SELECT * FROM title, cast_info WHERE title.id = cast_info.movie_id AND
+// cast_info.role_id = 2".
+func (s *System) ParseQuery(sql string) (Query, error) {
+	return sqlparse.Parse(s.schema, sql)
+}
+
+// TrueCardinality executes the query exactly and returns its result
+// cardinality.
+func (s *System) TrueCardinality(q Query) (int64, error) {
+	return s.exec.Cardinality(q)
+}
+
+// TrueContainment executes both queries and returns the exact containment
+// rate q1 ⊂% q2 in [0,1]. The queries must share a FROM clause.
+func (s *System) TrueContainment(q1, q2 Query) (float64, error) {
+	return s.exec.ContainmentRate(q1, q2)
+}
+
+// TrainConfig controls containment-model training.
+type TrainConfig struct {
+	Pairs    int         // training pairs to generate (0 = 5000)
+	Seed     int64       // generator seed (0 = 1)
+	Model    icrn.Config // zero value = crn defaults
+	Progress func(epoch int, valQError float64)
+}
+
+// ContainmentModel is a trained CRN bound to its feature encoder.
+type ContainmentModel struct {
+	rates *icrn.Rates
+	model *icrn.Model
+}
+
+// TrainContainmentModel generates a labeled pair workload over the system's
+// database (0-2 joins, §3.1.2), trains a CRN on it and returns the model.
+func (s *System) TrainContainmentModel(cfg TrainConfig) (*ContainmentModel, error) {
+	n := cfg.Pairs
+	if n <= 0 {
+		n = 5000
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	mcfg := cfg.Model
+	if mcfg.Hidden == 0 {
+		mcfg = icrn.DefaultConfig()
+	}
+	gen := workload.NewGenerator(s.schema, s.db, seed)
+	pairs, err := gen.TrainingPairs(n)
+	if err != nil {
+		return nil, err
+	}
+	labeled, err := workload.LabelPairs(s.exec, pairs, 0)
+	if err != nil {
+		return nil, err
+	}
+	rand.New(rand.NewSource(seed+1)).Shuffle(len(labeled), func(i, j int) {
+		labeled[i], labeled[j] = labeled[j], labeled[i]
+	})
+	train, val := workload.SplitPairs(labeled, 0.8)
+	encode := func(in []workload.LabeledPair) ([]icrn.Sample, error) {
+		out := make([]icrn.Sample, len(in))
+		for i, lp := range in {
+			v1, err := s.enc.EncodeQuery(lp.Q1)
+			if err != nil {
+				return nil, err
+			}
+			v2, err := s.enc.EncodeQuery(lp.Q2)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = icrn.Sample{V1: v1, V2: v2, Rate: lp.Rate}
+		}
+		return out, nil
+	}
+	trainS, err := encode(train)
+	if err != nil {
+		return nil, err
+	}
+	valS, err := encode(val)
+	if err != nil {
+		return nil, err
+	}
+	m := icrn.NewModel(mcfg, s.enc.Dim())
+	if _, err := m.Train(trainS, valS, func(st icrn.EpochStats) {
+		if cfg.Progress != nil {
+			cfg.Progress(st.Epoch, st.ValQError)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	return &ContainmentModel{rates: icrn.NewRates(m, s.enc), model: m}, nil
+}
+
+// EstimateContainment estimates q1 ⊂% q2 in [0,1].
+func (m *ContainmentModel) EstimateContainment(q1, q2 Query) (float64, error) {
+	if err := contain.Validate(q1, q2); err != nil {
+		return 0, err
+	}
+	return m.rates.EstimateRate(q1, q2)
+}
+
+// Save serializes the trained model weights.
+func (m *ContainmentModel) Save() ([]byte, error) { return m.model.Save() }
+
+// LoadContainmentModel restores a model saved with Save, re-binding it to
+// this system's feature encoder.
+func (s *System) LoadContainmentModel(data []byte) (*ContainmentModel, error) {
+	m, err := icrn.Load(data)
+	if err != nil {
+		return nil, err
+	}
+	if m.Dim() != s.enc.Dim() {
+		return nil, fmt.Errorf("crn: model dimension %d does not match this database's featurization %d", m.Dim(), s.enc.Dim())
+	}
+	return &ContainmentModel{rates: icrn.NewRates(m, s.enc), model: m}, nil
+}
+
+// QueriesPool is the paper's §5.2 pool of executed queries with known
+// cardinalities.
+type QueriesPool = pool.Pool
+
+// NewQueriesPool creates an empty pool.
+func (s *System) NewQueriesPool() *QueriesPool { return pool.New() }
+
+// RecordExecuted executes q, stores (q, |q|) in the pool, and returns the
+// cardinality — the paper's "the DBMS continuously executes queries, we
+// store them with their actual cardinalities".
+func (s *System) RecordExecuted(p *QueriesPool, q Query) (int64, error) {
+	c, err := s.exec.Cardinality(q)
+	if err != nil {
+		return 0, err
+	}
+	p.Add(q, c)
+	return c, nil
+}
+
+// SeedPool fills the pool with n generated queries (equally distributed
+// over all FROM clauses, each clause seeded with an empty-predicate query,
+// random fills restricted to non-empty results) executed against the
+// database — the §6.2 construction.
+func (s *System) SeedPool(p *QueriesPool, n int, seed int64) error {
+	gen := workload.NewGenerator(s.schema, s.db, seed)
+	qs, err := gen.NonEmptyPoolQueries(s.exec, n)
+	if err != nil {
+		return err
+	}
+	labeled, err := workload.LabelQueries(s.exec, qs, 0)
+	if err != nil {
+		return err
+	}
+	for _, lq := range labeled {
+		p.Add(lq.Q, lq.Card)
+	}
+	return nil
+}
+
+// CardinalityEstimator is the pool-based Cnt2Crd estimator.
+type CardinalityEstimator struct {
+	est *card.Estimator
+}
+
+// CardinalityEstimator builds the paper's Cnt2Crd(CRN) estimator from a
+// trained containment model and a queries pool.
+func (s *System) CardinalityEstimator(m *ContainmentModel, p *QueriesPool) *CardinalityEstimator {
+	return &CardinalityEstimator{est: card.New(m.rates, p)}
+}
+
+// EstimateCardinality estimates |q| using the pool (Figure 8 algorithm).
+func (e *CardinalityEstimator) EstimateCardinality(q Query) (float64, error) {
+	return e.est.EstimateCard(q)
+}
+
+// WithFallback sets a fallback estimator for queries without a usable pool
+// match and returns the receiver.
+func (e *CardinalityEstimator) WithFallback(fb BaselineEstimator) *CardinalityEstimator {
+	e.est.Fallback = fb
+	return e
+}
+
+// BaselineEstimator is any query-level cardinality model (the PostgreSQL-
+// style profile, MSCN, ...).
+type BaselineEstimator = contain.CardEstimator
+
+// AnalyzeBaseline builds the PostgreSQL-style profiling estimator over the
+// system's database.
+func (s *System) AnalyzeBaseline() (BaselineEstimator, error) {
+	return pg.Analyze(s.db, pg.DefaultConfig())
+}
+
+// ImproveBaseline wraps an existing cardinality model with the paper's §7
+// construction — Cnt2Crd(Crd2Cnt(M)) over the pool — without changing M.
+func (s *System) ImproveBaseline(m BaselineEstimator, p *QueriesPool) *CardinalityEstimator {
+	return &CardinalityEstimator{est: card.Improved(m, p)}
+}
+
+// --- Compound queries (§9 extensions) --------------------------------------
+
+// Expr is a compound query expression (OR / EXCEPT / UNION over
+// conjunctive queries with one shared FROM clause).
+type Expr = algebra.Expr
+
+// QueryExpr lifts a conjunctive query into an expression.
+func QueryExpr(q Query) Expr { return algebra.Leaf{Q: q} }
+
+// OrExpr is the set union of two expressions' results (the paper's OR).
+func OrExpr(l, r Expr) Expr { return algebra.Or{L: l, R: r} }
+
+// AndExpr is the set intersection of two expressions' results.
+func AndExpr(l, r Expr) Expr { return algebra.And{L: l, R: r} }
+
+// ExceptExpr is the set difference of two expressions' results.
+func ExceptExpr(l, r Expr) Expr { return algebra.Except{L: l, R: r} }
+
+// UnionExpr is the bag append of two results (top level only).
+func UnionExpr(l, r Expr) Expr { return algebra.Union{L: l, R: r} }
+
+// EstimateCompound estimates |e| with any base estimator via the §9
+// inclusion-exclusion identities.
+func (s *System) EstimateCompound(m BaselineEstimator, e Expr) (float64, error) {
+	return algebra.Cardinality(m, e)
+}
+
+// TrueCompound computes |e| exactly from the executor.
+func (s *System) TrueCompound(e Expr) (float64, error) {
+	return algebra.Cardinality(contain.TruthCard{T: s.exec}, e)
+}
+
+// --- Join ordering (the paper's motivating application) --------------------
+
+// OptimizeJoinOrder returns the cheapest left-deep join order for q under
+// the given cardinality estimator, plus its estimated C_out cost.
+func (s *System) OptimizeJoinOrder(m BaselineEstimator, q Query) (order []string, estimatedCost float64, err error) {
+	plan, err := optimizer.New(m).Optimize(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	return plan.Order, plan.EstimatedCost, nil
+}
+
+// TrueJoinCost evaluates a join order's actual C_out cost (the sum of true
+// intermediate result cardinalities).
+func (s *System) TrueJoinCost(q Query, order []string) (float64, error) {
+	return optimizer.Cost(contain.TruthCard{T: s.exec}, q, order)
+}

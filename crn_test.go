@@ -1,0 +1,249 @@
+package crn
+
+import (
+	"math"
+	"testing"
+
+	icrn "crn/internal/crn"
+)
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := OpenSynthetic(DataConfig{Titles: 400, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func tinyTrainConfig() TrainConfig {
+	mcfg := icrn.DefaultConfig()
+	mcfg.Hidden = 16
+	mcfg.Epochs = 6
+	mcfg.Patience = 3
+	return TrainConfig{Pairs: 300, Seed: 3, Model: mcfg}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys := testSystem(t)
+	q1, err := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1990")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1950")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := sys.TrueCardinality(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := sys.TrueContainment(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 > 0 && rate != 1 {
+		t.Errorf("q1 ⊆ q2 should be fully contained, got %v", rate)
+	}
+
+	var epochs int
+	cfg := tinyTrainConfig()
+	cfg.Progress = func(epoch int, val float64) { epochs = epoch }
+	model, err := sys.TrainContainmentModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs == 0 {
+		t.Error("progress callback never fired")
+	}
+	est, err := model.EstimateContainment(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 0 || est > 1 {
+		t.Errorf("estimated rate %v out of [0,1]", est)
+	}
+
+	// Pool-based cardinality estimation.
+	p := sys.NewQueriesPool()
+	if err := sys.SeedPool(p, 50, 11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RecordExecuted(p, q2); err != nil {
+		t.Fatal(err)
+	}
+	card := sys.CardinalityEstimator(model, p)
+	got, err := card.EstimateCardinality(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 || math.IsNaN(got) {
+		t.Errorf("cardinality estimate = %v", got)
+	}
+}
+
+func TestFacadeSaveLoad(t *testing.T) {
+	sys := testSystem(t)
+	model, err := sys.TrainContainmentModel(tinyTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := model.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := sys.LoadContainmentModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, _ := sys.ParseQuery("SELECT * FROM title WHERE title.kind_id = 2")
+	q2, _ := sys.ParseQuery("SELECT * FROM title WHERE title.kind_id < 5")
+	a, err := model.EstimateContainment(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := again.EstimateContainment(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("loaded model differs: %v vs %v", a, b)
+	}
+	if _, err := sys.LoadContainmentModel([]byte("bad")); err == nil {
+		t.Error("corrupt blob should fail")
+	}
+}
+
+func TestEstimateContainmentValidatesFROM(t *testing.T) {
+	sys := testSystem(t)
+	model, err := sys.TrainContainmentModel(tinyTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, _ := sys.ParseQuery("SELECT * FROM title")
+	q2, _ := sys.ParseQuery("SELECT * FROM cast_info")
+	if _, err := model.EstimateContainment(q1, q2); err == nil {
+		t.Error("different FROM clauses must be rejected")
+	}
+}
+
+func TestImproveBaseline(t *testing.T) {
+	sys := testSystem(t)
+	base, err := sys.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.NewQueriesPool()
+	if err := sys.SeedPool(p, 40, 13); err != nil {
+		t.Fatal(err)
+	}
+	improved := sys.ImproveBaseline(base, p)
+	q, _ := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1970")
+	got, err := improved.EstimateCardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 || math.IsNaN(got) {
+		t.Errorf("improved estimate = %v", got)
+	}
+}
+
+func TestFallback(t *testing.T) {
+	sys := testSystem(t)
+	model, err := sys.TrainContainmentModel(tinyTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := sys.NewQueriesPool()
+	base, err := sys.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := sys.CardinalityEstimator(model, empty).WithFallback(base)
+	q, _ := sys.ParseQuery("SELECT * FROM title")
+	got, err := est.EstimateCardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 {
+		t.Errorf("fallback estimate = %v", got)
+	}
+	// Without fallback the empty pool errors.
+	bare := sys.CardinalityEstimator(model, empty)
+	if _, err := bare.EstimateCardinality(q); err == nil {
+		t.Error("empty pool without fallback should fail")
+	}
+}
+
+func TestCompoundExpressions(t *testing.T) {
+	sys := testSystem(t)
+	q1, _ := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1950")
+	q2, _ := sys.ParseQuery("SELECT * FROM title WHERE title.kind_id = 2")
+	or := OrExpr(QueryExpr(q1), QueryExpr(q2))
+	truth, err := sys.TrueCompound(or)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := sys.TrueCardinality(q1)
+	c2, _ := sys.TrueCardinality(q2)
+	qi, _ := q1.Intersect(q2)
+	ci, _ := sys.TrueCardinality(qi)
+	if math.Abs(truth-float64(c1+c2-ci)) > 1e-9 {
+		t.Errorf("OR = %v, want %d", truth, c1+c2-ci)
+	}
+	base, err := sys.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := sys.EstimateCompound(base, ExceptExpr(QueryExpr(q1), QueryExpr(q2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 0 || math.IsNaN(est) {
+		t.Errorf("EXCEPT estimate = %v", est)
+	}
+	if _, err := sys.TrueCompound(UnionExpr(QueryExpr(q1), QueryExpr(q2))); err != nil {
+		t.Errorf("UNION: %v", err)
+	}
+}
+
+func TestJoinOrderFacade(t *testing.T) {
+	sys := testSystem(t)
+	base, err := sys.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := sys.ParseQuery(`SELECT * FROM title, cast_info, movie_keyword
+		WHERE title.id = cast_info.movie_id AND title.id = movie_keyword.movie_id
+		AND cast_info.role_id = 2`)
+	order, cost, err := sys.OptimizeJoinOrder(base, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || cost < 0 {
+		t.Errorf("order = %v, cost = %v", order, cost)
+	}
+	trueCost, err := sys.TrueJoinCost(q, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trueCost < 0 {
+		t.Errorf("true cost = %v", trueCost)
+	}
+	if _, err := sys.TrueJoinCost(q, []string{"title"}); err == nil {
+		t.Error("bad order should fail")
+	}
+}
+
+func TestOpenSyntheticDefaults(t *testing.T) {
+	sys, err := OpenSynthetic(DataConfig{Titles: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.DB().NumRows("title") != 200 {
+		t.Errorf("titles = %d", sys.DB().NumRows("title"))
+	}
+	if sys.Schema().NumTables() != 6 {
+		t.Errorf("tables = %d", sys.Schema().NumTables())
+	}
+}

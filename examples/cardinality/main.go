@@ -1,0 +1,90 @@
+// Cardinality estimation with a queries pool — the paper's §5 technique.
+//
+// The demo trains a containment model, fills a queries pool with previously
+// "executed" queries (their true cardinalities recorded, results
+// discarded), and then estimates multi-join query cardinalities three ways:
+// the PostgreSQL-style profile, the pool-based Cnt2Crd(CRN) estimator, and
+// exact execution as ground truth.
+//
+// Run with:
+//
+//	go run ./examples/cardinality
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crn"
+	"crn/internal/metrics"
+)
+
+func main() {
+	sys, err := crn.OpenSynthetic(crn.DataConfig{Titles: 1500, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("training containment model...")
+	model, err := sys.TrainContainmentModel(crn.TrainConfig{Pairs: 2500, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The queries pool: 150 generated queries covering every FROM clause,
+	// executed once to record their actual cardinalities (§5.2, §6.2).
+	pool := sys.NewQueriesPool()
+	if err := sys.SeedPool(pool, 150, 11); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("queries pool ready: %d executed queries\n\n", pool.Len())
+
+	baseline, err := sys.AnalyzeBaseline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := sys.CardinalityEstimator(model, pool).WithFallback(baseline)
+
+	// Join-crossing correlated queries: the company block encodes the era,
+	// and info values encode era and type, so independence assumptions
+	// multiply into severe under-estimates (§1, §6.5).
+	queries := []string{
+		`SELECT * FROM title WHERE title.production_year > 1984`,
+		`SELECT * FROM title, movie_companies
+		   WHERE title.id = movie_companies.movie_id
+		   AND title.production_year > 1984 AND movie_companies.company_id > 1600`,
+		`SELECT * FROM title, movie_companies, movie_info
+		   WHERE title.id = movie_companies.movie_id AND title.id = movie_info.movie_id
+		   AND title.production_year > 1984 AND movie_companies.company_id > 1600
+		   AND movie_info.info_val > 600`,
+		`SELECT * FROM cast_info, title, movie_keyword
+		   WHERE title.id = cast_info.movie_id AND title.id = movie_keyword.movie_id
+		   AND title.kind_id = 5 AND cast_info.person_id > 1200`,
+	}
+
+	fmt.Printf("%-7s  %10s  %22s  %22s\n", "joins", "actual", "PostgreSQL (q-error)", "Cnt2Crd(CRN) (q-error)")
+	for _, sql := range queries {
+		q, err := sys.ParseQuery(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, err := sys.TrueCardinality(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pgEst, err := baseline.EstimateCard(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		crnEst, err := est.EstimateCardinality(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7d  %10d  %12.0f (%7s)  %12.0f (%7s)\n",
+			q.NumJoins(), truth,
+			pgEst, metrics.FormatQ(metrics.CardQError(float64(truth), pgEst)),
+			crnEst, metrics.FormatQ(metrics.CardQError(float64(truth), crnEst)))
+	}
+	fmt.Println("\nThe pool anchors every estimate to an executed query's true")
+	fmt.Println("cardinality, so errors stay bounded as joins are added (§6.5).")
+}

@@ -1,0 +1,134 @@
+// Query clustering by containment — one of the practical applications the
+// paper's introduction motivates ("containment rates can be used in many
+// practical applications, for instance, query clustering, query
+// recommendation").
+//
+// The demo builds a small workload, computes the pairwise containment-rate
+// matrix with a trained CRN, converts it to a symmetric similarity
+// (max of both directions), and runs single-linkage agglomerative
+// clustering. Queries probing the same region of the data end up together
+// even when their predicates look different textually.
+//
+// Run with:
+//
+//	go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"crn"
+)
+
+func main() {
+	sys, err := crn.OpenSynthetic(crn.DataConfig{Titles: 1500, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training containment model...")
+	model, err := sys.TrainContainmentModel(crn.TrainConfig{Pairs: 2500, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A workload with three latent intents: recent titles, early titles,
+	// and series episodes. All share the FROM clause, so containment rates
+	// are defined between every pair.
+	sqls := []string{
+		"SELECT * FROM title WHERE title.production_year > 1990",
+		"SELECT * FROM title WHERE title.production_year > 1985 AND title.kind_id = 5",
+		"SELECT * FROM title WHERE title.production_year > 1995",
+		"SELECT * FROM title WHERE title.production_year < 1915",
+		"SELECT * FROM title WHERE title.production_year < 1930 AND title.kind_id = 1",
+		"SELECT * FROM title WHERE title.kind_id = 2 AND title.season_nr > 5",
+		"SELECT * FROM title WHERE title.kind_id = 2 AND title.episode_nr > 10",
+	}
+	queries := make([]crn.Query, len(sqls))
+	for i, s := range sqls {
+		q, err := sys.ParseQuery(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		queries[i] = q
+	}
+
+	// Pairwise similarity: sim(i,j) = max(i ⊂% j, j ⊂% i).
+	n := len(queries)
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+		sim[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, err := model.EstimateContainment(queries[i], queries[j])
+			if err != nil {
+				log.Fatal(err)
+			}
+			b, err := model.EstimateContainment(queries[j], queries[i])
+			if err != nil {
+				log.Fatal(err)
+			}
+			s := a
+			if b > s {
+				s = b
+			}
+			sim[i][j], sim[j][i] = s, s
+		}
+	}
+
+	fmt.Println("\ncontainment-based similarity matrix:")
+	for i := range sim {
+		for j := range sim[i] {
+			fmt.Printf(" %4.2f", sim[i][j])
+		}
+		fmt.Printf("   Q%d\n", i)
+	}
+
+	clusters := singleLinkage(sim, 0.3)
+	fmt.Println("\nclusters (single linkage, similarity >= 0.30):")
+	for ci, members := range clusters {
+		fmt.Printf("  cluster %d:\n", ci+1)
+		for _, m := range members {
+			fmt.Printf("    Q%d: %s\n", m, sqls[m])
+		}
+	}
+}
+
+// singleLinkage merges queries into clusters whenever their similarity
+// exceeds the threshold, then returns clusters sorted by first member.
+func singleLinkage(sim [][]float64, threshold float64) [][]int {
+	n := len(sim)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if sim[i][j] >= threshold {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var out [][]int
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}

@@ -1,0 +1,90 @@
+// Join ordering — the application that motivates the paper: "a traditional
+// query optimizer is crucially dependent on cardinality estimation, which
+// enables choosing among different plan alternatives" (§5).
+//
+// The demo optimizes multi-join queries twice — once with the
+// PostgreSQL-style estimates, once with exact cardinalities — and scores
+// both chosen join orders by their true C_out cost (the total number of
+// intermediate rows a pipeline materializes). Misestimates translate
+// directly into more expensive plans.
+//
+// Run with:
+//
+//	go run ./examples/joinorder
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"crn"
+	"crn/internal/contain"
+	"crn/internal/exec"
+)
+
+func main() {
+	sys, err := crn.OpenSynthetic(crn.DataConfig{Titles: 3000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pgEst, err := sys.AnalyzeBaseline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The exact executor as an oracle estimator: the best possible planner.
+	ex, err := exec.New(sys.DB())
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := contain.TruthCard{T: ex}
+
+	queries := []string{
+		// Correlated filters: the era-blocked companies and era-coded info
+		// values make the true intermediate sizes diverge from the
+		// independence-based estimates.
+		`SELECT * FROM title, movie_companies, movie_info, cast_info
+		   WHERE title.id = movie_companies.movie_id AND title.id = movie_info.movie_id
+		   AND title.id = cast_info.movie_id
+		   AND title.production_year > 1984 AND movie_companies.company_id > 1600
+		   AND movie_info.info_val > 600`,
+		`SELECT * FROM title, cast_info, movie_keyword, movie_info_idx
+		   WHERE title.id = cast_info.movie_id AND title.id = movie_keyword.movie_id
+		   AND title.id = movie_info_idx.movie_id
+		   AND title.kind_id = 5 AND cast_info.person_id > 1200
+		   AND movie_info_idx.info_val > 40`,
+	}
+	for i, sql := range queries {
+		q, err := sys.ParseQuery(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pgOrder, _, err := sys.OptimizeJoinOrder(pgEst, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bestOrder, _, err := sys.OptimizeJoinOrder(oracle, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pgCost, err := sys.TrueJoinCost(q, pgOrder)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bestCost, err := sys.TrueJoinCost(q, bestOrder)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %d (%d joins)\n", i+1, q.NumJoins())
+		fmt.Printf("  PostgreSQL-estimate plan: %-55s true cost %10.0f\n",
+			strings.Join(pgOrder, " ⋈ "), pgCost)
+		fmt.Printf("  true-cardinality plan:    %-55s true cost %10.0f\n",
+			strings.Join(bestOrder, " ⋈ "), bestCost)
+		if bestCost > 0 {
+			fmt.Printf("  plan cost penalty from misestimation: %.2fx\n\n", pgCost/bestCost)
+		}
+	}
+	fmt.Println("Cardinality quality decides plan quality — the reason the paper")
+	fmt.Println("attacks multi-join estimation (run `go run ./cmd/repro -exp planquality`")
+	fmt.Println("for the full per-estimator comparison).")
+}

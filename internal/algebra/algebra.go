@@ -1,0 +1,266 @@
+// Package algebra implements the paper's §9 extensions: estimating
+// cardinalities and containment rates of compound queries — OR, EXCEPT and
+// UNION over conjunctive queries with identical FROM clauses — on top of
+// any base cardinality estimator, via inclusion-exclusion:
+//
+//	|Q1 OR Q2|     = |Q1| + |Q2| − |Q1∩Q2|
+//	|Q1 EXCEPT Q2| = |Q1| − |Q1∩Q2|
+//	|Q1 UNION Q2|  = |Q1| + |Q2|            (bag append, paper §9)
+//
+// Compound expressions are expanded into signed sums of conjunctive
+// intersection terms (the indicator algebra 1_or = 1_a + 1_b − 1_a·1_b,
+// 1_except = 1_a·(1−1_b)), so arbitrary nesting of OR and EXCEPT reduces to
+// base-estimator calls on ordinary conjunctive queries. The result of a
+// conjunctive SELECT * query is a set of base-row combinations, so set
+// semantics is exact; with an exact base estimator the expansion is exact.
+package algebra
+
+import (
+	"fmt"
+
+	"crn/internal/contain"
+	"crn/internal/query"
+)
+
+// Expr is a compound query expression over conjunctive leaves.
+type Expr interface {
+	// FROMKey returns the shared FROM clause of all leaves, or an error if
+	// leaves disagree (compound set operations need union-compatible
+	// operands; for SELECT * queries that means identical FROM clauses).
+	FROMKey() (string, error)
+}
+
+// Leaf wraps a conjunctive query.
+type Leaf struct{ Q query.Query }
+
+// Or is the set union of two expressions' results (the paper's OR
+// operator: duplicates collapse because result rows are identified by
+// base-row combinations).
+type Or struct{ L, R Expr }
+
+// And is the set intersection of two expressions' results.
+type And struct{ L, R Expr }
+
+// Except is the set difference L \ R (the paper's EXCEPT operator).
+type Except struct{ L, R Expr }
+
+// Union is the bag append of two results: |L| + |R| regardless of overlap
+// (the paper's UNION reading). It may only appear at the top level of a
+// cardinality computation, since bags have no indicator algebra.
+type Union struct{ L, R Expr }
+
+// FROMKey implements Expr.
+func (l Leaf) FROMKey() (string, error) { return l.Q.FROMKey(), nil }
+
+// FROMKey implements Expr.
+func (o Or) FROMKey() (string, error) { return sharedFrom(o.L, o.R) }
+
+// FROMKey implements Expr.
+func (a And) FROMKey() (string, error) { return sharedFrom(a.L, a.R) }
+
+// FROMKey implements Expr.
+func (e Except) FROMKey() (string, error) { return sharedFrom(e.L, e.R) }
+
+// FROMKey implements Expr.
+func (u Union) FROMKey() (string, error) { return sharedFrom(u.L, u.R) }
+
+func sharedFrom(l, r Expr) (string, error) {
+	fl, err := l.FROMKey()
+	if err != nil {
+		return "", err
+	}
+	fr, err := r.FROMKey()
+	if err != nil {
+		return "", err
+	}
+	if fl != fr {
+		return "", fmt.Errorf("algebra: FROM clauses differ (%q vs %q)", fl, fr)
+	}
+	return fl, nil
+}
+
+// term is one signed conjunctive intersection in the expansion.
+type term struct {
+	sign    int
+	queries []query.Query // to be intersected
+}
+
+// expand rewrites an expression into signed conjunctive terms. Union is
+// rejected here; Cardinality handles it at the top level.
+func expand(e Expr) ([]term, error) {
+	switch v := e.(type) {
+	case Leaf:
+		return []term{{sign: 1, queries: []query.Query{v.Q}}}, nil
+	case Or:
+		if _, err := v.FROMKey(); err != nil {
+			return nil, err
+		}
+		l, err := expand(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := expand(v.R)
+		if err != nil {
+			return nil, err
+		}
+		// 1_or = 1_l + 1_r - 1_l·1_r
+		out := append(append([]term{}, l...), r...)
+		prod, err := crossTerms(l, r)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range prod {
+			t.sign = -t.sign
+			out = append(out, t)
+		}
+		return out, nil
+	case And:
+		if _, err := v.FROMKey(); err != nil {
+			return nil, err
+		}
+		l, err := expand(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := expand(v.R)
+		if err != nil {
+			return nil, err
+		}
+		return crossTerms(l, r)
+	case Except:
+		if _, err := v.FROMKey(); err != nil {
+			return nil, err
+		}
+		l, err := expand(v.L)
+		if err != nil {
+			return nil, err
+		}
+		// 1_except = 1_l - 1_l·1_r
+		prod, err := expand(And{v.L, v.R})
+		if err != nil {
+			return nil, err
+		}
+		out := append([]term{}, l...)
+		for _, t := range prod {
+			t.sign = -t.sign
+			out = append(out, t)
+		}
+		return out, nil
+	case Union:
+		return nil, fmt.Errorf("algebra: UNION is bag-semantic and only allowed at the top level")
+	}
+	return nil, fmt.Errorf("algebra: unknown expression type %T", e)
+}
+
+// crossTerms multiplies two signed sums of indicators.
+func crossTerms(l, r []term) ([]term, error) {
+	var out []term
+	for _, a := range l {
+		for _, b := range r {
+			qs := append(append([]query.Query{}, a.queries...), b.queries...)
+			out = append(out, term{sign: a.sign * b.sign, queries: qs})
+		}
+	}
+	return out, nil
+}
+
+// intersectAll folds a term's queries into one conjunctive query.
+func intersectAll(qs []query.Query) (query.Query, error) {
+	out := qs[0]
+	for _, q := range qs[1:] {
+		var err error
+		out, err = out.Intersect(q)
+		if err != nil {
+			return query.Query{}, err
+		}
+	}
+	return out, nil
+}
+
+// Cardinality estimates |e| using the base estimator. Union nodes are
+// handled top-down as plain sums; OR/EXCEPT/AND expand by
+// inclusion-exclusion. Negative totals (possible with inexact estimators)
+// clamp to zero.
+func Cardinality(est contain.CardEstimator, e Expr) (float64, error) {
+	if u, ok := e.(Union); ok {
+		l, err := Cardinality(est, u.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := Cardinality(est, u.R)
+		if err != nil {
+			return 0, err
+		}
+		return l + r, nil
+	}
+	terms, err := expand(e)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, t := range terms {
+		q, err := intersectAll(t.queries)
+		if err != nil {
+			return 0, err
+		}
+		c, err := est.EstimateCard(q)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(t.sign) * c
+	}
+	if total < 0 {
+		total = 0
+	}
+	return total, nil
+}
+
+// ContainmentRate estimates e1 ⊂% e2 = |e1 ∩ e2| / |e1| for compound
+// expressions with a shared FROM clause (0 when |e1| is 0, matching §2).
+// Union operands are not supported (bag containment is not defined by the
+// paper); use Or for set union.
+func ContainmentRate(est contain.CardEstimator, e1, e2 Expr) (float64, error) {
+	if _, err := sharedFrom(e1, e2); err != nil {
+		return 0, err
+	}
+	c1, err := Cardinality(est, e1)
+	if err != nil {
+		return 0, err
+	}
+	if c1 <= 0 {
+		return 0, nil
+	}
+	ci, err := Cardinality(est, And{e1, e2})
+	if err != nil {
+		return 0, err
+	}
+	rate := ci / c1
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return rate, nil
+}
+
+// NumTerms reports how many base-estimator calls Cardinality(e) will make;
+// useful to bound the blow-up of deeply nested expressions.
+func NumTerms(e Expr) (int, error) {
+	if u, ok := e.(Union); ok {
+		l, err := NumTerms(u.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := NumTerms(u.R)
+		if err != nil {
+			return 0, err
+		}
+		return l + r, nil
+	}
+	terms, err := expand(e)
+	if err != nil {
+		return 0, err
+	}
+	return len(terms), nil
+}

@@ -1,0 +1,280 @@
+package algebra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crn/internal/contain"
+	"crn/internal/datagen"
+	"crn/internal/db"
+	"crn/internal/exec"
+	"crn/internal/query"
+	"crn/internal/schema"
+	"crn/internal/sqlparse"
+)
+
+var s = schema.IMDB()
+
+func fixture(t *testing.T) (*db.Database, contain.CardEstimator) {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.Titles = 300
+	d, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exec.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, contain.TruthCard{T: ex}
+}
+
+// maskEval evaluates a single-table expression by direct row filtering —
+// an oracle independent of the inclusion-exclusion expansion.
+func maskEval(d *db.Database, e Expr) []bool {
+	switch v := e.(type) {
+	case Leaf:
+		tab := d.Table(v.Q.Tables[0])
+		mask := make([]bool, tab.NumRows())
+		for i := range mask {
+			mask[i] = true
+		}
+		for _, p := range v.Q.Preds {
+			col := tab.Column(p.Col.Column)
+			for i := range mask {
+				if mask[i] && !p.Matches(col[i]) {
+					mask[i] = false
+				}
+			}
+		}
+		return mask
+	case Or:
+		l, r := maskEval(d, v.L), maskEval(d, v.R)
+		out := make([]bool, len(l))
+		for i := range out {
+			out[i] = l[i] || r[i]
+		}
+		return out
+	case And:
+		l, r := maskEval(d, v.L), maskEval(d, v.R)
+		out := make([]bool, len(l))
+		for i := range out {
+			out[i] = l[i] && r[i]
+		}
+		return out
+	case Except:
+		l, r := maskEval(d, v.L), maskEval(d, v.R)
+		out := make([]bool, len(l))
+		for i := range out {
+			out[i] = l[i] && !r[i]
+		}
+		return out
+	}
+	panic("maskEval: unsupported")
+}
+
+func countMask(m []bool) float64 {
+	var n float64
+	for _, ok := range m {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+func leafQ(t *testing.T, sql string) Leaf {
+	t.Helper()
+	return Leaf{Q: sqlparse.MustParse(s, sql)}
+}
+
+func randomLeaf(t *testing.T, rng *rand.Rand, d *db.Database) Leaf {
+	t.Helper()
+	td, _ := s.Table(schema.Title)
+	nonKey := td.NonKeyColumns()
+	var preds []query.Predicate
+	n := rng.Intn(3)
+	for i := 0; i < n; i++ {
+		col := nonKey[rng.Intn(len(nonKey))]
+		vals := d.Table(schema.Title).Column(col.Name)
+		preds = append(preds, query.Predicate{
+			Col: schema.ColumnRef{Table: col.Table, Column: col.Name},
+			Op:  schema.Operators()[rng.Intn(3)],
+			Val: vals[rng.Intn(len(vals))],
+		})
+	}
+	q, err := query.New(s, []string{schema.Title}, nil, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Leaf{Q: q}
+}
+
+func randomExpr(t *testing.T, rng *rand.Rand, d *db.Database, depth int) Expr {
+	t.Helper()
+	if depth == 0 || rng.Float64() < 0.4 {
+		return randomLeaf(t, rng, d)
+	}
+	l := randomExpr(t, rng, d, depth-1)
+	r := randomExpr(t, rng, d, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return Or{l, r}
+	case 1:
+		return And{l, r}
+	default:
+		return Except{l, r}
+	}
+}
+
+// The headline property: over an exact base estimator, the
+// inclusion-exclusion expansion equals direct set evaluation for random
+// nested OR/AND/EXCEPT expressions.
+func TestExpansionMatchesSetSemantics(t *testing.T) {
+	d, oracle := fixture(t)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		e := randomExpr(t, rng, d, 2)
+		got, err := Cardinality(oracle, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := countMask(maskEval(d, e))
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("expr %d: expansion %v, set semantics %v", i, got, want)
+		}
+	}
+}
+
+func TestPaperIdentities(t *testing.T) {
+	d, oracle := fixture(t)
+	q1 := leafQ(t, "SELECT * FROM title WHERE title.production_year > 1950")
+	q2 := leafQ(t, "SELECT * FROM title WHERE title.kind_id = 2")
+
+	c1 := countMask(maskEval(d, q1))
+	c2 := countMask(maskEval(d, q2))
+	ci := countMask(maskEval(d, And{q1, q2}))
+
+	except, err := Cardinality(oracle, Except{q1, q2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(except-(c1-ci)) > 1e-9 {
+		t.Errorf("EXCEPT: got %v, want |Q1|-|Q1∩Q2| = %v", except, c1-ci)
+	}
+	or, err := Cardinality(oracle, Or{q1, q2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(or-(c1+c2-ci)) > 1e-9 {
+		t.Errorf("OR: got %v, want %v", or, c1+c2-ci)
+	}
+	union, err := Cardinality(oracle, Union{q1, q2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(union-(c1+c2)) > 1e-9 {
+		t.Errorf("UNION: got %v, want |Q1|+|Q2| = %v", union, c1+c2)
+	}
+}
+
+func TestCompoundContainment(t *testing.T) {
+	d, oracle := fixture(t)
+	q1 := leafQ(t, "SELECT * FROM title WHERE title.production_year > 1950")
+	q2 := leafQ(t, "SELECT * FROM title WHERE title.production_year > 1900")
+	// (q1 OR q2) == q2 since q1 ⊆ q2, so (q1 OR q2) ⊂% q2 = 1.
+	rate, err := ContainmentRate(oracle, Or{q1, q2}, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countMask(maskEval(d, q2)) > 0 && math.Abs(rate-1) > 1e-9 {
+		t.Errorf("(q1 OR q2) ⊂%% q2 = %v, want 1", rate)
+	}
+	// (q2 EXCEPT q1) ⊂% q1 = 0 (disjoint by construction).
+	rate, err = ContainmentRate(oracle, Except{q2, q1}, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0 {
+		t.Errorf("(q2 EXCEPT q1) ⊂%% q1 = %v, want 0", rate)
+	}
+}
+
+func TestFROMMismatchRejected(t *testing.T) {
+	_, oracle := fixture(t)
+	q1 := leafQ(t, "SELECT * FROM title")
+	q2 := leafQ(t, "SELECT * FROM cast_info")
+	if _, err := Cardinality(oracle, Or{q1, q2}); err == nil {
+		t.Error("OR across FROM clauses should fail")
+	}
+	if _, err := ContainmentRate(oracle, q1, q2); err == nil {
+		t.Error("containment across FROM clauses should fail")
+	}
+}
+
+func TestUnionOnlyTopLevel(t *testing.T) {
+	_, oracle := fixture(t)
+	q1 := leafQ(t, "SELECT * FROM title WHERE title.kind_id = 1")
+	q2 := leafQ(t, "SELECT * FROM title WHERE title.kind_id = 2")
+	// Union at top level is fine.
+	if _, err := Cardinality(oracle, Union{q1, q2}); err != nil {
+		t.Errorf("top-level UNION failed: %v", err)
+	}
+	// Union nested under OR is rejected.
+	if _, err := Cardinality(oracle, Or{Union{q1, q2}, q1}); err == nil {
+		t.Error("nested UNION should fail")
+	}
+	// Nested unions under a top-level union are still fine (plain sums).
+	if _, err := Cardinality(oracle, Union{Union{q1, q2}, q1}); err != nil {
+		t.Error("chained top-level UNION should work")
+	}
+}
+
+func TestNumTerms(t *testing.T) {
+	_, _ = fixture(t)
+	q1 := leafQ(t, "SELECT * FROM title WHERE title.kind_id = 1")
+	q2 := leafQ(t, "SELECT * FROM title WHERE title.kind_id = 2")
+	n, err := NumTerms(Or{q1, q2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // |a| + |b| - |a∩b|
+		t.Errorf("Or terms = %d, want 3", n)
+	}
+	n, err = NumTerms(Except{q1, q2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("Except terms = %d, want 2", n)
+	}
+	n, err = NumTerms(Union{q1, Or{q1, q2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("Union terms = %d, want 4", n)
+	}
+}
+
+func TestNegativeClamp(t *testing.T) {
+	// A wildly inconsistent estimator can drive inclusion-exclusion
+	// negative; Cardinality clamps at zero.
+	weird := contain.CardFunc(func(q query.Query) (float64, error) {
+		if len(q.Preds) >= 2 {
+			return 1000, nil // intersections "bigger" than operands
+		}
+		return 1, nil
+	})
+	q1 := Leaf{Q: sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 1")}
+	q2 := Leaf{Q: sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 2")}
+	got, err := Cardinality(weird, Or{q1, q2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 {
+		t.Errorf("cardinality should clamp at 0, got %v", got)
+	}
+}

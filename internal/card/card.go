@@ -1,0 +1,205 @@
+// Package card implements the paper's novel cardinality-estimation
+// technique (§5): given a containment-rate estimation model and a queries
+// pool of previously executed queries with known cardinalities, the
+// cardinality of a new query Qnew is estimated from every matching old
+// query Qold via the Cnt2Crd transformation (§5.1.1)
+//
+//	|Qnew| = (Qold ⊂% Qnew) / (Qnew ⊂% Qold) · |Qold|
+//
+// collecting one estimate per old query and collapsing them with a final
+// function F (Median by default) — the EstimateCardinality algorithm of
+// Figure 8. The package also provides the Improved-M construction of §7:
+// Improved M = Cnt2Crd(Crd2Cnt(M)), which upgrades any existing cardinality
+// model without changing the model itself.
+package card
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"crn/internal/contain"
+	"crn/internal/pool"
+	"crn/internal/query"
+)
+
+// DefaultEpsilon is the y_rate guard of Figure 8: matching old queries with
+// Qnew ⊂% Qold ≤ ε are skipped, since the transformation divides by that
+// rate ("if y_rate <= epsilon: continue" — the paper's "y equals zero"
+// comment implies a tight guard; selective old queries with small but real
+// overlap are still informative).
+const DefaultEpsilon = 1e-3
+
+// Estimator estimates cardinalities with the pool-based technique. It
+// implements contain.CardEstimator.
+type Estimator struct {
+	// Rates estimates containment rates between query pairs.
+	Rates contain.RateEstimator
+	// Pool supplies the old queries and their actual cardinalities.
+	Pool *pool.Pool
+	// Final collapses per-old-query estimates (nil = Median, the paper's
+	// choice).
+	Final pool.FinalFunc
+	// Epsilon is the y_rate guard (0 = DefaultEpsilon).
+	Epsilon float64
+	// Fallback, if non-nil, answers queries with no usable pool match
+	// (different FROM clause or all matches skipped); the paper suggests
+	// falling back to a basic cardinality model (§5.2). A nil Fallback
+	// makes such queries an error.
+	Fallback contain.CardEstimator
+	// Workers sets the parallelism of the pool scan (Figure 8's loop is
+	// embarrassingly parallel, §5.3); 0 means GOMAXPROCS, 1 is serial.
+	Workers int
+}
+
+// New creates a pool-based estimator with the paper's defaults (Median
+// final function, ε = 1e-3, serial scan).
+func New(rates contain.RateEstimator, qp *pool.Pool) *Estimator {
+	return &Estimator{Rates: rates, Pool: qp, Final: pool.Median, Epsilon: DefaultEpsilon, Workers: 1}
+}
+
+// EstimateCard runs the EstimateCardinality algorithm of Figure 8.
+func (e *Estimator) EstimateCard(qnew query.Query) (float64, error) {
+	if e.Rates == nil || e.Pool == nil {
+		return 0, fmt.Errorf("card: estimator needs a rate model and a queries pool")
+	}
+	matches := e.Pool.Matching(qnew)
+	results, err := e.perOldEstimates(qnew, matches)
+	if err != nil {
+		return 0, err
+	}
+	if len(results) == 0 {
+		if e.Fallback != nil {
+			return e.Fallback.EstimateCard(qnew)
+		}
+		return 0, fmt.Errorf("card: no matching pool query for FROM %q", qnew.FROMKey())
+	}
+	final := e.Final
+	if final == nil {
+		final = pool.Median
+	}
+	return final(results), nil
+}
+
+// perOldEstimates computes x_rate/y_rate·|Qold| for every usable match.
+func (e *Estimator) perOldEstimates(qnew query.Query, matches []pool.Entry) ([]float64, error) {
+	eps := e.Epsilon
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	// Old queries with empty results carry no information: the containment
+	// rate of an empty query is 0 by definition (§2), so x_rate/y_rate·0
+	// degenerates to 0 regardless of the rates. Drop them before scanning.
+	usable := matches[:0]
+	for _, m := range matches {
+		if m.Card > 0 {
+			usable = append(usable, m)
+		}
+	}
+	matches = usable
+
+	// Batched fast path: one x_rate + one y_rate batch over all matches.
+	if batch, ok := e.Rates.(contain.BatchRateEstimator); ok && len(matches) > 1 {
+		pairs := make([][2]query.Query, 0, 2*len(matches))
+		for _, m := range matches {
+			pairs = append(pairs, [2]query.Query{m.Q, qnew}, [2]query.Query{qnew, m.Q})
+		}
+		rates, err := batch.EstimateRates(pairs)
+		if err != nil {
+			return nil, err
+		}
+		var results []float64
+		for i, m := range matches {
+			xRate, yRate := rates[2*i], rates[2*i+1]
+			if yRate <= eps {
+				continue
+			}
+			results = append(results, xRate/yRate*float64(m.Card))
+		}
+		return results, nil
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(matches) {
+		workers = len(matches)
+	}
+	if workers <= 1 {
+		var results []float64
+		for _, m := range matches {
+			est, ok, err := e.estimateFrom(qnew, m, eps)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				results = append(results, est)
+			}
+		}
+		return results, nil
+	}
+	type res struct {
+		est float64
+		ok  bool
+		err error
+	}
+	out := make([]res, len(matches))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				est, ok, err := e.estimateFrom(qnew, matches[i], eps)
+				out[i] = res{est, ok, err}
+			}
+		}()
+	}
+	for i := range matches {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	var results []float64
+	for _, r := range out {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.ok {
+			results = append(results, r.est)
+		}
+	}
+	return results, nil
+}
+
+// estimateFrom applies the Cnt2Crd transformation to one old query.
+func (e *Estimator) estimateFrom(qnew query.Query, m pool.Entry, eps float64) (float64, bool, error) {
+	xRate, err := e.Rates.EstimateRate(m.Q, qnew) // Qold ⊂% Qnew
+	if err != nil {
+		return 0, false, err
+	}
+	yRate, err := e.Rates.EstimateRate(qnew, m.Q) // Qnew ⊂% Qold
+	if err != nil {
+		return 0, false, err
+	}
+	if yRate <= eps {
+		return 0, false, nil
+	}
+	return xRate / yRate * float64(m.Card), true, nil
+}
+
+// Cnt2Crd is the transformation of §5.1 as a function: it converts a
+// containment-rate model plus a queries pool into a cardinality model.
+func Cnt2Crd(rates contain.RateEstimator, qp *pool.Pool) contain.CardEstimator {
+	return New(rates, qp)
+}
+
+// Improved applies the three-step construction of §7 to an existing
+// cardinality model M: Improved M = Cnt2Crd(Crd2Cnt(M)) over the given
+// pool, improving M's estimates without changing M itself.
+func Improved(m contain.CardEstimator, qp *pool.Pool) *Estimator {
+	return New(contain.Crd2Cnt{M: m}, qp)
+}
+
+var _ contain.CardEstimator = (*Estimator)(nil)

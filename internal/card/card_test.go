@@ -1,0 +1,240 @@
+package card
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"crn/internal/contain"
+	"crn/internal/datagen"
+	"crn/internal/exec"
+	"crn/internal/pool"
+	"crn/internal/query"
+	"crn/internal/schema"
+	"crn/internal/sqlparse"
+)
+
+var s = schema.IMDB()
+
+func fixture(t *testing.T) (*exec.Executor, *pool.Pool) {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.Titles = 400
+	d, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exec.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := pool.New()
+	sqls := []string{
+		"SELECT * FROM title",
+		"SELECT * FROM title WHERE title.production_year > 1950",
+		"SELECT * FROM title WHERE title.kind_id < 5",
+		"SELECT * FROM title, cast_info WHERE title.id = cast_info.movie_id",
+		"SELECT * FROM title, cast_info WHERE title.id = cast_info.movie_id AND cast_info.role_id < 6",
+	}
+	for _, sql := range sqls {
+		q := sqlparse.MustParse(s, sql)
+		c, err := ex.Cardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp.Add(q, c)
+	}
+	return ex, qp
+}
+
+// With an exact containment oracle and any non-empty matching pool, the
+// Cnt2Crd estimate is exactly the true cardinality: every old query gives
+// x/y·|Qold| = (|Qi|/|Qold|)/(|Qi|/|Qnew|)·|Qold| = |Qnew| when rates are
+// exact. This isolates the technique from model error.
+func TestOracleRatesRecoverExactCardinality(t *testing.T) {
+	ex, qp := fixture(t)
+	est := New(contain.TruthRate{T: ex}, qp)
+	queries := []string{
+		"SELECT * FROM title WHERE title.production_year > 1960",
+		"SELECT * FROM title WHERE title.kind_id = 2 AND title.production_year < 1990",
+		"SELECT * FROM title, cast_info WHERE title.id = cast_info.movie_id AND cast_info.nr_order < 3",
+	}
+	for _, sql := range queries {
+		q := sqlparse.MustParse(s, sql)
+		truth, err := ex.Cardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth == 0 {
+			continue
+		}
+		got, err := est.EstimateCard(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-float64(truth)) > 1e-6*float64(truth) {
+			t.Errorf("%s: Cnt2Crd(oracle) = %v, truth = %d", sql, got, truth)
+		}
+	}
+}
+
+func TestNoMatchWithoutFallbackFails(t *testing.T) {
+	ex, qp := fixture(t)
+	est := New(contain.TruthRate{T: ex}, qp)
+	q := sqlparse.MustParse(s, "SELECT * FROM movie_keyword")
+	if _, err := est.EstimateCard(q); err == nil {
+		t.Error("unmatched FROM clause should fail without fallback")
+	}
+}
+
+func TestFallbackUsedWhenNoMatch(t *testing.T) {
+	ex, qp := fixture(t)
+	est := New(contain.TruthRate{T: ex}, qp)
+	est.Fallback = contain.CardFunc(func(q query.Query) (float64, error) { return 42, nil })
+	q := sqlparse.MustParse(s, "SELECT * FROM movie_keyword")
+	got, err := est.EstimateCard(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("fallback result = %v", got)
+	}
+}
+
+func TestEpsilonGuardSkipsDisjointOldQueries(t *testing.T) {
+	// Pool with one old query that is disjoint from the probe: y_rate = 0
+	// must be skipped, leaving no results -> error without fallback.
+	cfg := datagen.DefaultConfig()
+	cfg.Titles = 200
+	d, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exec.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := pool.New()
+	old := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.production_year < 1900")
+	c, err := ex.Cardinality(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp.Add(old, c)
+	est := New(contain.TruthRate{T: ex}, qp)
+	probe := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.production_year > 1990")
+	if _, err := est.EstimateCard(probe); err == nil {
+		t.Error("all-skipped pool should fail without fallback")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	ex, qp := fixture(t)
+	serial := New(contain.TruthRate{T: ex}, qp)
+	parallel := New(contain.TruthRate{T: ex}, qp)
+	parallel.Workers = 4
+	for _, sql := range []string{
+		"SELECT * FROM title WHERE title.production_year > 1930",
+		"SELECT * FROM title, cast_info WHERE title.id = cast_info.movie_id AND cast_info.person_id > 600",
+	} {
+		q := sqlparse.MustParse(s, sql)
+		a, errA := serial.EstimateCard(q)
+		b, errB := parallel.EstimateCard(q)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("error mismatch: %v vs %v", errA, errB)
+		}
+		if errA == nil && math.Abs(a-b) > 1e-9 {
+			t.Errorf("parallel %v != serial %v", b, a)
+		}
+	}
+}
+
+func TestFinalFunctionChoice(t *testing.T) {
+	// Rates model that yields a known spread of per-old estimates.
+	ex, qp := fixture(t)
+	q := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.production_year > 1960")
+	est := New(contain.TruthRate{T: ex}, qp)
+	est.Final = pool.Mean
+	got, err := est.EstimateCard(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := ex.Cardinality(q)
+	// Oracle rates: every pool entry gives the exact answer, so mean ==
+	// median == truth.
+	if math.Abs(got-float64(truth)) > 1e-6*float64(truth) {
+		t.Errorf("mean-final estimate = %v, truth = %d", got, truth)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	_, qp := fixture(t)
+	boom := errors.New("boom")
+	bad := contain.RateFunc(func(q1, q2 query.Query) (float64, error) { return 0, boom })
+	est := New(bad, qp)
+	q := sqlparse.MustParse(s, "SELECT * FROM title")
+	if _, err := est.EstimateCard(q); !errors.Is(err, boom) {
+		t.Errorf("expected boom, got %v", err)
+	}
+	// Parallel path propagates too.
+	est.Workers = 4
+	if _, err := est.EstimateCard(q); !errors.Is(err, boom) {
+		t.Errorf("parallel: expected boom, got %v", err)
+	}
+}
+
+func TestMisconfiguredEstimator(t *testing.T) {
+	est := &Estimator{}
+	if _, err := est.EstimateCard(query.Query{Tables: []string{"title"}}); err == nil {
+		t.Error("estimator without rates/pool should fail")
+	}
+}
+
+func TestImprovedConstruction(t *testing.T) {
+	ex, qp := fixture(t)
+	// Improved(truth-cardinality model) must also recover near-exact
+	// cardinalities: Crd2Cnt(truth) gives exact rates, Cnt2Crd inverts.
+	improved := Improved(contain.TruthCard{T: ex}, qp)
+	q := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 3")
+	truth, err := ex.Cardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth == 0 {
+		t.Skip("empty truth on this seed")
+	}
+	got, err := improved.EstimateCard(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-float64(truth)) > 1e-6*float64(truth) {
+		t.Errorf("Improved(oracle) = %v, truth = %d", got, truth)
+	}
+}
+
+// Property over many probes: with oracle rates the technique is exact for
+// every query whose FROM clause the pool covers and whose result is
+// non-empty.
+func TestOracleExactnessSweep(t *testing.T) {
+	ex, qp := fixture(t)
+	est := New(contain.TruthRate{T: ex}, qp)
+	for year := 1900; year <= 2000; year += 10 {
+		sql := fmt.Sprintf("SELECT * FROM title WHERE title.production_year < %d", year)
+		q := sqlparse.MustParse(s, sql)
+		truth, err := ex.Cardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth == 0 {
+			continue
+		}
+		got, err := est.EstimateCard(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-float64(truth)) > 1e-6*float64(truth) {
+			t.Errorf("year %d: got %v want %d", year, got, truth)
+		}
+	}
+}

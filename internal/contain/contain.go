@@ -1,0 +1,188 @@
+// Package contain defines the estimator interfaces of the reproduction and
+// the Crd2Cnt transformation of §4.1: any cardinality estimation model M can
+// be converted into a containment-rate estimation model M' by
+//
+//	Q1 ⊂% Q2  =  |M(Q1∩Q2)| / |M(Q1)|
+//
+// where Q1∩Q2 is the intersection query (same SELECT/FROM, conjoined WHERE
+// clauses). The inverse direction — Cnt2Crd, turning a containment model
+// into a cardinality model with the help of a queries pool — lives in
+// package card.
+package contain
+
+import (
+	"fmt"
+
+	"crn/internal/query"
+)
+
+// CardEstimator estimates result cardinalities of conjunctive queries.
+// Implemented by pg.Estimator, mscn.Estimator, the exec oracle adapter and
+// the pool-based Cnt2Crd estimator.
+type CardEstimator interface {
+	EstimateCard(q query.Query) (float64, error)
+}
+
+// RateEstimator estimates containment rates Q1 ⊂% Q2 as fractions in [0,1].
+// Implemented by the CRN adapter and by Crd2Cnt-wrapped cardinality models.
+type RateEstimator interface {
+	EstimateRate(q1, q2 query.Query) (float64, error)
+}
+
+// BatchRateEstimator is an optional fast path for rate estimators that can
+// amortize work over many pairs at once (neural models batch their forward
+// passes). Pairs are (Q1, Q2) with the rate Q1 ⊂% Q2 returned per pair.
+type BatchRateEstimator interface {
+	RateEstimator
+	EstimateRates(pairs [][2]query.Query) ([]float64, error)
+}
+
+// BatchCardEstimator is the cardinality analogue of BatchRateEstimator.
+type BatchCardEstimator interface {
+	CardEstimator
+	EstimateCards(queries []query.Query) ([]float64, error)
+}
+
+// Crd2Cnt wraps a cardinality estimator into a containment-rate estimator
+// (the paper's Crd2Cnt transformation, §4.1.1). The resulting rate is
+// clamped to [0,1]: a sound cardinality model already satisfies
+// |Q1∩Q2| ≤ |Q1|, but learned models can violate it.
+type Crd2Cnt struct {
+	M CardEstimator
+	// Name identifies the underlying model in experiment tables, e.g.
+	// "Crd2Cnt(PostgreSQL)".
+	Name string
+}
+
+// EstimateRate implements RateEstimator.
+func (c Crd2Cnt) EstimateRate(q1, q2 query.Query) (float64, error) {
+	qi, err := q1.Intersect(q2)
+	if err != nil {
+		return 0, err
+	}
+	c1, err := c.M.EstimateCard(q1)
+	if err != nil {
+		return 0, err
+	}
+	if c1 <= 0 {
+		// By definition Q1 ⊂% Q2 = 0 when |Q1| = 0 (§2).
+		return 0, nil
+	}
+	ci, err := c.M.EstimateCard(qi)
+	if err != nil {
+		return 0, err
+	}
+	rate := ci / c1
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return rate, nil
+}
+
+// EstimateRates implements BatchRateEstimator: when the wrapped model
+// supports batched cardinality estimation, both per-pair cardinalities are
+// computed in two batched calls.
+func (c Crd2Cnt) EstimateRates(pairs [][2]query.Query) ([]float64, error) {
+	bm, ok := c.M.(BatchCardEstimator)
+	if !ok {
+		out := make([]float64, len(pairs))
+		for i, p := range pairs {
+			r, err := c.EstimateRate(p[0], p[1])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	q1s := make([]query.Query, len(pairs))
+	qis := make([]query.Query, len(pairs))
+	for i, p := range pairs {
+		qi, err := p[0].Intersect(p[1])
+		if err != nil {
+			return nil, err
+		}
+		q1s[i] = p[0]
+		qis[i] = qi
+	}
+	c1s, err := bm.EstimateCards(q1s)
+	if err != nil {
+		return nil, err
+	}
+	cis, err := bm.EstimateCards(qis)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(pairs))
+	for i := range pairs {
+		if c1s[i] <= 0 {
+			out[i] = 0
+			continue
+		}
+		r := cis[i] / c1s[i]
+		if r < 0 {
+			r = 0
+		}
+		if r > 1 {
+			r = 1
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+var _ BatchRateEstimator = Crd2Cnt{}
+
+// CardFunc adapts a plain function to CardEstimator.
+type CardFunc func(q query.Query) (float64, error)
+
+// EstimateCard implements CardEstimator.
+func (f CardFunc) EstimateCard(q query.Query) (float64, error) { return f(q) }
+
+// RateFunc adapts a plain function to RateEstimator.
+type RateFunc func(q1, q2 query.Query) (float64, error)
+
+// EstimateRate implements RateEstimator.
+func (f RateFunc) EstimateRate(q1, q2 query.Query) (float64, error) { return f(q1, q2) }
+
+// TruthCard adapts an exact oracle (the executor) to CardEstimator; used in
+// tests and to bound achievable accuracy in ablations.
+type TruthCard struct {
+	T interface {
+		Cardinality(q query.Query) (int64, error)
+	}
+}
+
+// EstimateCard implements CardEstimator.
+func (t TruthCard) EstimateCard(q query.Query) (float64, error) {
+	c, err := t.T.Cardinality(q)
+	if err != nil {
+		return 0, err
+	}
+	return float64(c), nil
+}
+
+// TruthRate adapts an exact oracle to RateEstimator.
+type TruthRate struct {
+	T interface {
+		ContainmentRate(q1, q2 query.Query) (float64, error)
+	}
+}
+
+// EstimateRate implements RateEstimator.
+func (t TruthRate) EstimateRate(q1, q2 query.Query) (float64, error) {
+	return t.T.ContainmentRate(q1, q2)
+}
+
+// Validate sanity-checks that two queries are containment-comparable,
+// returning a descriptive error otherwise. Estimators use it to fail fast
+// on malformed pairs.
+func Validate(q1, q2 query.Query) error {
+	if !q1.Comparable(q2) {
+		return fmt.Errorf("contain: queries are not comparable (FROM %q vs %q)", q1.FROMKey(), q2.FROMKey())
+	}
+	return nil
+}

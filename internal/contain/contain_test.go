@@ -1,0 +1,240 @@
+package contain
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"crn/internal/datagen"
+	"crn/internal/exec"
+	"crn/internal/query"
+	"crn/internal/schema"
+	"crn/internal/sqlparse"
+)
+
+var s = schema.IMDB()
+
+func oracle(t *testing.T) *exec.Executor {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.Titles = 300
+	d, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exec.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+// Crd2Cnt over an exact cardinality oracle must reproduce the exact
+// containment rate — the algebra of §4.1.1 is exact when M is exact.
+func TestCrd2CntOnOracleIsExact(t *testing.T) {
+	ex := oracle(t)
+	rates := Crd2Cnt{M: TruthCard{T: ex}, Name: "Crd2Cnt(truth)"}
+	pairs := [][2]string{
+		{
+			"SELECT * FROM title WHERE title.production_year > 1950",
+			"SELECT * FROM title WHERE title.production_year > 1900",
+		},
+		{
+			"SELECT * FROM title, cast_info WHERE title.id = cast_info.movie_id AND cast_info.role_id = 2",
+			"SELECT * FROM title, cast_info WHERE title.id = cast_info.movie_id AND title.kind_id < 5",
+		},
+	}
+	for _, p := range pairs {
+		q1 := sqlparse.MustParse(s, p[0])
+		q2 := sqlparse.MustParse(s, p[1])
+		got, err := rates.EstimateRate(q1, q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ex.ContainmentRate(q1, q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s vs %s: Crd2Cnt(oracle) = %v, truth = %v", q1, q2, got, want)
+		}
+	}
+}
+
+func TestCrd2CntClampsToUnitInterval(t *testing.T) {
+	// A deliberately unsound model: intersection estimated larger than Q1.
+	bad := CardFunc(func(q query.Query) (float64, error) {
+		return float64(10 + len(q.Preds)*100), nil
+	})
+	rates := Crd2Cnt{M: bad}
+	q1 := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 1")
+	q2 := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 2")
+	rate, err := rates.EstimateRate(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0 || rate > 1 {
+		t.Errorf("rate not clamped: %v", rate)
+	}
+}
+
+func TestCrd2CntZeroCardinality(t *testing.T) {
+	zero := CardFunc(func(q query.Query) (float64, error) { return 0, nil })
+	rates := Crd2Cnt{M: zero}
+	q := sqlparse.MustParse(s, "SELECT * FROM title")
+	rate, err := rates.EstimateRate(q, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0 {
+		t.Errorf("zero-cardinality rate = %v, want 0 (definition §2)", rate)
+	}
+}
+
+func TestCrd2CntDifferentFROMFails(t *testing.T) {
+	rates := Crd2Cnt{M: CardFunc(func(query.Query) (float64, error) { return 1, nil })}
+	q1 := sqlparse.MustParse(s, "SELECT * FROM title")
+	q2 := sqlparse.MustParse(s, "SELECT * FROM cast_info")
+	if _, err := rates.EstimateRate(q1, q2); err == nil {
+		t.Error("different FROM clauses should fail")
+	}
+}
+
+func TestCrd2CntPropagatesModelError(t *testing.T) {
+	boom := errors.New("boom")
+	rates := Crd2Cnt{M: CardFunc(func(query.Query) (float64, error) { return 0, boom })}
+	q := sqlparse.MustParse(s, "SELECT * FROM title")
+	if _, err := rates.EstimateRate(q, q); !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestTruthAdapters(t *testing.T) {
+	ex := oracle(t)
+	q := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 3")
+	card, err := TruthCard{T: ex}.EstimateCard(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ex.Cardinality(q)
+	if card != float64(want) {
+		t.Errorf("TruthCard = %v, want %d", card, want)
+	}
+	rate, err := TruthRate{T: ex}.EstimateRate(q, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want > 0 && rate != 1 {
+		t.Errorf("TruthRate self = %v", rate)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	q1 := sqlparse.MustParse(s, "SELECT * FROM title")
+	q2 := sqlparse.MustParse(s, "SELECT * FROM cast_info")
+	if err := Validate(q1, q1); err != nil {
+		t.Errorf("same FROM should validate: %v", err)
+	}
+	if err := Validate(q1, q2); err == nil {
+		t.Error("different FROM should not validate")
+	}
+}
+
+// countingCard counts EstimateCard calls and supports the batch interface.
+type countingCard struct {
+	singles int
+	batches int
+}
+
+func (c *countingCard) EstimateCard(q query.Query) (float64, error) {
+	c.singles++
+	return float64(10 + len(q.Preds)), nil
+}
+
+func (c *countingCard) EstimateCards(qs []query.Query) ([]float64, error) {
+	c.batches++
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = float64(10 + len(q.Preds))
+	}
+	return out, nil
+}
+
+func TestCrd2CntBatchedPathMatchesSingle(t *testing.T) {
+	q1 := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 1")
+	q2 := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id < 5")
+	q3 := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.production_year > 1950")
+	pairs := [][2]query.Query{{q1, q2}, {q2, q3}, {q3, q1}}
+
+	batched := &countingCard{}
+	viaBatch, err := Crd2Cnt{M: batched}.EstimateRates(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.batches != 2 || batched.singles != 0 {
+		t.Errorf("batched path not used: %d batches, %d singles", batched.batches, batched.singles)
+	}
+	// Same values through the per-pair path.
+	single := Crd2Cnt{M: CardFunc(func(q query.Query) (float64, error) {
+		return float64(10 + len(q.Preds)), nil
+	})}
+	for i, p := range pairs {
+		want, err := single.EstimateRate(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(viaBatch[i]-want) > 1e-12 {
+			t.Errorf("pair %d: batch %v, single %v", i, viaBatch[i], want)
+		}
+	}
+	// A non-batch model falls back to per-pair estimation inside
+	// EstimateRates.
+	fallback, err := single.EstimateRates(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if math.Abs(fallback[i]-viaBatch[i]) > 1e-12 {
+			t.Errorf("fallback pair %d differs", i)
+		}
+	}
+}
+
+// Property: for random query pairs over random data, Crd2Cnt(oracle) always
+// returns the true containment rate in [0,1].
+func TestCrd2CntOracleProperty(t *testing.T) {
+	ex := oracle(t)
+	rates := Crd2Cnt{M: TruthCard{T: ex}}
+	rng := rand.New(rand.NewSource(31))
+	ops := schema.Operators()
+	for i := 0; i < 30; i++ {
+		y1 := 1880 + rng.Intn(130)
+		y2 := 1880 + rng.Intn(130)
+		k := 1 + rng.Intn(7)
+		q1, err := query.New(s, []string{schema.Title}, nil, []query.Predicate{
+			{Col: schema.ColumnRef{Table: schema.Title, Column: "production_year"}, Op: ops[rng.Intn(3)], Val: int64(y1)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, err := query.New(s, []string{schema.Title}, nil, []query.Predicate{
+			{Col: schema.ColumnRef{Table: schema.Title, Column: "production_year"}, Op: ops[rng.Intn(3)], Val: int64(y2)},
+			{Col: schema.ColumnRef{Table: schema.Title, Column: "kind_id"}, Op: schema.OpEQ, Val: int64(k)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rates.EstimateRate(q1, q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ex.ContainmentRate(q1, q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 || got < 0 || got > 1 {
+			t.Fatalf("rate mismatch: got %v want %v", got, want)
+		}
+	}
+}

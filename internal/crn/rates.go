@@ -1,0 +1,74 @@
+package crn
+
+import (
+	"sync"
+
+	"crn/internal/feature"
+	"crn/internal/query"
+)
+
+// Rates adapts a trained Model and a feature Encoder to the query-level
+// containment-rate interface used by the cardinality technique: it encodes
+// queries on demand (with a cache, since the queries-pool entries recur on
+// every estimation) and batches forward passes.
+type Rates struct {
+	M   *Model
+	Enc *feature.Encoder
+
+	mu    sync.RWMutex
+	cache map[string][][]float64
+}
+
+// NewRates creates the adapter with an empty encoding cache.
+func NewRates(m *Model, enc *feature.Encoder) *Rates {
+	return &Rates{M: m, Enc: enc, cache: make(map[string][][]float64)}
+}
+
+// EstimateRate implements contain.RateEstimator.
+func (r *Rates) EstimateRate(q1, q2 query.Query) (float64, error) {
+	out, err := r.EstimateRates([][2]query.Query{{q1, q2}})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// EstimateRates implements contain.BatchRateEstimator with a single batched
+// forward pass.
+func (r *Rates) EstimateRates(pairs [][2]query.Query) ([]float64, error) {
+	samples := make([]Sample, len(pairs))
+	for i, p := range pairs {
+		v1, err := r.encode(p[0])
+		if err != nil {
+			return nil, err
+		}
+		v2, err := r.encode(p[1])
+		if err != nil {
+			return nil, err
+		}
+		samples[i] = Sample{V1: v1, V2: v2}
+	}
+	return r.M.PredictBatch(samples), nil
+}
+
+func (r *Rates) encode(q query.Query) ([][]float64, error) {
+	key := q.Key()
+	r.mu.RLock()
+	v, ok := r.cache[key]
+	r.mu.RUnlock()
+	if ok {
+		return v, nil
+	}
+	v, err := r.Enc.EncodeQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	// Bound the cache; pool entries plus a workload fit comfortably.
+	if len(r.cache) > 1<<16 {
+		r.cache = make(map[string][][]float64)
+	}
+	r.cache[key] = v
+	r.mu.Unlock()
+	return v, nil
+}

@@ -1,0 +1,85 @@
+package crn
+
+import (
+	"math"
+	"testing"
+
+	"crn/internal/datagen"
+	"crn/internal/feature"
+	"crn/internal/query"
+	"crn/internal/schema"
+	"crn/internal/sqlparse"
+)
+
+func ratesFixture(t *testing.T) (*Rates, *schema.Schema) {
+	t.Helper()
+	s := schema.IMDB()
+	cfg := datagen.DefaultConfig()
+	cfg.Titles = 200
+	d, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := feature.NewEncoder(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig()
+	mcfg.Hidden = 8
+	m := NewModel(mcfg, enc.Dim())
+	return NewRates(m, enc), s
+}
+
+func TestRatesSingleMatchesBatch(t *testing.T) {
+	r, s := ratesFixture(t)
+	q1 := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 1")
+	q2 := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id < 5")
+	q3 := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.production_year > 1950")
+	single, err := r.EstimateRate(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := r.EstimateRates([][2]query.Query{{q1, q2}, {q2, q3}, {q3, q1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(single-batch[0]) > 1e-12 {
+		t.Errorf("batch[0] = %v, single = %v", batch[0], single)
+	}
+	for i, v := range batch {
+		if v < 0 || v > 1 {
+			t.Errorf("batch[%d] = %v out of [0,1]", i, v)
+		}
+	}
+}
+
+func TestRatesCachesEncodings(t *testing.T) {
+	r, s := ratesFixture(t)
+	q1 := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 1")
+	if _, err := r.EstimateRate(q1, q1); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.cache) != 1 {
+		t.Errorf("cache size = %d, want 1", len(r.cache))
+	}
+	// Second call: cache unchanged, same prediction.
+	a, _ := r.EstimateRate(q1, q1)
+	b, _ := r.EstimateRate(q1, q1)
+	if a != b {
+		t.Error("cached prediction differs")
+	}
+	if len(r.cache) != 1 {
+		t.Errorf("cache grew to %d", len(r.cache))
+	}
+}
+
+func TestRatesErrorsOnUnknownColumn(t *testing.T) {
+	r, _ := ratesFixture(t)
+	bad := query.Query{
+		Tables: []string{schema.Title},
+		Preds:  []query.Predicate{{Col: schema.ColumnRef{Table: schema.Title, Column: "ghost"}, Op: schema.OpEQ}},
+	}
+	if _, err := r.EstimateRate(bad, bad); err == nil {
+		t.Error("unknown column should fail")
+	}
+}

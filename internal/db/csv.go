@@ -1,0 +1,127 @@
+package db
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"crn/internal/schema"
+)
+
+// LoadCSV builds a frozen database from one CSV file per schema table in
+// dir: <table>.csv with a header row naming the catalog columns (any
+// order) and integer-coded values. This is the bring-your-own-data path: a
+// real IMDb extract exported table-by-table loads directly.
+func LoadCSV(s *schema.Schema, dir string) (*Database, error) {
+	d := NewDatabase(s)
+	for _, td := range s.Tables {
+		path := filepath.Join(dir, td.Name+".csv")
+		if err := loadTableCSV(d, td, path); err != nil {
+			return nil, err
+		}
+	}
+	d.Freeze()
+	return d, nil
+}
+
+func loadTableCSV(d *Database, td schema.TableDef, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("db: open %s: %w", path, err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.ReuseRecord = true
+	header, err := r.Read()
+	if err != nil {
+		return fmt.Errorf("db: read header of %s: %w", path, err)
+	}
+	// Map file column order to catalog order.
+	perm := make([]int, len(td.Columns))
+	for i, c := range td.Columns {
+		perm[i] = -1
+		for j, h := range header {
+			if h == c.Name {
+				perm[i] = j
+				break
+			}
+		}
+		if perm[i] == -1 {
+			return fmt.Errorf("db: %s: missing column %q", path, c.Name)
+		}
+	}
+	row := make([]Value, len(td.Columns))
+	line := 1
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("db: %s line %d: %w", path, line+1, err)
+		}
+		line++
+		for i, j := range perm {
+			v, err := strconv.ParseInt(rec[j], 10, 64)
+			if err != nil {
+				return fmt.Errorf("db: %s line %d column %q: %w", path, line, td.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		if err := d.AppendRow(td.Name, row...); err != nil {
+			return err
+		}
+	}
+}
+
+// WriteCSV exports every table of the database as <table>.csv under dir
+// (created if absent), the inverse of LoadCSV.
+func WriteCSV(d *Database, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("db: mkdir %s: %w", dir, err)
+	}
+	for _, td := range d.Schema.Tables {
+		if err := writeTableCSV(d, td, filepath.Join(dir, td.Name+".csv")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTableCSV(d *Database, td schema.TableDef, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("db: create %s: %w", path, err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := make([]string, len(td.Columns))
+	for i, c := range td.Columns {
+		header[i] = c.Name
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	t := d.Table(td.Name)
+	cols := make([][]Value, len(td.Columns))
+	for i, c := range td.Columns {
+		cols[i] = t.Column(c.Name)
+	}
+	rec := make([]string, len(td.Columns))
+	for row := 0; row < t.NumRows(); row++ {
+		for i := range cols {
+			rec[i] = strconv.FormatInt(cols[i][row], 10)
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("db: write %s: %w", path, err)
+	}
+	return f.Close()
+}

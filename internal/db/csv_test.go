@@ -1,0 +1,104 @@
+package db
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crn/internal/schema"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := testSchema()
+	d := NewDatabase(s)
+	for i := int64(0); i < 25; i++ {
+		if err := d.AppendRow("t", i, i%5); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AppendRow("c", i%7, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Freeze()
+	dir := t.TempDir()
+	if err := WriteCSV(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCSV(s, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Frozen() {
+		t.Fatal("loaded database should be frozen")
+	}
+	for _, tab := range []string{"t", "c"} {
+		orig, got := d.Table(tab), loaded.Table(tab)
+		if orig.NumRows() != got.NumRows() {
+			t.Fatalf("%s rows %d != %d", tab, got.NumRows(), orig.NumRows())
+		}
+		for _, col := range orig.Columns() {
+			a, b := orig.Column(col), got.Column(col)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s.%s[%d]: %d != %d", tab, col, i, b[i], a[i])
+				}
+			}
+		}
+	}
+	// Stats identical after round trip.
+	ref := schema.ColumnRef{Table: "t", Column: "a"}
+	sa, _ := d.Stats(ref)
+	sb, _ := loaded.Stats(ref)
+	if sa != sb {
+		t.Errorf("stats differ: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestLoadCSVHeaderReorder(t *testing.T) {
+	s := testSchema()
+	dir := t.TempDir()
+	// Columns in reverse order relative to the catalog.
+	writeFile(t, filepath.Join(dir, "t.csv"), "a,id\n7,1\n9,2\n")
+	writeFile(t, filepath.Join(dir, "c.csv"), "b,tid\n5,1\n")
+	d, err := LoadCSV(s, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := d.Table("t").Column("a")
+	if col[0] != 7 || col[1] != 9 {
+		t.Errorf("reordered load failed: %v", col)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	s := testSchema()
+
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := LoadCSV(s, t.TempDir()); err == nil {
+			t.Error("missing files should fail")
+		}
+	})
+	t.Run("missing column", func(t *testing.T) {
+		dir := t.TempDir()
+		writeFile(t, filepath.Join(dir, "t.csv"), "id\n1\n")
+		writeFile(t, filepath.Join(dir, "c.csv"), "tid,b\n1,2\n")
+		if _, err := LoadCSV(s, dir); err == nil {
+			t.Error("missing column should fail")
+		}
+	})
+	t.Run("non-integer value", func(t *testing.T) {
+		dir := t.TempDir()
+		writeFile(t, filepath.Join(dir, "t.csv"), "id,a\n1,x\n")
+		writeFile(t, filepath.Join(dir, "c.csv"), "tid,b\n1,2\n")
+		if _, err := LoadCSV(s, dir); err == nil {
+			t.Error("non-integer value should fail")
+		}
+	})
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package db implements the in-memory column store that backs the
+// reproduction: typed integer columns, per-column statistics and foreign-key
+// adjacency indexes. A Database is an immutable snapshot once Freeze has been
+// called — exactly the "immutable snapshot of the database" on which the
+// paper trains and evaluates its models (§3.3).
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"crn/internal/schema"
+)
+
+// Value is the domain of every column. The paper's featurization handles
+// numeric values (strings are future work, §9); all synthetic IMDb columns
+// are integer-coded.
+type Value = int64
+
+// Table stores one relation column-wise.
+type Table struct {
+	Name string
+	cols map[string][]Value
+	// order preserves catalog column order for deterministic iteration.
+	order []string
+	rows  int
+}
+
+// NewTable creates an empty table with the given columns.
+func NewTable(name string, columns []string) *Table {
+	t := &Table{Name: name, cols: make(map[string][]Value, len(columns))}
+	for _, c := range columns {
+		t.cols[c] = nil
+		t.order = append(t.order, c)
+	}
+	return t
+}
+
+// AppendRow appends one row; values must be given in catalog column order.
+func (t *Table) AppendRow(values ...Value) error {
+	if len(values) != len(t.order) {
+		return fmt.Errorf("db: table %s has %d columns, got %d values", t.Name, len(t.order), len(values))
+	}
+	for i, c := range t.order {
+		t.cols[c] = append(t.cols[c], values[i])
+	}
+	t.rows++
+	return nil
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.rows }
+
+// Column returns the backing slice of the named column (shared, do not
+// mutate) or nil if the column does not exist.
+func (t *Table) Column(name string) []Value { return t.cols[name] }
+
+// Columns returns the column names in catalog order.
+func (t *Table) Columns() []string { return append([]string(nil), t.order...) }
+
+// ColumnStats summarizes one column for featurization (value normalization
+// needs min/max) and for the PostgreSQL-style estimator (n_distinct).
+type ColumnStats struct {
+	Min, Max  Value
+	NDistinct int
+	NumRows   int
+}
+
+// Normalize maps v into [0,1] using the column's min/max, the featurization
+// rule of the paper (§3.2.1). Degenerate single-valued columns map to 0.
+func (s ColumnStats) Normalize(v Value) float64 {
+	if s.Max <= s.Min {
+		return 0
+	}
+	x := float64(v-s.Min) / float64(s.Max-s.Min)
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Database is a set of tables conforming to a schema, plus derived statistics
+// and indexes. Build one with NewDatabase + AppendRow, then Freeze it.
+type Database struct {
+	Schema *schema.Schema
+	tables map[string]*Table
+
+	frozen bool
+	stats  map[string]ColumnStats // "table.column" -> stats
+	// fkIndex maps a key column ("table.column") to join-value -> row ids.
+	fkIndex map[string]map[Value][]int32
+}
+
+// NewDatabase creates an empty database with one table per schema table.
+func NewDatabase(s *schema.Schema) *Database {
+	d := &Database{Schema: s, tables: make(map[string]*Table, len(s.Tables))}
+	for _, td := range s.Tables {
+		cols := make([]string, len(td.Columns))
+		for i, c := range td.Columns {
+			cols[i] = c.Name
+		}
+		d.tables[td.Name] = NewTable(td.Name, cols)
+	}
+	return d
+}
+
+// Table returns the named table, or nil if absent.
+func (d *Database) Table(name string) *Table { return d.tables[name] }
+
+// AppendRow appends a row to the named table. It fails on frozen databases.
+func (d *Database) AppendRow(table string, values ...Value) error {
+	if d.frozen {
+		return fmt.Errorf("db: database is frozen")
+	}
+	t := d.tables[table]
+	if t == nil {
+		return fmt.Errorf("db: unknown table %q", table)
+	}
+	return t.AppendRow(values...)
+}
+
+// Freeze finalizes the database: computes per-column statistics and builds
+// hash indexes on every key column. After Freeze the database is immutable
+// and safe for concurrent readers.
+func (d *Database) Freeze() {
+	if d.frozen {
+		return
+	}
+	d.stats = make(map[string]ColumnStats)
+	d.fkIndex = make(map[string]map[Value][]int32)
+	for _, td := range d.Schema.Tables {
+		t := d.tables[td.Name]
+		for _, c := range td.Columns {
+			col := t.Column(c.Name)
+			d.stats[c.Qualified()] = computeStats(col)
+			if c.Key {
+				idx := make(map[Value][]int32)
+				for i, v := range col {
+					idx[v] = append(idx[v], int32(i))
+				}
+				d.fkIndex[c.Qualified()] = idx
+			}
+		}
+	}
+	d.frozen = true
+}
+
+// Frozen reports whether Freeze has been called.
+func (d *Database) Frozen() bool { return d.frozen }
+
+// Stats returns the statistics of the referenced column. The second result
+// is false for unknown columns or unfrozen databases.
+func (d *Database) Stats(ref schema.ColumnRef) (ColumnStats, bool) {
+	s, ok := d.stats[ref.String()]
+	return s, ok
+}
+
+// KeyIndex returns the row-id index of a key column (join-value -> rows),
+// or nil if none exists.
+func (d *Database) KeyIndex(ref schema.ColumnRef) map[Value][]int32 {
+	return d.fkIndex[ref.String()]
+}
+
+// NumRows returns the row count of the named table (0 for unknown tables).
+func (d *Database) NumRows(table string) int {
+	if t := d.tables[table]; t != nil {
+		return t.NumRows()
+	}
+	return 0
+}
+
+// TotalRows returns the summed row count across all tables.
+func (d *Database) TotalRows() int {
+	n := 0
+	for _, t := range d.tables {
+		n += t.NumRows()
+	}
+	return n
+}
+
+func computeStats(col []Value) ColumnStats {
+	if len(col) == 0 {
+		return ColumnStats{}
+	}
+	sorted := append([]Value(nil), col...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	nd := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			nd++
+		}
+	}
+	return ColumnStats{Min: sorted[0], Max: sorted[len(sorted)-1], NDistinct: nd, NumRows: len(col)}
+}
+
+// SortedValues returns an ascending copy of the referenced column's values;
+// used by the histogram builder of the PostgreSQL-style estimator.
+func (d *Database) SortedValues(ref schema.ColumnRef) []Value {
+	t := d.tables[ref.Table]
+	if t == nil {
+		return nil
+	}
+	col := t.Column(ref.Column)
+	sorted := append([]Value(nil), col...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted
+}

@@ -1,0 +1,184 @@
+package db
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crn/internal/schema"
+)
+
+func testSchema() *schema.Schema {
+	return schema.New(
+		[]schema.TableDef{
+			{Name: "t", Columns: []schema.Column{
+				{Table: "t", Name: "id", Key: true},
+				{Table: "t", Name: "a"},
+			}},
+			{Name: "c", Columns: []schema.Column{
+				{Table: "c", Name: "tid", Key: true},
+				{Table: "c", Name: "b"},
+			}},
+		},
+		[]schema.JoinEdge{{
+			Left:  schema.ColumnRef{Table: "t", Column: "id"},
+			Right: schema.ColumnRef{Table: "c", Column: "tid"},
+		}},
+	)
+}
+
+func TestAppendAndFreeze(t *testing.T) {
+	d := NewDatabase(testSchema())
+	for i := int64(0); i < 10; i++ {
+		if err := d.AppendRow("t", i, i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 20; i++ {
+		if err := d.AppendRow("c", i%10, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Frozen() {
+		t.Fatal("database frozen before Freeze")
+	}
+	d.Freeze()
+	if !d.Frozen() {
+		t.Fatal("database not frozen after Freeze")
+	}
+	if err := d.AppendRow("t", 99, 99); err == nil {
+		t.Error("AppendRow after Freeze should fail")
+	}
+	if got := d.NumRows("t"); got != 10 {
+		t.Errorf("NumRows(t) = %d, want 10", got)
+	}
+	if got := d.TotalRows(); got != 30 {
+		t.Errorf("TotalRows = %d, want 30", got)
+	}
+}
+
+func TestAppendRowErrors(t *testing.T) {
+	d := NewDatabase(testSchema())
+	if err := d.AppendRow("nope", 1); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if err := d.AppendRow("t", 1); err == nil {
+		t.Error("wrong arity should fail")
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := NewDatabase(testSchema())
+	vals := []int64{5, 1, 3, 3, 9}
+	for i, v := range vals {
+		if err := d.AppendRow("t", int64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Freeze()
+	s, ok := d.Stats(schema.ColumnRef{Table: "t", Column: "a"})
+	if !ok {
+		t.Fatal("stats missing")
+	}
+	if s.Min != 1 || s.Max != 9 || s.NDistinct != 4 || s.NumRows != 5 {
+		t.Errorf("stats = %+v", s)
+	}
+	if _, ok := d.Stats(schema.ColumnRef{Table: "t", Column: "zzz"}); ok {
+		t.Error("unknown column should have no stats")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := ColumnStats{Min: 10, Max: 20}
+	cases := []struct {
+		v    int64
+		want float64
+	}{{10, 0}, {20, 1}, {15, 0.5}, {5, 0}, {25, 1}}
+	for _, c := range cases {
+		if got := s.Normalize(c.v); got != c.want {
+			t.Errorf("Normalize(%d) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	deg := ColumnStats{Min: 7, Max: 7}
+	if got := deg.Normalize(7); got != 0 {
+		t.Errorf("degenerate Normalize = %v, want 0", got)
+	}
+}
+
+func TestNormalizeInUnitIntervalProperty(t *testing.T) {
+	f := func(min, max, v int64) bool {
+		if min > max {
+			min, max = max, min
+		}
+		s := ColumnStats{Min: min, Max: max}
+		x := s.Normalize(v)
+		return x >= 0 && x <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyIndex(t *testing.T) {
+	d := NewDatabase(testSchema())
+	for i := int64(0); i < 6; i++ {
+		if err := d.AppendRow("c", i%2, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Freeze()
+	idx := d.KeyIndex(schema.ColumnRef{Table: "c", Column: "tid"})
+	if idx == nil {
+		t.Fatal("missing key index")
+	}
+	if len(idx[0]) != 3 || len(idx[1]) != 3 {
+		t.Errorf("index buckets = %d,%d want 3,3", len(idx[0]), len(idx[1]))
+	}
+	// Non-key columns have no index.
+	if d.KeyIndex(schema.ColumnRef{Table: "c", Column: "b"}) != nil {
+		t.Error("non-key column should have no index")
+	}
+}
+
+func TestSortedValues(t *testing.T) {
+	d := NewDatabase(testSchema())
+	for _, v := range []int64{3, 1, 2} {
+		if err := d.AppendRow("t", v, v*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Freeze()
+	got := d.SortedValues(schema.ColumnRef{Table: "t", Column: "a"})
+	want := []int64{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedValues = %v, want %v", got, want)
+		}
+	}
+	if d.SortedValues(schema.ColumnRef{Table: "zzz", Column: "a"}) != nil {
+		t.Error("unknown table should return nil")
+	}
+}
+
+func TestFreezeIdempotent(t *testing.T) {
+	d := NewDatabase(testSchema())
+	if err := d.AppendRow("t", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	d.Freeze()
+	d.Freeze() // must not panic or reset
+	if !d.Frozen() {
+		t.Error("database should stay frozen")
+	}
+}
+
+func TestEmptyColumnStats(t *testing.T) {
+	d := NewDatabase(testSchema())
+	d.Freeze()
+	s, ok := d.Stats(schema.ColumnRef{Table: "t", Column: "a"})
+	if !ok {
+		t.Fatal("stats should exist for empty column")
+	}
+	if s.NumRows != 0 || s.NDistinct != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}

@@ -1,0 +1,89 @@
+// Package dict implements the paper's §9 "Strings" extension: string
+// literals are mapped ("hashed into the integer domain", the paper's
+// phrasing; we intern to dense codes, which is collision-free) so that an
+// equality predicate on a string column becomes an ordinary integer
+// equality predicate the CRN featurization already handles. Order
+// comparisons on interned strings are meaningless, so only equality is
+// exposed.
+package dict
+
+import (
+	"fmt"
+	"sync"
+
+	"crn/internal/schema"
+)
+
+// Dictionary interns per-column string literals to integer codes. It is
+// safe for concurrent use; loading data and parsing queries may intern
+// concurrently.
+type Dictionary struct {
+	mu       sync.RWMutex
+	byColumn map[string]map[string]int64
+	reverse  map[string][]string
+}
+
+// New creates an empty dictionary.
+func New() *Dictionary {
+	return &Dictionary{
+		byColumn: make(map[string]map[string]int64),
+		reverse:  make(map[string][]string),
+	}
+}
+
+// Intern returns the code of literal in the column's domain, assigning the
+// next dense code on first sight. Codes start at 1 (0 is reserved for
+// "absent").
+func (d *Dictionary) Intern(col schema.ColumnRef, literal string) int64 {
+	key := col.String()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := d.byColumn[key]
+	if m == nil {
+		m = make(map[string]int64)
+		d.byColumn[key] = m
+	}
+	if code, ok := m[literal]; ok {
+		return code
+	}
+	code := int64(len(m) + 1)
+	m[literal] = code
+	d.reverse[key] = append(d.reverse[key], literal)
+	return code
+}
+
+// Code looks up an existing literal without interning.
+func (d *Dictionary) Code(col schema.ColumnRef, literal string) (int64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	code, ok := d.byColumn[col.String()][literal]
+	return code, ok
+}
+
+// Literal inverts Code.
+func (d *Dictionary) Literal(col schema.ColumnRef, code int64) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	lits := d.reverse[col.String()]
+	if code < 1 || int(code) > len(lits) {
+		return "", false
+	}
+	return lits[code-1], true
+}
+
+// Size returns the number of distinct literals interned for the column.
+func (d *Dictionary) Size(col schema.ColumnRef) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byColumn[col.String()])
+}
+
+// MustCode is Code that fails loudly; used by parsers that must reject
+// literals absent from the database ("the value does not occur" would make
+// the predicate unsatisfiable, which equality on code 0 encodes instead).
+func (d *Dictionary) MustCode(col schema.ColumnRef, literal string) (int64, error) {
+	if code, ok := d.Code(col, literal); ok {
+		return code, nil
+	}
+	return 0, fmt.Errorf("dict: literal %q not in the domain of %s", literal, col)
+}

@@ -1,0 +1,95 @@
+package dict
+
+import (
+	"sync"
+	"testing"
+
+	"crn/internal/schema"
+)
+
+var col = schema.ColumnRef{Table: "title", Column: "kind_id"}
+
+func TestInternAndLookup(t *testing.T) {
+	d := New()
+	a := d.Intern(col, "movie")
+	b := d.Intern(col, "series")
+	if a == b {
+		t.Error("distinct literals share a code")
+	}
+	if again := d.Intern(col, "movie"); again != a {
+		t.Errorf("re-intern changed code: %d vs %d", again, a)
+	}
+	code, ok := d.Code(col, "movie")
+	if !ok || code != a {
+		t.Errorf("Code = %d,%v", code, ok)
+	}
+	lit, ok := d.Literal(col, a)
+	if !ok || lit != "movie" {
+		t.Errorf("Literal = %q,%v", lit, ok)
+	}
+	if _, ok := d.Code(col, "ghost"); ok {
+		t.Error("unknown literal should miss")
+	}
+	if _, ok := d.Literal(col, 99); ok {
+		t.Error("unknown code should miss")
+	}
+	if d.Size(col) != 2 {
+		t.Errorf("Size = %d", d.Size(col))
+	}
+}
+
+func TestCodesStartAtOne(t *testing.T) {
+	d := New()
+	if code := d.Intern(col, "x"); code != 1 {
+		t.Errorf("first code = %d, want 1 (0 is reserved)", code)
+	}
+}
+
+func TestColumnsAreIndependent(t *testing.T) {
+	d := New()
+	other := schema.ColumnRef{Table: "title", Column: "production_year"}
+	a := d.Intern(col, "same")
+	b := d.Intern(other, "same")
+	if a != 1 || b != 1 {
+		t.Errorf("per-column domains should be independent: %d, %d", a, b)
+	}
+}
+
+func TestMustCode(t *testing.T) {
+	d := New()
+	d.Intern(col, "x")
+	if _, err := d.MustCode(col, "x"); err != nil {
+		t.Errorf("MustCode known literal: %v", err)
+	}
+	if _, err := d.MustCode(col, "ghost"); err == nil {
+		t.Error("MustCode unknown literal should fail")
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	d := New()
+	var wg sync.WaitGroup
+	words := []string{"a", "b", "c", "d"}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d.Intern(col, words[i%len(words)])
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Size(col) != len(words) {
+		t.Errorf("Size = %d, want %d", d.Size(col), len(words))
+	}
+	// Codes must be a dense permutation of 1..4.
+	seen := map[int64]bool{}
+	for _, w := range words {
+		code, ok := d.Code(col, w)
+		if !ok || code < 1 || code > 4 || seen[code] {
+			t.Fatalf("bad code %d for %q", code, w)
+		}
+		seen[code] = true
+	}
+}

@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"crn/internal/datagen"
+	"crn/internal/query"
+	"crn/internal/schema"
+)
+
+func benchFixture(b *testing.B, titles int) (*Executor, []query.Query) {
+	b.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.Titles = titles
+	d, err := datagen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sats := []string{schema.MovieCompany, schema.CastInfo, schema.MovieInfo, schema.MovieInfoIdx, schema.MovieKeyword}
+	var queries []query.Query
+	for joins := 0; joins <= 5; joins++ {
+		tables := []string{schema.Title}
+		var js []query.Join
+		for k := 0; k < joins; k++ {
+			tables = append(tables, sats[k])
+			js = append(js, query.Join{
+				Left:  schema.ColumnRef{Table: schema.Title, Column: "id"},
+				Right: schema.ColumnRef{Table: sats[k], Column: "movie_id"},
+			})
+		}
+		preds := []query.Predicate{{
+			Col: schema.ColumnRef{Table: schema.Title, Column: "production_year"},
+			Op:  schema.OpGT,
+			Val: int64(1900 + rng.Intn(100)),
+		}}
+		q, err := query.New(schema.IMDB(), tables, js, preds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	return e, queries
+}
+
+// BenchmarkCardinality measures exact evaluation cost per join count — the
+// labeling substrate behind every training set.
+func BenchmarkCardinality(b *testing.B) {
+	e, queries := benchFixture(b, 4000)
+	for joins, q := range queries {
+		q := q
+		b.Run(joinName(joins), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Vary the predicate to defeat the memoization cache.
+				qq := q.Clone()
+				qq.Preds[0].Val = int64(1880 + i%130)
+				if _, err := e.Cardinality(qq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkContainmentRateTruth(b *testing.B) {
+	e, queries := benchFixture(b, 4000)
+	q1 := queries[2]
+	for i := 0; i < b.N; i++ {
+		q2 := q1.Clone()
+		q2.Preds[0].Val = int64(1880 + i%130)
+		if _, err := e.ContainmentRate(q1, q2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func joinName(j int) string {
+	return string(rune('0'+j)) + "joins"
+}

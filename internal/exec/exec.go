@@ -1,0 +1,280 @@
+// Package exec evaluates conjunctive queries over the column store exactly,
+// producing the ground-truth cardinalities and containment rates that label
+// the training and test sets (§3.1.2: "we execute the dataset queries ... to
+// obtain their true containment rates").
+//
+// Evaluation strategy: per-table predicate filters first, then a bottom-up
+// weight propagation over the query's join tree. Under bag semantics the
+// result rows of a SELECT * join query are identified by tuples of base-table
+// row ids, so the result cardinality is
+//
+//	Σ over filtered root rows Π over child subtrees weight(joinValue)
+//
+// where weight maps a join value to the number of subtree row combinations
+// carrying it. Queries whose FROM clauses contain join-disconnected tables
+// are cartesian products of their connected components.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"crn/internal/db"
+	"crn/internal/query"
+)
+
+// Executor computes exact cardinalities and containment rates over one
+// frozen database. It memoizes cardinalities by canonical query key and is
+// safe for concurrent use.
+type Executor struct {
+	db *db.Database
+
+	mu    sync.RWMutex
+	cache map[string]int64
+}
+
+// New creates an Executor over a frozen database.
+func New(d *db.Database) (*Executor, error) {
+	if !d.Frozen() {
+		return nil, fmt.Errorf("exec: database must be frozen")
+	}
+	return &Executor{db: d, cache: make(map[string]int64)}, nil
+}
+
+// CacheSize returns the number of memoized cardinalities.
+func (e *Executor) CacheSize() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.cache)
+}
+
+// Cardinality returns the exact result cardinality of q.
+func (e *Executor) Cardinality(q query.Query) (int64, error) {
+	key := q.Key()
+	e.mu.RLock()
+	if c, ok := e.cache[key]; ok {
+		e.mu.RUnlock()
+		return c, nil
+	}
+	e.mu.RUnlock()
+	c, err := e.compute(q)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	e.cache[key] = c
+	e.mu.Unlock()
+	return c, nil
+}
+
+// ContainmentRate returns Q1 ⊂% Q2 on the database as a fraction in [0,1]:
+// |Q1∩Q2| / |Q1|, and 0 when Q1's result is empty (§2). The queries must
+// have identical FROM clauses.
+func (e *Executor) ContainmentRate(q1, q2 query.Query) (float64, error) {
+	c1, err := e.Cardinality(q1)
+	if err != nil {
+		return 0, err
+	}
+	if c1 == 0 {
+		return 0, nil
+	}
+	qi, err := q1.Intersect(q2)
+	if err != nil {
+		return 0, err
+	}
+	ci, err := e.Cardinality(qi)
+	if err != nil {
+		return 0, err
+	}
+	return float64(ci) / float64(c1), nil
+}
+
+// compute evaluates the query from scratch.
+func (e *Executor) compute(q query.Query) (int64, error) {
+	if len(q.Tables) == 0 {
+		return 0, fmt.Errorf("exec: query has no tables")
+	}
+	masks := make(map[string][]bool, len(q.Tables))
+	for _, t := range q.Tables {
+		m, err := e.filterMask(t, q.PredsOn(t))
+		if err != nil {
+			return 0, err
+		}
+		masks[t] = m
+	}
+	components := q.Components()
+	total := int64(1)
+	for _, comp := range components {
+		if len(comp.Joins) != len(comp.Tables)-1 {
+			return 0, fmt.Errorf("exec: cyclic join graph over %v not supported", comp.Tables)
+		}
+		c, err := e.componentCardinality(comp, masks)
+		if err != nil {
+			return 0, err
+		}
+		total *= c
+		if total == 0 {
+			return 0, nil
+		}
+	}
+	return total, nil
+}
+
+// filterMask evaluates the conjunction of predicates on one table and
+// returns a per-row boolean mask.
+func (e *Executor) filterMask(table string, preds []query.Predicate) ([]bool, error) {
+	t := e.db.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("exec: unknown table %q", table)
+	}
+	n := t.NumRows()
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = true
+	}
+	for _, p := range preds {
+		col := t.Column(p.Col.Column)
+		if col == nil {
+			return nil, fmt.Errorf("exec: unknown column %v", p.Col)
+		}
+		for i, v := range col {
+			if mask[i] && !p.Matches(v) {
+				mask[i] = false
+			}
+		}
+	}
+	return mask, nil
+}
+
+// componentCardinality evaluates one connected join tree.
+func (e *Executor) componentCardinality(c query.Component, masks map[string][]bool) (int64, error) {
+	if len(c.Tables) == 1 {
+		return countMask(masks[c.Tables[0]]), nil
+	}
+	// Adjacency: table -> (neighbor table, my join column, neighbor column).
+	type edgeTo struct {
+		neighbor string
+		myCol    string
+		nbrCol   string
+	}
+	adj := make(map[string][]edgeTo, len(c.Tables))
+	for _, j := range c.Joins {
+		adj[j.Left.Table] = append(adj[j.Left.Table], edgeTo{j.Right.Table, j.Left.Column, j.Right.Column})
+		adj[j.Right.Table] = append(adj[j.Right.Table], edgeTo{j.Left.Table, j.Right.Column, j.Left.Column})
+	}
+	root := c.Tables[0]
+
+	// weights returns, for the subtree rooted at `table` (entered from
+	// `from`), a map join-value-of-linkCol -> number of row combinations.
+	var weights func(table, from, linkCol string) (map[db.Value]int64, error)
+	weights = func(table, from, linkCol string) (map[db.Value]int64, error) {
+		t := e.db.Table(table)
+		mask := masks[table]
+		link := t.Column(linkCol)
+		if link == nil {
+			return nil, fmt.Errorf("exec: unknown join column %s.%s", table, linkCol)
+		}
+		// Child weight maps, aligned with adj entries (skipping `from`).
+		type childW struct {
+			col string
+			w   map[db.Value]int64
+		}
+		var children []childW
+		for _, ed := range adj[table] {
+			if ed.neighbor == from {
+				continue
+			}
+			w, err := weights(ed.neighbor, table, ed.nbrCol)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, childW{col: ed.myCol, w: w})
+		}
+		childCols := make([][]db.Value, len(children))
+		for i, ch := range children {
+			childCols[i] = t.Column(ch.col)
+		}
+		out := make(map[db.Value]int64)
+		for i, ok := range mask {
+			if !ok {
+				continue
+			}
+			m := int64(1)
+			for ci, ch := range children {
+				m *= ch.w[childCols[ci][i]]
+				if m == 0 {
+					break
+				}
+			}
+			if m != 0 {
+				out[link[i]] += m
+			}
+		}
+		return out, nil
+	}
+
+	t := e.db.Table(root)
+	mask := masks[root]
+	var children []struct {
+		col []db.Value
+		w   map[db.Value]int64
+	}
+	for _, ed := range adj[root] {
+		w, err := weights(ed.neighbor, root, ed.nbrCol)
+		if err != nil {
+			return 0, err
+		}
+		children = append(children, struct {
+			col []db.Value
+			w   map[db.Value]int64
+		}{t.Column(ed.myCol), w})
+	}
+	var total int64
+	for i, ok := range mask {
+		if !ok {
+			continue
+		}
+		m := int64(1)
+		for _, ch := range children {
+			m *= ch.w[ch.col[i]]
+			if m == 0 {
+				break
+			}
+		}
+		total += m
+	}
+	return total, nil
+}
+
+func countMask(mask []bool) int64 {
+	var n int64
+	for _, ok := range mask {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Truth is the subset of Executor used as an oracle by other packages;
+// satisfied by *Executor.
+type Truth interface {
+	Cardinality(q query.Query) (int64, error)
+	ContainmentRate(q1, q2 query.Query) (float64, error)
+}
+
+var _ Truth = (*Executor)(nil)
+
+// SelectivityOn computes the fraction of rows of `table` passing the
+// query's predicates on that table; used by sampling-based featurizations
+// (MSCN's sample bitmaps evaluate exactly this on a sample).
+func (e *Executor) SelectivityOn(table string, preds []query.Predicate) (float64, error) {
+	mask, err := e.filterMask(table, preds)
+	if err != nil {
+		return 0, err
+	}
+	if len(mask) == 0 {
+		return 0, nil
+	}
+	return float64(countMask(mask)) / float64(len(mask)), nil
+}

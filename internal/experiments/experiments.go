@@ -1,0 +1,698 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"crn/internal/contain"
+	"crn/internal/metrics"
+	"crn/internal/query"
+	"crn/internal/workload"
+)
+
+// Result is one regenerated paper artifact.
+type Result struct {
+	ID      string // e.g. "table3", "fig5"
+	Caption string
+	Table   metrics.Table
+	// Plot carries an ASCII rendering for figure experiments (box plots on
+	// a log q-error axis); empty for plain tables.
+	Plot string
+}
+
+// errCache memoizes per-(model, workload) q-error vectors so that table and
+// figure runners over the same data do not recompute model predictions.
+type errCache struct {
+	mu sync.Mutex
+	m  map[string][]float64
+}
+
+var cache = &errCache{m: make(map[string][]float64)}
+
+func (c *errCache) get(key string, compute func() ([]float64, error)) ([]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.m[key]; ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	c.m[key] = v
+	return v, nil
+}
+
+// ResetCache clears the memoized q-errors (tests and sweeps that rebuild
+// the environment must call this).
+func ResetCache() {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.m = make(map[string][]float64)
+}
+
+// RateErrors evaluates a containment-rate estimator over labeled pairs and
+// returns per-pair q-errors.
+func RateErrors(rates contain.RateEstimator, pairs []workload.LabeledPair) ([]float64, error) {
+	out := make([]float64, len(pairs))
+	if batch, ok := rates.(contain.BatchRateEstimator); ok {
+		const chunk = 256
+		for lo := 0; lo < len(pairs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(pairs) {
+				hi = len(pairs)
+			}
+			qp := make([][2]query.Query, hi-lo)
+			for i := lo; i < hi; i++ {
+				qp[i-lo] = [2]query.Query{pairs[i].Q1, pairs[i].Q2}
+			}
+			rs, err := batch.EstimateRates(qp)
+			if err != nil {
+				return nil, err
+			}
+			for i := lo; i < hi; i++ {
+				out[i] = metrics.RateQError(pairs[i].Rate, rs[i-lo])
+			}
+		}
+		return out, nil
+	}
+	for i, p := range pairs {
+		r, err := rates.EstimateRate(p.Q1, p.Q2)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = metrics.RateQError(p.Rate, r)
+	}
+	return out, nil
+}
+
+// CardErrors evaluates a cardinality estimator over labeled queries and
+// returns per-query q-errors.
+func CardErrors(est contain.CardEstimator, queries []workload.LabeledQuery) ([]float64, error) {
+	out := make([]float64, len(queries))
+	for i, lq := range queries {
+		c, err := est.EstimateCard(lq.Q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = metrics.CardQError(float64(lq.Card), c)
+	}
+	return out, nil
+}
+
+// rateModel / cardModel bundle a display name with an estimator.
+type rateModel struct {
+	name  string
+	rates contain.RateEstimator
+}
+
+type cardModel struct {
+	name string
+	est  contain.CardEstimator
+}
+
+func (env *Env) containmentModels() []rateModel {
+	return []rateModel{
+		{"Crd2Cnt(PostgreSQL)", env.Crd2CntPG()},
+		{"Crd2Cnt(MSCN)", env.Crd2CntMSCN()},
+		{"CRN", env.CRNRates},
+	}
+}
+
+func (env *Env) cardinalityModels() []cardModel {
+	return []cardModel{
+		{"PostgreSQL", env.PG},
+		{"MSCN", env.MSCN},
+		{"Cnt2Crd(CRN)", env.Cnt2CrdCRN()},
+	}
+}
+
+func (env *Env) allCardinalityModels() []cardModel {
+	return []cardModel{
+		{"PostgreSQL", env.PG},
+		{"MSCN", env.MSCN},
+		{"MSCN1000", env.MSCN1000},
+		{"Improved PostgreSQL", env.ImprovedPG()},
+		{"Improved MSCN", env.ImprovedMSCN()},
+		{"Cnt2Crd(CRN)", env.Cnt2CrdCRN()},
+	}
+}
+
+func (env *Env) rateErrs(model rateModel, workloadName string, pairs []workload.LabeledPair) ([]float64, error) {
+	key := fmt.Sprintf("rate|%p|%s|%s", env, model.name, workloadName)
+	return cache.get(key, func() ([]float64, error) { return RateErrors(model.rates, pairs) })
+}
+
+func (env *Env) cardErrs(model cardModel, workloadName string, queries []workload.LabeledQuery) ([]float64, error) {
+	key := fmt.Sprintf("card|%p|%s|%s", env, model.name, workloadName)
+	return cache.get(key, func() ([]float64, error) { return CardErrors(model.est, queries) })
+}
+
+// --- Table 2 / Table 5: workload join distributions ----------------------
+
+// Table2 reproduces the join distribution of the containment workloads.
+func Table2(env *Env) Result {
+	t := metrics.Table{
+		Title:  "Table 2: Distribution of joins (containment workloads)",
+		Header: []string{"number of joins", "0", "1", "2", "3", "4", "5", "overall"},
+	}
+	row := func(name string, pairs []workload.LabeledPair) {
+		var qs []query.Query
+		for _, p := range pairs {
+			qs = append(qs, p.Q1)
+		}
+		t.AddRow(distRow(name, qs)...)
+	}
+	row("cnt_test1", env.CntTest1)
+	row("cnt_test2", env.CntTest2)
+	return Result{ID: "table2", Caption: "Distribution of joins in cnt_test1/cnt_test2", Table: t}
+}
+
+// Table5 reproduces the join distribution of the cardinality workloads.
+func Table5(env *Env) Result {
+	t := metrics.Table{
+		Title:  "Table 5: Distribution of joins (cardinality workloads)",
+		Header: []string{"number of joins", "0", "1", "2", "3", "4", "5", "overall"},
+	}
+	for _, w := range []struct {
+		name string
+		ql   []workload.LabeledQuery
+	}{{"crd_test1", env.CrdTest1}, {"crd_test2", env.CrdTest2}, {"scale", env.ScaleWL}} {
+		var qs []query.Query
+		for _, lq := range w.ql {
+			qs = append(qs, lq.Q)
+		}
+		t.AddRow(distRow(w.name, qs)...)
+	}
+	return Result{ID: "table5", Caption: "Distribution of joins in crd_test1/crd_test2/scale", Table: t}
+}
+
+func distRow(name string, qs []query.Query) []string {
+	hist := workload.JoinHistogram(qs)
+	row := []string{name}
+	total := 0
+	for j := 0; j <= 5; j++ {
+		row = append(row, fmt.Sprintf("%d", hist[j]))
+		total += hist[j]
+	}
+	return append(row, fmt.Sprintf("%d", total))
+}
+
+// --- Figure 3: hidden-size sweep -----------------------------------------
+
+// Figure3 retrains the CRN at several hidden-layer sizes and reports the
+// best validation mean q-error of each, reproducing the hyperparameter
+// search of §3.4.
+func Figure3(env *Env, hiddens []int, log Logf) (Result, error) {
+	t := metrics.Table{
+		Title:  "Figure 3: validation mean q-error vs hidden layer size",
+		Header: []string{"hidden size", "val mean q-error", "epochs", "params"},
+	}
+	for _, h := range hiddens {
+		cfg := env.Cfg.CRN
+		cfg.Hidden = h
+		log.logf("figure3: training CRN with H=%d...", h)
+		m, stats, err := TrainCRN(env, cfg, env.TrainPairs, env.ValPairs, nil)
+		if err != nil {
+			return Result{}, err
+		}
+		best := stats[0].ValQError
+		for _, st := range stats {
+			if st.ValQError < best {
+				best = st.ValQError
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", h), metrics.FormatQ(best),
+			fmt.Sprintf("%d", len(stats)), fmt.Sprintf("%d", m.NumParams()))
+	}
+	return Result{ID: "fig3", Caption: "Hidden layer size sweep (§3.4)", Table: t}, nil
+}
+
+// --- Figure 4: convergence ------------------------------------------------
+
+// Figure4 reports the validation mean q-error per training epoch of the
+// environment's CRN (§3.5.1).
+func Figure4(env *Env) Result {
+	t := metrics.Table{
+		Title:  "Figure 4: convergence of the validation mean q-error",
+		Header: []string{"epoch", "train loss", "val mean q-error", "epoch time"},
+	}
+	for _, st := range env.CRNStats {
+		t.AddRow(fmt.Sprintf("%d", st.Epoch), fmt.Sprintf("%.3f", st.TrainLoss),
+			metrics.FormatQ(st.ValQError), st.Duration.Round(time.Millisecond).String())
+	}
+	return Result{ID: "fig4", Caption: "CRN training convergence (§3.5.1)", Table: t}
+}
+
+// --- Tables 3-4 / Figures 5-6: containment estimation ---------------------
+
+func (env *Env) containmentTable(id, title, wname string, pairs []workload.LabeledPair) (Result, error) {
+	t := metrics.Table{Title: title, Header: metrics.SummaryHeader("model")}
+	for _, m := range env.containmentModels() {
+		errs, err := env.rateErrs(m, wname, pairs)
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(metrics.SummaryRow(m.name, metrics.Summarize(errs))...)
+	}
+	return Result{ID: id, Caption: title, Table: t}, nil
+}
+
+func (env *Env) containmentBoxes(id, title, wname string, pairs []workload.LabeledPair) (Result, error) {
+	t := metrics.Table{Title: title, Header: []string{"model", "p5", "p25", "p50", "p75", "p95"}}
+	var names []string
+	var boxes []metrics.Box
+	for _, m := range env.containmentModels() {
+		errs, err := env.rateErrs(m, wname, pairs)
+		if err != nil {
+			return Result{}, err
+		}
+		b := metrics.BoxStats(errs)
+		t.AddRow(m.name, metrics.FormatQ(b.P5), metrics.FormatQ(b.P25),
+			metrics.FormatQ(b.P50), metrics.FormatQ(b.P75), metrics.FormatQ(b.P95))
+		names = append(names, m.name)
+		boxes = append(boxes, b)
+	}
+	plot := metrics.RenderBoxes(title+" (log q-error axis)", names, boxes, 64)
+	return Result{ID: id, Caption: title, Table: t, Plot: plot}, nil
+}
+
+// Table3 reproduces the containment-rate estimation errors on cnt_test1.
+func Table3(env *Env) (Result, error) {
+	return env.containmentTable("table3", "Table 3: Estimation errors on the cnt_test1 workload", "cnt_test1", env.CntTest1)
+}
+
+// Figure5 reproduces the box statistics behind Figure 5 (cnt_test1).
+func Figure5(env *Env) (Result, error) {
+	return env.containmentBoxes("fig5", "Figure 5: box statistics on the cnt_test1 workload", "cnt_test1", env.CntTest1)
+}
+
+// Table4 reproduces the containment generalization errors on cnt_test2.
+func Table4(env *Env) (Result, error) {
+	return env.containmentTable("table4", "Table 4: Estimation errors on the cnt_test2 workload", "cnt_test2", env.CntTest2)
+}
+
+// Figure6 reproduces the box statistics behind Figure 6 (cnt_test2).
+func Figure6(env *Env) (Result, error) {
+	return env.containmentBoxes("fig6", "Figure 6: box statistics on the cnt_test2 workload", "cnt_test2", env.CntTest2)
+}
+
+// --- Tables 6-8 / Figures 9-10: cardinality estimation --------------------
+
+func (env *Env) cardinalityTable(id, title, wname string, models []cardModel, queries []workload.LabeledQuery) (Result, error) {
+	t := metrics.Table{Title: title, Header: metrics.SummaryHeader("model")}
+	for _, m := range models {
+		errs, err := env.cardErrs(m, wname, queries)
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(metrics.SummaryRow(m.name, metrics.Summarize(errs))...)
+	}
+	return Result{ID: id, Caption: title, Table: t}, nil
+}
+
+func (env *Env) cardinalityBoxes(id, title, wname string, models []cardModel, queries []workload.LabeledQuery) (Result, error) {
+	t := metrics.Table{Title: title, Header: []string{"model", "p5", "p25", "p50", "p75", "p95"}}
+	var names []string
+	var boxes []metrics.Box
+	for _, m := range models {
+		errs, err := env.cardErrs(m, wname, queries)
+		if err != nil {
+			return Result{}, err
+		}
+		b := metrics.BoxStats(errs)
+		t.AddRow(m.name, metrics.FormatQ(b.P5), metrics.FormatQ(b.P25),
+			metrics.FormatQ(b.P50), metrics.FormatQ(b.P75), metrics.FormatQ(b.P95))
+		names = append(names, m.name)
+		boxes = append(boxes, b)
+	}
+	plot := metrics.RenderBoxes(title+" (log q-error axis)", names, boxes, 64)
+	return Result{ID: id, Caption: title, Table: t, Plot: plot}, nil
+}
+
+// Table6 reproduces the cardinality errors on crd_test1.
+func Table6(env *Env) (Result, error) {
+	return env.cardinalityTable("table6", "Table 6: Estimation errors on the crd_test1 workload",
+		"crd_test1", env.cardinalityModels(), env.CrdTest1)
+}
+
+// Figure9 reproduces the box statistics behind Figure 9 (crd_test1).
+func Figure9(env *Env) (Result, error) {
+	return env.cardinalityBoxes("fig9", "Figure 9: box statistics on the crd_test1 workload",
+		"crd_test1", env.cardinalityModels(), env.CrdTest1)
+}
+
+// Table7 reproduces the cardinality generalization errors on crd_test2.
+func Table7(env *Env) (Result, error) {
+	return env.cardinalityTable("table7", "Table 7: Estimation errors on the crd_test2 workload",
+		"crd_test2", env.cardinalityModels(), env.CrdTest2)
+}
+
+// Figure10 reproduces the box statistics behind Figure 10 (crd_test2).
+func Figure10(env *Env) (Result, error) {
+	return env.cardinalityBoxes("fig10", "Figure 10: box statistics on the crd_test2 workload",
+		"crd_test2", env.cardinalityModels(), env.CrdTest2)
+}
+
+// Table8 reproduces the crd_test2 errors restricted to 3-5 join queries.
+func Table8(env *Env) (Result, error) {
+	var high []workload.LabeledQuery
+	for _, lq := range env.CrdTest2 {
+		if lq.Q.NumJoins() >= 3 {
+			high = append(high, lq)
+		}
+	}
+	return env.cardinalityTable("table8",
+		"Table 8: Estimation errors on crd_test2, queries with 3-5 joins only",
+		"crd_test2_high", env.cardinalityModels(), high)
+}
+
+// --- Table 9 / Figure 11: per-join breakdown -------------------------------
+
+// Table9 reproduces the per-join-count mean q-errors on crd_test2.
+func Table9(env *Env) (Result, error) {
+	return env.perJoinTable("table9", "Table 9: Q-error means for each number of joins (crd_test2)", metrics.Mean)
+}
+
+// Figure11 reproduces the per-join-count median q-errors (Figure 11's
+// series).
+func Figure11(env *Env) (Result, error) {
+	return env.perJoinTable("fig11", "Figure 11: Q-error medians for each number of joins (crd_test2)", metrics.Median)
+}
+
+func (env *Env) perJoinTable(id, title string, agg func([]float64) float64) (Result, error) {
+	t := metrics.Table{
+		Title:  title,
+		Header: []string{"number of joins", "0", "1", "2", "3", "4", "5"},
+	}
+	for _, m := range env.cardinalityModels() {
+		errs, err := env.cardErrs(m, "crd_test2", env.CrdTest2)
+		if err != nil {
+			return Result{}, err
+		}
+		byJoin := make(map[int][]float64)
+		for i, lq := range env.CrdTest2 {
+			byJoin[lq.Q.NumJoins()] = append(byJoin[lq.Q.NumJoins()], errs[i])
+		}
+		row := []string{m.name}
+		for j := 0; j <= 5; j++ {
+			if len(byJoin[j]) == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, metrics.FormatQ(agg(byJoin[j])))
+		}
+		t.AddRow(row...)
+	}
+	return Result{ID: id, Caption: title, Table: t}, nil
+}
+
+// --- Table 10 / Figures 12-13: scale workload and all models --------------
+
+// Table10 reproduces the generalization to the scale workload, including
+// the MSCN1000 comparison of §6.6.
+func Table10(env *Env) (Result, error) {
+	models := append(env.cardinalityModels(), cardModel{"MSCN1000", env.MSCN1000})
+	return env.cardinalityTable("table10", "Table 10: Estimation errors on the scale workload",
+		"scale", models, env.ScaleWL)
+}
+
+// Figure12 reproduces the box statistics behind Figure 12 (scale workload).
+func Figure12(env *Env) (Result, error) {
+	models := append(env.cardinalityModels(), cardModel{"MSCN1000", env.MSCN1000})
+	return env.cardinalityBoxes("fig12", "Figure 12: box statistics on the scale workload",
+		"scale", models, env.ScaleWL)
+}
+
+// Figure13 reproduces the all-models comparison on crd_test2.
+func Figure13(env *Env) (Result, error) {
+	return env.cardinalityBoxes("fig13", "Figure 13: box statistics on crd_test2, all models",
+		"crd_test2", env.allCardinalityModels(), env.CrdTest2)
+}
+
+// --- Tables 11-13: improving existing models ------------------------------
+
+// Table11 compares PostgreSQL against Improved PostgreSQL on crd_test2.
+func Table11(env *Env) (Result, error) {
+	models := []cardModel{
+		{"PostgreSQL", env.PG},
+		{"Improved PostgreSQL", env.ImprovedPG()},
+	}
+	return env.cardinalityTable("table11", "Table 11: PostgreSQL vs Improved PostgreSQL (crd_test2)",
+		"crd_test2", models, env.CrdTest2)
+}
+
+// Table12 compares MSCN against Improved MSCN on crd_test2.
+func Table12(env *Env) (Result, error) {
+	models := []cardModel{
+		{"MSCN", env.MSCN},
+		{"Improved MSCN", env.ImprovedMSCN()},
+	}
+	return env.cardinalityTable("table12", "Table 12: MSCN vs Improved MSCN (crd_test2)",
+		"crd_test2", models, env.CrdTest2)
+}
+
+// Table13 compares the improved models against Cnt2Crd(CRN) on crd_test2.
+func Table13(env *Env) (Result, error) {
+	models := []cardModel{
+		{"Improved PostgreSQL", env.ImprovedPG()},
+		{"Improved MSCN", env.ImprovedMSCN()},
+		{"Cnt2Crd(CRN)", env.Cnt2CrdCRN()},
+	}
+	return env.cardinalityTable("table13", "Table 13: Improved models vs Cnt2Crd(CRN) (crd_test2)",
+		"crd_test2", models, env.CrdTest2)
+}
+
+// --- Table 14: pool-size sweep ---------------------------------------------
+
+// Table14 reproduces the queries-pool size sweep: estimation quality and
+// prediction time of Cnt2Crd(CRN) as the pool grows (§7.4).
+func Table14(env *Env) (Result, error) {
+	t := metrics.Table{
+		Title:  "Table 14: Cnt2Crd(CRN) on crd_test2 vs queries pool size",
+		Header: []string{"QP size", "median", "mean", "prediction time"},
+	}
+	sizes := poolSweepSizes(env.Pool.Len())
+	for _, n := range sizes {
+		sub := env.Pool.Subset(n)
+		est := env.Cnt2CrdCRN()
+		est.Pool = sub
+		start := time.Now()
+		errs, err := CardErrors(est, env.CrdTest2)
+		if err != nil {
+			return Result{}, err
+		}
+		perQuery := time.Since(start) / time.Duration(len(env.CrdTest2))
+		t.AddRow(fmt.Sprintf("%d", n), metrics.FormatQ(metrics.Median(errs)),
+			metrics.FormatQ(metrics.Mean(errs)), perQuery.Round(10*time.Microsecond).String())
+	}
+	return Result{ID: "table14", Caption: "Pool-size sweep (§7.4, Table 14)", Table: t}, nil
+}
+
+func poolSweepSizes(max int) []int {
+	// The paper sweeps 50..300 in steps of 50; scale proportionally.
+	var out []int
+	for i := 1; i <= 6; i++ {
+		n := max * i / 6
+		if n > 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	// Deduplicate tiny pools.
+	uniq := out[:0]
+	for i, n := range out {
+		if i == 0 || n != out[i-1] {
+			uniq = append(uniq, n)
+		}
+	}
+	return uniq
+}
+
+// --- Table 15: prediction times --------------------------------------------
+
+// Table15 reproduces the average single-query prediction time of every
+// model (§7.4). Sampled over a bounded prefix of crd_test2 for stable
+// timing.
+func Table15(env *Env) (Result, error) {
+	queries := env.CrdTest2
+	if len(queries) > 100 {
+		queries = queries[:100]
+	}
+	t := metrics.Table{
+		Title:  "Table 15: Average prediction time of a single query",
+		Header: []string{"model", "prediction time"},
+	}
+	for _, m := range env.allCardinalityModels() {
+		start := time.Now()
+		for _, lq := range queries {
+			if _, err := m.est.EstimateCard(lq.Q); err != nil {
+				return Result{}, err
+			}
+		}
+		per := time.Since(start) / time.Duration(len(queries))
+		t.AddRow(m.name, per.Round(10*time.Microsecond).String())
+	}
+	return Result{ID: "table15", Caption: "Prediction time per model (§7.4, Table 15)", Table: t}, nil
+}
+
+// --- §3.5: model computational costs ----------------------------------------
+
+// Costs reports the CRN cost profile of §3.5: epochs to converge, epoch
+// time, per-pair prediction time, parameter count and serialized size.
+func Costs(env *Env) (Result, error) {
+	t := metrics.Table{
+		Title:  "CRN model computational costs (§3.5)",
+		Header: []string{"quantity", "value"},
+	}
+	var totalEpoch time.Duration
+	for _, st := range env.CRNStats {
+		totalEpoch += st.Duration
+	}
+	epochs := len(env.CRNStats)
+	if epochs > 0 {
+		t.AddRow("training epochs", fmt.Sprintf("%d", epochs))
+		t.AddRow("avg epoch time", (totalEpoch / time.Duration(epochs)).Round(time.Millisecond).String())
+		t.AddRow("total training time", totalEpoch.Round(time.Millisecond).String())
+		best := env.CRNStats[0].ValQError
+		for _, st := range env.CRNStats {
+			if st.ValQError < best {
+				best = st.ValQError
+			}
+		}
+		t.AddRow("best val mean q-error", metrics.FormatQ(best))
+	}
+	// Prediction time per pair (§3.5.2), averaged over a batch-1 loop.
+	pairs := env.ValPairs
+	if len(pairs) > 200 {
+		pairs = pairs[:200]
+	}
+	if len(pairs) > 0 {
+		start := time.Now()
+		for _, lp := range pairs {
+			if _, err := env.CRNRates.EstimateRate(lp.Q1, lp.Q2); err != nil {
+				return Result{}, err
+			}
+		}
+		t.AddRow("prediction time per pair", (time.Since(start) / time.Duration(len(pairs))).Round(time.Microsecond).String())
+	}
+	t.AddRow("learned parameters", fmt.Sprintf("%d", env.CRN.NumParams()))
+	blob, err := env.CRN.Save()
+	if err != nil {
+		return Result{}, err
+	}
+	t.AddRow("serialized size", fmt.Sprintf("%d bytes", len(blob)))
+	return Result{ID: "costs", Caption: "CRN computational costs (§3.5)", Table: t}, nil
+}
+
+// --- Orchestration -----------------------------------------------------------
+
+// ExperimentIDs lists every runnable experiment in paper order, followed by
+// this repository's ablations.
+func ExperimentIDs() []string {
+	return []string{
+		"table2", "fig3", "fig4", "table3", "fig5", "table4", "fig6",
+		"table5", "table6", "fig9", "table7", "fig10", "table8",
+		"table9", "fig11", "table10", "fig12", "fig13",
+		"table11", "table12", "table13", "table14", "table15", "costs",
+		"ablation_final", "ablation_eps", "ablation_anchor",
+		"ablation_workers", "ablation_oracle", "ablation_loss",
+		"planquality", "baselines",
+	}
+}
+
+// Run executes one experiment by ID.
+func Run(env *Env, id string, log Logf) (Result, error) {
+	switch id {
+	case "table2":
+		return Table2(env), nil
+	case "fig3":
+		return Figure3(env, figure3Hiddens(env.Cfg.CRN.Hidden), log)
+	case "fig4":
+		return Figure4(env), nil
+	case "table3":
+		return Table3(env)
+	case "fig5":
+		return Figure5(env)
+	case "table4":
+		return Table4(env)
+	case "fig6":
+		return Figure6(env)
+	case "table5":
+		return Table5(env), nil
+	case "table6":
+		return Table6(env)
+	case "fig9":
+		return Figure9(env)
+	case "table7":
+		return Table7(env)
+	case "fig10":
+		return Figure10(env)
+	case "table8":
+		return Table8(env)
+	case "table9":
+		return Table9(env)
+	case "fig11":
+		return Figure11(env)
+	case "table10":
+		return Table10(env)
+	case "fig12":
+		return Figure12(env)
+	case "fig13":
+		return Figure13(env)
+	case "table11":
+		return Table11(env)
+	case "table12":
+		return Table12(env)
+	case "table13":
+		return Table13(env)
+	case "table14":
+		return Table14(env)
+	case "table15":
+		return Table15(env)
+	case "costs":
+		return Costs(env)
+	case "ablation_final":
+		return AblationFinalFuncs(env)
+	case "ablation_eps":
+		return AblationEpsilon(env)
+	case "ablation_anchor":
+		return AblationPoolAnchor(env)
+	case "ablation_workers":
+		return AblationWorkers(env)
+	case "ablation_oracle":
+		return OracleCeiling(env)
+	case "ablation_loss":
+		return AblationLoss(env, log)
+	case "planquality":
+		return PlanQuality(env, log)
+	case "baselines":
+		return Baselines(env)
+	}
+	return Result{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, ExperimentIDs())
+}
+
+// figure3Hiddens picks the sweep around the configured width (the paper
+// sweeps 64..2048 around its chosen 512).
+func figure3Hiddens(h int) []int {
+	if h <= 4 {
+		return []int{2, 4, 8}
+	}
+	return []int{h / 4, h / 2, h, h * 2}
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(env *Env, log Logf) ([]Result, error) {
+	var out []Result
+	for _, id := range ExperimentIDs() {
+		log.logf("running %s...", id)
+		r, err := Run(env, id, log)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

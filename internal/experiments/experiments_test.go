@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The tiny environment is expensive enough to share across tests.
+var (
+	tinyOnce sync.Once
+	tinyEnv  *Env
+	tinyErr  error
+)
+
+func tiny(t *testing.T) *Env {
+	t.Helper()
+	tinyOnce.Do(func() {
+		tinyEnv, tinyErr = Build(TinyConfig(), nil)
+	})
+	if tinyErr != nil {
+		t.Fatal(tinyErr)
+	}
+	return tinyEnv
+}
+
+func TestBuildTinyEnvironment(t *testing.T) {
+	env := tiny(t)
+	if env.CRN == nil || env.MSCN == nil || env.MSCN1000 == nil || env.PG == nil {
+		t.Fatal("models missing")
+	}
+	if env.Pool.Len() != env.Cfg.PoolSize {
+		t.Errorf("pool size = %d, want %d", env.Pool.Len(), env.Cfg.PoolSize)
+	}
+	if len(env.CntTest1) != env.Cfg.CntTest1Size {
+		t.Errorf("cnt_test1 = %d", len(env.CntTest1))
+	}
+	if len(env.CrdTest2) != env.Cfg.CrdTest2Size {
+		t.Errorf("crd_test2 = %d", len(env.CrdTest2))
+	}
+	if len(env.CRNStats) == 0 {
+		t.Error("no CRN training stats")
+	}
+	// Labels are rates in [0,1].
+	for _, lp := range env.CntTest1[:10] {
+		if lp.Rate < 0 || lp.Rate > 1 {
+			t.Fatalf("rate %v out of range", lp.Rate)
+		}
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	env := tiny(t)
+	for _, id := range ExperimentIDs() {
+		if id == "fig3" {
+			continue // retrains models; covered separately
+		}
+		r, err := Run(env, id, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if r.ID != id {
+			t.Errorf("%s: result ID %q", id, r.ID)
+		}
+		if len(r.Table.Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		if r.Table.Render() == "" {
+			t.Errorf("%s: empty render", id)
+		}
+	}
+}
+
+func TestFigure3Sweep(t *testing.T) {
+	env := tiny(t)
+	r, err := Figure3(env, []int{4, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) != 2 {
+		t.Fatalf("sweep rows = %d", len(r.Table.Rows))
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	env := tiny(t)
+	if _, err := Run(env, "table99", nil); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestTableRendersModelNames(t *testing.T) {
+	env := tiny(t)
+	r, err := Table7(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Table.Render()
+	for _, name := range []string{"PostgreSQL", "MSCN", "Cnt2Crd(CRN)"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("table7 missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable2Totals(t *testing.T) {
+	env := tiny(t)
+	r := Table2(env)
+	for _, row := range r.Table.Rows {
+		if row[len(row)-1] != "60" { // TinyConfig CntTest sizes
+			t.Errorf("row %v total != 60", row)
+		}
+	}
+}
+
+func TestCostsIncludesModelSize(t *testing.T) {
+	env := tiny(t)
+	r, err := Costs(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Table.Render()
+	for _, want := range []string{"learned parameters", "serialized size", "prediction time per pair"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("costs missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPoolSweepSizes(t *testing.T) {
+	sizes := poolSweepSizes(300)
+	if len(sizes) != 6 || sizes[0] != 50 || sizes[5] != 300 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	small := poolSweepSizes(4)
+	for i := 1; i < len(small); i++ {
+		if small[i] == small[i-1] {
+			t.Errorf("duplicate sizes: %v", small)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package feature implements the CRN featurization of §3.2.1: a query is a
+// collection of sets (T, J, P) whose elements are encoded as vectors of one
+// shared dimension L with the segmentation of the paper's Table 1:
+//
+//	segment   T-seg   J1-seg  J2-seg  C-seg  O-seg  V-seg
+//	size      #T      #C      #C      #C     #O     1
+//
+// yielding L = #T + 3·#C + #O + 1. Unlike MSCN's featurization, all three
+// element kinds share the same vector format "in order to ease learning"
+// (§3.2.1); the unused segments of each vector are zero.
+package feature
+
+import (
+	"fmt"
+
+	"crn/internal/db"
+	"crn/internal/query"
+	"crn/internal/schema"
+)
+
+// Encoder converts queries into CRN feature-vector sets. It is bound to a
+// schema (one-hot dimensions) and a database snapshot (min/max statistics
+// for value normalization) and is safe for concurrent use.
+type Encoder struct {
+	s *schema.Schema
+	d *db.Database
+
+	numTables  int
+	numColumns int
+	l          int
+
+	// Segment offsets within a vector.
+	tSeg, j1Seg, j2Seg, cSeg, oSeg, vSeg int
+}
+
+// NewEncoder builds an encoder over a frozen database.
+func NewEncoder(s *schema.Schema, d *db.Database) (*Encoder, error) {
+	if !d.Frozen() {
+		return nil, fmt.Errorf("feature: database must be frozen")
+	}
+	e := &Encoder{s: s, d: d, numTables: s.NumTables(), numColumns: s.NumColumns()}
+	e.tSeg = 0
+	e.j1Seg = e.tSeg + e.numTables
+	e.j2Seg = e.j1Seg + e.numColumns
+	e.cSeg = e.j2Seg + e.numColumns
+	e.oSeg = e.cSeg + e.numColumns
+	e.vSeg = e.oSeg + schema.NumOperators
+	e.l = e.vSeg + 1
+	return e, nil
+}
+
+// Dim returns the shared vector dimension L = #T + 3·#C + #O + 1.
+func (e *Encoder) Dim() int { return e.l }
+
+// EncodeQuery converts a query into its set of feature vectors V: one vector
+// per table in T, per join clause in J, and per column predicate in P.
+func (e *Encoder) EncodeQuery(q query.Query) ([][]float64, error) {
+	out := make([][]float64, 0, len(q.Tables)+len(q.Joins)+len(q.Preds))
+	for _, t := range q.Tables {
+		v, err := e.EncodeTable(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	for _, j := range q.Joins {
+		v, err := e.EncodeJoin(j)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	for _, p := range q.Preds {
+		v, err := e.EncodePredicate(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// EncodeTable produces the vector of a table element: a one-hot in T-seg.
+func (e *Encoder) EncodeTable(name string) ([]float64, error) {
+	id, ok := e.s.TableID(name)
+	if !ok {
+		return nil, fmt.Errorf("feature: unknown table %q", name)
+	}
+	v := make([]float64, e.l)
+	v[e.tSeg+id] = 1
+	return v, nil
+}
+
+// EncodeJoin produces the vector of a join clause: one-hot column ids in
+// J1-seg and J2-seg. The join is canonicalized first so featurization is
+// independent of how the clause was written.
+func (e *Encoder) EncodeJoin(j query.Join) ([]float64, error) {
+	c := j.Canonical()
+	id1, ok1 := e.s.ColumnID(c.Left)
+	id2, ok2 := e.s.ColumnID(c.Right)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("feature: unknown join column in %v", c)
+	}
+	v := make([]float64, e.l)
+	v[e.j1Seg+id1] = 1
+	v[e.j2Seg+id2] = 1
+	return v, nil
+}
+
+// EncodePredicate produces the vector of a column predicate: one-hot column
+// id in C-seg, one-hot operator in O-seg, and the min/max-normalized value
+// in V-seg.
+func (e *Encoder) EncodePredicate(p query.Predicate) ([]float64, error) {
+	cid, ok := e.s.ColumnID(p.Col)
+	if !ok {
+		return nil, fmt.Errorf("feature: unknown column %v", p.Col)
+	}
+	oid, ok := e.s.OperatorID(p.Op)
+	if !ok {
+		return nil, fmt.Errorf("feature: unknown operator %q", p.Op)
+	}
+	stats, ok := e.d.Stats(p.Col)
+	if !ok {
+		return nil, fmt.Errorf("feature: no statistics for %v", p.Col)
+	}
+	v := make([]float64, e.l)
+	v[e.cSeg+cid] = 1
+	v[e.oSeg+oid] = 1
+	v[e.vSeg] = stats.Normalize(p.Val)
+	return v, nil
+}
+
+// Segments exposes the segment offsets (T, J1, J2, C, O, V) for tests and
+// diagnostics.
+func (e *Encoder) Segments() (tSeg, j1Seg, j2Seg, cSeg, oSeg, vSeg int) {
+	return e.tSeg, e.j1Seg, e.j2Seg, e.cSeg, e.oSeg, e.vSeg
+}

@@ -1,0 +1,214 @@
+package feature
+
+import (
+	"testing"
+
+	"crn/internal/datagen"
+	"crn/internal/db"
+	"crn/internal/query"
+	"crn/internal/schema"
+	"crn/internal/sqlparse"
+)
+
+var s = schema.IMDB()
+
+func testDB(t *testing.T) *db.Database {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.Titles = 100
+	d, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func newEncoder(t *testing.T) *Encoder {
+	t.Helper()
+	e, err := NewEncoder(s, testDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestDimMatchesPaperFormula(t *testing.T) {
+	e := newEncoder(t)
+	want := s.NumTables() + 3*s.NumColumns() + schema.NumOperators + 1
+	if e.Dim() != want {
+		t.Errorf("Dim = %d, want %d", e.Dim(), want)
+	}
+	// With the IMDb schema: 6 + 3*20 + 3 + 1 = 70.
+	if e.Dim() != 70 {
+		t.Errorf("Dim = %d, want 70 for the IMDb schema", e.Dim())
+	}
+}
+
+func TestEncodeTableOneHot(t *testing.T) {
+	e := newEncoder(t)
+	v, err := e.EncodeTable(schema.CastInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != e.Dim() {
+		t.Fatalf("vector length %d", len(v))
+	}
+	nonZero := 0
+	for _, x := range v {
+		if x != 0 {
+			nonZero++
+		}
+	}
+	if nonZero != 1 {
+		t.Errorf("table vector should have exactly 1 non-zero, got %d", nonZero)
+	}
+	tSeg, j1Seg, _, _, _, _ := e.Segments()
+	id, _ := s.TableID(schema.CastInfo)
+	if v[tSeg+id] != 1 {
+		t.Error("one-hot not in T-seg at the table's ordinal")
+	}
+	for i := j1Seg; i < len(v); i++ {
+		if v[i] != 0 {
+			t.Errorf("non-T segment position %d is %v", i, v[i])
+		}
+	}
+	if _, err := e.EncodeTable("ghost"); err == nil {
+		t.Error("unknown table should fail")
+	}
+}
+
+func TestEncodeJoinSegments(t *testing.T) {
+	e := newEncoder(t)
+	j := query.Join{
+		Left:  schema.ColumnRef{Table: schema.Title, Column: "id"},
+		Right: schema.ColumnRef{Table: schema.CastInfo, Column: "movie_id"},
+	}
+	v, err := e.EncodeJoin(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same join written in either direction encodes identically.
+	rev, err := e.EncodeJoin(query.Join{Left: j.Right, Right: j.Left})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if v[i] != rev[i] {
+			t.Fatalf("join encoding not direction independent at %d", i)
+		}
+	}
+	_, j1Seg, j2Seg, cSeg, _, _ := e.Segments()
+	ones := 0
+	for i := j1Seg; i < cSeg; i++ {
+		if v[i] == 1 {
+			ones++
+		} else if v[i] != 0 {
+			t.Fatalf("unexpected value %v at %d", v[i], i)
+		}
+	}
+	if ones != 2 {
+		t.Errorf("join vector should set one bit in each of J1/J2, got %d", ones)
+	}
+	// One bit in each segment.
+	oneIn := func(lo, hi int) int {
+		c := 0
+		for i := lo; i < hi; i++ {
+			if v[i] == 1 {
+				c++
+			}
+		}
+		return c
+	}
+	if oneIn(j1Seg, j2Seg) != 1 || oneIn(j2Seg, cSeg) != 1 {
+		t.Error("exactly one bit expected per join segment")
+	}
+	bad := query.Join{Left: schema.ColumnRef{Table: "x", Column: "y"}, Right: j.Right}
+	if _, err := e.EncodeJoin(bad); err == nil {
+		t.Error("unknown join column should fail")
+	}
+}
+
+func TestEncodePredicate(t *testing.T) {
+	e := newEncoder(t)
+	d := testDB(t)
+	col := schema.ColumnRef{Table: schema.Title, Column: "production_year"}
+	stats, _ := d.Stats(col)
+	p := query.Predicate{Col: col, Op: schema.OpGT, Val: stats.Max}
+	v, err := e.EncodePredicate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, cSeg, oSeg, vSeg := e.Segments()
+	cid, _ := s.ColumnID(col)
+	if v[cSeg+cid] != 1 {
+		t.Error("column one-hot missing")
+	}
+	oid, _ := s.OperatorID(schema.OpGT)
+	if v[oSeg+oid] != 1 {
+		t.Error("operator one-hot missing")
+	}
+	if v[vSeg] != 1 {
+		t.Errorf("max value should normalize to 1, got %v", v[vSeg])
+	}
+	p.Val = stats.Min
+	v, _ = e.EncodePredicate(p)
+	if v[vSeg] != 0 {
+		t.Errorf("min value should normalize to 0, got %v", v[vSeg])
+	}
+
+	if _, err := e.EncodePredicate(query.Predicate{Col: schema.ColumnRef{Table: "x", Column: "y"}, Op: schema.OpEQ}); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := e.EncodePredicate(query.Predicate{Col: col, Op: "!=", Val: 0}); err == nil {
+		t.Error("unknown operator should fail")
+	}
+}
+
+func TestEncodeQueryCounts(t *testing.T) {
+	e := newEncoder(t)
+	q := sqlparse.MustParse(s, `SELECT * FROM title, cast_info, movie_keyword
+		WHERE title.id = cast_info.movie_id AND title.id = movie_keyword.movie_id
+		AND title.kind_id = 2 AND cast_info.role_id > 3`)
+	vecs, err := e.EncodeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 tables + 2 joins + 2 predicates.
+	if len(vecs) != 7 {
+		t.Errorf("EncodeQuery returned %d vectors, want 7", len(vecs))
+	}
+	for i, v := range vecs {
+		if len(v) != e.Dim() {
+			t.Errorf("vector %d has length %d", i, len(v))
+		}
+	}
+}
+
+func TestEncodeQueryDeterministic(t *testing.T) {
+	e := newEncoder(t)
+	q := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 2 AND title.production_year > 1990")
+	a, err := e.EncodeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.EncodeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("encoding not deterministic at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestNewEncoderRequiresFrozenDB(t *testing.T) {
+	if _, err := NewEncoder(s, db.NewDatabase(s)); err == nil {
+		t.Error("unfrozen database should be rejected")
+	}
+}

@@ -1,0 +1,116 @@
+package feature
+
+import (
+	"math/rand"
+	"testing"
+
+	"crn/internal/workload"
+)
+
+// Featurization invariants over randomly generated queries: every vector
+// has dimension L; table vectors have exactly 1 non-zero, join vectors 2,
+// predicate vectors 2 one-hots plus a value in [0,1]; and the number of
+// vectors equals |T| + |J| + |P|.
+func TestEncodingInvariantsOverRandomQueries(t *testing.T) {
+	d := testDB(t)
+	e, err := NewEncoder(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(s, d, 5)
+	rng := rand.New(rand.NewSource(6))
+	tSeg, j1Seg, _, cSeg, oSeg, vSeg := e.Segments()
+	for i := 0; i < 200; i++ {
+		q, err := gen.InitialQuery(rng.Intn(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecs, err := e.EncodeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := len(q.Tables) + len(q.Joins) + len(q.Preds)
+		if len(vecs) != want {
+			t.Fatalf("%s: %d vectors, want %d", q, len(vecs), want)
+		}
+		for vi, v := range vecs {
+			if len(v) != e.Dim() {
+				t.Fatalf("vector %d has dim %d", vi, len(v))
+			}
+			ones, inVal := 0, 0.0
+			for i, x := range v {
+				if i == vSeg {
+					inVal = x
+					continue
+				}
+				switch x {
+				case 0:
+				case 1:
+					ones++
+				default:
+					t.Fatalf("non-binary one-hot value %v at %d", x, i)
+				}
+			}
+			if inVal < 0 || inVal > 1 {
+				t.Fatalf("V-seg value %v outside [0,1]", inVal)
+			}
+			switch {
+			case vi < len(q.Tables): // table vector
+				if ones != 1 {
+					t.Fatalf("table vector has %d ones", ones)
+				}
+			case vi < len(q.Tables)+len(q.Joins): // join vector
+				if ones != 2 {
+					t.Fatalf("join vector has %d ones", ones)
+				}
+				// Both bits inside J1/J2 segments.
+				for i := tSeg; i < j1Seg; i++ {
+					if v[i] != 0 {
+						t.Fatal("join vector sets T-seg")
+					}
+				}
+				for i := cSeg; i < len(v); i++ {
+					if v[i] != 0 && i < oSeg {
+						t.Fatal("join vector sets C-seg")
+					}
+				}
+			default: // predicate vector
+				if ones != 2 {
+					t.Fatalf("predicate vector has %d ones", ones)
+				}
+			}
+		}
+	}
+}
+
+// Two structurally equal queries built differently featurize identically.
+func TestEncodingCanonical(t *testing.T) {
+	d := testDB(t)
+	e, err := NewEncoder(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(s, d, 9)
+	for i := 0; i < 50; i++ {
+		q, err := gen.InitialQuery(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clone := q.Clone()
+		a, err := e.EncodeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.EncodeQuery(clone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vi := range a {
+			for j := range a[vi] {
+				if a[vi][j] != b[vi][j] {
+					t.Fatalf("clone featurizes differently at %d,%d", vi, j)
+				}
+			}
+		}
+	}
+}

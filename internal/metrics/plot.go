@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderBoxes draws the paper-style box plots as ASCII art on a shared
+// logarithmic q-error axis: the box spans the 25th-75th percentiles,
+// whiskers the 5th/95th, and '|' marks the median — matching the boxplot
+// convention of the paper's Figures 5-13.
+func RenderBoxes(title string, names []string, boxes []Box, width int) string {
+	if len(names) != len(boxes) || len(boxes) == 0 {
+		return ""
+	}
+	if width < 20 {
+		width = 60
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range boxes {
+		lo = math.Min(lo, math.Max(b.P5, 1))
+		hi = math.Max(hi, math.Max(b.P95, 1))
+	}
+	if hi <= lo {
+		hi = lo * 10
+	}
+	logLo, logHi := math.Log10(lo), math.Log10(hi)
+	span := logHi - logLo
+	pos := func(v float64) int {
+		if v < 1 {
+			v = 1
+		}
+		x := (math.Log10(v) - logLo) / span
+		p := int(x * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteString("\n")
+	for i, b := range boxes {
+		line := make([]byte, width)
+		for j := range line {
+			line[j] = ' '
+		}
+		p5, p25, p50, p75, p95 := pos(b.P5), pos(b.P25), pos(b.P50), pos(b.P75), pos(b.P95)
+		for j := p5; j <= p95; j++ {
+			line[j] = '-'
+		}
+		for j := p25; j <= p75; j++ {
+			line[j] = '='
+		}
+		line[p5] = '['
+		line[p95] = ']'
+		line[p50] = '|'
+		sb.WriteString(fmt.Sprintf("%-*s %s\n", nameW, names[i], string(line)))
+	}
+	// Axis with three log ticks.
+	axis := make([]byte, width)
+	for j := range axis {
+		axis[j] = ' '
+	}
+	axis[0], axis[width-1], axis[(width-1)/2] = '+', '+', '+'
+	mid := math.Pow(10, (logLo+logHi)/2)
+	sb.WriteString(fmt.Sprintf("%-*s %s\n", nameW, "", string(axis)))
+	sb.WriteString(fmt.Sprintf("%-*s %-*s%s%*s\n", nameW, "",
+		width/2, FormatQ(lo), FormatQ(mid), width-width/2-len(FormatQ(mid)), FormatQ(hi)))
+	return sb.String()
+}

@@ -1,0 +1,104 @@
+package nn
+
+import "math/rand"
+
+// DeepSetEncoder is a multi-layer variant of SetEncoder: every element
+// vector passes through a stack of Dense+ReLU layers before average pooling.
+// MSCN's per-set modules are two such layers (Kipf et al. §4); CRN's are one
+// (SetEncoder is the special case of depth 1).
+type DeepSetEncoder struct {
+	Layers []*Dense
+}
+
+// NewDeepSetEncoder builds an encoder with the given layer widths:
+// dims[0] is the element dimension, dims[len-1] the pooled output width.
+func NewDeepSetEncoder(rng *rand.Rand, dims ...int) *DeepSetEncoder {
+	if len(dims) < 2 {
+		panic("nn: DeepSetEncoder needs at least input and output dims")
+	}
+	e := &DeepSetEncoder{}
+	for i := 0; i+1 < len(dims); i++ {
+		e.Layers = append(e.Layers, NewDense(rng, dims[i], dims[i+1]))
+	}
+	return e
+}
+
+// DeepSetCache holds the forward intermediates needed for Backward; one
+// cache per forward call keeps the encoder safe for concurrent prediction.
+type DeepSetCache struct {
+	batch       SetBatch
+	activations []*Matrix // post-ReLU output of each layer
+}
+
+// Forward returns pooled per-sample representations and the cache for
+// Backward.
+func (e *DeepSetEncoder) Forward(b SetBatch) (*Matrix, *DeepSetCache) {
+	cache := &DeepSetCache{batch: b}
+	x := b.X
+	for _, layer := range e.Layers {
+		y := ReLUForward(layer.Forward(x))
+		cache.activations = append(cache.activations, y)
+		x = y
+	}
+	out := e.Layers[len(e.Layers)-1].Out
+	n := b.NumSamples()
+	pooled := NewMatrix(n, out)
+	for i := 0; i < n; i++ {
+		lo, hi := b.Offsets[i], b.Offsets[i+1]
+		if hi == lo {
+			continue
+		}
+		dst := pooled.Row(i)
+		for r := lo; r < hi; r++ {
+			src := x.Row(r)
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+		inv := 1 / float64(hi-lo)
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return pooled, cache
+}
+
+// Backward propagates dPooled through pooling and all layers, accumulating
+// parameter gradients.
+func (e *DeepSetEncoder) Backward(cache *DeepSetCache, dPooled *Matrix) {
+	last := cache.activations[len(cache.activations)-1]
+	dAct := NewMatrix(last.Rows, last.Cols)
+	for i := 0; i < cache.batch.NumSamples(); i++ {
+		lo, hi := cache.batch.Offsets[i], cache.batch.Offsets[i+1]
+		if hi == lo {
+			continue
+		}
+		inv := 1 / float64(hi-lo)
+		src := dPooled.Row(i)
+		for r := lo; r < hi; r++ {
+			dst := dAct.Row(r)
+			for j, v := range src {
+				dst[j] = v * inv
+			}
+		}
+	}
+	for li := len(e.Layers) - 1; li >= 0; li-- {
+		dPre := ReLUBackward(dAct, cache.activations[li])
+		var input *Matrix
+		if li == 0 {
+			input = cache.batch.X
+		} else {
+			input = cache.activations[li-1]
+		}
+		dAct = e.Layers[li].Backward(input, dPre)
+	}
+}
+
+// Params returns the trainable tensors of all layers.
+func (e *DeepSetEncoder) Params() []*Param {
+	var out []*Param
+	for _, l := range e.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is one trainable tensor: weights, accumulated gradient and Adam
+// moment estimates, all sharing the tensor's shape.
+type Param struct {
+	Rows, Cols int
+	W          []float64
+	Grad       []float64
+	M, V       []float64 // Adam first/second moment estimates
+}
+
+// NewParam allocates a zeroed parameter tensor.
+func NewParam(rows, cols int) *Param {
+	n := rows * cols
+	return &Param{
+		Rows: rows, Cols: cols,
+		W:    make([]float64, n),
+		Grad: make([]float64, n),
+		M:    make([]float64, n),
+		V:    make([]float64, n),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// HeInit fills the parameter with He-normal initial weights, the standard
+// initialization for ReLU networks.
+func (p *Param) HeInit(rng *rand.Rand, fanIn int) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	for i := range p.W {
+		p.W[i] = rng.NormFloat64() * std
+	}
+}
+
+// Dense is a fully-connected layer: y = x·W + b.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+}
+
+// NewDense creates a dense layer with He-initialized weights and zero bias.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	d := &Dense{In: in, Out: out, W: NewParam(in, out), B: NewParam(1, out)}
+	d.W.HeInit(rng, in)
+	return d
+}
+
+// Forward computes y = x·W + b for a batch x (n×In) and returns y (n×Out).
+func (d *Dense) Forward(x *Matrix) *Matrix {
+	y := NewMatrix(x.Rows, d.Out)
+	w := &Matrix{Rows: d.In, Cols: d.Out, Data: d.W.W}
+	MatMul(y, x, w)
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += d.B.W[j]
+		}
+	}
+	return y
+}
+
+// Backward accumulates dW += xᵀ·dy and db += Σ dy, and returns
+// dx = dy·Wᵀ. x must be the input that produced dy's forward pass.
+func (d *Dense) Backward(x, dy *Matrix) *Matrix {
+	gw := &Matrix{Rows: d.In, Cols: d.Out, Data: make([]float64, d.In*d.Out)}
+	MatMulTransA(gw, x, dy)
+	for i := range gw.Data {
+		d.W.Grad[i] += gw.Data[i]
+	}
+	for i := 0; i < dy.Rows; i++ {
+		row := dy.Row(i)
+		for j := range row {
+			d.B.Grad[j] += row[j]
+		}
+	}
+	dx := NewMatrix(x.Rows, d.In)
+	w := &Matrix{Rows: d.In, Cols: d.Out, Data: d.W.W}
+	MatMulTransB(dx, dy, w)
+	return dx
+}
+
+// Params returns the layer's trainable tensors.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// NumParams returns the number of scalar parameters.
+func (d *Dense) NumParams() int { return d.In*d.Out + d.Out }
+
+// ReLUForward applies max(0,x) elementwise, returning a new matrix.
+func ReLUForward(x *Matrix) *Matrix {
+	y := NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		}
+	}
+	return y
+}
+
+// ReLUBackward masks dy by the activation pattern of the forward output y.
+func ReLUBackward(dy, y *Matrix) *Matrix {
+	dx := NewMatrix(dy.Rows, dy.Cols)
+	for i, v := range y.Data {
+		if v > 0 {
+			dx.Data[i] = dy.Data[i]
+		}
+	}
+	return dx
+}
+
+// SigmoidForward applies 1/(1+e^-x) elementwise, returning a new matrix.
+func SigmoidForward(x *Matrix) *Matrix {
+	y := NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	return y
+}
+
+// SigmoidBackward computes dx = dy ⊙ y(1-y) from the forward output y.
+func SigmoidBackward(dy, y *Matrix) *Matrix {
+	dx := NewMatrix(dy.Rows, dy.Cols)
+	for i, v := range y.Data {
+		dx.Data[i] = dy.Data[i] * v * (1 - v)
+	}
+	return dx
+}
+
+// SetBatch is a batch of variable-size sets of feature vectors, stored as
+// one concatenated matrix plus per-sample offsets: sample i owns rows
+// Offsets[i]:Offsets[i+1] of X. Every set must be non-empty (a query always
+// has at least one table, §3.2.1).
+type SetBatch struct {
+	X       *Matrix
+	Offsets []int
+}
+
+// NumSamples returns the number of sets in the batch.
+func (b SetBatch) NumSamples() int { return len(b.Offsets) - 1 }
+
+// BuildSetBatch concatenates per-sample element vectors into a SetBatch.
+// All vectors must have length dim.
+func BuildSetBatch(samples [][][]float64, dim int) SetBatch {
+	total := 0
+	for _, s := range samples {
+		total += len(s)
+	}
+	x := NewMatrix(total, dim)
+	offsets := make([]int, len(samples)+1)
+	row := 0
+	for i, s := range samples {
+		offsets[i] = row
+		for _, v := range s {
+			copy(x.Row(row), v)
+			row++
+		}
+	}
+	offsets[len(samples)] = row
+	return SetBatch{X: x, Offsets: offsets}
+}
+
+// SetEncoder is the paper's per-set module MLPi (§3.2.2): one dense layer
+// with ReLU applied to every element vector, followed by average pooling
+// over the set: Qvec = 1/|V| Σ ReLU(v·U + b).
+type SetEncoder struct {
+	Dense *Dense
+}
+
+// NewSetEncoder creates a set encoder mapping dim-L element vectors to
+// dim-H pooled representations.
+func NewSetEncoder(rng *rand.Rand, l, h int) *SetEncoder {
+	return &SetEncoder{Dense: NewDense(rng, l, h)}
+}
+
+// Forward returns the pooled per-sample representations (n×H) and the
+// per-element hidden activations needed for Backward.
+func (e *SetEncoder) Forward(b SetBatch) (pooled, hidden *Matrix) {
+	hidden = ReLUForward(e.Dense.Forward(b.X))
+	n := b.NumSamples()
+	pooled = NewMatrix(n, e.Dense.Out)
+	for i := 0; i < n; i++ {
+		lo, hi := b.Offsets[i], b.Offsets[i+1]
+		if hi == lo {
+			continue // empty set pools to zero
+		}
+		out := pooled.Row(i)
+		for r := lo; r < hi; r++ {
+			row := hidden.Row(r)
+			for j, v := range row {
+				out[j] += v
+			}
+		}
+		inv := 1 / float64(hi-lo)
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+	return pooled, hidden
+}
+
+// Backward propagates dPooled (n×H) through the pooling and dense layer,
+// accumulating parameter gradients. hidden must come from Forward on the
+// same batch.
+func (e *SetEncoder) Backward(b SetBatch, hidden, dPooled *Matrix) {
+	dHidden := NewMatrix(hidden.Rows, hidden.Cols)
+	for i := 0; i < b.NumSamples(); i++ {
+		lo, hi := b.Offsets[i], b.Offsets[i+1]
+		if hi == lo {
+			continue
+		}
+		inv := 1 / float64(hi-lo)
+		src := dPooled.Row(i)
+		for r := lo; r < hi; r++ {
+			dst := dHidden.Row(r)
+			for j, v := range src {
+				dst[j] = v * inv
+			}
+		}
+	}
+	dPre := ReLUBackward(dHidden, hidden)
+	e.Dense.Backward(b.X, dPre)
+}
+
+// Params returns the encoder's trainable tensors.
+func (e *SetEncoder) Params() []*Param { return e.Dense.Params() }

@@ -1,0 +1,508 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatMul(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := &Matrix{Rows: 3, Cols: 2, Data: []float64{7, 8, 9, 10, 11, 12}}
+	dst := NewMatrix(2, 2)
+	MatMul(dst, a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if dst.Data[i] != v {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, dst.Data[i], v)
+		}
+	}
+}
+
+func TestMatMulTransposedVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(4, 3)
+	b := NewMatrix(4, 5)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	// aᵀ·b via explicit transpose.
+	at := NewMatrix(3, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := NewMatrix(3, 5)
+	MatMul(want, at, b)
+	got := NewMatrix(3, 5)
+	MatMulTransA(got, a, b)
+	for i := range want.Data {
+		if !almostEqual(got.Data[i], want.Data[i], 1e-12) {
+			t.Fatalf("MatMulTransA[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	// a·bᵀ with shapes (4x3)·(5x3)ᵀ.
+	c := NewMatrix(5, 3)
+	for i := range c.Data {
+		c.Data[i] = rng.NormFloat64()
+	}
+	ct := NewMatrix(3, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			ct.Set(j, i, c.At(i, j))
+		}
+	}
+	want2 := NewMatrix(4, 5)
+	MatMul(want2, a, ct)
+	got2 := NewMatrix(4, 5)
+	MatMulTransB(got2, a, c)
+	for i := range want2.Data {
+		if !almostEqual(got2.Data[i], want2.Data[i], 1e-12) {
+			t.Fatalf("MatMulTransB[%d] = %v, want %v", i, got2.Data[i], want2.Data[i])
+		}
+	}
+}
+
+func TestMatMulPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(2, 2))
+}
+
+func TestActivations(t *testing.T) {
+	x := &Matrix{Rows: 1, Cols: 4, Data: []float64{-2, -0.5, 0.5, 2}}
+	y := ReLUForward(x)
+	want := []float64{0, 0, 0.5, 2}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("ReLU[%d] = %v", i, y.Data[i])
+		}
+	}
+	s := SigmoidForward(x)
+	for i, v := range x.Data {
+		wantS := 1 / (1 + math.Exp(-v))
+		if !almostEqual(s.Data[i], wantS, 1e-12) {
+			t.Fatalf("Sigmoid[%d] = %v, want %v", i, s.Data[i], wantS)
+		}
+		if s.Data[i] <= 0 || s.Data[i] >= 1 {
+			t.Fatalf("Sigmoid out of (0,1): %v", s.Data[i])
+		}
+	}
+}
+
+// numericGrad estimates d f / d w[i] by central differences.
+func numericGrad(f func() float64, w []float64, i int) float64 {
+	const h = 1e-6
+	orig := w[i]
+	w[i] = orig + h
+	fp := f()
+	w[i] = orig - h
+	fm := f()
+	w[i] = orig
+	return (fp - fm) / (2 * h)
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := NewDense(rng, 3, 2)
+	x := NewMatrix(4, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	target := []float64{0.3, -0.2, 0.8, 0.1}
+
+	// Scalar objective: MSE between summed outputs and target.
+	forward := func() float64 {
+		y := d.Forward(x)
+		var loss float64
+		for i := 0; i < y.Rows; i++ {
+			var s float64
+			for _, v := range y.Row(i) {
+				s += v
+			}
+			diff := s - target[i]
+			loss += diff * diff
+		}
+		return loss
+	}
+	// Analytic gradient.
+	y := d.Forward(x)
+	dy := NewMatrix(y.Rows, y.Cols)
+	for i := 0; i < y.Rows; i++ {
+		var s float64
+		for _, v := range y.Row(i) {
+			s += v
+		}
+		g := 2 * (s - target[i])
+		for j := 0; j < y.Cols; j++ {
+			dy.Set(i, j, g)
+		}
+	}
+	d.W.ZeroGrad()
+	d.B.ZeroGrad()
+	dx := d.Backward(x, dy)
+
+	for i := range d.W.W {
+		num := numericGrad(forward, d.W.W, i)
+		if !almostEqual(num, d.W.Grad[i], 1e-4*(1+math.Abs(num))) {
+			t.Fatalf("dW[%d]: analytic %v numeric %v", i, d.W.Grad[i], num)
+		}
+	}
+	for i := range d.B.W {
+		num := numericGrad(forward, d.B.W, i)
+		if !almostEqual(num, d.B.Grad[i], 1e-4*(1+math.Abs(num))) {
+			t.Fatalf("dB[%d]: analytic %v numeric %v", i, d.B.Grad[i], num)
+		}
+	}
+	for i := range x.Data {
+		num := numericGrad(forward, x.Data, i)
+		if !almostEqual(num, dx.Data[i], 1e-4*(1+math.Abs(num))) {
+			t.Fatalf("dX[%d]: analytic %v numeric %v", i, dx.Data[i], num)
+		}
+	}
+}
+
+func TestSetEncoderGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const l, h = 4, 3
+	enc := NewSetEncoder(rng, l, h)
+	samples := [][][]float64{
+		{randVec(rng, l), randVec(rng, l), randVec(rng, l)},
+		{randVec(rng, l)},
+		{randVec(rng, l), randVec(rng, l)},
+	}
+	batch := BuildSetBatch(samples, l)
+
+	forward := func() float64 {
+		pooled, _ := enc.Forward(batch)
+		var loss float64
+		for _, v := range pooled.Data {
+			loss += v * v
+		}
+		return loss
+	}
+	pooled, hidden := enc.Forward(batch)
+	dPooled := NewMatrix(pooled.Rows, pooled.Cols)
+	for i, v := range pooled.Data {
+		dPooled.Data[i] = 2 * v
+	}
+	for _, p := range enc.Params() {
+		p.ZeroGrad()
+	}
+	enc.Backward(batch, hidden, dPooled)
+
+	w := enc.Dense.W
+	for i := range w.W {
+		num := numericGrad(forward, w.W, i)
+		if !almostEqual(num, w.Grad[i], 1e-4*(1+math.Abs(num))) {
+			t.Fatalf("encoder dW[%d]: analytic %v numeric %v", i, w.Grad[i], num)
+		}
+	}
+	b := enc.Dense.B
+	for i := range b.W {
+		num := numericGrad(forward, b.W, i)
+		if !almostEqual(num, b.Grad[i], 1e-4*(1+math.Abs(num))) {
+			t.Fatalf("encoder dB[%d]: analytic %v numeric %v", i, b.Grad[i], num)
+		}
+	}
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestSetEncoderPoolingIsAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	enc := NewSetEncoder(rng, 2, 2)
+	v1, v2 := []float64{1, 0}, []float64{0, 1}
+	single1, _ := enc.Forward(BuildSetBatch([][][]float64{{v1}}, 2))
+	single2, _ := enc.Forward(BuildSetBatch([][][]float64{{v2}}, 2))
+	both, _ := enc.Forward(BuildSetBatch([][][]float64{{v1, v2}}, 2))
+	for j := 0; j < 2; j++ {
+		want := (single1.At(0, j) + single2.At(0, j)) / 2
+		if !almostEqual(both.At(0, j), want, 1e-12) {
+			t.Fatalf("pooling not average at %d: %v vs %v", j, both.At(0, j), want)
+		}
+	}
+}
+
+func TestSigmoidBackwardMatchesNumeric(t *testing.T) {
+	x := &Matrix{Rows: 1, Cols: 3, Data: []float64{-1, 0.2, 2}}
+	forward := func() float64 {
+		y := SigmoidForward(x)
+		var s float64
+		for _, v := range y.Data {
+			s += v * v
+		}
+		return s
+	}
+	y := SigmoidForward(x)
+	dy := NewMatrix(1, 3)
+	for i, v := range y.Data {
+		dy.Data[i] = 2 * v
+	}
+	dx := SigmoidBackward(dy, y)
+	for i := range x.Data {
+		num := numericGrad(forward, x.Data, i)
+		if !almostEqual(num, dx.Data[i], 1e-6) {
+			t.Fatalf("sigmoid dX[%d]: %v vs %v", i, dx.Data[i], num)
+		}
+	}
+}
+
+func TestQErrorLoss(t *testing.T) {
+	l := QErrorLoss{}
+	loss, grad := l.Eval([]float64{0.5}, []float64{0.25})
+	if !almostEqual(loss, 2, 1e-12) {
+		t.Errorf("loss = %v, want 2", loss)
+	}
+	if grad[0] <= 0 {
+		t.Errorf("overestimate should have positive gradient, got %v", grad[0])
+	}
+	loss, grad = l.Eval([]float64{0.25}, []float64{0.5})
+	if !almostEqual(loss, 2, 1e-12) {
+		t.Errorf("loss = %v, want 2", loss)
+	}
+	if grad[0] >= 0 {
+		t.Errorf("underestimate should have negative gradient, got %v", grad[0])
+	}
+	// Perfect prediction: loss 1.
+	loss, _ = l.Eval([]float64{0.4}, []float64{0.4})
+	if !almostEqual(loss, 1, 1e-12) {
+		t.Errorf("perfect loss = %v, want 1", loss)
+	}
+}
+
+func TestQErrorLossGradClip(t *testing.T) {
+	l := QErrorLoss{Floor: 1e-3, MaxGrad: 100}
+	_, grad := l.Eval([]float64{1e-3}, []float64{1})
+	if math.Abs(grad[0]) > 100 {
+		t.Errorf("gradient not clipped: %v", grad[0])
+	}
+}
+
+func TestQErrorLossAtLeastOneProperty(t *testing.T) {
+	l := QErrorLoss{}
+	f := func(p, y float64) bool {
+		p, y = math.Abs(p), math.Abs(y)
+		if math.IsInf(p, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		loss, _ := l.Eval([]float64{p}, []float64{y})
+		return loss >= 1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogQErrorLoss(t *testing.T) {
+	l := LogQErrorLoss{Scale: math.Log(1000)}
+	// One decade apart on a 3-decade scale: q-error should be 10.
+	loss, grad := l.Eval([]float64{2.0 / 3}, []float64{1.0 / 3})
+	if !almostEqual(loss, 10, 1e-9) {
+		t.Errorf("loss = %v, want 10", loss)
+	}
+	if grad[0] <= 0 {
+		t.Errorf("overestimate gradient sign: %v", grad[0])
+	}
+	loss, _ = l.Eval([]float64{0.5}, []float64{0.5})
+	if !almostEqual(loss, 1, 1e-12) {
+		t.Errorf("perfect loss = %v", loss)
+	}
+}
+
+func TestMSEAndMAELoss(t *testing.T) {
+	mse := MSELoss{}
+	loss, grad := mse.Eval([]float64{1, 2}, []float64{0, 0})
+	if !almostEqual(loss, 2.5, 1e-12) {
+		t.Errorf("mse = %v", loss)
+	}
+	if !almostEqual(grad[0], 1, 1e-12) || !almostEqual(grad[1], 2, 1e-12) {
+		t.Errorf("mse grad = %v", grad)
+	}
+	mae := MAELoss{}
+	loss, grad = mae.Eval([]float64{1, -2}, []float64{0, 0})
+	if !almostEqual(loss, 1.5, 1e-12) {
+		t.Errorf("mae = %v", loss)
+	}
+	if grad[0] <= 0 || grad[1] >= 0 {
+		t.Errorf("mae grad = %v", grad)
+	}
+}
+
+func TestLossByName(t *testing.T) {
+	if LossByName("mse").Name() != "mse" {
+		t.Error("mse lookup failed")
+	}
+	if LossByName("mae").Name() != "mae" {
+		t.Error("mae lookup failed")
+	}
+	if LossByName("anything").Name() != "q-error" {
+		t.Error("default should be q-error")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w-3)^2 with Adam.
+	p := NewParam(1, 1)
+	p.W[0] = -5
+	opt := NewAdam(0.1)
+	for i := 0; i < 2000; i++ {
+		p.Grad[0] = 2 * (p.W[0] - 3)
+		opt.Step([]*Param{p})
+	}
+	if !almostEqual(p.W[0], 3, 1e-2) {
+		t.Errorf("Adam converged to %v, want 3", p.W[0])
+	}
+	if opt.StepCount() != 2000 {
+		t.Errorf("StepCount = %d", opt.StepCount())
+	}
+}
+
+func TestAdamStepClearsGradients(t *testing.T) {
+	p := NewParam(2, 2)
+	for i := range p.Grad {
+		p.Grad[i] = 1
+	}
+	NewAdam(0.01).Step([]*Param{p})
+	for i, g := range p.Grad {
+		if g != 0 {
+			t.Fatalf("grad[%d] = %v after Step", i, g)
+		}
+	}
+}
+
+func TestEarlyStopper(t *testing.T) {
+	s := &EarlyStopper{Patience: 2}
+	metrics := []float64{5, 4, 3, 3.5, 3.4}
+	var stoppedAt int
+	for i, m := range metrics {
+		if s.Observe(i, m) {
+			stoppedAt = i
+			break
+		}
+	}
+	if stoppedAt != 4 {
+		t.Errorf("stopped at %d, want 4", stoppedAt)
+	}
+	best, epoch := s.Best()
+	if best != 3 || epoch != 2 {
+		t.Errorf("best = %v at %d", best, epoch)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d1 := NewDense(rng, 4, 3)
+	data, err := EncodeParams(d1.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDense(rand.New(rand.NewSource(10)), 4, 3)
+	if err := DecodeParams(data, d2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.W.W {
+		if d1.W.W[i] != d2.W.W[i] {
+			t.Fatalf("weights differ at %d", i)
+		}
+	}
+	// Shape mismatch is rejected.
+	d3 := NewDense(rng, 5, 3)
+	if err := DecodeParams(data, d3.Params()); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+	if err := DecodeParams(data, d3.Params()[:1]); err == nil {
+		t.Error("tensor count mismatch should fail")
+	}
+	if err := DecodeParams([]byte("garbage"), d2.Params()); err == nil {
+		t.Error("corrupt payload should fail")
+	}
+}
+
+func TestCopyWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewDense(rng, 3, 3)
+	b := NewDense(rng, 3, 3)
+	if err := CopyWeights(b.Params(), a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.W.W {
+		if a.W.W[i] != b.W.W[i] {
+			t.Fatal("weights not copied")
+		}
+	}
+	c := NewDense(rng, 2, 2)
+	if err := CopyWeights(c.Params(), a.Params()); err == nil {
+		t.Error("mismatched shapes should fail")
+	}
+}
+
+func TestShuffleAndBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	perm := Shuffle(rng, 10)
+	seen := make(map[int]bool)
+	for _, i := range perm {
+		seen[i] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Shuffle not a permutation: %v", perm)
+	}
+	batches := Batches(perm, 3)
+	if len(batches) != 4 {
+		t.Errorf("batches = %d, want 4", len(batches))
+	}
+	if len(batches[3]) != 1 {
+		t.Errorf("last batch = %d, want 1", len(batches[3]))
+	}
+	whole := Batches(perm, 0)
+	if len(whole) != 1 || len(whole[0]) != 10 {
+		t.Errorf("batchSize 0 should produce one batch")
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense(rng, 7, 5)
+	if got := NumParams(d.Params()); got != 7*5+5 {
+		t.Errorf("NumParams = %d", got)
+	}
+	if d.NumParams() != NumParams(d.Params()) {
+		t.Error("Dense.NumParams disagrees with NumParams")
+	}
+}
+
+func TestBuildSetBatchLayout(t *testing.T) {
+	samples := [][][]float64{
+		{{1, 2}, {3, 4}},
+		{{5, 6}},
+	}
+	b := BuildSetBatch(samples, 2)
+	if b.NumSamples() != 2 {
+		t.Fatalf("NumSamples = %d", b.NumSamples())
+	}
+	if b.X.Rows != 3 || b.X.Cols != 2 {
+		t.Fatalf("X shape = %dx%d", b.X.Rows, b.X.Cols)
+	}
+	if b.Offsets[0] != 0 || b.Offsets[1] != 2 || b.Offsets[2] != 3 {
+		t.Fatalf("offsets = %v", b.Offsets)
+	}
+	if b.X.At(2, 0) != 5 {
+		t.Fatalf("row content wrong")
+	}
+}

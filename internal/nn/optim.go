@@ -1,0 +1,70 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba, ICLR'15), the optimizer
+// used by the paper (§3.3), with the standard default hyperparameters.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	step int
+}
+
+// NewAdam creates an Adam optimizer with the given learning rate and the
+// conventional β1=0.9, β2=0.999, ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update to every parameter from its accumulated
+// gradient, then clears the gradients.
+func (a *Adam) Step(params []*Param) {
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		for i, g := range p.Grad {
+			p.M[i] = a.Beta1*p.M[i] + (1-a.Beta1)*g
+			p.V[i] = a.Beta2*p.V[i] + (1-a.Beta2)*g*g
+			mHat := p.M[i] / c1
+			vHat := p.V[i] / c2
+			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// StepCount returns the number of updates applied so far.
+func (a *Adam) StepCount() int { return a.step }
+
+// EarlyStopper implements the paper's early-stopping rule (§3.3): training
+// stops when the validation metric has not improved for Patience
+// consecutive epochs; the best epoch's metric is retained.
+type EarlyStopper struct {
+	Patience int
+
+	best      float64
+	bestEpoch int
+	bad       int
+	started   bool
+}
+
+// Observe records one epoch's validation metric (lower is better) and
+// reports whether training should stop.
+func (s *EarlyStopper) Observe(epoch int, metric float64) (stop bool) {
+	if !s.started || metric < s.best {
+		s.best = metric
+		s.bestEpoch = epoch
+		s.bad = 0
+		s.started = true
+		return false
+	}
+	s.bad++
+	return s.bad >= s.Patience
+}
+
+// Best returns the best metric observed and its epoch.
+func (s *EarlyStopper) Best() (metric float64, epoch int) { return s.best, s.bestEpoch }

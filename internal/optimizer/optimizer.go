@@ -1,0 +1,263 @@
+// Package optimizer implements the application that motivates the paper:
+// cost-based join ordering driven by cardinality estimates ("a traditional
+// query optimizer is crucially dependent on cardinality estimation, which
+// enables choosing among different plan alternatives by using the
+// cardinality estimation of intermediate results", §5).
+//
+// The optimizer performs Selinger-style dynamic programming over connected
+// table subsets, producing the cheapest left-deep join order under the
+// C_out cost model — the sum of (estimated) intermediate join result
+// cardinalities, the standard metric for studying the impact of estimation
+// errors on plan quality (Leis et al., "How Good Are Query Optimizers,
+// Really?"). Plugging in different estimators (PostgreSQL-style, MSCN,
+// Cnt2Crd(CRN), or the exact executor) quantifies how containment-based
+// estimation translates into better plans.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"crn/internal/contain"
+	"crn/internal/query"
+)
+
+// Plan is a left-deep join order with its estimated C_out cost.
+type Plan struct {
+	// Order lists the base tables in join order; Order[0] is the leftmost.
+	Order []string
+	// EstimatedCost is the C_out under the optimizer's estimator: the sum
+	// of estimated cardinalities of every intermediate (and final) join
+	// result.
+	EstimatedCost float64
+}
+
+// Optimizer chooses join orders using a pluggable cardinality estimator.
+type Optimizer struct {
+	Est contain.CardEstimator
+	// AllowCrossProducts permits join orders whose prefixes are
+	// disconnected (costed as cartesian products). Off by default, like
+	// real systems.
+	AllowCrossProducts bool
+}
+
+// New creates an optimizer over the given estimator.
+func New(est contain.CardEstimator) *Optimizer { return &Optimizer{Est: est} }
+
+// Optimize returns the cheapest left-deep join order for q under the
+// estimator. Single-table queries yield the trivial plan with zero join
+// cost.
+func (o *Optimizer) Optimize(q query.Query) (Plan, error) {
+	n := len(q.Tables)
+	if n == 0 {
+		return Plan{}, fmt.Errorf("optimizer: query has no tables")
+	}
+	if n == 1 {
+		return Plan{Order: []string{q.Tables[0]}}, nil
+	}
+	if n > 16 {
+		return Plan{}, fmt.Errorf("optimizer: %d tables exceeds the DP limit", n)
+	}
+
+	cards, err := o.subsetCards(q)
+	if err != nil {
+		return Plan{}, err
+	}
+	type state struct {
+		cost float64
+		prev int // previous subset mask
+		last int // table index appended to reach this mask
+	}
+	full := (1 << n) - 1
+	states := make([]state, 1<<n)
+	for i := range states {
+		states[i] = state{cost: math.Inf(1), prev: -1, last: -1}
+	}
+	for t := 0; t < n; t++ {
+		states[1<<t] = state{cost: 0, prev: 0, last: t}
+	}
+	adj := adjacency(q)
+	for mask := 1; mask <= full; mask++ {
+		cur := states[mask]
+		if math.IsInf(cur.cost, 1) {
+			continue
+		}
+		for t := 0; t < n; t++ {
+			if mask&(1<<t) != 0 {
+				continue
+			}
+			if !o.AllowCrossProducts && !connectsTo(adj, mask, t) {
+				continue
+			}
+			next := mask | 1<<t
+			// Appending table t materializes the intermediate result of
+			// `next`; its (estimated) cardinality is the step cost.
+			cost := cur.cost + cards[next]
+			if cost < states[next].cost {
+				states[next] = state{cost: cost, prev: mask, last: t}
+			}
+		}
+	}
+	if math.IsInf(states[full].cost, 1) {
+		// Disconnected query with cross products disallowed: retry allowing
+		// them (matching executor semantics).
+		if !o.AllowCrossProducts {
+			saved := o.AllowCrossProducts
+			o.AllowCrossProducts = true
+			defer func() { o.AllowCrossProducts = saved }()
+			return o.Optimize(q)
+		}
+		return Plan{}, fmt.Errorf("optimizer: no feasible plan")
+	}
+	// Reconstruct the order.
+	order := make([]string, 0, n)
+	for mask := full; mask != 0; {
+		st := states[mask]
+		order = append(order, q.Tables[st.last])
+		mask = st.prev
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return Plan{Order: order, EstimatedCost: states[full].cost}, nil
+}
+
+// subsetCards estimates the cardinality of every table subset's sub-query.
+// Subsets of size 1 are included (needed by Cost) but not charged by the
+// C_out model.
+func (o *Optimizer) subsetCards(q query.Query) (map[int]float64, error) {
+	n := len(q.Tables)
+	out := make(map[int]float64, 1<<n)
+	for mask := 1; mask < 1<<n; mask++ {
+		sub := Subquery(q, mask)
+		c, err := o.Est.EstimateCard(sub)
+		if err != nil {
+			return nil, err
+		}
+		out[mask] = c
+	}
+	return out, nil
+}
+
+// Subquery restricts q to the tables selected by mask (bit i selects
+// q.Tables[i]), keeping the joins and predicates that touch only those
+// tables.
+func Subquery(q query.Query, mask int) query.Query {
+	in := make(map[string]bool)
+	var tables []string
+	for i, t := range q.Tables {
+		if mask&(1<<i) != 0 {
+			in[t] = true
+			tables = append(tables, t)
+		}
+	}
+	sub := query.Query{Tables: tables}
+	for _, j := range q.Joins {
+		if in[j.Left.Table] && in[j.Right.Table] {
+			sub.Joins = append(sub.Joins, j)
+		}
+	}
+	for _, p := range q.Preds {
+		if in[p.Col.Table] {
+			sub.Preds = append(sub.Preds, p)
+		}
+	}
+	return sub
+}
+
+func adjacency(q query.Query) map[int][]int {
+	idx := make(map[string]int, len(q.Tables))
+	for i, t := range q.Tables {
+		idx[t] = i
+	}
+	adj := make(map[int][]int)
+	for _, j := range q.Joins {
+		a, b := idx[j.Left.Table], idx[j.Right.Table]
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	return adj
+}
+
+func connectsTo(adj map[int][]int, mask, t int) bool {
+	for _, nbr := range adj[t] {
+		if mask&(1<<nbr) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Cost evaluates a concrete join order's C_out under an estimator
+// (typically the exact executor adapter, yielding the plan's true cost).
+func Cost(est contain.CardEstimator, q query.Query, order []string) (float64, error) {
+	if len(order) != len(q.Tables) {
+		return 0, fmt.Errorf("optimizer: order has %d tables, query has %d", len(order), len(q.Tables))
+	}
+	idx := make(map[string]int, len(q.Tables))
+	for i, t := range q.Tables {
+		idx[t] = i
+	}
+	mask := 0
+	var total float64
+	for step, t := range order {
+		i, ok := idx[t]
+		if !ok {
+			return 0, fmt.Errorf("optimizer: unknown table %q in order", t)
+		}
+		if mask&(1<<i) != 0 {
+			return 0, fmt.Errorf("optimizer: duplicate table %q in order", t)
+		}
+		mask |= 1 << i
+		if step == 0 {
+			continue // base scan is not charged by C_out
+		}
+		c, err := est.EstimateCard(Subquery(q, mask))
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// EnumerateOrders returns every valid left-deep order (connected prefixes
+// unless allowCross) — used by tests to verify DP optimality by brute
+// force. The count is factorial; callers bound the table count.
+func EnumerateOrders(q query.Query, allowCross bool) [][]string {
+	n := len(q.Tables)
+	adj := adjacency(q)
+	var out [][]string
+	var rec func(mask int, order []int)
+	rec = func(mask int, order []int) {
+		if len(order) == n {
+			names := make([]string, n)
+			for i, t := range order {
+				names[i] = q.Tables[t]
+			}
+			out = append(out, names)
+			return
+		}
+		for t := 0; t < n; t++ {
+			if mask&(1<<t) != 0 {
+				continue
+			}
+			if !allowCross && bits.OnesCount(uint(mask)) > 0 && !connectsTo(adj, mask, t) {
+				continue
+			}
+			rec(mask|1<<t, append(order, t))
+		}
+	}
+	rec(0, nil)
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}

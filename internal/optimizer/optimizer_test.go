@@ -1,0 +1,229 @@
+package optimizer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crn/internal/contain"
+	"crn/internal/datagen"
+	"crn/internal/exec"
+	"crn/internal/query"
+	"crn/internal/schema"
+	"crn/internal/sqlparse"
+)
+
+var s = schema.IMDB()
+
+func fixture(t *testing.T) (*exec.Executor, contain.CardEstimator) {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.Titles = 300
+	d, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exec.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, contain.TruthCard{T: ex}
+}
+
+func TestSingleTablePlan(t *testing.T) {
+	_, oracle := fixture(t)
+	o := New(oracle)
+	p, err := o.Optimize(sqlparse.MustParse(s, "SELECT * FROM title"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Order) != 1 || p.Order[0] != "title" || p.EstimatedCost != 0 {
+		t.Errorf("plan = %+v", p)
+	}
+}
+
+func TestEmptyQueryFails(t *testing.T) {
+	_, oracle := fixture(t)
+	if _, err := New(oracle).Optimize(query.Query{}); err == nil {
+		t.Error("empty query should fail")
+	}
+}
+
+// DP must find the same optimum as brute-force enumeration of all valid
+// left-deep orders under the same estimator.
+func TestDPMatchesBruteForce(t *testing.T) {
+	_, oracle := fixture(t)
+	o := New(oracle)
+	queries := []string{
+		`SELECT * FROM title, cast_info, movie_keyword
+		 WHERE title.id = cast_info.movie_id AND title.id = movie_keyword.movie_id
+		 AND cast_info.role_id = 2`,
+		`SELECT * FROM title, cast_info, movie_companies, movie_info
+		 WHERE title.id = cast_info.movie_id AND title.id = movie_companies.movie_id
+		 AND title.id = movie_info.movie_id
+		 AND title.production_year > 1980 AND movie_info.info_val > 500`,
+	}
+	for _, sql := range queries {
+		q := sqlparse.MustParse(s, sql)
+		plan, err := o.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		for _, order := range EnumerateOrders(q, false) {
+			c, err := Cost(oracle, q, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c < best {
+				best = c
+			}
+		}
+		if math.Abs(plan.EstimatedCost-best) > 1e-6*(1+best) {
+			t.Errorf("%s: DP cost %v, brute force %v", sql, plan.EstimatedCost, best)
+		}
+		// The reported cost matches re-costing the returned order.
+		recost, err := Cost(oracle, q, plan.Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(plan.EstimatedCost-recost) > 1e-6*(1+recost) {
+			t.Errorf("plan cost %v != recost %v", plan.EstimatedCost, recost)
+		}
+	}
+}
+
+func TestConnectedPrefixes(t *testing.T) {
+	_, oracle := fixture(t)
+	o := New(oracle)
+	q := sqlparse.MustParse(s, `SELECT * FROM title, cast_info, movie_keyword
+		WHERE title.id = cast_info.movie_id AND title.id = movie_keyword.movie_id`)
+	plan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every prefix of the chosen order must be join-connected: title must
+	// appear within the first two tables of a star query.
+	pos := -1
+	for i, tb := range plan.Order {
+		if tb == schema.Title {
+			pos = i
+		}
+	}
+	if pos > 1 {
+		t.Errorf("title at position %d creates a cross product: %v", pos, plan.Order)
+	}
+}
+
+func TestCrossProductFallback(t *testing.T) {
+	_, oracle := fixture(t)
+	o := New(oracle)
+	// No join clause between the two tables: only cross products exist, so
+	// the optimizer must fall back to allowing them.
+	q := query.Query{Tables: []string{schema.CastInfo, schema.Title}}
+	plan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Order) != 2 {
+		t.Errorf("plan = %+v", plan)
+	}
+	if plan.EstimatedCost <= 0 {
+		t.Errorf("cross product cost = %v", plan.EstimatedCost)
+	}
+}
+
+// A misestimating optimizer must never beat the oracle optimizer in true
+// cost — and on correlated data it should sometimes be strictly worse.
+func TestMisestimationCannotBeatOracle(t *testing.T) {
+	ex, oracle := fixture(t)
+	rng := rand.New(rand.NewSource(3))
+	// A deliberately wrong estimator: random noise.
+	noisy := contain.CardFunc(func(q query.Query) (float64, error) {
+		return float64(1 + rng.Intn(10000)), nil
+	})
+	oracleOpt := New(oracle)
+	noisyOpt := New(noisy)
+	queries := []string{
+		`SELECT * FROM title, cast_info, movie_keyword
+		 WHERE title.id = cast_info.movie_id AND title.id = movie_keyword.movie_id
+		 AND cast_info.person_id > 1200`,
+		`SELECT * FROM title, movie_companies, movie_info, movie_keyword
+		 WHERE title.id = movie_companies.movie_id AND title.id = movie_info.movie_id
+		 AND title.id = movie_keyword.movie_id AND movie_companies.company_id > 1600`,
+	}
+	worse := false
+	for _, sql := range queries {
+		q := sqlparse.MustParse(s, sql)
+		op, err := oracleOpt.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		np, err := noisyOpt.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleCost, err := Cost(contain.TruthCard{T: ex}, q, op.Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noisyCost, err := Cost(contain.TruthCard{T: ex}, q, np.Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if noisyCost < oracleCost-1e-9 {
+			t.Errorf("%s: noisy plan cost %v beats oracle %v", sql, noisyCost, oracleCost)
+		}
+		if noisyCost > oracleCost+1e-9 {
+			worse = true
+		}
+	}
+	_ = worse // strictly-worse is data dependent; the invariant above is the test
+}
+
+func TestCostValidation(t *testing.T) {
+	_, oracle := fixture(t)
+	q := sqlparse.MustParse(s, `SELECT * FROM title, cast_info WHERE title.id = cast_info.movie_id`)
+	if _, err := Cost(oracle, q, []string{"title"}); err == nil {
+		t.Error("wrong order length should fail")
+	}
+	if _, err := Cost(oracle, q, []string{"title", "ghost"}); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := Cost(oracle, q, []string{"title", "title"}); err == nil {
+		t.Error("duplicate table should fail")
+	}
+}
+
+func TestSubquery(t *testing.T) {
+	q := sqlparse.MustParse(s, `SELECT * FROM title, cast_info, movie_keyword
+		WHERE title.id = cast_info.movie_id AND title.id = movie_keyword.movie_id
+		AND cast_info.role_id = 2 AND title.kind_id = 1`)
+	// Mask selecting cast_info and title (order follows q.Tables, sorted:
+	// cast_info, movie_keyword, title -> bits 0 and 2).
+	sub := Subquery(q, 0b101)
+	if len(sub.Tables) != 2 || sub.Tables[0] != "cast_info" || sub.Tables[1] != "title" {
+		t.Fatalf("tables = %v", sub.Tables)
+	}
+	if len(sub.Joins) != 1 {
+		t.Errorf("joins = %v", sub.Joins)
+	}
+	if len(sub.Preds) != 2 {
+		t.Errorf("preds = %v", sub.Preds)
+	}
+}
+
+func TestEnumerateOrdersStar(t *testing.T) {
+	q := sqlparse.MustParse(s, `SELECT * FROM title, cast_info, movie_keyword
+		WHERE title.id = cast_info.movie_id AND title.id = movie_keyword.movie_id`)
+	orders := EnumerateOrders(q, false)
+	// Star with center title and 2 satellites: title first (2! tails = 2),
+	// or satellite then title then the other (2 ways). Total 4.
+	if len(orders) != 4 {
+		t.Errorf("connected orders = %d, want 4: %v", len(orders), orders)
+	}
+	all := EnumerateOrders(q, true)
+	if len(all) != 6 {
+		t.Errorf("all orders = %d, want 3! = 6", len(all))
+	}
+}

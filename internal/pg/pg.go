@@ -1,0 +1,310 @@
+// Package pg reimplements the PostgreSQL-style profiling cardinality
+// estimator the paper uses as its classical baseline (§4.1.3, §6): ANALYZE
+// gathers per-column most-common-value (MCV) lists and equi-depth
+// histograms; selectivities of conjunctive predicates are combined under the
+// attribute-value-independence assumption; and equi-joins are estimated with
+// the textbook System-R selectivity 1/max(nd_left, nd_right).
+//
+// These are exactly the modeling assumptions whose failure on correlated
+// data ("join crossing correlations") the paper exploits: per-table
+// estimates are decent, but multiplying independent selectivities across
+// correlated columns and joins under-estimates exponentially in the number
+// of joins (§6.5) — the behaviour this package reproduces by construction.
+package pg
+
+import (
+	"fmt"
+	"sort"
+
+	"crn/internal/db"
+	"crn/internal/query"
+	"crn/internal/schema"
+)
+
+// Config controls ANALYZE resolution.
+type Config struct {
+	HistogramBins int // equi-depth histogram buckets per column
+	MCVEntries    int // most-common-value list length per column
+}
+
+// DefaultConfig mirrors PostgreSQL's default statistics target order of
+// magnitude (100 histogram buckets).
+func DefaultConfig() Config { return Config{HistogramBins: 100, MCVEntries: 20} }
+
+// Estimator is an analyzed database profile; safe for concurrent use.
+type Estimator struct {
+	s     *schema.Schema
+	stats map[string]*colProfile // "table.column"
+	rows  map[string]int         // table -> row count
+}
+
+// colProfile is the per-column statistics PostgreSQL keeps in pg_statistic.
+type colProfile struct {
+	numRows   int
+	nDistinct int
+	min, max  db.Value
+
+	mcvVals  []db.Value
+	mcvFracs []float64
+	mcvTotal float64
+
+	// Equi-depth histogram over the non-MCV values; bounds has bins+1
+	// entries. histTotal is the row fraction the histogram covers.
+	bounds    []db.Value
+	histTotal float64
+}
+
+// Analyze profiles every column of a frozen database.
+func Analyze(d *db.Database, cfg Config) (*Estimator, error) {
+	if !d.Frozen() {
+		return nil, fmt.Errorf("pg: database must be frozen")
+	}
+	if cfg.HistogramBins <= 0 {
+		cfg.HistogramBins = 100
+	}
+	if cfg.MCVEntries < 0 {
+		cfg.MCVEntries = 0
+	}
+	s := d.Schema
+	e := &Estimator{s: s, stats: make(map[string]*colProfile), rows: make(map[string]int)}
+	for _, td := range s.Tables {
+		e.rows[td.Name] = d.NumRows(td.Name)
+		for _, c := range td.Columns {
+			ref := schema.ColumnRef{Table: c.Table, Column: c.Name}
+			e.stats[ref.String()] = buildProfile(d, ref, cfg)
+		}
+	}
+	return e, nil
+}
+
+func buildProfile(d *db.Database, ref schema.ColumnRef, cfg Config) *colProfile {
+	base, _ := d.Stats(ref)
+	p := &colProfile{
+		numRows:   base.NumRows,
+		nDistinct: base.NDistinct,
+		min:       base.Min,
+		max:       base.Max,
+	}
+	if base.NumRows == 0 {
+		return p
+	}
+	sorted := d.SortedValues(ref)
+
+	// Frequency count over the sorted values.
+	type vf struct {
+		v db.Value
+		n int
+	}
+	var freqs []vf
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		freqs = append(freqs, vf{sorted[i], j - i})
+		i = j
+	}
+	// MCVs: most frequent values, but only those occurring more than once
+	// (PostgreSQL does not store singletons in the MCV list).
+	sort.SliceStable(freqs, func(a, b int) bool { return freqs[a].n > freqs[b].n })
+	isMCV := make(map[db.Value]bool)
+	for i := 0; i < len(freqs) && i < cfg.MCVEntries; i++ {
+		if freqs[i].n <= 1 {
+			break
+		}
+		p.mcvVals = append(p.mcvVals, freqs[i].v)
+		frac := float64(freqs[i].n) / float64(base.NumRows)
+		p.mcvFracs = append(p.mcvFracs, frac)
+		p.mcvTotal += frac
+		isMCV[freqs[i].v] = true
+	}
+	// Histogram over the remaining values.
+	var rest []db.Value
+	for _, v := range sorted {
+		if !isMCV[v] {
+			rest = append(rest, v)
+		}
+	}
+	p.histTotal = float64(len(rest)) / float64(base.NumRows)
+	if len(rest) > 0 {
+		bins := cfg.HistogramBins
+		if bins > len(rest) {
+			bins = len(rest)
+		}
+		p.bounds = make([]db.Value, bins+1)
+		for b := 0; b <= bins; b++ {
+			idx := b * (len(rest) - 1) / bins
+			p.bounds[b] = rest[idx]
+		}
+	}
+	return p
+}
+
+// EstimateCard estimates the result cardinality of a conjunctive query.
+// Disconnected FROM clauses multiply as cartesian products, matching the
+// executor's semantics.
+func (e *Estimator) EstimateCard(q query.Query) (float64, error) {
+	if len(q.Tables) == 0 {
+		return 0, fmt.Errorf("pg: query has no tables")
+	}
+	card := 1.0
+	for _, t := range q.Tables {
+		rows, ok := e.rows[t]
+		if !ok {
+			return 0, fmt.Errorf("pg: unknown table %q", t)
+		}
+		sel, err := e.tableSelectivity(t, q.PredsOn(t))
+		if err != nil {
+			return 0, err
+		}
+		card *= float64(rows) * sel
+	}
+	for _, j := range q.Joins {
+		sel, err := e.joinSelectivity(j)
+		if err != nil {
+			return 0, err
+		}
+		card *= sel
+	}
+	if card < 0 {
+		card = 0
+	}
+	return card, nil
+}
+
+// tableSelectivity combines the predicates on one table under the
+// independence assumption.
+func (e *Estimator) tableSelectivity(table string, preds []query.Predicate) (float64, error) {
+	sel := 1.0
+	for _, p := range preds {
+		s, err := e.Selectivity(p)
+		if err != nil {
+			return 0, err
+		}
+		sel *= s
+	}
+	return clamp01(sel), nil
+}
+
+// Selectivity estimates the fraction of rows satisfying one predicate.
+func (e *Estimator) Selectivity(p query.Predicate) (float64, error) {
+	prof, ok := e.stats[p.Col.String()]
+	if !ok {
+		return 0, fmt.Errorf("pg: no statistics for %v", p.Col)
+	}
+	if prof.numRows == 0 {
+		return 0, nil
+	}
+	switch p.Op {
+	case schema.OpEQ:
+		return prof.selEQ(p.Val), nil
+	case schema.OpLT:
+		if p.Val <= prof.min {
+			return 0, nil
+		}
+		if p.Val > prof.max {
+			return 1, nil
+		}
+		return prof.selLT(p.Val), nil
+	case schema.OpGT:
+		if p.Val >= prof.max {
+			return 0, nil
+		}
+		if p.Val < prof.min {
+			return 1, nil
+		}
+		// sel(>v) = 1 - sel(<v) - sel(=v)
+		return clamp01(1 - prof.selLT(p.Val) - prof.selEQ(p.Val)), nil
+	}
+	return 0, fmt.Errorf("pg: unsupported operator %q", p.Op)
+}
+
+// joinSelectivity is the System-R equi-join selectivity 1/max(nd1, nd2),
+// PostgreSQL's eqjoinsel without MCV matching.
+func (e *Estimator) joinSelectivity(j query.Join) (float64, error) {
+	l, ok := e.stats[j.Left.String()]
+	if !ok {
+		return 0, fmt.Errorf("pg: no statistics for %v", j.Left)
+	}
+	r, ok := e.stats[j.Right.String()]
+	if !ok {
+		return 0, fmt.Errorf("pg: no statistics for %v", j.Right)
+	}
+	nd := l.nDistinct
+	if r.nDistinct > nd {
+		nd = r.nDistinct
+	}
+	if nd == 0 {
+		return 0, nil
+	}
+	return 1 / float64(nd), nil
+}
+
+// selEQ implements PostgreSQL's eqsel: MCV hit uses the stored frequency;
+// otherwise the non-MCV mass is spread evenly over the non-MCV distinct
+// values.
+func (p *colProfile) selEQ(v db.Value) float64 {
+	if v < p.min || v > p.max {
+		return 0
+	}
+	for i, mv := range p.mcvVals {
+		if mv == v {
+			return p.mcvFracs[i]
+		}
+	}
+	restDistinct := p.nDistinct - len(p.mcvVals)
+	if restDistinct <= 0 {
+		return 0
+	}
+	return (1 - p.mcvTotal) / float64(restDistinct)
+}
+
+// selLT implements PostgreSQL's scalarltsel: exact MCV contribution plus
+// interpolated histogram fraction.
+func (p *colProfile) selLT(v db.Value) float64 {
+	var sel float64
+	for i, mv := range p.mcvVals {
+		if mv < v {
+			sel += p.mcvFracs[i]
+		}
+	}
+	sel += p.histTotal * p.histFracBelow(v)
+	return clamp01(sel)
+}
+
+// histFracBelow returns the interpolated fraction of histogram-covered rows
+// strictly below v.
+func (p *colProfile) histFracBelow(v db.Value) float64 {
+	if len(p.bounds) == 0 {
+		return 0
+	}
+	if v <= p.bounds[0] {
+		return 0
+	}
+	last := p.bounds[len(p.bounds)-1]
+	if v > last {
+		return 1
+	}
+	bins := len(p.bounds) - 1
+	// Find the bucket with bounds[i] < v <= bounds[i+1].
+	i := sort.Search(bins, func(i int) bool { return v <= p.bounds[i+1] })
+	lo, hi := p.bounds[i], p.bounds[i+1]
+	var within float64
+	if hi > lo {
+		within = float64(v-lo) / float64(hi-lo)
+	}
+	return (float64(i) + within) / float64(bins)
+}
+
+// NumRows returns the profiled row count of a table.
+func (e *Estimator) NumRows(table string) int { return e.rows[table] }
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

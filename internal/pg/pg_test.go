@@ -1,0 +1,284 @@
+package pg
+
+import (
+	"math"
+	"testing"
+
+	"crn/internal/datagen"
+	"crn/internal/db"
+	"crn/internal/exec"
+	"crn/internal/metrics"
+	"crn/internal/query"
+	"crn/internal/schema"
+	"crn/internal/sqlparse"
+)
+
+var s = schema.IMDB()
+
+func analyzed(t *testing.T, titles int) (*Estimator, *exec.Executor, *db.Database) {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.Titles = titles
+	d, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Analyze(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exec.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, ex, d
+}
+
+func TestUnfilteredTableIsExact(t *testing.T) {
+	e, _, d := analyzed(t, 300)
+	q := sqlparse.MustParse(s, "SELECT * FROM title")
+	got, err := e.EstimateCard(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != float64(d.NumRows(schema.Title)) {
+		t.Errorf("unfiltered estimate = %v, want %v", got, d.NumRows(schema.Title))
+	}
+}
+
+func TestSingleColumnRangeIsAccurate(t *testing.T) {
+	e, ex, _ := analyzed(t, 2000)
+	// Histograms make single-column range predicates accurate: q-error < 2.
+	for _, sql := range []string{
+		"SELECT * FROM title WHERE title.production_year > 1950",
+		"SELECT * FROM title WHERE title.production_year < 1930",
+		"SELECT * FROM movie_info WHERE movie_info.info_val > 400",
+	} {
+		q := sqlparse.MustParse(s, sql)
+		est, err := e.EstimateCard(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := ex.Cardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qe := metrics.CardQError(float64(truth), est); qe > 2 {
+			t.Errorf("%s: q-error %v (est %v, true %d)", sql, qe, est, truth)
+		}
+	}
+}
+
+func TestEqualityUsesMCVs(t *testing.T) {
+	e, ex, _ := analyzed(t, 2000)
+	// kind_id has few distinct values; all should be in the MCV list and
+	// equality selectivity should be near exact.
+	for kind := int64(1); kind <= 7; kind++ {
+		q, err := query.New(s, []string{schema.Title}, nil, []query.Predicate{
+			{Col: schema.ColumnRef{Table: schema.Title, Column: "kind_id"}, Op: schema.OpEQ, Val: kind},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := e.EstimateCard(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := ex.Cardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth == 0 {
+			continue
+		}
+		if qe := metrics.CardQError(float64(truth), est); qe > 1.5 {
+			t.Errorf("kind_id=%d: q-error %v (est %v, true %d)", kind, qe, est, truth)
+		}
+	}
+}
+
+func TestOutOfRangeSelectivityZero(t *testing.T) {
+	e, _, _ := analyzed(t, 300)
+	p := query.Predicate{
+		Col: schema.ColumnRef{Table: schema.Title, Column: "production_year"},
+		Op:  schema.OpEQ, Val: 5000,
+	}
+	sel, err := e.Selectivity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel != 0 {
+		t.Errorf("out-of-range equality selectivity = %v", sel)
+	}
+	p.Op = schema.OpGT
+	sel, err = e.Selectivity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel != 0 {
+		t.Errorf("> max selectivity = %v", sel)
+	}
+	p.Op = schema.OpLT
+	p.Val = -100
+	sel, err = e.Selectivity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel != 0 {
+		t.Errorf("< min selectivity = %v", sel)
+	}
+}
+
+func TestLTGTEQPartitionUnity(t *testing.T) {
+	e, _, _ := analyzed(t, 1000)
+	col := schema.ColumnRef{Table: schema.Title, Column: "production_year"}
+	for _, v := range []int64{1900, 1950, 1999} {
+		var total float64
+		for _, op := range []string{schema.OpLT, schema.OpEQ, schema.OpGT} {
+			sel, err := e.Selectivity(query.Predicate{Col: col, Op: op, Val: v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += sel
+		}
+		if math.Abs(total-1) > 0.05 {
+			t.Errorf("selectivities at %d sum to %v, want ~1", v, total)
+		}
+	}
+}
+
+func TestPKFKJoinEstimate(t *testing.T) {
+	e, ex, _ := analyzed(t, 1000)
+	q := sqlparse.MustParse(s, "SELECT * FROM title, cast_info WHERE title.id = cast_info.movie_id")
+	est, err := e.EstimateCard(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := ex.Cardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unfiltered PK-FK join is the FK table size; 1/max(nd) gets this
+	// nearly right.
+	if qe := metrics.CardQError(float64(truth), est); qe > 2 {
+		t.Errorf("PK-FK join q-error = %v (est %v, true %d)", qe, est, truth)
+	}
+}
+
+// The headline behaviour the paper relies on: under correlated predicates
+// the independence assumption under-estimates, and the error grows with the
+// number of joins.
+func TestUnderestimationGrowsWithJoins(t *testing.T) {
+	e, ex, _ := analyzed(t, 3000)
+	// Correlated predicates: company ids live in era-major blocks so a
+	// company_id range implies a production_year range; info values encode
+	// the era directly (era*150 + ...).
+	queries := []string{
+		// 1 join with cross-table correlated predicates: era 4 movies with
+		// era-4-block companies (blocks 40-49 => ids > 40*40 = 1600).
+		`SELECT * FROM title, movie_companies WHERE title.id = movie_companies.movie_id
+		 AND title.production_year > 1984 AND movie_companies.company_id > 1600`,
+		// 2 joins: additionally era-4 info values (>= 4*150 = 600).
+		`SELECT * FROM title, movie_companies, movie_info
+		 WHERE title.id = movie_companies.movie_id AND title.id = movie_info.movie_id
+		 AND title.production_year > 1984 AND movie_companies.company_id > 1600
+		 AND movie_info.info_val > 600`,
+	}
+	var prevRatio float64 = 1
+	for i, sql := range queries {
+		q := sqlparse.MustParse(s, sql)
+		est, err := e.EstimateCard(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := ex.Cardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth == 0 {
+			t.Skipf("query %d has empty result on this seed", i)
+		}
+		ratio := float64(truth) / math.Max(est, 1)
+		if ratio < prevRatio {
+			t.Logf("warning: under-estimation did not grow at %d joins (ratio %v -> %v)", i+1, prevRatio, ratio)
+		}
+		prevRatio = ratio
+	}
+	if prevRatio < 2 {
+		t.Errorf("expected under-estimation on correlated multi-join query, final true/est ratio = %v", prevRatio)
+	}
+}
+
+func TestCartesianComponents(t *testing.T) {
+	e, _, d := analyzed(t, 200)
+	q := query.Query{Tables: []string{schema.CastInfo, schema.Title}}
+	got, err := e.EstimateCard(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(d.NumRows(schema.CastInfo)) * float64(d.NumRows(schema.Title))
+	if math.Abs(got-want) > 1e-6*want {
+		t.Errorf("cartesian = %v, want %v", got, want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e, _, _ := analyzed(t, 100)
+	if _, err := e.EstimateCard(query.Query{}); err == nil {
+		t.Error("empty query should fail")
+	}
+	if _, err := e.EstimateCard(query.Query{Tables: []string{"ghost"}}); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := e.Selectivity(query.Predicate{
+		Col: schema.ColumnRef{Table: "ghost", Column: "x"}, Op: schema.OpEQ,
+	}); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := e.Selectivity(query.Predicate{
+		Col: schema.ColumnRef{Table: schema.Title, Column: "kind_id"}, Op: "!=",
+	}); err == nil {
+		t.Error("unsupported operator should fail")
+	}
+	if _, err := Analyze(db.NewDatabase(s), DefaultConfig()); err == nil {
+		t.Error("unfrozen database should fail")
+	}
+}
+
+func TestSelectivityAlwaysInUnitInterval(t *testing.T) {
+	e, _, d := analyzed(t, 500)
+	cols := []schema.ColumnRef{
+		{Table: schema.Title, Column: "production_year"},
+		{Table: schema.Title, Column: "kind_id"},
+		{Table: schema.MovieKeyword, Column: "keyword_id"},
+		{Table: schema.CastInfo, Column: "person_id"},
+	}
+	for _, col := range cols {
+		st, _ := d.Stats(col)
+		step := (st.Max - st.Min + 5) / 37
+		if step < 1 {
+			step = 1
+		}
+		for v := st.Min - 2; v <= st.Max+2; v += step {
+			for _, op := range schema.Operators() {
+				sel, err := e.Selectivity(query.Predicate{Col: col, Op: op, Val: v})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sel < 0 || sel > 1 {
+					t.Fatalf("selectivity(%v %s %d) = %v out of [0,1]", col, op, v, sel)
+				}
+			}
+		}
+	}
+}
+
+func TestNumRows(t *testing.T) {
+	e, _, d := analyzed(t, 150)
+	if e.NumRows(schema.Title) != d.NumRows(schema.Title) {
+		t.Error("NumRows mismatch")
+	}
+	if e.NumRows("ghost") != 0 {
+		t.Error("unknown table should have 0 rows")
+	}
+}

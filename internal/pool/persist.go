@@ -1,0 +1,74 @@
+package pool
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"crn/internal/schema"
+	"crn/internal/sqlparse"
+)
+
+// The queries pool is envisioned as DBMS meta information that outlives a
+// session (§5.2); Save/Load persist it as (SQL, cardinality) records so a
+// pool built by one process can serve estimators in another.
+
+// persistEntry is the wire form of one pooled query.
+type persistEntry struct {
+	SQL  string
+	Card int64
+}
+
+// Save serializes the pool to w.
+func (p *Pool) Save(w io.Writer) error {
+	p.mu.RLock()
+	entries := make([]persistEntry, 0, p.entries)
+	for _, es := range p.byFrom {
+		for _, e := range es {
+			entries = append(entries, persistEntry{SQL: e.Q.SQL(), Card: e.Card})
+		}
+	}
+	p.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(entries); err != nil {
+		return fmt.Errorf("pool: save: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a pool serialized by Save, re-validating every query
+// against the schema.
+func Load(s *schema.Schema, r io.Reader) (*Pool, error) {
+	var entries []persistEntry
+	if err := gob.NewDecoder(r).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("pool: load: %w", err)
+	}
+	p := New()
+	for _, e := range entries {
+		q, err := sqlparse.Parse(s, e.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("pool: load entry %q: %w", e.SQL, err)
+		}
+		p.Add(q, e.Card)
+	}
+	return p, nil
+}
+
+// SaveFile writes the pool to a file.
+func (p *Pool) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// LoadFile reads a pool from a file written by SaveFile.
+func LoadFile(s *schema.Schema, path string) (*Pool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pool: %w", err)
+	}
+	return Load(s, bytes.NewReader(data))
+}

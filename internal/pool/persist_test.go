@@ -1,0 +1,61 @@
+package pool
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"crn/internal/sqlparse"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := New()
+	q1 := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 1")
+	q2 := sqlparse.MustParse(s, "SELECT * FROM cast_info, title WHERE cast_info.movie_id = title.id")
+	p.Add(q1, 111)
+	p.Add(q2, 222)
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(s, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d entries", loaded.Len())
+	}
+	if !loaded.Contains(q1) || !loaded.Contains(q2) {
+		t.Error("loaded pool missing queries")
+	}
+	m := loaded.Matching(q1)
+	if len(m) != 1 || m[0].Card != 111 {
+		t.Errorf("matching = %+v", m)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	p := New()
+	p.Add(sqlparse.MustParse(s, "SELECT * FROM movie_keyword"), 42)
+	path := filepath.Join(t.TempDir(), "pool.gob")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(s, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Errorf("loaded %d entries", loaded.Len())
+	}
+	if _, err := LoadFile(s, filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	if _, err := Load(s, bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("corrupt payload should fail")
+	}
+}

@@ -1,0 +1,181 @@
+// Package pool implements the queries pool of §5.2: a DBMS-side store of
+// previously executed queries together with their actual result
+// cardinalities (not their results). The pool is hashed by canonical FROM
+// clause, because only queries with identical FROM clauses are containment-
+// comparable; lookup therefore returns exactly the candidate "old" queries
+// the Cnt2Crd technique can use for a new query.
+//
+// The package also provides the final functions F of §5.3.1 (Median, Mean,
+// TrimmedMean) that collapse the per-old-query estimates into one value —
+// the paper found Median best and uses it everywhere.
+package pool
+
+import (
+	"fmt"
+	"sync"
+
+	"crn/internal/metrics"
+	"crn/internal/query"
+)
+
+// Entry is one pooled query with its actual cardinality.
+type Entry struct {
+	Q    query.Query
+	Card int64
+}
+
+// Pool is a FROM-clause-indexed collection of executed queries. It is safe
+// for concurrent use; in the envisioned deployment the DBMS appends every
+// executed query while estimators read concurrently (§5.2).
+type Pool struct {
+	mu      sync.RWMutex
+	byFrom  map[string][]Entry
+	byKey   map[string]bool
+	entries int
+}
+
+// New creates an empty pool.
+func New() *Pool {
+	return &Pool{byFrom: make(map[string][]Entry), byKey: make(map[string]bool)}
+}
+
+// Add inserts a query with its actual cardinality. Duplicate queries (same
+// canonical form) are ignored, mirroring the paper's unique-queries pools.
+// It reports whether the entry was inserted.
+func (p *Pool) Add(q query.Query, card int64) bool {
+	if card < 0 {
+		return false
+	}
+	key := q.Key()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.byKey[key] {
+		return false
+	}
+	p.byKey[key] = true
+	p.byFrom[q.FROMKey()] = append(p.byFrom[q.FROMKey()], Entry{Q: q, Card: card})
+	p.entries++
+	return true
+}
+
+// Matching returns the pooled entries whose FROM clause equals the query's
+// FROM clause — the candidates for the Cnt2Crd technique. The returned
+// slice is a copy and safe to retain.
+func (p *Pool) Matching(q query.Query) []Entry {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	src := p.byFrom[q.FROMKey()]
+	out := make([]Entry, len(src))
+	copy(out, src)
+	return out
+}
+
+// Contains reports whether the exact query is pooled.
+func (p *Pool) Contains(q query.Query) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.byKey[q.Key()]
+}
+
+// Len returns the number of pooled queries.
+func (p *Pool) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.entries
+}
+
+// FROMKeys returns the distinct FROM clauses present in the pool.
+func (p *Pool) FROMKeys() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.byFrom))
+	for k := range p.byFrom {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Entries returns a copy of all pooled entries (diagnostics, sweeps).
+func (p *Pool) Entries() []Entry {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]Entry, 0, p.entries)
+	for _, es := range p.byFrom {
+		out = append(out, es...)
+	}
+	return out
+}
+
+// Subset returns a new pool holding at most n entries, taken round-robin
+// across FROM clauses so that every clause stays covered — the construction
+// used for the pool-size sweep (Table 14, "equally distributed over all the
+// possible FROM clauses").
+func (p *Pool) Subset(n int) *Pool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := New()
+	if n <= 0 {
+		return out
+	}
+	keys := make([]string, 0, len(p.byFrom))
+	for k := range p.byFrom {
+		keys = append(keys, k)
+	}
+	// Deterministic order.
+	sortStrings(keys)
+	idx := 0
+	for out.entries < n {
+		progress := false
+		for _, k := range keys {
+			es := p.byFrom[k]
+			if idx < len(es) {
+				out.Add(es[idx].Q, es[idx].Card)
+				progress = true
+				if out.entries >= n {
+					break
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+		idx++
+	}
+	return out
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// FinalFunc collapses the per-old-query cardinality estimates into the
+// final estimate (the function F of §5.3).
+type FinalFunc func([]float64) float64
+
+// Median is the paper's chosen final function (§5.3.1, §6.3).
+func Median(results []float64) float64 { return metrics.Median(results) }
+
+// Mean is the arithmetic-mean final function.
+func Mean(results []float64) float64 { return metrics.Mean(results) }
+
+// TrimmedMean removes 12.5% of each tail ("the 25% outliers", §5.3.1)
+// before averaging.
+func TrimmedMean(results []float64) float64 { return metrics.TrimmedMean(results, 0.125) }
+
+// FinalByName resolves a final function by name ("median", "mean",
+// "trimmed"); unknown names default to Median.
+func FinalByName(name string) (FinalFunc, error) {
+	switch name {
+	case "", "median":
+		return Median, nil
+	case "mean":
+		return Mean, nil
+	case "trimmed":
+		return TrimmedMean, nil
+	}
+	return nil, fmt.Errorf("pool: unknown final function %q", name)
+}

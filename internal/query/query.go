@@ -1,0 +1,302 @@
+// Package query models the conjunctive SELECT * queries of the paper:
+// a set of tables T (FROM clause), a set of equi-join clauses J, and a set of
+// column predicates P with operators <, = and > (§3.2.1). It provides
+// canonical keys (pairs of queries are only comparable when their SELECT and
+// FROM clauses are identical, §2), the intersection query Q1∩Q2 used by the
+// Crd2Cnt transformation (§4.1.1), and a SQL renderer.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crn/internal/schema"
+)
+
+// Join is an equi-join clause (col1 = col2) from the WHERE clause.
+type Join struct {
+	Left, Right schema.ColumnRef
+}
+
+// Canonical returns the join with its sides in lexicographic order, so that
+// equal joins compare equal regardless of how they were written.
+func (j Join) Canonical() Join {
+	if j.Left.String() > j.Right.String() {
+		return Join{Left: j.Right, Right: j.Left}
+	}
+	return j
+}
+
+// String renders the clause as SQL.
+func (j Join) String() string { return j.Left.String() + " = " + j.Right.String() }
+
+// Predicate is a column predicate (col op val) from the WHERE clause.
+type Predicate struct {
+	Col schema.ColumnRef
+	Op  string // schema.OpLT, schema.OpEQ or schema.OpGT
+	Val int64
+}
+
+// String renders the predicate as SQL.
+func (p Predicate) String() string { return fmt.Sprintf("%s %s %d", p.Col, p.Op, p.Val) }
+
+// Matches reports whether value v satisfies the predicate.
+func (p Predicate) Matches(v int64) bool {
+	switch p.Op {
+	case schema.OpLT:
+		return v < p.Val
+	case schema.OpEQ:
+		return v == p.Val
+	case schema.OpGT:
+		return v > p.Val
+	}
+	return false
+}
+
+// Query is a conjunctive SELECT * query. The zero value is an empty query;
+// construct real queries with New to get validation and canonical ordering.
+type Query struct {
+	Tables []string    // sorted table names (the FROM clause)
+	Joins  []Join      // canonicalized, sorted join clauses
+	Preds  []Predicate // sorted column predicates
+}
+
+// New assembles a Query, canonicalizing table, join and predicate order and
+// validating every reference against the schema. Join clauses must be edges
+// of the schema join graph and predicates must name non-key columns of
+// tables present in the FROM clause.
+func New(s *schema.Schema, tables []string, joins []Join, preds []Predicate) (Query, error) {
+	q := Query{
+		Tables: append([]string(nil), tables...),
+		Joins:  make([]Join, len(joins)),
+		Preds:  append([]Predicate(nil), preds...),
+	}
+	sort.Strings(q.Tables)
+	for i := 1; i < len(q.Tables); i++ {
+		if q.Tables[i] == q.Tables[i-1] {
+			return Query{}, fmt.Errorf("query: duplicate table %q", q.Tables[i])
+		}
+	}
+	inFrom := make(map[string]bool, len(q.Tables))
+	for _, t := range q.Tables {
+		if _, ok := s.Table(t); !ok {
+			return Query{}, fmt.Errorf("query: unknown table %q", t)
+		}
+		inFrom[t] = true
+	}
+	for i, j := range joins {
+		cj := j.Canonical()
+		if _, ok := s.JoinID(cj.Left, cj.Right); !ok {
+			return Query{}, fmt.Errorf("query: %v is not a join edge of the schema", cj)
+		}
+		if !inFrom[cj.Left.Table] || !inFrom[cj.Right.Table] {
+			return Query{}, fmt.Errorf("query: join %v references table outside FROM clause", cj)
+		}
+		q.Joins[i] = cj
+	}
+	sort.Slice(q.Joins, func(a, b int) bool { return joinKey(q.Joins[a]) < joinKey(q.Joins[b]) })
+	for i := 1; i < len(q.Joins); i++ {
+		if q.Joins[i] == q.Joins[i-1] {
+			return Query{}, fmt.Errorf("query: duplicate join %v", q.Joins[i])
+		}
+	}
+	for _, p := range q.Preds {
+		if !s.HasColumn(p.Col) {
+			return Query{}, fmt.Errorf("query: unknown column %v", p.Col)
+		}
+		if !inFrom[p.Col.Table] {
+			return Query{}, fmt.Errorf("query: predicate on %v references table outside FROM clause", p.Col)
+		}
+		if _, ok := s.OperatorID(p.Op); !ok {
+			return Query{}, fmt.Errorf("query: unsupported operator %q", p.Op)
+		}
+	}
+	sortPreds(q.Preds)
+	// P is a set (§3.2.1): conjunction is idempotent, so exact duplicates
+	// collapse (they would otherwise double-weight the vector in the mean
+	// pooling of the set encoders).
+	q.Preds = dedupPreds(q.Preds)
+	return q, nil
+}
+
+// dedupPreds removes adjacent duplicates from a sorted predicate slice.
+func dedupPreds(preds []Predicate) []Predicate {
+	if len(preds) < 2 {
+		return preds
+	}
+	out := preds[:1]
+	for _, p := range preds[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sortPreds(preds []Predicate) {
+	sort.Slice(preds, func(a, b int) bool {
+		pa, pb := preds[a], preds[b]
+		if pa.Col.String() != pb.Col.String() {
+			return pa.Col.String() < pb.Col.String()
+		}
+		if pa.Op != pb.Op {
+			return pa.Op < pb.Op
+		}
+		return pa.Val < pb.Val
+	})
+}
+
+func joinKey(j Join) string { return schema.EdgeKey(j.Left, j.Right) }
+
+// NumJoins returns the number of join clauses (the paper counts a query's
+// "number of joins" this way).
+func (q Query) NumJoins() int { return len(q.Joins) }
+
+// FROMKey returns the canonical key of the FROM clause. Two queries are
+// containment-comparable exactly when their FROMKeys are equal (§2). It also
+// serves as the hash key of the queries pool (§5.2).
+func (q Query) FROMKey() string { return strings.Join(q.Tables, ",") }
+
+// Key returns a canonical string uniquely identifying the whole query; used
+// for deduplication and label caching.
+func (q Query) Key() string { return q.SQL() }
+
+// SQL renders the query as a SQL string in canonical order.
+func (q Query) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT * FROM ")
+	b.WriteString(strings.Join(q.Tables, ", "))
+	var where []string
+	for _, j := range q.Joins {
+		where = append(where, j.String())
+	}
+	for _, p := range q.Preds {
+		where = append(where, p.String())
+	}
+	if len(where) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(where, " AND "))
+	} else {
+		b.WriteString(" WHERE TRUE")
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (q Query) String() string { return q.SQL() }
+
+// Comparable reports whether the two queries have identical SELECT and FROM
+// clauses, the precondition for a containment rate to be defined (§2).
+func (q Query) Comparable(other Query) bool { return q.FROMKey() == other.FROMKey() }
+
+// Intersect returns the intersection query Q1∩Q2 of the Crd2Cnt
+// transformation (§4.1.1): identical SELECT and FROM clauses, WHERE clause
+// the conjunction of both queries' WHERE clauses. It fails if the FROM
+// clauses differ.
+func (q Query) Intersect(other Query) (Query, error) {
+	if !q.Comparable(other) {
+		return Query{}, fmt.Errorf("query: intersection requires identical FROM clauses (%q vs %q)", q.FROMKey(), other.FROMKey())
+	}
+	out := Query{Tables: append([]string(nil), q.Tables...)}
+	seenJ := make(map[Join]bool)
+	for _, j := range append(append([]Join(nil), q.Joins...), other.Joins...) {
+		c := j.Canonical()
+		if !seenJ[c] {
+			seenJ[c] = true
+			out.Joins = append(out.Joins, c)
+		}
+	}
+	sort.Slice(out.Joins, func(a, b int) bool { return joinKey(out.Joins[a]) < joinKey(out.Joins[b]) })
+	seenP := make(map[Predicate]bool)
+	for _, p := range append(append([]Predicate(nil), q.Preds...), other.Preds...) {
+		if !seenP[p] {
+			seenP[p] = true
+			out.Preds = append(out.Preds, p)
+		}
+	}
+	sortPreds(out.Preds)
+	return out, nil
+}
+
+// PredsOn returns the predicates restricted to one table.
+func (q Query) PredsOn(table string) []Predicate {
+	var out []Predicate
+	for _, p := range q.Preds {
+		if p.Col.Table == table {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the query; mutating the copy's slices leaves
+// the original untouched.
+func (q Query) Clone() Query {
+	return Query{
+		Tables: append([]string(nil), q.Tables...),
+		Joins:  append([]Join(nil), q.Joins...),
+		Preds:  append([]Predicate(nil), q.Preds...),
+	}
+}
+
+// Equal reports structural equality of two canonical queries.
+func (q Query) Equal(other Query) bool { return q.Key() == other.Key() }
+
+// WithPredicate returns a copy of the query with one extra predicate,
+// keeping canonical predicate order.
+func (q Query) WithPredicate(p Predicate) Query {
+	out := q.Clone()
+	out.Preds = append(out.Preds, p)
+	sortPreds(out.Preds)
+	return out
+}
+
+// Component is one connected piece of a query's join graph. Queries whose
+// FROM clause is join-disconnected evaluate to the cartesian product of
+// their components.
+type Component struct {
+	Tables []string
+	Joins  []Join
+}
+
+// Components partitions the query's tables into connected components under
+// its join clauses, in deterministic (first-table) order.
+func (q Query) Components() []Component {
+	parent := make(map[string]string, len(q.Tables))
+	for _, t := range q.Tables {
+		parent[t] = t
+	}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, j := range q.Joins {
+		a, b := find(j.Left.Table), find(j.Right.Table)
+		if a != b {
+			parent[a] = b
+		}
+	}
+	byRoot := make(map[string]*Component)
+	var order []string
+	for _, t := range q.Tables {
+		r := find(t)
+		if byRoot[r] == nil {
+			byRoot[r] = &Component{}
+			order = append(order, r)
+		}
+		byRoot[r].Tables = append(byRoot[r].Tables, t)
+	}
+	for _, j := range q.Joins {
+		r := find(j.Left.Table)
+		byRoot[r].Joins = append(byRoot[r].Joins, j)
+	}
+	out := make([]Component, 0, len(order))
+	for _, r := range order {
+		out = append(out, *byRoot[r])
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+// Package sampling implements the two sampling-based cardinality estimators
+// the paper positions MSCN against (§4.1, §8): plain Random Sampling (RS)
+// over per-table uniform samples, and Index-Based Join Sampling (IBJS,
+// Leis et al., CIDR 2017), which walks foreign-key indexes from a sampled
+// root table and therefore does not suffer RS's empty-join-of-samples
+// problem.
+//
+// Both estimators are unbiased for single-table predicates. For joins, RS
+// joins the independent per-table samples and scales by the inverse
+// sampling fractions — collapsing to zero whenever no sampled FK pairs
+// match (the classic failure that motivated IBJS). IBJS samples only the
+// root table and counts matching index entries exactly, giving a
+// Horvitz-Thompson estimate whose variance comes solely from root sampling.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crn/internal/contain"
+	"crn/internal/db"
+	"crn/internal/query"
+)
+
+// RS is the random-sampling estimator: one uniform sample per table.
+type RS struct {
+	d       *db.Database
+	k       int
+	samples map[string][]int32
+}
+
+// NewRS draws k uniform sample rows per table (all rows when a table has
+// fewer than k).
+func NewRS(d *db.Database, k int, seed int64) (*RS, error) {
+	if !d.Frozen() {
+		return nil, fmt.Errorf("sampling: database must be frozen")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("sampling: sample size must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	r := &RS{d: d, k: k, samples: make(map[string][]int32)}
+	for _, td := range d.Schema.Tables {
+		n := d.NumRows(td.Name)
+		size := k
+		if size > n {
+			size = n
+		}
+		perm := rng.Perm(n)
+		rows := make([]int32, size)
+		for i := 0; i < size; i++ {
+			rows[i] = int32(perm[i])
+		}
+		r.samples[td.Name] = rows
+	}
+	return r, nil
+}
+
+// EstimateCard implements contain.CardEstimator by joining the per-table
+// samples and scaling by the inverse sampling fractions.
+func (r *RS) EstimateCard(q query.Query) (float64, error) {
+	if len(q.Tables) == 0 {
+		return 0, fmt.Errorf("sampling: query has no tables")
+	}
+	total := 1.0
+	for _, comp := range q.Components() {
+		if len(comp.Joins) != len(comp.Tables)-1 {
+			return 0, fmt.Errorf("sampling: cyclic join graph not supported")
+		}
+		c, err := r.componentEstimate(q, comp)
+		if err != nil {
+			return 0, err
+		}
+		total *= c
+		if total == 0 {
+			return 0, nil
+		}
+	}
+	return total, nil
+}
+
+// componentEstimate joins the samples of one connected component exactly
+// (bottom-up weights over sampled rows only) and scales the count.
+func (r *RS) componentEstimate(q query.Query, c query.Component) (float64, error) {
+	preds := make(map[string][]query.Predicate)
+	scale := 1.0
+	for _, t := range c.Tables {
+		n := r.d.NumRows(t)
+		k := len(r.samples[t])
+		if k == 0 {
+			return 0, nil
+		}
+		scale *= float64(n) / float64(k)
+	}
+	type edgeTo struct {
+		neighbor, myCol, nbrCol string
+	}
+	adj := make(map[string][]edgeTo)
+	for _, j := range c.Joins {
+		adj[j.Left.Table] = append(adj[j.Left.Table], edgeTo{j.Right.Table, j.Left.Column, j.Right.Column})
+		adj[j.Right.Table] = append(adj[j.Right.Table], edgeTo{j.Left.Table, j.Right.Column, j.Left.Column})
+	}
+	var count func(table, from, linkCol string) (map[db.Value]int64, error)
+	count = func(table, from, linkCol string) (map[db.Value]int64, error) {
+		tab := r.d.Table(table)
+		link := tab.Column(linkCol)
+		if link == nil {
+			return nil, fmt.Errorf("sampling: unknown column %s.%s", table, linkCol)
+		}
+		out := make(map[db.Value]int64)
+		for _, row := range r.samples[table] {
+			if !rowPasses(tab, preds[table], row) {
+				continue
+			}
+			m := int64(1)
+			for _, ed := range adj[table] {
+				if ed.neighbor == from {
+					continue
+				}
+				w, err := count(ed.neighbor, table, ed.nbrCol)
+				if err != nil {
+					return nil, err
+				}
+				myCol := tab.Column(ed.myCol)
+				m *= w[myCol[row]]
+				if m == 0 {
+					break
+				}
+			}
+			if m != 0 {
+				out[link[row]] += m
+			}
+		}
+		return out, nil
+	}
+	// Cache predicates per table once.
+	for _, t := range c.Tables {
+		preds[t] = q.PredsOn(t)
+	}
+	root := c.Tables[0]
+	tab := r.d.Table(root)
+	var sampleCount int64
+	for _, row := range r.samples[root] {
+		if !rowPasses(tab, preds[root], row) {
+			continue
+		}
+		m := int64(1)
+		for _, ed := range adj[root] {
+			w, err := count(ed.neighbor, root, ed.nbrCol)
+			if err != nil {
+				return 0, err
+			}
+			myCol := tab.Column(ed.myCol)
+			m *= w[myCol[row]]
+			if m == 0 {
+				break
+			}
+		}
+		sampleCount += m
+	}
+	return float64(sampleCount) * scale, nil
+}
+
+// IBJS is the index-based join-sampling estimator: it samples only the
+// root table and resolves joins exactly through the key indexes.
+type IBJS struct {
+	d       *db.Database
+	k       int
+	samples map[string][]int32
+}
+
+// NewIBJS draws k uniform root-sample rows per table.
+func NewIBJS(d *db.Database, k int, seed int64) (*IBJS, error) {
+	rs, err := NewRS(d, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &IBJS{d: d, k: k, samples: rs.samples}, nil
+}
+
+// EstimateCard implements contain.CardEstimator: a Horvitz-Thompson
+// estimate from the sampled root rows, with subtree weights counted exactly
+// via full scans of filtered children (our key indexes make this the
+// index-walk of the IBJS paper).
+func (e *IBJS) EstimateCard(q query.Query) (float64, error) {
+	if len(q.Tables) == 0 {
+		return 0, fmt.Errorf("sampling: query has no tables")
+	}
+	total := 1.0
+	for _, comp := range q.Components() {
+		if len(comp.Joins) != len(comp.Tables)-1 {
+			return 0, fmt.Errorf("sampling: cyclic join graph not supported")
+		}
+		c, err := e.componentEstimate(q, comp)
+		if err != nil {
+			return 0, err
+		}
+		total *= c
+		if total == 0 {
+			return 0, nil
+		}
+	}
+	return total, nil
+}
+
+func (e *IBJS) componentEstimate(q query.Query, c query.Component) (float64, error) {
+	root := pickRoot(c)
+	type edgeTo struct {
+		neighbor, myCol, nbrCol string
+	}
+	adj := make(map[string][]edgeTo)
+	for _, j := range c.Joins {
+		adj[j.Left.Table] = append(adj[j.Left.Table], edgeTo{j.Right.Table, j.Left.Column, j.Right.Column})
+		adj[j.Right.Table] = append(adj[j.Right.Table], edgeTo{j.Left.Table, j.Right.Column, j.Left.Column})
+	}
+	// Exact subtree weights over ALL rows (not samples), as the index walk
+	// resolves matches exactly.
+	var weights func(table, from, linkCol string) (map[db.Value]int64, error)
+	weights = func(table, from, linkCol string) (map[db.Value]int64, error) {
+		tab := e.d.Table(table)
+		link := tab.Column(linkCol)
+		if link == nil {
+			return nil, fmt.Errorf("sampling: unknown column %s.%s", table, linkCol)
+		}
+		preds := q.PredsOn(table)
+		out := make(map[db.Value]int64)
+		for row := 0; row < tab.NumRows(); row++ {
+			if !rowPasses(tab, preds, int32(row)) {
+				continue
+			}
+			m := int64(1)
+			for _, ed := range adj[table] {
+				if ed.neighbor == from {
+					continue
+				}
+				w, err := weights(ed.neighbor, table, ed.nbrCol)
+				if err != nil {
+					return nil, err
+				}
+				m *= w[tab.Column(ed.myCol)[row]]
+				if m == 0 {
+					break
+				}
+			}
+			if m != 0 {
+				out[link[int32(row)]] += m
+			}
+		}
+		return out, nil
+	}
+	tab := e.d.Table(root)
+	rootPreds := q.PredsOn(root)
+	n := e.d.NumRows(root)
+	rows := e.samples[root]
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	childWeights := make([]map[db.Value]int64, 0, len(adj[root]))
+	childCols := make([][]db.Value, 0, len(adj[root]))
+	for _, ed := range adj[root] {
+		w, err := weights(ed.neighbor, root, ed.nbrCol)
+		if err != nil {
+			return 0, err
+		}
+		childWeights = append(childWeights, w)
+		childCols = append(childCols, tab.Column(ed.myCol))
+	}
+	var sum int64
+	for _, row := range rows {
+		if !rowPasses(tab, rootPreds, row) {
+			continue
+		}
+		m := int64(1)
+		for i := range childWeights {
+			m *= childWeights[i][childCols[i][row]]
+			if m == 0 {
+				break
+			}
+		}
+		sum += m
+	}
+	return float64(sum) * float64(n) / float64(len(rows)), nil
+}
+
+// pickRoot chooses the component's root table: the star center when
+// present (highest join degree), which maximizes what the index walk
+// resolves exactly.
+func pickRoot(c query.Component) string {
+	degree := make(map[string]int)
+	for _, j := range c.Joins {
+		degree[j.Left.Table]++
+		degree[j.Right.Table]++
+	}
+	root := c.Tables[0]
+	for _, t := range c.Tables {
+		if degree[t] > degree[root] {
+			root = t
+		}
+	}
+	return root
+}
+
+func rowPasses(t *db.Table, preds []query.Predicate, row int32) bool {
+	for _, p := range preds {
+		if !p.Matches(t.Column(p.Col.Column)[row]) {
+			return false
+		}
+	}
+	return true
+}
+
+var (
+	_ contain.CardEstimator = (*RS)(nil)
+	_ contain.CardEstimator = (*IBJS)(nil)
+)

@@ -1,0 +1,207 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"crn/internal/datagen"
+	"crn/internal/db"
+	"crn/internal/exec"
+	"crn/internal/metrics"
+	"crn/internal/query"
+	"crn/internal/schema"
+	"crn/internal/sqlparse"
+)
+
+var s = schema.IMDB()
+
+func fixture(t *testing.T, titles int) (*db.Database, *exec.Executor) {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.Titles = titles
+	d, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exec.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, ex
+}
+
+func TestValidation(t *testing.T) {
+	d, _ := fixture(t, 100)
+	if _, err := NewRS(db.NewDatabase(s), 10, 1); err == nil {
+		t.Error("unfrozen database should fail")
+	}
+	if _, err := NewRS(d, 0, 1); err == nil {
+		t.Error("zero sample size should fail")
+	}
+	rs, err := NewRS(d, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.EstimateCard(query.Query{}); err == nil {
+		t.Error("empty query should fail")
+	}
+}
+
+func TestSingleTableUnbiasedness(t *testing.T) {
+	d, ex := fixture(t, 2000)
+	q := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.production_year > 1950")
+	truth, err := ex.Cardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average over several sample seeds approaches the truth.
+	var sum float64
+	const seeds = 10
+	for seed := int64(0); seed < seeds; seed++ {
+		rs, err := NewRS(d, 256, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := rs.EstimateCard(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+	}
+	avg := sum / seeds
+	if qe := metrics.CardQError(float64(truth), avg); qe > 1.3 {
+		t.Errorf("RS single-table average q-error %v (avg %v, truth %d)", qe, avg, truth)
+	}
+}
+
+func TestFullSampleIsExact(t *testing.T) {
+	d, ex := fixture(t, 150)
+	// Sample size >= table sizes: both estimators must be exact.
+	rs, err := NewRS(d, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := NewIBJS(d, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT * FROM title WHERE title.kind_id < 4",
+		"SELECT * FROM title, cast_info WHERE title.id = cast_info.movie_id AND cast_info.role_id = 2",
+		`SELECT * FROM title, cast_info, movie_keyword
+		 WHERE title.id = cast_info.movie_id AND title.id = movie_keyword.movie_id`,
+	}
+	for _, sql := range queries {
+		q := sqlparse.MustParse(s, sql)
+		truth, err := ex.Cardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, est := range map[string]interface {
+			EstimateCard(query.Query) (float64, error)
+		}{"RS": rs, "IBJS": ib} {
+			got, err := est.EstimateCard(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-float64(truth)) > 1e-9 {
+				t.Errorf("%s with full sample: %v != %d for %s", name, got, truth, sql)
+			}
+		}
+	}
+}
+
+// The classic RS failure the paper's citations describe: joining small
+// independent samples under-estimates joins (often to zero), while IBJS
+// stays accurate because only the root is sampled.
+func TestIBJSBeatsRSOnJoins(t *testing.T) {
+	d, ex := fixture(t, 3000)
+	q := sqlparse.MustParse(s, `SELECT * FROM title, cast_info, movie_keyword
+		WHERE title.id = cast_info.movie_id AND title.id = movie_keyword.movie_id
+		AND title.production_year > 1950`)
+	truth, err := ex.Cardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth == 0 {
+		t.Skip("empty truth on this seed")
+	}
+	var rsErr, ibErr float64
+	const seeds = 5
+	for seed := int64(0); seed < seeds; seed++ {
+		rs, err := NewRS(d, 64, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ib, err := NewIBJS(d, 64, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsEst, err := rs.EstimateCard(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ibEst, err := ib.EstimateCard(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsErr += metrics.CardQError(float64(truth), rsEst)
+		ibErr += metrics.CardQError(float64(truth), ibEst)
+	}
+	if ibErr >= rsErr {
+		t.Errorf("IBJS (%v) should beat RS (%v) on 2-join queries", ibErr/seeds, rsErr/seeds)
+	}
+	if ibErr/seeds > 4 {
+		t.Errorf("IBJS mean q-error %v too high on star join", ibErr/seeds)
+	}
+}
+
+func TestCartesianComponents(t *testing.T) {
+	d, ex := fixture(t, 200)
+	ib, err := NewIBJS(d, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{Tables: []string{schema.CastInfo, schema.Title}}
+	got, err := ib.EstimateCard(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := ex.Cardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-float64(truth)) > 1e-9 {
+		t.Errorf("cartesian: %v != %d", got, truth)
+	}
+}
+
+func TestEstimatesNonNegative(t *testing.T) {
+	d, _ := fixture(t, 500)
+	rs, err := NewRS(d, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := NewIBJS(d, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT * FROM movie_keyword WHERE movie_keyword.keyword_id > 500",
+		"SELECT * FROM title, movie_info WHERE title.id = movie_info.movie_id AND movie_info.info_val < 100",
+	}
+	for _, sql := range queries {
+		q := sqlparse.MustParse(s, sql)
+		for _, est := range []interface {
+			EstimateCard(query.Query) (float64, error)
+		}{rs, ib} {
+			got, err := est.EstimateCard(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < 0 || math.IsNaN(got) {
+				t.Errorf("estimate %v for %s", got, sql)
+			}
+		}
+	}
+}

@@ -1,0 +1,343 @@
+// Package schema defines the IMDb-like relational schema used throughout the
+// repository: table and column catalogs, primary/foreign-key join edges, and
+// the featurization dimensions (#T, #C, #O) derived from them.
+//
+// The schema mirrors the six-table subset of IMDb used by the MSCN paper
+// (Kipf et al., CIDR 2019) and by the containment-rate paper: the fact table
+// `title` plus five satellite tables that each reference `title.id` through a
+// `movie_id` foreign key. All join edges therefore form a star centered on
+// `title`, which bounds the number of joins in a query at five — exactly the
+// range exercised by the paper's workloads.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table names of the IMDb-like schema.
+const (
+	Title        = "title"
+	MovieCompany = "movie_companies"
+	CastInfo     = "cast_info"
+	MovieInfo    = "movie_info"
+	MovieInfoIdx = "movie_info_idx"
+	MovieKeyword = "movie_keyword"
+)
+
+// Column describes a single column of a table.
+type Column struct {
+	Table string // owning table name
+	Name  string // column name, unique within the table
+	// Key reports whether the column participates in a join (primary or
+	// foreign key). Key columns never carry value predicates; the paper's
+	// generator draws predicates from non-key columns only.
+	Key bool
+}
+
+// Qualified returns the table-qualified column name, e.g. "title.id".
+func (c Column) Qualified() string { return c.Table + "." + c.Name }
+
+// JoinEdge is an equi-join edge of the schema join graph. Left is always the
+// primary-key side and Right the foreign-key side.
+type JoinEdge struct {
+	Left  ColumnRef // PK side, e.g. title.id
+	Right ColumnRef // FK side, e.g. movie_companies.movie_id
+}
+
+// ColumnRef identifies a column by table and column name.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// String returns the qualified "table.column" form.
+func (r ColumnRef) String() string { return r.Table + "." + r.Column }
+
+// TableDef describes one table: its columns in catalog order.
+type TableDef struct {
+	Name    string
+	Columns []Column
+}
+
+// NonKeyColumns returns the predicate-eligible columns of the table.
+func (t TableDef) NonKeyColumns() []Column {
+	var out []Column
+	for _, c := range t.Columns {
+		if !c.Key {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Schema is the full catalog: tables, their columns and the join graph.
+// A Schema is immutable after construction; all lookup maps are precomputed.
+type Schema struct {
+	Tables []TableDef
+	Joins  []JoinEdge
+
+	tableIndex  map[string]int // table name -> position in Tables
+	columnIndex map[string]int // "table.column" -> global column ordinal
+	columns     []Column       // flat catalog in global ordinal order
+	joinIndex   map[string]int // canonical edge key -> position in Joins
+	adjacency   map[string][]JoinEdge
+}
+
+// Operators supported in column predicates, in featurization order.
+// The paper fixes #O = 3 with operators <, = and >.
+const (
+	OpLT = "<"
+	OpEQ = "="
+	OpGT = ">"
+)
+
+// Operators lists the predicate operators in their one-hot encoding order.
+func Operators() []string { return []string{OpLT, OpEQ, OpGT} }
+
+// NumOperators is #O from the paper's featurization (Table 1).
+const NumOperators = 3
+
+// IMDB constructs the six-table IMDb-like schema used by the paper's
+// evaluation. The result is a fresh immutable value; callers may share it
+// freely across goroutines.
+func IMDB() *Schema {
+	tables := []TableDef{
+		{Name: Title, Columns: []Column{
+			{Table: Title, Name: "id", Key: true},
+			{Table: Title, Name: "kind_id"},
+			{Table: Title, Name: "production_year"},
+			{Table: Title, Name: "season_nr"},
+			{Table: Title, Name: "episode_nr"},
+		}},
+		{Name: MovieCompany, Columns: []Column{
+			{Table: MovieCompany, Name: "movie_id", Key: true},
+			{Table: MovieCompany, Name: "company_id"},
+			{Table: MovieCompany, Name: "company_type_id"},
+		}},
+		{Name: CastInfo, Columns: []Column{
+			{Table: CastInfo, Name: "movie_id", Key: true},
+			{Table: CastInfo, Name: "person_id"},
+			{Table: CastInfo, Name: "role_id"},
+			{Table: CastInfo, Name: "nr_order"},
+		}},
+		{Name: MovieInfo, Columns: []Column{
+			{Table: MovieInfo, Name: "movie_id", Key: true},
+			{Table: MovieInfo, Name: "info_type_id"},
+			{Table: MovieInfo, Name: "info_val"},
+		}},
+		{Name: MovieInfoIdx, Columns: []Column{
+			{Table: MovieInfoIdx, Name: "movie_id", Key: true},
+			{Table: MovieInfoIdx, Name: "info_type_id"},
+			{Table: MovieInfoIdx, Name: "info_val"},
+		}},
+		{Name: MovieKeyword, Columns: []Column{
+			{Table: MovieKeyword, Name: "movie_id", Key: true},
+			{Table: MovieKeyword, Name: "keyword_id"},
+		}},
+	}
+	pk := ColumnRef{Table: Title, Column: "id"}
+	joins := []JoinEdge{
+		{Left: pk, Right: ColumnRef{Table: MovieCompany, Column: "movie_id"}},
+		{Left: pk, Right: ColumnRef{Table: CastInfo, Column: "movie_id"}},
+		{Left: pk, Right: ColumnRef{Table: MovieInfo, Column: "movie_id"}},
+		{Left: pk, Right: ColumnRef{Table: MovieInfoIdx, Column: "movie_id"}},
+		{Left: pk, Right: ColumnRef{Table: MovieKeyword, Column: "movie_id"}},
+	}
+	return New(tables, joins)
+}
+
+// New builds a Schema from table definitions and join edges, precomputing all
+// lookup structures. It panics on duplicate tables/columns or joins that
+// reference unknown columns, since a malformed schema is a programming error.
+func New(tables []TableDef, joins []JoinEdge) *Schema {
+	s := &Schema{
+		Tables:      tables,
+		Joins:       joins,
+		tableIndex:  make(map[string]int, len(tables)),
+		columnIndex: make(map[string]int),
+		joinIndex:   make(map[string]int, len(joins)),
+		adjacency:   make(map[string][]JoinEdge),
+	}
+	for i, t := range tables {
+		if _, dup := s.tableIndex[t.Name]; dup {
+			panic(fmt.Sprintf("schema: duplicate table %q", t.Name))
+		}
+		s.tableIndex[t.Name] = i
+		for _, c := range t.Columns {
+			key := c.Qualified()
+			if _, dup := s.columnIndex[key]; dup {
+				panic(fmt.Sprintf("schema: duplicate column %q", key))
+			}
+			s.columnIndex[key] = len(s.columns)
+			s.columns = append(s.columns, c)
+		}
+	}
+	for i, j := range joins {
+		for _, ref := range []ColumnRef{j.Left, j.Right} {
+			if _, ok := s.columnIndex[ref.String()]; !ok {
+				panic(fmt.Sprintf("schema: join references unknown column %q", ref))
+			}
+		}
+		s.joinIndex[EdgeKey(j.Left, j.Right)] = i
+		s.adjacency[j.Left.Table] = append(s.adjacency[j.Left.Table], j)
+		s.adjacency[j.Right.Table] = append(s.adjacency[j.Right.Table], j)
+	}
+	return s
+}
+
+// EdgeKey returns the canonical key of an equi-join between two columns,
+// independent of argument order.
+func EdgeKey(a, b ColumnRef) string {
+	x, y := a.String(), b.String()
+	if x > y {
+		x, y = y, x
+	}
+	return x + "=" + y
+}
+
+// NumTables is #T from the featurization.
+func (s *Schema) NumTables() int { return len(s.Tables) }
+
+// NumColumns is #C from the featurization: all catalog columns.
+func (s *Schema) NumColumns() int { return len(s.columns) }
+
+// NumJoins returns the number of join edges in the schema join graph.
+func (s *Schema) NumJoins() int { return len(s.Joins) }
+
+// TableID returns the one-hot ordinal of the named table.
+func (s *Schema) TableID(name string) (int, bool) {
+	i, ok := s.tableIndex[name]
+	return i, ok
+}
+
+// Table returns the definition of the named table.
+func (s *Schema) Table(name string) (TableDef, bool) {
+	i, ok := s.tableIndex[name]
+	if !ok {
+		return TableDef{}, false
+	}
+	return s.Tables[i], true
+}
+
+// ColumnID returns the global one-hot ordinal of the referenced column.
+func (s *Schema) ColumnID(ref ColumnRef) (int, bool) {
+	i, ok := s.columnIndex[ref.String()]
+	return i, ok
+}
+
+// ColumnByID returns the column with the given global ordinal.
+func (s *Schema) ColumnByID(id int) Column { return s.columns[id] }
+
+// HasColumn reports whether the referenced column exists.
+func (s *Schema) HasColumn(ref ColumnRef) bool {
+	_, ok := s.columnIndex[ref.String()]
+	return ok
+}
+
+// JoinID returns the ordinal of the join edge between the two columns,
+// independent of argument order.
+func (s *Schema) JoinID(a, b ColumnRef) (int, bool) {
+	i, ok := s.joinIndex[EdgeKey(a, b)]
+	return i, ok
+}
+
+// EdgesOf returns the join edges incident to the named table.
+func (s *Schema) EdgesOf(table string) []JoinEdge { return s.adjacency[table] }
+
+// OperatorID returns the one-hot ordinal of a predicate operator.
+func (s *Schema) OperatorID(op string) (int, bool) {
+	switch op {
+	case OpLT:
+		return 0, true
+	case OpEQ:
+		return 1, true
+	case OpGT:
+		return 2, true
+	}
+	return 0, false
+}
+
+// JoinableSets enumerates every FROM-clause table set that forms a connected
+// subgraph of the join graph, up to maxTables tables. Each set is returned as
+// a sorted slice of table names. Singletons are always connected. The result
+// is deterministic (lexicographically sorted).
+func (s *Schema) JoinableSets(maxTables int) [][]string {
+	names := make([]string, len(s.Tables))
+	for i, t := range s.Tables {
+		names[i] = t.Name
+	}
+	var out [][]string
+	n := len(names)
+	for mask := 1; mask < 1<<n; mask++ {
+		var set []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				set = append(set, names[i])
+			}
+		}
+		if len(set) > maxTables {
+			continue
+		}
+		if s.connected(set) {
+			sorted := append([]string(nil), set...)
+			sort.Strings(sorted)
+			out = append(out, sorted)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return strings.Join(out[i], ",") < strings.Join(out[j], ",")
+	})
+	return out
+}
+
+// SpanningJoins returns, for a connected table set, the join edges linking
+// the set (a spanning tree of the induced subgraph). The second result is
+// false if the set is not connected in the join graph.
+func (s *Schema) SpanningJoins(tables []string) ([]JoinEdge, bool) {
+	in := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		if _, ok := s.tableIndex[t]; !ok {
+			return nil, false
+		}
+		in[t] = true
+	}
+	if len(tables) <= 1 {
+		return nil, true
+	}
+	visited := map[string]bool{tables[0]: true}
+	var edges []JoinEdge
+	frontier := []string{tables[0]}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, e := range s.adjacency[cur] {
+			other := e.Left.Table
+			if other == cur {
+				other = e.Right.Table
+			}
+			if !in[other] || visited[other] {
+				continue
+			}
+			visited[other] = true
+			edges = append(edges, e)
+			frontier = append(frontier, other)
+		}
+	}
+	if len(visited) != len(tables) {
+		return nil, false
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		return EdgeKey(edges[i].Left, edges[i].Right) < EdgeKey(edges[j].Left, edges[j].Right)
+	})
+	return edges, true
+}
+
+func (s *Schema) connected(tables []string) bool {
+	_, ok := s.SpanningJoins(tables)
+	return ok
+}

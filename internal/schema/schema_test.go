@@ -1,0 +1,237 @@
+package schema
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestIMDBCatalogDimensions(t *testing.T) {
+	s := IMDB()
+	if got, want := s.NumTables(), 6; got != want {
+		t.Errorf("NumTables = %d, want %d", got, want)
+	}
+	// 5 + 3 + 4 + 3 + 3 + 2 columns.
+	if got, want := s.NumColumns(), 20; got != want {
+		t.Errorf("NumColumns = %d, want %d", got, want)
+	}
+	if got, want := s.NumJoins(), 5; got != want {
+		t.Errorf("NumJoins = %d, want %d", got, want)
+	}
+}
+
+func TestTableAndColumnLookup(t *testing.T) {
+	s := IMDB()
+	id, ok := s.TableID(Title)
+	if !ok {
+		t.Fatalf("TableID(%q) not found", Title)
+	}
+	if id != 0 {
+		t.Errorf("TableID(title) = %d, want 0", id)
+	}
+	if _, ok := s.TableID("nope"); ok {
+		t.Error("TableID of unknown table should fail")
+	}
+
+	cid, ok := s.ColumnID(ColumnRef{Table: Title, Column: "production_year"})
+	if !ok {
+		t.Fatal("ColumnID(title.production_year) not found")
+	}
+	col := s.ColumnByID(cid)
+	if col.Qualified() != "title.production_year" {
+		t.Errorf("ColumnByID round trip = %q", col.Qualified())
+	}
+	if s.HasColumn(ColumnRef{Table: Title, Column: "bogus"}) {
+		t.Error("HasColumn should reject unknown column")
+	}
+}
+
+func TestColumnOrdinalsAreDenseAndUnique(t *testing.T) {
+	s := IMDB()
+	seen := make(map[int]bool)
+	for _, tab := range s.Tables {
+		for _, c := range tab.Columns {
+			id, ok := s.ColumnID(ColumnRef{Table: c.Table, Column: c.Name})
+			if !ok {
+				t.Fatalf("missing ordinal for %s", c.Qualified())
+			}
+			if seen[id] {
+				t.Fatalf("duplicate ordinal %d for %s", id, c.Qualified())
+			}
+			seen[id] = true
+			if id < 0 || id >= s.NumColumns() {
+				t.Fatalf("ordinal %d out of range", id)
+			}
+		}
+	}
+	if len(seen) != s.NumColumns() {
+		t.Errorf("ordinals not dense: %d of %d", len(seen), s.NumColumns())
+	}
+}
+
+func TestNonKeyColumns(t *testing.T) {
+	s := IMDB()
+	tab, ok := s.Table(Title)
+	if !ok {
+		t.Fatal("title missing")
+	}
+	nk := tab.NonKeyColumns()
+	if len(nk) != 4 {
+		t.Fatalf("title non-key columns = %d, want 4", len(nk))
+	}
+	for _, c := range nk {
+		if c.Key {
+			t.Errorf("NonKeyColumns returned key column %s", c.Qualified())
+		}
+	}
+	mk, _ := s.Table(MovieKeyword)
+	if got := len(mk.NonKeyColumns()); got != 1 {
+		t.Errorf("movie_keyword non-key columns = %d, want 1", got)
+	}
+}
+
+func TestOperatorIDs(t *testing.T) {
+	s := IMDB()
+	want := map[string]int{OpLT: 0, OpEQ: 1, OpGT: 2}
+	for op, idx := range want {
+		got, ok := s.OperatorID(op)
+		if !ok || got != idx {
+			t.Errorf("OperatorID(%q) = %d,%v want %d,true", op, got, ok, idx)
+		}
+	}
+	if _, ok := s.OperatorID("!="); ok {
+		t.Error("OperatorID should reject unsupported operator")
+	}
+	if len(Operators()) != NumOperators {
+		t.Errorf("Operators() length %d != NumOperators %d", len(Operators()), NumOperators)
+	}
+}
+
+func TestJoinLookupIsOrderIndependent(t *testing.T) {
+	s := IMDB()
+	a := ColumnRef{Table: Title, Column: "id"}
+	b := ColumnRef{Table: CastInfo, Column: "movie_id"}
+	i1, ok1 := s.JoinID(a, b)
+	i2, ok2 := s.JoinID(b, a)
+	if !ok1 || !ok2 || i1 != i2 {
+		t.Errorf("JoinID not order independent: (%d,%v) vs (%d,%v)", i1, ok1, i2, ok2)
+	}
+	if _, ok := s.JoinID(a, ColumnRef{Table: MovieInfo, Column: "info_val"}); ok {
+		t.Error("JoinID should reject non-edges")
+	}
+}
+
+func TestJoinableSets(t *testing.T) {
+	s := IMDB()
+	sets := s.JoinableSets(6)
+	// 6 singletons + all subsets of the 5 satellites combined with title:
+	// 2^5 - 1 = 31 multi-table sets. Total 37.
+	if got, want := len(sets), 37; got != want {
+		t.Fatalf("JoinableSets = %d sets, want %d", got, want)
+	}
+	for _, set := range sets {
+		if len(set) > 1 {
+			found := false
+			for _, tb := range set {
+				if tb == Title {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("multi-table set %v lacks title (disconnected)", set)
+			}
+		}
+		if !sortedUnique(set) {
+			t.Errorf("set %v not sorted/unique", set)
+		}
+	}
+	// maxTables caps set size.
+	for _, set := range s.JoinableSets(2) {
+		if len(set) > 2 {
+			t.Errorf("JoinableSets(2) returned %v", set)
+		}
+	}
+}
+
+func TestSpanningJoins(t *testing.T) {
+	s := IMDB()
+	edges, ok := s.SpanningJoins([]string{Title, CastInfo, MovieKeyword})
+	if !ok {
+		t.Fatal("expected connected set")
+	}
+	if len(edges) != 2 {
+		t.Fatalf("spanning edges = %d, want 2", len(edges))
+	}
+	if _, ok := s.SpanningJoins([]string{CastInfo, MovieKeyword}); ok {
+		t.Error("satellite-only set should be disconnected")
+	}
+	if edges, ok := s.SpanningJoins([]string{CastInfo}); !ok || len(edges) != 0 {
+		t.Error("singleton should be trivially connected with no edges")
+	}
+	if _, ok := s.SpanningJoins([]string{"nope"}); ok {
+		t.Error("unknown table should not be connected")
+	}
+}
+
+func TestEdgeKeyCanonical(t *testing.T) {
+	a := ColumnRef{Table: "b", Column: "x"}
+	b := ColumnRef{Table: "a", Column: "y"}
+	if EdgeKey(a, b) != EdgeKey(b, a) {
+		t.Error("EdgeKey not symmetric")
+	}
+	if !strings.Contains(EdgeKey(a, b), "=") {
+		t.Error("EdgeKey missing separator")
+	}
+}
+
+func TestNewPanicsOnMalformedSchema(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate table")
+		}
+	}()
+	New([]TableDef{{Name: "t"}, {Name: "t"}}, nil)
+}
+
+func TestNewPanicsOnUnknownJoinColumn(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unknown join column")
+		}
+	}()
+	New(
+		[]TableDef{{Name: "t", Columns: []Column{{Table: "t", Name: "id", Key: true}}}},
+		[]JoinEdge{{Left: ColumnRef{"t", "id"}, Right: ColumnRef{"u", "tid"}}},
+	)
+}
+
+func TestEdgesOf(t *testing.T) {
+	s := IMDB()
+	if got := len(s.EdgesOf(Title)); got != 5 {
+		t.Errorf("EdgesOf(title) = %d, want 5", got)
+	}
+	if got := len(s.EdgesOf(CastInfo)); got != 1 {
+		t.Errorf("EdgesOf(cast_info) = %d, want 1", got)
+	}
+	if got := s.EdgesOf("nope"); got != nil {
+		t.Errorf("EdgesOf(unknown) = %v, want nil", got)
+	}
+}
+
+func sortedUnique(xs []string) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] >= xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJoinableSetsDeterministic(t *testing.T) {
+	s := IMDB()
+	a := s.JoinableSets(6)
+	b := s.JoinableSets(6)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("JoinableSets not deterministic")
+	}
+}

@@ -1,0 +1,287 @@
+// Package sqlparse parses the conjunctive SQL dialect of the paper into
+// query.Query values:
+//
+//	SELECT * FROM t1, t2 WHERE t1.id = t2.movie_id AND t1.col > 42
+//	SELECT * FROM t WHERE TRUE
+//
+// The dialect covers exactly the paper's query class: SELECT * projections,
+// comma-separated FROM lists, and WHERE clauses that are conjunctions of
+// equi-joins (column = column) and column predicates (column {<,=,>}
+// integer). Keywords are case-insensitive; a trailing semicolon is allowed.
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"crn/internal/query"
+	"crn/internal/schema"
+)
+
+// StringInterner resolves string literals to the integer codes stored in
+// the database (the §9 strings extension); implemented by dict.Dictionary.
+type StringInterner interface {
+	Code(col schema.ColumnRef, literal string) (int64, bool)
+}
+
+// Parse parses a SQL string and validates it against the schema. String
+// literals are rejected; use ParseWith to supply a dictionary.
+func Parse(s *schema.Schema, sql string) (query.Query, error) {
+	return ParseWith(s, nil, sql)
+}
+
+// ParseWith parses a SQL string, resolving quoted string literals in
+// equality predicates through the interner (col = 'literal' becomes an
+// integer equality on the literal's code; unknown literals map to code 0,
+// which matches nothing — the correct semantics for a value absent from
+// the database). Order comparisons on strings are rejected, as interned
+// codes carry no order (§9).
+func ParseWith(s *schema.Schema, dict StringInterner, sql string) (query.Query, error) {
+	p := &parser{toks: lex(sql), dict: dict}
+	q, err := p.parse(s)
+	if err != nil {
+		return query.Query{}, fmt.Errorf("sqlparse: %w", err)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and examples
+// with literal queries.
+func MustParse(s *schema.Schema, sql string) query.Query {
+	q, err := Parse(s, sql)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString // 'quoted literal'
+	tokSymbol // * , . ; < = >
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(input string) []token {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '*' || c == ',' || c == '.' || c == ';' || c == '<' || c == '=' || c == '>':
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(input) && input[j] != '\'' {
+				j++
+			}
+			if j >= len(input) {
+				toks = append(toks, token{tokSymbol, "'", i}) // unterminated
+				i++
+				continue
+			}
+			toks = append(toks, token{tokString, input[i+1 : j], i})
+			i = j + 1
+		case c == '-' || unicode.IsDigit(c):
+			j := i + 1
+			for j < len(input) && unicode.IsDigit(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	dict StringInterner
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("expected %s at position %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("expected %q at position %d, got %q", sym, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parse(s *schema.Schema) (query.Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return query.Query{}, err
+	}
+	if err := p.expectSymbol("*"); err != nil {
+		return query.Query{}, fmt.Errorf("only SELECT * queries are supported: %w", err)
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return query.Query{}, err
+	}
+	tables, err := p.tableList()
+	if err != nil {
+		return query.Query{}, err
+	}
+	var joins []query.Join
+	var preds []query.Predicate
+	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "WHERE") {
+		p.next()
+		joins, preds, err = p.whereClause()
+		if err != nil {
+			return query.Query{}, err
+		}
+	}
+	if t := p.peek(); t.kind == tokSymbol && t.text == ";" {
+		p.next()
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return query.Query{}, fmt.Errorf("unexpected trailing input %q at position %d", t.text, t.pos)
+	}
+	return query.New(s, tables, joins, preds)
+}
+
+func (p *parser) tableList() ([]string, error) {
+	var tables []string
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("expected table name at position %d, got %q", t.pos, t.text)
+		}
+		tables = append(tables, strings.ToLower(t.text))
+		if nxt := p.peek(); nxt.kind == tokSymbol && nxt.text == "," {
+			p.next()
+			continue
+		}
+		return tables, nil
+	}
+}
+
+func (p *parser) whereClause() ([]query.Join, []query.Predicate, error) {
+	var joins []query.Join
+	var preds []query.Predicate
+	for {
+		if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "TRUE") {
+			p.next()
+		} else {
+			j, pr, isJoin, err := p.condition()
+			if err != nil {
+				return nil, nil, err
+			}
+			if isJoin {
+				joins = append(joins, j)
+			} else {
+				preds = append(preds, pr)
+			}
+		}
+		if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "AND") {
+			p.next()
+			continue
+		}
+		return joins, preds, nil
+	}
+}
+
+func (p *parser) condition() (query.Join, query.Predicate, bool, error) {
+	left, err := p.columnRef()
+	if err != nil {
+		return query.Join{}, query.Predicate{}, false, err
+	}
+	opTok := p.next()
+	if opTok.kind != tokSymbol || (opTok.text != "<" && opTok.text != "=" && opTok.text != ">") {
+		return query.Join{}, query.Predicate{}, false,
+			fmt.Errorf("expected operator <,=,> at position %d, got %q", opTok.pos, opTok.text)
+	}
+	rhs := p.peek()
+	if rhs.kind == tokNumber {
+		p.next()
+		v, err := strconv.ParseInt(rhs.text, 10, 64)
+		if err != nil {
+			return query.Join{}, query.Predicate{}, false,
+				fmt.Errorf("bad integer literal %q at position %d", rhs.text, rhs.pos)
+		}
+		return query.Join{}, query.Predicate{Col: left, Op: opTok.text, Val: v}, false, nil
+	}
+	if rhs.kind == tokString {
+		p.next()
+		if p.dict == nil {
+			return query.Join{}, query.Predicate{}, false,
+				fmt.Errorf("string literal %q at position %d requires a dictionary (use ParseWith)", rhs.text, rhs.pos)
+		}
+		if opTok.text != "=" {
+			return query.Join{}, query.Predicate{}, false,
+				fmt.Errorf("string predicates support only = at position %d (interned codes carry no order)", opTok.pos)
+		}
+		code, ok := p.dict.Code(left, rhs.text)
+		if !ok {
+			code = 0 // absent literal: matches nothing
+		}
+		return query.Join{}, query.Predicate{Col: left, Op: opTok.text, Val: code}, false, nil
+	}
+	right, err := p.columnRef()
+	if err != nil {
+		return query.Join{}, query.Predicate{}, false, err
+	}
+	if opTok.text != "=" {
+		return query.Join{}, query.Predicate{}, false,
+			fmt.Errorf("joins must use = at position %d", opTok.pos)
+	}
+	return query.Join{Left: left, Right: right}, query.Predicate{}, true, nil
+}
+
+func (p *parser) columnRef() (schema.ColumnRef, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return schema.ColumnRef{}, fmt.Errorf("expected column reference at position %d, got %q", t.pos, t.text)
+	}
+	if err := p.expectSymbol("."); err != nil {
+		return schema.ColumnRef{}, fmt.Errorf("column references must be table-qualified: %w", err)
+	}
+	c := p.next()
+	if c.kind != tokIdent {
+		return schema.ColumnRef{}, fmt.Errorf("expected column name at position %d, got %q", c.pos, c.text)
+	}
+	return schema.ColumnRef{Table: strings.ToLower(t.text), Column: strings.ToLower(c.text)}, nil
+}

@@ -1,0 +1,192 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"crn/internal/schema"
+)
+
+var s = schema.IMDB()
+
+func TestParseSimple(t *testing.T) {
+	q, err := Parse(s, "SELECT * FROM title WHERE title.production_year > 1990")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tables) != 1 || q.Tables[0] != "title" {
+		t.Errorf("tables = %v", q.Tables)
+	}
+	if len(q.Preds) != 1 || q.Preds[0].Val != 1990 || q.Preds[0].Op != schema.OpGT {
+		t.Errorf("preds = %v", q.Preds)
+	}
+	if len(q.Joins) != 0 {
+		t.Errorf("joins = %v", q.Joins)
+	}
+}
+
+func TestParseJoinQuery(t *testing.T) {
+	q, err := Parse(s, `SELECT * FROM title, cast_info, movie_keyword
+		WHERE title.id = cast_info.movie_id AND movie_keyword.movie_id = title.id
+		AND cast_info.role_id = 2 AND title.kind_id < 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumJoins() != 2 {
+		t.Errorf("NumJoins = %d", q.NumJoins())
+	}
+	if len(q.Preds) != 2 {
+		t.Errorf("preds = %v", q.Preds)
+	}
+	if q.FROMKey() != "cast_info,movie_keyword,title" {
+		t.Errorf("FROMKey = %q", q.FROMKey())
+	}
+}
+
+func TestParseWhereTrue(t *testing.T) {
+	q, err := Parse(s, "SELECT * FROM movie_keyword WHERE TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 0 || len(q.Joins) != 0 {
+		t.Errorf("WHERE TRUE should be empty, got %v %v", q.Joins, q.Preds)
+	}
+	// No WHERE at all is also fine.
+	q2, err := Parse(s, "SELECT * FROM movie_keyword")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Equal(q2) {
+		t.Error("missing WHERE should equal WHERE TRUE")
+	}
+}
+
+func TestParseCaseInsensitiveAndSemicolon(t *testing.T) {
+	q, err := Parse(s, "select * from TITLE where Title.Kind_ID = 3;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Col.String() != "title.kind_id" {
+		t.Errorf("col = %v", q.Preds[0].Col)
+	}
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	q, err := Parse(s, "SELECT * FROM title WHERE title.season_nr > -1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Val != -1 {
+		t.Errorf("val = %d", q.Preds[0].Val)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	sqls := []string{
+		"SELECT * FROM title WHERE TRUE",
+		"SELECT * FROM cast_info, title WHERE cast_info.movie_id = title.id AND cast_info.nr_order < 3",
+		"SELECT * FROM movie_info, title WHERE movie_info.movie_id = title.id AND movie_info.info_val > 500 AND title.kind_id = 1",
+	}
+	for _, in := range sqls {
+		q, err := Parse(s, in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		again, err := Parse(s, q.SQL())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", q.SQL(), err)
+		}
+		if !q.Equal(again) {
+			t.Errorf("round trip changed query: %q -> %q", q.SQL(), again.SQL())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{"SELECT a FROM title", "SELECT *"},
+		{"FROM title", "SELECT"},
+		{"SELECT * title", "FROM"},
+		{"SELECT * FROM", "table name"},
+		{"SELECT * FROM ghost", "unknown table"},
+		{"SELECT * FROM title WHERE", "column reference"},
+		{"SELECT * FROM title WHERE kind_id = 3", "table-qualified"},
+		{"SELECT * FROM title WHERE title.kind_id ! 3", "operator"},
+		{"SELECT * FROM title WHERE title.kind_id = 3 extra", "trailing"},
+		{"SELECT * FROM title, cast_info WHERE title.id < cast_info.movie_id", "joins must use ="},
+		{"SELECT * FROM title WHERE title.ghost = 3", "unknown column"},
+		{"SELECT * FROM cast_info WHERE title.kind_id = 3", "outside FROM"},
+	}
+	for _, c := range cases {
+		_, err := Parse(s, c.sql)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q", c.sql, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not contain %q", c.sql, err, c.want)
+		}
+	}
+}
+
+// fakeDict implements StringInterner for parser tests.
+type fakeDict map[string]int64
+
+func (f fakeDict) Code(col schema.ColumnRef, literal string) (int64, bool) {
+	code, ok := f[col.String()+"="+literal]
+	return code, ok
+}
+
+func TestParseWithStringLiterals(t *testing.T) {
+	d := fakeDict{"title.kind_id=movie": 3}
+	q, err := ParseWith(s, d, "SELECT * FROM title WHERE title.kind_id = 'movie'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Val != 3 || q.Preds[0].Op != schema.OpEQ {
+		t.Errorf("pred = %v", q.Preds[0])
+	}
+	// Unknown literal: code 0, matches nothing but parses fine.
+	q, err = ParseWith(s, d, "SELECT * FROM title WHERE title.kind_id = 'ghost'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Val != 0 {
+		t.Errorf("unknown literal code = %d, want 0", q.Preds[0].Val)
+	}
+}
+
+func TestParseStringErrors(t *testing.T) {
+	// Without a dictionary, string literals are rejected.
+	if _, err := Parse(s, "SELECT * FROM title WHERE title.kind_id = 'movie'"); err == nil {
+		t.Error("string literal without dictionary should fail")
+	}
+	d := fakeDict{}
+	// Range comparison on strings rejected.
+	if _, err := ParseWith(s, d, "SELECT * FROM title WHERE title.kind_id < 'movie'"); err == nil {
+		t.Error("string range predicate should fail")
+	}
+	// Unterminated string literal.
+	if _, err := ParseWith(s, d, "SELECT * FROM title WHERE title.kind_id = 'movie"); err == nil {
+		t.Error("unterminated literal should fail")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad SQL")
+		}
+	}()
+	MustParse(s, "not sql")
+}
+
+func TestMustParseOK(t *testing.T) {
+	q := MustParse(s, "SELECT * FROM title")
+	if q.FROMKey() != "title" {
+		t.Errorf("FROMKey = %q", q.FROMKey())
+	}
+}
