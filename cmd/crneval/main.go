@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,7 +34,8 @@ func main() {
 	poolSeed := flag.Int64("pool-seed", 7, "queries-pool generation seed")
 	flag.Parse()
 
-	sys, err := crn.OpenSynthetic(crn.DataConfig{Titles: *titles, Seed: *dbSeed})
+	ctx := context.Background()
+	sys, err := crn.OpenSynthetic(ctx, crn.WithTitles(*titles), crn.WithDataSeed(*dbSeed))
 	if err != nil {
 		fail("open database: %v", err)
 	}
@@ -56,11 +58,11 @@ func main() {
 		if err != nil {
 			fail("parse -q2: %v", err)
 		}
-		est, err := model.EstimateContainment(q1, q2)
+		est, err := model.EstimateContainment(ctx, q1, q2)
 		if err != nil {
 			fail("estimate: %v", err)
 		}
-		truth, err := sys.TrueContainment(q1, q2)
+		truth, err := sys.TrueContainment(ctx, q1, q2)
 		if err != nil {
 			fail("execute: %v", err)
 		}
@@ -73,19 +75,19 @@ func main() {
 			fail("parse -q: %v", err)
 		}
 		p := sys.NewQueriesPool()
-		if err := sys.SeedPool(p, *poolSize, *poolSeed); err != nil {
+		if err := sys.SeedPool(ctx, p, *poolSize, *poolSeed); err != nil {
 			fail("seed pool: %v", err)
 		}
 		base, err := sys.AnalyzeBaseline()
 		if err != nil {
 			fail("analyze: %v", err)
 		}
-		est := sys.CardinalityEstimator(model, p).WithFallback(base)
-		got, err := est.EstimateCardinality(q)
+		est := sys.CardinalityEstimator(model, p, crn.WithFallback(base))
+		got, err := est.EstimateCardinality(ctx, q)
 		if err != nil {
 			fail("estimate: %v", err)
 		}
-		truth, err := sys.TrueCardinality(q)
+		truth, err := sys.TrueCardinality(ctx, q)
 		if err != nil {
 			fail("execute: %v", err)
 		}

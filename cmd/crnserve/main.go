@@ -1,0 +1,141 @@
+// Command crnserve serves cardinality and containment estimates over HTTP —
+// the paper's §5.2 deployment scenario: a DBMS continuously executes
+// queries, appends them to the queries pool with their actual
+// cardinalities, and answers estimation requests concurrently.
+//
+// At startup it opens the synthetic database, loads (or trains) a CRN
+// containment model, seeds the queries pool, and listens. Endpoints:
+//
+//	POST /estimate        {"query": "SELECT ..."}         -> {"cardinality": 123.0}
+//	POST /estimate        {"q1": "...", "q2": "..."}      -> {"containment": 0.42}
+//	POST /estimate/batch  {"queries": ["...", "..."]}     -> {"cardinalities": [...], "count": 2}
+//	POST /record          {"query": "SELECT ..."}         -> {"cardinality": 17, "added": true, "pool_size": 301}
+//	GET  /healthz                                         -> {"status": "ok", ...}
+//
+// /estimate/batch amortizes feature encoding and runs the CRN forward pass
+// matrix-batched across the whole request. /record executes the query
+// exactly and appends it to the pool, sharpening subsequent estimates —
+// POST the queries your workload actually runs. Estimation requests run
+// under the request context: a disconnecting client cancels its work.
+//
+// Errors map typed facade sentinels to statuses: unparseable dialect -> 400,
+// no usable pool match (estimator without fallback) -> 422, cancelled -> 503.
+//
+// Usage:
+//
+//	crnserve -addr :8080 -titles 4000 -pairs 5000 -pool 300
+//	crnserve -addr :8080 -model crn.model   # skip training, load weights
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"crn"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	titles := flag.Int("titles", 4000, "synthetic database size (title rows)")
+	dbSeed := flag.Int64("db-seed", 1, "database generation seed")
+	modelPath := flag.String("model", "", "serialized model from crntrain (empty: train at startup)")
+	pairs := flag.Int("pairs", 5000, "training pairs when training at startup")
+	trainSeed := flag.Int64("train-seed", 1, "workload generation seed for startup training")
+	hidden := flag.Int("hidden", 64, "hidden layer size H for startup training")
+	epochs := flag.Int("epochs", 30, "training epochs for startup training")
+	poolSize := flag.Int("pool", 300, "initial queries-pool size (0: start empty)")
+	poolSeed := flag.Int64("pool-seed", 7, "queries-pool generation seed")
+	noFallback := flag.Bool("no-fallback", false, "fail pool misses with 422 instead of using the PostgreSQL-style baseline")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "crnserve: ", log.LstdFlags)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	logger.Printf("opening synthetic database (titles=%d seed=%d)", *titles, *dbSeed)
+	sys, err := crn.OpenSynthetic(ctx, crn.WithTitles(*titles), crn.WithDataSeed(*dbSeed))
+	if err != nil {
+		logger.Fatalf("open database: %v", err)
+	}
+
+	var model *crn.ContainmentModel
+	if *modelPath != "" {
+		blob, err := os.ReadFile(*modelPath)
+		if err != nil {
+			logger.Fatalf("read model: %v", err)
+		}
+		model, err = sys.LoadContainmentModel(blob)
+		if err != nil {
+			logger.Fatalf("load model: %v", err)
+		}
+		logger.Printf("loaded model from %s", *modelPath)
+	} else {
+		mcfg := crn.DefaultModelConfig()
+		mcfg.Hidden = *hidden
+		mcfg.Epochs = *epochs
+		logger.Printf("training containment model (pairs=%d hidden=%d epochs=%d)", *pairs, *hidden, *epochs)
+		start := time.Now()
+		model, err = sys.TrainContainmentModel(ctx,
+			crn.WithPairs(*pairs),
+			crn.WithSeed(*trainSeed),
+			crn.WithModelConfig(mcfg),
+			crn.WithProgress(func(epoch int, valQ float64) {
+				if epoch%5 == 0 {
+					logger.Printf("  epoch %3d: validation mean q-error %.3f", epoch, valQ)
+				}
+			}),
+		)
+		if err != nil {
+			logger.Fatalf("train: %v", err)
+		}
+		logger.Printf("trained in %v", time.Since(start).Round(time.Second))
+	}
+
+	pool := sys.NewQueriesPool()
+	if *poolSize > 0 {
+		logger.Printf("seeding queries pool (n=%d)", *poolSize)
+		if err := sys.SeedPool(ctx, pool, *poolSize, *poolSeed); err != nil {
+			logger.Fatalf("seed pool: %v", err)
+		}
+	}
+
+	opts := []crn.EstimatorOption{}
+	if !*noFallback {
+		base, err := sys.AnalyzeBaseline()
+		if err != nil {
+			logger.Fatalf("analyze baseline: %v", err)
+		}
+		opts = append(opts, crn.WithFallback(base))
+	}
+	est := sys.CardinalityEstimator(model, pool, opts...)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(sys, model, pool, est, logger).handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	logger.Printf("serving on %s (pool=%d)", *addr, pool.Len())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatalf("serve: %v", err)
+	}
+	// ListenAndServe returns as soon as the listener closes; wait for
+	// Shutdown to finish draining in-flight requests before exiting.
+	<-drained
+	fmt.Fprintln(os.Stderr, "crnserve: shut down")
+}

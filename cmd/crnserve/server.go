@@ -1,0 +1,239 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"crn"
+)
+
+// server is the HTTP front end over the estimation facade: a trained
+// containment model, a live queries pool, and a batch-first cardinality
+// estimator. All handlers are safe for concurrent use — the pool accepts
+// concurrent /record appends while /estimate reads — and every estimation
+// runs under the request context, so a disconnecting client cancels its
+// work.
+type server struct {
+	sys   *crn.System
+	model *crn.ContainmentModel
+	pool  *crn.QueriesPool
+	est   *crn.CardinalityEstimator
+
+	started  time.Time
+	recorded atomic.Int64 // queries appended via /record
+	logger   *log.Logger
+}
+
+func newServer(sys *crn.System, model *crn.ContainmentModel, pool *crn.QueriesPool, est *crn.CardinalityEstimator, logger *log.Logger) *server {
+	return &server{sys: sys, model: model, pool: pool, est: est, started: time.Now(), logger: logger}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /estimate", s.handleEstimate)
+	mux.HandleFunc("POST /estimate/batch", s.handleEstimateBatch)
+	mux.HandleFunc("POST /record", s.handleRecord)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// --- Wire types -------------------------------------------------------------
+
+// estimateRequest drives /estimate: either Query (cardinality mode) or Q1+Q2
+// (containment mode).
+type estimateRequest struct {
+	Query string `json:"query,omitempty"`
+	Q1    string `json:"q1,omitempty"`
+	Q2    string `json:"q2,omitempty"`
+}
+
+type estimateResponse struct {
+	Cardinality *float64 `json:"cardinality,omitempty"`
+	Containment *float64 `json:"containment,omitempty"`
+}
+
+type batchRequest struct {
+	Queries []string `json:"queries"`
+}
+
+type batchResponse struct {
+	Cardinalities []float64 `json:"cardinalities"`
+	Count         int       `json:"count"`
+}
+
+type recordRequest struct {
+	Query string `json:"query"`
+}
+
+type recordResponse struct {
+	Cardinality int64 `json:"cardinality"`
+	Added       bool  `json:"added"`
+	PoolSize    int   `json:"pool_size"`
+}
+
+type healthzResponse struct {
+	Status        string  `json:"status"`
+	PoolSize      int     `json:"pool_size"`
+	Recorded      int64   `json:"recorded"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- Handlers ---------------------------------------------------------------
+
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch {
+	case req.Query != "" && req.Q1 == "" && req.Q2 == "":
+		q, err := s.sys.ParseQuery(req.Query)
+		if err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+		card, err := s.est.EstimateCardinality(r.Context(), q)
+		if err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, estimateResponse{Cardinality: &card})
+	case req.Query == "" && req.Q1 != "" && req.Q2 != "":
+		q1, err := s.sys.ParseQuery(req.Q1)
+		if err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+		q2, err := s.sys.ParseQuery(req.Q2)
+		if err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+		rate, err := s.model.EstimateContainment(r.Context(), q1, q2)
+		if err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, estimateResponse{Containment: &rate})
+	default:
+		s.writeError(w, http.StatusBadRequest,
+			errors.New(`provide either "query" (cardinality) or "q1"+"q2" (containment)`))
+	}
+}
+
+func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New(`"queries" must be non-empty`))
+		return
+	}
+	queries := make([]crn.Query, len(req.Queries))
+	for i, sql := range req.Queries {
+		q, err := s.sys.ParseQuery(sql)
+		if err != nil {
+			s.writeError(w, statusFor(err), fmt.Errorf("queries[%d]: %w", i, err))
+			return
+		}
+		queries[i] = q
+	}
+	cards, err := s.est.EstimateCardinalityBatch(r.Context(), queries)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, batchResponse{Cardinalities: cards, Count: len(cards)})
+}
+
+func (s *server) handleRecord(w http.ResponseWriter, r *http.Request) {
+	var req recordRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := s.sys.ParseQuery(req.Query)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	card, added, err := s.sys.RecordExecuted(r.Context(), s.pool, q)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	if added {
+		s.recorded.Add(1)
+	}
+	s.writeJSON(w, http.StatusOK, recordResponse{
+		Cardinality: card,
+		Added:       added,
+		PoolSize:    s.pool.Len(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, healthzResponse{
+		Status:        "ok",
+		PoolSize:      s.pool.Len(),
+		Recorded:      s.recorded.Load(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+// --- Plumbing ---------------------------------------------------------------
+
+const maxBodyBytes = 1 << 20 // 1 MiB of JSON is far beyond any sane request
+
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}
+
+// statusFor maps the facade's typed sentinel errors to HTTP status codes —
+// the reason the facade exposes them.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, crn.ErrDialect), errors.Is(err, crn.ErrNotComparable):
+		return http.StatusBadRequest
+	case errors.Is(err, crn.ErrNoPoolMatch):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil && s.logger != nil {
+		s.logger.Printf("write response: %v", err)
+	}
+}
+
+func (s *server) writeError(w http.ResponseWriter, status int, err error) {
+	if s.logger != nil && status >= 500 {
+		s.logger.Printf("request failed: %v", err)
+	}
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"crn"
+)
+
+var (
+	envOnce sync.Once
+	envSrv  *server
+	envErr  error
+)
+
+// testServer builds one tiny trained serving stack for the whole test
+// package; individual tests get fresh httptest servers over its handler but
+// share the model (training dominates setup time).
+func testServer(t *testing.T) *server {
+	t.Helper()
+	envOnce.Do(func() {
+		ctx := context.Background()
+		sys, err := crn.OpenSynthetic(ctx, crn.WithTitles(300), crn.WithDataSeed(7))
+		if err != nil {
+			envErr = err
+			return
+		}
+		mcfg := crn.DefaultModelConfig()
+		mcfg.Hidden = 8
+		mcfg.Epochs = 2
+		mcfg.Patience = 1
+		model, err := sys.TrainContainmentModel(ctx,
+			crn.WithPairs(150), crn.WithSeed(3), crn.WithModelConfig(mcfg))
+		if err != nil {
+			envErr = err
+			return
+		}
+		pool := sys.NewQueriesPool()
+		if err := sys.SeedPool(ctx, pool, 30, 11); err != nil {
+			envErr = err
+			return
+		}
+		base, err := sys.AnalyzeBaseline()
+		if err != nil {
+			envErr = err
+			return
+		}
+		est := sys.CardinalityEstimator(model, pool, crn.WithFallback(base))
+		envSrv = newServer(sys, model, pool, est, nil)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envSrv
+}
+
+func postJSONErr(url string, body any) (int, []byte, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, out.Bytes(), nil
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	status, out, err := postJSONErr(url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &http.Response{StatusCode: status}, out
+}
+
+func TestEstimateEndpoints(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).handler())
+	defer ts.Close()
+
+	// Cardinality mode.
+	resp, body := postJSON(t, ts.URL+"/estimate",
+		map[string]string{"query": "SELECT * FROM title WHERE title.production_year > 1980"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/estimate: status %d body %s", resp.StatusCode, body)
+	}
+	var er estimateResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Cardinality == nil || *er.Cardinality < 0 {
+		t.Errorf("cardinality = %v", er.Cardinality)
+	}
+
+	// Containment mode.
+	resp, body = postJSON(t, ts.URL+"/estimate", map[string]string{
+		"q1": "SELECT * FROM title WHERE title.production_year > 1990",
+		"q2": "SELECT * FROM title WHERE title.production_year > 1980",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/estimate containment: status %d body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Containment == nil || *er.Containment < 0 || *er.Containment > 1 {
+		t.Errorf("containment = %v", er.Containment)
+	}
+
+	// Batch matches single-call estimates exactly.
+	queries := []string{
+		"SELECT * FROM title WHERE title.production_year > 1980",
+		"SELECT * FROM title WHERE title.kind_id = 2",
+		"SELECT * FROM title",
+	}
+	resp, body = postJSON(t, ts.URL+"/estimate/batch", map[string]any{"queries": queries})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/estimate/batch: status %d body %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Count != len(queries) || len(br.Cardinalities) != len(queries) {
+		t.Fatalf("batch response = %+v", br)
+	}
+	for i, q := range queries {
+		_, single := postJSON(t, ts.URL+"/estimate", map[string]string{"query": q})
+		var sr estimateResponse
+		if err := json.Unmarshal(single, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Cardinality == nil || *sr.Cardinality != br.Cardinalities[i] {
+			t.Errorf("query %d: batch %v != single %v", i, br.Cardinalities[i], sr.Cardinality)
+		}
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).handler())
+	defer ts.Close()
+
+	// Dialect errors are 400.
+	resp, _ := postJSON(t, ts.URL+"/estimate", map[string]string{"query": "SELECT count(*) FROM title"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad dialect: status %d, want 400", resp.StatusCode)
+	}
+	// Missing fields are 400.
+	resp, _ = postJSON(t, ts.URL+"/estimate", map[string]string{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty request: status %d, want 400", resp.StatusCode)
+	}
+	// Containment over different FROM clauses is a client error, not a 500.
+	resp, _ = postJSON(t, ts.URL+"/estimate", map[string]string{
+		"q1": "SELECT * FROM title",
+		"q2": "SELECT * FROM cast_info",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("incomparable FROM clauses: status %d, want 400", resp.StatusCode)
+	}
+	// Unknown routes are 404.
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown route: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestNoPoolMatchMapsTo422(t *testing.T) {
+	base := testServer(t)
+	// An estimator without fallback over an empty pool: every estimate
+	// misses.
+	empty := base.sys.NewQueriesPool()
+	bare := newServer(base.sys, base.model, empty,
+		base.sys.CardinalityEstimator(base.model, empty), nil)
+	ts := httptest.NewServer(bare.handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/estimate", map[string]string{"query": "SELECT * FROM title"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("pool miss: status %d body %s, want 422", resp.StatusCode, body)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.PoolSize <= 0 {
+		t.Errorf("healthz = %+v", hr)
+	}
+}
+
+// TestConcurrentRecordAndEstimate is the serving scenario of §5.2 under the
+// race detector: /record appends to the pool while /estimate/batch reads it
+// from concurrent goroutines.
+func TestConcurrentRecordAndEstimate(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).handler())
+	defer ts.Close()
+
+	const workers = 8
+	const perWorker = 5
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*perWorker*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				year := 1900 + (w*perWorker+i)%100
+				record := fmt.Sprintf("SELECT * FROM title WHERE title.production_year > %d", year)
+				status, body, err := postJSONErr(ts.URL+"/record", map[string]string{"query": record})
+				if err != nil {
+					errs <- fmt.Sprintf("/record: %v", err)
+				} else if status != http.StatusOK {
+					errs <- fmt.Sprintf("/record: status %d body %s", status, body)
+				}
+				status, body, err = postJSONErr(ts.URL+"/estimate/batch", map[string]any{"queries": []string{
+					fmt.Sprintf("SELECT * FROM title WHERE title.production_year > %d", year+1),
+					"SELECT * FROM title WHERE title.kind_id = 2",
+				}})
+				if err != nil {
+					errs <- fmt.Sprintf("/estimate/batch: %v", err)
+				} else if status != http.StatusOK {
+					errs <- fmt.Sprintf("/estimate/batch: status %d body %s", status, body)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	// The pool grew during the hammering.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Recorded == 0 {
+		t.Error("no queries were recorded")
+	}
+}

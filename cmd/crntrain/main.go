@@ -2,6 +2,8 @@
 // database and writes the serialized model to a file. The model is bound to
 // the database's featurization (schema one-hots and column min/max
 // statistics), so evaluation must use the same -titles/-db-seed values.
+// Interrupting with Ctrl-C cancels labeling/training at the next epoch
+// boundary.
 //
 // Usage:
 //
@@ -9,13 +11,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"crn"
-	icrn "crn/internal/crn"
 )
 
 func main() {
@@ -30,26 +34,32 @@ func main() {
 	out := flag.String("o", "crn.model", "output model file")
 	flag.Parse()
 
-	sys, err := crn.OpenSynthetic(crn.DataConfig{Titles: *titles, Seed: *dbSeed})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sys, err := crn.OpenSynthetic(ctx, crn.WithTitles(*titles), crn.WithDataSeed(*dbSeed))
 	if err != nil {
 		fail("open database: %v", err)
 	}
-	mcfg := icrn.DefaultConfig()
+	mcfg := crn.DefaultModelConfig()
 	mcfg.Hidden = *hidden
 	mcfg.Epochs = *epochs
 	mcfg.Patience = *patience
 	mcfg.Loss = *loss
 
 	start := time.Now()
-	model, err := sys.TrainContainmentModel(crn.TrainConfig{
-		Pairs: *pairs,
-		Seed:  *genSeed,
-		Model: mcfg,
-		Progress: func(epoch int, valQ float64) {
+	model, err := sys.TrainContainmentModel(ctx,
+		crn.WithPairs(*pairs),
+		crn.WithSeed(*genSeed),
+		crn.WithModelConfig(mcfg),
+		crn.WithProgress(func(epoch int, valQ float64) {
 			fmt.Fprintf(os.Stderr, "epoch %3d: validation mean q-error %.3f\n", epoch, valQ)
-		},
-	})
+		}),
+	)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fail("interrupted after %v", time.Since(start).Round(time.Second))
+		}
 		fail("train: %v", err)
 	}
 	blob, err := model.Save()

@@ -10,35 +10,40 @@
 // multi-join cardinality estimates by orders of magnitude over PostgreSQL
 // and MSCN baselines.
 //
-// This package is the public facade. A typical session:
+// This package is the public facade, designed for serving: every entry
+// point takes a context for cancellation and deadlines, configuration is
+// functional options, estimation has first-class batch calls that amortize
+// feature encoding and run the neural forward pass matrix-batched, and
+// failures surface typed sentinel errors (ErrDialect, ErrNoPoolMatch,
+// ErrDimMismatch) usable with errors.Is. A typical session:
 //
-//	sys, _ := crn.OpenSynthetic(crn.DataConfig{Titles: 4000, Seed: 1})
+//	ctx := context.Background()
+//	sys, _ := crn.OpenSynthetic(ctx, crn.WithTitles(4000))
 //	q1, _ := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1990")
 //	q2, _ := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1980")
 //
-//	model, _ := sys.TrainContainmentModel(crn.TrainConfig{Pairs: 5000})
-//	rate, _ := model.EstimateContainment(q1, q2) // ≈ 1.0: q1 ⊆ q2
+//	model, _ := sys.TrainContainmentModel(ctx, crn.WithPairs(5000))
+//	rate, _ := model.EstimateContainment(ctx, q1, q2) // ≈ 1.0: q1 ⊆ q2
 //
 //	pool := sys.NewQueriesPool()
-//	sys.RecordExecuted(pool, q2) // executes q2, stores its true cardinality
+//	sys.RecordExecuted(ctx, pool, q2) // executes q2, stores its true cardinality
 //	est := sys.CardinalityEstimator(model, pool)
-//	card, _ := est.EstimateCardinality(q1)
+//	card, _ := est.EstimateCardinality(ctx, q1)
+//	cards, _ := est.EstimateCardinalityBatch(ctx, []crn.Query{q1, q2})
 //
 // Everything underneath — the synthetic IMDb-like database, the exact
 // executor used for ground truth, the neural-network stack, the MSCN and
 // PostgreSQL baselines, and the full experiment harness regenerating every
 // table and figure of the paper — lives in internal/ packages and is
-// exercised through cmd/repro and the root benchmarks.
+// exercised through cmd/repro and the root benchmarks. cmd/crnserve wraps
+// this facade in an HTTP JSON service (the §5.2 deployment scenario).
 package crn
 
 import (
-	"fmt"
-	"math/rand"
+	"context"
 
 	"crn/internal/algebra"
-	"crn/internal/card"
 	"crn/internal/contain"
-	icrn "crn/internal/crn"
 	"crn/internal/datagen"
 	"crn/internal/db"
 	"crn/internal/exec"
@@ -56,12 +61,6 @@ import (
 // predicates); see ParseQuery.
 type Query = query.Query
 
-// DataConfig sizes the synthetic IMDb-like database.
-type DataConfig struct {
-	Titles int   // rows in the fact table `title` (0 = 4000)
-	Seed   int64 // generation seed (0 = 1)
-}
-
 // System is an opened database with its exact executor: the substrate on
 // which models are trained and queries are answered.
 type System struct {
@@ -72,20 +71,48 @@ type System struct {
 }
 
 // OpenSynthetic generates a synthetic IMDb-like database (see
-// internal/datagen for the correlation structure) and opens it.
-func OpenSynthetic(cfg DataConfig) (*System, error) {
+// internal/datagen for the correlation structure) and opens it. Options
+// size the database (WithTitles, WithDataSeed). Cancellation is observed at
+// phase boundaries only — generation itself, once started, runs to
+// completion (seconds at default sizes).
+func OpenSynthetic(ctx context.Context, opts ...OpenOption) (*System, error) {
 	dg := datagen.DefaultConfig()
-	if cfg.Titles > 0 {
-		dg.Titles = cfg.Titles
+	for _, o := range opts {
+		o(&dg)
 	}
-	if cfg.Seed != 0 {
-		dg.Seed = cfg.Seed
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	d, err := datagen.Generate(dg)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return Open(d)
+}
+
+// DataConfig sizes the synthetic IMDb-like database.
+//
+// Deprecated: use OpenSynthetic with WithTitles / WithDataSeed options.
+type DataConfig struct {
+	Titles int   // rows in the fact table `title` (0 = 4000)
+	Seed   int64 // generation seed (0 = 1)
+}
+
+// OpenSyntheticConfig is the config-struct form of OpenSynthetic.
+//
+// Deprecated: use OpenSynthetic with options.
+func OpenSyntheticConfig(cfg DataConfig) (*System, error) {
+	var opts []OpenOption
+	if cfg.Titles > 0 {
+		opts = append(opts, WithTitles(cfg.Titles))
+	}
+	if cfg.Seed != 0 {
+		opts = append(opts, WithDataSeed(cfg.Seed))
+	}
+	return OpenSynthetic(context.Background(), opts...)
 }
 
 // Open wraps an existing frozen database.
@@ -109,125 +136,41 @@ func (s *System) DB() *db.Database { return s.db }
 
 // ParseQuery parses the supported conjunctive SQL dialect, e.g.
 // "SELECT * FROM title, cast_info WHERE title.id = cast_info.movie_id AND
-// cast_info.role_id = 2".
+// cast_info.role_id = 2". Failures wrap ErrDialect.
 func (s *System) ParseQuery(sql string) (Query, error) {
 	return sqlparse.Parse(s.schema, sql)
 }
 
 // TrueCardinality executes the query exactly and returns its result
-// cardinality.
-func (s *System) TrueCardinality(q Query) (int64, error) {
-	return s.exec.Cardinality(q)
+// cardinality. The exact scan honors ctx cancellation.
+func (s *System) TrueCardinality(ctx context.Context, q Query) (int64, error) {
+	return s.exec.CardinalityCtx(ctx, q)
 }
 
 // TrueContainment executes both queries and returns the exact containment
 // rate q1 ⊂% q2 in [0,1]. The queries must share a FROM clause.
-func (s *System) TrueContainment(q1, q2 Query) (float64, error) {
-	return s.exec.ContainmentRate(q1, q2)
+func (s *System) TrueContainment(ctx context.Context, q1, q2 Query) (float64, error) {
+	return s.exec.ContainmentRateCtx(ctx, q1, q2)
 }
 
-// TrainConfig controls containment-model training.
-type TrainConfig struct {
-	Pairs    int         // training pairs to generate (0 = 5000)
-	Seed     int64       // generator seed (0 = 1)
-	Model    icrn.Config // zero value = crn defaults
-	Progress func(epoch int, valQError float64)
+// ctxOracle threads a request context into the executor behind the
+// context-free workload.Oracle interface used by generation and labeling.
+type ctxOracle struct {
+	ctx context.Context
+	ex  *exec.Executor
 }
 
-// ContainmentModel is a trained CRN bound to its feature encoder.
-type ContainmentModel struct {
-	rates *icrn.Rates
-	model *icrn.Model
+func (o ctxOracle) Cardinality(q query.Query) (int64, error) {
+	return o.ex.CardinalityCtx(o.ctx, q)
 }
 
-// TrainContainmentModel generates a labeled pair workload over the system's
-// database (0-2 joins, §3.1.2), trains a CRN on it and returns the model.
-func (s *System) TrainContainmentModel(cfg TrainConfig) (*ContainmentModel, error) {
-	n := cfg.Pairs
-	if n <= 0 {
-		n = 5000
-	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	mcfg := cfg.Model
-	if mcfg.Hidden == 0 {
-		mcfg = icrn.DefaultConfig()
-	}
-	gen := workload.NewGenerator(s.schema, s.db, seed)
-	pairs, err := gen.TrainingPairs(n)
-	if err != nil {
-		return nil, err
-	}
-	labeled, err := workload.LabelPairs(s.exec, pairs, 0)
-	if err != nil {
-		return nil, err
-	}
-	rand.New(rand.NewSource(seed+1)).Shuffle(len(labeled), func(i, j int) {
-		labeled[i], labeled[j] = labeled[j], labeled[i]
-	})
-	train, val := workload.SplitPairs(labeled, 0.8)
-	encode := func(in []workload.LabeledPair) ([]icrn.Sample, error) {
-		out := make([]icrn.Sample, len(in))
-		for i, lp := range in {
-			v1, err := s.enc.EncodeQuery(lp.Q1)
-			if err != nil {
-				return nil, err
-			}
-			v2, err := s.enc.EncodeQuery(lp.Q2)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = icrn.Sample{V1: v1, V2: v2, Rate: lp.Rate}
-		}
-		return out, nil
-	}
-	trainS, err := encode(train)
-	if err != nil {
-		return nil, err
-	}
-	valS, err := encode(val)
-	if err != nil {
-		return nil, err
-	}
-	m := icrn.NewModel(mcfg, s.enc.Dim())
-	if _, err := m.Train(trainS, valS, func(st icrn.EpochStats) {
-		if cfg.Progress != nil {
-			cfg.Progress(st.Epoch, st.ValQError)
-		}
-	}); err != nil {
-		return nil, err
-	}
-	return &ContainmentModel{rates: icrn.NewRates(m, s.enc), model: m}, nil
-}
-
-// EstimateContainment estimates q1 ⊂% q2 in [0,1].
-func (m *ContainmentModel) EstimateContainment(q1, q2 Query) (float64, error) {
-	if err := contain.Validate(q1, q2); err != nil {
-		return 0, err
-	}
-	return m.rates.EstimateRate(q1, q2)
-}
-
-// Save serializes the trained model weights.
-func (m *ContainmentModel) Save() ([]byte, error) { return m.model.Save() }
-
-// LoadContainmentModel restores a model saved with Save, re-binding it to
-// this system's feature encoder.
-func (s *System) LoadContainmentModel(data []byte) (*ContainmentModel, error) {
-	m, err := icrn.Load(data)
-	if err != nil {
-		return nil, err
-	}
-	if m.Dim() != s.enc.Dim() {
-		return nil, fmt.Errorf("crn: model dimension %d does not match this database's featurization %d", m.Dim(), s.enc.Dim())
-	}
-	return &ContainmentModel{rates: icrn.NewRates(m, s.enc), model: m}, nil
+func (o ctxOracle) ContainmentRate(q1, q2 query.Query) (float64, error) {
+	return o.ex.ContainmentRateCtx(o.ctx, q1, q2)
 }
 
 // QueriesPool is the paper's §5.2 pool of executed queries with known
-// cardinalities.
+// cardinalities. It is safe for concurrent use: the serving deployment
+// appends every executed query while estimators read concurrently.
 type QueriesPool = pool.Pool
 
 // NewQueriesPool creates an empty pool.
@@ -235,27 +178,30 @@ func (s *System) NewQueriesPool() *QueriesPool { return pool.New() }
 
 // RecordExecuted executes q, stores (q, |q|) in the pool, and returns the
 // cardinality — the paper's "the DBMS continuously executes queries, we
-// store them with their actual cardinalities".
-func (s *System) RecordExecuted(p *QueriesPool, q Query) (int64, error) {
-	c, err := s.exec.Cardinality(q)
+// store them with their actual cardinalities". added reports whether the
+// pool accepted the entry (false: an equivalent query was already pooled);
+// it comes from the pool's own atomic insert, so concurrent recordings of
+// the same query see exactly one true.
+func (s *System) RecordExecuted(ctx context.Context, p *QueriesPool, q Query) (card int64, added bool, err error) {
+	c, err := s.exec.CardinalityCtx(ctx, q)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
-	p.Add(q, c)
-	return c, nil
+	return c, p.Add(q, c), nil
 }
 
 // SeedPool fills the pool with n generated queries (equally distributed
 // over all FROM clauses, each clause seeded with an empty-predicate query,
 // random fills restricted to non-empty results) executed against the
 // database — the §6.2 construction.
-func (s *System) SeedPool(p *QueriesPool, n int, seed int64) error {
+func (s *System) SeedPool(ctx context.Context, p *QueriesPool, n int, seed int64) error {
 	gen := workload.NewGenerator(s.schema, s.db, seed)
-	qs, err := gen.NonEmptyPoolQueries(s.exec, n)
+	oracle := ctxOracle{ctx: ctx, ex: s.exec}
+	qs, err := gen.NonEmptyPoolQueries(oracle, n)
 	if err != nil {
 		return err
 	}
-	labeled, err := workload.LabelQueries(s.exec, qs, 0)
+	labeled, err := workload.LabelQueries(oracle, qs, 0)
 	if err != nil {
 		return err
 	}
@@ -263,29 +209,6 @@ func (s *System) SeedPool(p *QueriesPool, n int, seed int64) error {
 		p.Add(lq.Q, lq.Card)
 	}
 	return nil
-}
-
-// CardinalityEstimator is the pool-based Cnt2Crd estimator.
-type CardinalityEstimator struct {
-	est *card.Estimator
-}
-
-// CardinalityEstimator builds the paper's Cnt2Crd(CRN) estimator from a
-// trained containment model and a queries pool.
-func (s *System) CardinalityEstimator(m *ContainmentModel, p *QueriesPool) *CardinalityEstimator {
-	return &CardinalityEstimator{est: card.New(m.rates, p)}
-}
-
-// EstimateCardinality estimates |q| using the pool (Figure 8 algorithm).
-func (e *CardinalityEstimator) EstimateCardinality(q Query) (float64, error) {
-	return e.est.EstimateCard(q)
-}
-
-// WithFallback sets a fallback estimator for queries without a usable pool
-// match and returns the receiver.
-func (e *CardinalityEstimator) WithFallback(fb BaselineEstimator) *CardinalityEstimator {
-	e.est.Fallback = fb
-	return e
 }
 
 // BaselineEstimator is any query-level cardinality model (the PostgreSQL-
@@ -296,12 +219,6 @@ type BaselineEstimator = contain.CardEstimator
 // system's database.
 func (s *System) AnalyzeBaseline() (BaselineEstimator, error) {
 	return pg.Analyze(s.db, pg.DefaultConfig())
-}
-
-// ImproveBaseline wraps an existing cardinality model with the paper's §7
-// construction — Cnt2Crd(Crd2Cnt(M)) over the pool — without changing M.
-func (s *System) ImproveBaseline(m BaselineEstimator, p *QueriesPool) *CardinalityEstimator {
-	return &CardinalityEstimator{est: card.Improved(m, p)}
 }
 
 // --- Compound queries (§9 extensions) --------------------------------------

@@ -1,6 +1,8 @@
 package crn
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -9,22 +11,23 @@ import (
 
 func testSystem(t *testing.T) *System {
 	t.Helper()
-	sys, err := OpenSynthetic(DataConfig{Titles: 400, Seed: 7})
+	sys, err := OpenSynthetic(context.Background(), WithTitles(400), WithDataSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
 	return sys
 }
 
-func tinyTrainConfig() TrainConfig {
-	mcfg := icrn.DefaultConfig()
+func tinyTrainOptions() []TrainOption {
+	mcfg := DefaultModelConfig()
 	mcfg.Hidden = 16
 	mcfg.Epochs = 6
 	mcfg.Patience = 3
-	return TrainConfig{Pairs: 300, Seed: 3, Model: mcfg}
+	return []TrainOption{WithPairs(300), WithSeed(3), WithModelConfig(mcfg)}
 }
 
 func TestFacadeEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	sys := testSystem(t)
 	q1, err := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1990")
 	if err != nil {
@@ -34,11 +37,11 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c1, err := sys.TrueCardinality(q1)
+	c1, err := sys.TrueCardinality(ctx, q1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rate, err := sys.TrueContainment(q1, q2)
+	rate, err := sys.TrueContainment(ctx, q1, q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,16 +50,15 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 
 	var epochs int
-	cfg := tinyTrainConfig()
-	cfg.Progress = func(epoch int, val float64) { epochs = epoch }
-	model, err := sys.TrainContainmentModel(cfg)
+	opts := append(tinyTrainOptions(), WithProgress(func(epoch int, val float64) { epochs = epoch }))
+	model, err := sys.TrainContainmentModel(ctx, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if epochs == 0 {
 		t.Error("progress callback never fired")
 	}
-	est, err := model.EstimateContainment(q1, q2)
+	est, err := model.EstimateContainment(ctx, q1, q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,14 +68,17 @@ func TestFacadeEndToEnd(t *testing.T) {
 
 	// Pool-based cardinality estimation.
 	p := sys.NewQueriesPool()
-	if err := sys.SeedPool(p, 50, 11); err != nil {
+	if err := sys.SeedPool(ctx, p, 50, 11); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.RecordExecuted(p, q2); err != nil {
-		t.Fatal(err)
+	if _, added, err := sys.RecordExecuted(ctx, p, q2); err != nil || !added {
+		t.Fatalf("record: added=%v err=%v", added, err)
+	}
+	if _, added, err := sys.RecordExecuted(ctx, p, q2); err != nil || added {
+		t.Fatalf("duplicate record: added=%v err=%v", added, err)
 	}
 	card := sys.CardinalityEstimator(model, p)
-	got, err := card.EstimateCardinality(q1)
+	got, err := card.EstimateCardinality(ctx, q1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,9 +87,38 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+func TestDeprecatedConfigShims(t *testing.T) {
+	sys, err := OpenSyntheticConfig(DataConfig{Titles: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultModelConfig()
+	mcfg.Hidden = 8
+	mcfg.Epochs = 2
+	mcfg.Patience = 1
+	model, err := sys.TrainContainmentModelConfig(TrainConfig{Pairs: 120, Seed: 3, Model: mcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.NewQueriesPool()
+	if err := sys.SeedPool(context.Background(), p, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+	base, err := sys.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := sys.CardinalityEstimator(model, p).WithFallback(base)
+	q, _ := sys.ParseQuery("SELECT * FROM title")
+	if _, err := est.EstimateCardinality(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFacadeSaveLoad(t *testing.T) {
+	ctx := context.Background()
 	sys := testSystem(t)
-	model, err := sys.TrainContainmentModel(tinyTrainConfig())
+	model, err := sys.TrainContainmentModel(ctx, tinyTrainOptions()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,11 +132,11 @@ func TestFacadeSaveLoad(t *testing.T) {
 	}
 	q1, _ := sys.ParseQuery("SELECT * FROM title WHERE title.kind_id = 2")
 	q2, _ := sys.ParseQuery("SELECT * FROM title WHERE title.kind_id < 5")
-	a, err := model.EstimateContainment(q1, q2)
+	a, err := model.EstimateContainment(ctx, q1, q2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := again.EstimateContainment(q1, q2)
+	b, err := again.EstimateContainment(ctx, q1, q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,32 +148,68 @@ func TestFacadeSaveLoad(t *testing.T) {
 	}
 }
 
-func TestEstimateContainmentValidatesFROM(t *testing.T) {
+func TestDimMismatchSentinel(t *testing.T) {
 	sys := testSystem(t)
-	model, err := sys.TrainContainmentModel(tinyTrainConfig())
+	// A model serialized against a different featurization dimension must
+	// be rejected with the typed sentinel.
+	mcfg := DefaultModelConfig()
+	mcfg.Hidden = 8
+	blob, err := icrn.NewModel(mcfg, 3).Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.LoadContainmentModel(blob)
+	if err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+	if !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("error should wrap ErrDimMismatch, got %v", err)
+	}
+}
+
+func TestDialectSentinel(t *testing.T) {
+	sys := testSystem(t)
+	_, err := sys.ParseQuery("SELECT count(*) FROM title")
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+	if !errors.Is(err, ErrDialect) {
+		t.Errorf("parse error should wrap ErrDialect, got %v", err)
+	}
+}
+
+func TestEstimateContainmentValidatesFROM(t *testing.T) {
+	ctx := context.Background()
+	sys := testSystem(t)
+	model, err := sys.TrainContainmentModel(ctx, tinyTrainOptions()...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	q1, _ := sys.ParseQuery("SELECT * FROM title")
 	q2, _ := sys.ParseQuery("SELECT * FROM cast_info")
-	if _, err := model.EstimateContainment(q1, q2); err == nil {
-		t.Error("different FROM clauses must be rejected")
+	_, err = model.EstimateContainment(ctx, q1, q2)
+	if err == nil {
+		t.Fatal("different FROM clauses must be rejected")
+	}
+	if !errors.Is(err, ErrNotComparable) {
+		t.Errorf("error should wrap ErrNotComparable, got %v", err)
 	}
 }
 
 func TestImproveBaseline(t *testing.T) {
+	ctx := context.Background()
 	sys := testSystem(t)
 	base, err := sys.AnalyzeBaseline()
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := sys.NewQueriesPool()
-	if err := sys.SeedPool(p, 40, 13); err != nil {
+	if err := sys.SeedPool(ctx, p, 40, 13); err != nil {
 		t.Fatal(err)
 	}
-	improved := sys.ImproveBaseline(base, p)
+	improved := sys.ImproveBaseline(base, p, WithFinal(TrimmedMean))
 	q, _ := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1970")
-	got, err := improved.EstimateCardinality(q)
+	got, err := improved.EstimateCardinality(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,9 +218,10 @@ func TestImproveBaseline(t *testing.T) {
 	}
 }
 
-func TestFallback(t *testing.T) {
+func TestFallbackAndNoPoolMatchSentinel(t *testing.T) {
+	ctx := context.Background()
 	sys := testSystem(t)
-	model, err := sys.TrainContainmentModel(tinyTrainConfig())
+	model, err := sys.TrainContainmentModel(ctx, tinyTrainOptions()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,23 +230,151 @@ func TestFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est := sys.CardinalityEstimator(model, empty).WithFallback(base)
+	est := sys.CardinalityEstimator(model, empty, WithFallback(base))
 	q, _ := sys.ParseQuery("SELECT * FROM title")
-	got, err := est.EstimateCardinality(q)
+	got, err := est.EstimateCardinality(ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got <= 0 {
 		t.Errorf("fallback estimate = %v", got)
 	}
-	// Without fallback the empty pool errors.
+	// Without fallback the empty pool errors with the typed sentinel.
 	bare := sys.CardinalityEstimator(model, empty)
-	if _, err := bare.EstimateCardinality(q); err == nil {
-		t.Error("empty pool without fallback should fail")
+	_, err = bare.EstimateCardinality(ctx, q)
+	if err == nil {
+		t.Fatal("empty pool without fallback should fail")
+	}
+	if !errors.Is(err, ErrNoPoolMatch) {
+		t.Errorf("error should wrap ErrNoPoolMatch, got %v", err)
+	}
+}
+
+// TestBatchEqualsSingle asserts the core batch contract: batched estimation
+// returns exactly what per-query calls return.
+func TestBatchEqualsSingle(t *testing.T) {
+	ctx := context.Background()
+	sys := testSystem(t)
+	model, err := sys.TrainContainmentModel(ctx, tinyTrainOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqls := []string{
+		"SELECT * FROM title WHERE title.production_year > 1990",
+		"SELECT * FROM title WHERE title.production_year > 1950",
+		"SELECT * FROM title WHERE title.kind_id = 2",
+		"SELECT * FROM title WHERE title.kind_id < 5 AND title.production_year < 1980",
+		"SELECT * FROM title",
+	}
+	queries := make([]Query, len(sqls))
+	for i, s := range sqls {
+		q, err := sys.ParseQuery(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = q
+	}
+
+	// Containment: every ordered pair, batched vs single.
+	var pairs [][2]Query
+	for _, a := range queries {
+		for _, b := range queries {
+			pairs = append(pairs, [2]Query{a, b})
+		}
+	}
+	batched, err := model.EstimateContainmentBatch(ctx, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		single, err := model.EstimateContainment(ctx, p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batched[i] != single {
+			t.Errorf("pair %d: batch %v != single %v", i, batched[i], single)
+		}
+	}
+
+	// Cardinality: batched vs single over a seeded pool.
+	p := sys.NewQueriesPool()
+	if err := sys.SeedPool(ctx, p, 60, 11); err != nil {
+		t.Fatal(err)
+	}
+	base, err := sys.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := sys.CardinalityEstimator(model, p, WithFallback(base))
+	batchCards, err := est.EstimateCardinalityBatch(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		single, err := est.EstimateCardinality(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batchCards[i] != single {
+			t.Errorf("query %d: batch %v != single %v", i, batchCards[i], single)
+		}
+	}
+}
+
+// TestContextCancellation covers the cancellation contract of every layer:
+// exact execution, training (pre-cancelled and mid-training), and
+// estimation all abort with context.Canceled.
+func TestContextCancellation(t *testing.T) {
+	sys := testSystem(t)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	q, _ := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1990")
+	if _, err := sys.TrueCardinality(cancelled, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("TrueCardinality: want context.Canceled, got %v", err)
+	}
+	if _, err := sys.TrainContainmentModel(cancelled, tinyTrainOptions()...); !errors.Is(err, context.Canceled) {
+		t.Errorf("TrainContainmentModel (pre-cancelled): want context.Canceled, got %v", err)
+	}
+
+	// Cancel from inside the progress callback: the next epoch boundary
+	// must observe it.
+	ctx, cancelMid := context.WithCancel(context.Background())
+	opts := append(tinyTrainOptions(), WithProgress(func(epoch int, _ float64) {
+		if epoch == 1 {
+			cancelMid()
+		}
+	}))
+	if _, err := sys.TrainContainmentModel(ctx, opts...); !errors.Is(err, context.Canceled) {
+		t.Errorf("TrainContainmentModel (mid-training): want context.Canceled, got %v", err)
+	}
+
+	// Estimation on a trained model.
+	model, err := sys.TrainContainmentModel(context.Background(), tinyTrainOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.EstimateContainment(cancelled, q, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("EstimateContainment: want context.Canceled, got %v", err)
+	}
+	p := sys.NewQueriesPool()
+	if err := sys.SeedPool(context.Background(), p, 20, 11); err != nil {
+		t.Fatal(err)
+	}
+	est := sys.CardinalityEstimator(model, p)
+	if _, err := est.EstimateCardinality(cancelled, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("EstimateCardinality: want context.Canceled, got %v", err)
+	}
+	if _, err := est.EstimateCardinalityBatch(cancelled, []Query{q, q}); !errors.Is(err, context.Canceled) {
+		t.Errorf("EstimateCardinalityBatch: want context.Canceled, got %v", err)
+	}
+	if err := sys.SeedPool(cancelled, sys.NewQueriesPool(), 10, 3); !errors.Is(err, context.Canceled) {
+		t.Errorf("SeedPool: want context.Canceled, got %v", err)
 	}
 }
 
 func TestCompoundExpressions(t *testing.T) {
+	ctx := context.Background()
 	sys := testSystem(t)
 	q1, _ := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1950")
 	q2, _ := sys.ParseQuery("SELECT * FROM title WHERE title.kind_id = 2")
@@ -184,10 +383,10 @@ func TestCompoundExpressions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c1, _ := sys.TrueCardinality(q1)
-	c2, _ := sys.TrueCardinality(q2)
+	c1, _ := sys.TrueCardinality(ctx, q1)
+	c2, _ := sys.TrueCardinality(ctx, q2)
 	qi, _ := q1.Intersect(q2)
-	ci, _ := sys.TrueCardinality(qi)
+	ci, _ := sys.TrueCardinality(ctx, qi)
 	if math.Abs(truth-float64(c1+c2-ci)) > 1e-9 {
 		t.Errorf("OR = %v, want %d", truth, c1+c2-ci)
 	}
@@ -236,7 +435,7 @@ func TestJoinOrderFacade(t *testing.T) {
 }
 
 func TestOpenSyntheticDefaults(t *testing.T) {
-	sys, err := OpenSynthetic(DataConfig{Titles: 200})
+	sys, err := OpenSynthetic(context.Background(), WithTitles(200))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,32 @@
+package crn
+
+import (
+	"crn/internal/card"
+	"crn/internal/contain"
+	icrn "crn/internal/crn"
+	"crn/internal/sqlparse"
+)
+
+// Typed sentinel errors of the facade. Errors returned by the API wrap
+// these, so callers branch with errors.Is instead of matching message
+// strings — the contract cmd/crnserve relies on to map failures to HTTP
+// status codes.
+var (
+	// ErrDialect reports query text outside the supported conjunctive SQL
+	// dialect (returned, wrapped, by ParseQuery).
+	ErrDialect = sqlparse.ErrDialect
+
+	// ErrNoPoolMatch reports a query with no usable queries-pool match —
+	// no pooled query shares its FROM clause or every candidate was
+	// skipped — on an estimator without a fallback.
+	ErrNoPoolMatch = card.ErrNoPoolMatch
+
+	// ErrDimMismatch reports a serialized model whose feature dimension
+	// does not match the opened database's featurization (returned,
+	// wrapped, by LoadContainmentModel).
+	ErrDimMismatch = icrn.ErrDimMismatch
+
+	// ErrNotComparable reports a containment request over queries with
+	// different FROM clauses — containment is undefined between them (§2).
+	ErrNotComparable = contain.ErrNotComparable
+)

@@ -1,0 +1,62 @@
+package crn
+
+import (
+	"context"
+
+	"crn/internal/card"
+)
+
+// CardinalityEstimator is the pool-based Cnt2Crd estimator of §5. It is
+// safe for concurrent use on a trained model; the pool may grow
+// concurrently via RecordExecuted.
+type CardinalityEstimator struct {
+	est *card.Estimator
+}
+
+// CardinalityEstimator builds the paper's Cnt2Crd(CRN) estimator from a
+// trained containment model and a queries pool. Options tune the Figure 8
+// algorithm (WithFinal, WithEpsilon, WithFallback, WithWorkers).
+func (s *System) CardinalityEstimator(m *ContainmentModel, p *QueriesPool, opts ...EstimatorOption) *CardinalityEstimator {
+	est := card.New(m.rates, p)
+	for _, o := range opts {
+		o(est)
+	}
+	return &CardinalityEstimator{est: est}
+}
+
+// ImproveBaseline wraps an existing cardinality model with the paper's §7
+// construction — Cnt2Crd(Crd2Cnt(M)) over the pool — without changing M.
+func (s *System) ImproveBaseline(m BaselineEstimator, p *QueriesPool, opts ...EstimatorOption) *CardinalityEstimator {
+	est := card.Improved(m, p)
+	for _, o := range opts {
+		o(est)
+	}
+	return &CardinalityEstimator{est: est}
+}
+
+// EstimateCardinality estimates |q| using the pool (Figure 8 algorithm).
+// Queries without a usable pool match fail with an error wrapping
+// ErrNoPoolMatch unless a fallback is configured.
+func (e *CardinalityEstimator) EstimateCardinality(ctx context.Context, q Query) (float64, error) {
+	return e.est.EstimateCardCtx(ctx, q)
+}
+
+// EstimateCardinalityBatch estimates |q| for every query with one amortized
+// containment-rate pass over all pool pairs of the batch: feature encoding
+// and the set-module forward of recurring pool entries are shared, and the
+// CRN head runs matrix-batched. Results are identical to per-query
+// EstimateCardinality calls; the batch fails as a whole on the first query
+// that errors.
+func (e *CardinalityEstimator) EstimateCardinalityBatch(ctx context.Context, queries []Query) ([]float64, error) {
+	return e.est.EstimateCards(ctx, queries)
+}
+
+// WithFallback sets a fallback estimator for queries without a usable pool
+// match and returns the receiver.
+//
+// Deprecated: pass the WithFallback EstimatorOption to CardinalityEstimator
+// or ImproveBaseline instead.
+func (e *CardinalityEstimator) WithFallback(fb BaselineEstimator) *CardinalityEstimator {
+	e.est.Fallback = fb
+	return e
+}

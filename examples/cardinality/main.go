@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,13 +21,14 @@ import (
 )
 
 func main() {
-	sys, err := crn.OpenSynthetic(crn.DataConfig{Titles: 1500, Seed: 1})
+	ctx := context.Background()
+	sys, err := crn.OpenSynthetic(ctx, crn.WithTitles(1500))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("training containment model...")
-	model, err := sys.TrainContainmentModel(crn.TrainConfig{Pairs: 2500, Seed: 7})
+	model, err := sys.TrainContainmentModel(ctx, crn.WithPairs(2500), crn.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +36,7 @@ func main() {
 	// The queries pool: 150 generated queries covering every FROM clause,
 	// executed once to record their actual cardinalities (§5.2, §6.2).
 	pool := sys.NewQueriesPool()
-	if err := sys.SeedPool(pool, 150, 11); err != nil {
+	if err := sys.SeedPool(ctx, pool, 150, 11); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("queries pool ready: %d executed queries\n\n", pool.Len())
@@ -43,7 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	est := sys.CardinalityEstimator(model, pool).WithFallback(baseline)
+	est := sys.CardinalityEstimator(model, pool, crn.WithFallback(baseline))
 
 	// Join-crossing correlated queries: the company block encodes the era,
 	// and info values encode era and type, so independence assumptions
@@ -62,13 +64,24 @@ func main() {
 		   AND title.kind_id = 5 AND cast_info.person_id > 1200`,
 	}
 
-	fmt.Printf("%-7s  %10s  %22s  %22s\n", "joins", "actual", "PostgreSQL (q-error)", "Cnt2Crd(CRN) (q-error)")
-	for _, sql := range queries {
+	parsed := make([]crn.Query, len(queries))
+	for i, sql := range queries {
 		q, err := sys.ParseQuery(sql)
 		if err != nil {
 			log.Fatal(err)
 		}
-		truth, err := sys.TrueCardinality(q)
+		parsed[i] = q
+	}
+	// One batched call estimates the whole workload: the pool pairs of all
+	// queries share a single amortized CRN forward pass.
+	crnEsts, err := est.EstimateCardinalityBatch(ctx, parsed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-7s  %10s  %22s  %22s\n", "joins", "actual", "PostgreSQL (q-error)", "Cnt2Crd(CRN) (q-error)")
+	for i, q := range parsed {
+		truth, err := sys.TrueCardinality(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -76,14 +89,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		crnEst, err := est.EstimateCardinality(q)
-		if err != nil {
-			log.Fatal(err)
-		}
 		fmt.Printf("%-7d  %10d  %12.0f (%7s)  %12.0f (%7s)\n",
 			q.NumJoins(), truth,
 			pgEst, metrics.FormatQ(metrics.CardQError(float64(truth), pgEst)),
-			crnEst, metrics.FormatQ(metrics.CardQError(float64(truth), crnEst)))
+			crnEsts[i], metrics.FormatQ(metrics.CardQError(float64(truth), crnEsts[i])))
 	}
 	fmt.Println("\nThe pool anchors every estimate to an executed query's true")
 	fmt.Println("cardinality, so errors stay bounded as joins are added (§6.5).")

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -23,12 +24,13 @@ import (
 )
 
 func main() {
-	sys, err := crn.OpenSynthetic(crn.DataConfig{Titles: 1500, Seed: 1})
+	ctx := context.Background()
+	sys, err := crn.OpenSynthetic(ctx, crn.WithTitles(1500))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("training containment model...")
-	model, err := sys.TrainContainmentModel(crn.TrainConfig{Pairs: 2500, Seed: 7})
+	model, err := sys.TrainContainmentModel(ctx, crn.WithPairs(2500), crn.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,20 +63,26 @@ func main() {
 		sim[i] = make([]float64, n)
 		sim[i][i] = 1
 	}
+	// Both directions of every pair in one batched call: the n queries are
+	// encoded once and all n·(n-1) rates come from a single forward pass.
+	var pairs [][2]crn.Query
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			a, err := model.EstimateContainment(queries[i], queries[j])
-			if err != nil {
-				log.Fatal(err)
+			pairs = append(pairs, [2]crn.Query{queries[i], queries[j]}, [2]crn.Query{queries[j], queries[i]})
+		}
+	}
+	rates, err := model.EstimateContainmentBatch(ctx, pairs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := rates[k]
+			if rates[k+1] > s {
+				s = rates[k+1]
 			}
-			b, err := model.EstimateContainment(queries[j], queries[i])
-			if err != nil {
-				log.Fatal(err)
-			}
-			s := a
-			if b > s {
-				s = b
-			}
+			k += 2
 			sim[i][j], sim[j][i] = s, s
 		}
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,8 @@ import (
 )
 
 func main() {
-	sys, err := crn.OpenSynthetic(crn.DataConfig{Titles: 2000, Seed: 1})
+	ctx := context.Background()
+	sys, err := crn.OpenSynthetic(ctx, crn.WithTitles(2000))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +34,7 @@ func main() {
 	// No neural network anywhere in this example: the pool plus the two
 	// transformations upgrade the classical estimator by themselves.
 	pool := sys.NewQueriesPool()
-	if err := sys.SeedPool(pool, 150, 13); err != nil {
+	if err := sys.SeedPool(ctx, pool, 150, 13); err != nil {
 		log.Fatal(err)
 	}
 	improved := sys.ImproveBaseline(baseline, pool)
@@ -71,7 +73,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		truth, err := sys.TrueCardinality(q)
+		truth, err := sys.TrueCardinality(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -79,7 +81,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		impEst, err := improved.EstimateCardinality(q)
+		impEst, err := improved.EstimateCardinality(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}

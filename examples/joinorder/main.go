@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -24,7 +25,8 @@ import (
 )
 
 func main() {
-	sys, err := crn.OpenSynthetic(crn.DataConfig{Titles: 3000, Seed: 1})
+	ctx := context.Background()
+	sys, err := crn.OpenSynthetic(ctx, crn.WithTitles(3000))
 	if err != nil {
 		log.Fatal(err)
 	}

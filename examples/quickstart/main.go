@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,9 +15,10 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A small database keeps the example fast; see cmd/repro for the
 	// paper-scale pipeline.
-	sys, err := crn.OpenSynthetic(crn.DataConfig{Titles: 1500, Seed: 1})
+	sys, err := crn.OpenSynthetic(ctx, crn.WithTitles(1500))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +36,7 @@ func main() {
 
 	// Ground truth by exact execution: q1's extra predicates make it a
 	// subset of q2, so q1 is 100%-contained in q2.
-	truth, err := sys.TrueContainment(q1, q2)
+	truth, err := sys.TrueContainment(ctx, q1, q2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,30 +45,30 @@ func main() {
 	// Train a CRN on generated query pairs labeled by execution (§3 of the
 	// paper). A couple of thousand pairs train in seconds at this scale.
 	fmt.Println("training containment model...")
-	model, err := sys.TrainContainmentModel(crn.TrainConfig{
-		Pairs: 4000,
-		Seed:  7,
-		Progress: func(epoch int, valQ float64) {
+	model, err := sys.TrainContainmentModel(ctx,
+		crn.WithPairs(4000),
+		crn.WithSeed(7),
+		crn.WithProgress(func(epoch int, valQ float64) {
 			if epoch%10 == 0 {
 				fmt.Printf("  epoch %3d: validation mean q-error %.2f\n", epoch, valQ)
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	est, err := model.EstimateContainment(q1, q2)
+	est, err := model.EstimateContainment(ctx, q1, q2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("CRN estimate      Q1 ⊂%% Q2: %6.2f%%\n", est*100)
 
-	rev, err := model.EstimateContainment(q2, q1)
+	rev, err := model.EstimateContainment(ctx, q2, q1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	revTruth, err := sys.TrueContainment(q2, q1)
+	revTruth, err := sys.TrueContainment(ctx, q2, q1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module crn
+
+go 1.24

@@ -11,9 +11,16 @@
 // Figure 8. The package also provides the Improved-M construction of §7:
 // Improved M = Cnt2Crd(Crd2Cnt(M)), which upgrades any existing cardinality
 // model without changing the model itself.
+//
+// The deployment of §5.2 is a DBMS answering estimation requests while it
+// keeps executing queries, so the estimator is batch-first: EstimateCards
+// runs one amortized rate pass over the pool pairs of every query in the
+// batch, and all entry points accept a context for cancellation.
 package card
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -30,8 +37,14 @@ import (
 // overlap are still informative).
 const DefaultEpsilon = 1e-3
 
+// ErrNoPoolMatch is the sentinel returned (wrapped) when a query has no
+// usable pool match — no pooled query shares its FROM clause, or every
+// candidate was skipped by the ε guard — and no Fallback is configured.
+// Callers match it with errors.Is.
+var ErrNoPoolMatch = errors.New("card: no matching pool query")
+
 // Estimator estimates cardinalities with the pool-based technique. It
-// implements contain.CardEstimator.
+// implements contain.CardEstimator and contain.CtxCardEstimator.
 type Estimator struct {
 	// Rates estimates containment rates between query pairs.
 	Rates contain.RateEstimator
@@ -47,8 +60,10 @@ type Estimator struct {
 	// falling back to a basic cardinality model (§5.2). A nil Fallback
 	// makes such queries an error.
 	Fallback contain.CardEstimator
-	// Workers sets the parallelism of the pool scan (Figure 8's loop is
-	// embarrassingly parallel, §5.3); 0 means GOMAXPROCS, 1 is serial.
+	// Workers sets the parallelism of the pool scan when the rate model has
+	// no batch interface (Figure 8's loop is embarrassingly parallel,
+	// §5.3); 0 means GOMAXPROCS, 1 is serial. Batch-capable rate models
+	// parallelize internally instead.
 	Workers int
 }
 
@@ -60,90 +75,165 @@ func New(rates contain.RateEstimator, qp *pool.Pool) *Estimator {
 
 // EstimateCard runs the EstimateCardinality algorithm of Figure 8.
 func (e *Estimator) EstimateCard(qnew query.Query) (float64, error) {
-	if e.Rates == nil || e.Pool == nil {
-		return 0, fmt.Errorf("card: estimator needs a rate model and a queries pool")
-	}
-	matches := e.Pool.Matching(qnew)
-	results, err := e.perOldEstimates(qnew, matches)
+	return e.EstimateCardCtx(context.Background(), qnew)
+}
+
+// EstimateCardCtx is EstimateCard with cancellation; it implements
+// contain.CtxCardEstimator.
+func (e *Estimator) EstimateCardCtx(ctx context.Context, qnew query.Query) (float64, error) {
+	out, err := e.EstimateCards(ctx, []query.Query{qnew})
 	if err != nil {
 		return 0, err
 	}
-	if len(results) == 0 {
-		if e.Fallback != nil {
-			return e.Fallback.EstimateCard(qnew)
-		}
-		return 0, fmt.Errorf("card: no matching pool query for FROM %q", qnew.FROMKey())
+	return out[0], nil
+}
+
+// EstimateCards runs Figure 8 for a whole batch of queries with one
+// amortized containment-rate pass: the pool pairs of every query are
+// concatenated and estimated together, so the rate model's per-call
+// overhead — and, for the CRN, the set-module encodings of recurring pool
+// entries — is paid once per batch instead of once per query. Results are
+// identical to per-query EstimateCard calls. The call fails as a whole on
+// the first query that has no usable pool match and no Fallback.
+func (e *Estimator) EstimateCards(ctx context.Context, queries []query.Query) ([]float64, error) {
+	if e.Rates == nil || e.Pool == nil {
+		return nil, fmt.Errorf("card: estimator needs a rate model and a queries pool")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eps := e.Epsilon
+	if eps <= 0 {
+		eps = DefaultEpsilon
 	}
 	final := e.Final
 	if final == nil {
 		final = pool.Median
 	}
-	return final(results), nil
-}
 
-// perOldEstimates computes x_rate/y_rate·|Qold| for every usable match.
-func (e *Estimator) perOldEstimates(qnew query.Query, matches []pool.Entry) ([]float64, error) {
-	eps := e.Epsilon
-	if eps <= 0 {
-		eps = DefaultEpsilon
+	// Gather every query's pool candidates and lay their rate pairs out in
+	// one flat list: (Qold, Qnew) then (Qnew, Qold) per candidate.
+	type span struct {
+		matches []pool.Entry
+		off     int // first pair index in the flat list
 	}
-	// Old queries with empty results carry no information: the containment
-	// rate of an empty query is 0 by definition (§2), so x_rate/y_rate·0
-	// degenerates to 0 regardless of the rates. Drop them before scanning.
-	usable := matches[:0]
-	for _, m := range matches {
-		if m.Card > 0 {
-			usable = append(usable, m)
-		}
-	}
-	matches = usable
-
-	// Batched fast path: one x_rate + one y_rate batch over all matches.
-	if batch, ok := e.Rates.(contain.BatchRateEstimator); ok && len(matches) > 1 {
-		pairs := make([][2]query.Query, 0, 2*len(matches))
+	spans := make([]span, len(queries))
+	total := 0
+	for i, qnew := range queries {
+		matches := e.Pool.Matching(qnew)
+		// Old queries with empty results carry no information: the
+		// containment rate of an empty query is 0 by definition (§2), so
+		// x_rate/y_rate·0 degenerates to 0 regardless of the rates.
+		usable := matches[:0]
 		for _, m := range matches {
-			pairs = append(pairs, [2]query.Query{m.Q, qnew}, [2]query.Query{qnew, m.Q})
+			if m.Card > 0 {
+				usable = append(usable, m)
+			}
 		}
-		rates, err := batch.EstimateRates(pairs)
-		if err != nil {
-			return nil, err
+		spans[i] = span{matches: usable, off: 2 * total}
+		total += len(usable)
+	}
+
+	var rates []float64
+	var err error
+	if idxEst, ok := e.Rates.(contain.IndexedRateEstimator); ok {
+		// Zero-copy layout: each probe enters the shared query list once,
+		// each pool entry once per batch (recognized by its stable ID when
+		// several probes share a FROM clause); pairs are index tuples. No
+		// canonical keys are rendered anywhere on this path.
+		list := make([]query.Query, 0, len(queries)+total)
+		idx := make([][2]int, 0, 2*total)
+		seen := make(map[int64]int, total)
+		for i, qnew := range queries {
+			qi := len(list)
+			list = append(list, qnew)
+			for _, m := range spans[i].matches {
+				mi, ok := seen[m.ID]
+				if !ok {
+					mi = len(list)
+					list = append(list, m.Q)
+					seen[m.ID] = mi
+				}
+				idx = append(idx, [2]int{mi, qi}, [2]int{qi, mi})
+			}
 		}
+		rates, err = idxEst.EstimateRatesIndexed(ctx, list, idx)
+	} else {
+		pairs := make([][2]query.Query, 0, 2*total)
+		for i, qnew := range queries {
+			for _, m := range spans[i].matches {
+				pairs = append(pairs, [2]query.Query{m.Q, qnew}, [2]query.Query{qnew, m.Q})
+			}
+		}
+		rates, err = e.estimateRates(ctx, pairs)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]float64, len(queries))
+	for i, qnew := range queries {
+		sp := spans[i]
 		var results []float64
-		for i, m := range matches {
-			xRate, yRate := rates[2*i], rates[2*i+1]
+		for mi, m := range sp.matches {
+			xRate := rates[sp.off+2*mi]   // Qold ⊂% Qnew
+			yRate := rates[sp.off+2*mi+1] // Qnew ⊂% Qold
 			if yRate <= eps {
 				continue
 			}
 			results = append(results, xRate/yRate*float64(m.Card))
 		}
-		return results, nil
+		if len(results) == 0 {
+			est, err := e.fallbackCard(ctx, qnew)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = est
+			continue
+		}
+		out[i] = final(results)
+	}
+	return out, nil
+}
+
+// estimateRates dispatches one flat pair list to the richest interface the
+// rate model offers: cancellable batch, plain batch, or a per-pair loop
+// parallelized over Workers goroutines.
+func (e *Estimator) estimateRates(ctx context.Context, pairs [][2]query.Query) ([]float64, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	switch r := e.Rates.(type) {
+	case contain.CtxBatchRateEstimator:
+		return r.EstimateRatesCtx(ctx, pairs)
+	case contain.BatchRateEstimator:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return r.EstimateRates(pairs)
 	}
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(matches) {
-		workers = len(matches)
+	if workers > len(pairs) {
+		workers = len(pairs)
 	}
+	out := make([]float64, len(pairs))
 	if workers <= 1 {
-		var results []float64
-		for _, m := range matches {
-			est, ok, err := e.estimateFrom(qnew, m, eps)
+		for i, p := range pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := e.Rates.EstimateRate(p[0], p[1])
 			if err != nil {
 				return nil, err
 			}
-			if ok {
-				results = append(results, est)
-			}
+			out[i] = r
 		}
-		return results, nil
+		return out, nil
 	}
-	type res struct {
-		est float64
-		ok  bool
-		err error
-	}
-	out := make([]res, len(matches))
+	errs := make([]error, len(pairs))
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -151,42 +241,41 @@ func (e *Estimator) perOldEstimates(qnew query.Query, matches []pool.Entry) ([]f
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				est, ok, err := e.estimateFrom(qnew, matches[i], eps)
-				out[i] = res{est, ok, err}
+				if ctx.Err() != nil {
+					continue
+				}
+				out[i], errs[i] = e.Rates.EstimateRate(pairs[i][0], pairs[i][1])
 			}
 		}()
 	}
-	for i := range matches {
+	for i := range pairs {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	var results []float64
-	for _, r := range out {
-		if r.err != nil {
-			return nil, r.err
-		}
-		if r.ok {
-			results = append(results, r.est)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	return results, nil
+	return out, nil
 }
 
-// estimateFrom applies the Cnt2Crd transformation to one old query.
-func (e *Estimator) estimateFrom(qnew query.Query, m pool.Entry, eps float64) (float64, bool, error) {
-	xRate, err := e.Rates.EstimateRate(m.Q, qnew) // Qold ⊂% Qnew
-	if err != nil {
-		return 0, false, err
+// fallbackCard answers a query without a usable pool match.
+func (e *Estimator) fallbackCard(ctx context.Context, qnew query.Query) (float64, error) {
+	if e.Fallback == nil {
+		return 0, fmt.Errorf("%w for FROM %q", ErrNoPoolMatch, qnew.FROMKey())
 	}
-	yRate, err := e.Rates.EstimateRate(qnew, m.Q) // Qnew ⊂% Qold
-	if err != nil {
-		return 0, false, err
+	if fb, ok := e.Fallback.(contain.CtxCardEstimator); ok {
+		return fb.EstimateCardCtx(ctx, qnew)
 	}
-	if yRate <= eps {
-		return 0, false, nil
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
-	return xRate / yRate * float64(m.Card), true, nil
+	return e.Fallback.EstimateCard(qnew)
 }
 
 // Cnt2Crd is the transformation of §5.1 as a function: it converts a
@@ -202,4 +291,7 @@ func Improved(m contain.CardEstimator, qp *pool.Pool) *Estimator {
 	return New(contain.Crd2Cnt{M: m}, qp)
 }
 
-var _ contain.CardEstimator = (*Estimator)(nil)
+var (
+	_ contain.CardEstimator    = (*Estimator)(nil)
+	_ contain.CtxCardEstimator = (*Estimator)(nil)
+)

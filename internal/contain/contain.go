@@ -11,10 +11,17 @@
 package contain
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"crn/internal/query"
 )
+
+// ErrNotComparable is the sentinel wrapped when two queries cannot be
+// compared for containment because their FROM clauses differ (§2 defines
+// containment only over identical FROM clauses).
+var ErrNotComparable = errors.New("queries are not containment-comparable")
 
 // CardEstimator estimates result cardinalities of conjunctive queries.
 // Implemented by pg.Estimator, mscn.Estimator, the exec oracle adapter and
@@ -41,6 +48,31 @@ type BatchRateEstimator interface {
 type BatchCardEstimator interface {
 	CardEstimator
 	EstimateCards(queries []query.Query) ([]float64, error)
+}
+
+// CtxBatchRateEstimator is the serving-grade rate interface: batched AND
+// cancellable. Implementations check ctx between internal chunks so a
+// cancelled request stops consuming CPU promptly.
+type CtxBatchRateEstimator interface {
+	BatchRateEstimator
+	EstimateRatesCtx(ctx context.Context, pairs [][2]query.Query) ([]float64, error)
+}
+
+// CtxCardEstimator is a cardinality estimator that honors cancellation.
+// Estimators dispatch on it before falling back to the plain interface.
+type CtxCardEstimator interface {
+	CardEstimator
+	EstimateCardCtx(ctx context.Context, q query.Query) (float64, error)
+}
+
+// IndexedRateEstimator is the zero-copy batch interface: pairs reference a
+// shared query list by index, so a query recurring in many pairs — the
+// probe of a pool scan appears in two pairs per candidate — is encoded once
+// and never re-keyed. The pool-based estimator prefers it over the
+// query-valued batch interfaces, whose per-pair canonical-key deduplication
+// costs more than the neural forward pass at serving batch sizes.
+type IndexedRateEstimator interface {
+	EstimateRatesIndexed(ctx context.Context, queries []query.Query, pairs [][2]int) ([]float64, error)
 }
 
 // Crd2Cnt wraps a cardinality estimator into a containment-rate estimator
@@ -182,7 +214,7 @@ func (t TruthRate) EstimateRate(q1, q2 query.Query) (float64, error) {
 // on malformed pairs.
 func Validate(q1, q2 query.Query) error {
 	if !q1.Comparable(q2) {
-		return fmt.Errorf("contain: queries are not comparable (FROM %q vs %q)", q1.FROMKey(), q2.FROMKey())
+		return fmt.Errorf("contain: %w (FROM %q vs %q)", ErrNotComparable, q1.FROMKey(), q2.FROMKey())
 	}
 	return nil
 }

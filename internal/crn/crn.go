@@ -23,7 +23,9 @@ package crn
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -32,6 +34,12 @@ import (
 	"crn/internal/metrics"
 	"crn/internal/nn"
 )
+
+// ErrDimMismatch is the sentinel for feature-dimension disagreements: a
+// serialized model is bound to the featurization (schema one-hots, column
+// statistics) it was trained with, and re-binding it to a database with a
+// different vector dimension L is an error callers can match with errors.Is.
+var ErrDimMismatch = errors.New("crn: model dimension mismatch")
 
 // Config collects the model and training hyperparameters. The paper's
 // defaults (§3.5: H=512, batch 128, learning rate 0.001) are scaled down by
@@ -230,9 +238,150 @@ func (m *Model) PredictBatch(pairs []Sample) []float64 {
 	return out
 }
 
+// EncodeSets runs both set modules (MLP1, MLP2) once over a list of unique
+// feature-vector sets, returning one representative vector per set and per
+// module. Together with PredictPairsFrom it factors the forward pass so a
+// query recurring in many pairs — every pool entry does, twice per probe —
+// is pushed through the set modules once per batch instead of once per pair.
+// Safe for concurrent use on a trained model.
+func (m *Model) EncodeSets(sets [][][]float64) (reps1, reps2 *nn.Matrix) {
+	b := nn.BuildSetBatch(sets, m.dim)
+	reps1, _ = m.enc1.Forward(b)
+	reps2, _ = m.enc2.Forward(b)
+	return reps1, reps2
+}
+
+// PairPredictor is the precomputed serving head for one batch of
+// representations: the per-representation partial products of the factorized
+// Expand layer, built once and shared across every (possibly concurrent)
+// pair-chunk evaluation. Safe for concurrent Predict calls.
+//
+// The head input Expand(v1,v2) = [v1, v2, |v1−v2|, v1⊙v2] splits MLPout's
+// first weight matrix into four H-row blocks W1..W4. With the identity
+// |a−b| = a+b−2·min(a,b), the pre-activation becomes
+//
+//	v1·(W1+W3) + v2·(W2+W3) + Σ_k (v1⊙v2)[k]·W4[k] − 2·min(v1,v2)[k]·W3[k]
+//
+// where the per-pair sum runs only over coordinates nonzero in BOTH
+// representations (the set modules pool ReLU outputs, so representations
+// are non-negative and min(a,0) = 0 = a·0). The first two terms depend on
+// one representation each and are precomputed here, then reused across
+// every pair that mentions the representation — the queries-pool scan of a
+// 64-probe batch mentions each pool entry up to 128 times, so per pair only
+// the sparse intersection term remains.
+type PairPredictor struct {
+	h            int
+	reps1, reps2 *nn.Matrix
+	p1, p2       *nn.Matrix // reps1·(W1+W3), reps2·(W2+W3)
+	w3, w4       []float64
+	b1, w2       []float64
+	b2           float64
+}
+
+// NewPairPredictor folds the head weights and precomputes the per-side
+// partial products for the given representations (reps1 through MLP1,
+// reps2 through MLP2 — the two outputs of EncodeSets).
+func (m *Model) NewPairPredictor(reps1, reps2 *nn.Matrix) *PairPredictor {
+	h := m.cfg.Hidden
+	w1 := m.out1.W.W // 4H×2H, row-major
+	cols := 2 * h
+	w3 := w1[2*h*cols : 3*h*cols]
+	w4 := w1[3*h*cols : 4*h*cols]
+	// Folded per-side weights: W1+W3 and W2+W3.
+	w13 := make([]float64, h*cols)
+	w23 := make([]float64, h*cols)
+	for i := range w13 {
+		w13[i] = w1[i] + w3[i]
+		w23[i] = w1[h*cols+i] + w3[i]
+	}
+	p1 := nn.NewMatrix(reps1.Rows, cols)
+	nn.MatMul(p1, reps1, &nn.Matrix{Rows: h, Cols: cols, Data: w13})
+	p2 := nn.NewMatrix(reps2.Rows, cols)
+	nn.MatMul(p2, reps2, &nn.Matrix{Rows: h, Cols: cols, Data: w23})
+	return &PairPredictor{
+		h:     h,
+		reps1: reps1, reps2: reps2,
+		p1: p1, p2: p2,
+		w3: w3, w4: w4,
+		b1: m.out1.B.W, w2: m.out2.W.W,
+		b2: m.out2.B.W[0],
+	}
+}
+
+// Predict evaluates the head for each pair (i, j) of representation
+// indices. Safe for concurrent use; results are bit-identical across chunk
+// boundaries and batch compositions.
+func (p *PairPredictor) Predict(pairs [][2]int) []float64 {
+	h := p.h
+	cols := 2 * h
+	out := make([]float64, len(pairs))
+	z := make([]float64, cols)
+	for i, pair := range pairs {
+		r1, r2 := p.reps1.Row(pair[0]), p.reps2.Row(pair[1])
+		q1 := p.p1.Row(pair[0])[:cols]
+		q2 := p.p2.Row(pair[1])[:cols]
+		zz := z[:cols]
+		for j := range zz {
+			zz[j] = q1[j] + q2[j]
+		}
+		for k := 0; k < h; k++ {
+			a, b := r1[k], r2[k]
+			if a == 0 || b == 0 {
+				continue
+			}
+			mn := a
+			if b < a {
+				mn = b
+			}
+			mn *= -2
+			pr := a * b
+			row3 := p.w3[k*cols : (k+1)*cols]
+			row4 := p.w4[k*cols : (k+1)*cols][:len(row3)]
+			zr := zz[:len(row3)]
+			for j, wv := range row3 {
+				zr[j] += mn*wv + pr*row4[j]
+			}
+		}
+		// Bias, ReLU, second layer, sigmoid — scalar output per pair.
+		s := p.b2
+		for j, zv := range zz {
+			if a := zv + p.b1[j]; a > 0 {
+				s += a * p.w2[j]
+			}
+		}
+		out[i] = 1 / (1 + math.Exp(-s))
+	}
+	return out
+}
+
+// PredictPairsFrom evaluates the CRN head for each pair of precomputed
+// representative vectors; see PairPredictor for the factorization. All
+// estimation paths — single and batch — share this routine, so their
+// results are bit-identical.
+func (m *Model) PredictPairsFrom(reps1, reps2 *nn.Matrix, pairs [][2]int) []float64 {
+	return m.NewPairPredictor(reps1, reps2).Predict(pairs)
+}
+
+// PredictShared estimates rates for pairs expressed as indices into a list
+// of unique query encodings: one set-module pass over the unique sets, one
+// matrix-batched head pass over the pairs.
+func (m *Model) PredictShared(sets [][][]float64, pairs [][2]int) []float64 {
+	reps1, reps2 := m.EncodeSets(sets)
+	return m.PredictPairsFrom(reps1, reps2, pairs)
+}
+
 // Train fits the model on train, early-stopping on val, and returns the
 // per-epoch statistics. progress, if non-nil, is invoked after every epoch.
 func (m *Model) Train(train, val []Sample, progress func(EpochStats)) ([]EpochStats, error) {
+	return m.TrainCtx(context.Background(), train, val, progress)
+}
+
+// TrainCtx is Train with cancellation: the context is checked before every
+// epoch, so cancel/deadline aborts between epochs with the context's error
+// (and the per-epoch statistics accumulated so far). The best weights seen
+// before cancellation are NOT restored — an aborted training is an error,
+// not a usable model.
+func (m *Model) TrainCtx(ctx context.Context, train, val []Sample, progress func(EpochStats)) ([]EpochStats, error) {
 	if len(train) == 0 {
 		return nil, fmt.Errorf("crn: empty training set")
 	}
@@ -246,6 +395,9 @@ func (m *Model) Train(train, val []Sample, progress func(EpochStats)) ([]EpochSt
 	badStreak := 0
 	var stats []EpochStats
 	for epoch := 1; epoch <= m.cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		start := time.Now()
 		perm := nn.Shuffle(rng, len(train))
 		var totalLoss float64

@@ -331,3 +331,43 @@ func TestPredictBatchMatchesSingle(t *testing.T) {
 		}
 	}
 }
+
+// TestPredictSharedMatchesReferenceForward pins the factorized serving head
+// (EncodeSets + PairPredictor) to the reference training-time forward pass:
+// the block-folded |a−b| = a+b−2·min identity must reproduce PredictBatch
+// up to floating-point reassociation, including negative feature values
+// (the ReLU set modules make the REPRESENTATIONS non-negative regardless
+// of input sign — the invariant the sparse intersection skip relies on).
+func TestPredictSharedMatchesReferenceForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	const dim = 14
+	m := NewModel(cfg, dim)
+
+	var sets [][][]float64
+	for i := 0; i < 12; i++ {
+		set := randSet(rng, dim, 1+rng.Intn(5))
+		for _, v := range set {
+			for j := range v {
+				v[j] -= 0.5 // exercise negative inputs too
+			}
+		}
+		sets = append(sets, set)
+	}
+	var pairs [][2]int
+	var samples []Sample
+	for a := 0; a < len(sets); a++ {
+		for b := 0; b < len(sets); b++ {
+			pairs = append(pairs, [2]int{a, b})
+			samples = append(samples, Sample{V1: sets[a], V2: sets[b]})
+		}
+	}
+	shared := m.PredictShared(sets, pairs)
+	reference := m.PredictBatch(samples)
+	for i := range shared {
+		if math.Abs(shared[i]-reference[i]) > 1e-9 {
+			t.Fatalf("pair %d: factorized %v != reference %v", i, shared[i], reference[i])
+		}
+	}
+}

@@ -1,27 +1,34 @@
 package crn
 
 import (
+	"context"
+	"runtime"
 	"sync"
 
 	"crn/internal/feature"
 	"crn/internal/query"
 )
 
+// headChunk bounds the number of pairs per head forward pass; chunking keeps
+// peak memory flat on large batches and gives cancellation checks a
+// bounded-latency hook between passes.
+const headChunk = 2048
+
 // Rates adapts a trained Model and a feature Encoder to the query-level
-// containment-rate interface used by the cardinality technique: it encodes
-// queries on demand (with a cache, since the queries-pool entries recur on
-// every estimation) and batches forward passes.
+// containment-rate interface used by the cardinality technique. Each batch
+// call runs the set modules once per listed query and evaluates the pair
+// head in matrix-batched chunks — the amortization that makes batched
+// serving profitable (a pool entry occurs in two pairs per probe, and
+// across every probe of a batch). Rates is stateless apart from the frozen
+// model and encoder, so it is safe for concurrent use.
 type Rates struct {
 	M   *Model
 	Enc *feature.Encoder
-
-	mu    sync.RWMutex
-	cache map[string][][]float64
 }
 
-// NewRates creates the adapter with an empty encoding cache.
+// NewRates creates the adapter.
 func NewRates(m *Model, enc *feature.Encoder) *Rates {
-	return &Rates{M: m, Enc: enc, cache: make(map[string][][]float64)}
+	return &Rates{M: m, Enc: enc}
 }
 
 // EstimateRate implements contain.RateEstimator.
@@ -33,42 +40,115 @@ func (r *Rates) EstimateRate(q1, q2 query.Query) (float64, error) {
 	return out[0], nil
 }
 
-// EstimateRates implements contain.BatchRateEstimator with a single batched
-// forward pass.
+// EstimateRates implements contain.BatchRateEstimator.
 func (r *Rates) EstimateRates(pairs [][2]query.Query) ([]float64, error) {
-	samples := make([]Sample, len(pairs))
-	for i, p := range pairs {
-		v1, err := r.encode(p[0])
-		if err != nil {
-			return nil, err
-		}
-		v2, err := r.encode(p[1])
-		if err != nil {
-			return nil, err
-		}
-		samples[i] = Sample{V1: v1, V2: v2}
-	}
-	return r.M.PredictBatch(samples), nil
+	return r.EstimateRatesCtx(context.Background(), pairs)
 }
 
-func (r *Rates) encode(q query.Query) ([][]float64, error) {
-	key := q.Key()
-	r.mu.RLock()
-	v, ok := r.cache[key]
-	r.mu.RUnlock()
-	if ok {
-		return v, nil
-	}
-	v, err := r.Enc.EncodeQuery(q)
-	if err != nil {
+// EstimateRatesCtx implements contain.CtxBatchRateEstimator: queries are
+// deduplicated across all pairs by canonical key, then estimated through
+// the indexed path.
+func (r *Rates) EstimateRatesCtx(ctx context.Context, pairs [][2]query.Query) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	// Bound the cache; pool entries plus a workload fit comfortably.
-	if len(r.cache) > 1<<16 {
-		r.cache = make(map[string][][]float64)
+	if len(pairs) == 0 {
+		return nil, nil
 	}
-	r.cache[key] = v
-	r.mu.Unlock()
-	return v, nil
+	index := make(map[string]int)
+	var queries []query.Query
+	idx := make([][2]int, len(pairs))
+	for i, p := range pairs {
+		for side := 0; side < 2; side++ {
+			q := p[side]
+			key := q.Key()
+			j, ok := index[key]
+			if !ok {
+				j = len(queries)
+				index[key] = j
+				queries = append(queries, q)
+			}
+			idx[i][side] = j
+		}
+	}
+	return r.EstimateRatesIndexed(ctx, queries, idx)
+}
+
+// EstimateRatesIndexed implements contain.IndexedRateEstimator: one
+// set-module pass over the query list, then head passes in chunks of
+// headChunk pairs, parallelized over GOMAXPROCS goroutines and checking ctx
+// before every chunk. Queries are encoded directly — no canonical-key
+// rendering, no cache traffic — so the serving hot path spends its time in
+// the matrix math, not in string building.
+func (r *Rates) EstimateRatesIndexed(ctx context.Context, queries []query.Query, idx [][2]int) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(idx) == 0 {
+		return nil, nil
+	}
+	sets := make([][][]float64, len(queries))
+	for i, q := range queries {
+		v, err := r.Enc.EncodeQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = v
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	reps1, reps2 := r.M.EncodeSets(sets)
+	// One precomputation (weight fold + per-representation partial
+	// products) shared by every chunk below.
+	pred := r.M.NewPairPredictor(reps1, reps2)
+
+	out := make([]float64, len(idx))
+	nChunks := (len(idx) + headChunk - 1) / headChunk
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		for lo := 0; lo < len(idx); lo += headChunk {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			hi := lo + headChunk
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			copy(out[lo:hi], pred.Predict(idx[lo:hi]))
+		}
+		return out, ctx.Err()
+	}
+	// The head pass only reads trained weights, so chunks evaluate
+	// concurrently without synchronization.
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for lo := range next {
+				if ctx.Err() != nil {
+					continue
+				}
+				hi := lo + headChunk
+				if hi > len(idx) {
+					hi = len(idx)
+				}
+				copy(out[lo:hi], pred.Predict(idx[lo:hi]))
+			}
+		}()
+	}
+	for lo := 0; lo < len(idx); lo += headChunk {
+		next <- lo
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package crn
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -53,23 +54,33 @@ func TestRatesSingleMatchesBatch(t *testing.T) {
 	}
 }
 
-func TestRatesCachesEncodings(t *testing.T) {
+func TestRatesIndexedMatchesBatch(t *testing.T) {
 	r, s := ratesFixture(t)
 	q1 := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 1")
-	if _, err := r.EstimateRate(q1, q1); err != nil {
+	q2 := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id < 5")
+	q3 := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.production_year > 1950")
+	batch, err := r.EstimateRates([][2]query.Query{{q1, q2}, {q2, q3}, {q3, q1}, {q1, q1}})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.cache) != 1 {
-		t.Errorf("cache size = %d, want 1", len(r.cache))
+	// The same pairs expressed as indices into a shared list — including a
+	// duplicated listing of q1, which must not change any estimate.
+	indexed, err := r.EstimateRatesIndexed(context.Background(),
+		[]query.Query{q1, q2, q3, q1},
+		[][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Second call: cache unchanged, same prediction.
+	for i := range batch {
+		if batch[i] != indexed[i] {
+			t.Errorf("pair %d: batch %v != indexed %v", i, batch[i], indexed[i])
+		}
+	}
+	// Calls are deterministic.
 	a, _ := r.EstimateRate(q1, q1)
 	b, _ := r.EstimateRate(q1, q1)
 	if a != b {
-		t.Error("cached prediction differs")
-	}
-	if len(r.cache) != 1 {
-		t.Errorf("cache grew to %d", len(r.cache))
+		t.Error("repeated prediction differs")
 	}
 }
 

@@ -16,6 +16,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -50,6 +51,16 @@ func (e *Executor) CacheSize() int {
 
 // Cardinality returns the exact result cardinality of q.
 func (e *Executor) Cardinality(q query.Query) (int64, error) {
+	return e.CardinalityCtx(context.Background(), q)
+}
+
+// CardinalityCtx is Cardinality with cancellation: the evaluation checks ctx
+// between per-table filter scans and join-tree passes, so long-running exact
+// executions abort promptly once the caller cancels or the deadline passes.
+func (e *Executor) CardinalityCtx(ctx context.Context, q query.Query) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	key := q.Key()
 	e.mu.RLock()
 	if c, ok := e.cache[key]; ok {
@@ -57,21 +68,38 @@ func (e *Executor) Cardinality(q query.Query) (int64, error) {
 		return c, nil
 	}
 	e.mu.RUnlock()
-	c, err := e.compute(q)
+	c, err := e.compute(ctx, q)
 	if err != nil {
 		return 0, err
 	}
 	e.mu.Lock()
+	// Bound the memoization cache: a long-lived serving process feeds the
+	// executor arbitrary client queries, and an unbounded map would grow
+	// for the life of the process. A full reset keeps the common case
+	// (a bounded working set of repeated queries) fast and the worst case
+	// merely a recomputation.
+	if len(e.cache) > maxCachedCardinalities {
+		e.cache = make(map[string]int64)
+	}
 	e.cache[key] = c
 	e.mu.Unlock()
 	return c, nil
 }
 
+// maxCachedCardinalities bounds the executor's memoization map (~64k
+// entries; keys are canonical SQL, so on the order of a few MiB).
+const maxCachedCardinalities = 1 << 16
+
 // ContainmentRate returns Q1 ⊂% Q2 on the database as a fraction in [0,1]:
 // |Q1∩Q2| / |Q1|, and 0 when Q1's result is empty (§2). The queries must
 // have identical FROM clauses.
 func (e *Executor) ContainmentRate(q1, q2 query.Query) (float64, error) {
-	c1, err := e.Cardinality(q1)
+	return e.ContainmentRateCtx(context.Background(), q1, q2)
+}
+
+// ContainmentRateCtx is ContainmentRate with cancellation.
+func (e *Executor) ContainmentRateCtx(ctx context.Context, q1, q2 query.Query) (float64, error) {
+	c1, err := e.CardinalityCtx(ctx, q1)
 	if err != nil {
 		return 0, err
 	}
@@ -82,7 +110,7 @@ func (e *Executor) ContainmentRate(q1, q2 query.Query) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	ci, err := e.Cardinality(qi)
+	ci, err := e.CardinalityCtx(ctx, qi)
 	if err != nil {
 		return 0, err
 	}
@@ -90,12 +118,15 @@ func (e *Executor) ContainmentRate(q1, q2 query.Query) (float64, error) {
 }
 
 // compute evaluates the query from scratch.
-func (e *Executor) compute(q query.Query) (int64, error) {
+func (e *Executor) compute(ctx context.Context, q query.Query) (int64, error) {
 	if len(q.Tables) == 0 {
 		return 0, fmt.Errorf("exec: query has no tables")
 	}
 	masks := make(map[string][]bool, len(q.Tables))
 	for _, t := range q.Tables {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		m, err := e.filterMask(t, q.PredsOn(t))
 		if err != nil {
 			return 0, err
@@ -105,10 +136,13 @@ func (e *Executor) compute(q query.Query) (int64, error) {
 	components := q.Components()
 	total := int64(1)
 	for _, comp := range components {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		if len(comp.Joins) != len(comp.Tables)-1 {
 			return 0, fmt.Errorf("exec: cyclic join graph over %v not supported", comp.Tables)
 		}
-		c, err := e.componentCardinality(comp, masks)
+		c, err := e.componentCardinality(ctx, comp, masks)
 		if err != nil {
 			return 0, err
 		}
@@ -147,7 +181,7 @@ func (e *Executor) filterMask(table string, preds []query.Predicate) ([]bool, er
 }
 
 // componentCardinality evaluates one connected join tree.
-func (e *Executor) componentCardinality(c query.Component, masks map[string][]bool) (int64, error) {
+func (e *Executor) componentCardinality(ctx context.Context, c query.Component, masks map[string][]bool) (int64, error) {
 	if len(c.Tables) == 1 {
 		return countMask(masks[c.Tables[0]]), nil
 	}
@@ -168,6 +202,9 @@ func (e *Executor) componentCardinality(c query.Component, masks map[string][]bo
 	// `from`), a map join-value-of-linkCol -> number of row combinations.
 	var weights func(table, from, linkCol string) (map[db.Value]int64, error)
 	weights = func(table, from, linkCol string) (map[db.Value]int64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t := e.db.Table(table)
 		mask := masks[table]
 		link := t.Column(linkCol)

@@ -12,16 +12,21 @@ package pool
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"crn/internal/metrics"
 	"crn/internal/query"
 )
 
-// Entry is one pooled query with its actual cardinality.
+// Entry is one pooled query with its actual cardinality. ID is a stable
+// pool-unique identifier assigned at insertion; batch estimators use it to
+// recognize the same entry across many probes without re-deriving canonical
+// keys.
 type Entry struct {
 	Q    query.Query
 	Card int64
+	ID   int64
 }
 
 // Pool is a FROM-clause-indexed collection of executed queries. It is safe
@@ -32,6 +37,7 @@ type Pool struct {
 	byFrom  map[string][]Entry
 	byKey   map[string]bool
 	entries int
+	nextID  int64
 }
 
 // New creates an empty pool.
@@ -53,7 +59,8 @@ func (p *Pool) Add(q query.Query, card int64) bool {
 		return false
 	}
 	p.byKey[key] = true
-	p.byFrom[q.FROMKey()] = append(p.byFrom[q.FROMKey()], Entry{Q: q, Card: card})
+	p.byFrom[q.FROMKey()] = append(p.byFrom[q.FROMKey()], Entry{Q: q, Card: card, ID: p.nextID})
+	p.nextID++
 	p.entries++
 	return true
 }
@@ -122,7 +129,7 @@ func (p *Pool) Subset(n int) *Pool {
 		keys = append(keys, k)
 	}
 	// Deterministic order.
-	sortStrings(keys)
+	sort.Strings(keys)
 	idx := 0
 	for out.entries < n {
 		progress := false
@@ -142,14 +149,6 @@ func (p *Pool) Subset(n int) *Pool {
 		idx++
 	}
 	return out
-}
-
-func sortStrings(xs []string) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
 
 // FinalFunc collapses the per-old-query cardinality estimates into the

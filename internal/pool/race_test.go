@@ -1,0 +1,87 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"crn/internal/query"
+	"crn/internal/schema"
+	"crn/internal/sqlparse"
+)
+
+// TestConcurrentPoolAccess hammers the pool from concurrent goroutines in
+// the serving pattern of §5.2: writers append executed queries while
+// readers scan for matches and snapshot subsets. Run with -race (CI does);
+// the assertions only check conservation invariants, the detector checks
+// the synchronization.
+func TestConcurrentPoolAccess(t *testing.T) {
+	s := schema.IMDB()
+	p := New()
+
+	const writers = 4
+	const readers = 4
+	const perWriter = 200
+
+	probe := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 1")
+
+	queries := make([][]query.Query, writers)
+	for w := range queries {
+		queries[w] = make([]query.Query, perWriter)
+		for i := range queries[w] {
+			queries[w][i] = sqlparse.MustParse(s, fmt.Sprintf(
+				"SELECT * FROM title WHERE title.production_year > %d", w*perWriter+i))
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i, q := range queries[w] {
+				if !p.Add(q, int64(i+1)) {
+					t.Errorf("writer %d: duplicate rejection for unique query %d", w, i)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				matches := p.Matching(probe)
+				for _, m := range matches {
+					if m.Card <= 0 {
+						t.Errorf("matching returned card %d", m.Card)
+					}
+				}
+				sub := p.Subset(10)
+				if sub.Len() > 10 {
+					t.Errorf("subset overflow: %d", sub.Len())
+				}
+				_ = p.Len()
+				_ = p.FROMKeys()
+				_ = p.Contains(probe)
+				_ = p.Entries()
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got, want := p.Len(), writers*perWriter; got != want {
+		t.Errorf("pool size = %d, want %d", got, want)
+	}
+	if got := len(p.Matching(probe)); got != writers*perWriter {
+		t.Errorf("matches = %d, want %d", got, writers*perWriter)
+	}
+	// Every entry was added exactly once; re-adding is a no-op.
+	if p.Add(queries[0][0], 1) {
+		t.Error("duplicate add succeeded")
+	}
+}

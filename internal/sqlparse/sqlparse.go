@@ -11,6 +11,7 @@
 package sqlparse
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -19,6 +20,11 @@ import (
 	"crn/internal/query"
 	"crn/internal/schema"
 )
+
+// ErrDialect is the sentinel wrapped by every parse failure: the input is
+// outside the supported conjunctive dialect (or malformed). Callers match it
+// with errors.Is to distinguish bad query text from system errors.
+var ErrDialect = errors.New("unsupported SQL dialect")
 
 // StringInterner resolves string literals to the integer codes stored in
 // the database (the §9 strings extension); implemented by dict.Dictionary.
@@ -42,7 +48,7 @@ func ParseWith(s *schema.Schema, dict StringInterner, sql string) (query.Query, 
 	p := &parser{toks: lex(sql), dict: dict}
 	q, err := p.parse(s)
 	if err != nil {
-		return query.Query{}, fmt.Errorf("sqlparse: %w", err)
+		return query.Query{}, fmt.Errorf("sqlparse: %w: %w", ErrDialect, err)
 	}
 	return q, nil
 }

@@ -27,10 +27,18 @@ import (
 	"sync"
 
 	"crn/internal/db"
-	"crn/internal/exec"
 	"crn/internal/query"
 	"crn/internal/schema"
 )
+
+// Oracle is the executor subset workload construction and labeling need:
+// exact cardinalities for rejection sampling and labels, exact containment
+// rates for pair labels. *exec.Executor satisfies it directly; callers that
+// need cancellation pass a context-checking wrapper instead.
+type Oracle interface {
+	Cardinality(q query.Query) (int64, error)
+	ContainmentRate(q1, q2 query.Query) (float64, error)
+}
 
 // Pair is an (unlabeled) ordered query pair with identical FROM clauses.
 type Pair struct {
@@ -312,7 +320,7 @@ func (g *Generator) QueriesWithJoinDistribution(dist map[int]int) ([]query.Query
 // paper's cardinality workloads derive from keeps only queries with
 // non-zero cardinality; at our reduced database scale rejection sampling is
 // required to match that convention.
-func (g *Generator) NonEmptyQueries(ex *exec.Executor, count, numJoins int) ([]query.Query, error) {
+func (g *Generator) NonEmptyQueries(ex Oracle, count, numJoins int) ([]query.Query, error) {
 	seen := make(map[string]bool)
 	var out []query.Query
 	for attempts := 0; len(out) < count && attempts < count*500; attempts++ {
@@ -344,7 +352,7 @@ func (g *Generator) NonEmptyQueries(ex *exec.Executor, count, numJoins int) ([]q
 
 // NonEmptyQueriesWithJoinDistribution is QueriesWithJoinDistribution
 // restricted to non-empty results.
-func (g *Generator) NonEmptyQueriesWithJoinDistribution(ex *exec.Executor, dist map[int]int) ([]query.Query, error) {
+func (g *Generator) NonEmptyQueriesWithJoinDistribution(ex Oracle, dist map[int]int) ([]query.Query, error) {
 	joins := make([]int, 0, len(dist))
 	for j := range dist {
 		joins = append(joins, j)
@@ -428,7 +436,7 @@ func (g *Generator) PoolQueries(n int) ([]query.Query, error) {
 // executed queries with non-zero cardinalities. The one empty-predicate
 // query per FROM clause is kept unconditionally (it guarantees a usable
 // match for every probe, §5.2).
-func (g *Generator) NonEmptyPoolQueries(ex *exec.Executor, n int) ([]query.Query, error) {
+func (g *Generator) NonEmptyPoolQueries(ex Oracle, n int) ([]query.Query, error) {
 	candidates, err := g.PoolQueries(n)
 	if err != nil {
 		return nil, err
@@ -546,7 +554,7 @@ func (g *Generator) TrainingPairs(n int) ([]Pair, error) {
 // LabelPairs executes every pair to obtain true containment rates,
 // parallelized over `workers` goroutines (the executor memoizes shared
 // sub-queries).
-func LabelPairs(ex *exec.Executor, pairs []Pair, workers int) ([]LabeledPair, error) {
+func LabelPairs(ex Oracle, pairs []Pair, workers int) ([]LabeledPair, error) {
 	out := make([]LabeledPair, len(pairs))
 	err := parallelFor(len(pairs), workers, func(i int) error {
 		rate, err := ex.ContainmentRate(pairs[i].Q1, pairs[i].Q2)
@@ -563,7 +571,7 @@ func LabelPairs(ex *exec.Executor, pairs []Pair, workers int) ([]LabeledPair, er
 }
 
 // LabelQueries executes every query to obtain true cardinalities.
-func LabelQueries(ex *exec.Executor, queries []query.Query, workers int) ([]LabeledQuery, error) {
+func LabelQueries(ex Oracle, queries []query.Query, workers int) ([]LabeledQuery, error) {
 	out := make([]LabeledQuery, len(queries))
 	err := parallelFor(len(queries), workers, func(i int) error {
 		card, err := ex.Cardinality(queries[i])

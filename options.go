@@ -1,0 +1,129 @@
+package crn
+
+import (
+	"crn/internal/card"
+	icrn "crn/internal/crn"
+	"crn/internal/datagen"
+	"crn/internal/pool"
+)
+
+// This file defines the functional options of the facade. Options replace
+// the zero-value config structs of the original API: call sites state only
+// what they change, defaults stay in one place, and new knobs never break
+// existing callers.
+
+// --- Opening a database -----------------------------------------------------
+
+// OpenOption configures OpenSynthetic.
+type OpenOption func(*datagen.Config)
+
+// WithTitles sets the number of rows in the fact table `title`
+// (default 4000); the satellite tables scale with it.
+func WithTitles(n int) OpenOption {
+	return func(c *datagen.Config) {
+		if n > 0 {
+			c.Titles = n
+		}
+	}
+}
+
+// WithDataSeed sets the database generation seed (default 1).
+func WithDataSeed(seed int64) OpenOption {
+	return func(c *datagen.Config) {
+		if seed != 0 {
+			c.Seed = seed
+		}
+	}
+}
+
+// --- Training ---------------------------------------------------------------
+
+// ModelConfig collects the CRN model and training hyperparameters; see
+// DefaultModelConfig for the repository-scale defaults and PaperModelConfig
+// for the paper's §3.5 settings.
+type ModelConfig = icrn.Config
+
+// DefaultModelConfig returns the repository-scale CRN hyperparameters.
+func DefaultModelConfig() ModelConfig { return icrn.DefaultConfig() }
+
+// PaperModelConfig returns the paper's full-scale hyperparameters (§3.5:
+// H=512, batch 128, 120 epochs).
+func PaperModelConfig() ModelConfig { return icrn.PaperConfig() }
+
+// TrainOption configures TrainContainmentModel.
+type TrainOption func(*TrainConfig)
+
+// WithPairs sets the number of training pairs to generate and label
+// (default 5000; the paper's §3.1.2 workload uses 0-2 joins).
+func WithPairs(n int) TrainOption {
+	return func(c *TrainConfig) { c.Pairs = n }
+}
+
+// WithSeed sets the workload-generation seed (default 1).
+func WithSeed(seed int64) TrainOption {
+	return func(c *TrainConfig) { c.Seed = seed }
+}
+
+// WithModelConfig overrides the CRN hyperparameters (default
+// DefaultModelConfig).
+func WithModelConfig(cfg ModelConfig) TrainOption {
+	return func(c *TrainConfig) { c.Model = cfg }
+}
+
+// WithProgress installs a per-epoch callback (epoch number, validation mean
+// q-error). The callback may cancel the training context; the next epoch
+// boundary observes it.
+func WithProgress(fn func(epoch int, valQError float64)) TrainOption {
+	return func(c *TrainConfig) { c.Progress = fn }
+}
+
+// WithTrainConfig replaces the whole configuration with a legacy config
+// struct.
+//
+// Deprecated: migrate to the individual options.
+func WithTrainConfig(cfg TrainConfig) TrainOption {
+	return func(c *TrainConfig) { *c = cfg }
+}
+
+// --- Cardinality estimation -------------------------------------------------
+
+// FinalFunc collapses the per-old-query cardinality estimates into the
+// final estimate (the function F of §5.3).
+type FinalFunc = pool.FinalFunc
+
+// Final functions of §5.3.1, for WithFinal. The paper found Median best and
+// uses it everywhere.
+var (
+	Median      FinalFunc = pool.Median
+	Mean        FinalFunc = pool.Mean
+	TrimmedMean FinalFunc = pool.TrimmedMean
+)
+
+// EstimatorOption configures CardinalityEstimator and ImproveBaseline.
+type EstimatorOption func(*card.Estimator)
+
+// WithWorkers sets the parallelism of the pool scan for rate models without
+// a batch interface (0 = GOMAXPROCS, 1 = serial; batch-capable models —
+// the CRN included — parallelize internally instead).
+func WithWorkers(n int) EstimatorOption {
+	return func(e *card.Estimator) { e.Workers = n }
+}
+
+// WithFinal sets the final function F collapsing per-old-query estimates
+// (default Median, the paper's choice).
+func WithFinal(f FinalFunc) EstimatorOption {
+	return func(e *card.Estimator) { e.Final = f }
+}
+
+// WithFallback sets a fallback estimator for queries without a usable pool
+// match; without one such queries fail with ErrNoPoolMatch (§5.2 suggests
+// falling back to a basic cardinality model).
+func WithFallback(fb BaselineEstimator) EstimatorOption {
+	return func(e *card.Estimator) { e.Fallback = fb }
+}
+
+// WithEpsilon sets the y_rate guard ε of Figure 8 (default 1e-3): pool
+// matches with Qnew ⊂% Qold ≤ ε are skipped to avoid exploding the ratio.
+func WithEpsilon(eps float64) EstimatorOption {
+	return func(e *card.Estimator) { e.Epsilon = eps }
+}

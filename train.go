@@ -1,0 +1,153 @@
+package crn
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"crn/internal/contain"
+	icrn "crn/internal/crn"
+	"crn/internal/workload"
+)
+
+// TrainConfig controls containment-model training. The zero value uses the
+// defaults (5000 pairs, seed 1, DefaultModelConfig).
+//
+// Deprecated: configure TrainContainmentModel with TrainOption values; this
+// struct remains as the carrier for WithTrainConfig.
+type TrainConfig struct {
+	Pairs    int         // training pairs to generate (0 = 5000)
+	Seed     int64       // generator seed (0 = 1)
+	Model    ModelConfig // zero value = crn defaults
+	Progress func(epoch int, valQError float64)
+}
+
+// ContainmentModel is a trained CRN bound to its feature encoder.
+type ContainmentModel struct {
+	rates *icrn.Rates
+	model *icrn.Model
+}
+
+// TrainContainmentModel generates a labeled pair workload over the system's
+// database (0-2 joins, §3.1.2), trains a CRN on it and returns the model.
+// The context covers the whole pipeline: workload labeling checks it per
+// executed query and training checks it per epoch, so cancelling aborts
+// promptly with the context's error.
+func (s *System) TrainContainmentModel(ctx context.Context, opts ...TrainOption) (*ContainmentModel, error) {
+	var cfg TrainConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return s.trainWithConfig(ctx, cfg)
+}
+
+// TrainContainmentModelConfig is the config-struct form of
+// TrainContainmentModel.
+//
+// Deprecated: use TrainContainmentModel with options.
+func (s *System) TrainContainmentModelConfig(cfg TrainConfig) (*ContainmentModel, error) {
+	return s.trainWithConfig(context.Background(), cfg)
+}
+
+func (s *System) trainWithConfig(ctx context.Context, cfg TrainConfig) (*ContainmentModel, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := cfg.Pairs
+	if n <= 0 {
+		n = 5000
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	mcfg := cfg.Model
+	if mcfg.Hidden == 0 {
+		mcfg = icrn.DefaultConfig()
+	}
+	gen := workload.NewGenerator(s.schema, s.db, seed)
+	pairs, err := gen.TrainingPairs(n)
+	if err != nil {
+		return nil, err
+	}
+	labeled, err := workload.LabelPairs(ctxOracle{ctx: ctx, ex: s.exec}, pairs, 0)
+	if err != nil {
+		return nil, err
+	}
+	rand.New(rand.NewSource(seed+1)).Shuffle(len(labeled), func(i, j int) {
+		labeled[i], labeled[j] = labeled[j], labeled[i]
+	})
+	train, val := workload.SplitPairs(labeled, 0.8)
+	encode := func(in []workload.LabeledPair) ([]icrn.Sample, error) {
+		out := make([]icrn.Sample, len(in))
+		for i, lp := range in {
+			v1, err := s.enc.EncodeQuery(lp.Q1)
+			if err != nil {
+				return nil, err
+			}
+			v2, err := s.enc.EncodeQuery(lp.Q2)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = icrn.Sample{V1: v1, V2: v2, Rate: lp.Rate}
+		}
+		return out, nil
+	}
+	trainS, err := encode(train)
+	if err != nil {
+		return nil, err
+	}
+	valS, err := encode(val)
+	if err != nil {
+		return nil, err
+	}
+	m := icrn.NewModel(mcfg, s.enc.Dim())
+	if _, err := m.TrainCtx(ctx, trainS, valS, func(st icrn.EpochStats) {
+		if cfg.Progress != nil {
+			cfg.Progress(st.Epoch, st.ValQError)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	return &ContainmentModel{rates: icrn.NewRates(m, s.enc), model: m}, nil
+}
+
+// EstimateContainment estimates q1 ⊂% q2 in [0,1].
+func (m *ContainmentModel) EstimateContainment(ctx context.Context, q1, q2 Query) (float64, error) {
+	out, err := m.EstimateContainmentBatch(ctx, [][2]Query{{q1, q2}})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// EstimateContainmentBatch estimates q1 ⊂% q2 for every pair with one
+// amortized forward pass: queries recurring across the batch are pushed
+// through the set modules once, and the pair head runs matrix-batched.
+// Results are identical to per-pair EstimateContainment calls.
+func (m *ContainmentModel) EstimateContainmentBatch(ctx context.Context, pairs [][2]Query) ([]float64, error) {
+	for _, p := range pairs {
+		if err := contain.Validate(p[0], p[1]); err != nil {
+			return nil, err
+		}
+	}
+	return m.rates.EstimateRatesCtx(ctx, pairs)
+}
+
+// Save serializes the trained model weights.
+func (m *ContainmentModel) Save() ([]byte, error) { return m.model.Save() }
+
+// LoadContainmentModel restores a model saved with Save, re-binding it to
+// this system's feature encoder. A model trained against a different
+// featurization fails with an error wrapping ErrDimMismatch.
+func (s *System) LoadContainmentModel(data []byte) (*ContainmentModel, error) {
+	m, err := icrn.Load(data)
+	if err != nil {
+		return nil, err
+	}
+	if m.Dim() != s.enc.Dim() {
+		return nil, fmt.Errorf("%w: model expects dimension %d, this database's featurization has %d",
+			ErrDimMismatch, m.Dim(), s.enc.Dim())
+	}
+	return &ContainmentModel{rates: icrn.NewRates(m, s.enc), model: m}, nil
+}
