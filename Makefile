@@ -1,0 +1,33 @@
+# Development entry points. Everything is plain `go` underneath; the
+# targets just bundle the flags used by CI and the perf trajectory.
+
+.PHONY: all build test race bench bench-smoke fmt vet
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# bench runs the nn-kernel, compute-core and serving benchmarks with
+# -benchmem and records results (plus the frozen pre-PR baseline) in
+# BENCH_2.json.
+bench:
+	scripts/bench.sh
+
+# bench-smoke compiles and runs every perf-critical benchmark exactly once
+# (no timing assertions): a fast CI gate that kernel or workspace changes
+# still execute.
+bench-smoke:
+	go test ./internal/nn ./internal/crn -run '^$$' -bench . -benchtime 1x -benchmem
+
+fmt:
+	gofmt -l .
+
+vet:
+	go vet ./...

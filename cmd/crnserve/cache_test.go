@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestRecordInvalidatesAndEstimateSeesNewEntry drives the serving-side
+// cache-correctness scenario end to end: over an empty pool the estimator
+// has nothing to match (422), a /record adds the first pool entry (and
+// flushes the representation cache), and the very next /estimate must
+// reflect that entry (200 with a cardinality).
+func TestRecordInvalidatesAndEstimateSeesNewEntry(t *testing.T) {
+	base := testServer(t)
+	empty := base.sys.NewQueriesPool()
+	srv := newServer(base.sys, base.model, empty,
+		base.sys.CardinalityEstimator(base.model, empty), nil)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	probe := "SELECT * FROM title WHERE title.production_year > 1960"
+
+	status, _, err := postJSONErr(ts.URL+"/estimate", map[string]string{"query": probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("empty pool estimate: status %d, want 422", status)
+	}
+
+	status, body, err := postJSONErr(ts.URL+"/record",
+		map[string]string{"query": "SELECT * FROM title WHERE title.production_year > 1950"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("/record: status %d body %s", status, body)
+	}
+
+	status, body, err = postJSONErr(ts.URL+"/estimate", map[string]string{"query": probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("estimate after record: status %d body %s (new pool entry not visible)", status, body)
+	}
+	var er estimateResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Cardinality == nil || *er.Cardinality < 0 {
+		t.Fatalf("cardinality after record = %v", er.Cardinality)
+	}
+
+	// The batch path must agree with the single path over the mutated pool.
+	status, body, err = postJSONErr(ts.URL+"/estimate/batch", map[string]any{"queries": []string{probe}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("/estimate/batch after record: status %d body %s", status, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Cardinalities) != 1 || br.Cardinalities[0] != *er.Cardinality {
+		t.Fatalf("batch %v != single %v after record", br.Cardinalities, *er.Cardinality)
+	}
+}
+
+// TestHealthzReportsRepCache checks the cache counters surface on /healthz
+// and move under load.
+func TestHealthzReportsRepCache(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).handler())
+	defer ts.Close()
+
+	// Two identical batch estimates: the second should hit the cache.
+	for i := 0; i < 2; i++ {
+		status, body, err := postJSONErr(ts.URL+"/estimate/batch", map[string]any{"queries": []string{
+			"SELECT * FROM title WHERE title.production_year > 1980",
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != http.StatusOK {
+			t.Fatalf("batch %d: status %d body %s", i, status, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.RepCache.Capacity == 0 {
+		t.Errorf("healthz rep_cache missing: %+v", hr.RepCache)
+	}
+	if hr.RepCache.Hits+hr.RepCache.Misses == 0 {
+		t.Errorf("rep_cache counters never moved: %+v", hr.RepCache)
+	}
+}

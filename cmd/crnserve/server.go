@@ -79,10 +79,11 @@ type recordResponse struct {
 }
 
 type healthzResponse struct {
-	Status        string  `json:"status"`
-	PoolSize      int     `json:"pool_size"`
-	Recorded      int64   `json:"recorded"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Status        string            `json:"status"`
+	PoolSize      int               `json:"pool_size"`
+	Recorded      int64             `json:"recorded"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	RepCache      crn.RepCacheStats `json:"rep_cache"`
 }
 
 type errorResponse struct {
@@ -178,6 +179,12 @@ func (s *server) handleRecord(w http.ResponseWriter, r *http.Request) {
 	}
 	if added {
 		s.recorded.Add(1)
+		// The pool mutated: flush the estimator's representation cache
+		// eagerly so the very next estimate re-encodes against the new
+		// pool version (the version check would catch it anyway; the
+		// explicit call makes the write path's invalidation visible and
+		// keeps the flush off the read path's latency).
+		s.est.InvalidateRepresentations()
 	}
 	s.writeJSON(w, http.StatusOK, recordResponse{
 		Cardinality: card,
@@ -192,6 +199,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		PoolSize:      s.pool.Len(),
 		Recorded:      s.recorded.Load(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		RepCache:      s.est.CacheStats(),
 	})
 }
 

@@ -4,51 +4,111 @@ import (
 	"context"
 
 	"crn/internal/card"
+	icrn "crn/internal/crn"
 )
 
 // CardinalityEstimator is the pool-based Cnt2Crd estimator of §5. It is
 // safe for concurrent use on a trained model; the pool may grow
 // concurrently via RecordExecuted.
+//
+// CRN-backed estimators carry a representation cache: the set-module
+// encodings of the stable pool entries are memoized by canonical query key
+// across requests, so a pool entry is encoded once per pool version instead
+// of once per batch. The cache revalidates against the pool's version
+// counter before every estimate (a /record-style mutation flushes it by
+// construction) and can be flushed explicitly with
+// InvalidateRepresentations; estimates with and without the cache are
+// bit-identical.
 type CardinalityEstimator struct {
-	est *card.Estimator
+	est   *card.Estimator
+	cache *icrn.RepCache
+	pool  *QueriesPool
 }
+
+// RepCacheStats reports representation-cache effectiveness (see
+// CardinalityEstimator.CacheStats).
+type RepCacheStats = icrn.RepCacheStats
 
 // CardinalityEstimator builds the paper's Cnt2Crd(CRN) estimator from a
 // trained containment model and a queries pool. Options tune the Figure 8
-// algorithm (WithFinal, WithEpsilon, WithFallback, WithWorkers).
+// algorithm (WithFinal, WithEpsilon, WithFallback, WithWorkers) and the
+// serving-side representation cache (WithRepCacheSize, WithoutRepCache).
 func (s *System) CardinalityEstimator(m *ContainmentModel, p *QueriesPool, opts ...EstimatorOption) *CardinalityEstimator {
+	set := estimatorSettings{cacheSize: icrn.DefaultRepCacheSize}
 	est := card.New(m.rates, p)
+	set.est = est
 	for _, o := range opts {
-		o(est)
+		o(&set)
 	}
-	return &CardinalityEstimator{est: est}
+	ce := &CardinalityEstimator{est: est, pool: p}
+	if set.cacheSize > 0 {
+		// Bind a private cached view of the rate adapter, leaving the
+		// model's own adapter (and any sibling estimator) untouched.
+		ce.cache = icrn.NewRepCache(set.cacheSize)
+		rates := *m.rates
+		rates.Cache = ce.cache
+		est.Rates = &rates
+	}
+	return ce
 }
 
 // ImproveBaseline wraps an existing cardinality model with the paper's §7
 // construction — Cnt2Crd(Crd2Cnt(M)) over the pool — without changing M.
+// Representation caching does not apply (the wrapped model has no
+// set-module representations), so cache options are ignored.
 func (s *System) ImproveBaseline(m BaselineEstimator, p *QueriesPool, opts ...EstimatorOption) *CardinalityEstimator {
 	est := card.Improved(m, p)
+	set := estimatorSettings{est: est}
 	for _, o := range opts {
-		o(est)
+		o(&set)
 	}
-	return &CardinalityEstimator{est: est}
+	return &CardinalityEstimator{est: est, pool: p}
+}
+
+// revalidate flushes the representation cache when the pool has mutated
+// since the last estimate. A nil pool is left for the underlying
+// estimator's configuration check to report as an error.
+func (e *CardinalityEstimator) revalidate() {
+	if e.cache != nil && e.pool != nil {
+		e.cache.Validate(e.pool.Version())
+	}
 }
 
 // EstimateCardinality estimates |q| using the pool (Figure 8 algorithm).
 // Queries without a usable pool match fail with an error wrapping
 // ErrNoPoolMatch unless a fallback is configured.
 func (e *CardinalityEstimator) EstimateCardinality(ctx context.Context, q Query) (float64, error) {
+	e.revalidate()
 	return e.est.EstimateCardCtx(ctx, q)
 }
 
 // EstimateCardinalityBatch estimates |q| for every query with one amortized
 // containment-rate pass over all pool pairs of the batch: feature encoding
-// and the set-module forward of recurring pool entries are shared, and the
-// CRN head runs matrix-batched. Results are identical to per-query
+// and the set-module forward of recurring pool entries are shared (and
+// memoized across requests by the representation cache), and the CRN head
+// runs matrix-batched. Results are identical to per-query
 // EstimateCardinality calls; the batch fails as a whole on the first query
 // that errors.
 func (e *CardinalityEstimator) EstimateCardinalityBatch(ctx context.Context, queries []Query) ([]float64, error) {
+	e.revalidate()
 	return e.est.EstimateCards(ctx, queries)
+}
+
+// InvalidateRepresentations explicitly discards every cached set-module
+// representation. Pool mutations are detected automatically via the pool's
+// version counter; call this after swapping the model or encoder underneath
+// a long-lived estimator, or from a serving write path that wants the flush
+// to happen eagerly rather than on the next estimate.
+func (e *CardinalityEstimator) InvalidateRepresentations() {
+	if e.cache != nil {
+		e.cache.Invalidate()
+	}
+}
+
+// CacheStats reports representation-cache hits, misses and occupancy; zero
+// values for an estimator without a cache.
+func (e *CardinalityEstimator) CacheStats() RepCacheStats {
+	return e.cache.Stats()
 }
 
 // WithFallback sets a fallback estimator for queries without a usable pool

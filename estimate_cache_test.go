@@ -1,0 +1,145 @@
+package crn
+
+import (
+	"context"
+	"testing"
+)
+
+// repCacheFixture builds a trained system with a seeded pool and returns it
+// together with a probe query the pool covers.
+func repCacheFixture(t *testing.T) (*System, *ContainmentModel, *QueriesPool, Query) {
+	t.Helper()
+	ctx := context.Background()
+	sys := testSystem(t)
+	model, err := sys.TrainContainmentModel(ctx, tinyTrainOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.NewQueriesPool()
+	if err := sys.SeedPool(ctx, p, 40, 11); err != nil {
+		t.Fatal(err)
+	}
+	probe, err := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1960")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, model, p, probe
+}
+
+// TestRepCacheEquivalence pins cached estimation — cold, warm, batch and
+// single — to the uncached estimator bit-for-bit.
+func TestRepCacheEquivalence(t *testing.T) {
+	ctx := context.Background()
+	sys, model, p, probe := repCacheFixture(t)
+
+	cached := sys.CardinalityEstimator(model, p)
+	uncached := sys.CardinalityEstimator(model, p, WithoutRepCache())
+
+	want, err := uncached.EstimateCardinality(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"cold", "warm"} {
+		got, err := cached.EstimateCardinality(ctx, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s cached estimate %v != uncached %v", label, got, want)
+		}
+	}
+	batch, err := cached.EstimateCardinalityBatch(ctx, []Query{probe, probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0] != want || batch[1] != want {
+		t.Fatalf("cached batch %v != uncached single %v", batch, want)
+	}
+	st := cached.CacheStats()
+	if st.Hits == 0 {
+		t.Errorf("warm estimates should hit the cache: %+v", st)
+	}
+	if us := uncached.CacheStats(); us != (RepCacheStats{}) {
+		t.Errorf("uncached estimator reports cache stats %+v", us)
+	}
+}
+
+// TestRepCacheInvalidationOnPoolMutation is the facade-level cache
+// correctness gate: after the pool gains an entry, the cached estimator's
+// answers must equal a fresh, uncached estimator over the mutated pool —
+// i.e. the new pool entry is reflected, no stale representation survives.
+func TestRepCacheInvalidationOnPoolMutation(t *testing.T) {
+	ctx := context.Background()
+	sys, model, p, probe := repCacheFixture(t)
+	cached := sys.CardinalityEstimator(model, p)
+
+	before, err := cached.EstimateCardinality(ctx, probe) // warm the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate the pool: record a query on the probe's FROM clause.
+	extra, err := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1955")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, added, err := sys.RecordExecuted(ctx, p, extra); err != nil || !added {
+		t.Fatalf("record: added=%v err=%v", added, err)
+	}
+
+	after, err := cached.EstimateCardinality(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := sys.CardinalityEstimator(model, p, WithoutRepCache())
+	want, err := fresh.EstimateCardinality(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != want {
+		t.Fatalf("post-mutation cached estimate %v != fresh estimate %v (stale cache?)", after, want)
+	}
+	// The new entry participates: the estimate is allowed to move, and the
+	// explicit invalidation hook must also leave answers correct.
+	_ = before
+	cached.InvalidateRepresentations()
+	again, err := cached.EstimateCardinality(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != want {
+		t.Fatalf("post-invalidate estimate %v != fresh %v", again, want)
+	}
+}
+
+// TestRepCacheSizeOption bounds the cache via the option.
+func TestRepCacheSizeOption(t *testing.T) {
+	ctx := context.Background()
+	sys, model, p, probe := repCacheFixture(t)
+	est := sys.CardinalityEstimator(model, p, WithRepCacheSize(4))
+	if _, err := est.EstimateCardinality(ctx, probe); err != nil {
+		t.Fatal(err)
+	}
+	st := est.CacheStats()
+	if st.Capacity != 4 {
+		t.Fatalf("capacity = %d, want 4", st.Capacity)
+	}
+	if st.Size > 4 {
+		t.Fatalf("size %d exceeds capacity", st.Size)
+	}
+}
+
+// TestNilPoolReturnsErrorNotPanic: a default (cache-on) estimator over a
+// nil pool must surface the configuration error, not nil-deref in the
+// cache revalidation.
+func TestNilPoolReturnsErrorNotPanic(t *testing.T) {
+	ctx := context.Background()
+	sys, model, _, probe := repCacheFixture(t)
+	est := sys.CardinalityEstimator(model, nil)
+	if _, err := est.EstimateCardinality(ctx, probe); err == nil {
+		t.Fatal("nil pool should error")
+	}
+	if _, err := est.EstimateCardinalityBatch(ctx, []Query{probe}); err == nil {
+		t.Fatal("nil pool batch should error")
+	}
+}

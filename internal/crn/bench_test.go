@@ -1,0 +1,90 @@
+package crn
+
+// Benchmarks for the compute core on the two hot paths: one full training
+// epoch (forward + backward + Adam over a shuffled sample set) and the
+// serving-side PredictBatch. Shapes mirror the repository-scale model
+// (H=64, feature dimension ~70, 1-3 element sets per query). Run with
+//
+//	go test ./internal/crn -run '^$' -bench 'TrainEpoch|PredictBatch' -benchmem
+//
+// `make bench` records the whole suite into BENCH_2.json.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const (
+	benchDim    = 70
+	benchHidden = 64
+)
+
+func benchSamples(rng *rand.Rand, n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = Sample{
+			V1:   randSet(rng, benchDim, 1+i%3),
+			V2:   randSet(rng, benchDim, 1+(i+1)%3),
+			Rate: rng.Float64(),
+		}
+	}
+	return out
+}
+
+func benchModel() *Model {
+	cfg := DefaultConfig()
+	cfg.Hidden = benchHidden
+	cfg.Epochs = 1
+	cfg.Patience = 0
+	return NewModel(cfg, benchDim)
+}
+
+// BenchmarkTrainEpoch measures one full training epoch: 2048 samples in
+// batches of 64, q-error loss, Adam updates.
+func BenchmarkTrainEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	train := benchSamples(rng, 2048)
+	m := benchModel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Train(train, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictBatch measures the allocation profile of batched
+// inference: 256 pairs per call on a fixed model.
+func BenchmarkPredictBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pairs := benchSamples(rng, 256)
+	m := benchModel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatch(pairs)
+	}
+}
+
+// BenchmarkPredictShared measures the factorized serving path: 64 unique
+// sets probed all-pairs (4096 head evaluations) with one set-module pass.
+func BenchmarkPredictShared(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	sets := make([][][]float64, 64)
+	for i := range sets {
+		sets[i] = randSet(rng, benchDim, 1+i%3)
+	}
+	var pairs [][2]int
+	for i := range sets {
+		for j := range sets {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	m := benchModel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictShared(sets, pairs)
+	}
+}

@@ -19,6 +19,15 @@
 //
 // Training minimizes the mean q-error of predicted containment rates with
 // Adam and early stopping on a validation split (§3.2.4, §3.3).
+//
+// Performance: the training loop and every serving entry point run on
+// nn.Workspace scratch arenas — one warmed buffer set per batch shape, so
+// the steady state allocates nothing per batch (see the package nn docs for
+// the workspace contract). Serving additionally offers a RepCache that
+// memoizes set-module representations by canonical query key across
+// requests; see RepCache for its invalidation semantics. Optimized and
+// unoptimized paths are numerically pinned to each other by the tests in
+// equivalence_test.go.
 package crn
 
 import (
@@ -108,6 +117,13 @@ type Model struct {
 
 	enc1, enc2 *nn.SetEncoder // MLP1, MLP2
 	out1, out2 *nn.Dense      // MLPout's two layers: 4H->2H, 2H->1
+
+	// wsFree recycles prediction workspaces across calls. Unlike a
+	// sync.Pool it is never cleared by the garbage collector, so the
+	// steady-state serving loop keeps its warmed arenas for the model's
+	// whole lifetime; the channel bounds how many arenas idle concurrency
+	// can strand.
+	wsFree chan *nn.Workspace
 }
 
 // NewModel initializes an untrained CRN for feature dimension dim.
@@ -118,12 +134,33 @@ func NewModel(cfg Config, dim int) *Model {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	h := cfg.Hidden
 	return &Model{
-		cfg:  cfg,
-		dim:  dim,
-		enc1: nn.NewSetEncoder(rng, dim, h),
-		enc2: nn.NewSetEncoder(rng, dim, h),
-		out1: nn.NewDense(rng, 4*h, 2*h),
-		out2: nn.NewDense(rng, 2*h, 1),
+		cfg:    cfg,
+		dim:    dim,
+		enc1:   nn.NewSetEncoder(rng, dim, h),
+		enc2:   nn.NewSetEncoder(rng, dim, h),
+		out1:   nn.NewDense(rng, 4*h, 2*h),
+		out2:   nn.NewDense(rng, 2*h, 1),
+		wsFree: make(chan *nn.Workspace, 8),
+	}
+}
+
+// getWS borrows a workspace from the model's free list (or creates one).
+func (m *Model) getWS() *nn.Workspace {
+	select {
+	case ws := <-m.wsFree:
+		return ws
+	default:
+		return nn.NewWorkspace()
+	}
+}
+
+// putWS resets a workspace and returns it to the free list; surplus
+// workspaces beyond the list's capacity are dropped for the GC.
+func (m *Model) putWS(ws *nn.Workspace) {
+	ws.Reset()
+	select {
+	case m.wsFree <- ws:
+	default:
 	}
 }
 
@@ -149,7 +186,9 @@ func (m *Model) Params() []*nn.Param {
 // paper's §3.5.3 accounting.
 func (m *Model) NumParams() int { return nn.NumParams(m.Params()) }
 
-// forwardCache holds intermediates of one forward pass for backprop.
+// forwardCache holds intermediates of one forward pass for backprop. All
+// matrices are workspace-backed when a workspace is supplied, so a training
+// loop reuses one buffer set per batch shape.
 type forwardCache struct {
 	b1, b2           nn.SetBatch
 	h1, h2           *nn.Matrix // per-element hidden activations
@@ -159,24 +198,52 @@ type forwardCache struct {
 	preSig, sigmoids *nn.Matrix
 }
 
-// forward runs the three CRN stages over a batch of pairs.
-func (m *Model) forward(pairs []Sample) *forwardCache {
-	n := len(pairs)
-	v1 := make([][][]float64, n)
-	v2 := make([][][]float64, n)
+// buildSideBatch concatenates one side of the pairs straight into a
+// workspace-backed SetBatch, with no intermediate [][][]float64 staging.
+func buildSideBatch(ws *nn.Workspace, pairs []Sample, second bool, dim int) nn.SetBatch {
+	side := func(p Sample) [][]float64 {
+		if second {
+			return p.V2
+		}
+		return p.V1
+	}
+	total := 0
+	for _, p := range pairs {
+		total += len(side(p))
+	}
+	x := ws.Take(total, dim)
+	offsets := ws.TakeInts(len(pairs) + 1)
+	row := 0
 	for i, p := range pairs {
-		v1[i] = p.V1
-		v2[i] = p.V2
+		offsets[i] = row
+		for _, v := range side(p) {
+			dst := x.Row(row)
+			// Zero-pad short vectors so recycled storage cannot leak a
+			// previous batch's values into the tail.
+			for n := copy(dst, v); n < len(dst); n++ {
+				dst[n] = 0
+			}
+			row++
+		}
 	}
-	c := &forwardCache{
-		b1: nn.BuildSetBatch(v1, m.dim),
-		b2: nn.BuildSetBatch(v2, m.dim),
+	offsets[len(pairs)] = row
+	return nn.SetBatch{X: x, Offsets: offsets}
+}
+
+// forward runs the three CRN stages over a batch of pairs, writing every
+// intermediate into ws (nil ws allocates) and reusing the cache struct.
+func (m *Model) forward(ws *nn.Workspace, pairs []Sample, c *forwardCache) *forwardCache {
+	if c == nil {
+		c = &forwardCache{}
 	}
-	c.q1, c.h1 = m.enc1.Forward(c.b1)
-	c.q2, c.h2 = m.enc2.Forward(c.b2)
+	n := len(pairs)
+	c.b1 = buildSideBatch(ws, pairs, false, m.dim)
+	c.b2 = buildSideBatch(ws, pairs, true, m.dim)
+	c.q1, c.h1 = m.enc1.ForwardWS(ws, c.b1)
+	c.q2, c.h2 = m.enc2.ForwardWS(ws, c.b2)
 
 	h := m.cfg.Hidden
-	c.expanded = nn.NewMatrix(n, 4*h)
+	c.expanded = ws.Take(n, 4*h)
 	for i := 0; i < n; i++ {
 		r1, r2 := c.q1.Row(i), c.q2.Row(i)
 		dst := c.expanded.Row(i)
@@ -187,24 +254,24 @@ func (m *Model) forward(pairs []Sample) *forwardCache {
 			dst[3*h+j] = r1[j] * r2[j]
 		}
 	}
-	c.a1 = nn.ReLUForward(m.out1.Forward(c.expanded))
-	c.preSig = m.out2.Forward(c.a1)
-	c.sigmoids = nn.SigmoidForward(c.preSig)
+	c.a1 = m.out1.ForwardReLU(ws, c.expanded)
+	c.preSig = m.out2.ForwardWS(ws, c.a1)
+	c.sigmoids = nn.SigmoidForwardWS(ws, c.preSig)
 	return c
 }
 
 // backward propagates the loss gradient dOut (n×1, w.r.t. the sigmoid
-// outputs) and accumulates parameter gradients.
-func (m *Model) backward(c *forwardCache, dOut *nn.Matrix) {
-	dPre := nn.SigmoidBackward(dOut, c.sigmoids)
-	dA1 := m.out2.Backward(c.a1, dPre)
-	dZ1 := nn.ReLUBackward(dA1, c.a1)
-	dExp := m.out1.Backward(c.expanded, dZ1)
+// outputs) and accumulates parameter gradients. The set encoders are the
+// first layer, so no input gradients are materialized anywhere.
+func (m *Model) backward(ws *nn.Workspace, c *forwardCache, dOut *nn.Matrix) {
+	dPre := nn.SigmoidBackwardWS(ws, dOut, c.sigmoids)
+	dA1 := m.out2.BackwardWS(ws, c.a1, dPre, true)
+	dExp := m.out1.BackwardReLU(ws, c.expanded, c.a1, dA1, true)
 
 	h := m.cfg.Hidden
 	n := dExp.Rows
-	dQ1 := nn.NewMatrix(n, h)
-	dQ2 := nn.NewMatrix(n, h)
+	dQ1 := ws.Take(n, h)
+	dQ2 := ws.Take(n, h)
 	for i := 0; i < n; i++ {
 		r1, r2 := c.q1.Row(i), c.q2.Row(i)
 		src := dExp.Row(i)
@@ -220,22 +287,34 @@ func (m *Model) backward(c *forwardCache, dOut *nn.Matrix) {
 			d2[j] = src[h+j] - sign*src[2*h+j] + r1[j]*src[3*h+j]
 		}
 	}
-	m.enc1.Backward(c.b1, c.h1, dQ1)
-	m.enc2.Backward(c.b2, c.h2, dQ2)
+	m.enc1.BackwardWS(ws, c.b1, c.h1, dQ1)
+	m.enc2.BackwardWS(ws, c.b2, c.h2, dQ2)
 }
 
 // Predict estimates the containment rate of one encoded pair in [0,1].
 func (m *Model) Predict(v1, v2 [][]float64) float64 {
-	return m.PredictBatch([]Sample{{V1: v1, V2: v2}})[0]
+	var out [1]float64
+	m.PredictBatchInto(out[:], []Sample{{V1: v1, V2: v2}})
+	return out[0]
 }
 
 // PredictBatch estimates containment rates for a batch of encoded pairs.
 // It is safe for concurrent use on a trained model.
 func (m *Model) PredictBatch(pairs []Sample) []float64 {
-	c := m.forward(pairs)
 	out := make([]float64, len(pairs))
-	copy(out, c.sigmoids.Data)
+	m.PredictBatchInto(out, pairs)
 	return out
+}
+
+// PredictBatchInto is PredictBatch writing into a caller-owned slice
+// (len(dst) must be ≥ len(pairs)). The forward pass runs on a pooled
+// workspace, so steady-state batched inference allocates nothing.
+func (m *Model) PredictBatchInto(dst []float64, pairs []Sample) {
+	ws := m.getWS()
+	defer m.putWS(ws) // deferred so a shape-check panic cannot strand the arena
+	var c forwardCache
+	m.forward(ws, pairs, &c)
+	copy(dst, c.sigmoids.Data)
 }
 
 // EncodeSets runs both set modules (MLP1, MLP2) once over a list of unique
@@ -245,9 +324,15 @@ func (m *Model) PredictBatch(pairs []Sample) []float64 {
 // is pushed through the set modules once per batch instead of once per pair.
 // Safe for concurrent use on a trained model.
 func (m *Model) EncodeSets(sets [][][]float64) (reps1, reps2 *nn.Matrix) {
-	b := nn.BuildSetBatch(sets, m.dim)
-	reps1, _ = m.enc1.Forward(b)
-	reps2, _ = m.enc2.Forward(b)
+	return m.EncodeSetsWS(nil, sets)
+}
+
+// EncodeSetsWS is EncodeSets with workspace-backed storage: the returned
+// matrices live in ws and are valid until its next Reset.
+func (m *Model) EncodeSetsWS(ws *nn.Workspace, sets [][][]float64) (reps1, reps2 *nn.Matrix) {
+	b := nn.BuildSetBatchWS(ws, sets, m.dim)
+	reps1, _ = m.enc1.ForwardWS(ws, b)
+	reps2, _ = m.enc2.ForwardWS(ws, b)
 	return reps1, reps2
 }
 
@@ -282,22 +367,29 @@ type PairPredictor struct {
 // partial products for the given representations (reps1 through MLP1,
 // reps2 through MLP2 — the two outputs of EncodeSets).
 func (m *Model) NewPairPredictor(reps1, reps2 *nn.Matrix) *PairPredictor {
+	return m.NewPairPredictorWS(nil, reps1, reps2)
+}
+
+// NewPairPredictorWS is NewPairPredictor with the folded weights and
+// partial products taken from ws; the predictor is then valid until the
+// workspace's next Reset.
+func (m *Model) NewPairPredictorWS(ws *nn.Workspace, reps1, reps2 *nn.Matrix) *PairPredictor {
 	h := m.cfg.Hidden
 	w1 := m.out1.W.W // 4H×2H, row-major
 	cols := 2 * h
 	w3 := w1[2*h*cols : 3*h*cols]
 	w4 := w1[3*h*cols : 4*h*cols]
 	// Folded per-side weights: W1+W3 and W2+W3.
-	w13 := make([]float64, h*cols)
-	w23 := make([]float64, h*cols)
-	for i := range w13 {
-		w13[i] = w1[i] + w3[i]
-		w23[i] = w1[h*cols+i] + w3[i]
+	w13 := ws.Take(h, cols)
+	w23 := ws.Take(h, cols)
+	for i := range w13.Data {
+		w13.Data[i] = w1[i] + w3[i]
+		w23.Data[i] = w1[h*cols+i] + w3[i]
 	}
-	p1 := nn.NewMatrix(reps1.Rows, cols)
-	nn.MatMul(p1, reps1, &nn.Matrix{Rows: h, Cols: cols, Data: w13})
-	p2 := nn.NewMatrix(reps2.Rows, cols)
-	nn.MatMul(p2, reps2, &nn.Matrix{Rows: h, Cols: cols, Data: w23})
+	p1 := ws.Take(reps1.Rows, cols)
+	nn.MatMul(p1, reps1, w13)
+	p2 := ws.Take(reps2.Rows, cols)
+	nn.MatMul(p2, reps2, w23)
 	return &PairPredictor{
 		h:     h,
 		reps1: reps1, reps2: reps2,
@@ -312,10 +404,19 @@ func (m *Model) NewPairPredictor(reps1, reps2 *nn.Matrix) *PairPredictor {
 // indices. Safe for concurrent use; results are bit-identical across chunk
 // boundaries and batch compositions.
 func (p *PairPredictor) Predict(pairs [][2]int) []float64 {
+	out := make([]float64, len(pairs))
+	p.PredictInto(out, pairs, nil)
+	return out
+}
+
+// PredictInto is Predict writing into a caller-owned slice (len(dst) must
+// be ≥ len(pairs)) with workspace-backed scratch, so concurrent chunk
+// evaluations stay allocation-free: give each goroutine its own workspace.
+func (p *PairPredictor) PredictInto(dst []float64, pairs [][2]int, ws *nn.Workspace) {
 	h := p.h
 	cols := 2 * h
-	out := make([]float64, len(pairs))
-	z := make([]float64, cols)
+	out := dst[:len(pairs)]
+	z := ws.Take(1, cols).Data
 	for i, pair := range pairs {
 		r1, r2 := p.reps1.Row(pair[0]), p.reps2.Row(pair[1])
 		q1 := p.p1.Row(pair[0])[:cols]
@@ -351,7 +452,6 @@ func (p *PairPredictor) Predict(pairs [][2]int) []float64 {
 		}
 		out[i] = 1 / (1 + math.Exp(-s))
 	}
-	return out
 }
 
 // PredictPairsFrom evaluates the CRN head for each pair of precomputed
@@ -390,6 +490,17 @@ func (m *Model) TrainCtx(ctx context.Context, train, val []Sample, progress func
 	rng := rand.New(rand.NewSource(m.cfg.Seed + 1))
 	stopper := &nn.EarlyStopper{Patience: m.cfg.Patience}
 
+	// One workspace and one staging buffer set serve every batch of the
+	// run: after the first epoch the inner loop is allocation-free apart
+	// from the loss gradient. The workspace comes from the model's free
+	// list, so repeated training runs (and the interleaved validation
+	// predictions) reuse the same warmed arenas.
+	ws := m.getWS()
+	defer m.putWS(ws)
+	var fc forwardCache
+	batch := make([]Sample, 0, m.cfg.BatchSize)
+	targets := make([]float64, 0, m.cfg.BatchSize)
+
 	best := snapshotParams(m.Params())
 	bestVal := math.Inf(1)
 	badStreak := 0
@@ -403,18 +514,19 @@ func (m *Model) TrainCtx(ctx context.Context, train, val []Sample, progress func
 		var totalLoss float64
 		var batches int
 		for _, idx := range nn.Batches(perm, m.cfg.BatchSize) {
-			batch := make([]Sample, len(idx))
-			targets := make([]float64, len(idx))
-			for i, j := range idx {
-				batch[i] = train[j]
-				targets[i] = train[j].Rate
+			batch = batch[:0]
+			targets = targets[:0]
+			for _, j := range idx {
+				batch = append(batch, train[j])
+				targets = append(targets, train[j].Rate)
 			}
-			c := m.forward(batch)
+			ws.Reset()
+			c := m.forward(ws, batch, &fc)
 			l, grad := loss.Eval(c.sigmoids.Data, targets)
 			totalLoss += l
 			batches++
 			dOut := &nn.Matrix{Rows: len(batch), Cols: 1, Data: grad}
-			m.backward(c, dOut)
+			m.backward(ws, c, dOut)
 			opt.Step(m.Params())
 		}
 		valErr := m.ValidationQError(val)
@@ -431,7 +543,7 @@ func (m *Model) TrainCtx(ctx context.Context, train, val []Sample, progress func
 		if len(val) > 0 && m.cfg.Patience > 0 {
 			if valErr < bestVal {
 				bestVal = valErr
-				best = snapshotParams(m.Params())
+				best = snapshotParamsInto(best, m.Params())
 				badStreak = 0
 			} else {
 				badStreak++
@@ -475,14 +587,15 @@ func (m *Model) ValidationQError(val []Sample) float64 {
 		return math.NaN()
 	}
 	const chunk = 512
+	preds := make([]float64, chunk)
 	var sum float64
 	for lo := 0; lo < len(val); lo += chunk {
 		hi := lo + chunk
 		if hi > len(val) {
 			hi = len(val)
 		}
-		preds := m.PredictBatch(val[lo:hi])
-		for i, p := range preds {
+		m.PredictBatchInto(preds[:hi-lo], val[lo:hi])
+		for i, p := range preds[:hi-lo] {
 			sum += metrics.QError(val[lo+i].Rate, p, m.rateFloor())
 		}
 	}
@@ -508,11 +621,19 @@ func (m *Model) lossFn() nn.Loss {
 }
 
 func snapshotParams(params []*nn.Param) []nn.ParamSnapshot {
-	out := make([]nn.ParamSnapshot, len(params))
-	for i, p := range params {
-		out[i] = p.Snapshot()
+	return snapshotParamsInto(nil, params)
+}
+
+// snapshotParamsInto reuses a previous snapshot's buffers, so tracking the
+// best weights across epochs allocates only on the first improvement.
+func snapshotParamsInto(snaps []nn.ParamSnapshot, params []*nn.Param) []nn.ParamSnapshot {
+	if len(snaps) != len(params) {
+		snaps = make([]nn.ParamSnapshot, len(params))
 	}
-	return out
+	for i, p := range params {
+		snaps[i] = p.SnapshotInto(snaps[i])
+	}
+	return snaps
 }
 
 func restoreParams(params []*nn.Param, snaps []nn.ParamSnapshot) error {

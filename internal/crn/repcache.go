@@ -1,0 +1,154 @@
+package crn
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RepCache memoizes the set-module representations (the EncodeSets outputs)
+// of queries by canonical key across requests. In the §5.2 serving
+// deployment every batched estimate pushes each matching pool entry through
+// MLP1 and MLP2; the pool is stable between executions, so those encodings
+// are recomputed endlessly. With a cache a pool entry is encoded once per
+// pool version instead of once per batch.
+//
+// Correctness model: a cached representation depends only on the query's
+// canonical text, the feature encoder's statistics and the frozen model
+// weights. Invalidation is therefore conservative and explicit:
+//
+//   - Validate(poolVersion) clears the cache whenever the observed pool
+//     version changes — the facade calls it before every estimate, so a
+//     /record (or any pool mutation) flushes stale state by construction.
+//     This is deliberately stricter than the dependency set above requires
+//     (pool growth does not change any cached representation): it trades
+//     hit rate under record-heavy workloads for invalidation that stays
+//     correct even if representations ever grow a pool dependency. In the
+//     estimate-dominated §5.2 deployment the pool working set re-warms in
+//     one batch.
+//   - Invalidate() clears unconditionally, for model or encoder swaps.
+//
+// Capacity is bounded: when full, an arbitrary eighth of the entries is
+// evicted (the pool working set is orders of magnitude below any sensible
+// capacity, so eviction is a safety valve, not a tuning knob). All methods
+// are safe for concurrent use.
+type RepCache struct {
+	mu      sync.RWMutex
+	entries map[string]repEntry
+	version atomic.Uint64
+	started atomic.Bool // version observed at least once
+	cap     int
+
+	hits, misses atomic.Uint64
+}
+
+type repEntry struct {
+	rep1, rep2 []float64
+}
+
+// DefaultRepCacheSize is the default entry bound of a serving cache.
+const DefaultRepCacheSize = 8192
+
+// NewRepCache creates a cache bounded to capacity entries
+// (capacity <= 0 uses DefaultRepCacheSize).
+func NewRepCache(capacity int) *RepCache {
+	if capacity <= 0 {
+		capacity = DefaultRepCacheSize
+	}
+	return &RepCache{entries: make(map[string]repEntry), cap: capacity}
+}
+
+// Validate flushes the cache if the observed pool version differs from the
+// last one seen. The first observation adopts the version without flushing.
+// The unchanged-version case — every estimate in steady-state serving —
+// is a lock-free pair of atomic loads, so concurrent estimates do not
+// contend here.
+func (c *RepCache) Validate(version uint64) {
+	if c == nil {
+		return
+	}
+	if c.started.Load() && c.version.Load() == version {
+		return
+	}
+	c.mu.Lock()
+	switch {
+	case !c.started.Load():
+		c.started.Store(true)
+	case c.version.Load() != version:
+		c.entries = make(map[string]repEntry)
+	}
+	c.version.Store(version)
+	c.mu.Unlock()
+}
+
+// Invalidate unconditionally discards every cached representation.
+func (c *RepCache) Invalidate() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.entries = make(map[string]repEntry)
+	c.mu.Unlock()
+}
+
+// RepCacheStats is a point-in-time snapshot of cache effectiveness.
+type RepCacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
+}
+
+// Stats returns hit/miss counters and the current size.
+func (c *RepCache) Stats() RepCacheStats {
+	if c == nil {
+		return RepCacheStats{}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return RepCacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Size: len(c.entries), Capacity: c.cap}
+}
+
+// lookup copies the cached representations for key into dst1/dst2 and
+// reports whether it hit. dst1/dst2 must have the model's hidden length.
+func (c *RepCache) lookup(key string, dst1, dst2 []float64) bool {
+	c.mu.RLock()
+	e, ok := c.entries[key]
+	if ok {
+		copy(dst1, e.rep1)
+		copy(dst2, e.rep2)
+	}
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return ok
+}
+
+// insert stores the representations for key, cloning both slices.
+func (c *RepCache) insert(key string, rep1, rep2 []float64) {
+	buf := make([]float64, len(rep1)+len(rep2))
+	r1 := buf[:len(rep1):len(rep1)]
+	r2 := buf[len(rep1):]
+	copy(r1, rep1)
+	copy(r2, rep2)
+	c.mu.Lock()
+	if len(c.entries) >= c.cap {
+		if _, exists := c.entries[key]; !exists {
+			drop := c.cap / 8
+			if drop < 1 {
+				drop = 1
+			}
+			for k := range c.entries {
+				delete(c.entries, k)
+				drop--
+				if drop <= 0 {
+					break
+				}
+			}
+		}
+	}
+	c.entries[key] = repEntry{rep1: r1, rep2: r2}
+	c.mu.Unlock()
+}

@@ -1,0 +1,158 @@
+package crn
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"crn/internal/query"
+	"crn/internal/sqlparse"
+)
+
+func TestRepCacheLookupInsertStats(t *testing.T) {
+	c := NewRepCache(4)
+	d1 := make([]float64, 2)
+	d2 := make([]float64, 2)
+	if c.lookup("a", d1, d2) {
+		t.Fatal("empty cache should miss")
+	}
+	c.insert("a", []float64{1, 2}, []float64{3, 4})
+	if !c.lookup("a", d1, d2) {
+		t.Fatal("inserted key should hit")
+	}
+	if d1[0] != 1 || d1[1] != 2 || d2[0] != 3 || d2[1] != 4 {
+		t.Fatalf("lookup copied %v %v", d1, d2)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 || st.Capacity != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Inserted slices are clones: mutating the source must not leak in.
+	src1, src2 := []float64{9, 9}, []float64{8, 8}
+	c.insert("b", src1, src2)
+	src1[0] = -1
+	c.lookup("b", d1, d2)
+	if d1[0] != 9 {
+		t.Error("insert must clone its inputs")
+	}
+}
+
+func TestRepCacheInvalidateAndValidate(t *testing.T) {
+	c := NewRepCache(8)
+	c.insert("a", []float64{1}, []float64{2})
+	c.Invalidate()
+	if c.Stats().Size != 0 {
+		t.Fatal("Invalidate should clear")
+	}
+	c.insert("a", []float64{1}, []float64{2})
+	c.Validate(3) // first observation adopts without flushing
+	if c.Stats().Size != 1 {
+		t.Fatal("first Validate must not flush")
+	}
+	c.Validate(3) // same version: no flush
+	if c.Stats().Size != 1 {
+		t.Fatal("same-version Validate must not flush")
+	}
+	c.Validate(4) // version bump: flush
+	if c.Stats().Size != 0 {
+		t.Fatal("version change must flush")
+	}
+}
+
+func TestRepCacheCapacityBound(t *testing.T) {
+	c := NewRepCache(8)
+	for i := 0; i < 100; i++ {
+		c.insert(fmt.Sprintf("k%d", i), []float64{float64(i)}, []float64{0})
+	}
+	if s := c.Stats().Size; s > 8 {
+		t.Fatalf("cache exceeded capacity: %d", s)
+	}
+	// Re-inserting an existing key at capacity must not evict others.
+	before := c.Stats().Size
+	for k := 0; k < 3; k++ {
+		c.insert("k99", []float64{1}, []float64{2})
+	}
+	if after := c.Stats().Size; after < before {
+		t.Fatalf("overwrite shrank cache: %d -> %d", before, after)
+	}
+	// Nil cache is inert.
+	var nc *RepCache
+	nc.Invalidate()
+	nc.Validate(1)
+	if st := nc.Stats(); st != (RepCacheStats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}
+
+// TestRatesCachedMatchesUncached is the core cache-equivalence gate:
+// estimates through a cached Rates — cold, warm, and after invalidation —
+// are bit-identical to the uncached adapter.
+func TestRatesCachedMatchesUncached(t *testing.T) {
+	r, s := ratesFixture(t)
+	cached := &Rates{M: r.M, Enc: r.Enc, Cache: NewRepCache(64)}
+
+	qs := []query.Query{
+		sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 1"),
+		sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id < 5"),
+		sqlparse.MustParse(s, "SELECT * FROM title WHERE title.production_year > 1950"),
+		sqlparse.MustParse(s, "SELECT * FROM title"),
+	}
+	var idx [][2]int
+	for i := range qs {
+		for j := range qs {
+			idx = append(idx, [2]int{i, j})
+		}
+	}
+	ctx := context.Background()
+	want, err := r.EstimateRatesIndexed(ctx, qs, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass, label := range []string{"cold", "warm", "post-invalidate"} {
+		if label == "post-invalidate" {
+			cached.Cache.Invalidate()
+		}
+		got, err := cached.EstimateRatesIndexed(ctx, qs, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s pass %d pair %d: cached %v uncached %v", label, pass, i, got[i], want[i])
+			}
+		}
+	}
+	st := cached.Cache.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("expected both hits and misses, got %+v", st)
+	}
+}
+
+// TestRepCacheConcurrentUse hammers lookup/insert/invalidate from many
+// goroutines; run under -race this is the cache's thread-safety gate.
+func TestRepCacheConcurrentUse(t *testing.T) {
+	c := NewRepCache(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d1, d2 := make([]float64, 4), make([]float64, 4)
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (w*7+i)%40)
+				if !c.lookup(key, d1, d2) {
+					c.insert(key, []float64{1, 2, 3, 4}, []float64{5, 6, 7, 8})
+				}
+				switch i % 50 {
+				case 17:
+					c.Invalidate()
+				case 33:
+					c.Validate(uint64(i))
+				}
+				c.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

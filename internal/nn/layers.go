@@ -46,24 +46,62 @@ func (p *Param) HeInit(rng *rand.Rand, fanIn int) {
 type Dense struct {
 	In, Out int
 	W, B    *Param
+
+	// wView and gView are prebuilt matrix views over W.W and W.Grad
+	// (updated in place, so the backing slices never move): handing the
+	// kernels &wView instead of a fresh composite literal keeps the hot
+	// paths free of per-call escape allocations.
+	wView, gView Matrix
 }
 
 // NewDense creates a dense layer with He-initialized weights and zero bias.
 func NewDense(rng *rand.Rand, in, out int) *Dense {
 	d := &Dense{In: in, Out: out, W: NewParam(in, out), B: NewParam(1, out)}
 	d.W.HeInit(rng, in)
+	d.wView = Matrix{Rows: in, Cols: out, Data: d.W.W}
+	d.gView = Matrix{Rows: in, Cols: out, Data: d.W.Grad}
 	return d
 }
 
+// weights returns the weight tensor as a matrix view (shared storage).
+func (d *Dense) weights() *Matrix { return &d.wView }
+
+// gradW returns the weight gradient as a matrix view (shared storage).
+func (d *Dense) gradW() *Matrix { return &d.gView }
+
 // Forward computes y = x·W + b for a batch x (n×In) and returns y (n×Out).
-func (d *Dense) Forward(x *Matrix) *Matrix {
-	y := NewMatrix(x.Rows, d.Out)
-	w := &Matrix{Rows: d.In, Cols: d.Out, Data: d.W.W}
-	MatMul(y, x, w)
+func (d *Dense) Forward(x *Matrix) *Matrix { return d.ForwardWS(nil, x) }
+
+// ForwardWS is Forward writing into a workspace buffer.
+func (d *Dense) ForwardWS(ws *Workspace, x *Matrix) *Matrix {
+	y := ws.Take(x.Rows, d.Out)
+	MatMul(y, x, d.weights())
+	bias := d.B.W
 	for i := 0; i < y.Rows; i++ {
-		row := y.Row(i)
-		for j := range row {
-			row[j] += d.B.W[j]
+		row := y.Row(i)[:len(bias)]
+		for j, b := range bias {
+			row[j] += b
+		}
+	}
+	return y
+}
+
+// ForwardReLU computes y = max(0, x·W + b) in one fused pass: the bias add
+// and the activation run over the matmul output while it is still hot in
+// cache, and no intermediate pre-activation matrix is materialized. The
+// output values are bit-identical to ReLUForward(Forward(x)).
+func (d *Dense) ForwardReLU(ws *Workspace, x *Matrix) *Matrix {
+	y := ws.Take(x.Rows, d.Out)
+	MatMul(y, x, d.weights())
+	bias := d.B.W
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)[:len(bias)]
+		for j, b := range bias {
+			if v := row[j] + b; v > 0 {
+				row[j] = v
+			} else {
+				row[j] = 0
+			}
 		}
 	}
 	return y
@@ -71,22 +109,35 @@ func (d *Dense) Forward(x *Matrix) *Matrix {
 
 // Backward accumulates dW += xᵀ·dy and db += Σ dy, and returns
 // dx = dy·Wᵀ. x must be the input that produced dy's forward pass.
-func (d *Dense) Backward(x, dy *Matrix) *Matrix {
-	gw := &Matrix{Rows: d.In, Cols: d.Out, Data: make([]float64, d.In*d.Out)}
-	MatMulTransA(gw, x, dy)
-	for i := range gw.Data {
-		d.W.Grad[i] += gw.Data[i]
-	}
+func (d *Dense) Backward(x, dy *Matrix) *Matrix { return d.BackwardWS(nil, x, dy, true) }
+
+// BackwardWS is Backward with workspace-backed scratch. dW accumulates
+// straight into W.Grad (no intermediate gradient matrix); when needDX is
+// false the input gradient — dead weight for a first layer — is skipped
+// entirely and nil is returned.
+func (d *Dense) BackwardWS(ws *Workspace, x, dy *Matrix, needDX bool) *Matrix {
+	MatMulTransAAcc(d.gradW(), x, dy)
+	db := d.B.Grad
 	for i := 0; i < dy.Rows; i++ {
-		row := dy.Row(i)
-		for j := range row {
-			d.B.Grad[j] += row[j]
+		row := dy.Row(i)[:len(db)]
+		for j, v := range row {
+			db[j] += v
 		}
 	}
-	dx := NewMatrix(x.Rows, d.In)
-	w := &Matrix{Rows: d.In, Cols: d.Out, Data: d.W.W}
-	MatMulTransB(dx, dy, w)
+	if !needDX {
+		return nil
+	}
+	dx := ws.Take(x.Rows, d.In)
+	MatMulTransB(dx, dy, d.weights())
 	return dx
+}
+
+// BackwardReLU backpropagates through the fused ForwardReLU: y must be the
+// fused output, dy the gradient w.r.t. y. The ReLU mask is applied into a
+// scratch buffer (dy is left untouched) and the dense backward follows.
+func (d *Dense) BackwardReLU(ws *Workspace, x, y, dy *Matrix, needDX bool) *Matrix {
+	dPre := ReLUBackwardWS(ws, dy, y)
+	return d.BackwardWS(ws, x, dPre, needDX)
 }
 
 // Params returns the layer's trainable tensors.
@@ -96,30 +147,45 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 func (d *Dense) NumParams() int { return d.In*d.Out + d.Out }
 
 // ReLUForward applies max(0,x) elementwise, returning a new matrix.
-func ReLUForward(x *Matrix) *Matrix {
-	y := NewMatrix(x.Rows, x.Cols)
+func ReLUForward(x *Matrix) *Matrix { return ReLUForwardWS(nil, x) }
+
+// ReLUForwardWS is ReLUForward writing into a workspace buffer.
+func ReLUForwardWS(ws *Workspace, x *Matrix) *Matrix {
+	y := ws.Take(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v > 0 {
 			y.Data[i] = v
+		} else {
+			y.Data[i] = 0
 		}
 	}
 	return y
 }
 
 // ReLUBackward masks dy by the activation pattern of the forward output y.
-func ReLUBackward(dy, y *Matrix) *Matrix {
-	dx := NewMatrix(dy.Rows, dy.Cols)
-	for i, v := range y.Data {
-		if v > 0 {
-			dx.Data[i] = dy.Data[i]
+func ReLUBackward(dy, y *Matrix) *Matrix { return ReLUBackwardWS(nil, dy, y) }
+
+// ReLUBackwardWS is ReLUBackward writing into a workspace buffer.
+func ReLUBackwardWS(ws *Workspace, dy, y *Matrix) *Matrix {
+	dx := ws.Take(dy.Rows, dy.Cols)
+	yd := y.Data[:len(dx.Data)]
+	dyd := dy.Data[:len(dx.Data)]
+	for i := range dx.Data {
+		if yd[i] > 0 {
+			dx.Data[i] = dyd[i]
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx
 }
 
 // SigmoidForward applies 1/(1+e^-x) elementwise, returning a new matrix.
-func SigmoidForward(x *Matrix) *Matrix {
-	y := NewMatrix(x.Rows, x.Cols)
+func SigmoidForward(x *Matrix) *Matrix { return SigmoidForwardWS(nil, x) }
+
+// SigmoidForwardWS is SigmoidForward writing into a workspace buffer.
+func SigmoidForwardWS(ws *Workspace, x *Matrix) *Matrix {
+	y := ws.Take(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		y.Data[i] = 1 / (1 + math.Exp(-v))
 	}
@@ -127,10 +193,16 @@ func SigmoidForward(x *Matrix) *Matrix {
 }
 
 // SigmoidBackward computes dx = dy ⊙ y(1-y) from the forward output y.
-func SigmoidBackward(dy, y *Matrix) *Matrix {
-	dx := NewMatrix(dy.Rows, dy.Cols)
-	for i, v := range y.Data {
-		dx.Data[i] = dy.Data[i] * v * (1 - v)
+func SigmoidBackward(dy, y *Matrix) *Matrix { return SigmoidBackwardWS(nil, dy, y) }
+
+// SigmoidBackwardWS is SigmoidBackward writing into a workspace buffer.
+func SigmoidBackwardWS(ws *Workspace, dy, y *Matrix) *Matrix {
+	dx := ws.Take(dy.Rows, dy.Cols)
+	yd := y.Data[:len(dx.Data)]
+	dyd := dy.Data[:len(dx.Data)]
+	for i := range dx.Data {
+		v := yd[i]
+		dx.Data[i] = dyd[i] * v * (1 - v)
 	}
 	return dx
 }
@@ -150,17 +222,27 @@ func (b SetBatch) NumSamples() int { return len(b.Offsets) - 1 }
 // BuildSetBatch concatenates per-sample element vectors into a SetBatch.
 // All vectors must have length dim.
 func BuildSetBatch(samples [][][]float64, dim int) SetBatch {
+	return BuildSetBatchWS(nil, samples, dim)
+}
+
+// BuildSetBatchWS is BuildSetBatch writing into workspace buffers.
+func BuildSetBatchWS(ws *Workspace, samples [][][]float64, dim int) SetBatch {
 	total := 0
 	for _, s := range samples {
 		total += len(s)
 	}
-	x := NewMatrix(total, dim)
-	offsets := make([]int, len(samples)+1)
+	x := ws.Take(total, dim)
+	offsets := ws.TakeInts(len(samples) + 1)
 	row := 0
 	for i, s := range samples {
 		offsets[i] = row
 		for _, v := range s {
-			copy(x.Row(row), v)
+			dst := x.Row(row)
+			// Zero-pad short vectors: recycled storage would otherwise
+			// leak a previous batch's values into the tail.
+			for n := copy(dst, v); n < len(dst); n++ {
+				dst[n] = 0
+			}
 			row++
 		}
 	}
@@ -184,17 +266,27 @@ func NewSetEncoder(rng *rand.Rand, l, h int) *SetEncoder {
 // Forward returns the pooled per-sample representations (n×H) and the
 // per-element hidden activations needed for Backward.
 func (e *SetEncoder) Forward(b SetBatch) (pooled, hidden *Matrix) {
-	hidden = ReLUForward(e.Dense.Forward(b.X))
+	return e.ForwardWS(nil, b)
+}
+
+// ForwardWS is Forward with the dense layer and ReLU fused and both outputs
+// taken from the workspace.
+func (e *SetEncoder) ForwardWS(ws *Workspace, b SetBatch) (pooled, hidden *Matrix) {
+	hidden = e.Dense.ForwardReLU(ws, b.X)
 	n := b.NumSamples()
-	pooled = NewMatrix(n, e.Dense.Out)
+	pooled = ws.Take(n, e.Dense.Out)
 	for i := 0; i < n; i++ {
 		lo, hi := b.Offsets[i], b.Offsets[i+1]
-		if hi == lo {
-			continue // empty set pools to zero
-		}
 		out := pooled.Row(i)
-		for r := lo; r < hi; r++ {
-			row := hidden.Row(r)
+		if hi == lo {
+			for j := range out {
+				out[j] = 0 // empty set pools to zero
+			}
+			continue
+		}
+		copy(out, hidden.Row(lo))
+		for r := lo + 1; r < hi; r++ {
+			row := hidden.Row(r)[:len(out)]
 			for j, v := range row {
 				out[j] += v
 			}
@@ -211,7 +303,14 @@ func (e *SetEncoder) Forward(b SetBatch) (pooled, hidden *Matrix) {
 // accumulating parameter gradients. hidden must come from Forward on the
 // same batch.
 func (e *SetEncoder) Backward(b SetBatch, hidden, dPooled *Matrix) {
-	dHidden := NewMatrix(hidden.Rows, hidden.Cols)
+	e.BackwardWS(nil, b, hidden, dPooled)
+}
+
+// BackwardWS is Backward with workspace-backed scratch. The pooling spread
+// and the ReLU mask are fused into one pass, and the input gradient — the
+// encoder is the first layer, so nothing consumes it — is never computed.
+func (e *SetEncoder) BackwardWS(ws *Workspace, b SetBatch, hidden, dPooled *Matrix) {
+	dPre := ws.Take(hidden.Rows, hidden.Cols)
 	for i := 0; i < b.NumSamples(); i++ {
 		lo, hi := b.Offsets[i], b.Offsets[i+1]
 		if hi == lo {
@@ -220,14 +319,18 @@ func (e *SetEncoder) Backward(b SetBatch, hidden, dPooled *Matrix) {
 		inv := 1 / float64(hi-lo)
 		src := dPooled.Row(i)
 		for r := lo; r < hi; r++ {
-			dst := dHidden.Row(r)
+			act := hidden.Row(r)[:len(src)]
+			dst := dPre.Row(r)[:len(src)]
 			for j, v := range src {
-				dst[j] = v * inv
+				if act[j] > 0 {
+					dst[j] = v * inv
+				} else {
+					dst[j] = 0
+				}
 			}
 		}
 	}
-	dPre := ReLUBackward(dHidden, hidden)
-	e.Dense.Backward(b.X, dPre)
+	e.Dense.BackwardWS(ws, b.X, dPre, false)
 }
 
 // Params returns the encoder's trainable tensors.

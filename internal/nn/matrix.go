@@ -5,6 +5,21 @@
 // original system trains with TensorFlow (§3.3); this package replaces it
 // with a deterministic, dependency-free implementation verified by numeric
 // gradient checks.
+//
+// The matrix kernels come in two tiers: the optimized kernels below
+// (register-blocked inner loops, sparsity-aware row dispatch, a parallel
+// transpose-accumulate for weight gradients) and the straightforward
+// reference kernels in reference.go. The optimized kernels may reassociate
+// floating-point sums, so they agree with the reference to the 1e-9 gate
+// enforced by the kernel tests rather than bitwise. Results are
+// deterministic across machines because no kernel lets core count affect
+// any output element's summation order: MatMul/MatMulTransB parallelize by
+// partitioning output rows (each element is still accumulated serially in
+// fixed k order), and MatMulTransAAcc splits its shared dimension into a
+// shape-derived fixed chunk count (transASplit), never GOMAXPROCS. Any new
+// kernel must preserve this invariant. Every serving path shares one
+// kernel set, so estimates stay bit-identical across batch compositions
+// and entry points.
 package nn
 
 import (
@@ -40,13 +55,22 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
-// parallelRows runs fn over [0, rows) split across workers when the work is
-// large enough to amortize goroutine overhead.
-func parallelRows(rows, minRowsPerWorker int, fn func(lo, hi int)) {
+// rowWorkers returns how many goroutines a row range is worth: at most
+// GOMAXPROCS, and at least minRowsPerWorker rows per goroutine. Callers
+// dispatch the serial case without building a closure, so small kernels
+// stay allocation-free.
+func rowWorkers(rows, minRowsPerWorker int) int {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > rows/minRowsPerWorker {
 		workers = rows / minRowsPerWorker
 	}
+	return workers
+}
+
+// parallelRows runs fn over [0, rows) split across workers when the work is
+// large enough to amortize goroutine overhead.
+func parallelRows(rows, minRowsPerWorker int, fn func(lo, hi int)) {
+	workers := rowWorkers(rows, minRowsPerWorker)
 	if workers <= 1 {
 		fn(0, rows)
 		return
@@ -68,30 +92,92 @@ func parallelRows(rows, minRowsPerWorker int, fn func(lo, hi int)) {
 }
 
 // MatMul computes dst = a·b. dst must not alias a or b.
+//
+// Each output row is produced by one goroutine with a k-major accumulation:
+// rows of a that are mostly zero (one-hot feature vectors) take a
+// zero-skipping path, dense rows a 4-way unrolled path that loads/stores the
+// destination row once per four inner products.
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
+	if rowWorkers(a.Rows, 16) <= 1 {
+		matMulRows(dst, a, b, 0, a.Rows)
+		return
+	}
 	parallelRows(a.Rows, 16, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dstRow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for j := range dstRow {
-				dstRow[j] = 0
+		matMulRows(dst, a, b, lo, hi)
+	})
+}
+
+func matMulRows(dst, a, b *Matrix, lo, hi int) {
+	ac, bc := a.Cols, b.Cols
+	bd := b.Data
+	for i := lo; i < hi; i++ {
+		dstRow := dst.Data[i*bc : i*bc+bc]
+		for j := range dstRow {
+			dstRow[j] = 0
+		}
+		aRow := a.Data[i*ac : i*ac+ac]
+		nz := 0
+		for _, v := range aRow {
+			if v != 0 {
+				nz++
 			}
-			aRow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		}
+		if nz*4 <= len(aRow) {
+			// Sparse row (feature one-hots): touch only nonzero k.
 			for k, av := range aRow {
 				if av == 0 {
 					continue
 				}
-				bRow := b.Data[k*b.Cols : (k+1)*b.Cols]
-				for j, bv := range bRow {
-					dstRow[j] += av * bv
-				}
+				axpy(dstRow, av, bd[k*bc:k*bc+bc])
+			}
+			continue
+		}
+		k := 0
+		for ; k+3 < ac; k += 4 {
+			a0, a1, a2, a3 := aRow[k], aRow[k+1], aRow[k+2], aRow[k+3]
+			b0 := bd[k*bc : k*bc+bc]
+			b1 := bd[(k+1)*bc : (k+1)*bc+bc]
+			b2 := bd[(k+2)*bc : (k+2)*bc+bc]
+			b3 := bd[(k+3)*bc : (k+3)*bc+bc]
+			dr := dstRow[:len(b0)]
+			b1 = b1[:len(b0)]
+			b2 = b2[:len(b0)]
+			b3 = b3[:len(b0)]
+			for j, v := range b0 {
+				dr[j] += a0*v + a1*b1[j] + a2*b2[j] + a3*b3[j]
 			}
 		}
-	})
+		for ; k < ac; k++ {
+			if av := aRow[k]; av != 0 {
+				axpy(dstRow, av, bd[k*bc:k*bc+bc])
+			}
+		}
+	}
 }
+
+// axpy computes dst += a·x over the shared length.
+func axpy(dst []float64, a float64, x []float64) {
+	x = x[:len(dst)]
+	for j, v := range x {
+		dst[j] += a * v
+	}
+}
+
+// transAMinWork is the flop threshold below which MatMulTransAAcc stays
+// serial: per-worker accumulator slabs and the merge pass only pay off on
+// large gradients.
+const transAMinWork = 1 << 22
+
+// transASplit is the fixed partial-accumulator count of the parallel
+// MatMulTransAAcc path. The split depends only on the product's shape —
+// never on GOMAXPROCS — so the floating-point summation order, and with it
+// every trained weight, is identical on every machine; the scheduler just
+// runs the fixed set of goroutines with whatever parallelism exists.
+const transASplit = 8
 
 // MatMulTransA computes dst = aᵀ·b (used for weight gradients:
 // dW = xᵀ·dy). dst must not alias a or b.
@@ -103,42 +189,194 @@ func MatMulTransA(dst, a, b *Matrix) {
 	for j := range dst.Data {
 		dst.Data[j] = 0
 	}
-	// Accumulate row-by-row of the shared outer dimension; single-threaded
-	// because every input row touches all of dst.
-	for k := 0; k < a.Rows; k++ {
-		aRow := a.Data[k*a.Cols : (k+1)*a.Cols]
-		bRow := b.Data[k*b.Cols : (k+1)*b.Cols]
+	MatMulTransAAcc(dst, a, b)
+}
+
+// MatMulTransAAcc accumulates dst += aᵀ·b without clearing dst first — the
+// shape gradient descent needs: Dense.Backward adds dW = xᵀ·dy straight
+// into the parameter's Grad with no intermediate matrix. Large products are
+// split over the shared outer dimension into transASplit fixed chunks run
+// concurrently, each accumulating into a private slab merged back in chunk
+// order. The split (and so the result, bit for bit) depends only on the
+// shape, not on core count.
+func MatMulTransAAcc(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MatMulTransAAcc shape mismatch (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	rows := a.Rows
+	workers := transASplit
+	if workers > rows/32 {
+		workers = rows / 32
+	}
+	if workers <= 1 || rows*a.Cols*b.Cols < transAMinWork {
+		transAAccRange(dst.Data, a, b, 0, rows)
+		return
+	}
+	// Per-worker accumulators, merged at the end. Worker 0 owns dst itself.
+	partials := make([][]float64, workers-1)
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := dst.Data
+			if w > 0 {
+				acc = takeSlab(len(dst.Data))
+				partials[w-1] = acc
+			}
+			transAAccRange(acc, a, b, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		axpy(dst.Data, 1, p)
+		putSlab(p)
+	}
+}
+
+// transAAccRange accumulates rows [lo, hi) of the shared outer dimension
+// into acc, four input rows per pass so each destination row is loaded and
+// stored once per quad.
+func transAAccRange(acc []float64, a, b *Matrix, lo, hi int) {
+	ac, bc := a.Cols, b.Cols
+	ad, bd := a.Data, b.Data
+	k := lo
+	for ; k+3 < hi; k += 4 {
+		aR0 := ad[k*ac : k*ac+ac]
+		aR1 := ad[(k+1)*ac : (k+1)*ac+ac]
+		aR2 := ad[(k+2)*ac : (k+2)*ac+ac]
+		aR3 := ad[(k+3)*ac : (k+3)*ac+ac]
+		aR1 = aR1[:len(aR0)]
+		aR2 = aR2[:len(aR0)]
+		aR3 = aR3[:len(aR0)]
+		bR0 := bd[k*bc : k*bc+bc]
+		bR1 := bd[(k+1)*bc : (k+1)*bc+bc]
+		bR2 := bd[(k+2)*bc : (k+2)*bc+bc]
+		bR3 := bd[(k+3)*bc : (k+3)*bc+bc]
+		bR1 = bR1[:len(bR0)]
+		bR2 = bR2[:len(bR0)]
+		bR3 = bR3[:len(bR0)]
+		for i, a0 := range aR0 {
+			a1, a2, a3 := aR1[i], aR2[i], aR3[i]
+			dr := acc[i*bc : i*bc+bc][:len(bR0)]
+			if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+				for j, v := range bR0 {
+					dr[j] += a0*v + a1*bR1[j] + a2*bR2[j] + a3*bR3[j]
+				}
+				continue
+			}
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			if a0 != 0 {
+				axpy(dr, a0, bR0)
+			}
+			if a1 != 0 {
+				axpy(dr, a1, bR1)
+			}
+			if a2 != 0 {
+				axpy(dr, a2, bR2)
+			}
+			if a3 != 0 {
+				axpy(dr, a3, bR3)
+			}
+		}
+	}
+	for ; k < hi; k++ {
+		aRow := ad[k*ac : k*ac+ac]
+		bRow := bd[k*bc : k*bc+bc]
 		for i, av := range aRow {
 			if av == 0 {
 				continue
 			}
-			dstRow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for j, bv := range bRow {
-				dstRow[j] += av * bv
-			}
+			axpy(acc[i*bc:i*bc+bc], av, bRow)
 		}
 	}
 }
 
+// slabPool recycles the per-worker accumulator slabs of MatMulTransAAcc.
+var slabPool sync.Pool
+
+func takeSlab(n int) []float64 {
+	if s, ok := slabPool.Get().([]float64); ok && cap(s) >= n {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	return make([]float64, n)
+}
+
+func putSlab(s []float64) { slabPool.Put(s) } //nolint:staticcheck // slice header boxing is fine here
+
 // MatMulTransB computes dst = a·bᵀ (used for input gradients:
 // dx = dy·Wᵀ). dst must not alias a or b.
+//
+// Four rows of b are dotted against each row of a per pass, so the a row
+// streams from cache once per four outputs.
 func MatMulTransB(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: MatMulTransB shape mismatch (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
+	if rowWorkers(a.Rows, 16) <= 1 {
+		matMulTransBRows(dst, a, b, 0, a.Rows)
+		return
+	}
 	parallelRows(a.Rows, 16, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			aRow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			dstRow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for j := 0; j < b.Rows; j++ {
-				bRow := b.Data[j*b.Cols : (j+1)*b.Cols]
-				var s float64
-				for k, av := range aRow {
-					s += av * bRow[k]
-				}
-				dstRow[j] = s
-			}
-		}
+		matMulTransBRows(dst, a, b, lo, hi)
 	})
+}
+
+func matMulTransBRows(dst, a, b *Matrix, lo, hi int) {
+	ac, dc := a.Cols, dst.Cols
+	bd := b.Data
+	for i := lo; i < hi; i++ {
+		aRow := a.Data[i*ac : i*ac+ac]
+		dstRow := dst.Data[i*dc : i*dc+dc]
+		j := 0
+		for ; j+3 < b.Rows; j += 4 {
+			b0 := bd[j*ac : j*ac+ac]
+			b1 := bd[(j+1)*ac : (j+1)*ac+ac]
+			b2 := bd[(j+2)*ac : (j+2)*ac+ac]
+			b3 := bd[(j+3)*ac : (j+3)*ac+ac]
+			b0 = b0[:len(aRow)]
+			b1 = b1[:len(aRow)]
+			b2 = b2[:len(aRow)]
+			b3 = b3[:len(aRow)]
+			var s0, s1, s2, s3 float64
+			for k, av := range aRow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			dstRow[j] = s0
+			dstRow[j+1] = s1
+			dstRow[j+2] = s2
+			dstRow[j+3] = s3
+		}
+		for ; j < b.Rows; j++ {
+			bRow := bd[j*ac : j*ac+ac][:len(aRow)]
+			var s float64
+			for k, av := range aRow {
+				s += av * bRow[k]
+			}
+			dstRow[j] = s
+		}
+	}
 }

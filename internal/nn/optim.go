@@ -20,18 +20,26 @@ func NewAdam(lr float64) *Adam {
 }
 
 // Step applies one Adam update to every parameter from its accumulated
-// gradient, then clears the gradients.
+// gradient, then clears the gradients. The update, moment decay and
+// gradient clear run in one pass per tensor.
 func (a *Adam) Step(params []*Param) {
 	a.step++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	b1, b2 := a.Beta1, a.Beta2
+	g1, g2 := 1-b1, 1-b2
+	lr, eps := a.LR, a.Eps
 	for _, p := range params {
-		for i, g := range p.Grad {
-			p.M[i] = a.Beta1*p.M[i] + (1-a.Beta1)*g
-			p.V[i] = a.Beta2*p.V[i] + (1-a.Beta2)*g*g
-			mHat := p.M[i] / c1
-			vHat := p.V[i] / c2
-			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		grad, mo, vo, w := p.Grad, p.M, p.V, p.W
+		mo = mo[:len(grad)]
+		vo = vo[:len(grad)]
+		w = w[:len(grad)]
+		for i, g := range grad {
+			m := b1*mo[i] + g1*g
+			v := b2*vo[i] + g2*g*g
+			mo[i] = m
+			vo[i] = v
+			w[i] -= lr * (m / c1) / (math.Sqrt(v/c2) + eps)
 		}
 		p.ZeroGrad()
 	}

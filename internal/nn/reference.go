@@ -1,0 +1,61 @@
+package nn
+
+import "fmt"
+
+// Reference kernels: the textbook triple loops the optimized kernels in
+// matrix.go are verified against. They accumulate every destination element
+// strictly in increasing k order with no unrolling, blocking or
+// parallelism, so their results are the canonical "unoptimized path" of the
+// numeric equivalence tests. They are exported for tests and diagnostics
+// only; production code uses the optimized kernels.
+
+// MatMulNaive computes dst = a·b with the unoptimized reference loop.
+func MatMulNaive(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MatMulNaive shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+}
+
+// MatMulTransANaive computes dst = aᵀ·b with the reference loop.
+func MatMulTransANaive(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MatMulTransANaive shape mismatch (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Cols; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Rows; k++ {
+				s += a.At(k, i) * b.At(k, j)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+}
+
+// MatMulTransBNaive computes dst = a·bᵀ with the reference loop.
+func MatMulTransBNaive(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MatMulTransBNaive shape mismatch (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+}

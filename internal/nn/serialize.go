@@ -19,6 +19,19 @@ func (p *Param) Snapshot() ParamSnapshot {
 	return ParamSnapshot{Rows: p.Rows, Cols: p.Cols, W: append([]float64(nil), p.W...)}
 }
 
+// SnapshotInto is Snapshot reusing a previous snapshot's buffer when the
+// capacity fits — best-weights tracking during training snapshots every
+// improving epoch, and reuse keeps that allocation-free after the first.
+func (p *Param) SnapshotInto(prev ParamSnapshot) ParamSnapshot {
+	w := prev.W
+	if cap(w) < len(p.W) {
+		w = make([]float64, len(p.W))
+	}
+	w = w[:len(p.W)]
+	copy(w, p.W)
+	return ParamSnapshot{Rows: p.Rows, Cols: p.Cols, W: w}
+}
+
 // Restore loads weights from a snapshot; shapes must match.
 func (p *Param) Restore(s ParamSnapshot) error {
 	if s.Rows != p.Rows || s.Cols != p.Cols {

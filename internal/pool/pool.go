@@ -38,6 +38,7 @@ type Pool struct {
 	byKey   map[string]bool
 	entries int
 	nextID  int64
+	version uint64
 }
 
 // New creates an empty pool.
@@ -62,7 +63,17 @@ func (p *Pool) Add(q query.Query, card int64) bool {
 	p.byFrom[q.FROMKey()] = append(p.byFrom[q.FROMKey()], Entry{Q: q, Card: card, ID: p.nextID})
 	p.nextID++
 	p.entries++
+	p.version++
 	return true
+}
+
+// Version returns a counter that increases with every successful mutation.
+// Caches keyed on pool contents (the serving-side representation cache)
+// compare versions to detect that the pool changed underneath them.
+func (p *Pool) Version() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.version
 }
 
 // Matching returns the pooled entries whose FROM clause equals the query's

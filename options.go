@@ -99,31 +99,54 @@ var (
 	TrimmedMean FinalFunc = pool.TrimmedMean
 )
 
+// estimatorSettings collects everything EstimatorOption values can tune:
+// the Figure 8 algorithm knobs on the underlying estimator plus the
+// serving-side representation cache.
+type estimatorSettings struct {
+	est       *card.Estimator
+	cacheSize int
+}
+
 // EstimatorOption configures CardinalityEstimator and ImproveBaseline.
-type EstimatorOption func(*card.Estimator)
+type EstimatorOption func(*estimatorSettings)
 
 // WithWorkers sets the parallelism of the pool scan for rate models without
 // a batch interface (0 = GOMAXPROCS, 1 = serial; batch-capable models —
 // the CRN included — parallelize internally instead).
 func WithWorkers(n int) EstimatorOption {
-	return func(e *card.Estimator) { e.Workers = n }
+	return func(s *estimatorSettings) { s.est.Workers = n }
 }
 
 // WithFinal sets the final function F collapsing per-old-query estimates
 // (default Median, the paper's choice).
 func WithFinal(f FinalFunc) EstimatorOption {
-	return func(e *card.Estimator) { e.Final = f }
+	return func(s *estimatorSettings) { s.est.Final = f }
 }
 
 // WithFallback sets a fallback estimator for queries without a usable pool
 // match; without one such queries fail with ErrNoPoolMatch (§5.2 suggests
 // falling back to a basic cardinality model).
 func WithFallback(fb BaselineEstimator) EstimatorOption {
-	return func(e *card.Estimator) { e.Fallback = fb }
+	return func(s *estimatorSettings) { s.est.Fallback = fb }
 }
 
 // WithEpsilon sets the y_rate guard ε of Figure 8 (default 1e-3): pool
 // matches with Qnew ⊂% Qold ≤ ε are skipped to avoid exploding the ratio.
 func WithEpsilon(eps float64) EstimatorOption {
-	return func(e *card.Estimator) { e.Epsilon = eps }
+	return func(s *estimatorSettings) { s.est.Epsilon = eps }
+}
+
+// WithRepCacheSize bounds the representation cache of a CRN-backed
+// estimator to n entries (default icrn.DefaultRepCacheSize; n <= 0
+// disables the cache). The cache memoizes set-module encodings of the
+// stable pool entries across requests; see CardinalityEstimator.
+func WithRepCacheSize(n int) EstimatorOption {
+	return func(s *estimatorSettings) { s.cacheSize = n }
+}
+
+// WithoutRepCache disables the representation cache, re-encoding every
+// query on every estimate (the pre-cache behavior; useful for equivalence
+// testing and memory-constrained deployments).
+func WithoutRepCache() EstimatorOption {
+	return func(s *estimatorSettings) { s.cacheSize = 0 }
 }

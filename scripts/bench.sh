@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository's performance benchmarks with -benchmem and
+# record the results (plus the frozen pre-PR-2 baseline) in BENCH_2.json,
+# the perf trajectory file. Usage:
+#
+#   scripts/bench.sh [output.json]
+#
+# or `make bench`. Pure `go test` — no extra tooling, no cmd/ binaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_2.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== nn kernel benchmarks ==" >&2
+go test ./internal/nn -run '^$' -bench 'MatMul|Dense|SetEncoder|Adam' -benchmem -benchtime 50x | tee -a "$RAW"
+echo "== compute-core benchmarks (training epoch, batched inference) ==" >&2
+go test ./internal/crn -run '^$' -bench 'TrainEpoch|PredictBatch|PredictShared' -benchmem -benchtime 10x | tee -a "$RAW"
+echo "== serving benchmarks (batched cardinality estimation) ==" >&2
+go test . -run '^$' -bench 'EstimateCardinality(Batch|SingleLoop)64' -benchmem -benchtime 5x | tee -a "$RAW"
+
+# Render "BenchmarkFoo[-P]  N  ns/op  B/op  allocs/op" lines as JSON.
+RESULTS="$(awk '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+      if ($(i+1) == "ns/op")     ns = $i
+      if ($(i+1) == "B/op")      bytes = $i
+      if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (out != "") out = out ",\n"
+    out = out sprintf("    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+                      name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs))
+  }
+  END { print out }
+' "$RAW")"
+
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+GOVERSION="$(go env GOVERSION)"
+CPU="$(awk -F': *' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)"
+
+cat > "$OUT" <<EOF
+{
+  "pr": 2,
+  "description": "Zero-allocation compute core + cross-request representation cache",
+  "date": "$DATE",
+  "go": "$GOVERSION",
+  "cpu": "$CPU",
+  "baseline_commit": "11a7fff",
+  "baseline": {
+    "_comment": "pre-PR-2 measurements on the same machine (mean of 3 runs; serving benches single run)",
+    "MatMul128": {"ns_per_op": 1500848, "bytes_per_op": 32, "allocs_per_op": 1},
+    "MatMulBatchForward": {"ns_per_op": 2253470, "bytes_per_op": 32, "allocs_per_op": 1},
+    "DenseForwardBackward": {"ns_per_op": 3952488, "bytes_per_op": 459008, "allocs_per_op": 9},
+    "SetEncoderForward": {"ns_per_op": 1141056, "bytes_per_op": 360672, "allocs_per_op": 8},
+    "AdamStep": {"ns_per_op": 475216, "bytes_per_op": 0, "allocs_per_op": 0},
+    "TrainEpoch": {"ns_per_op": 233478005, "bytes_per_op": 60220760, "allocs_per_op": 2486},
+    "PredictBatch": {"ns_per_op": 8734545, "bytes_per_op": 2957616, "allocs_per_op": 40},
+    "PredictShared": {"ns_per_op": 16551389, "bytes_per_op": 698816, "allocs_per_op": 32},
+    "EstimateCardinalityBatch64": {"ns_per_op": 1294353, "bytes_per_op": 1473304, "allocs_per_op": 1310},
+    "EstimateCardinalitySingleLoop64": {"ns_per_op": 2657548, "bytes_per_op": 3512432, "allocs_per_op": 4653}
+  },
+  "results": {
+$RESULTS
+  }
+}
+EOF
+
+echo "wrote $OUT" >&2
