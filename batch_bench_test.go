@@ -27,6 +27,12 @@ var (
 	batchEst     *CardinalityEstimator
 	batchQueries []Query
 	batchErr     error
+
+	// Shared with parallel_bench_test.go, which builds the coalescing
+	// serving configuration over the same trained system and pool.
+	batchSys   *System
+	batchModel *ContainmentModel
+	batchPool  *QueriesPool
 )
 
 func batchBenchEnv(b *testing.B) (*CardinalityEstimator, []Query) {
@@ -59,6 +65,7 @@ func batchBenchEnv(b *testing.B) (*CardinalityEstimator, []Query) {
 			return
 		}
 		batchEst = sys.CardinalityEstimator(model, p, WithFallback(base))
+		batchSys, batchModel, batchPool = sys, model, p
 
 		// A mixed 0-2 join workload, the distribution the pool covers.
 		gen := workload.NewGenerator(sys.Schema(), sys.DB(), 17)

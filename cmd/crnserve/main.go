@@ -15,8 +15,18 @@
 // /estimate/batch amortizes feature encoding and runs the CRN forward pass
 // matrix-batched across the whole request. /record executes the query
 // exactly and appends it to the pool, sharpening subsequent estimates —
-// POST the queries your workload actually runs. Estimation requests run
-// under the request context: a disconnecting client cancels its work.
+// POST the queries your workload actually runs. /estimate/batch and
+// containment estimates run under the request context, so a disconnecting
+// client cancels that work.
+//
+// Concurrent single-query /estimate requests are coalesced into shared
+// batched passes (bit-identical results, one pool scan per batch instead of
+// one per request); tune with -coalesce-batch / -coalesce-wait, observe on
+// /healthz ("coalescer", "estimate_latency", "batch_latency", "rep_cache").
+// A coalesced request that disconnects abandons its slot immediately, but
+// the shared batch — work other callers still need — runs to completion
+// (disable coalescing with -coalesce-batch 1 to get strict per-request
+// cancellation back). -pprof mounts net/http/pprof under /debug/pprof/.
 //
 // Errors map typed facade sentinels to statuses: unparseable dialect -> 400,
 // no usable pool match (estimator without fallback) -> 422, cancelled -> 503.
@@ -25,6 +35,7 @@
 //
 //	crnserve -addr :8080 -titles 4000 -pairs 5000 -pool 300
 //	crnserve -addr :8080 -model crn.model   # skip training, load weights
+//	crnserve -addr :8080 -coalesce-batch 128 -coalesce-wait 200us -pprof
 package main
 
 import (
@@ -53,6 +64,9 @@ func main() {
 	poolSize := flag.Int("pool", 300, "initial queries-pool size (0: start empty)")
 	poolSeed := flag.Int64("pool-seed", 7, "queries-pool generation seed")
 	noFallback := flag.Bool("no-fallback", false, "fail pool misses with 422 instead of using the PostgreSQL-style baseline")
+	coalesceBatch := flag.Int("coalesce-batch", 64, "max concurrent /estimate requests coalesced into one batched pass (< 2 disables coalescing)")
+	coalesceWait := flag.Duration("coalesce-wait", 0, "how long to hold a non-full coalescing batch open for stragglers (0: adaptive, never waits)")
+	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling opt-in)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "crnserve: ", log.LstdFlags)
@@ -114,11 +128,20 @@ func main() {
 		}
 		opts = append(opts, crn.WithFallback(base))
 	}
+	if *coalesceBatch >= 2 {
+		opts = append(opts, crn.WithCoalescing(*coalesceBatch, *coalesceWait))
+		logger.Printf("request coalescing on (max batch %d, max wait %v)", *coalesceBatch, *coalesceWait)
+	}
 	est := sys.CardinalityEstimator(model, pool, opts...)
 
+	handler := newServer(sys, model, pool, est, logger)
+	handler.pprof = *pprofFlag
+	if *pprofFlag {
+		logger.Printf("pprof enabled under /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(sys, model, pool, est, logger).handler(),
+		Handler:           handler.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	drained := make(chan struct{})

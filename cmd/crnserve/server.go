@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +29,13 @@ type server struct {
 	started  time.Time
 	recorded atomic.Int64 // queries appended via /record
 	logger   *log.Logger
+
+	// pprof mounts net/http/pprof under /debug/pprof/ when set (the -pprof
+	// flag); off by default so production profiling is an explicit opt-in.
+	pprof bool
+
+	estimateLatency latencyStats // single-query /estimate (cardinality mode)
+	batchLatency    latencyStats // /estimate/batch
 }
 
 func newServer(sys *crn.System, model *crn.ContainmentModel, pool *crn.QueriesPool, est *crn.CardinalityEstimator, logger *log.Logger) *server {
@@ -41,7 +49,50 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /estimate/batch", s.handleEstimateBatch)
 	mux.HandleFunc("POST /record", s.handleRecord)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// latencyStats tracks request latencies with lock-free counters cheap
+// enough for the hot path; /healthz renders a snapshot.
+type latencyStats struct {
+	count   atomic.Int64
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+}
+
+func (l *latencyStats) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	l.count.Add(1)
+	l.totalNs.Add(ns)
+	for {
+		m := l.maxNs.Load()
+		if ns <= m || l.maxNs.CompareAndSwap(m, ns) {
+			return
+		}
+	}
+}
+
+// latencySnapshot is the wire form of latencyStats.
+type latencySnapshot struct {
+	Count     int64   `json:"count"`
+	AvgMicros float64 `json:"avg_micros"`
+	MaxMicros float64 `json:"max_micros"`
+}
+
+func (l *latencyStats) snapshot() latencySnapshot {
+	n := l.count.Load()
+	out := latencySnapshot{Count: n, MaxMicros: float64(l.maxNs.Load()) / 1e3}
+	if n > 0 {
+		out.AvgMicros = float64(l.totalNs.Load()) / float64(n) / 1e3
+	}
+	return out
 }
 
 // --- Wire types -------------------------------------------------------------
@@ -84,6 +135,12 @@ type healthzResponse struct {
 	Recorded      int64             `json:"recorded"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
 	RepCache      crn.RepCacheStats `json:"rep_cache"`
+	// Coalescer reports request-coalescing effectiveness: calls vs batch
+	// executions, average and max batch size (batched_items / batches),
+	// dedup hits, and abandons. All zeros when -coalesce-batch < 2.
+	Coalescer       crn.CoalescerStats `json:"coalescer"`
+	EstimateLatency latencySnapshot    `json:"estimate_latency"`
+	BatchLatency    latencySnapshot    `json:"batch_latency"`
 }
 
 type errorResponse struct {
@@ -105,7 +162,9 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, statusFor(err), err)
 			return
 		}
+		start := time.Now()
 		card, err := s.est.EstimateCardinality(r.Context(), q)
+		s.estimateLatency.observe(time.Since(start))
 		if err != nil {
 			s.writeError(w, statusFor(err), err)
 			return
@@ -153,7 +212,9 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		queries[i] = q
 	}
+	start := time.Now()
 	cards, err := s.est.EstimateCardinalityBatch(r.Context(), queries)
+	s.batchLatency.observe(time.Since(start))
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -195,11 +256,14 @@ func (s *server) handleRecord(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, healthzResponse{
-		Status:        "ok",
-		PoolSize:      s.pool.Len(),
-		Recorded:      s.recorded.Load(),
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		RepCache:      s.est.CacheStats(),
+		Status:          "ok",
+		PoolSize:        s.pool.Len(),
+		Recorded:        s.recorded.Load(),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		RepCache:        s.est.CacheStats(),
+		Coalescer:       s.est.CoalescerStats(),
+		EstimateLatency: s.estimateLatency.snapshot(),
+		BatchLatency:    s.batchLatency.snapshot(),
 	})
 }
 

@@ -51,7 +51,11 @@ func testServer(t *testing.T) *server {
 			envErr = err
 			return
 		}
-		est := sys.CardinalityEstimator(model, pool, crn.WithFallback(base))
+		// Coalescing on, as in the default serving configuration: the
+		// equivalence assertions below (batch == single) therefore also pin
+		// the coalesced path to the batched path through the HTTP surface.
+		est := sys.CardinalityEstimator(model, pool,
+			crn.WithFallback(base), crn.WithCoalescing(16, 0))
 		envSrv = newServer(sys, model, pool, est, nil)
 	})
 	if envErr != nil {
@@ -214,6 +218,88 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestHealthzServingStats checks the serving counters added for the
+// high-concurrency pipeline: /healthz must expose coalescer stats and
+// estimate/batch latency counters that move under traffic.
+func TestHealthzServingStats(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		status, body, err := postJSONErr(ts.URL+"/estimate",
+			map[string]string{"query": "SELECT * FROM title WHERE title.production_year > 1970"})
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("estimate %d: status %d err %v body %s", i, status, err, body)
+		}
+	}
+	status, body, err := postJSONErr(ts.URL+"/estimate/batch", map[string]any{"queries": []string{
+		"SELECT * FROM title WHERE title.kind_id = 2",
+	}})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("batch: status %d err %v body %s", status, err, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Coalescer.Calls == 0 || hr.Coalescer.Batches == 0 {
+		t.Errorf("coalescer counters never moved: %+v", hr.Coalescer)
+	}
+	if hr.Coalescer.BatchedItems < hr.Coalescer.Batches {
+		t.Errorf("inconsistent coalescer stats: %+v", hr.Coalescer)
+	}
+	if hr.EstimateLatency.Count < 3 || hr.EstimateLatency.AvgMicros <= 0 || hr.EstimateLatency.MaxMicros < hr.EstimateLatency.AvgMicros {
+		t.Errorf("estimate latency counters wrong: %+v", hr.EstimateLatency)
+	}
+	if hr.BatchLatency.Count < 1 || hr.BatchLatency.AvgMicros <= 0 {
+		t.Errorf("batch latency counters wrong: %+v", hr.BatchLatency)
+	}
+}
+
+// TestPprofFlagGatesDebugRoutes: the profiling endpoints exist exactly when
+// the -pprof flag is set.
+func TestPprofFlagGatesDebugRoutes(t *testing.T) {
+	base := testServer(t)
+
+	off := httptest.NewServer(base.handler())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: /debug/pprof/ status %d, want 404", resp.StatusCode)
+	}
+
+	withPprof := newServer(base.sys, base.model, base.pool, base.est, nil)
+	withPprof.pprof = true
+	on := httptest.NewServer(withPprof.handler())
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: /debug/pprof/ status %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: /debug/pprof/cmdline status %d, want 200", resp.StatusCode)
+	}
+}
+
 // TestConcurrentRecordAndEstimate is the serving scenario of §5.2 under the
 // race detector: /record appends to the pool while /estimate/batch reads it
 // from concurrent goroutines.
@@ -246,6 +332,16 @@ func TestConcurrentRecordAndEstimate(t *testing.T) {
 					errs <- fmt.Sprintf("/estimate/batch: %v", err)
 				} else if status != http.StatusOK {
 					errs <- fmt.Sprintf("/estimate/batch: status %d body %s", status, body)
+				}
+				// Single-query estimates exercise the request coalescer
+				// concurrently with the pool mutations above.
+				status, body, err = postJSONErr(ts.URL+"/estimate", map[string]string{
+					"query": fmt.Sprintf("SELECT * FROM title WHERE title.production_year > %d", year+2),
+				})
+				if err != nil {
+					errs <- fmt.Sprintf("/estimate: %v", err)
+				} else if status != http.StatusOK {
+					errs <- fmt.Sprintf("/estimate: status %d body %s", status, body)
 				}
 			}
 		}(w)

@@ -5,29 +5,40 @@ import (
 
 	"crn/internal/card"
 	icrn "crn/internal/crn"
+	"crn/internal/serve"
 )
 
 // CardinalityEstimator is the pool-based Cnt2Crd estimator of §5. It is
 // safe for concurrent use on a trained model; the pool may grow
 // concurrently via RecordExecuted.
 //
-// CRN-backed estimators carry a representation cache: the set-module
-// encodings of the stable pool entries are memoized by canonical query key
-// across requests, so a pool entry is encoded once per pool version instead
-// of once per batch. The cache revalidates against the pool's version
-// counter before every estimate (a /record-style mutation flushes it by
-// construction) and can be flushed explicitly with
-// InvalidateRepresentations; estimates with and without the cache are
-// bit-identical.
+// CRN-backed estimators carry a serving cache: for every stable pool entry
+// (and any recurring probe) the set-module encodings AND the precomputed
+// pair-head partial products are memoized by canonical query key across
+// requests, the recurring working set held in a zero-copy resident tier —
+// so in steady state a single-query estimate computes only its own probe
+// side. The cache revalidates against the pool's version counter before
+// every estimate (a /record-style mutation flushes it by construction) and
+// can be flushed explicitly with InvalidateRepresentations; estimates with
+// and without the cache are bit-identical.
+//
+// With WithCoalescing, concurrent EstimateCardinality calls are
+// additionally micro-batched into shared estimation passes; coalesced
+// results are bit-identical to uncoalesced calls.
 type CardinalityEstimator struct {
 	est   *card.Estimator
 	cache *icrn.RepCache
 	pool  *QueriesPool
+	coal  *serve.Coalescer[Query, float64]
 }
 
 // RepCacheStats reports representation-cache effectiveness (see
 // CardinalityEstimator.CacheStats).
 type RepCacheStats = icrn.RepCacheStats
+
+// CoalescerStats reports request-coalescing effectiveness (see
+// CardinalityEstimator.CoalescerStats).
+type CoalescerStats = serve.Stats
 
 // CardinalityEstimator builds the paper's Cnt2Crd(CRN) estimator from a
 // trained containment model and a queries pool. Options tune the Figure 8
@@ -49,20 +60,42 @@ func (s *System) CardinalityEstimator(m *ContainmentModel, p *QueriesPool, opts 
 		rates.Cache = ce.cache
 		est.Rates = &rates
 	}
+	ce.initCoalescer(set)
 	return ce
+}
+
+// initCoalescer wires the request micro-batcher when WithCoalescing asked
+// for one. The batch runner revalidates the cache and answers through the
+// same indexed batch pass as EstimateCardinalityBatch, so coalesced results
+// are bit-identical to direct calls; it runs under the background context
+// because the batch outlives any single caller (individual callers that
+// cancel abandon their slot without cancelling the shared work).
+func (e *CardinalityEstimator) initCoalescer(set estimatorSettings) {
+	if set.coalesceBatch < 2 {
+		return
+	}
+	e.coal = serve.NewCoalescer(set.coalesceBatch, set.coalesceWait, Query.Key,
+		func(qs []Query) ([]float64, error) {
+			e.revalidate()
+			return e.est.EstimateCards(context.Background(), qs)
+		})
 }
 
 // ImproveBaseline wraps an existing cardinality model with the paper's §7
 // construction — Cnt2Crd(Crd2Cnt(M)) over the pool — without changing M.
 // Representation caching does not apply (the wrapped model has no
-// set-module representations), so cache options are ignored.
+// set-module representations), so the cache options WithRepCacheSize and
+// WithoutRepCache are ignored and CacheStats reports zeros. WithCoalescing
+// is honored: request micro-batching is model-agnostic.
 func (s *System) ImproveBaseline(m BaselineEstimator, p *QueriesPool, opts ...EstimatorOption) *CardinalityEstimator {
 	est := card.Improved(m, p)
 	set := estimatorSettings{est: est}
 	for _, o := range opts {
 		o(&set)
 	}
-	return &CardinalityEstimator{est: est, pool: p}
+	ce := &CardinalityEstimator{est: est, pool: p}
+	ce.initCoalescer(set)
+	return ce
 }
 
 // revalidate flushes the representation cache when the pool has mutated
@@ -77,8 +110,25 @@ func (e *CardinalityEstimator) revalidate() {
 // EstimateCardinality estimates |q| using the pool (Figure 8 algorithm).
 // Queries without a usable pool match fail with an error wrapping
 // ErrNoPoolMatch unless a fallback is configured.
+//
+// On a coalescing estimator (WithCoalescing) the call may share one
+// batched estimation pass with other concurrent callers — same results,
+// bit for bit, at a fraction of the per-request cost. A shared batch fails
+// as a whole, so on a coalesced error the query is transparently re-run
+// alone and the caller sees its own error (or its own success when another
+// query in the batch was the one that failed).
 func (e *CardinalityEstimator) EstimateCardinality(ctx context.Context, q Query) (float64, error) {
 	e.revalidate()
+	if e.coal == nil {
+		return e.est.EstimateCardCtx(ctx, q)
+	}
+	v, err := e.coal.Do(ctx, q)
+	if err == nil {
+		return v, nil
+	}
+	if ctx.Err() != nil {
+		return 0, ctx.Err()
+	}
 	return e.est.EstimateCardCtx(ctx, q)
 }
 
@@ -105,10 +155,18 @@ func (e *CardinalityEstimator) InvalidateRepresentations() {
 	}
 }
 
-// CacheStats reports representation-cache hits, misses and occupancy; zero
-// values for an estimator without a cache.
+// CacheStats reports representation-cache hits, misses and tier occupancy.
+// Estimators without a cache — ImproveBaseline always, CardinalityEstimator
+// under WithoutRepCache — report all zeros (the nil cache's Stats is a
+// guarded no-op, so this is safe to call unconditionally).
 func (e *CardinalityEstimator) CacheStats() RepCacheStats {
 	return e.cache.Stats()
+}
+
+// CoalescerStats reports request-coalescing counters; all zeros for an
+// estimator without WithCoalescing.
+func (e *CardinalityEstimator) CoalescerStats() CoalescerStats {
+	return e.coal.Stats()
 }
 
 // WithFallback sets a fallback estimator for queries without a usable pool

@@ -129,6 +129,43 @@ func TestRepCacheSizeOption(t *testing.T) {
 	}
 }
 
+// TestImproveBaselineCacheStatsNilSafe is the regression gate for the
+// nil-cache guard: ImproveBaseline estimators carry no representation
+// cache (the wrapped model has no set-module representations), so
+// CacheStats must report zeros instead of dereferencing a nil cache —
+// and the estimator must otherwise work, including with cache options
+// (which it documents as ignored) and coalescing (which it honors).
+func TestImproveBaselineCacheStatsNilSafe(t *testing.T) {
+	ctx := context.Background()
+	sys, _, p, probe := repCacheFixture(t)
+	base, err := sys.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		est  *CardinalityEstimator
+	}{
+		{"plain", sys.ImproveBaseline(base, p)},
+		{"with-ignored-cache-option", sys.ImproveBaseline(base, p, WithRepCacheSize(64))},
+		{"with-coalescing", sys.ImproveBaseline(base, p, WithCoalescing(8, 0))},
+	} {
+		if st := tc.est.CacheStats(); st != (RepCacheStats{}) {
+			t.Errorf("%s: CacheStats = %+v, want zeros", tc.name, st)
+		}
+		tc.est.InvalidateRepresentations() // must be a no-op, not a panic
+		if _, err := tc.est.EstimateCardinality(ctx, probe); err != nil {
+			t.Errorf("%s: estimate: %v", tc.name, err)
+		}
+		if _, err := tc.est.EstimateCardinalityBatch(ctx, []Query{probe}); err != nil {
+			t.Errorf("%s: batch: %v", tc.name, err)
+		}
+		if st := tc.est.CacheStats(); st != (RepCacheStats{}) {
+			t.Errorf("%s: post-estimate CacheStats = %+v, want zeros", tc.name, st)
+		}
+	}
+}
+
 // TestNilPoolReturnsErrorNotPanic: a default (cache-on) estimator over a
 // nil pool must surface the configuration error, not nil-deref in the
 // cache revalidation.

@@ -111,27 +111,34 @@ func (e *Estimator) EstimateCards(ctx context.Context, queries []query.Query) ([
 		final = pool.Median
 	}
 
-	// Gather every query's pool candidates and lay their rate pairs out in
-	// one flat list: (Qold, Qnew) then (Qnew, Qold) per candidate.
+	// Gather every query's pool candidates into one arena and lay their
+	// rate pairs out in one flat list: (Qold, Qnew) then (Qnew, Qold) per
+	// candidate. The arena amortizes the per-probe copy Matching would
+	// make — under request coalescing this path runs for every single-query
+	// estimate, so its allocation count is serving-hot.
 	type span struct {
-		matches []pool.Entry
-		off     int // first pair index in the flat list
+		lo, hi int // usable entries in arena[lo:hi]
+		off    int // first pair index in the flat list
 	}
 	spans := make([]span, len(queries))
+	arena := make([]pool.Entry, 0, 8*len(queries))
 	total := 0
 	for i, qnew := range queries {
-		matches := e.Pool.Matching(qnew)
+		lo := len(arena)
+		arena = e.Pool.AppendMatching(arena, qnew)
 		// Old queries with empty results carry no information: the
 		// containment rate of an empty query is 0 by definition (§2), so
 		// x_rate/y_rate·0 degenerates to 0 regardless of the rates.
-		usable := matches[:0]
-		for _, m := range matches {
+		w := lo
+		for _, m := range arena[lo:] {
 			if m.Card > 0 {
-				usable = append(usable, m)
+				arena[w] = m
+				w++
 			}
 		}
-		spans[i] = span{matches: usable, off: 2 * total}
-		total += len(usable)
+		arena = arena[:w]
+		spans[i] = span{lo: lo, hi: w, off: 2 * total}
+		total += w - lo
 	}
 
 	var rates []float64
@@ -147,7 +154,7 @@ func (e *Estimator) EstimateCards(ctx context.Context, queries []query.Query) ([
 		for i, qnew := range queries {
 			qi := len(list)
 			list = append(list, qnew)
-			for _, m := range spans[i].matches {
+			for _, m := range arena[spans[i].lo:spans[i].hi] {
 				mi, ok := seen[m.ID]
 				if !ok {
 					mi = len(list)
@@ -161,7 +168,7 @@ func (e *Estimator) EstimateCards(ctx context.Context, queries []query.Query) ([
 	} else {
 		pairs := make([][2]query.Query, 0, 2*total)
 		for i, qnew := range queries {
-			for _, m := range spans[i].matches {
+			for _, m := range arena[spans[i].lo:spans[i].hi] {
 				pairs = append(pairs, [2]query.Query{m.Q, qnew}, [2]query.Query{qnew, m.Q})
 			}
 		}
@@ -172,10 +179,11 @@ func (e *Estimator) EstimateCards(ctx context.Context, queries []query.Query) ([
 	}
 
 	out := make([]float64, len(queries))
+	var results []float64 // reused across queries; final() must not retain it
 	for i, qnew := range queries {
 		sp := spans[i]
-		var results []float64
-		for mi, m := range sp.matches {
+		results = results[:0]
+		for mi, m := range arena[sp.lo:sp.hi] {
 			xRate := rates[sp.off+2*mi]   // Qold ⊂% Qnew
 			yRate := rates[sp.off+2*mi+1] // Qnew ⊂% Qold
 			if yRate <= eps {

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"crn/internal/metrics"
@@ -124,6 +125,13 @@ type Model struct {
 	// whole lifetime; the channel bounds how many arenas idle concurrency
 	// can strand.
 	wsFree chan *nn.Workspace
+
+	// foldCache memoizes the folded pair-head weights (see headFold):
+	// they depend only on the frozen trained weights, so serving computes
+	// them once per model instead of once per request. Training invalidates
+	// the fold (weights mutate); the pointer swap makes the invalidation
+	// safe against concurrent readers, which keep their loaded fold.
+	foldCache atomic.Pointer[headFold]
 }
 
 // NewModel initializes an untrained CRN for feature dimension dim.
@@ -336,6 +344,62 @@ func (m *Model) EncodeSetsWS(ws *nn.Workspace, sets [][][]float64) (reps1, reps2
 	return reps1, reps2
 }
 
+// headFold is the pair-head weight layout precomputed for serving: MLPout's
+// first weight matrix split into its four H-row blocks W1..W4 with the
+// per-side blocks folded (W1+W3, W2+W3 — see PairPredictor for the
+// factorization). The fold depends only on the trained weights, so it is
+// computed once per model (headFold on Model) and shared by every predictor
+// and every cached partial product; w3/w4/b1/w2 are views into the live
+// parameter storage, valid while the weights stay frozen (training
+// invalidates the fold).
+type headFold struct {
+	h        int
+	w13, w23 *nn.Matrix // H×2H folded per-side weights: W1+W3, W2+W3
+	w3, w4   []float64  // raw W3 and W4 blocks (views)
+	b1, w2   []float64  // first-layer bias, second-layer weights (views)
+	b2       float64
+}
+
+// headFold returns the memoized folded head weights, computing them on
+// first use. Concurrent first calls may both compute; the CAS keeps one
+// winner and both results are bit-identical (same frozen weights, same
+// deterministic arithmetic).
+func (m *Model) headFold() *headFold {
+	if f := m.foldCache.Load(); f != nil {
+		return f
+	}
+	h := m.cfg.Hidden
+	cols := 2 * h
+	w1 := m.out1.W.W // 4H×2H, row-major
+	f := &headFold{
+		h:   h,
+		w13: nn.NewMatrix(h, cols),
+		w23: nn.NewMatrix(h, cols),
+		w3:  w1[2*h*cols : 3*h*cols],
+		w4:  w1[3*h*cols : 4*h*cols],
+		b1:  m.out1.B.W,
+		w2:  m.out2.W.W,
+		b2:  m.out2.B.W[0],
+	}
+	for i := range f.w13.Data {
+		f.w13.Data[i] = w1[i] + f.w3[i]
+		f.w23.Data[i] = w1[h*cols+i] + f.w3[i]
+	}
+	m.foldCache.CompareAndSwap(nil, f)
+	if g := m.foldCache.Load(); g != nil {
+		return g
+	}
+	// An invalidation raced between the CAS and the re-load; the locally
+	// built fold is still a consistent snapshot, so serve with it rather
+	// than hand the caller a nil.
+	return f
+}
+
+// invalidateHeadFold discards the memoized fold; called whenever the
+// weights are about to change (training) or have just changed (best-weight
+// restore), so serving after training refolds from the new weights.
+func (m *Model) invalidateHeadFold() { m.foldCache.Store(nil) }
+
 // PairPredictor is the precomputed serving head for one batch of
 // representations: the per-representation partial products of the factorized
 // Expand layer, built once and shared across every (possibly concurrent)
@@ -350,54 +414,67 @@ func (m *Model) EncodeSetsWS(ws *nn.Workspace, sets [][][]float64) (reps1, reps2
 // where the per-pair sum runs only over coordinates nonzero in BOTH
 // representations (the set modules pool ReLU outputs, so representations
 // are non-negative and min(a,0) = 0 = a·0). The first two terms depend on
-// one representation each and are precomputed here, then reused across
-// every pair that mentions the representation — the queries-pool scan of a
+// one representation each and are precomputed, then reused across every
+// pair that mentions the representation — the queries-pool scan of a
 // 64-probe batch mentions each pool entry up to 128 times, so per pair only
 // the sparse intersection term remains.
+//
+// Rows come from up to two sources: an optional resident base (the cache's
+// pool-resident precompute, rows [0, baseRows)) and the request-local extra
+// matrices (rows from baseRows up). The optional rowOf table translates
+// pair indices first, letting the serving path address cached rows in
+// place with no per-request copying.
 type PairPredictor struct {
-	h            int
+	f        *headFold
+	baseRows int
+	// resident base rows (nil matrices when baseRows == 0).
+	bR1, bR2, bP1, bP2 *nn.Matrix
+	// request-local rows.
 	reps1, reps2 *nn.Matrix
 	p1, p2       *nn.Matrix // reps1·(W1+W3), reps2·(W2+W3)
-	w3, w4       []float64
-	b1, w2       []float64
-	b2           float64
+	// rowOf, when non-nil, maps pair indices to row indices.
+	rowOf []int
 }
 
-// NewPairPredictor folds the head weights and precomputes the per-side
-// partial products for the given representations (reps1 through MLP1,
-// reps2 through MLP2 — the two outputs of EncodeSets).
+// NewPairPredictor precomputes the per-side partial products for the given
+// representations (reps1 through MLP1, reps2 through MLP2 — the two outputs
+// of EncodeSets), using the model's memoized weight fold.
 func (m *Model) NewPairPredictor(reps1, reps2 *nn.Matrix) *PairPredictor {
 	return m.NewPairPredictorWS(nil, reps1, reps2)
 }
 
-// NewPairPredictorWS is NewPairPredictor with the folded weights and
-// partial products taken from ws; the predictor is then valid until the
-// workspace's next Reset.
+// NewPairPredictorWS is NewPairPredictor with the partial products taken
+// from ws; the predictor is then valid until the workspace's next Reset.
 func (m *Model) NewPairPredictorWS(ws *nn.Workspace, reps1, reps2 *nn.Matrix) *PairPredictor {
-	h := m.cfg.Hidden
-	w1 := m.out1.W.W // 4H×2H, row-major
-	cols := 2 * h
-	w3 := w1[2*h*cols : 3*h*cols]
-	w4 := w1[3*h*cols : 4*h*cols]
-	// Folded per-side weights: W1+W3 and W2+W3.
-	w13 := ws.Take(h, cols)
-	w23 := ws.Take(h, cols)
-	for i := range w13.Data {
-		w13.Data[i] = w1[i] + w3[i]
-		w23.Data[i] = w1[h*cols+i] + w3[i]
-	}
+	f := m.headFold()
+	cols := 2 * f.h
 	p1 := ws.Take(reps1.Rows, cols)
-	nn.MatMul(p1, reps1, w13)
+	nn.MatMul(p1, reps1, f.w13)
 	p2 := ws.Take(reps2.Rows, cols)
-	nn.MatMul(p2, reps2, w23)
+	nn.MatMul(p2, reps2, f.w23)
 	return &PairPredictor{
-		h:     h,
+		f:     f,
 		reps1: reps1, reps2: reps2,
 		p1: p1, p2: p2,
-		w3: w3, w4: w4,
-		b1: m.out1.B.W, w2: m.out2.W.W,
-		b2: m.out2.B.W[0],
 	}
+}
+
+// rows1 resolves row i of the MLP1 side against the base/extra split.
+func (p *PairPredictor) rows1(i int) (rep, pp []float64) {
+	if i < p.baseRows {
+		return p.bR1.Row(i), p.bP1.Row(i)
+	}
+	i -= p.baseRows
+	return p.reps1.Row(i), p.p1.Row(i)
+}
+
+// rows2 resolves row i of the MLP2 side against the base/extra split.
+func (p *PairPredictor) rows2(i int) (rep, pp []float64) {
+	if i < p.baseRows {
+		return p.bR2.Row(i), p.bP2.Row(i)
+	}
+	i -= p.baseRows
+	return p.reps2.Row(i), p.p2.Row(i)
 }
 
 // Predict evaluates the head for each pair (i, j) of representation
@@ -413,14 +490,19 @@ func (p *PairPredictor) Predict(pairs [][2]int) []float64 {
 // be ≥ len(pairs)) with workspace-backed scratch, so concurrent chunk
 // evaluations stay allocation-free: give each goroutine its own workspace.
 func (p *PairPredictor) PredictInto(dst []float64, pairs [][2]int, ws *nn.Workspace) {
-	h := p.h
+	h := p.f.h
 	cols := 2 * h
 	out := dst[:len(pairs)]
 	z := ws.Take(1, cols).Data
 	for i, pair := range pairs {
-		r1, r2 := p.reps1.Row(pair[0]), p.reps2.Row(pair[1])
-		q1 := p.p1.Row(pair[0])[:cols]
-		q2 := p.p2.Row(pair[1])[:cols]
+		i1, i2 := pair[0], pair[1]
+		if p.rowOf != nil {
+			i1, i2 = p.rowOf[i1], p.rowOf[i2]
+		}
+		r1, q1 := p.rows1(i1)
+		r2, q2 := p.rows2(i2)
+		q1 = q1[:cols]
+		q2 = q2[:cols]
 		zz := z[:cols]
 		for j := range zz {
 			zz[j] = q1[j] + q2[j]
@@ -436,18 +518,27 @@ func (p *PairPredictor) PredictInto(dst []float64, pairs [][2]int, ws *nn.Worksp
 			}
 			mn *= -2
 			pr := a * b
-			row3 := p.w3[k*cols : (k+1)*cols]
-			row4 := p.w4[k*cols : (k+1)*cols][:len(row3)]
+			row3 := p.f.w3[k*cols : (k+1)*cols]
+			row4 := p.f.w4[k*cols : (k+1)*cols][:len(row3)]
 			zr := zz[:len(row3)]
-			for j, wv := range row3 {
-				zr[j] += mn*wv + pr*row4[j]
+			// 4-wide unroll: this is the serving hot loop (every pair pays
+			// it h times), and cols is a multiple of 4 for any even H.
+			j := 0
+			for ; j+4 <= len(row3); j += 4 {
+				zr[j] += mn*row3[j] + pr*row4[j]
+				zr[j+1] += mn*row3[j+1] + pr*row4[j+1]
+				zr[j+2] += mn*row3[j+2] + pr*row4[j+2]
+				zr[j+3] += mn*row3[j+3] + pr*row4[j+3]
+			}
+			for ; j < len(row3); j++ {
+				zr[j] += mn*row3[j] + pr*row4[j]
 			}
 		}
 		// Bias, ReLU, second layer, sigmoid — scalar output per pair.
-		s := p.b2
+		s := p.f.b2
 		for j, zv := range zz {
-			if a := zv + p.b1[j]; a > 0 {
-				s += a * p.w2[j]
+			if a := zv + p.f.b1[j]; a > 0 {
+				s += a * p.f.w2[j]
 			}
 		}
 		out[i] = 1 / (1 + math.Exp(-s))
@@ -485,6 +576,11 @@ func (m *Model) TrainCtx(ctx context.Context, train, val []Sample, progress func
 	if len(train) == 0 {
 		return nil, fmt.Errorf("crn: empty training set")
 	}
+	// Weights are about to mutate: drop the serving-side weight fold now and
+	// again on exit, so predictors built after training refold from the
+	// final (possibly restored-best) weights.
+	m.invalidateHeadFold()
+	defer m.invalidateHeadFold()
 	loss := m.lossFn()
 	opt := nn.NewAdam(m.cfg.LR)
 	rng := rand.New(rand.NewSource(m.cfg.Seed + 1))

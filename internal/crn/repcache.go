@@ -3,58 +3,154 @@ package crn
 import (
 	"sync"
 	"sync/atomic"
+
+	"crn/internal/nn"
 )
 
-// RepCache memoizes the set-module representations (the EncodeSets outputs)
-// of queries by canonical key across requests. In the §5.2 serving
-// deployment every batched estimate pushes each matching pool entry through
-// MLP1 and MLP2; the pool is stable between executions, so those encodings
-// are recomputed endlessly. With a cache a pool entry is encoded once per
-// pool version instead of once per batch.
+// RepCache is the serving cache of the §5.2 deployment: it memoizes, per
+// query (by canonical key), everything the pair head needs that does not
+// depend on the partner query — the set-module representations (the
+// EncodeSets outputs) AND the per-representation partial products of the
+// factorized head (see PairPredictor). The queries pool is stable between
+// executions, so without a cache those values are recomputed endlessly:
+// every estimate pays O(pool·dim) re-encoding and re-multiplying for
+// entries that have not changed. With the cache, a pool entry is computed
+// once per pool version and a single-query estimate computes only its own
+// probe side.
 //
-// Correctness model: a cached representation depends only on the query's
-// canonical text, the feature encoder's statistics and the frozen model
-// weights. Invalidation is therefore conservative and explicit:
+// The cache is organized in two tiers:
+//
+//   - A resident tier for the recurring working set (in steady state: the
+//     pool entries, plus repeated probes). It is an immutable snapshot —
+//     four matrices with one row per resident query plus a key→row index —
+//     republished copy-on-write when entries are promoted. The serving hot
+//     path reads it with one atomic load and references rows in place:
+//     no lock, no copy, O(1) per query.
+//   - A sharded tier for queries seen once. It is a lock-striped map
+//     (repShards power-of-two shards, selected by a hash of the canonical
+//     key), so concurrent misses and first-sightings never contend on a
+//     single mutex. Hits copy the entry out; an entry hit in the sharded
+//     tier has recurred, so it is promoted to the resident tier and the
+//     next request reads it lock- and copy-free.
+//
+// Correctness model: a cached entry depends only on the query's canonical
+// text, the feature encoder's statistics and the frozen model weights.
+// Invalidation is therefore conservative and explicit:
 //
 //   - Validate(poolVersion) clears the cache whenever the observed pool
 //     version changes — the facade calls it before every estimate, so a
 //     /record (or any pool mutation) flushes stale state by construction.
 //     This is deliberately stricter than the dependency set above requires
-//     (pool growth does not change any cached representation): it trades
-//     hit rate under record-heavy workloads for invalidation that stays
-//     correct even if representations ever grow a pool dependency. In the
-//     estimate-dominated §5.2 deployment the pool working set re-warms in
-//     one batch.
+//     (pool growth does not change any cached entry): it trades hit rate
+//     under record-heavy workloads for invalidation that stays correct even
+//     if cached values ever grow a pool dependency. In the
+//     estimate-dominated §5.2 deployment the working set re-warms in two
+//     batches (one to see each entry, one to promote it).
 //   - Invalidate() clears unconditionally, for model or encoder swaps.
 //
-// Capacity is bounded: when full, an arbitrary eighth of the entries is
-// evicted (the pool working set is orders of magnitude below any sensible
-// capacity, so eviction is a safety valve, not a tuning knob). All methods
-// are safe for concurrent use.
+// Capacity is bounded per tier: the resident tier stops promoting at the
+// configured capacity, and each shard evicts an arbitrary eighth of its
+// entries when its share of the capacity fills (the serving working set is
+// orders of magnitude below any sensible capacity, so eviction is a safety
+// valve, not a tuning knob). All methods are safe for concurrent use, and
+// cached values are bit-identical to recomputation because every kernel's
+// per-row result is independent of batch composition (see package nn).
 type RepCache struct {
-	mu      sync.RWMutex
-	entries map[string]repEntry
+	shards   [repShards]repShard
+	resident atomic.Pointer[residentSnap]
+
+	// flushMu serializes version transitions and full flushes; the
+	// unchanged-version fast path never takes it.
+	flushMu sync.Mutex
+	// promoteMu serializes copy-on-write republications of the resident
+	// snapshot.
+	promoteMu sync.Mutex
+
 	version atomic.Uint64
 	started atomic.Bool // version observed at least once
 	cap     int
+	// gen counts flushes. Requests capture it before reading the cache and
+	// hand it back with their insert/promote writebacks; a mismatch means a
+	// flush (pool mutation, model swap) happened mid-request, and values
+	// computed against the pre-flush state must not re-enter the cache.
+	gen atomic.Uint64
+	// size counts sharded-tier entries across all shards, so admission
+	// control enforces the global capacity without locking every shard.
+	size atomic.Int64
 
-	hits, misses atomic.Uint64
+	hits, misses, promoted atomic.Uint64
 }
 
+// repShards is the lock-stripe count of the sharded tier. Power of two so
+// shard selection is a mask; 16 stripes keep the probability of two
+// concurrent requests contending on one mutex low at any realistic core
+// count without bloating the struct.
+const repShards = 16
+
+type repShard struct {
+	mu      sync.RWMutex
+	entries map[string]repEntry
+}
+
+// repEntry packs one query's cached values in a single slice:
+// rep1 | rep2 | pp1 | pp2 (lengths h, h, 2h, 2h).
 type repEntry struct {
-	rep1, rep2 []float64
+	data []float64
+}
+
+// residentSnap is one immutable publication of the resident tier. byKey
+// maps canonical query keys to row indices valid in all four matrices.
+// Never mutated after publication — readers hold it without locks.
+type residentSnap struct {
+	byKey map[string]int
+	reps1 *nn.Matrix // n×h rows through MLP1
+	reps2 *nn.Matrix // n×h rows through MLP2
+	pp1   *nn.Matrix // n×2h rows: reps1·(W1+W3)
+	pp2   *nn.Matrix // n×2h rows: reps2·(W2+W3)
+}
+
+// rows returns the number of resident entries.
+func (s *residentSnap) rows() int {
+	if s == nil {
+		return 0
+	}
+	return s.reps1.Rows
 }
 
 // DefaultRepCacheSize is the default entry bound of a serving cache.
 const DefaultRepCacheSize = 8192
 
-// NewRepCache creates a cache bounded to capacity entries
+// NewRepCache creates a cache bounded to capacity entries per tier
 // (capacity <= 0 uses DefaultRepCacheSize).
 func NewRepCache(capacity int) *RepCache {
 	if capacity <= 0 {
 		capacity = DefaultRepCacheSize
 	}
-	return &RepCache{entries: make(map[string]repEntry), cap: capacity}
+	c := &RepCache{cap: capacity}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]repEntry)
+	}
+	return c
+}
+
+// fnv1a hashes a key for shard selection.
+func fnv1a(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// shard selects the lock stripe for a key (FNV-1a over the canonical key,
+// masked to the power-of-two stripe count).
+func (c *RepCache) shard(key string) *repShard {
+	return &c.shards[fnv1a(key)&(repShards-1)]
 }
 
 // Validate flushes the cache if the observed pool version differs from the
@@ -69,55 +165,100 @@ func (c *RepCache) Validate(version uint64) {
 	if c.started.Load() && c.version.Load() == version {
 		return
 	}
-	c.mu.Lock()
+	c.flushMu.Lock()
 	switch {
 	case !c.started.Load():
 		c.started.Store(true)
 	case c.version.Load() != version:
-		c.entries = make(map[string]repEntry)
+		c.flush()
 	}
 	c.version.Store(version)
-	c.mu.Unlock()
+	c.flushMu.Unlock()
 }
 
-// Invalidate unconditionally discards every cached representation.
+// Invalidate unconditionally discards every cached entry in both tiers.
 func (c *RepCache) Invalidate() {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	c.entries = make(map[string]repEntry)
-	c.mu.Unlock()
+	c.flushMu.Lock()
+	c.flush()
+	c.flushMu.Unlock()
+}
+
+// flush clears both tiers. Callers hold flushMu. The generation bump
+// happens first, under promoteMu, and each shard is cleared under its own
+// lock: a writeback that captured the old generation either observes the
+// bump and drops itself, or completes before the corresponding clear and
+// is wiped by it — stale values cannot survive a flush either way.
+func (c *RepCache) flush() {
+	c.promoteMu.Lock()
+	c.gen.Add(1)
+	c.resident.Store(nil)
+	c.promoteMu.Unlock()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		c.size.Add(-int64(len(s.entries)))
+		s.entries = make(map[string]repEntry)
+		s.mu.Unlock()
+	}
 }
 
 // RepCacheStats is a point-in-time snapshot of cache effectiveness.
 type RepCacheStats struct {
 	Hits     uint64 `json:"hits"`
 	Misses   uint64 `json:"misses"`
-	Size     int    `json:"size"`
+	Size     int    `json:"size"`     // entries across both tiers
+	Resident int    `json:"resident"` // entries in the zero-copy resident tier
+	Promoted uint64 `json:"promoted"` // lifetime promotions into the resident tier
 	Capacity int    `json:"capacity"`
+	Shards   int    `json:"shards"`
 }
 
-// Stats returns hit/miss counters and the current size.
+// Stats returns hit/miss counters and tier occupancy. Safe on a nil cache
+// (estimators without representation caching report zeros).
 func (c *RepCache) Stats() RepCacheStats {
 	if c == nil {
 		return RepCacheStats{}
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return RepCacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Size: len(c.entries), Capacity: c.cap}
+	st := RepCacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Promoted: c.promoted.Load(),
+		Capacity: c.cap,
+		Shards:   repShards,
+	}
+	st.Resident = c.resident.Load().rows()
+	st.Size = st.Resident
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		st.Size += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return st
 }
 
-// lookup copies the cached representations for key into dst1/dst2 and
-// reports whether it hit. dst1/dst2 must have the model's hidden length.
-func (c *RepCache) lookup(key string, dst1, dst2 []float64) bool {
-	c.mu.RLock()
-	e, ok := c.entries[key]
-	if ok {
-		copy(dst1, e.rep1)
-		copy(dst2, e.rep2)
+// lookup copies the sharded-tier entry for key into the four destination
+// rows and reports whether it hit. The caller resolves the resident tier
+// first (via resident.Load); a sharded hit means the entry recurred and is
+// a promotion candidate. Destination lengths must match the entry layout
+// (h, h, 2h, 2h for the model's hidden width).
+func (c *RepCache) lookup(key string, rep1, rep2, pp1, pp2 []float64) bool {
+	s := c.shard(key)
+	s.mu.RLock()
+	e, ok := s.entries[key]
+	if ok && len(e.data) == len(rep1)+len(rep2)+len(pp1)+len(pp2) {
+		off := 0
+		off += copy(rep1, e.data[off:])
+		off += copy(rep2, e.data[off:])
+		off += copy(pp1, e.data[off:])
+		copy(pp2, e.data[off:])
+	} else {
+		ok = false
 	}
-	c.mu.RUnlock()
+	s.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
@@ -126,29 +267,155 @@ func (c *RepCache) lookup(key string, dst1, dst2 []float64) bool {
 	return ok
 }
 
-// insert stores the representations for key, cloning both slices.
-func (c *RepCache) insert(key string, rep1, rep2 []float64) {
-	buf := make([]float64, len(rep1)+len(rep2))
-	r1 := buf[:len(rep1):len(rep1)]
-	r2 := buf[len(rep1):]
-	copy(r1, rep1)
-	copy(r2, rep2)
-	c.mu.Lock()
-	if len(c.entries) >= c.cap {
-		if _, exists := c.entries[key]; !exists {
-			drop := c.cap / 8
-			if drop < 1 {
-				drop = 1
+// hitResident records a resident-tier hit (the lookup itself is the
+// caller's map read on the snapshot).
+func (c *RepCache) hitResident() { c.hits.Add(1) }
+
+// insert stores a first-seen entry in the sharded tier, cloning all four
+// slices into one packed buffer. gen is the generation the caller captured
+// before computing the entry: if a flush intervened, the entry reflects
+// pre-flush state and is dropped. When the tier is at capacity, roughly an
+// eighth of the entries is evicted first (walking shards from the target
+// one), so sustained unique-probe traffic cannot grow the tier unboundedly.
+func (c *RepCache) insert(gen uint64, key string, rep1, rep2, pp1, pp2 []float64) {
+	buf := make([]float64, 0, len(rep1)+len(rep2)+len(pp1)+len(pp2))
+	buf = append(buf, rep1...)
+	buf = append(buf, rep2...)
+	buf = append(buf, pp1...)
+	buf = append(buf, pp2...)
+	s := c.shard(key)
+	s.mu.Lock()
+	if c.gen.Load() != gen {
+		// Flushed since the caller read the cache; see flush for why this
+		// check under the shard lock cannot race with the shard clear.
+		s.mu.Unlock()
+		return
+	}
+	_, exists := s.entries[key]
+	s.entries[key] = repEntry{data: buf}
+	if !exists && int(c.size.Add(1)) > c.cap {
+		s.mu.Unlock()
+		c.evict(key)
+		return
+	}
+	s.mu.Unlock()
+}
+
+// evict removes about an eighth of the capacity from the sharded tier
+// (always at least enough to return under the bound), sparing keep — the
+// entry whose insertion triggered the eviction.
+func (c *RepCache) evict(keep string) {
+	target := int64(c.cap) - int64(c.cap)/8
+	if target < 0 {
+		target = 0
+	}
+	start := int(fnv1a(keep) & (repShards - 1))
+	for i := 0; i < repShards && c.size.Load() > target; i++ {
+		s := &c.shards[(start+i)%repShards]
+		s.mu.Lock()
+		for k := range s.entries {
+			if k == keep {
+				continue
 			}
-			for k := range c.entries {
-				delete(c.entries, k)
-				drop--
-				if drop <= 0 {
-					break
-				}
+			delete(s.entries, k)
+			if c.size.Add(-1) <= target {
+				break
 			}
 		}
+		s.mu.Unlock()
 	}
-	c.entries[key] = repEntry{rep1: r1, rep2: r2}
-	c.mu.Unlock()
+}
+
+// promotion is one entry to move into the resident tier; the row slices
+// may live in request-local workspace storage (promote copies them).
+type promotion struct {
+	key                  string
+	rep1, rep2, pp1, pp2 []float64
+}
+
+// promote republishes the resident snapshot with the given entries
+// appended (copy-on-write). gen is the generation the caller captured
+// before reading the cache: promotions gathered before a flush are
+// discarded, so stale rows cannot resurrect into a freshly flushed tier.
+// Keys already resident — promoted concurrently by another request — and
+// keys duplicated within the batch are skipped, as is everything beyond
+// the capacity bound. Promoted keys are removed from the sharded tier.
+func (c *RepCache) promote(gen uint64, promos []promotion) {
+	if len(promos) == 0 {
+		return
+	}
+	c.promoteMu.Lock()
+	if c.gen.Load() != gen {
+		c.promoteMu.Unlock()
+		return
+	}
+	old := c.resident.Load()
+	oldRows := old.rows()
+	fresh := promos[:0]
+	seen := make(map[string]bool, len(promos))
+	for _, p := range promos {
+		if seen[p.key] {
+			continue
+		}
+		if old != nil {
+			if _, ok := old.byKey[p.key]; ok {
+				continue
+			}
+		}
+		if oldRows+len(fresh) >= c.cap {
+			break
+		}
+		seen[p.key] = true
+		fresh = append(fresh, p)
+	}
+	if len(fresh) == 0 {
+		c.promoteMu.Unlock()
+		return
+	}
+	h := len(fresh[0].rep1)
+	cols := len(fresh[0].pp1)
+	if old != nil && old.reps1.Cols != h {
+		// Layout changed underneath a stale snapshot (model swap without
+		// Invalidate): refuse to mix row widths.
+		c.promoteMu.Unlock()
+		return
+	}
+	n := oldRows + len(fresh)
+	next := &residentSnap{
+		byKey: make(map[string]int, n),
+		reps1: nn.NewMatrix(n, h),
+		reps2: nn.NewMatrix(n, h),
+		pp1:   nn.NewMatrix(n, cols),
+		pp2:   nn.NewMatrix(n, cols),
+	}
+	if old != nil {
+		for k, v := range old.byKey {
+			next.byKey[k] = v
+		}
+		copy(next.reps1.Data, old.reps1.Data)
+		copy(next.reps2.Data, old.reps2.Data)
+		copy(next.pp1.Data, old.pp1.Data)
+		copy(next.pp2.Data, old.pp2.Data)
+	}
+	for i, p := range fresh {
+		row := oldRows + i
+		next.byKey[p.key] = row
+		copy(next.reps1.Row(row), p.rep1)
+		copy(next.reps2.Row(row), p.rep2)
+		copy(next.pp1.Row(row), p.pp1)
+		copy(next.pp2.Row(row), p.pp2)
+	}
+	c.resident.Store(next)
+	c.promoted.Add(uint64(len(fresh)))
+	c.promoteMu.Unlock()
+
+	for _, p := range fresh {
+		s := c.shard(p.key)
+		s.mu.Lock()
+		if _, ok := s.entries[p.key]; ok {
+			delete(s.entries, p.key)
+			c.size.Add(-1)
+		}
+		s.mu.Unlock()
+	}
 }

@@ -10,42 +10,61 @@ import (
 	"crn/internal/sqlparse"
 )
 
+// cacheRow builds the four packed row slices (h=1, 2h=2) used by the small
+// cache tests: rep1, rep2, pp1, pp2 with recognizable values derived from v.
+func cacheRow(v float64) ([]float64, []float64, []float64, []float64) {
+	return []float64{v}, []float64{v + 1}, []float64{v + 2, v + 3}, []float64{v + 4, v + 5}
+}
+
+func lookupRow(c *RepCache, key string) (bool, [6]float64) {
+	r1, r2 := make([]float64, 1), make([]float64, 1)
+	p1, p2 := make([]float64, 2), make([]float64, 2)
+	ok := c.lookup(key, r1, r2, p1, p2)
+	return ok, [6]float64{r1[0], r2[0], p1[0], p1[1], p2[0], p2[1]}
+}
+
 func TestRepCacheLookupInsertStats(t *testing.T) {
-	c := NewRepCache(4)
-	d1 := make([]float64, 2)
-	d2 := make([]float64, 2)
-	if c.lookup("a", d1, d2) {
+	c := NewRepCache(64)
+	if ok, _ := lookupRow(c, "a"); ok {
 		t.Fatal("empty cache should miss")
 	}
-	c.insert("a", []float64{1, 2}, []float64{3, 4})
-	if !c.lookup("a", d1, d2) {
+	r1, r2, p1, p2 := cacheRow(10)
+	c.insert(c.gen.Load(), "a", r1, r2, p1, p2)
+	ok, got := lookupRow(c, "a")
+	if !ok {
 		t.Fatal("inserted key should hit")
 	}
-	if d1[0] != 1 || d1[1] != 2 || d2[0] != 3 || d2[1] != 4 {
-		t.Fatalf("lookup copied %v %v", d1, d2)
+	if got != [6]float64{10, 11, 12, 13, 14, 15} {
+		t.Fatalf("lookup copied %v", got)
 	}
 	st := c.Stats()
-	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 || st.Capacity != 4 {
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 || st.Capacity != 64 || st.Shards != repShards {
 		t.Fatalf("stats = %+v", st)
 	}
 	// Inserted slices are clones: mutating the source must not leak in.
-	src1, src2 := []float64{9, 9}, []float64{8, 8}
-	c.insert("b", src1, src2)
-	src1[0] = -1
-	c.lookup("b", d1, d2)
-	if d1[0] != 9 {
-		t.Error("insert must clone its inputs")
+	s1, s2, s3, s4 := cacheRow(20)
+	c.insert(c.gen.Load(), "b", s1, s2, s3, s4)
+	s1[0], s3[1] = -1, -1
+	if _, got := lookupRow(c, "b"); got[0] != 20 || got[3] != 23 {
+		t.Errorf("insert must clone its inputs: %v", got)
+	}
+	// A stale-layout entry (different widths than the caller expects) is a
+	// miss, never a partial copy.
+	wide := make([]float64, 3)
+	if c.lookup("a", wide, wide, wide, wide) {
+		t.Error("layout-mismatched lookup must miss")
 	}
 }
 
 func TestRepCacheInvalidateAndValidate(t *testing.T) {
 	c := NewRepCache(8)
-	c.insert("a", []float64{1}, []float64{2})
+	a1, a2, a3, a4 := cacheRow(1)
+	c.insert(c.gen.Load(), "a", a1, a2, a3, a4)
 	c.Invalidate()
 	if c.Stats().Size != 0 {
 		t.Fatal("Invalidate should clear")
 	}
-	c.insert("a", []float64{1}, []float64{2})
+	c.insert(c.gen.Load(), "a", a1, a2, a3, a4)
 	c.Validate(3) // first observation adopts without flushing
 	if c.Stats().Size != 1 {
 		t.Fatal("first Validate must not flush")
@@ -60,18 +79,116 @@ func TestRepCacheInvalidateAndValidate(t *testing.T) {
 	}
 }
 
-func TestRepCacheCapacityBound(t *testing.T) {
+func TestRepCachePromotion(t *testing.T) {
 	c := NewRepCache(8)
-	for i := 0; i < 100; i++ {
-		c.insert(fmt.Sprintf("k%d", i), []float64{float64(i)}, []float64{0})
+	r1, r2, p1, p2 := cacheRow(7)
+	c.promote(c.gen.Load(), []promotion{{key: "a", rep1: r1, rep2: r2, pp1: p1, pp2: p2}})
+	snap := c.resident.Load()
+	if snap == nil || snap.rows() != 1 {
+		t.Fatalf("promotion did not publish: %+v", snap)
 	}
-	if s := c.Stats().Size; s > 8 {
+	ri, ok := snap.byKey["a"]
+	if !ok || snap.reps1.Row(ri)[0] != 7 || snap.pp2.Row(ri)[1] != 12 {
+		t.Fatalf("resident row wrong: %v", snap)
+	}
+	// Promotion copies: mutating the source must not reach the snapshot.
+	r1[0] = -1
+	if snap.reps1.Row(ri)[0] != 7 {
+		t.Error("promote must copy its inputs")
+	}
+	// Promoting a resident key again is a no-op (no duplicate rows).
+	c.promote(c.gen.Load(), []promotion{{key: "a", rep1: r1, rep2: r2, pp1: p1, pp2: p2}})
+	if got := c.resident.Load().rows(); got != 1 {
+		t.Fatalf("duplicate promotion grew resident tier to %d", got)
+	}
+	// A second key appends while the first row's values survive.
+	q1, q2, q3, q4 := cacheRow(20)
+	c.promote(c.gen.Load(), []promotion{{key: "b", rep1: q1, rep2: q2, pp1: q3, pp2: q4}})
+	snap = c.resident.Load()
+	if snap.rows() != 2 || snap.reps1.Row(snap.byKey["a"])[0] != 7 || snap.reps1.Row(snap.byKey["b"])[0] != 20 {
+		t.Fatalf("append lost rows: %+v", snap.byKey)
+	}
+	// Promotion removes the entry from the sharded tier.
+	y1, y2, y3, y4 := cacheRow(30)
+	c.insert(c.gen.Load(), "c", y1, y2, y3, y4)
+	x1, x2, x3, x4 := cacheRow(30)
+	c.promote(c.gen.Load(), []promotion{{key: "c", rep1: x1, rep2: x2, pp1: x3, pp2: x4}})
+	st := c.Stats()
+	if st.Resident != 3 || st.Size != 3 || st.Promoted != 3 {
+		t.Fatalf("post-promotion stats = %+v", st)
+	}
+	// Invalidate drops the resident tier too.
+	c.Invalidate()
+	if c.resident.Load() != nil || c.Stats().Resident != 0 {
+		t.Fatal("Invalidate must drop the resident snapshot")
+	}
+}
+
+// TestRepCacheStaleWritebacksDropped is the regression gate for the
+// flush-vs-writeback race: inserts and promotions whose values were
+// computed before a flush (pool mutation, model swap) must not re-enter
+// the freshly flushed cache.
+func TestRepCacheStaleWritebacksDropped(t *testing.T) {
+	c := NewRepCache(8)
+	gen := c.gen.Load() // a request captures the generation, then computes
+	c.Invalidate()      // ... a flush lands mid-request ...
+	r1, r2, p1, p2 := cacheRow(7)
+	c.insert(gen, "a", r1, r2, p1, p2) // ... and the writebacks must drop
+	c.promote(gen, []promotion{{key: "b", rep1: r1, rep2: r2, pp1: p1, pp2: p2}})
+	if st := c.Stats(); st.Size != 0 || st.Resident != 0 {
+		t.Fatalf("stale writeback survived the flush: %+v", st)
+	}
+	// Current-generation writebacks still land.
+	c.insert(c.gen.Load(), "a", r1, r2, p1, p2)
+	c.promote(c.gen.Load(), []promotion{{key: "b", rep1: r1, rep2: r2, pp1: p1, pp2: p2}})
+	if st := c.Stats(); st.Size != 2 || st.Resident != 1 {
+		t.Fatalf("fresh writeback dropped: %+v", st)
+	}
+}
+
+// TestRepCachePromotionDedupsWithinBatch: duplicate keys in one promotion
+// batch (a batch estimate may carry the same probe twice) must produce one
+// resident row, not an unreachable duplicate that eats capacity.
+func TestRepCachePromotionDedupsWithinBatch(t *testing.T) {
+	c := NewRepCache(8)
+	r1, r2, p1, p2 := cacheRow(7)
+	c.promote(c.gen.Load(), []promotion{
+		{key: "a", rep1: r1, rep2: r2, pp1: p1, pp2: p2},
+		{key: "a", rep1: r1, rep2: r2, pp1: p1, pp2: p2},
+	})
+	snap := c.resident.Load()
+	if snap.rows() != 1 || len(snap.byKey) != 1 {
+		t.Fatalf("duplicate promotion created %d rows (%d keys)", snap.rows(), len(snap.byKey))
+	}
+}
+
+func TestRepCachePromotionRespectsCapacity(t *testing.T) {
+	c := NewRepCache(4)
+	var promos []promotion
+	for i := 0; i < 10; i++ {
+		r1, r2, p1, p2 := cacheRow(float64(i))
+		promos = append(promos, promotion{key: fmt.Sprintf("k%d", i), rep1: r1, rep2: r2, pp1: p1, pp2: p2})
+	}
+	c.promote(c.gen.Load(), promos)
+	if got := c.resident.Load().rows(); got > 4 {
+		t.Fatalf("resident tier exceeded capacity: %d", got)
+	}
+}
+
+func TestRepCacheCapacityBound(t *testing.T) {
+	c := NewRepCache(32) // 2 entries per shard
+	for i := 0; i < 300; i++ {
+		r1, r2, p1, p2 := cacheRow(float64(i))
+		c.insert(c.gen.Load(), fmt.Sprintf("k%d", i), r1, r2, p1, p2)
+	}
+	if s := c.Stats().Size; s > 32+repShards {
 		t.Fatalf("cache exceeded capacity: %d", s)
 	}
 	// Re-inserting an existing key at capacity must not evict others.
 	before := c.Stats().Size
 	for k := 0; k < 3; k++ {
-		c.insert("k99", []float64{1}, []float64{2})
+		z1, z2, z3, z4 := cacheRow(1)
+		c.insert(c.gen.Load(), "k299", z1, z2, z3, z4)
 	}
 	if after := c.Stats().Size; after < before {
 		t.Fatalf("overwrite shrank cache: %d -> %d", before, after)
@@ -85,9 +202,29 @@ func TestRepCacheCapacityBound(t *testing.T) {
 	}
 }
 
+// TestRepCacheShardSpread sanity-checks that the key hash actually stripes:
+// a few hundred distinct keys must not all land in one shard.
+func TestRepCacheShardSpread(t *testing.T) {
+	c := NewRepCache(10000)
+	for i := 0; i < 256; i++ {
+		r1, r2, p1, p2 := cacheRow(float64(i))
+		c.insert(c.gen.Load(), fmt.Sprintf("SELECT * FROM t WHERE t.a > %d", i), r1, r2, p1, p2)
+	}
+	max := 0
+	for i := range c.shards {
+		if n := len(c.shards[i].entries); n > max {
+			max = n
+		}
+	}
+	if max == 256 {
+		t.Fatal("all keys hashed to one shard")
+	}
+}
+
 // TestRatesCachedMatchesUncached is the core cache-equivalence gate:
-// estimates through a cached Rates — cold, warm, and after invalidation —
-// are bit-identical to the uncached adapter.
+// estimates through a cached Rates — cold, warm (sharded-tier hits),
+// resident (pool-resident precompute hits), and after invalidation — are
+// bit-identical to the uncached adapter.
 func TestRatesCachedMatchesUncached(t *testing.T) {
 	r, s := ratesFixture(t)
 	cached := &Rates{M: r.M, Enc: r.Enc, Cache: NewRepCache(64)}
@@ -109,7 +246,7 @@ func TestRatesCachedMatchesUncached(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for pass, label := range []string{"cold", "warm", "post-invalidate"} {
+	for pass, label := range []string{"cold", "warm", "resident", "post-invalidate"} {
 		if label == "post-invalidate" {
 			cached.Cache.Invalidate()
 		}
@@ -122,27 +259,46 @@ func TestRatesCachedMatchesUncached(t *testing.T) {
 				t.Fatalf("%s pass %d pair %d: cached %v uncached %v", label, pass, i, got[i], want[i])
 			}
 		}
+		if label == "resident" {
+			if st := cached.Cache.Stats(); st.Resident == 0 {
+				t.Fatalf("third pass should serve from the resident tier: %+v", st)
+			}
+		}
 	}
 	st := cached.Cache.Stats()
 	if st.Hits == 0 || st.Misses == 0 {
 		t.Errorf("expected both hits and misses, got %+v", st)
 	}
+	if st.Promoted == 0 {
+		t.Errorf("recurring queries were never promoted: %+v", st)
+	}
 }
 
-// TestRepCacheConcurrentUse hammers lookup/insert/invalidate from many
-// goroutines; run under -race this is the cache's thread-safety gate.
+// TestRepCacheConcurrentUse hammers lookup/insert/promote/invalidate from
+// many goroutines; run under -race this is the cache's thread-safety gate.
 func TestRepCacheConcurrentUse(t *testing.T) {
-	c := NewRepCache(32)
+	c := NewRepCache(64)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			d1, d2 := make([]float64, 4), make([]float64, 4)
+			r1, r2 := make([]float64, 1), make([]float64, 1)
+			p1, p2 := make([]float64, 2), make([]float64, 2)
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d", (w*7+i)%40)
-				if !c.lookup(key, d1, d2) {
-					c.insert(key, []float64{1, 2, 3, 4}, []float64{5, 6, 7, 8})
+				if snap := c.resident.Load(); snap != nil {
+					if ri, ok := snap.byKey[key]; ok {
+						_ = snap.reps1.Row(ri)[0]
+						c.hitResident()
+						continue
+					}
+				}
+				if c.lookup(key, r1, r2, p1, p2) {
+					c.promote(c.gen.Load(), []promotion{{key: key, rep1: r1, rep2: r2, pp1: p1, pp2: p2}})
+				} else {
+					a, b, d, e := cacheRow(float64(i))
+					c.insert(c.gen.Load(), key, a, b, d, e)
 				}
 				switch i % 50 {
 				case 17:

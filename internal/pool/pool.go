@@ -80,12 +80,16 @@ func (p *Pool) Version() uint64 {
 // FROM clause — the candidates for the Cnt2Crd technique. The returned
 // slice is a copy and safe to retain.
 func (p *Pool) Matching(q query.Query) []Entry {
+	return p.AppendMatching(nil, q)
+}
+
+// AppendMatching appends the entries matching q's FROM clause to dst and
+// returns the extended slice — the allocation-amortizing form of Matching
+// for batch estimators that reuse one arena across many probes.
+func (p *Pool) AppendMatching(dst []Entry, q query.Query) []Entry {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	src := p.byFrom[q.FROMKey()]
-	out := make([]Entry, len(src))
-	copy(out, src)
-	return out
+	return append(dst, p.byFrom[q.FROMKey()]...)
 }
 
 // Contains reports whether the exact query is pooled.
@@ -163,7 +167,9 @@ func (p *Pool) Subset(n int) *Pool {
 }
 
 // FinalFunc collapses the per-old-query cardinality estimates into the
-// final estimate (the function F of §5.3).
+// final estimate (the function F of §5.3). The caller may reuse the
+// slice's backing storage across invocations, so implementations must not
+// retain it past the call (copy first if sorting in place or keeping it).
 type FinalFunc func([]float64) float64
 
 // Median is the paper's chosen final function (§5.3.1, §6.3).

@@ -9,6 +9,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"crn/internal/schema"
@@ -39,7 +40,9 @@ type Predicate struct {
 }
 
 // String renders the predicate as SQL.
-func (p Predicate) String() string { return fmt.Sprintf("%s %s %d", p.Col, p.Op, p.Val) }
+func (p Predicate) String() string {
+	return p.Col.String() + " " + p.Op + " " + strconv.FormatInt(p.Val, 10)
+}
 
 // Matches reports whether value v satisfies the predicate.
 func (p Predicate) Matches(v int64) bool {
@@ -60,6 +63,11 @@ type Query struct {
 	Tables []string    // sorted table names (the FROM clause)
 	Joins  []Join      // canonicalized, sorted join clauses
 	Preds  []Predicate // sorted column predicates
+
+	// key is the canonical SQL rendering, precomputed by New so the serving
+	// hot path (cache lookups, pool dedup) never re-renders it. Literal-built
+	// values leave it empty and fall back to rendering on demand.
+	key string
 }
 
 // New assembles a Query, canonicalizing table, join and predicate order and
@@ -117,6 +125,7 @@ func New(s *schema.Schema, tables []string, joins []Join, preds []Predicate) (Qu
 	// collapse (they would otherwise double-weight the vector in the mean
 	// pooling of the set encoders).
 	q.Preds = dedupPreds(q.Preds)
+	q.key = q.render()
 	return q, nil
 }
 
@@ -162,8 +171,17 @@ func (q Query) FROMKey() string { return strings.Join(q.Tables, ",") }
 // for deduplication and label caching.
 func (q Query) Key() string { return q.SQL() }
 
-// SQL renders the query as a SQL string in canonical order.
+// SQL returns the query as a SQL string in canonical order (precomputed for
+// queries built by New or Intersect).
 func (q Query) SQL() string {
+	if q.key != "" {
+		return q.key
+	}
+	return q.render()
+}
+
+// render builds the canonical SQL string.
+func (q Query) render() string {
 	var b strings.Builder
 	b.WriteString("SELECT * FROM ")
 	b.WriteString(strings.Join(q.Tables, ", "))
@@ -216,6 +234,7 @@ func (q Query) Intersect(other Query) (Query, error) {
 		}
 	}
 	sortPreds(out.Preds)
+	out.key = out.render()
 	return out, nil
 }
 
@@ -237,6 +256,7 @@ func (q Query) Clone() Query {
 		Tables: append([]string(nil), q.Tables...),
 		Joins:  append([]Join(nil), q.Joins...),
 		Preds:  append([]Predicate(nil), q.Preds...),
+		key:    q.key,
 	}
 }
 
@@ -249,6 +269,7 @@ func (q Query) WithPredicate(p Predicate) Query {
 	out := q.Clone()
 	out.Preds = append(out.Preds, p)
 	sortPreds(out.Preds)
+	out.key = out.render()
 	return out
 }
 

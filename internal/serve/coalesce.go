@@ -1,0 +1,334 @@
+// Package serve provides serving-side concurrency utilities for the §5.2
+// deployment scenario: a DBMS answering many concurrent estimation requests
+// over one shared model and queries pool.
+//
+// Its centerpiece is the Coalescer, a dynamic micro-batcher: concurrent
+// single-item calls are aggregated into one batched execution, so N
+// in-flight requests pay one pool scan, one cache resolution and one
+// matrix-batched head pass instead of N. Batching changes scheduling, never
+// results — the batch runner is required to be item-independent (the
+// estimator's batched entry points are bit-identical to per-item calls by
+// construction), so coalesced answers equal uncoalesced answers exactly.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Coalescer aggregates concurrent Do calls into batched executions of at
+// most maxBatch items. One dispatcher runs at a time: while it executes a
+// batch, newly arriving calls queue up and form the next batch, so batch
+// size adapts to load — single requests on an idle server run immediately
+// (no artificial delay), and under concurrency the batch naturally grows
+// toward the number of in-flight requests. A positive maxWait additionally
+// holds a non-full batch open, trading latency for larger batches on
+// lightly loaded servers; maxWait = 0 never waits.
+//
+// An optional key function deduplicates within a batch: calls whose items
+// share a key are executed once and fanned out to every caller.
+//
+// Callers share per-batch bookkeeping (one group struct, one completion
+// channel), so the steady-state overhead is a fraction of an allocation
+// per call. The zero value is not usable; construct with NewCoalescer.
+// Safe for concurrent use.
+type Coalescer[T, R any] struct {
+	run      func([]T) ([]R, error)
+	key      func(T) string
+	maxBatch int
+	maxWait  time.Duration
+
+	mu      sync.Mutex
+	cur     *group[T, R]   // forming batch (nil when none)
+	sealed  []*group[T, R] // full batches awaiting execution
+	running bool
+	kick    chan struct{} // pokes a filling dispatcher when a batch fills
+
+	calls, batches, batched   atomic.Uint64
+	maxSeen, deduped, dropped atomic.Uint64
+}
+
+// group is one batch shared by all its callers: items are appended under
+// the coalescer's mutex, outs/err are published before done is closed, and
+// each caller reads its slot after <-done (the close is the happens-before
+// edge).
+type group[T, R any] struct {
+	items []T
+	done  chan struct{}
+	outs  []R
+	err   error
+}
+
+// NewCoalescer builds a coalescer over a batch runner. maxBatch bounds the
+// items per execution (values < 1 are treated as 1); maxWait ≥ 0 is how
+// long a non-full batch is held open for stragglers once the dispatcher is
+// free (0: run with whatever has queued). key, when non-nil, deduplicates
+// items within a batch. run receives the (deduplicated) items and must
+// return one result per item, position-aligned.
+func NewCoalescer[T, R any](maxBatch int, maxWait time.Duration, key func(T) string, run func([]T) ([]R, error)) *Coalescer[T, R] {
+	if run == nil {
+		panic("serve: NewCoalescer needs a batch runner")
+	}
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	return &Coalescer[T, R]{
+		run:      run,
+		key:      key,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		kick:     make(chan struct{}, 1),
+	}
+}
+
+// Do submits one item and blocks until its batch has executed (or ctx is
+// done). The error is the whole batch's error: a failing item fails every
+// call that shared its execution, so callers wanting per-item error
+// fidelity should retry individually on error. If ctx ends first, Do
+// returns ctx.Err() immediately; the batch still executes for the other
+// callers and the abandoned result is discarded.
+func (c *Coalescer[T, R]) Do(ctx context.Context, v T) (R, error) {
+	c.mu.Lock()
+	g := c.cur
+	if g == nil {
+		g = &group[T, R]{items: make([]T, 0, c.maxBatch), done: make(chan struct{})}
+		c.cur = g
+	}
+	slot := len(g.items)
+	g.items = append(g.items, v)
+	full := len(g.items) >= c.maxBatch
+	if full {
+		// Seal: the next arrival starts a fresh group, and a filling
+		// dispatcher can take this one immediately.
+		c.sealed = append(c.sealed, g)
+		c.cur = nil
+	}
+	start := !c.running
+	if start {
+		c.running = true
+	}
+	c.mu.Unlock()
+	c.calls.Add(1)
+	if start {
+		go c.dispatch()
+	} else if full {
+		select {
+		case c.kick <- struct{}{}:
+		default:
+		}
+	}
+	select {
+	case <-g.done:
+		if g.err != nil {
+			var zero R
+			return zero, g.err
+		}
+		return g.outs[slot], nil
+	case <-ctx.Done():
+		c.dropped.Add(1)
+		var zero R
+		return zero, ctx.Err()
+	}
+}
+
+// take pops the next batch to execute: the oldest sealed group, else the
+// forming group. Returns nil when nothing is pending. Callers hold c.mu.
+func (c *Coalescer[T, R]) take() *group[T, R] {
+	if len(c.sealed) > 0 {
+		g := c.sealed[0]
+		c.sealed = append(c.sealed[:0], c.sealed[1:]...)
+		return g
+	}
+	g := c.cur
+	c.cur = nil
+	return g
+}
+
+// pendingLocked reports the forming group's size and whether a batch is
+// ready to run at full size. Callers hold c.mu.
+func (c *Coalescer[T, R]) pendingLocked() (n int, full bool) {
+	if c.cur != nil {
+		n = len(c.cur.items)
+	}
+	return n, len(c.sealed) > 0 || n >= c.maxBatch
+}
+
+// dispatch drains forming and sealed batches, then exits; Do starts a new
+// dispatcher when calls arrive on an idle coalescer, so no goroutine
+// lingers while the coalescer is unused.
+func (c *Coalescer[T, R]) dispatch() {
+	for {
+		c.mu.Lock()
+		n, full := c.pendingLocked()
+		if n == 0 && !full {
+			c.running = false
+			c.mu.Unlock()
+			return
+		}
+		if !full {
+			c.mu.Unlock()
+			c.gather()
+			c.mu.Lock()
+		}
+		g := c.take()
+		c.mu.Unlock()
+		if g != nil && len(g.items) > 0 {
+			c.exec(g)
+		}
+	}
+}
+
+// gather lets a non-full forming batch grow before it is taken. First it
+// yields the processor while the queue keeps growing: callers woken by the
+// previous batch's delivery are runnable but may not have re-enqueued yet,
+// and without the yield the dispatcher would race ahead of them and degrade
+// to batches of one under saturation (most visible when hardware threads
+// are scarce). Yielding costs nanoseconds when nothing is runnable, so an
+// isolated request is still served immediately. Then, if a positive
+// maxWait is configured, it additionally holds the batch open on the clock.
+func (c *Coalescer[T, R]) gather() {
+	prev := -1
+	for i := 0; i < 8; i++ {
+		c.mu.Lock()
+		n, full := c.pendingLocked()
+		c.mu.Unlock()
+		if full {
+			return
+		}
+		if n == prev {
+			break
+		}
+		prev = n
+		runtime.Gosched()
+	}
+	if c.maxWait > 0 {
+		c.fill()
+	}
+}
+
+// fill holds the forming batch open for up to maxWait, returning early when
+// a batch is ready at full size.
+func (c *Coalescer[T, R]) fill() {
+	timer := time.NewTimer(c.maxWait)
+	defer timer.Stop()
+	for {
+		select {
+		case <-timer.C:
+			return
+		case <-c.kick:
+			c.mu.Lock()
+			_, full := c.pendingLocked()
+			c.mu.Unlock()
+			if full {
+				return
+			}
+		}
+	}
+}
+
+// exec runs one batch and publishes its results before closing done.
+func (c *Coalescer[T, R]) exec(g *group[T, R]) {
+	c.batches.Add(1)
+	c.batched.Add(uint64(len(g.items)))
+	for {
+		m := c.maxSeen.Load()
+		if uint64(len(g.items)) <= m || c.maxSeen.CompareAndSwap(m, uint64(len(g.items))) {
+			break
+		}
+	}
+	items := g.items
+	var dups int
+	var seen map[string]int
+	if c.key != nil && len(items) > 1 {
+		seen = make(map[string]int, len(items))
+		for _, v := range items {
+			k := c.key(v)
+			if _, ok := seen[k]; ok {
+				dups++
+			} else {
+				seen[k] = -1
+			}
+		}
+	}
+	if dups == 0 {
+		// Common case: no duplicates — run on the group's own items and
+		// publish the runner's result slice directly, no remapping.
+		out, err := c.run(items)
+		if err == nil && len(out) != len(items) {
+			err = fmt.Errorf("serve: batch runner returned %d results for %d items", len(out), len(items))
+		}
+		g.outs, g.err = out, err
+		close(g.done)
+		return
+	}
+	c.deduped.Add(uint64(dups))
+	uniq := make([]T, 0, len(items)-dups)
+	slot := make([]int, len(items))
+	for i, v := range items {
+		k := c.key(v)
+		if j := seen[k]; j >= 0 {
+			slot[i] = j
+			continue
+		}
+		seen[k] = len(uniq)
+		slot[i] = len(uniq)
+		uniq = append(uniq, v)
+	}
+	out, err := c.run(uniq)
+	if err == nil && len(out) != len(uniq) {
+		err = fmt.Errorf("serve: batch runner returned %d results for %d items", len(out), len(uniq))
+	}
+	if err != nil {
+		g.err = err
+		close(g.done)
+		return
+	}
+	outs := make([]R, len(items))
+	for i := range items {
+		outs[i] = out[slot[i]]
+	}
+	g.outs = outs
+	close(g.done)
+}
+
+// Stats is a point-in-time snapshot of coalescing effectiveness.
+type Stats struct {
+	Calls        uint64 `json:"calls"`         // Do invocations
+	Batches      uint64 `json:"batches"`       // batch executions
+	BatchedItems uint64 `json:"batched_items"` // sum of batch sizes (= Calls delivered)
+	MaxBatch     uint64 `json:"max_batch"`     // largest batch executed
+	Deduped      uint64 `json:"deduped"`       // calls answered by another call's slot
+	Abandoned    uint64 `json:"abandoned"`     // calls that left early (ctx done)
+}
+
+// AvgBatch returns the mean executed batch size (0 before any batch).
+func (s Stats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchedItems) / float64(s.Batches)
+}
+
+// Stats returns the coalescer's counters. Safe on a nil coalescer (all
+// zeros), so callers can expose stats without checking whether coalescing
+// is configured.
+func (c *Coalescer[T, R]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Calls:        c.calls.Load(),
+		Batches:      c.batches.Load(),
+		BatchedItems: c.batched.Load(),
+		MaxBatch:     c.maxSeen.Load(),
+		Deduped:      c.deduped.Load(),
+		Abandoned:    c.dropped.Load(),
+	}
+}

@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoRunner returns one result per item (item value + 1000) and records
+// every batch it executes.
+type echoRunner struct {
+	mu      sync.Mutex
+	batches [][]int
+	block   chan struct{} // when non-nil, executions wait here first
+}
+
+func (r *echoRunner) run(items []int) ([]int, error) {
+	if r.block != nil {
+		<-r.block
+	}
+	r.mu.Lock()
+	r.batches = append(r.batches, append([]int(nil), items...))
+	r.mu.Unlock()
+	out := make([]int, len(items))
+	for i, v := range items {
+		out[i] = v + 1000
+	}
+	return out, nil
+}
+
+func TestCoalescerSingleCallRunsImmediately(t *testing.T) {
+	r := &echoRunner{}
+	c := NewCoalescer(8, 0, nil, r.run)
+	got, err := c.Do(context.Background(), 7)
+	if err != nil || got != 1007 {
+		t.Fatalf("Do = %v, %v", got, err)
+	}
+	st := c.Stats()
+	if st.Calls != 1 || st.Batches != 1 || st.BatchedItems != 1 || st.MaxBatch != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCoalescerBatchesConcurrentCalls blocks the first execution so the
+// following calls pile up, then checks they were served in shared batches.
+func TestCoalescerBatchesConcurrentCalls(t *testing.T) {
+	r := &echoRunner{block: make(chan struct{})}
+	c := NewCoalescer(16, 0, nil, r.run)
+
+	const n = 10
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Do(context.Background(), i)
+		}(i)
+	}
+	// Let the callers queue, then release all executions.
+	time.Sleep(20 * time.Millisecond)
+	close(r.block)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || results[i] != i+1000 {
+			t.Fatalf("call %d: %v, %v", i, results[i], errs[i])
+		}
+	}
+	st := c.Stats()
+	if st.Calls != n || st.BatchedItems != n {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Batches >= n {
+		t.Fatalf("no coalescing happened: %+v", st)
+	}
+	if st.MaxBatch < 2 {
+		t.Fatalf("expected a shared batch: %+v", st)
+	}
+}
+
+func TestCoalescerMaxBatchBound(t *testing.T) {
+	r := &echoRunner{block: make(chan struct{})}
+	c := NewCoalescer(4, 0, nil, r.run)
+	var wg sync.WaitGroup
+	for i := 0; i < 13; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Do(context.Background(), i); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(r.block)
+	wg.Wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, b := range r.batches {
+		if len(b) > 4 {
+			t.Fatalf("batch of %d exceeds maxBatch 4", len(b))
+		}
+	}
+	if st := c.Stats(); st.MaxBatch > 4 {
+		t.Fatalf("stats max batch %d exceeds bound", st.MaxBatch)
+	}
+}
+
+// TestCoalescerMaxWaitFillsBatch checks a positive maxWait holds the batch
+// open: two calls arriving within the window share one execution even
+// though the dispatcher was idle when the first arrived.
+func TestCoalescerMaxWaitFillsBatch(t *testing.T) {
+	r := &echoRunner{}
+	c := NewCoalescer(2, 200*time.Millisecond, nil, r.run)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 1 {
+				time.Sleep(10 * time.Millisecond)
+			}
+			if _, err := c.Do(context.Background(), i); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Batches != 1 || st.MaxBatch != 2 {
+		t.Fatalf("maxWait did not coalesce: %+v", st)
+	}
+}
+
+// TestCoalescerFullBatchSkipsWait checks the fill wait ends as soon as the
+// batch is full — a full batch must not sit out its maxWait.
+func TestCoalescerFullBatchSkipsWait(t *testing.T) {
+	r := &echoRunner{}
+	c := NewCoalescer(2, 10*time.Second, nil, r.run)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Do(context.Background(), i); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("full batch waited %v", elapsed)
+	}
+}
+
+func TestCoalescerDedup(t *testing.T) {
+	r := &echoRunner{block: make(chan struct{})}
+	c := NewCoalescer(16, 0, strconv.Itoa, r.run)
+	var wg sync.WaitGroup
+	results := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do(context.Background(), i%2) // only items 0 and 1
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(r.block)
+	wg.Wait()
+	for i, v := range results {
+		if v != i%2+1000 {
+			t.Fatalf("call %d got %d", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Deduped == 0 {
+		t.Fatalf("identical concurrent items were not deduplicated: %+v", st)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, b := range r.batches {
+		seen := map[int]bool{}
+		for _, v := range b {
+			if seen[v] {
+				t.Fatalf("batch %v contains duplicates", b)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestCoalescerErrorFansOut(t *testing.T) {
+	boom := errors.New("boom")
+	block := make(chan struct{})
+	c := NewCoalescer(8, 0, nil, func(items []int) ([]int, error) {
+		<-block
+		return nil, boom
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Do(context.Background(), i)
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(block)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("call %d error = %v", i, err)
+		}
+	}
+}
+
+func TestCoalescerShortResultIsError(t *testing.T) {
+	c := NewCoalescer(8, 0, nil, func(items []int) ([]int, error) {
+		return items[:0], nil // wrong length
+	})
+	if _, err := c.Do(context.Background(), 1); err == nil {
+		t.Fatal("short batch result must error, not panic or misalign")
+	}
+}
+
+func TestCoalescerContextCancellation(t *testing.T) {
+	block := make(chan struct{})
+	var executed atomic.Int64
+	c := NewCoalescer(8, 0, nil, func(items []int) ([]int, error) {
+		<-block
+		executed.Add(int64(len(items)))
+		out := make([]int, len(items))
+		return out, nil
+	})
+	// First call occupies the dispatcher; second call queues then abandons.
+	go c.Do(context.Background(), 0)
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ctx, 1)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned call returned %v", err)
+	}
+	close(block)
+	// The abandoned call's batch still executes for bookkeeping.
+	deadline := time.Now().Add(2 * time.Second)
+	for executed.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if executed.Load() < 2 {
+		t.Fatal("abandoned item was never executed")
+	}
+	if st := c.Stats(); st.Abandoned != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCoalescerHammer drives many goroutines through a tiny-batch coalescer
+// under -race; every call must get its own item's result.
+func TestCoalescerHammer(t *testing.T) {
+	c := NewCoalescer(4, 0, nil, func(items []int) ([]int, error) {
+		out := make([]int, len(items))
+		for i, v := range items {
+			out[i] = v * 3
+		}
+		return out, nil
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := w*1000 + i
+				got, err := c.Do(context.Background(), v)
+				if err != nil || got != v*3 {
+					t.Errorf("Do(%d) = %d, %v", v, got, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Calls != 1600 || st.BatchedItems != 1600 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The dispatcher exits when drained: a fresh call still works.
+	if got, err := c.Do(context.Background(), 5); err != nil || got != 15 {
+		t.Fatalf("post-drain Do = %v, %v", got, err)
+	}
+	_ = fmt.Sprint(st)
+}

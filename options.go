@@ -1,6 +1,8 @@
 package crn
 
 import (
+	"time"
+
 	"crn/internal/card"
 	icrn "crn/internal/crn"
 	"crn/internal/datagen"
@@ -101,10 +103,12 @@ var (
 
 // estimatorSettings collects everything EstimatorOption values can tune:
 // the Figure 8 algorithm knobs on the underlying estimator plus the
-// serving-side representation cache.
+// serving-side representation cache and request coalescing.
 type estimatorSettings struct {
-	est       *card.Estimator
-	cacheSize int
+	est           *card.Estimator
+	cacheSize     int
+	coalesceBatch int
+	coalesceWait  time.Duration
 }
 
 // EstimatorOption configures CardinalityEstimator and ImproveBaseline.
@@ -149,4 +153,26 @@ func WithRepCacheSize(n int) EstimatorOption {
 // testing and memory-constrained deployments).
 func WithoutRepCache() EstimatorOption {
 	return func(s *estimatorSettings) { s.cacheSize = 0 }
+}
+
+// WithCoalescing enables request coalescing on EstimateCardinality: up to
+// maxBatch concurrent single-query calls are aggregated — deduplicated by
+// canonical query key — into one indexed, matrix-batched estimation pass,
+// so N in-flight requests pay one pool scan and one head pass instead of N.
+// Batch size adapts to load: an isolated request runs immediately, and a
+// positive maxWait additionally holds a non-full batch open for stragglers
+// (trading tail latency for bigger batches on lightly loaded servers;
+// 0 never waits). Coalesced results are bit-identical to uncoalesced calls.
+// maxBatch < 2 disables coalescing (the default).
+//
+// A query that errors fails its whole shared batch, after which every
+// member retries alone (correct, but roughly double the uncoalesced cost
+// for that batch) — so under coalescing, configure WithFallback unless
+// pool misses are known to be impossible; with a fallback, batch-wide
+// failures are limited to genuinely exceptional errors.
+func WithCoalescing(maxBatch int, maxWait time.Duration) EstimatorOption {
+	return func(s *estimatorSettings) {
+		s.coalesceBatch = maxBatch
+		s.coalesceWait = maxWait
+	}
 }

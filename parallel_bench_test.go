@@ -1,0 +1,98 @@
+package crn
+
+// Benchmarks for the high-concurrency serving hot path: many goroutines
+// each issuing single-query EstimateCardinality calls, the traffic shape of
+// the §5.2 deployment under load. Run with
+//
+//	go test -bench EstimateCardinalityParallel -cpu 1,4 -benchtime 5x
+//
+// BenchmarkEstimateCardinalityParallel serves through the concurrent
+// serving configuration (request coalescing on, pool-resident head
+// precompute and the sharded representation cache enabled by default);
+// BenchmarkEstimateCardinalityParallelNoCoalesce measures the same traffic
+// with coalescing disabled, isolating the precompute and sharding wins.
+// ns/op is per single-query request, so baseline/new is the per-request
+// throughput ratio.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// parallelBenchLoop drives est with single-query calls from pb, spreading
+// workers across the workload so concurrent requests are mostly distinct
+// queries (the hard case: coalescing may not dedup them away).
+func parallelBenchLoop(b *testing.B, pb *testing.PB, est *CardinalityEstimator, queries []Query, next *atomic.Int64) {
+	ctx := context.Background()
+	for pb.Next() {
+		q := queries[int(next.Add(1))%len(queries)]
+		if _, err := est.EstimateCardinality(ctx, q); err != nil {
+			b.Error(err)
+			return
+		}
+	}
+}
+
+// BenchmarkEstimateCardinalityParallel is the concurrent serving
+// configuration: single-query requests from 4×GOMAXPROCS goroutines over
+// the coalescing estimator.
+func BenchmarkEstimateCardinalityParallel(b *testing.B) {
+	est, queries := parallelBenchEnv(b)
+	var next atomic.Int64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		parallelBenchLoop(b, pb, est, queries, &next)
+	})
+}
+
+// BenchmarkEstimateCardinalityParallelNoCoalesce is the same traffic served
+// without request coalescing — every request runs its own estimate.
+func BenchmarkEstimateCardinalityParallelNoCoalesce(b *testing.B) {
+	est, queries := batchBenchEnv(b)
+	var next atomic.Int64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		parallelBenchLoop(b, pb, est, queries, &next)
+	})
+}
+
+// parallelBenchEnv returns the concurrent serving configuration: the same
+// trained system and pool as batchBenchEnv, but with request coalescing on
+// (as cmd/crnserve configures by default). Precompute and sharding are
+// always on — they are properties of the default serving cache.
+func parallelBenchEnv(b *testing.B) (*CardinalityEstimator, []Query) {
+	b.Helper()
+	batchBenchEnv(b) // builds the shared system, pool, and workload
+	coalescedOnce.Do(func() {
+		base, err := batchSys.AnalyzeBaseline()
+		if err != nil {
+			coalescedErr = err
+			return
+		}
+		coalescedEst = batchSys.CardinalityEstimator(batchModel, batchPool,
+			WithFallback(base), WithCoalescing(64, 0))
+		// Warm the serving cache to steady state (entries promoted to the
+		// resident tier on their second sighting).
+		ctx := context.Background()
+		for i := 0; i < 2; i++ {
+			if _, err := coalescedEst.EstimateCardinalityBatch(ctx, batchQueries); err != nil {
+				coalescedErr = err
+				return
+			}
+		}
+	})
+	if coalescedErr != nil {
+		b.Fatal(coalescedErr)
+	}
+	return coalescedEst, batchQueries
+}
+
+var (
+	coalescedOnce sync.Once
+	coalescedEst  *CardinalityEstimator
+	coalescedErr  error
+)

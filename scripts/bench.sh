@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
 # bench.sh — run the repository's performance benchmarks with -benchmem and
-# record the results (plus the frozen pre-PR-2 baseline) in BENCH_2.json,
+# record the results (plus the frozen pre-PR-3 baseline) in BENCH_3.json,
 # the perf trajectory file. Usage:
 #
 #   scripts/bench.sh [output.json]
 #
 # or `make bench`. Pure `go test` — no extra tooling, no cmd/ binaries.
+#
+# The concurrent serving benchmarks run at -cpu 1,4 (the acceptance point of
+# PR 3 is the 4-vCPU parallel single-query throughput), so their names keep
+# the -N GOMAXPROCS suffix; every other benchmark records under its bare
+# name. The frozen baseline below is the PR 2 code measured on this machine:
+# compute-core numbers from BENCH_2.json, parallel serving measured by
+# running BenchmarkEstimateCardinalityParallel against the PR 2 estimator
+# (no coalescing, no pool-resident precompute, single-mutex cache) before
+# the PR 3 changes landed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_2.json}"
+OUT="${1:-BENCH_3.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -19,12 +28,16 @@ echo "== compute-core benchmarks (training epoch, batched inference) ==" >&2
 go test ./internal/crn -run '^$' -bench 'TrainEpoch|PredictBatch|PredictShared' -benchmem -benchtime 10x | tee -a "$RAW"
 echo "== serving benchmarks (batched cardinality estimation) ==" >&2
 go test . -run '^$' -bench 'EstimateCardinality(Batch|SingleLoop)64' -benchmem -benchtime 5x | tee -a "$RAW"
+echo "== concurrent serving benchmarks (coalescing + precompute, -cpu 1,4) ==" >&2
+go test . -run '^$' -bench 'EstimateCardinalityParallel' -cpu 1,4 -benchmem -benchtime 2s | tee -a "$RAW"
 
-# Render "BenchmarkFoo[-P]  N  ns/op  B/op  allocs/op" lines as JSON.
+# Render "BenchmarkFoo[-P]  N  ns/op  B/op  allocs/op" lines as JSON. The
+# GOMAXPROCS suffix is meaningful for the Parallel benchmarks (run at
+# -cpu 1,4) and stripped everywhere else.
 RESULTS="$(awk '
   /^Benchmark/ {
     name = $1
-    sub(/-[0-9]+$/, "", name)
+    if (name !~ /Parallel/) sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
     ns = ""; bytes = ""; allocs = ""
     for (i = 2; i < NF; i++) {
@@ -46,24 +59,26 @@ CPU="$(awk -F': *' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null ||
 
 cat > "$OUT" <<EOF
 {
-  "pr": 2,
-  "description": "Zero-allocation compute core + cross-request representation cache",
+  "pr": 3,
+  "description": "High-concurrency serving: request coalescing, pool-resident head precompute, sharded representation cache",
   "date": "$DATE",
   "go": "$GOVERSION",
   "cpu": "$CPU",
-  "baseline_commit": "11a7fff",
+  "baseline_commit": "92c2820",
   "baseline": {
-    "_comment": "pre-PR-2 measurements on the same machine (mean of 3 runs; serving benches single run)",
-    "MatMul128": {"ns_per_op": 1500848, "bytes_per_op": 32, "allocs_per_op": 1},
-    "MatMulBatchForward": {"ns_per_op": 2253470, "bytes_per_op": 32, "allocs_per_op": 1},
-    "DenseForwardBackward": {"ns_per_op": 3952488, "bytes_per_op": 459008, "allocs_per_op": 9},
-    "SetEncoderForward": {"ns_per_op": 1141056, "bytes_per_op": 360672, "allocs_per_op": 8},
-    "AdamStep": {"ns_per_op": 475216, "bytes_per_op": 0, "allocs_per_op": 0},
-    "TrainEpoch": {"ns_per_op": 233478005, "bytes_per_op": 60220760, "allocs_per_op": 2486},
-    "PredictBatch": {"ns_per_op": 8734545, "bytes_per_op": 2957616, "allocs_per_op": 40},
-    "PredictShared": {"ns_per_op": 16551389, "bytes_per_op": 698816, "allocs_per_op": 32},
-    "EstimateCardinalityBatch64": {"ns_per_op": 1294353, "bytes_per_op": 1473304, "allocs_per_op": 1310},
-    "EstimateCardinalitySingleLoop64": {"ns_per_op": 2657548, "bytes_per_op": 3512432, "allocs_per_op": 4653}
+    "_comment": "pre-PR-3 measurements on the same machine: compute core from BENCH_2.json results; EstimateCardinalityParallel[-4] measured at the PR 2 commit with the PR 2 estimator (2s runs at -cpu 1,4)",
+    "MatMul128": {"ns_per_op": 697993, "bytes_per_op": 0, "allocs_per_op": 0},
+    "MatMulBatchForward": {"ns_per_op": 974668, "bytes_per_op": 0, "allocs_per_op": 0},
+    "DenseForwardBackward": {"ns_per_op": 2019240, "bytes_per_op": 196704, "allocs_per_op": 4},
+    "SetEncoderForward": {"ns_per_op": 655251, "bytes_per_op": 196704, "allocs_per_op": 4},
+    "AdamStep": {"ns_per_op": 496535, "bytes_per_op": 0, "allocs_per_op": 0},
+    "TrainEpoch": {"ns_per_op": 109340086, "bytes_per_op": 677825, "allocs_per_op": 159},
+    "PredictBatch": {"ns_per_op": 5074538, "bytes_per_op": 217635, "allocs_per_op": 4},
+    "PredictShared": {"ns_per_op": 15558514, "bytes_per_op": 567472, "allocs_per_op": 23},
+    "EstimateCardinalityBatch64": {"ns_per_op": 635206, "bytes_per_op": 192460, "allocs_per_op": 2858},
+    "EstimateCardinalitySingleLoop64": {"ns_per_op": 1067996, "bytes_per_op": 295875, "allocs_per_op": 5859},
+    "EstimateCardinalityParallel": {"ns_per_op": 19139, "bytes_per_op": 4622, "allocs_per_op": 91},
+    "EstimateCardinalityParallel-4": {"ns_per_op": 19641, "bytes_per_op": 4626, "allocs_per_op": 91}
   },
   "results": {
 $RESULTS
