@@ -15,18 +15,22 @@ race:
 	go test -race ./...
 
 # bench runs the nn-kernel, compute-core and serving benchmarks (including
-# the concurrent serving benchmarks at -cpu 1,4) with -benchmem and records
-# results (plus the frozen pre-PR baseline) in BENCH_3.json.
+# the concurrent serving benchmarks at -cpu 1,4 and the large-pool top-K
+# benchmarks) with -benchmem and records results (plus the frozen pre-PR
+# baseline) in BENCH_4.json.
 bench:
 	scripts/bench.sh
 
 # bench-smoke compiles and runs every perf-critical benchmark exactly once
-# (no timing assertions): a fast CI gate that kernel, workspace, cache or
-# coalescer changes still execute. The parallel serving benchmarks run at
-# -cpu 1,4 so both the single- and multi-GOMAXPROCS dispatch paths execute.
+# (no timing assertions): a fast CI gate that kernel, workspace, cache,
+# coalescer or pool-index changes still execute. The parallel serving
+# benchmarks run at -cpu 1,4 so both the single- and multi-GOMAXPROCS
+# dispatch paths execute; the large-pool benchmarks exercise signature
+# selection and the solo bypass once per size point.
 bench-smoke:
 	go test ./internal/nn ./internal/crn -run '^$$' -bench . -benchtime 1x -benchmem
-	go test . -run '^$$' -bench 'EstimateCardinalityParallel' -cpu 1,4 -benchtime 1x -benchmem
+	go test . -run '^$$' -bench 'EstimateCardinality(Parallel|SoloCoalesced)' -cpu 1,4 -benchtime 1x -benchmem
+	go test . -run '^$$' -bench 'EstimateCardinalityLargePool' -benchtime 1x -benchmem
 
 fmt:
 	gofmt -l .

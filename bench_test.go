@@ -105,6 +105,7 @@ func BenchmarkTable15_PredictionTime(b *testing.B)       { runExperiment(b, "tab
 
 // Ablation benches: the design choices DESIGN.md calls out.
 
+func BenchmarkTopKCandidateSweep(b *testing.B)    { runExperiment(b, "topk") }
 func BenchmarkAblationFinalFunction(b *testing.B) { runExperiment(b, "ablation_final") }
 func BenchmarkAblationEpsilonGuard(b *testing.B)  { runExperiment(b, "ablation_eps") }
 func BenchmarkAblationPoolAnchors(b *testing.B)   { runExperiment(b, "ablation_anchor") }

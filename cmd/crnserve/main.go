@@ -28,6 +28,12 @@
 // (disable coalescing with -coalesce-batch 1 to get strict per-request
 // cancellation back). -pprof mounts net/http/pprof under /debug/pprof/.
 //
+// Large pools: -max-candidates K bounds every estimate to the K most
+// containment-comparable pool entries (signature-indexed top-K selection),
+// keeping per-request latency flat as /record grows the pool; -pool-cap N
+// bounds the pool itself with LRU-by-last-match eviction. /healthz reports
+// the index and eviction counters under "pool".
+//
 // Errors map typed facade sentinels to statuses: unparseable dialect -> 400,
 // no usable pool match (estimator without fallback) -> 422, cancelled -> 503.
 //
@@ -36,6 +42,7 @@
 //	crnserve -addr :8080 -titles 4000 -pairs 5000 -pool 300
 //	crnserve -addr :8080 -model crn.model   # skip training, load weights
 //	crnserve -addr :8080 -coalesce-batch 128 -coalesce-wait 200us -pprof
+//	crnserve -addr :8080 -pool-cap 100000 -max-candidates 64
 package main
 
 import (
@@ -63,6 +70,8 @@ func main() {
 	epochs := flag.Int("epochs", 30, "training epochs for startup training")
 	poolSize := flag.Int("pool", 300, "initial queries-pool size (0: start empty)")
 	poolSeed := flag.Int64("pool-seed", 7, "queries-pool generation seed")
+	poolCap := flag.Int("pool-cap", 0, "queries-pool capacity; /record evicts the least-recently-matched entry once full (0: unbounded)")
+	maxCandidates := flag.Int("max-candidates", 0, "bound each estimate to the K most comparable pool entries via the signature index (0: full scan)")
 	noFallback := flag.Bool("no-fallback", false, "fail pool misses with 422 instead of using the PostgreSQL-style baseline")
 	coalesceBatch := flag.Int("coalesce-batch", 64, "max concurrent /estimate requests coalesced into one batched pass (< 2 disables coalescing)")
 	coalesceWait := flag.Duration("coalesce-wait", 0, "how long to hold a non-full coalescing batch open for stragglers (0: adaptive, never waits)")
@@ -112,7 +121,12 @@ func main() {
 		logger.Printf("trained in %v", time.Since(start).Round(time.Second))
 	}
 
-	pool := sys.NewQueriesPool()
+	var poolOpts []crn.PoolOption
+	if *poolCap > 0 {
+		poolOpts = append(poolOpts, crn.WithPoolCap(*poolCap))
+		logger.Printf("pool capacity bounded to %d entries (LRU-by-last-match eviction)", *poolCap)
+	}
+	pool := sys.NewQueriesPool(poolOpts...)
 	if *poolSize > 0 {
 		logger.Printf("seeding queries pool (n=%d)", *poolSize)
 		if err := sys.SeedPool(ctx, pool, *poolSize, *poolSeed); err != nil {
@@ -131,6 +145,10 @@ func main() {
 	if *coalesceBatch >= 2 {
 		opts = append(opts, crn.WithCoalescing(*coalesceBatch, *coalesceWait))
 		logger.Printf("request coalescing on (max batch %d, max wait %v)", *coalesceBatch, *coalesceWait)
+	}
+	if *maxCandidates > 0 {
+		opts = append(opts, crn.WithMaxCandidates(*maxCandidates))
+		logger.Printf("candidate selection bounded to top-%d pool entries per estimate", *maxCandidates)
 	}
 	est := sys.CardinalityEstimator(model, pool, opts...)
 

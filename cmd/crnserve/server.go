@@ -130,11 +130,16 @@ type recordResponse struct {
 }
 
 type healthzResponse struct {
-	Status        string            `json:"status"`
-	PoolSize      int               `json:"pool_size"`
-	Recorded      int64             `json:"recorded"`
-	UptimeSeconds float64           `json:"uptime_seconds"`
-	RepCache      crn.RepCacheStats `json:"rep_cache"`
+	Status        string  `json:"status"`
+	PoolSize      int     `json:"pool_size"`
+	Recorded      int64   `json:"recorded"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Pool reports the candidate index and capacity bound: entries and FROM
+	// keys, configured capacity (0: unbounded), LRU evictions, bounded
+	// (top-K) selections and the candidates they scanned/truncated. All
+	// selection counters stay zero when -max-candidates is 0.
+	Pool     crn.PoolStats     `json:"pool"`
+	RepCache crn.RepCacheStats `json:"rep_cache"`
 	// Coalescer reports request-coalescing effectiveness: calls vs batch
 	// executions, average and max batch size (batched_items / batches),
 	// dedup hits, and abandons. All zeros when -coalesce-batch < 2.
@@ -260,6 +265,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		PoolSize:        s.pool.Len(),
 		Recorded:        s.recorded.Load(),
 		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Pool:            s.pool.Stats(),
 		RepCache:        s.est.CacheStats(),
 		Coalescer:       s.est.CoalescerStats(),
 		EstimateLatency: s.estimateLatency.snapshot(),

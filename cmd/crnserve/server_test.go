@@ -366,3 +366,60 @@ func TestConcurrentRecordAndEstimate(t *testing.T) {
 		t.Error("no queries were recorded")
 	}
 }
+
+// TestBoundedPoolConfigAndHealthz drives the -pool-cap / -max-candidates
+// serving configuration end to end: /record pushes a capacity-bounded pool
+// into LRU eviction, bounded estimates run signature-indexed top-K
+// selection, and /healthz exposes the index and eviction counters.
+func TestBoundedPoolConfigAndHealthz(t *testing.T) {
+	base := testServer(t)
+	bounded := base.sys.NewQueriesPool(crn.WithPoolCap(4))
+	fb, err := base.sys.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := base.sys.CardinalityEstimator(base.model, bounded,
+		crn.WithFallback(fb), crn.WithMaxCandidates(2))
+	srv := newServer(base.sys, base.model, bounded, est, nil)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// Six recordings into a 4-entry pool: two LRU evictions.
+	for i := 0; i < 6; i++ {
+		status, body, err := postJSONErr(ts.URL+"/record", map[string]string{
+			"query": fmt.Sprintf("SELECT * FROM title WHERE title.production_year > %d", 1900+i),
+		})
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("record %d: status %d err %v body %s", i, status, err, body)
+		}
+	}
+	// A bounded estimate over the 4 pooled "title" candidates: top-2
+	// selection must truncate.
+	status, body, err := postJSONErr(ts.URL+"/estimate",
+		map[string]string{"query": "SELECT * FROM title WHERE title.production_year > 1950"})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("bounded estimate: status %d err %v body %s", status, err, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.PoolSize != 4 || hr.Pool.Entries != 4 {
+		t.Errorf("pool size = %d / %d, want 4 (capacity held)", hr.PoolSize, hr.Pool.Entries)
+	}
+	if hr.Pool.Capacity != 4 {
+		t.Errorf("pool capacity = %d, want 4", hr.Pool.Capacity)
+	}
+	if hr.Pool.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", hr.Pool.Evictions)
+	}
+	if hr.Pool.TopKCalls == 0 || hr.Pool.ScannedCandidates == 0 || hr.Pool.TruncatedCalls == 0 {
+		t.Errorf("top-K selection counters never moved: %+v", hr.Pool)
+	}
+}

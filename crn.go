@@ -173,8 +173,9 @@ func (o ctxOracle) ContainmentRate(q1, q2 query.Query) (float64, error) {
 // appends every executed query while estimators read concurrently.
 type QueriesPool = pool.Pool
 
-// NewQueriesPool creates an empty pool.
-func (s *System) NewQueriesPool() *QueriesPool { return pool.New() }
+// NewQueriesPool creates an empty pool. Options bound it (WithPoolCap);
+// the zero-option pool is unbounded, as in the paper.
+func (s *System) NewQueriesPool(opts ...PoolOption) *QueriesPool { return pool.New(opts...) }
 
 // RecordExecuted executes q, stores (q, |q|) in the pool, and returns the
 // cardinality — the paper's "the DBMS continuously executes queries, we

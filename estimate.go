@@ -2,6 +2,7 @@ package crn
 
 import (
 	"context"
+	"errors"
 
 	"crn/internal/card"
 	icrn "crn/internal/crn"
@@ -67,17 +68,19 @@ func (s *System) CardinalityEstimator(m *ContainmentModel, p *QueriesPool, opts 
 // initCoalescer wires the request micro-batcher when WithCoalescing asked
 // for one. The batch runner revalidates the cache and answers through the
 // same indexed batch pass as EstimateCardinalityBatch, so coalesced results
-// are bit-identical to direct calls; it runs under the background context
-// because the batch outlives any single caller (individual callers that
-// cancel abandon their slot without cancelling the shared work).
+// are bit-identical to direct calls. Shared batches run under the
+// background context the coalescer supplies, because the batch outlives any
+// single caller (individual callers that cancel abandon their slot without
+// cancelling the shared work); a solo fast-path run receives its one
+// caller's context, so an uncontended request stays fully cancellable.
 func (e *CardinalityEstimator) initCoalescer(set estimatorSettings) {
 	if set.coalesceBatch < 2 {
 		return
 	}
 	e.coal = serve.NewCoalescer(set.coalesceBatch, set.coalesceWait, Query.Key,
-		func(qs []Query) ([]float64, error) {
+		func(ctx context.Context, qs []Query) ([]float64, error) {
 			e.revalidate()
-			return e.est.EstimateCards(context.Background(), qs)
+			return e.est.EstimateCards(ctx, qs)
 		})
 }
 
@@ -116,7 +119,9 @@ func (e *CardinalityEstimator) revalidate() {
 // bit for bit, at a fraction of the per-request cost. A shared batch fails
 // as a whole, so on a coalesced error the query is transparently re-run
 // alone and the caller sees its own error (or its own success when another
-// query in the batch was the one that failed).
+// query in the batch was the one that failed). A request that ran on the
+// coalescer's solo fast path already executed alone, so its error is
+// returned directly without the redundant retry.
 func (e *CardinalityEstimator) EstimateCardinality(ctx context.Context, q Query) (float64, error) {
 	e.revalidate()
 	if e.coal == nil {
@@ -125,6 +130,10 @@ func (e *CardinalityEstimator) EstimateCardinality(ctx context.Context, q Query)
 	v, err := e.coal.Do(ctx, q)
 	if err == nil {
 		return v, nil
+	}
+	var solo *serve.SoloError
+	if errors.As(err, &solo) {
+		return 0, solo.Err
 	}
 	if ctx.Err() != nil {
 		return 0, ctx.Err()

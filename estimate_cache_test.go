@@ -2,6 +2,7 @@ package crn
 
 import (
 	"context"
+	"fmt"
 	"testing"
 )
 
@@ -178,5 +179,95 @@ func TestNilPoolReturnsErrorNotPanic(t *testing.T) {
 	}
 	if _, err := est.EstimateCardinalityBatch(ctx, []Query{probe}); err == nil {
 		t.Fatal("nil pool batch should error")
+	}
+}
+
+// TestPoolEvictionInvalidatesRepCache pins the capacity-bounded pool to the
+// serving cache's invalidation contract: an LRU eviction bumps the pool
+// Version, the resident representation snapshot drops its stale rows on the
+// next estimate, and cached estimates stay bit-identical to uncached ones
+// over the mutated pool.
+func TestPoolEvictionInvalidatesRepCache(t *testing.T) {
+	ctx := context.Background()
+	sys := testSystem(t)
+	model, err := sys.TrainContainmentModel(ctx, tinyTrainOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const capacity = 6
+	p := sys.NewQueriesPool(WithPoolCap(capacity))
+	record := func(sql string) {
+		t.Helper()
+		q, err := sys.ParseQuery(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sys.RecordExecuted(ctx, p, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < capacity; i++ {
+		record(fmt.Sprintf("SELECT * FROM title WHERE title.production_year > %d", 1900+10*i))
+	}
+
+	cached := sys.CardinalityEstimator(model, p)
+	uncached := sys.CardinalityEstimator(model, p, WithoutRepCache())
+	probe, err := sys.ParseQuery("SELECT * FROM title WHERE title.production_year > 1955")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm to steady state: insert, promote, read resident.
+	for i := 0; i < 3; i++ {
+		if _, err := cached.EstimateCardinality(ctx, probe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cached.CacheStats(); st.Resident == 0 {
+		t.Fatalf("resident tier never warmed: %+v", st)
+	}
+
+	// Overflow the pool: the least-recently-matched entry is evicted.
+	vBefore := p.Version()
+	record("SELECT * FROM title WHERE title.kind_id = 2")
+	if p.Len() != capacity {
+		t.Fatalf("pool size = %d, want capacity %d", p.Len(), capacity)
+	}
+	if st := p.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if v := p.Version(); v <= vBefore {
+		t.Fatalf("eviction must bump Version: %d -> %d", vBefore, v)
+	}
+
+	// First post-eviction estimate revalidates: the stale resident snapshot
+	// is gone and the answer matches the uncached estimator over the
+	// mutated pool exactly.
+	want, err := uncached.EstimateCardinality(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cached.EstimateCardinality(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("post-eviction cached estimate %v != uncached %v", got, want)
+	}
+	if st := cached.CacheStats(); st.Resident != 0 {
+		t.Fatalf("resident snapshot should be dropped right after the flush: %+v", st)
+	}
+
+	// Re-warm: the working set promotes again and stays bit-identical.
+	for i := 0; i < 3; i++ {
+		if got, err = cached.EstimateCardinality(ctx, probe); err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("re-warmed cached estimate %v != uncached %v", got, want)
+		}
+	}
+	if st := cached.CacheStats(); st.Resident == 0 {
+		t.Errorf("resident tier did not re-warm after the eviction flush: %+v", st)
 	}
 }

@@ -9,6 +9,7 @@ package crn
 
 import (
 	"context"
+	"errors"
 	"strconv"
 	"sync"
 	"testing"
@@ -178,5 +179,28 @@ func TestFacadeConcurrentMixedTraffic(t *testing.T) {
 		if got != want {
 			t.Fatalf("probe %d after mixed traffic: %v != fresh %v", i, got, want)
 		}
+	}
+}
+
+// TestSoloErrorSurfacesDirectly pins the facade's solo fast-path error
+// handling: an uncontended coalesced request that fails (here: pool miss,
+// no fallback) surfaces its typed error once, matchable with errors.Is and
+// free of internal wrapper types — and without re-running the estimate,
+// which a solo failure makes redundant by construction.
+func TestSoloErrorSurfacesDirectly(t *testing.T) {
+	ctx := context.Background()
+	sys, model, _, _ := concurrencyFixture(t)
+	empty := sys.NewQueriesPool()
+	est := sys.CardinalityEstimator(model, empty, WithCoalescing(16, 0))
+	probe, err := sys.ParseQuery("SELECT * FROM title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = est.EstimateCardinality(ctx, probe)
+	if !errors.Is(err, ErrNoPoolMatch) {
+		t.Fatalf("solo pool miss = %v, want ErrNoPoolMatch", err)
+	}
+	if st := est.CoalescerStats(); st.Solo != 1 {
+		t.Fatalf("expected exactly one solo execution: %+v", st)
 	}
 }

@@ -65,6 +65,14 @@ type Estimator struct {
 	// §5.3); 0 means GOMAXPROCS, 1 is serial. Batch-capable rate models
 	// parallelize internally instead.
 	Workers int
+	// MaxCandidates bounds the per-query pool scan: when positive, only the
+	// MaxCandidates most containment-comparable old queries (Pool.TopK's
+	// signature ranking) enter the Figure 8 loop, making per-estimate cost
+	// O(K) in pool size instead of O(pool). 0 scans every FROM-clause match
+	// (the paper's algorithm, bit-identical to pre-bound behavior); any K at
+	// least the matching count is likewise bit-identical, because TopK
+	// degenerates to the full scan in original order.
+	MaxCandidates int
 }
 
 // New creates a pool-based estimator with the paper's defaults (Median
@@ -125,7 +133,11 @@ func (e *Estimator) EstimateCards(ctx context.Context, queries []query.Query) ([
 	total := 0
 	for i, qnew := range queries {
 		lo := len(arena)
-		arena = e.Pool.AppendMatching(arena, qnew)
+		if e.MaxCandidates > 0 {
+			arena = e.Pool.AppendTopK(arena, qnew, e.MaxCandidates)
+		} else {
+			arena = e.Pool.AppendMatching(arena, qnew)
+		}
 		// Old queries with empty results carry no information: the
 		// containment rate of an empty query is 0 by definition (§2), so
 		// x_rate/y_rate·0 degenerates to 0 regardless of the rates.

@@ -677,13 +677,19 @@ func (m *Model) ContinueTraining(train, val []Sample, epochs int, progress func(
 }
 
 // ValidationQError computes the mean q-error of predictions over a sample
-// set, the validation metric of §3.3 (Figures 3 and 4).
+// set, the validation metric of §3.3 (Figures 3 and 4). It runs once per
+// training epoch, so its prediction buffer comes from the model's workspace
+// free list rather than the allocator: the buffer workspace is held across
+// chunks (no Reset until the return), while each PredictBatchInto borrows
+// its own arena — steady-state validation allocates nothing.
 func (m *Model) ValidationQError(val []Sample) float64 {
 	if len(val) == 0 {
 		return math.NaN()
 	}
 	const chunk = 512
-	preds := make([]float64, chunk)
+	ws := m.getWS()
+	defer m.putWS(ws)
+	preds := ws.Take(1, chunk).Data
 	var sum float64
 	for lo := 0; lo < len(val); lo += chunk {
 		hi := lo + chunk

@@ -371,3 +371,29 @@ func TestPredictSharedMatchesReferenceForward(t *testing.T) {
 		}
 	}
 }
+
+// TestValidationQErrorAllocFree pins the per-epoch validation metric to the
+// workspace free list: after warm-up, computing it allocates nothing — its
+// prediction buffer and the forward-pass arenas all come from recycled
+// storage.
+func TestValidationQErrorAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const dim = 6
+	val := make([]Sample, 700) // spans two prediction chunks
+	for i := range val {
+		v1 := make([]float64, dim)
+		v2 := make([]float64, dim)
+		v1[rng.Intn(dim)] = 1
+		v2[rng.Intn(dim)] = 1
+		val[i] = Sample{V1: [][]float64{v1}, V2: [][]float64{v2}, Rate: rng.Float64()}
+	}
+	cfg := DefaultConfig()
+	cfg.Hidden = 8
+	m := NewModel(cfg, dim)
+	m.ValidationQError(val) // warm the free list and grow the arenas
+	m.ValidationQError(val)
+	allocs := testing.AllocsPerRun(10, func() { m.ValidationQError(val) })
+	if allocs > 0 {
+		t.Errorf("ValidationQError allocates %.1f objects per call, want 0", allocs)
+	}
+}

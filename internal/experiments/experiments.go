@@ -511,6 +511,40 @@ func poolSweepSizes(max int) []int {
 	return uniq
 }
 
+// --- Top-K candidate bound sweep --------------------------------------------
+
+// TopKSweep measures signature-indexed candidate selection against the full
+// pool scan of Figure 8: estimation quality and per-query prediction time
+// of Cnt2Crd(CRN) on crd_test2 at several candidate bounds K (0 = the
+// paper's unbounded scan). The Median final function is robust to
+// subsetting, so moderate K is expected to track the full scan's median
+// q-error while bounding the per-estimate cost at O(K); the companion
+// accuracy gate (TestTopKAccuracyGate) enforces that expectation on a pool
+// dense enough for K to bind.
+func TopKSweep(env *Env) (Result, error) {
+	t := metrics.Table{
+		Title:  "Top-K candidate bound: Cnt2Crd(CRN) on crd_test2",
+		Header: []string{"K", "median", "mean", "prediction time"},
+	}
+	for _, k := range []int{4, 16, 64, 0} {
+		est := env.Cnt2CrdCRN()
+		est.MaxCandidates = k
+		start := time.Now()
+		errs, err := CardErrors(est, env.CrdTest2)
+		if err != nil {
+			return Result{}, err
+		}
+		perQuery := time.Since(start) / time.Duration(maxInt(1, len(env.CrdTest2)))
+		label := "full"
+		if k > 0 {
+			label = fmt.Sprintf("%d", k)
+		}
+		t.AddRow(label, metrics.FormatQ(metrics.Median(errs)),
+			metrics.FormatQ(metrics.Mean(errs)), perQuery.Round(10*time.Microsecond).String())
+	}
+	return Result{ID: "topk", Caption: "Candidate-bound sweep (signature-indexed Top-K vs full scan)", Table: t}, nil
+}
+
 // --- Table 15: prediction times --------------------------------------------
 
 // Table15 reproduces the average single-query prediction time of every
@@ -596,7 +630,7 @@ func ExperimentIDs() []string {
 		"table2", "fig3", "fig4", "table3", "fig5", "table4", "fig6",
 		"table5", "table6", "fig9", "table7", "fig10", "table8",
 		"table9", "fig11", "table10", "fig12", "fig13",
-		"table11", "table12", "table13", "table14", "table15", "costs",
+		"table11", "table12", "table13", "table14", "table15", "topk", "costs",
 		"ablation_final", "ablation_eps", "ablation_anchor",
 		"ablation_workers", "ablation_oracle", "ablation_loss",
 		"planquality", "baselines",
@@ -652,6 +686,8 @@ func Run(env *Env, id string, log Logf) (Result, error) {
 		return Table14(env)
 	case "table15":
 		return Table15(env)
+	case "topk":
+		return TopKSweep(env)
 	case "costs":
 		return Costs(env)
 	case "ablation_final":

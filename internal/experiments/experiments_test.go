@@ -4,6 +4,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"crn/internal/metrics"
+	"crn/internal/pool"
+	"crn/internal/workload"
 )
 
 // The tiny environment is expensive enough to share across tests.
@@ -137,5 +141,59 @@ func TestPoolSweepSizes(t *testing.T) {
 		if small[i] == small[i-1] {
 			t.Errorf("duplicate sizes: %v", small)
 		}
+	}
+}
+
+// TestTopKAccuracyGate is the PR-4 acceptance gate for bounded candidate
+// selection: over a pool dense enough that K = 64 actually truncates, the
+// median q-error of Cnt2Crd(CRN) with the top-64 signature selection must
+// stay within 5% of the full pool scan (the Median final function is robust
+// to subsetting).
+func TestTopKAccuracyGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a dense pool with thousands of labeled executions")
+	}
+	env := tiny(t)
+
+	// A dense pool: the same §6.2 construction as the environment's own
+	// pool, but sized so FROM clauses carry well over 64 candidates.
+	gen := workload.NewGenerator(env.Schema, env.DB, 987)
+	qs, err := gen.NonEmptyPoolQueries(env.Exec, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled, err := workload.LabelQueries(env.Exec, qs, env.Cfg.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := pool.New()
+	for _, lq := range labeled {
+		dense.Add(lq.Q, lq.Card)
+	}
+
+	full := env.Cnt2CrdCRN()
+	full.Pool = dense
+	topK := env.Cnt2CrdCRN()
+	topK.Pool = dense
+	topK.MaxCandidates = 64
+
+	fullErrs, err := CardErrors(full, env.CrdTest2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topKErrs, err := CardErrors(topK, env.CrdTest2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := dense.Stats(); st.TruncatedCalls == 0 {
+		t.Fatalf("K=64 never truncated — the gate pool is not dense enough: %+v", st)
+	}
+
+	medFull := metrics.Median(fullErrs)
+	medTopK := metrics.Median(topKErrs)
+	t.Logf("median q-error: full scan %.4f, top-64 %.4f (pool %d entries, %d FROM keys)",
+		medFull, medTopK, dense.Len(), len(dense.FROMKeys()))
+	if medTopK > medFull*1.05 {
+		t.Errorf("top-64 median q-error %.4f exceeds full-scan %.4f by more than 5%%", medTopK, medFull)
 	}
 }

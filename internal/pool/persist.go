@@ -25,8 +25,8 @@ type persistEntry struct {
 func (p *Pool) Save(w io.Writer) error {
 	p.mu.RLock()
 	entries := make([]persistEntry, 0, p.entries)
-	for _, es := range p.byFrom {
-		for _, e := range es {
+	for _, idx := range p.byFrom {
+		for _, e := range idx.entries {
 			entries = append(entries, persistEntry{SQL: e.Q.SQL(), Card: e.Card})
 		}
 	}

@@ -5,6 +5,13 @@
 // comparable; lookup therefore returns exactly the candidate "old" queries
 // the Cnt2Crd technique can use for a new query.
 //
+// A production pool grows with the workload, so the package also bounds the
+// estimator's per-probe cost: every entry carries a predicate Signature
+// computed once at Add, and TopK ranks a FROM clause's candidates by
+// signature similarity to return only the K most containment-comparable old
+// queries (see Signature). WithCap additionally bounds the pool itself,
+// evicting the least-recently-matched entry once full.
+//
 // The package also provides the final functions F of §5.3.1 (Median, Mean,
 // TrimmedMean) that collapse the per-old-query estimates into one value —
 // the paper found Median best and uses it everywhere.
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"crn/internal/metrics"
 	"crn/internal/query"
@@ -29,47 +37,145 @@ type Entry struct {
 	ID   int64
 }
 
+// fromIndex is the per-FROM-clause candidate index: the entries themselves
+// plus, position-aligned, their precomputed signatures (what TopK scans)
+// and last-match ticks (what eviction consults). sigs and lastHit are
+// append-only under the pool's write lock; lastHit elements are touched
+// with atomics because candidate selection updates them under the read
+// lock.
+type fromIndex struct {
+	entries []Entry
+	sigs    []Signature
+	lastHit []int64
+}
+
 // Pool is a FROM-clause-indexed collection of executed queries. It is safe
 // for concurrent use; in the envisioned deployment the DBMS appends every
 // executed query while estimators read concurrently (§5.2).
 type Pool struct {
 	mu      sync.RWMutex
-	byFrom  map[string][]Entry
+	byFrom  map[string]*fromIndex
 	byKey   map[string]bool
 	entries int
 	nextID  int64
 	version uint64
+	cap     int // 0: unbounded
+
+	// tick is the logical clock of candidate selection: every Matching/TopK
+	// call stamps the entries it returns, and eviction removes the entry
+	// with the oldest stamp.
+	tick atomic.Int64
+
+	evictions atomic.Uint64
+	topKCalls atomic.Uint64
+	scanned   atomic.Uint64 // candidates scored across all TopK calls
+	truncated atomic.Uint64 // TopK calls that actually dropped candidates
+}
+
+// Option configures a new pool.
+type Option func(*Pool)
+
+// WithCap bounds the pool to n entries: once full, every Add evicts the
+// least-recently-matched entry (the one estimates have gone longest without
+// selecting) before inserting. Eviction bumps Version, so version-keyed
+// caches (the serving representation cache) invalidate correctly. n <= 0
+// leaves the pool unbounded.
+func WithCap(n int) Option {
+	return func(p *Pool) {
+		if n > 0 {
+			p.cap = n
+		}
+	}
 }
 
 // New creates an empty pool.
-func New() *Pool {
-	return &Pool{byFrom: make(map[string][]Entry), byKey: make(map[string]bool)}
+func New(opts ...Option) *Pool {
+	p := &Pool{byFrom: make(map[string]*fromIndex), byKey: make(map[string]bool)}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
 }
+
+// Cap returns the configured capacity bound (0: unbounded).
+func (p *Pool) Cap() int { return p.cap }
 
 // Add inserts a query with its actual cardinality. Duplicate queries (same
 // canonical form) are ignored, mirroring the paper's unique-queries pools.
-// It reports whether the entry was inserted.
+// On a capacity-bounded pool at its bound, the least-recently-matched entry
+// is evicted first. It reports whether the entry was inserted.
 func (p *Pool) Add(q query.Query, card int64) bool {
 	if card < 0 {
 		return false
 	}
 	key := q.Key()
+	sig := ComputeSignature(q) // outside the lock: pure function of q
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.byKey[key] {
 		return false
 	}
+	if p.cap > 0 && p.entries >= p.cap {
+		p.evictLRULocked()
+	}
 	p.byKey[key] = true
-	p.byFrom[q.FROMKey()] = append(p.byFrom[q.FROMKey()], Entry{Q: q, Card: card, ID: p.nextID})
+	idx := p.byFrom[q.FROMKey()]
+	if idx == nil {
+		idx = &fromIndex{}
+		p.byFrom[q.FROMKey()] = idx
+	}
+	idx.entries = append(idx.entries, Entry{Q: q, Card: card, ID: p.nextID})
+	idx.sigs = append(idx.sigs, sig)
+	// A fresh entry starts as most-recently matched: it must survive long
+	// enough for estimates to have a chance to select it.
+	idx.lastHit = append(idx.lastHit, p.tick.Add(1))
 	p.nextID++
 	p.entries++
 	p.version++
 	return true
 }
 
-// Version returns a counter that increases with every successful mutation.
-// Caches keyed on pool contents (the serving-side representation cache)
-// compare versions to detect that the pool changed underneath them.
+// evictLRULocked removes the entry with the oldest last-match tick. Callers
+// hold the write lock. The scan is linear in pool size; it runs once per
+// Add on a saturated pool, off the estimate path.
+func (p *Pool) evictLRULocked() {
+	var victimIdx *fromIndex
+	victimFrom := ""
+	victimPos := -1
+	victimTick := int64(0)
+	for from, idx := range p.byFrom {
+		for i := range idx.entries {
+			t := atomic.LoadInt64(&idx.lastHit[i])
+			if victimPos < 0 || t < victimTick ||
+				(t == victimTick && idx.entries[i].ID < victimIdx.entries[victimPos].ID) {
+				victimIdx, victimFrom, victimPos, victimTick = idx, from, i, t
+			}
+		}
+	}
+	if victimPos < 0 {
+		return
+	}
+	e := victimIdx.entries[victimPos]
+	delete(p.byKey, e.Q.Key())
+	n := len(victimIdx.entries)
+	copy(victimIdx.entries[victimPos:], victimIdx.entries[victimPos+1:])
+	victimIdx.entries = victimIdx.entries[:n-1]
+	copy(victimIdx.sigs[victimPos:], victimIdx.sigs[victimPos+1:])
+	victimIdx.sigs = victimIdx.sigs[:n-1]
+	copy(victimIdx.lastHit[victimPos:], victimIdx.lastHit[victimPos+1:])
+	victimIdx.lastHit = victimIdx.lastHit[:n-1]
+	if len(victimIdx.entries) == 0 {
+		delete(p.byFrom, victimFrom)
+	}
+	p.entries--
+	p.version++
+	p.evictions.Add(1)
+}
+
+// Version returns a counter that increases with every successful mutation
+// (inserts and evictions alike). Caches keyed on pool contents (the
+// serving-side representation cache) compare versions to detect that the
+// pool changed underneath them.
 func (p *Pool) Version() uint64 {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -89,7 +195,82 @@ func (p *Pool) Matching(q query.Query) []Entry {
 func (p *Pool) AppendMatching(dst []Entry, q query.Query) []Entry {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return append(dst, p.byFrom[q.FROMKey()]...)
+	idx := p.byFrom[q.FROMKey()]
+	if idx == nil {
+		return dst
+	}
+	p.touchAllLocked(idx)
+	return append(dst, idx.entries...)
+}
+
+// TopK returns the k most containment-comparable pooled candidates for q,
+// ranked by signature similarity (see Signature). The returned slice is a
+// copy and safe to retain.
+func (p *Pool) TopK(q query.Query, k int) []Entry {
+	return p.AppendTopK(nil, q, k)
+}
+
+// AppendTopK appends the top-k candidates for q to dst and returns the
+// extended slice. k <= 0, or k at least the full candidate count, returns
+// exactly what AppendMatching would (same entries, same order), so bounded
+// and unbounded estimates coincide whenever the bound does not bind.
+// Otherwise candidates with empty results are skipped (they carry no
+// information — the estimator drops them anyway) and the k best-scoring
+// survivors are appended best-first, ties broken by insertion ID.
+func (p *Pool) AppendTopK(dst []Entry, q query.Query, k int) []Entry {
+	probe := ComputeSignature(q) // outside the lock: pure function of q
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	idx := p.byFrom[q.FROMKey()]
+	if idx == nil {
+		return dst
+	}
+	if k <= 0 || k >= len(idx.entries) {
+		p.touchAllLocked(idx)
+		return append(dst, idx.entries...)
+	}
+	p.topKCalls.Add(1)
+	p.scanned.Add(uint64(len(idx.entries)))
+	heap := newTopKHeap(k)
+	usable := 0
+	for i := range idx.entries {
+		if idx.entries[i].Card <= 0 {
+			// Empty-result entries carry no information; the estimator drops
+			// them anyway, so skipping them here is not a truncation.
+			continue
+		}
+		usable++
+		heap.offer(scoredRef{score: probe.Similarity(idx.sigs[i]), idx: i, id: idx.entries[i].ID})
+	}
+	refs := heap.sorted()
+	if len(refs) < usable {
+		p.truncated.Add(1)
+	}
+	if p.cap > 0 {
+		now := p.tick.Add(1)
+		for _, r := range refs {
+			atomic.StoreInt64(&idx.lastHit[r.idx], now)
+		}
+	}
+	for _, r := range refs {
+		dst = append(dst, idx.entries[r.idx])
+	}
+	return dst
+}
+
+// touchAllLocked stamps every entry of an index as just-matched. Callers
+// hold at least the read lock; the stores are atomic because concurrent
+// readers may stamp the same slots. On an unbounded pool the stamps are
+// dead weight (nothing ever evicts), so the default serving configuration
+// skips them and the read path stays write-free.
+func (p *Pool) touchAllLocked(idx *fromIndex) {
+	if p.cap <= 0 {
+		return
+	}
+	now := p.tick.Add(1)
+	for i := range idx.lastHit {
+		atomic.StoreInt64(&idx.lastHit[i], now)
+	}
 }
 
 // Contains reports whether the exact query is pooled.
@@ -122,10 +303,43 @@ func (p *Pool) Entries() []Entry {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	out := make([]Entry, 0, p.entries)
-	for _, es := range p.byFrom {
-		out = append(out, es...)
+	for _, idx := range p.byFrom {
+		out = append(out, idx.entries...)
 	}
 	return out
+}
+
+// Stats is a point-in-time snapshot of the pool and its candidate index.
+type Stats struct {
+	Entries  int `json:"entries"`
+	FROMKeys int `json:"from_keys"`
+	Capacity int `json:"capacity"` // 0: unbounded
+	// Evictions counts entries removed by the capacity bound.
+	Evictions uint64 `json:"evictions"`
+	// TopKCalls counts bounded candidate selections (full-scan fallbacks,
+	// where the bound did not bind, are excluded).
+	TopKCalls uint64 `json:"topk_calls"`
+	// ScannedCandidates is the total number of signatures scored across all
+	// TopKCalls — the index-side cost of bounded selection.
+	ScannedCandidates uint64 `json:"scanned_candidates"`
+	// TruncatedCalls counts TopK selections that dropped at least one
+	// candidate (the bound actually bound).
+	TruncatedCalls uint64 `json:"truncated_calls"`
+}
+
+// Stats returns the pool's index and eviction counters.
+func (p *Pool) Stats() Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return Stats{
+		Entries:           p.entries,
+		FROMKeys:          len(p.byFrom),
+		Capacity:          p.cap,
+		Evictions:         p.evictions.Load(),
+		TopKCalls:         p.topKCalls.Load(),
+		ScannedCandidates: p.scanned.Load(),
+		TruncatedCalls:    p.truncated.Load(),
+	}
 }
 
 // Subset returns a new pool holding at most n entries, taken round-robin
@@ -149,7 +363,7 @@ func (p *Pool) Subset(n int) *Pool {
 	for out.entries < n {
 		progress := false
 		for _, k := range keys {
-			es := p.byFrom[k]
+			es := p.byFrom[k].entries
 			if idx < len(es) {
 				out.Add(es[idx].Q, es[idx].Card)
 				progress = true

@@ -85,3 +85,59 @@ func TestConcurrentPoolAccess(t *testing.T) {
 		t.Error("duplicate add succeeded")
 	}
 }
+
+// TestConcurrentTopKAndEviction hammers the bounded pool: writers push the
+// pool over its capacity (every Add evicts) while readers run bounded and
+// unbounded candidate selection, whose last-match stamps feed the eviction
+// policy. Run with -race; assertions only check capacity conservation.
+func TestConcurrentTopKAndEviction(t *testing.T) {
+	s := schema.IMDB()
+	const capacity = 64
+	p := New(WithCap(capacity))
+
+	const writers = 4
+	const readers = 4
+	const perWriter = 150
+
+	probe := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.production_year > 1950")
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				q := sqlparse.MustParse(s, fmt.Sprintf(
+					"SELECT * FROM title WHERE title.production_year > %d", w*perWriter+i))
+				p.Add(q, int64(i+1))
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				if got := p.TopK(probe, 8); len(got) > 8 {
+					t.Errorf("TopK(8) returned %d entries", len(got))
+				}
+				_ = p.Matching(probe)
+				_ = p.Version()
+				_ = p.Stats()
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := p.Len(); got != capacity {
+		t.Errorf("pool size = %d, want capacity %d", got, capacity)
+	}
+	st := p.Stats()
+	if want := uint64(writers*perWriter - capacity); st.Evictions != want {
+		t.Errorf("evictions = %d, want %d", st.Evictions, want)
+	}
+}

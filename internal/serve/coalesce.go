@@ -37,7 +37,7 @@ import (
 // per call. The zero value is not usable; construct with NewCoalescer.
 // Safe for concurrent use.
 type Coalescer[T, R any] struct {
-	run      func([]T) ([]R, error)
+	run      func(context.Context, []T) ([]R, error)
 	key      func(T) string
 	maxBatch int
 	maxWait  time.Duration
@@ -50,6 +50,7 @@ type Coalescer[T, R any] struct {
 
 	calls, batches, batched   atomic.Uint64
 	maxSeen, deduped, dropped atomic.Uint64
+	solo                      atomic.Uint64
 }
 
 // group is one batch shared by all its callers: items are appended under
@@ -68,8 +69,11 @@ type group[T, R any] struct {
 // long a non-full batch is held open for stragglers once the dispatcher is
 // free (0: run with whatever has queued). key, when non-nil, deduplicates
 // items within a batch. run receives the (deduplicated) items and must
-// return one result per item, position-aligned.
-func NewCoalescer[T, R any](maxBatch int, maxWait time.Duration, key func(T) string, run func([]T) ([]R, error)) *Coalescer[T, R] {
+// return one result per item, position-aligned. The context passed to run
+// is Background for shared batches (the work outlives any single caller)
+// and the caller's own context for solo fast-path executions, whose work
+// belongs to exactly one caller.
+func NewCoalescer[T, R any](maxBatch int, maxWait time.Duration, key func(T) string, run func(context.Context, []T) ([]R, error)) *Coalescer[T, R] {
 	if run == nil {
 		panic("serve: NewCoalescer needs a batch runner")
 	}
@@ -89,13 +93,29 @@ func NewCoalescer[T, R any](maxBatch int, maxWait time.Duration, key func(T) str
 }
 
 // Do submits one item and blocks until its batch has executed (or ctx is
-// done). The error is the whole batch's error: a failing item fails every
-// call that shared its execution, so callers wanting per-item error
-// fidelity should retry individually on error. If ctx ends first, Do
+// done). On the shared path the error is the whole batch's error: a failing
+// item fails every call that shared its execution, so callers wanting
+// per-item error fidelity should retry individually on error — unless the
+// error is a SoloError, which marks a solo fast-path failure that already
+// ran the item alone. If ctx ends while waiting on a shared batch, Do
 // returns ctx.Err() immediately; the batch still executes for the other
-// callers and the abandoned result is discarded.
+// callers and the abandoned result is discarded. A solo execution instead
+// receives ctx directly, so cancellation propagates into the runner itself.
 func (c *Coalescer[T, R]) Do(ctx context.Context, v T) (R, error) {
 	c.mu.Lock()
+	if c.maxWait == 0 && !c.running && c.cur == nil && len(c.sealed) == 0 {
+		// Solo fast path: nothing is in flight and nothing is queued, so
+		// there is no one to share a batch with. Run the item synchronously
+		// on the caller's goroutine — no group allocation, no dispatcher
+		// goroutine, no gather yield — which removes the coalescing overhead
+		// from isolated requests entirely. Marking running keeps concurrent
+		// arrivals queueing behind us exactly as behind a dispatcher. A
+		// positive maxWait opts out: it explicitly asks for batches to be
+		// held open for stragglers, which only the dispatcher can do.
+		c.running = true
+		c.mu.Unlock()
+		return c.doSolo(ctx, v)
+	}
 	g := c.cur
 	if g == nil {
 		g = &group[T, R]{items: make([]T, 0, c.maxBatch), done: make(chan struct{})}
@@ -137,6 +157,69 @@ func (c *Coalescer[T, R]) Do(ctx context.Context, v T) (R, error) {
 		return zero, ctx.Err()
 	}
 }
+
+// doSolo executes one item synchronously for the caller that found the
+// coalescer idle. The caller owns the dispatcher role (running is set), so
+// on the way out it must hand queued work — requests that arrived while the
+// solo item ran — to a real dispatcher, or clear the flag. The handoff runs
+// in a defer: the runner executes on the caller's goroutine here, and if it
+// panics into a recovering caller (net/http handlers recover), a skipped
+// handoff would leave running set forever and wedge every future call.
+func (c *Coalescer[T, R]) doSolo(ctx context.Context, v T) (R, error) {
+	defer func() {
+		c.mu.Lock()
+		n, full := c.pendingLocked()
+		if n == 0 && !full {
+			c.running = false
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		go c.dispatch()
+	}()
+	c.calls.Add(1)
+	var out R
+	var err error
+	if err = ctx.Err(); err != nil {
+		// Cancelled before execution: an abandoned slot, minus the batch
+		// that would have run for nobody.
+		c.dropped.Add(1)
+	} else {
+		c.solo.Add(1)
+		c.batches.Add(1)
+		c.batched.Add(1)
+		if c.maxSeen.Load() == 0 {
+			c.maxSeen.CompareAndSwap(0, 1)
+		}
+		var outs []R
+		single := [1]T{v}
+		// The caller's own context: a solo run serves exactly this caller,
+		// so its cancellation must reach the runner (the shared-batch path
+		// cannot honor one caller's deadline; this path can and does).
+		outs, err = c.run(ctx, single[:])
+		if err == nil && len(outs) != 1 {
+			err = fmt.Errorf("serve: batch runner returned %d results for 1 item", len(outs))
+		}
+		if err == nil {
+			out = outs[0]
+		} else {
+			// Mark the failure as solo: the item already ran alone, so a
+			// caller's error-isolation retry would repeat identical work.
+			err = &SoloError{Err: err}
+		}
+	}
+	return out, err
+}
+
+// SoloError wraps an error from a solo fast-path execution. The failed run
+// served exactly the one caller that receives it, so retrying the item
+// alone (the error-isolation strategy for shared batches) would repeat the
+// identical work for the identical result. Unwrap exposes the underlying
+// error to errors.Is/As.
+type SoloError struct{ Err error }
+
+func (e *SoloError) Error() string { return e.Err.Error() }
+func (e *SoloError) Unwrap() error { return e.Err }
 
 // take pops the next batch to execute: the oldest sealed group, else the
 // forming group. Returns nil when nothing is pending. Callers hold c.mu.
@@ -260,7 +343,7 @@ func (c *Coalescer[T, R]) exec(g *group[T, R]) {
 	if dups == 0 {
 		// Common case: no duplicates — run on the group's own items and
 		// publish the runner's result slice directly, no remapping.
-		out, err := c.run(items)
+		out, err := c.run(context.Background(), items)
 		if err == nil && len(out) != len(items) {
 			err = fmt.Errorf("serve: batch runner returned %d results for %d items", len(out), len(items))
 		}
@@ -281,7 +364,7 @@ func (c *Coalescer[T, R]) exec(g *group[T, R]) {
 		slot[i] = len(uniq)
 		uniq = append(uniq, v)
 	}
-	out, err := c.run(uniq)
+	out, err := c.run(context.Background(), uniq)
 	if err == nil && len(out) != len(uniq) {
 		err = fmt.Errorf("serve: batch runner returned %d results for %d items", len(out), len(uniq))
 	}
@@ -301,11 +384,12 @@ func (c *Coalescer[T, R]) exec(g *group[T, R]) {
 // Stats is a point-in-time snapshot of coalescing effectiveness.
 type Stats struct {
 	Calls        uint64 `json:"calls"`         // Do invocations
-	Batches      uint64 `json:"batches"`       // batch executions
+	Batches      uint64 `json:"batches"`       // batch executions (solo runs included)
 	BatchedItems uint64 `json:"batched_items"` // sum of batch sizes (= Calls delivered)
 	MaxBatch     uint64 `json:"max_batch"`     // largest batch executed
 	Deduped      uint64 `json:"deduped"`       // calls answered by another call's slot
 	Abandoned    uint64 `json:"abandoned"`     // calls that left early (ctx done)
+	Solo         uint64 `json:"solo"`          // calls served on the idle fast path (no batching machinery)
 }
 
 // AvgBatch returns the mean executed batch size (0 before any batch).
@@ -330,5 +414,6 @@ func (c *Coalescer[T, R]) Stats() Stats {
 		MaxBatch:     c.maxSeen.Load(),
 		Deduped:      c.deduped.Load(),
 		Abandoned:    c.dropped.Load(),
+		Solo:         c.solo.Load(),
 	}
 }

@@ -19,7 +19,7 @@ type echoRunner struct {
 	block   chan struct{} // when non-nil, executions wait here first
 }
 
-func (r *echoRunner) run(items []int) ([]int, error) {
+func (r *echoRunner) run(_ context.Context, items []int) ([]int, error) {
 	if r.block != nil {
 		<-r.block
 	}
@@ -205,7 +205,7 @@ func TestCoalescerDedup(t *testing.T) {
 func TestCoalescerErrorFansOut(t *testing.T) {
 	boom := errors.New("boom")
 	block := make(chan struct{})
-	c := NewCoalescer(8, 0, nil, func(items []int) ([]int, error) {
+	c := NewCoalescer(8, 0, nil, func(_ context.Context, items []int) ([]int, error) {
 		<-block
 		return nil, boom
 	})
@@ -229,7 +229,7 @@ func TestCoalescerErrorFansOut(t *testing.T) {
 }
 
 func TestCoalescerShortResultIsError(t *testing.T) {
-	c := NewCoalescer(8, 0, nil, func(items []int) ([]int, error) {
+	c := NewCoalescer(8, 0, nil, func(_ context.Context, items []int) ([]int, error) {
 		return items[:0], nil // wrong length
 	})
 	if _, err := c.Do(context.Background(), 1); err == nil {
@@ -240,7 +240,7 @@ func TestCoalescerShortResultIsError(t *testing.T) {
 func TestCoalescerContextCancellation(t *testing.T) {
 	block := make(chan struct{})
 	var executed atomic.Int64
-	c := NewCoalescer(8, 0, nil, func(items []int) ([]int, error) {
+	c := NewCoalescer(8, 0, nil, func(_ context.Context, items []int) ([]int, error) {
 		<-block
 		executed.Add(int64(len(items)))
 		out := make([]int, len(items))
@@ -277,7 +277,7 @@ func TestCoalescerContextCancellation(t *testing.T) {
 // TestCoalescerHammer drives many goroutines through a tiny-batch coalescer
 // under -race; every call must get its own item's result.
 func TestCoalescerHammer(t *testing.T) {
-	c := NewCoalescer(4, 0, nil, func(items []int) ([]int, error) {
+	c := NewCoalescer(4, 0, nil, func(_ context.Context, items []int) ([]int, error) {
 		out := make([]int, len(items))
 		for i, v := range items {
 			out[i] = v * 3
@@ -309,4 +309,186 @@ func TestCoalescerHammer(t *testing.T) {
 		t.Fatalf("post-drain Do = %v, %v", got, err)
 	}
 	_ = fmt.Sprint(st)
+}
+
+// TestCoalescerSoloFastPath pins the idle-coalescer bypass: an isolated
+// call must execute synchronously (Solo counter moves, one batch of one)
+// and queued work arriving behind a solo run must still be served.
+func TestCoalescerSoloFastPath(t *testing.T) {
+	r := &echoRunner{}
+	c := NewCoalescer(8, 0, nil, r.run)
+	for i := 0; i < 5; i++ {
+		got, err := c.Do(context.Background(), i)
+		if err != nil || got != i+1000 {
+			t.Fatalf("Do(%d) = %v, %v", i, got, err)
+		}
+	}
+	st := c.Stats()
+	if st.Solo != 5 {
+		t.Fatalf("sequential idle calls should all take the solo path: %+v", st)
+	}
+	if st.Calls != 5 || st.Batches != 5 || st.BatchedItems != 5 || st.MaxBatch != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Queue arrivals behind a blocked solo run: they must be dispatched
+	// when the solo caller hands off, and they share a batch.
+	r.block = make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.Do(context.Background(), 100); err != nil { // solo, blocks in run
+			t.Error(err)
+		}
+	}()
+	for c.Stats().Calls < 6 { // until the solo call is inside run
+		time.Sleep(time.Millisecond)
+	}
+	results := make([]int, 3)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do(context.Background(), 200+i)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(r.block)
+	wg.Wait()
+	for i, v := range results {
+		if v != 1200+i {
+			t.Fatalf("queued call %d got %d", i, v)
+		}
+	}
+	if st := c.Stats(); st.Calls != 9 || st.BatchedItems != 9 {
+		t.Fatalf("handoff lost calls: %+v", st)
+	}
+}
+
+// TestCoalescerSoloRespectsMaxWait: with a positive maxWait the caller has
+// asked for batches to be held open, so the solo bypass must not apply.
+func TestCoalescerSoloRespectsMaxWait(t *testing.T) {
+	r := &echoRunner{}
+	c := NewCoalescer(8, time.Millisecond, nil, r.run)
+	if _, err := c.Do(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Solo != 0 {
+		t.Fatalf("solo bypass must be disabled under maxWait: %+v", st)
+	}
+}
+
+// TestCoalescerSoloCancelledContext: a cancelled caller on the idle path
+// returns its context error without executing and without wedging the
+// dispatcher handoff.
+func TestCoalescerSoloCancelledContext(t *testing.T) {
+	r := &echoRunner{}
+	c := NewCoalescer(8, 0, nil, r.run)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Do(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled solo call returned %v", err)
+	}
+	st := c.Stats()
+	if st.Abandoned != 1 || st.Batches != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The coalescer is not wedged: a live call still works (and is solo).
+	if got, err := c.Do(context.Background(), 2); err != nil || got != 1002 {
+		t.Fatalf("post-cancel Do = %v, %v", got, err)
+	}
+	if st := c.Stats(); st.Solo != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCoalescerSoloErrorPropagates: the solo runner's error reaches the
+// caller directly (no shared-batch fan-out involved).
+func TestCoalescerSoloErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	c := NewCoalescer(8, 0, nil, func(_ context.Context, items []int) ([]int, error) { return nil, boom })
+	if _, err := c.Do(context.Background(), 1); !errors.Is(err, boom) {
+		t.Fatalf("solo error = %v", err)
+	}
+}
+
+// TestCoalescerSoloPanicDoesNotWedge: the solo path runs the batch runner
+// on the caller's goroutine; if the runner panics into a recovering caller
+// (net/http recovers handler panics), the coalescer must still hand off the
+// dispatcher role instead of leaving `running` set forever.
+func TestCoalescerSoloPanicDoesNotWedge(t *testing.T) {
+	var boom atomic.Bool
+	boom.Store(true)
+	c := NewCoalescer(8, 0, nil, func(_ context.Context, items []int) ([]int, error) {
+		if boom.Swap(false) {
+			panic("runner exploded")
+		}
+		out := make([]int, len(items))
+		for i, v := range items {
+			out[i] = v + 1000
+		}
+		return out, nil
+	})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the solo runner panic to propagate")
+			}
+		}()
+		c.Do(context.Background(), 1)
+	}()
+	// The coalescer must not be wedged: the next call is served.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if got, err := c.Do(context.Background(), 2); err != nil || got != 1002 {
+			t.Errorf("post-panic Do = %v, %v", got, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("coalescer wedged after a solo panic")
+	}
+}
+
+// TestCoalescerSoloPropagatesContext: a solo run receives the caller's own
+// context, so a deadline can abort the in-flight work (the shared-batch
+// path deliberately cannot).
+func TestCoalescerSoloPropagatesContext(t *testing.T) {
+	c := NewCoalescer(8, 0, nil, func(ctx context.Context, items []int) ([]int, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := c.Do(ctx, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("solo run ignored the caller deadline: %v", err)
+	}
+	var solo *SoloError
+	if !errors.As(err, &solo) {
+		t.Fatalf("solo failure should be marked as SoloError: %v", err)
+	}
+}
+
+// TestCoalescerSoloErrorMarked: solo failures carry the SoloError marker
+// (so callers skip the shared-batch error-isolation retry) while remaining
+// matchable with errors.Is.
+func TestCoalescerSoloErrorMarked(t *testing.T) {
+	boom := errors.New("boom")
+	c := NewCoalescer(8, 0, nil, func(context.Context, []int) ([]int, error) { return nil, boom })
+	_, err := c.Do(context.Background(), 1)
+	if !errors.Is(err, boom) {
+		t.Fatalf("solo error = %v", err)
+	}
+	var solo *SoloError
+	if !errors.As(err, &solo) || !errors.Is(solo.Err, boom) {
+		t.Fatalf("solo error not marked: %v", err)
+	}
 }

@@ -87,6 +87,24 @@ func WithTrainConfig(cfg TrainConfig) TrainOption {
 	return func(c *TrainConfig) { *c = cfg }
 }
 
+// --- Queries pool -----------------------------------------------------------
+
+// PoolOption configures NewQueriesPool.
+type PoolOption = pool.Option
+
+// WithPoolCap bounds the queries pool to n entries: once full, recording a
+// new executed query evicts the least-recently-matched entry (the pooled
+// query estimates have gone longest without selecting). Eviction bumps the
+// pool's Version, so the serving representation cache — including its
+// pool-resident snapshot — drops stale rows on the next estimate. n <= 0
+// leaves the pool unbounded (the default; the paper's §5.2 pool grows with
+// the workload).
+func WithPoolCap(n int) PoolOption { return pool.WithCap(n) }
+
+// PoolStats reports pool occupancy plus candidate-index and eviction
+// counters (see QueriesPool.Stats).
+type PoolStats = pool.Stats
+
 // --- Cardinality estimation -------------------------------------------------
 
 // FinalFunc collapses the per-old-query cardinality estimates into the
@@ -138,6 +156,28 @@ func WithFallback(fb BaselineEstimator) EstimatorOption {
 // matches with Qnew ⊂% Qold ≤ ε are skipped to avoid exploding the ratio.
 func WithEpsilon(eps float64) EstimatorOption {
 	return func(s *estimatorSettings) { s.est.Epsilon = eps }
+}
+
+// WithMaxCandidates bounds every estimate's pool scan to the k most
+// containment-comparable old queries, selected by the pool's signature
+// index (column overlap, operator classes, range intersection; see
+// internal/pool.Signature). Estimate latency becomes O(k) in pool size
+// instead of O(pool) — the knob that keeps tail latency flat as the §5.2
+// deployment pools its whole workload. k = 0 (the default) scans every
+// FROM-clause match, the paper's exact algorithm; any k at least the match
+// count is bit-identical to the full scan. The paper's Median final
+// function is robust to subsetting, so moderate k (64 is a good default at
+// 10k+ entry pools) tracks full-scan accuracy closely; see the README's
+// "Scaling the queries pool".
+func WithMaxCandidates(k int) EstimatorOption {
+	return func(s *estimatorSettings) {
+		if k < 0 {
+			k = 0
+		}
+		// k = 0 is a real setting (restore the full scan), so a later option
+		// must be able to override an earlier bound.
+		s.est.MaxCandidates = k
+	}
 }
 
 // WithRepCacheSize bounds the representation cache of a CRN-backed

@@ -60,6 +60,29 @@ func BenchmarkEstimateCardinalityParallelNoCoalesce(b *testing.B) {
 	})
 }
 
+// BenchmarkEstimateCardinalitySoloCoalesced measures an UNcontended
+// coalescing estimator: one request at a time, serially — the traffic shape
+// where coalescing used to cost pure overhead (BENCH_3: 6.9µs uncoalesced
+// vs 8.3µs coalesced at -cpu 1). The solo fast path must serve every one of
+// these calls without batching machinery; the post-run assertion is the
+// regression gate.
+func BenchmarkEstimateCardinalitySoloCoalesced(b *testing.B) {
+	est, queries := parallelBenchEnv(b)
+	ctx := context.Background()
+	before := est.CoalescerStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateCardinality(ctx, queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	after := est.CoalescerStats()
+	if solo := after.Solo - before.Solo; solo < uint64(b.N) {
+		b.Fatalf("solo fast path served %d of %d serial requests; the bypass regressed", solo, b.N)
+	}
+}
+
 // parallelBenchEnv returns the concurrent serving configuration: the same
 // trained system and pool as batchBenchEnv, but with request coalescing on
 // (as cmd/crnserve configures by default). Precompute and sharding are

@@ -1,24 +1,30 @@
 #!/usr/bin/env bash
 # bench.sh — run the repository's performance benchmarks with -benchmem and
-# record the results (plus the frozen pre-PR-3 baseline) in BENCH_3.json,
+# record the results (plus the frozen pre-PR-4 baseline) in BENCH_4.json,
 # the perf trajectory file. Usage:
 #
 #   scripts/bench.sh [output.json]
 #
 # or `make bench`. Pure `go test` — no extra tooling, no cmd/ binaries.
 #
-# The concurrent serving benchmarks run at -cpu 1,4 (the acceptance point of
-# PR 3 is the 4-vCPU parallel single-query throughput), so their names keep
-# the -N GOMAXPROCS suffix; every other benchmark records under its bare
-# name. The frozen baseline below is the PR 2 code measured on this machine:
-# compute-core numbers from BENCH_2.json, parallel serving measured by
-# running BenchmarkEstimateCardinalityParallel against the PR 2 estimator
-# (no coalescing, no pool-resident precompute, single-mutex cache) before
-# the PR 3 changes landed.
+# The concurrent serving benchmarks run at -cpu 1,4 (the parallel
+# single-query throughput point of PR 3), so their names keep the -N
+# GOMAXPROCS suffix; every other benchmark records under its bare name. The
+# large-pool benchmarks (PR 4's acceptance point: per-request latency at
+# 1k/10k/50k pool entries per FROM clause, full scan vs signature-indexed
+# top-64 candidate selection) run at 20 iterations — each full-scan
+# iteration at 50k entries costs tens of milliseconds, so 20x is stable
+# while keeping the whole section under a couple of seconds of measurement.
+#
+# The frozen baseline below is the PR 3 code measured on this machine
+# (BENCH_3.json results). The large-pool benchmark did not exist before
+# PR 4; its baseline is the unbounded scan, which IS the pre-PR candidate
+# path (MaxCandidates = 0 is bit-identical to it), recorded from this
+# machine's first PR 4 run under ".../full".
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_3.json}"
+OUT="${1:-BENCH_4.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -27,17 +33,19 @@ go test ./internal/nn -run '^$' -bench 'MatMul|Dense|SetEncoder|Adam' -benchmem 
 echo "== compute-core benchmarks (training epoch, batched inference) ==" >&2
 go test ./internal/crn -run '^$' -bench 'TrainEpoch|PredictBatch|PredictShared' -benchmem -benchtime 10x | tee -a "$RAW"
 echo "== serving benchmarks (batched cardinality estimation) ==" >&2
-go test . -run '^$' -bench 'EstimateCardinality(Batch|SingleLoop)64' -benchmem -benchtime 5x | tee -a "$RAW"
-echo "== concurrent serving benchmarks (coalescing + precompute, -cpu 1,4) ==" >&2
-go test . -run '^$' -bench 'EstimateCardinalityParallel' -cpu 1,4 -benchmem -benchtime 2s | tee -a "$RAW"
+go test . -run '^$' -bench 'EstimateCardinality(Batch|SingleLoop)64' -benchmem -benchtime 20x | tee -a "$RAW"
+echo "== concurrent serving benchmarks (coalescing + solo bypass, -cpu 1,4) ==" >&2
+go test . -run '^$' -bench 'EstimateCardinality(Parallel|SoloCoalesced)' -cpu 1,4 -benchmem -benchtime 2s | tee -a "$RAW"
+echo "== large-pool benchmarks (signature-indexed top-K vs full scan) ==" >&2
+go test . -run '^$' -bench 'EstimateCardinalityLargePool' -benchmem -benchtime 20x | tee -a "$RAW"
 
 # Render "BenchmarkFoo[-P]  N  ns/op  B/op  allocs/op" lines as JSON. The
-# GOMAXPROCS suffix is meaningful for the Parallel benchmarks (run at
+# GOMAXPROCS suffix is meaningful for the Parallel/Solo benchmarks (run at
 # -cpu 1,4) and stripped everywhere else.
 RESULTS="$(awk '
   /^Benchmark/ {
     name = $1
-    if (name !~ /Parallel/) sub(/-[0-9]+$/, "", name)
+    if (name !~ /Parallel|Solo/) sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
     ns = ""; bytes = ""; allocs = ""
     for (i = 2; i < NF; i++) {
@@ -59,26 +67,31 @@ CPU="$(awk -F': *' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null ||
 
 cat > "$OUT" <<EOF
 {
-  "pr": 3,
-  "description": "High-concurrency serving: request coalescing, pool-resident head precompute, sharded representation cache",
+  "pr": 4,
+  "description": "Sublinear pool candidate selection: signature-indexed top-K matching, pool capacity/LRU eviction, coalescer solo bypass",
   "date": "$DATE",
   "go": "$GOVERSION",
   "cpu": "$CPU",
-  "baseline_commit": "92c2820",
+  "baseline_commit": "ea09fa6",
   "baseline": {
-    "_comment": "pre-PR-3 measurements on the same machine: compute core from BENCH_2.json results; EstimateCardinalityParallel[-4] measured at the PR 2 commit with the PR 2 estimator (2s runs at -cpu 1,4)",
-    "MatMul128": {"ns_per_op": 697993, "bytes_per_op": 0, "allocs_per_op": 0},
-    "MatMulBatchForward": {"ns_per_op": 974668, "bytes_per_op": 0, "allocs_per_op": 0},
-    "DenseForwardBackward": {"ns_per_op": 2019240, "bytes_per_op": 196704, "allocs_per_op": 4},
-    "SetEncoderForward": {"ns_per_op": 655251, "bytes_per_op": 196704, "allocs_per_op": 4},
-    "AdamStep": {"ns_per_op": 496535, "bytes_per_op": 0, "allocs_per_op": 0},
-    "TrainEpoch": {"ns_per_op": 109340086, "bytes_per_op": 677825, "allocs_per_op": 159},
-    "PredictBatch": {"ns_per_op": 5074538, "bytes_per_op": 217635, "allocs_per_op": 4},
-    "PredictShared": {"ns_per_op": 15558514, "bytes_per_op": 567472, "allocs_per_op": 23},
-    "EstimateCardinalityBatch64": {"ns_per_op": 635206, "bytes_per_op": 192460, "allocs_per_op": 2858},
-    "EstimateCardinalitySingleLoop64": {"ns_per_op": 1067996, "bytes_per_op": 295875, "allocs_per_op": 5859},
-    "EstimateCardinalityParallel": {"ns_per_op": 19139, "bytes_per_op": 4622, "allocs_per_op": 91},
-    "EstimateCardinalityParallel-4": {"ns_per_op": 19641, "bytes_per_op": 4626, "allocs_per_op": 91}
+    "_comment": "pre-PR-4 measurements on the same machine: BENCH_3.json results. EstimateCardinalityLargePool/*/full is the pre-PR candidate path (unbounded scan, bit-identical to MaxCandidates=0) measured with the PR 4 harness; compare it against .../k=64 for the candidate-bound speedup.",
+    "MatMul128": {"ns_per_op": 681101, "bytes_per_op": 0, "allocs_per_op": 0},
+    "MatMulBatchForward": {"ns_per_op": 942114, "bytes_per_op": 0, "allocs_per_op": 0},
+    "DenseForwardBackward": {"ns_per_op": 1981559, "bytes_per_op": 196704, "allocs_per_op": 4},
+    "SetEncoderForward": {"ns_per_op": 758854, "bytes_per_op": 196704, "allocs_per_op": 4},
+    "AdamStep": {"ns_per_op": 508671, "bytes_per_op": 0, "allocs_per_op": 0},
+    "TrainEpoch": {"ns_per_op": 108145854, "bytes_per_op": 677825, "allocs_per_op": 159},
+    "PredictBatch": {"ns_per_op": 5181015, "bytes_per_op": 217635, "allocs_per_op": 4},
+    "PredictShared": {"ns_per_op": 13976033, "bytes_per_op": 449401, "allocs_per_op": 19},
+    "EstimateCardinalityBatch64": {"ns_per_op": 286074, "bytes_per_op": 122753, "allocs_per_op": 122},
+    "EstimateCardinalitySingleLoop64": {"ns_per_op": 363342, "bytes_per_op": 132352, "allocs_per_op": 842},
+    "EstimateCardinalityParallel": {"ns_per_op": 8347, "bytes_per_op": 3601, "allocs_per_op": 6},
+    "EstimateCardinalityParallel-4": {"ns_per_op": 9576, "bytes_per_op": 2373, "allocs_per_op": 3},
+    "EstimateCardinalityParallelNoCoalesce": {"ns_per_op": 6937, "bytes_per_op": 2068, "allocs_per_op": 13},
+    "EstimateCardinalityParallelNoCoalesce-4": {"ns_per_op": 11644, "bytes_per_op": 2068, "allocs_per_op": 13},
+    "EstimateCardinalityLargePool/entries=1000/full": {"ns_per_op": 961841, "bytes_per_op": 333528, "allocs_per_op": 27},
+    "EstimateCardinalityLargePool/entries=10000/full": {"ns_per_op": 10846890, "bytes_per_op": 3316616, "allocs_per_op": 62},
+    "EstimateCardinalityLargePool/entries=50000/full": {"ns_per_op": 56676100, "bytes_per_op": 16360200, "allocs_per_op": 164}
   },
   "results": {
 $RESULTS
