@@ -15,22 +15,27 @@ race:
 	go test -race ./...
 
 # bench runs the nn-kernel, compute-core and serving benchmarks (including
-# the concurrent serving benchmarks at -cpu 1,4 and the large-pool top-K
-# benchmarks) with -benchmem and records results (plus the frozen pre-PR
-# baseline) in BENCH_4.json.
+# the concurrent serving benchmarks at -cpu 1,4, the large-pool top-K
+# benchmarks, the saturated-pool eviction benchmarks and the feedback-loop
+# trainer-idle/active benchmarks) with -benchmem and records results (plus
+# the frozen pre-PR baseline) in BENCH_5.json.
 bench:
 	scripts/bench.sh
 
 # bench-smoke compiles and runs every perf-critical benchmark exactly once
 # (no timing assertions): a fast CI gate that kernel, workspace, cache,
-# coalescer or pool-index changes still execute. The parallel serving
-# benchmarks run at -cpu 1,4 so both the single- and multi-GOMAXPROCS
-# dispatch paths execute; the large-pool benchmarks exercise signature
-# selection and the solo bypass once per size point.
+# coalescer, pool-index or adaptation-loop changes still execute. The
+# parallel serving benchmarks run at -cpu 1,4 so both the single- and
+# multi-GOMAXPROCS dispatch paths execute; the large-pool benchmarks
+# exercise signature selection and the solo bypass once per size point;
+# the trainer benchmarks run one whole retrain/promotion cycle under
+# estimate traffic, and the pool benchmarks one heap eviction per size.
 bench-smoke:
 	go test ./internal/nn ./internal/crn -run '^$$' -bench . -benchtime 1x -benchmem
 	go test . -run '^$$' -bench 'EstimateCardinality(Parallel|SoloCoalesced)' -cpu 1,4 -benchtime 1x -benchmem
 	go test . -run '^$$' -bench 'EstimateCardinalityLargePool' -benchtime 1x -benchmem
+	go test . -run '^$$' -bench 'EstimateCardinalityTrainer' -cpu 4 -benchtime 1x -benchmem
+	go test ./internal/pool -run '^$$' -bench 'AddSaturated' -benchtime 1x -benchmem
 
 fmt:
 	gofmt -l .

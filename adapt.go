@@ -1,0 +1,179 @@
+package crn
+
+import (
+	"context"
+	"time"
+
+	"crn/internal/card"
+	icrn "crn/internal/crn"
+	"crn/internal/online"
+)
+
+// This file is the facade over internal/online: the execution-feedback
+// adaptation loop of the §5.2 deployment. A DBMS that serves estimates also
+// executes queries, so (query, true cardinality) ground truth arrives
+// continuously; an AdaptiveEstimator ingests that feedback, grows the pool
+// with it, incrementally retrains the containment model in the background,
+// and atomically hot-swaps improved model generations under live traffic.
+
+// AdaptiveEstimator is a CardinalityEstimator with the online-adaptation
+// loop attached. All CardinalityEstimator methods work unchanged (and run
+// against the current model generation through one atomic load per pass);
+// RecordFeedback feeds the loop, the background trainer promotes improved
+// generations, and Close tears the loop down.
+//
+// Construction starts the background trainer immediately; a deployment
+// that wants full manual control passes WithRetrainInterval(-1) and calls
+// Retrain itself.
+type AdaptiveEstimator struct {
+	*CardinalityEstimator
+	sys     *System
+	col     *online.Collector
+	trainer *online.Trainer
+	drift   *online.DriftMonitor
+	cancel  context.CancelFunc
+}
+
+// CollectorStats reports feedback-ingestion counters (see
+// AdaptiveEstimator.AdaptationStats).
+type CollectorStats = online.CollectorStats
+
+// TrainerStats reports background-retraining counters.
+type TrainerStats = online.TrainerStats
+
+// DriftStats reports the drift monitor's windowed q-error quantiles and
+// trigger state.
+type DriftStats = online.DriftStats
+
+// AdaptationStats is a point-in-time snapshot of the whole adaptation
+// loop, shaped for health endpoints.
+type AdaptationStats struct {
+	// Generation is the live model generation (1 at startup, +1 per
+	// promotion).
+	Generation uint64         `json:"generation"`
+	Collector  CollectorStats `json:"collector"`
+	Trainer    TrainerStats   `json:"trainer"`
+	Drift      DriftStats     `json:"drift"`
+}
+
+// AdaptiveEstimator builds the paper's Cnt2Crd(CRN) estimator with the
+// online-adaptation loop attached. It accepts every CardinalityEstimator
+// option plus the adaptation options (WithFeedbackBuffer, WithRetrainBatch,
+// WithRetrainInterval, WithRetrainEpochs, WithPromoteTolerance,
+// WithFeedbackPairs, WithDriftTrigger).
+//
+// The returned estimator owns a background trainer goroutine and a pool
+// subscription; call Close when discarding it. The supplied model is
+// generation 1; the model handle itself is never mutated (retraining works
+// on clones), so it remains valid for containment estimation throughout.
+func (s *System) AdaptiveEstimator(m *ContainmentModel, p *QueriesPool, opts ...EstimatorOption) *AdaptiveEstimator {
+	set := estimatorSettings{cacheSize: icrn.DefaultRepCacheSize}
+	est := card.New(m.rates, p)
+	set.est = est
+	for _, o := range opts {
+		o(&set)
+	}
+	box := online.NewModelBox(m.model, s.enc, set.cacheSize, p)
+	est.Rates = box
+	ce := &CardinalityEstimator{est: est, pool: p, box: box}
+	ce.initCoalescer(set)
+
+	cfg := set.adapt
+	ae := &AdaptiveEstimator{
+		CardinalityEstimator: ce,
+		sys:                  s,
+		col:                  online.NewCollector(p, cfg.BufferCap),
+		drift:                online.NewDriftMonitor(cfg.DriftThreshold, cfg.DriftWindow, cfg.DriftMinSamples),
+	}
+	// The trainer's labeling oracle runs under a context cancelled by
+	// Close, so an in-flight retrain aborts promptly at teardown.
+	ctx, cancel := context.WithCancel(context.Background())
+	ae.cancel = cancel
+	ae.trainer = online.NewTrainer(cfg, box, ae.col, p, ctxOracle{ctx: ctx, ex: s.exec}, ae.drift)
+	ae.trainer.Start()
+	return ae
+}
+
+// RecordFeedback ingests one piece of execution feedback: the SQL text of
+// a query the workload actually executed and its observed true
+// cardinality. The query is parsed and validated (unparseable text wraps
+// ErrDialect), its truth is compared against the live estimate to feed the
+// drift monitor (a drifted window kicks an early retrain), and the record
+// is staged for the background trainer — deduplicated against the pool and
+// the staged buffer, bounded by the feedback buffer. accepted reports
+// whether the record was staged (false: duplicate or buffer full).
+//
+// The call never blocks on retraining; its cost is one parse plus one
+// estimate (for drift accounting) plus a buffered append.
+func (e *AdaptiveEstimator) RecordFeedback(ctx context.Context, sql string, card int64) (accepted bool, err error) {
+	q, err := e.sys.ParseQuery(sql)
+	if err != nil {
+		return false, err
+	}
+	return e.RecordFeedbackQuery(ctx, q, card)
+}
+
+// RecordFeedbackQuery is RecordFeedback for an already parsed query.
+func (e *AdaptiveEstimator) RecordFeedbackQuery(ctx context.Context, q Query, card int64) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if card < 0 {
+		// Invalid feedback must not touch the drift window; the collector
+		// rejects it with the error and counts it.
+		return e.col.Offer(q, card, time.Now())
+	}
+	// Drift accounting: how wrong was the live model about this truth?
+	// Queries the estimator cannot answer (no pool match, no fallback) are
+	// skipped — there is no estimate to score.
+	e.revalidate()
+	if est, err := e.est.EstimateCardCtx(ctx, q); err == nil {
+		if e.drift.Observe(est, float64(card)) {
+			e.trainer.Kick()
+		}
+	}
+	return e.col.Offer(q, card, time.Now())
+}
+
+// Retrain runs one synchronous retrain cycle over the staged feedback and
+// reports whether a new model generation was promoted. The background
+// trainer does this on its own schedule; Retrain exists for tests,
+// operational tooling, and deployments driving the loop manually.
+func (e *AdaptiveEstimator) Retrain(ctx context.Context) (promoted bool, err error) {
+	return e.trainer.RetrainNow(ctx)
+}
+
+// StagedFeedback returns the number of feedback records waiting for the
+// background trainer. Cheaper than AdaptationStats for per-request use
+// (one mutex, no window snapshot).
+func (e *AdaptiveEstimator) StagedFeedback() int {
+	return e.col.Staged()
+}
+
+// ModelGeneration returns the live model generation: 1 at construction,
+// incremented by every promotion. In-flight estimates that loaded an older
+// generation finish on it; every estimate observes exactly one generation.
+func (e *AdaptiveEstimator) ModelGeneration() uint64 {
+	return e.box.Generation()
+}
+
+// AdaptationStats returns a snapshot of the feedback loop: ingestion,
+// retraining and drift counters plus the live generation.
+func (e *AdaptiveEstimator) AdaptationStats() AdaptationStats {
+	return AdaptationStats{
+		Generation: e.box.Generation(),
+		Collector:  e.col.Stats(),
+		Trainer:    e.trainer.Stats(),
+		Drift:      e.drift.Stats(),
+	}
+}
+
+// Close stops the background trainer (waiting for an in-flight cycle),
+// cancels its labeling work and releases the pool subscription. The
+// estimator still answers estimates afterwards — on its last promoted
+// generation — but no longer adapts.
+func (e *AdaptiveEstimator) Close() {
+	e.cancel()
+	e.trainer.Stop()
+	e.CardinalityEstimator.Close()
+}

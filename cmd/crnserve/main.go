@@ -6,11 +6,12 @@
 // At startup it opens the synthetic database, loads (or trains) a CRN
 // containment model, seeds the queries pool, and listens. Endpoints:
 //
-//	POST /estimate        {"query": "SELECT ..."}         -> {"cardinality": 123.0}
-//	POST /estimate        {"q1": "...", "q2": "..."}      -> {"containment": 0.42}
-//	POST /estimate/batch  {"queries": ["...", "..."]}     -> {"cardinalities": [...], "count": 2}
-//	POST /record          {"query": "SELECT ..."}         -> {"cardinality": 17, "added": true, "pool_size": 301}
-//	GET  /healthz                                         -> {"status": "ok", ...}
+//	POST /estimate        {"query": "SELECT ..."}              -> {"cardinality": 123.0}
+//	POST /estimate        {"q1": "...", "q2": "..."}           -> {"containment": 0.42}
+//	POST /estimate/batch  {"queries": ["...", "..."]}          -> {"cardinalities": [...], "count": 2}
+//	POST /record          {"query": "SELECT ..."}              -> {"cardinality": 17, "added": true, "pool_size": 301}
+//	POST /feedback        {"query": "...", "cardinality": 17}  -> {"accepted": true, "staged": 3, ...}
+//	GET  /healthz                                              -> {"status": "ok", ...}
 //
 // /estimate/batch amortizes feature encoding and runs the CRN forward pass
 // matrix-batched across the whole request. /record executes the query
@@ -34,6 +35,18 @@
 // bounds the pool itself with LRU-by-last-match eviction. /healthz reports
 // the index and eviction counters under "pool".
 //
+// Online adaptation (on by default, disable with -adapt=false): /feedback
+// ingests execution feedback — a query the workload actually ran and its
+// observed true cardinality. Feedback grows the queries pool and feeds a
+// background trainer that incrementally retrains the containment model and
+// atomically hot-swaps improved generations under live traffic, gated on
+// validation q-error (-promote-tolerance). The drift monitor compares live
+// estimates against arriving truths; when the windowed median q-error
+// exceeds -drift-threshold, a retrain is kicked early. Tune with
+// -feedback-buffer, -feedback-min-batch, -retrain-interval,
+// -retrain-epochs; observe on /healthz ("online": generation, collector,
+// trainer, drift).
+//
 // Errors map typed facade sentinels to statuses: unparseable dialect -> 400,
 // no usable pool match (estimator without fallback) -> 422, cancelled -> 503.
 //
@@ -43,6 +56,7 @@
 //	crnserve -addr :8080 -model crn.model   # skip training, load weights
 //	crnserve -addr :8080 -coalesce-batch 128 -coalesce-wait 200us -pprof
 //	crnserve -addr :8080 -pool-cap 100000 -max-candidates 64
+//	crnserve -addr :8080 -retrain-interval 30s -drift-threshold 16
 package main
 
 import (
@@ -76,6 +90,14 @@ func main() {
 	coalesceBatch := flag.Int("coalesce-batch", 64, "max concurrent /estimate requests coalesced into one batched pass (< 2 disables coalescing)")
 	coalesceWait := flag.Duration("coalesce-wait", 0, "how long to hold a non-full coalescing batch open for stragglers (0: adaptive, never waits)")
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling opt-in)")
+	adapt := flag.Bool("adapt", true, "enable the online-adaptation loop (/feedback ingestion, background retraining, model hot-swap)")
+	feedbackBuffer := flag.Int("feedback-buffer", 1024, "staged execution-feedback records before /feedback rejects (adaptation)")
+	feedbackMinBatch := flag.Int("feedback-min-batch", 16, "staged records that make a scheduled retrain worthwhile (adaptation)")
+	retrainInterval := flag.Duration("retrain-interval", 5*time.Second, "background trainer polling period; negative disables scheduled retraining (adaptation)")
+	retrainEpochs := flag.Int("retrain-epochs", 8, "incremental training epochs per retrain cycle (adaptation)")
+	promoteTolerance := flag.Float64("promote-tolerance", 0.05, "promotion gate: candidate validation q-error may exceed live by this fraction (adaptation)")
+	driftThreshold := flag.Float64("drift-threshold", 0, "windowed median q-error of live estimates vs feedback truths that kicks an early retrain (0: observe only)")
+	driftWindow := flag.Int("drift-window", 256, "rolling window size of the drift monitor (adaptation)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "crnserve: ", log.LstdFlags)
@@ -150,9 +172,28 @@ func main() {
 		opts = append(opts, crn.WithMaxCandidates(*maxCandidates))
 		logger.Printf("candidate selection bounded to top-%d pool entries per estimate", *maxCandidates)
 	}
-	est := sys.CardinalityEstimator(model, pool, opts...)
+
+	var est *crn.CardinalityEstimator
+	var adaptive *crn.AdaptiveEstimator
+	if *adapt {
+		adaptive = sys.AdaptiveEstimator(model, pool, append(opts,
+			crn.WithFeedbackBuffer(*feedbackBuffer),
+			crn.WithRetrainBatch(*feedbackMinBatch),
+			crn.WithRetrainInterval(*retrainInterval),
+			crn.WithRetrainEpochs(*retrainEpochs),
+			crn.WithPromoteTolerance(*promoteTolerance),
+			crn.WithDriftTrigger(*driftThreshold, *driftWindow),
+		)...)
+		defer adaptive.Close()
+		est = adaptive.CardinalityEstimator
+		logger.Printf("online adaptation on (buffer=%d min-batch=%d interval=%v epochs=%d tolerance=%.2f drift-threshold=%g)",
+			*feedbackBuffer, *feedbackMinBatch, *retrainInterval, *retrainEpochs, *promoteTolerance, *driftThreshold)
+	} else {
+		est = sys.CardinalityEstimator(model, pool, opts...)
+	}
 
 	handler := newServer(sys, model, pool, est, logger)
+	handler.adaptive = adaptive
 	handler.pprof = *pprofFlag
 	if *pprofFlag {
 		logger.Printf("pprof enabled under /debug/pprof/")

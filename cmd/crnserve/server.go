@@ -26,6 +26,12 @@ type server struct {
 	pool  *crn.QueriesPool
 	est   *crn.CardinalityEstimator
 
+	// adaptive, when non-nil, is the online-adaptation view of est:
+	// /feedback ingests execution feedback through it and /healthz reports
+	// the loop's counters. est aliases its CardinalityEstimator, so the
+	// estimate handlers need no branching.
+	adaptive *crn.AdaptiveEstimator
+
 	started  time.Time
 	recorded atomic.Int64 // queries appended via /record
 	logger   *log.Logger
@@ -48,6 +54,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /estimate", s.handleEstimate)
 	mux.HandleFunc("POST /estimate/batch", s.handleEstimateBatch)
 	mux.HandleFunc("POST /record", s.handleRecord)
+	if s.adaptive != nil {
+		mux.HandleFunc("POST /feedback", s.handleFeedback)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -129,6 +138,25 @@ type recordResponse struct {
 	PoolSize    int   `json:"pool_size"`
 }
 
+// feedbackRequest drives /feedback: execution feedback for a query the
+// workload actually ran. Cardinality is a pointer so a missing field is
+// distinguishable from an observed empty result.
+type feedbackRequest struct {
+	Query       string `json:"query"`
+	Cardinality *int64 `json:"cardinality"`
+}
+
+type feedbackResponse struct {
+	// Accepted reports whether the record was staged for retraining
+	// (false: already pooled/staged, or the feedback buffer is full).
+	Accepted bool `json:"accepted"`
+	// Staged is the number of records waiting for the background trainer.
+	Staged int `json:"staged"`
+	// Generation is the live model generation at response time.
+	Generation uint64 `json:"generation"`
+	PoolSize   int    `json:"pool_size"`
+}
+
 type healthzResponse struct {
 	Status        string  `json:"status"`
 	PoolSize      int     `json:"pool_size"`
@@ -146,6 +174,10 @@ type healthzResponse struct {
 	Coalescer       crn.CoalescerStats `json:"coalescer"`
 	EstimateLatency latencySnapshot    `json:"estimate_latency"`
 	BatchLatency    latencySnapshot    `json:"batch_latency"`
+	// Online reports the adaptation loop — live model generation, feedback
+	// ingestion, background retraining and drift monitoring — and is
+	// omitted when the server runs with -adapt=false.
+	Online *crn.AdaptationStats `json:"online,omitempty"`
 }
 
 type errorResponse struct {
@@ -245,12 +277,10 @@ func (s *server) handleRecord(w http.ResponseWriter, r *http.Request) {
 	}
 	if added {
 		s.recorded.Add(1)
-		// The pool mutated: flush the estimator's representation cache
-		// eagerly so the very next estimate re-encodes against the new
-		// pool version (the version check would catch it anyway; the
-		// explicit call makes the write path's invalidation visible and
-		// keeps the flush off the read path's latency).
-		s.est.InvalidateRepresentations()
+		// No cache flush here: the estimator's representation cache is
+		// subscribed to the pool and absorbs the mutation surgically (an
+		// insert invalidates nothing, an eviction drops exactly the
+		// evicted entry's rows), so the warm working set keeps serving.
 	}
 	s.writeJSON(w, http.StatusOK, recordResponse{
 		Cardinality: card,
@@ -259,8 +289,43 @@ func (s *server) handleRecord(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleFeedback ingests execution feedback: the query the workload ran
+// and the true cardinality it observed. The record feeds the adaptation
+// loop (pool growth, background retraining, drift monitoring); the call
+// itself never blocks on training.
+func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req feedbackRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Query == "" || req.Cardinality == nil {
+		s.writeError(w, http.StatusBadRequest,
+			errors.New(`provide "query" and its observed "cardinality"`))
+		return
+	}
+	if *req.Cardinality < 0 {
+		s.writeError(w, http.StatusBadRequest,
+			errors.New(`"cardinality" must be a non-negative observed row count`))
+		return
+	}
+	accepted, err := s.adaptive.RecordFeedback(r.Context(), req.Query, *req.Cardinality)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	// Lightweight accessors, not AdaptationStats: the full snapshot sorts
+	// the whole drift window, which has no place on a per-request path.
+	s.writeJSON(w, http.StatusOK, feedbackResponse{
+		Accepted:   accepted,
+		Staged:     s.adaptive.StagedFeedback(),
+		Generation: s.adaptive.ModelGeneration(),
+		PoolSize:   s.pool.Len(),
+	})
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, healthzResponse{
+	resp := healthzResponse{
 		Status:          "ok",
 		PoolSize:        s.pool.Len(),
 		Recorded:        s.recorded.Load(),
@@ -270,7 +335,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Coalescer:       s.est.CoalescerStats(),
 		EstimateLatency: s.estimateLatency.snapshot(),
 		BatchLatency:    s.batchLatency.snapshot(),
-	})
+	}
+	if s.adaptive != nil {
+		st := s.adaptive.AdaptationStats()
+		resp.Online = &st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // --- Plumbing ---------------------------------------------------------------

@@ -423,3 +423,158 @@ func TestBoundedPoolConfigAndHealthz(t *testing.T) {
 		t.Errorf("top-K selection counters never moved: %+v", hr.Pool)
 	}
 }
+
+// adaptiveServer builds a server with the online-adaptation loop attached
+// (manual retraining: interval -1, so tests drive promotion explicitly)
+// over the shared trained model and a fresh seeded pool.
+func adaptiveServer(t *testing.T) *server {
+	t.Helper()
+	base := testServer(t)
+	ctx := context.Background()
+	pool := base.sys.NewQueriesPool()
+	if err := base.sys.SeedPool(ctx, pool, 10, 13); err != nil {
+		t.Fatal(err)
+	}
+	ae := base.sys.AdaptiveEstimator(base.model, pool,
+		crn.WithRetrainInterval(-1),
+		crn.WithRetrainEpochs(1),
+		crn.WithFeedbackPairs(2),
+		crn.WithPromoteTolerance(10))
+	t.Cleanup(ae.Close)
+	srv := newServer(base.sys, base.model, pool, ae.CardinalityEstimator, nil)
+	srv.adaptive = ae
+	return srv
+}
+
+// TestFeedbackEndpoint drives /feedback end to end: ingestion, validation
+// errors, duplicate handling, a manually driven retrain promoting a new
+// model generation, and the /healthz "online" section reflecting it all.
+func TestFeedbackEndpoint(t *testing.T) {
+	srv := adaptiveServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// Valid feedback is staged.
+	sql := "SELECT * FROM title WHERE title.production_year > 1961"
+	status, body, err := postJSONErr(ts.URL+"/feedback",
+		map[string]any{"query": sql, "cardinality": 40})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("feedback: status %d err %v body %s", status, err, body)
+	}
+	var fr feedbackResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Accepted || fr.Staged != 1 || fr.Generation != 1 {
+		t.Fatalf("feedback response = %+v", fr)
+	}
+
+	// The same query again is a duplicate, not an error.
+	status, body, err = postJSONErr(ts.URL+"/feedback",
+		map[string]any{"query": sql, "cardinality": 40})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("duplicate feedback: status %d err %v", status, err)
+	}
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Accepted || fr.Staged != 1 {
+		t.Fatalf("duplicate must not re-stage: %+v", fr)
+	}
+
+	// Validation failures map to 400.
+	for name, req := range map[string]map[string]any{
+		"missing cardinality": {"query": sql},
+		"negative":            {"query": sql, "cardinality": -3},
+		"bad dialect":         {"query": "DELETE FROM title", "cardinality": 1},
+		"missing query":       {"cardinality": 4},
+	} {
+		status, _, err := postJSONErr(ts.URL+"/feedback", req)
+		if err != nil || status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (err %v)", name, status, err)
+		}
+	}
+
+	// A second record, then a manual retrain: the generous tolerance gate
+	// promotes generation 2 and the pool grew by the feedback.
+	poolBefore := srv.pool.Len()
+	if status, _, err := postJSONErr(ts.URL+"/feedback", map[string]any{
+		"query": "SELECT * FROM title WHERE title.production_year > 1987", "cardinality": 11,
+	}); err != nil || status != http.StatusOK {
+		t.Fatalf("second feedback: status %d err %v", status, err)
+	}
+	promoted, err := srv.adaptive.Retrain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !promoted {
+		t.Fatalf("retrain did not promote: %+v", srv.adaptive.AdaptationStats())
+	}
+	if got := srv.pool.Len(); got != poolBefore+2 {
+		t.Errorf("pool size = %d, want %d (feedback becomes pool entries)", got, poolBefore+2)
+	}
+
+	// Estimates keep working on the promoted generation.
+	status, body, err = postJSONErr(ts.URL+"/estimate", map[string]string{"query": sql})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("post-promotion estimate: status %d err %v body %s", status, err, body)
+	}
+
+	// /healthz surfaces the whole loop.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Online == nil {
+		t.Fatal("healthz must report the online section when adaptation is on")
+	}
+	if hr.Online.Generation != 2 {
+		t.Errorf("generation = %d, want 2", hr.Online.Generation)
+	}
+	if hr.Online.Trainer.Promotions != 1 || hr.Online.Trainer.Retrains != 1 {
+		t.Errorf("trainer stats = %+v", hr.Online.Trainer)
+	}
+	if hr.Online.Collector.Accepted != 2 || hr.Online.Collector.Duplicates == 0 {
+		t.Errorf("collector stats = %+v", hr.Online.Collector)
+	}
+	if hr.Online.Collector.Staged != 0 {
+		t.Errorf("retrain must drain staged feedback: %+v", hr.Online.Collector)
+	}
+	if hr.Online.Drift.QError.Total == 0 {
+		t.Errorf("drift monitor never observed: %+v", hr.Online.Drift)
+	}
+}
+
+// TestFeedbackDisabledWithoutAdaptation pins that a server without the
+// adaptation loop does not expose /feedback and omits the online health
+// section.
+func TestFeedbackDisabledWithoutAdaptation(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	status, _, err := postJSONErr(ts.URL+"/feedback",
+		map[string]any{"query": "SELECT * FROM title", "cardinality": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusNotFound {
+		t.Errorf("/feedback on a non-adaptive server = %d, want 404", status)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Online != nil {
+		t.Errorf("online section must be omitted without adaptation: %+v", hr.Online)
+	}
+}

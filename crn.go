@@ -31,6 +31,12 @@
 //	card, _ := est.EstimateCardinality(ctx, q1)
 //	cards, _ := est.EstimateCardinalityBatch(ctx, []crn.Query{q1, q2})
 //
+// Deployments that keep executing queries can close the loop with an
+// AdaptiveEstimator: execution feedback (query, true cardinality) streams
+// in through RecordFeedback, a background trainer incrementally retrains
+// the containment model on it, and improved model generations are
+// hot-swapped atomically under live traffic (see adapt.go).
+//
 // Everything underneath — the synthetic IMDb-like database, the exact
 // executor used for ground truth, the neural-network stack, the MSCN and
 // PostgreSQL baselines, and the full experiment harness regenerating every

@@ -3,9 +3,11 @@ package crn
 import (
 	"context"
 	"errors"
+	"runtime"
 
 	"crn/internal/card"
 	icrn "crn/internal/crn"
+	"crn/internal/online"
 	"crn/internal/serve"
 )
 
@@ -31,6 +33,23 @@ type CardinalityEstimator struct {
 	cache *icrn.RepCache
 	pool  *QueriesPool
 	coal  *serve.Coalescer[Query, float64]
+
+	// box, when non-nil, is the atomic model-generation indirection of an
+	// AdaptiveEstimator: the rate model and its representation cache are
+	// read through one atomic pointer load per estimation pass, so a
+	// background promotion swaps both coherently under live traffic.
+	box *online.ModelBox
+}
+
+// activeCache resolves the representation cache estimates run against: the
+// current generation's cache for an adaptive estimator, the fixed one
+// otherwise. May be nil (ImproveBaseline, WithoutRepCache); RepCache
+// methods are nil-safe.
+func (e *CardinalityEstimator) activeCache() *icrn.RepCache {
+	if e.box != nil {
+		return e.box.Current().Rates.Cache
+	}
+	return e.cache
 }
 
 // RepCacheStats reports representation-cache effectiveness (see
@@ -60,9 +79,42 @@ func (s *System) CardinalityEstimator(m *ContainmentModel, p *QueriesPool, opts 
 		rates := *m.rates
 		rates.Cache = ce.cache
 		est.Rates = &rates
+		if p != nil {
+			// Surgical invalidation: the cache absorbs pool mutations as they
+			// happen (an eviction drops one cached row, an insert none), so
+			// record/feedback traffic no longer flushes the warm working set.
+			p.Subscribe(ce.cache)
+			// Callers predating Close never call it; when such an estimator
+			// is garbage collected, reclaim the subscription so discarded
+			// estimators cannot pin their caches in the pool's listener list
+			// forever. (Close does this deterministically; the cleanup's
+			// duplicate Unsubscribe is a no-op.)
+			runtime.AddCleanup(ce, func(s poolSub) { s.pool.Unsubscribe(s.cache) },
+				poolSub{pool: p, cache: ce.cache})
+		}
 	}
 	ce.initCoalescer(set)
 	return ce
+}
+
+// poolSub is the GC-cleanup payload releasing a discarded estimator's
+// pool subscription; it must not reference the estimator itself.
+type poolSub struct {
+	pool  *QueriesPool
+	cache *icrn.RepCache
+}
+
+// Close releases the estimator's pool subscription (the surgical cache
+// invalidation hook). Estimators are usually process-lived; call Close when
+// discarding one while its pool lives on.
+func (e *CardinalityEstimator) Close() {
+	if e.box != nil {
+		e.box.Close()
+		return
+	}
+	if e.cache != nil && e.pool != nil {
+		e.pool.Unsubscribe(e.cache)
+	}
 }
 
 // initCoalescer wires the request micro-batcher when WithCoalescing asked
@@ -102,11 +154,12 @@ func (s *System) ImproveBaseline(m BaselineEstimator, p *QueriesPool, opts ...Es
 }
 
 // revalidate flushes the representation cache when the pool has mutated
-// since the last estimate. A nil pool is left for the underlying
-// estimator's configuration check to report as an error.
+// since the last estimate in a way the cache did not absorb surgically.
+// A nil pool is left for the underlying estimator's configuration check to
+// report as an error.
 func (e *CardinalityEstimator) revalidate() {
-	if e.cache != nil && e.pool != nil {
-		e.cache.Validate(e.pool.Version())
+	if e.pool != nil {
+		e.activeCache().Validate(e.pool.Version())
 	}
 }
 
@@ -159,9 +212,7 @@ func (e *CardinalityEstimator) EstimateCardinalityBatch(ctx context.Context, que
 // a long-lived estimator, or from a serving write path that wants the flush
 // to happen eagerly rather than on the next estimate.
 func (e *CardinalityEstimator) InvalidateRepresentations() {
-	if e.cache != nil {
-		e.cache.Invalidate()
-	}
+	e.activeCache().Invalidate()
 }
 
 // CacheStats reports representation-cache hits, misses and tier occupancy.
@@ -169,7 +220,7 @@ func (e *CardinalityEstimator) InvalidateRepresentations() {
 // under WithoutRepCache — report all zeros (the nil cache's Stats is a
 // guarded no-op, so this is safe to call unconditionally).
 func (e *CardinalityEstimator) CacheStats() RepCacheStats {
-	return e.cache.Stats()
+	return e.activeCache().Stats()
 }
 
 // CoalescerStats reports request-coalescing counters; all zeros for an

@@ -184,9 +184,10 @@ func TestNilPoolReturnsErrorNotPanic(t *testing.T) {
 
 // TestPoolEvictionInvalidatesRepCache pins the capacity-bounded pool to the
 // serving cache's invalidation contract: an LRU eviction bumps the pool
-// Version, the resident representation snapshot drops its stale rows on the
-// next estimate, and cached estimates stay bit-identical to uncached ones
-// over the mutated pool.
+// Version and surgically drops exactly the evicted entry's cached rows
+// (the estimator's cache subscribes to the pool), the rest of the resident
+// working set stays warm, and cached estimates stay bit-identical to
+// uncached ones over the mutated pool.
 func TestPoolEvictionInvalidatesRepCache(t *testing.T) {
 	ctx := context.Background()
 	sys := testSystem(t)
@@ -223,8 +224,9 @@ func TestPoolEvictionInvalidatesRepCache(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if st := cached.CacheStats(); st.Resident == 0 {
-		t.Fatalf("resident tier never warmed: %+v", st)
+	warm := cached.CacheStats()
+	if warm.Resident == 0 {
+		t.Fatalf("resident tier never warmed: %+v", warm)
 	}
 
 	// Overflow the pool: the least-recently-matched entry is evicted.
@@ -240,9 +242,17 @@ func TestPoolEvictionInvalidatesRepCache(t *testing.T) {
 		t.Fatalf("eviction must bump Version: %d -> %d", vBefore, v)
 	}
 
-	// First post-eviction estimate revalidates: the stale resident snapshot
-	// is gone and the answer matches the uncached estimator over the
-	// mutated pool exactly.
+	// The eviction was absorbed surgically: exactly one resident row was
+	// dropped (the victim was part of the warmed working set) and the rest
+	// of the working set stayed resident — no wholesale flush.
+	if st := cached.CacheStats(); st.Resident != warm.Resident-1 {
+		t.Fatalf("surgical eviction should drop exactly one resident row: %d -> %d",
+			warm.Resident, st.Resident)
+	}
+
+	// Post-eviction estimates match the uncached estimator over the mutated
+	// pool exactly, and serve from the still-warm cache (no new misses for
+	// the surviving working set beyond the freshly recorded entry).
 	want, err := uncached.EstimateCardinality(ctx, probe)
 	if err != nil {
 		t.Fatal(err)
@@ -254,20 +264,20 @@ func TestPoolEvictionInvalidatesRepCache(t *testing.T) {
 	if got != want {
 		t.Fatalf("post-eviction cached estimate %v != uncached %v", got, want)
 	}
-	if st := cached.CacheStats(); st.Resident != 0 {
-		t.Fatalf("resident snapshot should be dropped right after the flush: %+v", st)
-	}
-
-	// Re-warm: the working set promotes again and stays bit-identical.
 	for i := 0; i < 3; i++ {
 		if got, err = cached.EstimateCardinality(ctx, probe); err != nil {
 			t.Fatal(err)
 		}
 		if got != want {
-			t.Fatalf("re-warmed cached estimate %v != uncached %v", got, want)
+			t.Fatalf("warm post-eviction cached estimate %v != uncached %v", got, want)
 		}
 	}
-	if st := cached.CacheStats(); st.Resident == 0 {
-		t.Errorf("resident tier did not re-warm after the eviction flush: %+v", st)
+	st := cached.CacheStats()
+	if st.Resident == 0 {
+		t.Errorf("resident tier should stay warm across an eviction: %+v", st)
+	}
+	if st.Misses > warm.Misses+4 {
+		t.Errorf("surgical eviction should not re-encode the surviving working set: misses %d -> %d",
+			warm.Misses, st.Misses)
 	}
 }

@@ -666,6 +666,10 @@ func (m *Model) TrainCtx(ctx context.Context, train, val []Sample, progress func
 // by applying new updated training samples, instead of re-training from
 // scratch"). The optimizer restarts but the learned weights persist, so a
 // modest number of epochs adapts the model to a drifted database.
+//
+// Fine-tuning on a small adaptation set usually wants a reduced learning
+// rate (SetLR): the full training rate lets a few hundred fresh samples
+// drag well-fit weights far from the bulk of what the model knows.
 func (m *Model) ContinueTraining(train, val []Sample, epochs int, progress func(EpochStats)) ([]EpochStats, error) {
 	if epochs <= 0 {
 		return nil, fmt.Errorf("crn: epochs must be positive")
@@ -675,6 +679,18 @@ func (m *Model) ContinueTraining(train, val []Sample, epochs int, progress func(
 	defer func() { m.cfg = saved }()
 	return m.Train(train, val, progress)
 }
+
+// SetLR overrides the learning rate used by subsequent training runs
+// (non-positive values are ignored). Incremental fine-tuning typically
+// scales the original rate down by 4-10x.
+func (m *Model) SetLR(lr float64) {
+	if lr > 0 {
+		m.cfg.LR = lr
+	}
+}
+
+// LR returns the configured learning rate.
+func (m *Model) LR() float64 { return m.cfg.LR }
 
 // ValidationQError computes the mean q-error of predictions over a sample
 // set, the validation metric of §3.3 (Figures 3 and 4). It runs once per

@@ -209,6 +209,28 @@ func (r *Rates) pairPredictor(ws *nn.Workspace, queries []query.Query) (*PairPre
 	return pred, nil
 }
 
+// Warm precomputes and caches the serving-side state for the given
+// queries: set-module representations and factorized-head partial
+// products, inserted into the sharded tier on the first pass and promoted
+// into the zero-copy resident tier on the second. A freshly promoted model
+// generation warms its cache with the pool's working set off the hot path,
+// so the first estimates after a hot-swap already run at steady-state cost
+// instead of re-encoding the whole pool. A Rates without a cache is a
+// no-op.
+func (r *Rates) Warm(queries []query.Query) error {
+	if r.Cache == nil || len(queries) == 0 {
+		return nil
+	}
+	ws := r.M.getWS()
+	defer r.M.putWS(ws)
+	if _, err := r.pairPredictor(ws, queries); err != nil {
+		return err
+	}
+	ws.Reset()
+	_, err := r.pairPredictor(ws, queries)
+	return err
+}
+
 // EstimateRatesIndexed implements contain.IndexedRateEstimator: one
 // set-module pass over the cache-missing queries (resident cache hits cost
 // a map read, see pairPredictor), then head passes in chunks of headChunk

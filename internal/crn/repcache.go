@@ -38,14 +38,20 @@ import (
 // Invalidation is therefore conservative and explicit:
 //
 //   - Validate(poolVersion) clears the cache whenever the observed pool
-//     version changes — the facade calls it before every estimate, so a
-//     /record (or any pool mutation) flushes stale state by construction.
-//     This is deliberately stricter than the dependency set above requires
-//     (pool growth does not change any cached entry): it trades hit rate
-//     under record-heavy workloads for invalidation that stays correct even
-//     if cached values ever grow a pool dependency. In the
-//     estimate-dominated §5.2 deployment the working set re-warms in two
-//     batches (one to see each entry, one to promote it).
+//     version advances past the last version the cache has absorbed — the
+//     facade calls it before every estimate, so a pool mutation the cache
+//     did not witness flushes stale state by construction. This is
+//     deliberately stricter than the dependency set above requires (pool
+//     growth does not change any cached entry): it trades hit rate under
+//     record-heavy workloads for invalidation that stays correct even if
+//     cached values ever grow a pool dependency.
+//   - PoolMutated(version, evictedKey) — the pool.MutationListener hook —
+//     absorbs mutations surgically for a cache subscribed to its pool (the
+//     facade subscribes every estimator cache): an eviction drops exactly
+//     the evicted entry's cached rows, an insert drops nothing, and the
+//     absorbed version keeps the next Validate on its no-flush fast path.
+//     Under sustained record/feedback traffic the cached working set
+//     therefore stays warm instead of re-encoding after every mutation.
 //   - Invalidate() clears unconditionally, for model or encoder swaps.
 //
 // Capacity is bounded per tier: the resident tier stops promoting at the
@@ -101,20 +107,33 @@ type repEntry struct {
 // residentSnap is one immutable publication of the resident tier. byKey
 // maps canonical query keys to row indices valid in all four matrices.
 // Never mutated after publication — readers hold it without locks.
+// Surgical eviction republishes the map without the evicted key while
+// sharing the matrices (the dead row is tombstoned, not reclaimed); the
+// next promotion compacts tombstones away.
 type residentSnap struct {
 	byKey map[string]int
 	reps1 *nn.Matrix // n×h rows through MLP1
 	reps2 *nn.Matrix // n×h rows through MLP2
 	pp1   *nn.Matrix // n×2h rows: reps1·(W1+W3)
 	pp2   *nn.Matrix // n×2h rows: reps2·(W2+W3)
+	dead  int        // tombstoned rows not reachable through byKey
 }
 
-// rows returns the number of resident entries.
+// rows returns the number of resident rows (live and tombstoned alike):
+// the base-row offset request-local extras are addressed past.
 func (s *residentSnap) rows() int {
 	if s == nil {
 		return 0
 	}
 	return s.reps1.Rows
+}
+
+// deadRows returns the number of tombstoned rows.
+func (s *residentSnap) deadRows() int {
+	if s == nil {
+		return 0
+	}
+	return s.dead
 }
 
 // DefaultRepCacheSize is the default entry bound of a serving cache.
@@ -153,27 +172,89 @@ func (c *RepCache) shard(key string) *repShard {
 	return &c.shards[fnv1a(key)&(repShards-1)]
 }
 
-// Validate flushes the cache if the observed pool version differs from the
-// last one seen. The first observation adopts the version without flushing.
-// The unchanged-version case — every estimate in steady-state serving —
-// is a lock-free pair of atomic loads, so concurrent estimates do not
-// contend here.
+// Validate flushes the cache if the observed pool version advances past
+// the last version absorbed (by a previous Validate or, for subscribed
+// caches, by PoolMutated). The first observation adopts the version without
+// flushing. The comparison is monotone — pool versions only grow — so an
+// estimate that loaded the pool version just before a concurrent, already
+// absorbed mutation cannot trigger a spurious flush. The caught-up case —
+// every estimate in steady-state serving — is a lock-free pair of atomic
+// loads, so concurrent estimates do not contend here.
 func (c *RepCache) Validate(version uint64) {
 	if c == nil {
 		return
 	}
-	if c.started.Load() && c.version.Load() == version {
+	if c.started.Load() && version <= c.version.Load() {
 		return
 	}
 	c.flushMu.Lock()
 	switch {
 	case !c.started.Load():
 		c.started.Store(true)
-	case c.version.Load() != version:
+		c.version.Store(version)
+	case version > c.version.Load():
 		c.flush()
+		c.version.Store(version)
 	}
-	c.version.Store(version)
 	c.flushMu.Unlock()
+}
+
+// PoolMutated implements pool.MutationListener: it absorbs one pool
+// mutation surgically instead of waiting for Validate's wholesale flush.
+// An eviction drops the evicted query's cached rows from both tiers (an
+// insert requires nothing — cached entries depend only on their own query
+// text and the frozen weights), then the seen version is raised so the
+// next Validate recognizes the mutation as handled. Called under the
+// pool's write lock, so it must not call back into the pool.
+func (c *RepCache) PoolMutated(version uint64, evictedKey string) {
+	if c == nil {
+		return
+	}
+	if evictedKey != "" {
+		c.remove(evictedKey)
+	}
+	c.flushMu.Lock()
+	c.started.Store(true)
+	if version > c.version.Load() {
+		c.version.Store(version)
+	}
+	c.flushMu.Unlock()
+}
+
+// remove drops one key from both tiers: a sharded-tier delete, and a
+// copy-on-write republication of the resident key map that tombstones the
+// row (matrices are shared, the row's storage is reclaimed by the next
+// promotion's compaction). Unknown keys are a no-op.
+func (c *RepCache) remove(key string) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if _, ok := s.entries[key]; ok {
+		delete(s.entries, key)
+		c.size.Add(-1)
+	}
+	s.mu.Unlock()
+
+	c.promoteMu.Lock()
+	defer c.promoteMu.Unlock()
+	old := c.resident.Load()
+	if old == nil {
+		return
+	}
+	if _, ok := old.byKey[key]; !ok {
+		return
+	}
+	next := &residentSnap{
+		byKey: make(map[string]int, len(old.byKey)-1),
+		reps1: old.reps1, reps2: old.reps2,
+		pp1: old.pp1, pp2: old.pp2,
+		dead: old.dead + 1,
+	}
+	for k, v := range old.byKey {
+		if k != key {
+			next.byKey[k] = v
+		}
+	}
+	c.resident.Store(next)
 }
 
 // Invalidate unconditionally discards every cached entry in both tiers.
@@ -229,7 +310,8 @@ func (c *RepCache) Stats() RepCacheStats {
 		Capacity: c.cap,
 		Shards:   repShards,
 	}
-	st.Resident = c.resident.Load().rows()
+	snap := c.resident.Load()
+	st.Resident = snap.rows() - snap.deadRows()
 	st.Size = st.Resident
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -350,7 +432,7 @@ func (c *RepCache) promote(gen uint64, promos []promotion) {
 		return
 	}
 	old := c.resident.Load()
-	oldRows := old.rows()
+	oldLive := old.rows() - old.deadRows()
 	fresh := promos[:0]
 	seen := make(map[string]bool, len(promos))
 	for _, p := range promos {
@@ -362,7 +444,7 @@ func (c *RepCache) promote(gen uint64, promos []promotion) {
 				continue
 			}
 		}
-		if oldRows+len(fresh) >= c.cap {
+		if oldLive+len(fresh) >= c.cap {
 			break
 		}
 		seen[p.key] = true
@@ -380,7 +462,7 @@ func (c *RepCache) promote(gen uint64, promos []promotion) {
 		c.promoteMu.Unlock()
 		return
 	}
-	n := oldRows + len(fresh)
+	n := oldLive + len(fresh)
 	next := &residentSnap{
 		byKey: make(map[string]int, n),
 		reps1: nn.NewMatrix(n, h),
@@ -388,7 +470,9 @@ func (c *RepCache) promote(gen uint64, promos []promotion) {
 		pp1:   nn.NewMatrix(n, cols),
 		pp2:   nn.NewMatrix(n, cols),
 	}
-	if old != nil {
+	row := 0
+	if old != nil && old.dead == 0 {
+		// No tombstones: one bulk copy, old row numbering preserved.
 		for k, v := range old.byKey {
 			next.byKey[k] = v
 		}
@@ -396,14 +480,26 @@ func (c *RepCache) promote(gen uint64, promos []promotion) {
 		copy(next.reps2.Data, old.reps2.Data)
 		copy(next.pp1.Data, old.pp1.Data)
 		copy(next.pp2.Data, old.pp2.Data)
+		row = old.rows()
+	} else if old != nil {
+		// Surgical evictions tombstoned rows: compact live rows only, so the
+		// dead rows' storage is reclaimed here.
+		for k, v := range old.byKey {
+			next.byKey[k] = row
+			copy(next.reps1.Row(row), old.reps1.Row(v))
+			copy(next.reps2.Row(row), old.reps2.Row(v))
+			copy(next.pp1.Row(row), old.pp1.Row(v))
+			copy(next.pp2.Row(row), old.pp2.Row(v))
+			row++
+		}
 	}
-	for i, p := range fresh {
-		row := oldRows + i
+	for _, p := range fresh {
 		next.byKey[p.key] = row
 		copy(next.reps1.Row(row), p.rep1)
 		copy(next.reps2.Row(row), p.rep2)
 		copy(next.pp1.Row(row), p.pp1)
 		copy(next.pp2.Row(row), p.pp2)
+		row++
 	}
 	c.resident.Store(next)
 	c.promoted.Add(uint64(len(fresh)))

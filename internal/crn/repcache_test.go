@@ -312,3 +312,88 @@ func TestRepCacheConcurrentUse(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestRepCacheSurgicalRemove pins the PR 5 surgical-invalidation path: a
+// pool eviction delivered through PoolMutated drops exactly the evicted
+// key's rows from both tiers, leaves every other entry warm, raises the
+// absorbed version so the next Validate does not flush, and the next
+// promotion compacts tombstoned resident rows away.
+func TestRepCacheSurgicalRemove(t *testing.T) {
+	c := NewRepCache(8)
+	c.Validate(1)
+	a1, a2, a3, a4 := cacheRow(1)
+	b1, b2, b3, b4 := cacheRow(2)
+	s1, s2, s3, s4 := cacheRow(3)
+	c.promote(c.gen.Load(), []promotion{
+		{key: "a", rep1: a1, rep2: a2, pp1: a3, pp2: a4},
+		{key: "b", rep1: b1, rep2: b2, pp1: b3, pp2: b4},
+	})
+	c.insert(c.gen.Load(), "s", s1, s2, s3, s4)
+
+	// Insert-only mutation: nothing is dropped, version is absorbed.
+	c.PoolMutated(2, "")
+	if st := c.Stats(); st.Resident != 2 || st.Size != 3 {
+		t.Fatalf("insert mutation must not drop anything: %+v", st)
+	}
+	c.Validate(2)
+	if st := c.Stats(); st.Size != 3 {
+		t.Fatalf("absorbed version must not flush on Validate: %+v", st)
+	}
+
+	// Evict a resident key: one tombstone, the other row stays readable.
+	c.PoolMutated(3, "a")
+	snap := c.resident.Load()
+	if _, ok := snap.byKey["a"]; ok {
+		t.Fatal("evicted key must leave the resident map")
+	}
+	if st := c.Stats(); st.Resident != 1 || st.Size != 2 {
+		t.Fatalf("stats after resident eviction = %+v", st)
+	}
+	if snap.reps1.Row(snap.byKey["b"])[0] != 2 {
+		t.Fatal("surviving resident row corrupted")
+	}
+
+	// Evict a sharded-tier key.
+	c.PoolMutated(4, "s")
+	if ok, _ := lookupRow(c, "s"); ok {
+		t.Fatal("evicted sharded entry must miss")
+	}
+	// Unknown keys are a no-op.
+	c.PoolMutated(5, "never-seen")
+	c.Validate(5)
+	if st := c.Stats(); st.Size != 1 || st.Resident != 1 {
+		t.Fatalf("post-absorption stats = %+v", st)
+	}
+
+	// The next promotion compacts the tombstone away: two live keys, two
+	// rows, values intact.
+	d1, d2, d3, d4 := cacheRow(9)
+	c.promote(c.gen.Load(), []promotion{{key: "d", rep1: d1, rep2: d2, pp1: d3, pp2: d4}})
+	snap = c.resident.Load()
+	if snap.rows() != 2 || snap.deadRows() != 0 {
+		t.Fatalf("promotion should compact tombstones: rows=%d dead=%d", snap.rows(), snap.deadRows())
+	}
+	if snap.reps1.Row(snap.byKey["b"])[0] != 2 || snap.reps1.Row(snap.byKey["d"])[0] != 9 {
+		t.Fatal("compaction scrambled rows")
+	}
+}
+
+// TestRepCacheValidateMonotone pins the monotone comparison: an estimate
+// that loaded the pool version just before a concurrent, already absorbed
+// mutation (so it validates with an OLDER version than the cache has seen)
+// must not flush the cache.
+func TestRepCacheValidateMonotone(t *testing.T) {
+	c := NewRepCache(8)
+	c.Validate(7)
+	a1, a2, a3, a4 := cacheRow(1)
+	c.insert(c.gen.Load(), "a", a1, a2, a3, a4)
+	c.PoolMutated(9, "") // listener absorbed version 9
+	c.Validate(8)        // stale observer
+	if c.Stats().Size != 1 {
+		t.Fatal("older-version Validate after absorption must not flush")
+	}
+	c.Validate(10) // genuinely unabsorbed mutation: flush
+	if c.Stats().Size != 0 {
+		t.Fatal("unabsorbed newer version must flush")
+	}
+}

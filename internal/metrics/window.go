@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// RollingWindow is a fixed-capacity ring over the most recent observations
+// with quantile snapshots, safe for concurrent use. It backs the online
+// drift monitor: execution feedback streams q-errors of live estimates
+// against arriving truths, and the windowed quantiles decide whether the
+// serving model has drifted away from the workload. Observation is O(1)
+// under a mutex; snapshots copy and sort the window (a few hundred floats
+// at the default sizes), so they are cheap enough for health endpoints but
+// should stay off per-request hot paths.
+type RollingWindow struct {
+	mu    sync.Mutex
+	buf   []float64
+	n     int // filled slots
+	pos   int // next write position
+	total uint64
+}
+
+// NewRollingWindow creates a window over the last `capacity` observations
+// (capacity <= 0 is sized to 256).
+func NewRollingWindow(capacity int) *RollingWindow {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &RollingWindow{buf: make([]float64, capacity)}
+}
+
+// Observe appends one observation, displacing the oldest once full.
+// Non-finite values are dropped — a NaN would poison every quantile.
+func (w *RollingWindow) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	w.mu.Lock()
+	w.buf[w.pos] = v
+	w.pos = (w.pos + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.total++
+	w.mu.Unlock()
+}
+
+// Reset discards every windowed observation (the lifetime total survives).
+func (w *RollingWindow) Reset() {
+	w.mu.Lock()
+	w.n = 0
+	w.pos = 0
+	w.mu.Unlock()
+}
+
+// Len returns the current number of windowed observations.
+func (w *RollingWindow) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Quantile returns the p'th percentile (0..100) over the window, or NaN
+// for an empty window.
+func (w *RollingWindow) Quantile(p float64) float64 {
+	w.mu.Lock()
+	sorted := append([]float64(nil), w.buf[:w.n]...)
+	w.mu.Unlock()
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(sorted)
+	return Percentile(sorted, p)
+}
+
+// WindowSnapshot is a point-in-time summary of a RollingWindow, shaped for
+// health endpoints (zero values, not NaN, for an empty window).
+type WindowSnapshot struct {
+	Count int     `json:"count"` // observations currently windowed
+	Total uint64  `json:"total"` // lifetime observations
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// Snapshot computes the windowed summary.
+func (w *RollingWindow) Snapshot() WindowSnapshot {
+	w.mu.Lock()
+	sorted := append([]float64(nil), w.buf[:w.n]...)
+	total := w.total
+	w.mu.Unlock()
+	snap := WindowSnapshot{Count: len(sorted), Total: total}
+	if len(sorted) == 0 {
+		return snap
+	}
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	snap.P50 = Percentile(sorted, 50)
+	snap.P90 = Percentile(sorted, 90)
+	snap.P99 = Percentile(sorted, 99)
+	snap.Max = sorted[len(sorted)-1]
+	snap.Mean = sum / float64(len(sorted))
+	return snap
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestRollingWindowQuantiles(t *testing.T) {
+	w := NewRollingWindow(4)
+	if !math.IsNaN(w.Quantile(50)) {
+		t.Error("empty window quantile should be NaN")
+	}
+	if snap := w.Snapshot(); snap.Count != 0 || snap.P50 != 0 {
+		t.Errorf("empty snapshot = %+v", snap)
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		w.Observe(v)
+	}
+	if got := w.Quantile(50); got != 2.5 {
+		t.Errorf("median of 1..4 = %v", got)
+	}
+	// Ring displacement: 5 and 6 push out 1 and 2.
+	w.Observe(5)
+	w.Observe(6)
+	if got := w.Quantile(0); got != 3 {
+		t.Errorf("window min after displacement = %v, want 3", got)
+	}
+	snap := w.Snapshot()
+	if snap.Count != 4 || snap.Total != 6 || snap.Max != 6 || snap.Mean != 4.5 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.P50 != 4.5 {
+		t.Errorf("windowed median = %v, want 4.5", snap.P50)
+	}
+}
+
+func TestRollingWindowDropsNonFinite(t *testing.T) {
+	w := NewRollingWindow(8)
+	w.Observe(math.NaN())
+	w.Observe(math.Inf(1))
+	w.Observe(2)
+	if w.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (non-finite dropped)", w.Len())
+	}
+	if got := w.Quantile(50); got != 2 {
+		t.Errorf("median = %v", got)
+	}
+}
+
+func TestRollingWindowConcurrent(t *testing.T) {
+	w := NewRollingWindow(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w.Observe(float64(g*200 + i))
+				if i%50 == 0 {
+					_ = w.Snapshot()
+					_ = w.Quantile(90)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := w.Snapshot()
+	if snap.Count != 64 || snap.Total != 1600 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}

@@ -1,0 +1,150 @@
+package online
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"crn/internal/contain"
+	icrn "crn/internal/crn"
+	"crn/internal/feature"
+	"crn/internal/pool"
+	"crn/internal/query"
+)
+
+// Generation is one published model generation: the trained model, its
+// serving rate adapter, and the generation number. Each generation owns
+// its representation cache (inside Rates), so rows computed under one
+// set of weights can never serve another — promotion replaces model and
+// cache together in a single pointer store, which is the whole coherence
+// argument.
+type Generation struct {
+	Model *icrn.Model
+	Rates *icrn.Rates
+	Gen   uint64
+}
+
+// ModelBox is the atomic model indirection estimators read through: one
+// pointer load per estimation pass resolves the current generation, so an
+// in-flight estimate finishes on the generation it loaded while requests
+// arriving after a promotion see the new one — no locks on the hot path,
+// no torn state, no blocking on retraining.
+//
+// The box implements the contain rate-estimator interfaces by delegating
+// to the current generation, which lets it stand wherever a *crn.Rates
+// does (in particular as card.Estimator.Rates).
+type ModelBox struct {
+	cur atomic.Pointer[Generation]
+
+	enc       *feature.Encoder
+	cacheSize int
+	pool      *pool.Pool
+
+	// promoteMu serializes promotions (the trainer is the only writer in
+	// the deployment, but tests and operators may race RetrainNow calls).
+	promoteMu sync.Mutex
+}
+
+// NewModelBox publishes generation 1 over the given model. cacheSize > 0
+// equips every generation with its own representation cache of that
+// capacity; p, when non-nil, gets each generation's cache subscribed for
+// surgical invalidation (and the previous one unsubscribed on promotion).
+func NewModelBox(m *icrn.Model, enc *feature.Encoder, cacheSize int, p *pool.Pool) *ModelBox {
+	b := &ModelBox{enc: enc, cacheSize: cacheSize, pool: p}
+	b.cur.Store(b.newGeneration(m, 1))
+	return b
+}
+
+// newGeneration binds a model into a Generation with a fresh cache.
+func (b *ModelBox) newGeneration(m *icrn.Model, gen uint64) *Generation {
+	rates := icrn.NewRates(m, b.enc)
+	if b.cacheSize > 0 {
+		rates.Cache = icrn.NewRepCache(b.cacheSize)
+		if b.pool != nil {
+			b.pool.Subscribe(rates.Cache)
+		}
+	}
+	return &Generation{Model: m, Rates: rates, Gen: gen}
+}
+
+// Current returns the live generation.
+func (b *ModelBox) Current() *Generation { return b.cur.Load() }
+
+// Generation returns the live generation number (monotonically increasing
+// from 1).
+func (b *ModelBox) Generation() uint64 { return b.cur.Load().Gen }
+
+// Promote atomically publishes m as the next generation and returns it.
+// The old generation's cache is unsubscribed from the pool; estimates that
+// already loaded the old generation finish on it unharmed (its model,
+// cache and weight fold all stay internally consistent).
+func (b *ModelBox) Promote(m *icrn.Model) *Generation {
+	return b.Publish(b.Prepare(m))
+}
+
+// Prepare builds the successor generation without publishing it: the
+// model is bound to fresh rates with its own cache, already subscribed to
+// the pool (mutations between Prepare and Publish are absorbed). The
+// caller may warm the unpublished generation's cache — still off the hot
+// path — before Publish flips traffic onto it (see Rates.Warm). Every
+// prepared generation must be published: the cache subscription is only
+// released when a LATER promotion supersedes the generation.
+func (b *ModelBox) Prepare(m *icrn.Model) *Generation {
+	return b.newGeneration(m, 0) // the generation number is assigned at Publish
+}
+
+// Publish atomically flips traffic onto a generation built by Prepare and
+// returns it (with its generation number assigned).
+func (b *ModelBox) Publish(next *Generation) *Generation {
+	b.promoteMu.Lock()
+	defer b.promoteMu.Unlock()
+	old := b.cur.Load()
+	next.Gen = old.Gen + 1
+	b.cur.Store(next)
+	if b.pool != nil && old.Rates.Cache != nil {
+		b.pool.Unsubscribe(old.Rates.Cache)
+	}
+	return next
+}
+
+// Close unsubscribes the live generation's cache from the pool.
+func (b *ModelBox) Close() {
+	b.promoteMu.Lock()
+	defer b.promoteMu.Unlock()
+	if g := b.cur.Load(); b.pool != nil && g.Rates.Cache != nil {
+		b.pool.Unsubscribe(g.Rates.Cache)
+	}
+}
+
+// --- contain interface delegation -------------------------------------------
+
+// EstimateRate implements contain.RateEstimator on the live generation.
+func (b *ModelBox) EstimateRate(q1, q2 query.Query) (float64, error) {
+	return b.cur.Load().Rates.EstimateRate(q1, q2)
+}
+
+// EstimateRates implements contain.BatchRateEstimator on the live
+// generation.
+func (b *ModelBox) EstimateRates(pairs [][2]query.Query) ([]float64, error) {
+	return b.cur.Load().Rates.EstimateRates(pairs)
+}
+
+// EstimateRatesCtx implements contain.CtxBatchRateEstimator on the live
+// generation.
+func (b *ModelBox) EstimateRatesCtx(ctx context.Context, pairs [][2]query.Query) ([]float64, error) {
+	return b.cur.Load().Rates.EstimateRatesCtx(ctx, pairs)
+}
+
+// EstimateRatesIndexed implements contain.IndexedRateEstimator on the live
+// generation — the interface the pool-based estimator actually serves
+// through, so the whole indexed batch pass (and its cache reads) runs on
+// one consistent generation resolved by a single atomic load.
+func (b *ModelBox) EstimateRatesIndexed(ctx context.Context, queries []query.Query, idx [][2]int) ([]float64, error) {
+	return b.cur.Load().Rates.EstimateRatesIndexed(ctx, queries, idx)
+}
+
+var (
+	_ contain.RateEstimator         = (*ModelBox)(nil)
+	_ contain.CtxBatchRateEstimator = (*ModelBox)(nil)
+	_ contain.IndexedRateEstimator  = (*ModelBox)(nil)
+)

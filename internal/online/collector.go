@@ -1,0 +1,158 @@
+package online
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crn/internal/pool"
+	"crn/internal/query"
+)
+
+// Record is one piece of execution feedback: a query the DBMS actually ran
+// together with its observed true cardinality.
+type Record struct {
+	Q          query.Query
+	Card       int64
+	ObservedAt time.Time
+}
+
+// Collector validates, deduplicates and stages execution feedback in a
+// bounded buffer until the trainer drains it. It sits on the serving write
+// path (every /feedback request), so Offer is a short critical section —
+// no parsing, no executor calls, no training work.
+//
+// Deduplication is two-level: against the queries pool (a pooled query's
+// truth is already known; re-learning it adds nothing) and against the
+// staged buffer itself (the same query reported twice between drains
+// counts once). Overflow rejects the newcomer rather than displacing
+// staged records: staged feedback is strictly older and therefore closer
+// to being trained on.
+type Collector struct {
+	pool *pool.Pool
+	cap  int
+
+	mu     sync.Mutex
+	staged []Record
+	keys   map[string]bool
+
+	accepted   atomic.Uint64
+	duplicates atomic.Uint64
+	corrected  atomic.Uint64
+	invalid    atomic.Uint64
+	overflow   atomic.Uint64
+	drained    atomic.Uint64
+}
+
+// NewCollector creates a collector staging at most capacity records
+// (capacity <= 0 selects the Config default of 1024). The pool, when
+// non-nil, is consulted for deduplication.
+func NewCollector(p *pool.Pool, capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = Config{}.withDefaults().BufferCap
+	}
+	return &Collector{pool: p, cap: capacity, keys: make(map[string]bool)}
+}
+
+// Offer stages one feedback record. It reports whether the record was
+// accepted; a negative cardinality is an error (feedback must carry an
+// observed truth), a duplicate or an overflow is a silent false, counted
+// in Stats. Feedback for an already pooled query whose truth is unchanged
+// is a duplicate — the pool already carries everything it teaches. When
+// its truth MOVED (the data changed underneath the DBMS, the §9 update
+// case), the pool entry is corrected in place so Cnt2Crd stops anchoring
+// estimates to a stale cardinality, AND the record is staged: a moved
+// truth is fresh training signal, and without staging it a
+// corrections-dominated drift could never feed the retrainer.
+func (c *Collector) Offer(q query.Query, card int64, observedAt time.Time) (bool, error) {
+	if card < 0 {
+		c.invalid.Add(1)
+		return false, fmt.Errorf("online: feedback cardinality must be non-negative, got %d", card)
+	}
+	key := q.Key()
+	if c.pool != nil && c.pool.Contains(q) {
+		if !c.pool.UpdateCard(q, card) {
+			c.duplicates.Add(1)
+			return false, nil
+		}
+		c.corrected.Add(1)
+		// Fall through: stage the corrected record for retraining.
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.keys[key] {
+		c.duplicates.Add(1)
+		return false, nil
+	}
+	if len(c.staged) >= c.cap {
+		c.overflow.Add(1)
+		return false, nil
+	}
+	c.keys[key] = true
+	c.staged = append(c.staged, Record{Q: q, Card: card, ObservedAt: observedAt})
+	c.accepted.Add(1)
+	return true, nil
+}
+
+// Drain removes and returns up to max staged records, oldest first
+// (max <= 0 drains everything).
+func (c *Collector) Drain(max int) []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.staged)
+	if n == 0 {
+		return nil
+	}
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Record, n)
+	copy(out, c.staged[:n])
+	rest := copy(c.staged, c.staged[n:])
+	for i := rest; i < len(c.staged); i++ {
+		c.staged[i] = Record{} // release retained queries
+	}
+	c.staged = c.staged[:rest]
+	for _, r := range out {
+		delete(c.keys, r.Q.Key())
+	}
+	c.drained.Add(uint64(n))
+	return out
+}
+
+// Staged returns the number of records waiting for the trainer.
+func (c *Collector) Staged() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.staged)
+}
+
+// CollectorStats is a point-in-time snapshot of feedback ingestion.
+type CollectorStats struct {
+	Staged   int    `json:"staged"`
+	Capacity int    `json:"capacity"`
+	Accepted uint64 `json:"accepted"`
+	// Duplicates counts feedback whose truth the pool or buffer already
+	// carried; Corrected counts pooled entries whose cardinality the
+	// feedback moved (data changed underneath the DBMS).
+	Duplicates uint64 `json:"duplicates"`
+	Corrected  uint64 `json:"corrected"`
+	Invalid    uint64 `json:"invalid"`
+	Overflow   uint64 `json:"overflow"`
+	Drained    uint64 `json:"drained"`
+}
+
+// Stats returns the ingestion counters.
+func (c *Collector) Stats() CollectorStats {
+	return CollectorStats{
+		Staged:     c.Staged(),
+		Capacity:   c.cap,
+		Accepted:   c.accepted.Load(),
+		Duplicates: c.duplicates.Load(),
+		Corrected:  c.corrected.Load(),
+		Invalid:    c.invalid.Load(),
+		Overflow:   c.overflow.Load(),
+		Drained:    c.drained.Load(),
+	}
+}

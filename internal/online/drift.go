@@ -1,0 +1,88 @@
+package online
+
+import (
+	"sync/atomic"
+
+	"crn/internal/metrics"
+)
+
+// DriftMonitor tracks the q-error of live estimates against arriving
+// execution truths over a rolling window. When the windowed median exceeds
+// the threshold (with enough samples to mean something), the workload has
+// drifted away from what the model was trained on, and the monitor trips —
+// the adaptation loop uses the trip to retrain ahead of schedule.
+type DriftMonitor struct {
+	win        *metrics.RollingWindow
+	threshold  float64 // 0: observe-only, never trips
+	minSamples int
+
+	drifted atomic.Bool
+	trips   atomic.Uint64
+}
+
+// NewDriftMonitor creates a monitor over the last `window` observations
+// that trips when the windowed median q-error exceeds threshold
+// (threshold <= 0 observes without ever tripping).
+func NewDriftMonitor(threshold float64, window, minSamples int) *DriftMonitor {
+	cfg := Config{DriftWindow: window, DriftMinSamples: minSamples}.withDefaults()
+	return &DriftMonitor{
+		win:        metrics.NewRollingWindow(cfg.DriftWindow),
+		threshold:  threshold,
+		minSamples: cfg.DriftMinSamples,
+	}
+}
+
+// Observe records one (estimate, truth) observation and reports whether
+// this observation TRIPPED the monitor — a transition into the drifted
+// state, not the state itself. Edge-triggering matters: while a drifted
+// window stays drifted, every feedback record would otherwise kick a full
+// retrain cycle (sustained drift is instead handled by the trainer's
+// scheduled retrains, and the monitor re-arms after a promotion resets
+// the window or the median recovers).
+func (d *DriftMonitor) Observe(estimate, truth float64) bool {
+	d.win.Observe(metrics.CardQError(truth, estimate))
+	if d.threshold <= 0 {
+		return false
+	}
+	if d.win.Len() < d.minSamples {
+		return false
+	}
+	now := d.win.Quantile(50) > d.threshold
+	if !now {
+		d.drifted.Store(false)
+		return false
+	}
+	tripped := !d.drifted.Swap(true)
+	if tripped {
+		d.trips.Add(1)
+	}
+	return tripped
+}
+
+// Drifted reports whether the last observation left the window drifted.
+func (d *DriftMonitor) Drifted() bool { return d.drifted.Load() }
+
+// Reset clears the window — called after a promotion, when the live model
+// changed and the accumulated q-errors describe its predecessor.
+func (d *DriftMonitor) Reset() {
+	d.win.Reset()
+	d.drifted.Store(false)
+}
+
+// DriftStats is a point-in-time snapshot of drift monitoring.
+type DriftStats struct {
+	Threshold float64                `json:"threshold"` // 0: observe-only
+	Drifted   bool                   `json:"drifted"`
+	Trips     uint64                 `json:"trips"`
+	QError    metrics.WindowSnapshot `json:"q_error"`
+}
+
+// Stats returns the drift state and windowed q-error quantiles.
+func (d *DriftMonitor) Stats() DriftStats {
+	return DriftStats{
+		Threshold: d.threshold,
+		Drifted:   d.drifted.Load(),
+		Trips:     d.trips.Load(),
+		QError:    d.win.Snapshot(),
+	}
+}

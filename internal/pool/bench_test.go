@@ -1,0 +1,65 @@
+package pool
+
+import (
+	"fmt"
+	"testing"
+
+	"crn/internal/query"
+	"crn/internal/sqlparse"
+)
+
+// benchQueries parses n distinct single-table queries (one FROM clause, so
+// they all land in one candidate index — the record-heavy serving shape).
+func benchQueries(b *testing.B, n int) []query.Query {
+	b.Helper()
+	qs := make([]query.Query, n)
+	for i := range qs {
+		qs[i] = sqlparse.MustParse(s,
+			fmt.Sprintf("SELECT * FROM title WHERE title.production_year > %d", i))
+	}
+	return qs
+}
+
+// BenchmarkAddSaturated measures Add on a capacity-bounded pool that is
+// already full, so every insert evicts the LRU victim first — the
+// record-heavy steady state of a bounded serving pool. Before PR 5 the
+// victim search scanned every entry (O(pool) per Add); the lazy min-heap
+// makes it O(log pool) amortized.
+func BenchmarkAddSaturated(b *testing.B) {
+	for _, size := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("entries=%d", size), func(b *testing.B) {
+			qs := benchQueries(b, size+b.N)
+			p := New(WithCap(size))
+			for i := 0; i < size; i++ {
+				p.Add(qs[i], int64(i+1))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Add(qs[size+i], 1)
+			}
+		})
+	}
+}
+
+// BenchmarkAddSaturatedWithSelection interleaves candidate selection with
+// saturated inserts: TopK stamps the entries it returns (going through the
+// whole match set at k=0), which is exactly the traffic that invalidates
+// heap records and forces the lazy fix-ups the amortized bound relies on.
+func BenchmarkAddSaturatedWithSelection(b *testing.B) {
+	const size = 10000
+	qs := benchQueries(b, size+b.N)
+	p := New(WithCap(size))
+	for i := 0; i < size; i++ {
+		p.Add(qs[i], int64(i+1))
+	}
+	probe := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.production_year > 1960")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%8 == 0 {
+			p.TopK(probe, 64)
+		}
+		p.Add(qs[size+i], 1)
+	}
+}

@@ -6,46 +6,87 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"sync/atomic"
 
 	"crn/internal/schema"
 	"crn/internal/sqlparse"
 )
 
 // The queries pool is envisioned as DBMS meta information that outlives a
-// session (§5.2); Save/Load persist it as (SQL, cardinality) records so a
-// pool built by one process can serve estimators in another.
+// session (§5.2); Save/Load persist it as (SQL, cardinality, last-match
+// recency) records so a pool built by one process can serve estimators in
+// another. Persisting the recency stamps matters for bounded pools: without
+// them a restarted pool would evict in insertion order until traffic
+// re-warmed the ticks, throwing away exactly the entries the previous
+// process's estimates were using.
 
 // persistEntry is the wire form of one pooled query.
 type persistEntry struct {
 	SQL  string
 	Card int64
+	// LastHit is the entry's last-match tick at save time. Only the relative
+	// order matters: Load re-inserts entries in ascending LastHit order, so
+	// fresh ticks reproduce the saved LRU order exactly.
+	LastHit int64
 }
 
-// Save serializes the pool to w.
+// persistPool is the versioned wire envelope (introduced in PR 5; the
+// pre-envelope format was a bare entry slice without recency stamps, which
+// Load still accepts).
+type persistPool struct {
+	Entries []persistEntry
+}
+
+// Save serializes the pool to w, including the last-match recency order.
 func (p *Pool) Save(w io.Writer) error {
 	p.mu.RLock()
 	entries := make([]persistEntry, 0, p.entries)
 	for _, idx := range p.byFrom {
-		for _, e := range idx.entries {
-			entries = append(entries, persistEntry{SQL: e.Q.SQL(), Card: e.Card})
+		for i, e := range idx.entries {
+			entries = append(entries, persistEntry{
+				SQL:     e.Q.SQL(),
+				Card:    e.Card,
+				LastHit: atomic.LoadInt64(&idx.lastHit[i]),
+			})
 		}
 	}
 	p.mu.RUnlock()
-	if err := gob.NewEncoder(w).Encode(entries); err != nil {
+	// Ascending recency, ties broken by SQL: map iteration order must not
+	// leak into the serialized form, or two saves of one pool would differ.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].LastHit != entries[j].LastHit {
+			return entries[i].LastHit < entries[j].LastHit
+		}
+		return entries[i].SQL < entries[j].SQL
+	})
+	if err := gob.NewEncoder(w).Encode(persistPool{Entries: entries}); err != nil {
 		return fmt.Errorf("pool: save: %w", err)
 	}
 	return nil
 }
 
 // Load reconstructs a pool serialized by Save, re-validating every query
-// against the schema.
-func Load(s *schema.Schema, r io.Reader) (*Pool, error) {
-	var entries []persistEntry
-	if err := gob.NewDecoder(r).Decode(&entries); err != nil {
+// against the schema. Options configure the restored pool (WithCap bounds
+// it); entries are re-inserted in ascending saved recency, so a bounded
+// restored pool evicts in the same least-recently-matched order the saved
+// pool would have. Legacy payloads without recency stamps load in their
+// serialized order.
+func Load(s *schema.Schema, r io.Reader, opts ...Option) (*Pool, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("pool: load: %w", err)
 	}
-	p := New()
-	for _, e := range entries {
+	var file persistPool
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&file); err != nil {
+		// Pre-envelope payload: a bare entry slice (whose entries decode with
+		// zero LastHit, preserving serialized order).
+		if legacyErr := gob.NewDecoder(bytes.NewReader(raw)).Decode(&file.Entries); legacyErr != nil {
+			return nil, fmt.Errorf("pool: load: %w", err)
+		}
+	}
+	p := New(opts...)
+	for _, e := range file.Entries {
 		q, err := sqlparse.Parse(s, e.SQL)
 		if err != nil {
 			return nil, fmt.Errorf("pool: load entry %q: %w", e.SQL, err)
@@ -65,10 +106,10 @@ func (p *Pool) SaveFile(path string) error {
 }
 
 // LoadFile reads a pool from a file written by SaveFile.
-func LoadFile(s *schema.Schema, path string) (*Pool, error) {
+func LoadFile(s *schema.Schema, path string, opts ...Option) (*Pool, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("pool: %w", err)
 	}
-	return Load(s, bytes.NewReader(data))
+	return Load(s, bytes.NewReader(data), opts...)
 }

@@ -39,14 +39,16 @@ type Entry struct {
 
 // fromIndex is the per-FROM-clause candidate index: the entries themselves
 // plus, position-aligned, their precomputed signatures (what TopK scans)
-// and last-match ticks (what eviction consults). sigs and lastHit are
-// append-only under the pool's write lock; lastHit elements are touched
-// with atomics because candidate selection updates them under the read
-// lock.
+// and last-match ticks (what eviction consults), and a position lookup by
+// stable entry ID (what the eviction heap resolves records through). sigs
+// and lastHit are mutated only under the pool's write lock; lastHit
+// elements are touched with atomics because candidate selection updates
+// them under the read lock.
 type fromIndex struct {
 	entries []Entry
 	sigs    []Signature
 	lastHit []int64
+	byID    map[int64]int
 }
 
 // Pool is a FROM-clause-indexed collection of executed queries. It is safe
@@ -55,7 +57,7 @@ type fromIndex struct {
 type Pool struct {
 	mu      sync.RWMutex
 	byFrom  map[string]*fromIndex
-	byKey   map[string]bool
+	byKey   map[string]int64 // canonical key -> stable entry ID
 	entries int
 	nextID  int64
 	version uint64
@@ -65,6 +67,14 @@ type Pool struct {
 	// call stamps the entries it returns, and eviction removes the entry
 	// with the oldest stamp.
 	tick atomic.Int64
+
+	// evictQ is the lazy min-heap over last-match ticks backing O(log n)
+	// LRU eviction (see evict.go); maintained only on bounded pools.
+	evictQ []evictRec
+
+	// listeners observe mutations synchronously under the write lock; see
+	// Subscribe.
+	listeners []MutationListener
 
 	evictions atomic.Uint64
 	topKCalls atomic.Uint64
@@ -90,7 +100,7 @@ func WithCap(n int) Option {
 
 // New creates an empty pool.
 func New(opts ...Option) *Pool {
-	p := &Pool{byFrom: make(map[string]*fromIndex), byKey: make(map[string]bool)}
+	p := &Pool{byFrom: make(map[string]*fromIndex), byKey: make(map[string]int64)}
 	for _, o := range opts {
 		o(p)
 	}
@@ -112,64 +122,86 @@ func (p *Pool) Add(q query.Query, card int64) bool {
 	sig := ComputeSignature(q) // outside the lock: pure function of q
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.byKey[key] {
+	if _, ok := p.byKey[key]; ok {
 		return false
 	}
 	if p.cap > 0 && p.entries >= p.cap {
 		p.evictLRULocked()
 	}
-	p.byKey[key] = true
-	idx := p.byFrom[q.FROMKey()]
+	from := q.FROMKey()
+	idx := p.byFrom[from]
 	if idx == nil {
-		idx = &fromIndex{}
-		p.byFrom[q.FROMKey()] = idx
+		idx = &fromIndex{byID: make(map[int64]int)}
+		p.byFrom[from] = idx
 	}
-	idx.entries = append(idx.entries, Entry{Q: q, Card: card, ID: p.nextID})
+	id := p.nextID
+	p.byKey[key] = id
+	idx.byID[id] = len(idx.entries)
+	idx.entries = append(idx.entries, Entry{Q: q, Card: card, ID: id})
 	idx.sigs = append(idx.sigs, sig)
 	// A fresh entry starts as most-recently matched: it must survive long
 	// enough for estimates to have a chance to select it.
-	idx.lastHit = append(idx.lastHit, p.tick.Add(1))
+	now := p.tick.Add(1)
+	idx.lastHit = append(idx.lastHit, now)
+	if p.cap > 0 {
+		p.heapPush(evictRec{from: from, id: id, tick: now})
+	}
 	p.nextID++
 	p.entries++
 	p.version++
+	p.notifyLocked("")
 	return true
 }
 
-// evictLRULocked removes the entry with the oldest last-match tick. Callers
-// hold the write lock. The scan is linear in pool size; it runs once per
-// Add on a saturated pool, off the estimate path.
-func (p *Pool) evictLRULocked() {
-	var victimIdx *fromIndex
-	victimFrom := ""
-	victimPos := -1
-	victimTick := int64(0)
-	for from, idx := range p.byFrom {
-		for i := range idx.entries {
-			t := atomic.LoadInt64(&idx.lastHit[i])
-			if victimPos < 0 || t < victimTick ||
-				(t == victimTick && idx.entries[i].ID < victimIdx.entries[victimPos].ID) {
-				victimIdx, victimFrom, victimPos, victimTick = idx, from, i, t
-			}
-		}
-	}
-	if victimPos < 0 {
+// MutationListener observes pool mutations. Listeners are invoked
+// synchronously under the pool's write lock, once per version bump, with
+// the post-mutation version; evictedKey carries the canonical key of the
+// removed query for evictions and is empty for inserts. Implementations
+// must be fast and must not call back into the pool.
+//
+// The serving representation cache subscribes to turn the conservative
+// flush-on-any-mutation invalidation into surgical per-entry invalidation:
+// an eviction drops exactly the evicted entry's cached rows and an insert
+// drops nothing, so the cached working set stays warm under sustained
+// record/feedback traffic.
+type MutationListener interface {
+	PoolMutated(version uint64, evictedKey string)
+}
+
+// Subscribe registers a mutation listener. Subscribing the same listener
+// twice is a no-op.
+func (p *Pool) Subscribe(l MutationListener) {
+	if l == nil {
 		return
 	}
-	e := victimIdx.entries[victimPos]
-	delete(p.byKey, e.Q.Key())
-	n := len(victimIdx.entries)
-	copy(victimIdx.entries[victimPos:], victimIdx.entries[victimPos+1:])
-	victimIdx.entries = victimIdx.entries[:n-1]
-	copy(victimIdx.sigs[victimPos:], victimIdx.sigs[victimPos+1:])
-	victimIdx.sigs = victimIdx.sigs[:n-1]
-	copy(victimIdx.lastHit[victimPos:], victimIdx.lastHit[victimPos+1:])
-	victimIdx.lastHit = victimIdx.lastHit[:n-1]
-	if len(victimIdx.entries) == 0 {
-		delete(p.byFrom, victimFrom)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, have := range p.listeners {
+		if have == l {
+			return
+		}
 	}
-	p.entries--
-	p.version++
-	p.evictions.Add(1)
+	p.listeners = append(p.listeners, l)
+}
+
+// Unsubscribe removes a previously subscribed listener.
+func (p *Pool) Unsubscribe(l MutationListener) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, have := range p.listeners {
+		if have == l {
+			p.listeners = append(p.listeners[:i], p.listeners[i+1:]...)
+			return
+		}
+	}
+}
+
+// notifyLocked fans one mutation out to the listeners. Callers hold the
+// write lock and have already bumped the version.
+func (p *Pool) notifyLocked(evictedKey string) {
+	for _, l := range p.listeners {
+		l.PoolMutated(p.version, evictedKey)
+	}
 }
 
 // Version returns a counter that increases with every successful mutation
@@ -273,11 +305,44 @@ func (p *Pool) touchAllLocked(idx *fromIndex) {
 	}
 }
 
+// UpdateCard replaces a pooled query's actual cardinality — execution
+// feedback for an already pooled query whose truth moved because the data
+// underneath changed (the §9 database-updates case). It reports whether
+// an entry was updated (false: not pooled, or the cardinality is
+// unchanged). An update bumps Version and notifies listeners like any
+// other mutation; cached query representations do not depend on the
+// cardinality, so subscribed caches absorb it without dropping anything.
+func (p *Pool) UpdateCard(q query.Query, card int64) bool {
+	if card < 0 {
+		return false
+	}
+	key := q.Key()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id, ok := p.byKey[key]
+	if !ok {
+		return false
+	}
+	idx := p.byFrom[q.FROMKey()]
+	if idx == nil {
+		return false
+	}
+	pos, ok := idx.byID[id]
+	if !ok || idx.entries[pos].Card == card {
+		return false
+	}
+	idx.entries[pos].Card = card
+	p.version++
+	p.notifyLocked("")
+	return true
+}
+
 // Contains reports whether the exact query is pooled.
 func (p *Pool) Contains(q query.Query) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return p.byKey[q.Key()]
+	_, ok := p.byKey[q.Key()]
+	return ok
 }
 
 // Len returns the number of pooled queries.
@@ -305,6 +370,40 @@ func (p *Pool) Entries() []Entry {
 	out := make([]Entry, 0, p.entries)
 	for _, idx := range p.byFrom {
 		out = append(out, idx.entries...)
+	}
+	return out
+}
+
+// HotEntries returns up to n entries ordered by last-match recency, most
+// recent first (ties broken by insertion ID, newest first) — the working
+// set candidate selection is actually using. Cache warming uses it so a
+// bounded warm covers the hot entries instead of an arbitrary subset.
+// n <= 0 or n >= Len returns every entry (still recency-ordered).
+func (p *Pool) HotEntries(n int) []Entry {
+	type stamped struct {
+		e    Entry
+		tick int64
+	}
+	p.mu.RLock()
+	all := make([]stamped, 0, p.entries)
+	for _, idx := range p.byFrom {
+		for i := range idx.entries {
+			all = append(all, stamped{e: idx.entries[i], tick: atomic.LoadInt64(&idx.lastHit[i])})
+		}
+	}
+	p.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].tick != all[j].tick {
+			return all[i].tick > all[j].tick
+		}
+		return all[i].e.ID > all[j].e.ID
+	})
+	if n > 0 && n < len(all) {
+		all = all[:n]
+	}
+	out := make([]Entry, len(all))
+	for i, s := range all {
+		out[i] = s.e
 	}
 	return out
 }

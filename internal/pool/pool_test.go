@@ -162,3 +162,55 @@ func TestConcurrentAddAndMatch(t *testing.T) {
 		t.Errorf("Len = %d, want 200", p.Len())
 	}
 }
+
+func TestUpdateCard(t *testing.T) {
+	p := New()
+	q := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 1")
+	if p.UpdateCard(q, 5) {
+		t.Fatal("updating an unpooled query must be a no-op")
+	}
+	p.Add(q, 100)
+	v := p.Version()
+	if p.UpdateCard(q, 100) {
+		t.Fatal("unchanged cardinality must not count as an update")
+	}
+	if p.Version() != v {
+		t.Fatal("no-op update must not bump Version")
+	}
+	if !p.UpdateCard(q, 40) {
+		t.Fatal("moved cardinality must update")
+	}
+	if p.Version() <= v {
+		t.Fatal("update must bump Version")
+	}
+	if m := p.Matching(q); len(m) != 1 || m[0].Card != 40 {
+		t.Fatalf("matching after update = %+v", m)
+	}
+	if p.UpdateCard(q, -1) {
+		t.Fatal("negative cardinality must be rejected")
+	}
+}
+
+func TestHotEntriesRecencyOrder(t *testing.T) {
+	p := New(WithCap(8))
+	qa := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.kind_id = 1")
+	qb := sqlparse.MustParse(s, "SELECT * FROM cast_info")
+	qc := sqlparse.MustParse(s, "SELECT * FROM movie_keyword")
+	p.Add(qa, 1) // tick 1
+	p.Add(qb, 2) // tick 2
+	p.Add(qc, 3) // tick 3
+	// Touch qa last: it becomes the hottest entry.
+	p.Matching(sqlparse.MustParse(s, "SELECT * FROM title"))
+
+	hot := p.HotEntries(2)
+	if len(hot) != 2 || hot[0].Q.Key() != qa.Key() || hot[1].Q.Key() != qc.Key() {
+		keys := make([]string, len(hot))
+		for i, e := range hot {
+			keys[i] = e.Q.Key()
+		}
+		t.Fatalf("HotEntries(2) = %v, want [qa qc]", keys)
+	}
+	if all := p.HotEntries(0); len(all) != 3 {
+		t.Fatalf("HotEntries(0) = %d entries, want all 3", len(all))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"crn/internal/card"
 	icrn "crn/internal/crn"
 	"crn/internal/datagen"
+	"crn/internal/online"
 	"crn/internal/pool"
 )
 
@@ -121,12 +122,14 @@ var (
 
 // estimatorSettings collects everything EstimatorOption values can tune:
 // the Figure 8 algorithm knobs on the underlying estimator plus the
-// serving-side representation cache and request coalescing.
+// serving-side representation cache, request coalescing, and — for
+// AdaptiveEstimator — the online-adaptation configuration.
 type estimatorSettings struct {
 	est           *card.Estimator
 	cacheSize     int
 	coalesceBatch int
 	coalesceWait  time.Duration
+	adapt         online.Config
 }
 
 // EstimatorOption configures CardinalityEstimator and ImproveBaseline.
@@ -193,6 +196,67 @@ func WithRepCacheSize(n int) EstimatorOption {
 // testing and memory-constrained deployments).
 func WithoutRepCache() EstimatorOption {
 	return func(s *estimatorSettings) { s.cacheSize = 0 }
+}
+
+// --- Online adaptation (AdaptiveEstimator only) ------------------------------
+//
+// The options below configure the execution-feedback loop of
+// System.AdaptiveEstimator; on a plain CardinalityEstimator or
+// ImproveBaseline they are accepted and ignored (those estimators have no
+// adaptation machinery).
+
+// WithFeedbackBuffer bounds the staged-feedback buffer to n records
+// (default 1024). Once full, further feedback is rejected — counted, not
+// queued — until the trainer drains.
+func WithFeedbackBuffer(n int) EstimatorOption {
+	return func(s *estimatorSettings) { s.adapt.BufferCap = n }
+}
+
+// WithRetrainBatch sets how many staged feedback records make a scheduled
+// retrain worthwhile (default 16). Drift-triggered retrains ignore the
+// floor and run with whatever is staged.
+func WithRetrainBatch(n int) EstimatorOption {
+	return func(s *estimatorSettings) { s.adapt.MinBatch = n }
+}
+
+// WithRetrainInterval sets the background trainer's polling period.
+// Zero keeps the default (5s); a negative interval disables scheduled
+// retraining — drift kicks and explicit Retrain calls still work.
+func WithRetrainInterval(d time.Duration) EstimatorOption {
+	return func(s *estimatorSettings) { s.adapt.Interval = d }
+}
+
+// WithRetrainEpochs sets the incremental-training budget per retrain cycle
+// (default 8 epochs of ContinueTraining on a clone of the live model).
+func WithRetrainEpochs(n int) EstimatorOption {
+	return func(s *estimatorSettings) { s.adapt.Epochs = n }
+}
+
+// WithPromoteTolerance sets the promotion gate: a retrained candidate is
+// promoted only when its held-out validation q-error is at most
+// (1+tol)× the live model's (default 0.05). Negative tolerance demands
+// strict improvement.
+func WithPromoteTolerance(tol float64) EstimatorOption {
+	return func(s *estimatorSettings) { s.adapt.Tolerance = tol }
+}
+
+// WithFeedbackPairs bounds how many pool partners each feedback record is
+// paired with when deriving training pairs (default 8; the partners are
+// the record's most containment-comparable pool entries).
+func WithFeedbackPairs(n int) EstimatorOption {
+	return func(s *estimatorSettings) { s.adapt.PairsPerRecord = n }
+}
+
+// WithDriftTrigger arms the drift monitor: when the median q-error of live
+// estimates against arriving feedback truths over the last window
+// observations exceeds threshold, a retrain is kicked ahead of schedule.
+// The default (threshold 0) records drift statistics without ever
+// triggering.
+func WithDriftTrigger(threshold float64, window int) EstimatorOption {
+	return func(s *estimatorSettings) {
+		s.adapt.DriftThreshold = threshold
+		s.adapt.DriftWindow = window
+	}
 }
 
 // WithCoalescing enables request coalescing on EstimateCardinality: up to

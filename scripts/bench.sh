@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the repository's performance benchmarks with -benchmem and
-# record the results (plus the frozen pre-PR-4 baseline) in BENCH_4.json,
+# record the results (plus the frozen pre-PR-5 baseline) in BENCH_5.json,
 # the perf trajectory file. Usage:
 #
 #   scripts/bench.sh [output.json]
@@ -10,21 +10,32 @@
 # The concurrent serving benchmarks run at -cpu 1,4 (the parallel
 # single-query throughput point of PR 3), so their names keep the -N
 # GOMAXPROCS suffix; every other benchmark records under its bare name. The
-# large-pool benchmarks (PR 4's acceptance point: per-request latency at
-# 1k/10k/50k pool entries per FROM clause, full scan vs signature-indexed
-# top-64 candidate selection) run at 20 iterations — each full-scan
-# iteration at 50k entries costs tens of milliseconds, so 20x is stable
-# while keeping the whole section under a couple of seconds of measurement.
+# large-pool benchmarks run at 20 iterations (a full-scan iteration at 50k
+# entries costs tens of milliseconds).
 #
-# The frozen baseline below is the PR 3 code measured on this machine
-# (BENCH_3.json results). The large-pool benchmark did not exist before
-# PR 4; its baseline is the unbounded scan, which IS the pre-PR candidate
-# path (MaxCandidates = 0 is bit-identical to it), recorded from this
-# machine's first PR 4 run under ".../full".
+# PR 5 additions:
+#   - AddSaturated / AddSaturatedWithSelection: Add on a capacity-bounded
+#     pool at its bound (every insert evicts). The frozen baseline is the
+#     pre-PR linear victim scan; the lazy min-heap makes eviction
+#     O(log pool) amortized.
+#   - EstimateCardinalityTrainer{Idle,Active}: single-query estimate
+#     throughput (-cpu 4, coalescing on) with the online-adaptation loop
+#     quiescent vs. actively retraining/hot-swapping one cycle per second.
+#     The acceptance gate of PR 5 is Active within ~10% of Idle: the hot
+#     path never blocks on retraining, so the remaining gap is background
+#     CPU contention (labeling runs on one worker) plus scheduler noise —
+#     these run at -benchtime 4s so several whole retrain cycles land
+#     inside every measurement window.
+#
+# The frozen baseline below is the PR 4 code measured on this machine
+# (BENCH_4.json results). AddSaturated's baseline is the pre-heap linear
+# scan measured with the PR 5 harness before the heap landed; the trainer
+# benchmarks did not exist before PR 5 — TrainerIdle IS the reference point
+# for TrainerActive, so neither carries a pre-PR baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_4.json}"
+OUT="${1:-BENCH_5.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -38,14 +49,18 @@ echo "== concurrent serving benchmarks (coalescing + solo bypass, -cpu 1,4) ==" 
 go test . -run '^$' -bench 'EstimateCardinality(Parallel|SoloCoalesced)' -cpu 1,4 -benchmem -benchtime 2s | tee -a "$RAW"
 echo "== large-pool benchmarks (signature-indexed top-K vs full scan) ==" >&2
 go test . -run '^$' -bench 'EstimateCardinalityLargePool' -benchmem -benchtime 20x | tee -a "$RAW"
+echo "== saturated-pool eviction benchmarks (lazy min-heap vs linear scan) ==" >&2
+go test ./internal/pool -run '^$' -bench 'AddSaturated' -benchmem -benchtime 100x | tee -a "$RAW"
+echo "== feedback-loop benchmarks (trainer idle vs active, -cpu 4) ==" >&2
+go test . -run '^$' -bench 'EstimateCardinalityTrainer' -cpu 4 -benchmem -benchtime 4s | tee -a "$RAW"
 
 # Render "BenchmarkFoo[-P]  N  ns/op  B/op  allocs/op" lines as JSON. The
-# GOMAXPROCS suffix is meaningful for the Parallel/Solo benchmarks (run at
-# -cpu 1,4) and stripped everywhere else.
+# GOMAXPROCS suffix is meaningful for the Parallel/Solo/Trainer benchmarks
+# (run at explicit -cpu settings) and stripped everywhere else.
 RESULTS="$(awk '
   /^Benchmark/ {
     name = $1
-    if (name !~ /Parallel|Solo/) sub(/-[0-9]+$/, "", name)
+    if (name !~ /Parallel|Solo|Trainer/) sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
     ns = ""; bytes = ""; allocs = ""
     for (i = 2; i < NF; i++) {
@@ -67,31 +82,40 @@ CPU="$(awk -F': *' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null ||
 
 cat > "$OUT" <<EOF
 {
-  "pr": 4,
-  "description": "Sublinear pool candidate selection: signature-indexed top-K matching, pool capacity/LRU eviction, coalescer solo bypass",
+  "pr": 5,
+  "description": "Online adaptation subsystem: feedback ingestion, background incremental retraining, pre-warmed model hot-swap, drift monitoring; O(log n) heap eviction; surgical rep-cache invalidation",
   "date": "$DATE",
   "go": "$GOVERSION",
   "cpu": "$CPU",
-  "baseline_commit": "ea09fa6",
+  "baseline_commit": "ce6513a",
   "baseline": {
-    "_comment": "pre-PR-4 measurements on the same machine: BENCH_3.json results. EstimateCardinalityLargePool/*/full is the pre-PR candidate path (unbounded scan, bit-identical to MaxCandidates=0) measured with the PR 4 harness; compare it against .../k=64 for the candidate-bound speedup.",
-    "MatMul128": {"ns_per_op": 681101, "bytes_per_op": 0, "allocs_per_op": 0},
-    "MatMulBatchForward": {"ns_per_op": 942114, "bytes_per_op": 0, "allocs_per_op": 0},
-    "DenseForwardBackward": {"ns_per_op": 1981559, "bytes_per_op": 196704, "allocs_per_op": 4},
-    "SetEncoderForward": {"ns_per_op": 758854, "bytes_per_op": 196704, "allocs_per_op": 4},
-    "AdamStep": {"ns_per_op": 508671, "bytes_per_op": 0, "allocs_per_op": 0},
-    "TrainEpoch": {"ns_per_op": 108145854, "bytes_per_op": 677825, "allocs_per_op": 159},
-    "PredictBatch": {"ns_per_op": 5181015, "bytes_per_op": 217635, "allocs_per_op": 4},
-    "PredictShared": {"ns_per_op": 13976033, "bytes_per_op": 449401, "allocs_per_op": 19},
-    "EstimateCardinalityBatch64": {"ns_per_op": 286074, "bytes_per_op": 122753, "allocs_per_op": 122},
-    "EstimateCardinalitySingleLoop64": {"ns_per_op": 363342, "bytes_per_op": 132352, "allocs_per_op": 842},
-    "EstimateCardinalityParallel": {"ns_per_op": 8347, "bytes_per_op": 3601, "allocs_per_op": 6},
-    "EstimateCardinalityParallel-4": {"ns_per_op": 9576, "bytes_per_op": 2373, "allocs_per_op": 3},
-    "EstimateCardinalityParallelNoCoalesce": {"ns_per_op": 6937, "bytes_per_op": 2068, "allocs_per_op": 13},
-    "EstimateCardinalityParallelNoCoalesce-4": {"ns_per_op": 11644, "bytes_per_op": 2068, "allocs_per_op": 13},
-    "EstimateCardinalityLargePool/entries=1000/full": {"ns_per_op": 961841, "bytes_per_op": 333528, "allocs_per_op": 27},
-    "EstimateCardinalityLargePool/entries=10000/full": {"ns_per_op": 10846890, "bytes_per_op": 3316616, "allocs_per_op": 62},
-    "EstimateCardinalityLargePool/entries=50000/full": {"ns_per_op": 56676100, "bytes_per_op": 16360200, "allocs_per_op": 164}
+    "_comment": "pre-PR-5 measurements on the same machine: BENCH_4.json results, plus AddSaturated under the pre-heap linear victim scan (measured with the PR 5 harness before the heap landed). TrainerIdle/TrainerActive are new in PR 5; Idle is Active's reference.",
+    "MatMul128": {"ns_per_op": 736421, "bytes_per_op": 0, "allocs_per_op": 0},
+    "MatMulBatchForward": {"ns_per_op": 844945, "bytes_per_op": 0, "allocs_per_op": 0},
+    "DenseForwardBackward": {"ns_per_op": 1780927, "bytes_per_op": 196704, "allocs_per_op": 4},
+    "SetEncoderForward": {"ns_per_op": 598523, "bytes_per_op": 196704, "allocs_per_op": 4},
+    "AdamStep": {"ns_per_op": 450918, "bytes_per_op": 0, "allocs_per_op": 0},
+    "TrainEpoch": {"ns_per_op": 99147502, "bytes_per_op": 677825, "allocs_per_op": 159},
+    "PredictBatch": {"ns_per_op": 4515528, "bytes_per_op": 217635, "allocs_per_op": 4},
+    "PredictShared": {"ns_per_op": 14456168, "bytes_per_op": 449401, "allocs_per_op": 19},
+    "EstimateCardinalityBatch64": {"ns_per_op": 279258, "bytes_per_op": 122880, "allocs_per_op": 122},
+    "EstimateCardinalitySingleLoop64": {"ns_per_op": 351731, "bytes_per_op": 132354, "allocs_per_op": 842},
+    "EstimateCardinalityParallel": {"ns_per_op": 6219, "bytes_per_op": 2165, "allocs_per_op": 14},
+    "EstimateCardinalityParallel-4": {"ns_per_op": 8235, "bytes_per_op": 2208, "allocs_per_op": 11},
+    "EstimateCardinalityParallelNoCoalesce": {"ns_per_op": 6599, "bytes_per_op": 2068, "allocs_per_op": 13},
+    "EstimateCardinalityParallelNoCoalesce-4": {"ns_per_op": 11091, "bytes_per_op": 2068, "allocs_per_op": 13},
+    "EstimateCardinalitySoloCoalesced": {"ns_per_op": 6694, "bytes_per_op": 2164, "allocs_per_op": 14},
+    "EstimateCardinalitySoloCoalesced-4": {"ns_per_op": 8016, "bytes_per_op": 2164, "allocs_per_op": 14},
+    "EstimateCardinalityLargePool/entries=1000/full": {"ns_per_op": 900231, "bytes_per_op": 333528, "allocs_per_op": 27},
+    "EstimateCardinalityLargePool/entries=1000/k=64": {"ns_per_op": 93887, "bytes_per_op": 31088, "allocs_per_op": 28},
+    "EstimateCardinalityLargePool/entries=10000/full": {"ns_per_op": 10286958, "bytes_per_op": 3316616, "allocs_per_op": 62},
+    "EstimateCardinalityLargePool/entries=10000/k=64": {"ns_per_op": 357283, "bytes_per_op": 31088, "allocs_per_op": 28},
+    "EstimateCardinalityLargePool/entries=50000/full": {"ns_per_op": 56308219, "bytes_per_op": 16360200, "allocs_per_op": 164},
+    "EstimateCardinalityLargePool/entries=50000/k=64": {"ns_per_op": 1871935, "bytes_per_op": 31088, "allocs_per_op": 28},
+    "AddSaturated/entries=1000": {"ns_per_op": 8029, "bytes_per_op": 32, "allocs_per_op": 1},
+    "AddSaturated/entries=10000": {"ns_per_op": 74664, "bytes_per_op": 32, "allocs_per_op": 1},
+    "AddSaturated/entries=50000": {"ns_per_op": 962895, "bytes_per_op": 32, "allocs_per_op": 1},
+    "AddSaturatedWithSelection": {"ns_per_op": 212695, "bytes_per_op": 2290, "allocs_per_op": 2}
   },
   "results": {
 $RESULTS
