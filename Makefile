@@ -1,7 +1,7 @@
 # Development entry points. Everything is plain `go` underneath; the
 # targets just bundle the flags used by CI and the perf trajectory.
 
-.PHONY: all build test race bench bench-smoke fmt vet
+.PHONY: all build test race bench bench-smoke fmt vet clean-data
 
 all: build test
 
@@ -16,26 +16,38 @@ race:
 
 # bench runs the nn-kernel, compute-core and serving benchmarks (including
 # the concurrent serving benchmarks at -cpu 1,4, the large-pool top-K
-# benchmarks, the saturated-pool eviction benchmarks and the feedback-loop
-# trainer-idle/active benchmarks) with -benchmem and records results (plus
-# the frozen pre-PR baseline) in BENCH_5.json.
+# benchmarks, the saturated-pool eviction benchmarks, the feedback-loop
+# trainer-idle/active benchmarks and the PR 6 durability benchmarks) with
+# -benchmem and records results (plus the frozen pre-PR baseline) in
+# BENCH_6.json.
 bench:
 	scripts/bench.sh
 
 # bench-smoke compiles and runs every perf-critical benchmark exactly once
 # (no timing assertions): a fast CI gate that kernel, workspace, cache,
-# coalescer, pool-index or adaptation-loop changes still execute. The
-# parallel serving benchmarks run at -cpu 1,4 so both the single- and
-# multi-GOMAXPROCS dispatch paths execute; the large-pool benchmarks
-# exercise signature selection and the solo bypass once per size point;
-# the trainer benchmarks run one whole retrain/promotion cycle under
-# estimate traffic, and the pool benchmarks one heap eviction per size.
+# coalescer, pool-index, adaptation-loop or durability changes still
+# execute. The parallel serving benchmarks run at -cpu 1,4 so both the
+# single- and multi-GOMAXPROCS dispatch paths execute; the large-pool
+# benchmarks exercise signature selection and the solo bypass once per size
+# point; the trainer benchmarks run one whole retrain/promotion cycle under
+# estimate traffic, the pool benchmarks one heap eviction per size, the
+# WAL benchmarks one append per sync policy plus a full 10k-record
+# recovery replay, and the feedback-path benchmarks one journaled record
+# per variant.
 bench-smoke:
 	go test ./internal/nn ./internal/crn -run '^$$' -bench . -benchtime 1x -benchmem
 	go test . -run '^$$' -bench 'EstimateCardinality(Parallel|SoloCoalesced)' -cpu 1,4 -benchtime 1x -benchmem
 	go test . -run '^$$' -bench 'EstimateCardinalityLargePool' -benchtime 1x -benchmem
 	go test . -run '^$$' -bench 'EstimateCardinalityTrainer' -cpu 4 -benchtime 1x -benchmem
 	go test ./internal/pool -run '^$$' -bench 'AddSaturated' -benchtime 1x -benchmem
+	go test ./internal/durable -run '^$$' -bench 'WALAppend|RecoveryReplay' -benchtime 1x -benchmem
+	go test . -run '^$$' -bench 'RecordFeedback' -benchtime 1x -benchmem
+
+# clean-data removes local crnserve data directories (WAL segments and
+# checkpoints) created by ad-hoc -data-dir runs at the conventional ./data
+# path. Never touches anything outside the repo.
+clean-data:
+	rm -rf ./data
 
 fmt:
 	gofmt -l .

@@ -1,12 +1,19 @@
 package crn
 
 import (
+	"bytes"
 	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
 	"time"
 
 	"crn/internal/card"
+	"crn/internal/contain"
 	icrn "crn/internal/crn"
+	"crn/internal/durable"
 	"crn/internal/online"
+	"crn/internal/pool"
 )
 
 // This file is the facade over internal/online: the execution-feedback
@@ -32,6 +39,12 @@ type AdaptiveEstimator struct {
 	trainer *online.Trainer
 	drift   *online.DriftMonitor
 	cancel  context.CancelFunc
+
+	// store is the durability layer (nil without WithDataDir).
+	store         *durable.Store
+	ckptErrs      atomic.Uint64
+	replaySkipped atomic.Uint64
+	closed        atomic.Bool
 }
 
 // CollectorStats reports feedback-ingestion counters (see
@@ -66,14 +79,101 @@ type AdaptationStats struct {
 // subscription; call Close when discarding it. The supplied model is
 // generation 1; the model handle itself is never mutated (retraining works
 // on clones), so it remains valid for containment estimation throughout.
+//
+// With WithDataDir the construction can fail (I/O, corrupt state, sync
+// policy); this legacy constructor panics on those errors — durable
+// deployments should call OpenAdaptiveEstimator instead.
 func (s *System) AdaptiveEstimator(m *ContainmentModel, p *QueriesPool, opts ...EstimatorOption) *AdaptiveEstimator {
+	ae, err := s.OpenAdaptiveEstimator(m, p, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("crn: AdaptiveEstimator: %v (use OpenAdaptiveEstimator to handle durability errors)", err))
+	}
+	return ae
+}
+
+// OpenAdaptiveEstimator is AdaptiveEstimator with an error return and, with
+// WithDataDir, crash recovery: the newest valid checkpoint (model
+// generation, queries pool with recency, drift window) is restored — older
+// checkpoints are fallbacks when the newest is corrupt — and the feedback
+// WAL is replayed from the checkpoint's applied LSN so un-checkpointed
+// feedback re-enters the training pipeline. A torn WAL tail (crash
+// mid-append) is truncated silently; unparseable replayed records are
+// skipped and counted, never fatal.
+//
+// When a checkpoint exists, its model supersedes m; m may then be nil (a
+// resumed deployment needs no retraining from scratch — see
+// crn.HasCheckpoint). Without a data dir the construction is identical to
+// PR-era AdaptiveEstimator and the only error is a nil model.
+func (s *System) OpenAdaptiveEstimator(m *ContainmentModel, p *QueriesPool, opts ...EstimatorOption) (*AdaptiveEstimator, error) {
 	set := estimatorSettings{cacheSize: icrn.DefaultRepCacheSize}
-	est := card.New(m.rates, p)
+	est := card.New(nil, p)
+	if m != nil {
+		est.Rates = m.rates
+	}
 	set.est = est
 	for _, o := range opts {
 		o(&set)
 	}
-	box := online.NewModelBox(m.model, s.enc, set.cacheSize, p)
+
+	var (
+		store *durable.Store
+		ck    *durable.Checkpoint
+	)
+	fail := func(err error) (*AdaptiveEstimator, error) {
+		if store != nil {
+			store.Close()
+		}
+		return nil, err
+	}
+	if set.dataDir != "" {
+		policy, err := durable.ParseSyncPolicy(set.walSync)
+		if err != nil {
+			return nil, err
+		}
+		store, err = durable.Open(set.dataDir, durable.StoreOptions{
+			WAL:    durable.WALOptions{Sync: policy},
+			Retain: set.ckptRetain,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ck, err = store.Recover(); err != nil {
+			return fail(err)
+		}
+	}
+
+	model := (*icrn.Model)(nil)
+	if m != nil {
+		model = m.model
+	}
+	if ck != nil {
+		restored, err := icrn.Load(ck.Model)
+		if err != nil {
+			return fail(fmt.Errorf("crn: recover checkpoint model: %w", err))
+		}
+		if restored.Dim() != s.enc.Dim() {
+			return fail(fmt.Errorf("%w: checkpoint model expects dimension %d, this database's featurization has %d",
+				ErrDimMismatch, restored.Dim(), s.enc.Dim()))
+		}
+		model = restored
+	}
+	if model == nil {
+		return fail(errors.New("crn: adaptive estimator needs a model or a recoverable checkpoint"))
+	}
+
+	box := online.NewModelBox(model, s.enc, set.cacheSize, p)
+	if ck != nil {
+		if _, err := pool.LoadInto(p, s.schema, bytes.NewReader(ck.Pool)); err != nil {
+			return fail(fmt.Errorf("crn: recover pool snapshot: %w", err))
+		}
+		if ck.Generation > 1 {
+			// Resume the recorded generation number so the sequence stays
+			// continuous across restarts (done after the pool restore: the
+			// restored generation's cache subscription then sees the final
+			// pool, not a stream of replay mutations).
+			box.Restore(model, ck.Generation)
+		}
+	}
 	est.Rates = box
 	ce := &CardinalityEstimator{est: est, pool: p, box: box}
 	ce.initCoalescer(set)
@@ -84,14 +184,84 @@ func (s *System) AdaptiveEstimator(m *ContainmentModel, p *QueriesPool, opts ...
 		sys:                  s,
 		col:                  online.NewCollector(p, cfg.BufferCap),
 		drift:                online.NewDriftMonitor(cfg.DriftThreshold, cfg.DriftWindow, cfg.DriftMinSamples),
+		store:                store,
 	}
+	if ck != nil {
+		ae.drift.Restore(ck.Drift)
+		ae.col.SetAppliedLSN(ck.AppliedLSN)
+	}
+	if store != nil {
+		// Write-ahead ordering: feedback reaches the WAL before the staging
+		// buffer, so everything the collector ever accepted is recoverable.
+		ae.col.SetJournal(store.Append)
+		since := uint64(0)
+		if ck != nil {
+			since = ck.AppliedLSN
+		}
+		// Re-stage journaled feedback the checkpoint does not cover. A
+		// corrupt record ends the usable log right there (everything before
+		// it was delivered); anything else is a real I/O failure.
+		_, err := store.Replay(since, func(rec durable.FeedbackRecord) error {
+			q, perr := s.ParseQuery(rec.SQL)
+			if perr != nil {
+				ae.replaySkipped.Add(1)
+				return nil
+			}
+			_, _ = ae.col.Restage(q, rec.Card, rec.ObservedAt, rec.LSN)
+			return nil
+		})
+		if err != nil && !errors.Is(err, durable.ErrCorrupt) {
+			return fail(fmt.Errorf("crn: replay feedback wal: %w", err))
+		}
+	}
+
 	// The trainer's labeling oracle runs under a context cancelled by
 	// Close, so an in-flight retrain aborts promptly at teardown.
 	ctx, cancel := context.WithCancel(context.Background())
 	ae.cancel = cancel
 	ae.trainer = online.NewTrainer(cfg, box, ae.col, p, ctxOracle{ctx: ctx, ex: s.exec}, ae.drift)
+	if store != nil {
+		// Checkpoint inside the promotion path (still under the retrain
+		// lock): the persisted (generation, pool, drift, applied LSN) tuple
+		// is exactly the promoted cycle's, never a torn mix of two cycles.
+		ae.trainer.SetOnPromote(func(g *online.Generation) { ae.checkpoint(g) })
+	}
 	ae.trainer.Start()
-	return ae
+	return ae, nil
+}
+
+// HasCheckpoint reports whether dataDir holds at least one completed
+// checkpoint — whether OpenAdaptiveEstimator with that dir would resume a
+// previous deployment rather than start fresh. Boot logic uses it to skip
+// seed training/pool seeding on restart.
+func HasCheckpoint(dataDir string) bool { return durable.HasCheckpoint(dataDir) }
+
+// checkpoint persists one generation's full deployment state. Failures are
+// counted, not fatal: the WAL still covers everything since the last good
+// checkpoint, so serving and adaptation continue with a longer recovery
+// tail.
+func (e *AdaptiveEstimator) checkpoint(g *online.Generation) {
+	blob, err := g.Model.Save()
+	if err != nil {
+		e.ckptErrs.Add(1)
+		return
+	}
+	var poolBuf bytes.Buffer
+	if err := e.pool.Save(&poolBuf); err != nil {
+		e.ckptErrs.Add(1)
+		return
+	}
+	err = e.store.Checkpoint(&durable.Checkpoint{
+		Generation: g.Gen,
+		AppliedLSN: e.col.AppliedLSN(),
+		Model:      blob,
+		Pool:       poolBuf.Bytes(),
+		Drift:      e.drift.Values(),
+		WrittenAt:  time.Now().UTC(),
+	})
+	if err != nil {
+		e.ckptErrs.Add(1)
+	}
 }
 
 // RecordFeedback ingests one piece of execution feedback: the SQL text of
@@ -135,6 +305,22 @@ func (e *AdaptiveEstimator) RecordFeedbackQuery(ctx context.Context, q Query, ca
 	return e.col.Offer(q, card, time.Now())
 }
 
+// EstimateContainment estimates q1 ⊂% q2 in [0,1] on the LIVE model
+// generation (ContainmentModel.EstimateContainment answers from the static
+// handle the estimator was built with). It is also the only containment
+// entry point of a deployment resumed from a checkpoint without a
+// standalone model.
+func (e *AdaptiveEstimator) EstimateContainment(ctx context.Context, q1, q2 Query) (float64, error) {
+	if err := contain.Validate(q1, q2); err != nil {
+		return 0, err
+	}
+	out, err := e.box.EstimateRatesCtx(ctx, [][2]Query{{q1, q2}})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
 // Retrain runs one synchronous retrain cycle over the staged feedback and
 // reports whether a new model generation was promoted. The background
 // trainer does this on its own schedule; Retrain exists for tests,
@@ -168,12 +354,50 @@ func (e *AdaptiveEstimator) AdaptationStats() AdaptationStats {
 	}
 }
 
+// DurabilityStats reports the durability layer's state: WAL counters,
+// checkpoint history, recovery activity. Nil without WithDataDir (the
+// healthz serializer drops the section entirely for memory-only
+// deployments).
+type DurabilityStats struct {
+	durable.StoreStats
+	// CheckpointErrors counts failed checkpoint attempts (serving continued;
+	// the WAL still covers the un-checkpointed state).
+	CheckpointErrors uint64 `json:"checkpoint_errors"`
+	// ReplaySkipped counts journaled records recovery could not re-parse
+	// (schema changed underneath the data dir) and dropped.
+	ReplaySkipped uint64 `json:"replay_skipped"`
+}
+
+// DurabilityStats returns the durability snapshot, or nil for a memory-only
+// estimator.
+func (e *AdaptiveEstimator) DurabilityStats() *DurabilityStats {
+	if e.store == nil {
+		return nil
+	}
+	return &DurabilityStats{
+		StoreStats:       e.store.Stats(),
+		CheckpointErrors: e.ckptErrs.Load(),
+		ReplaySkipped:    e.replaySkipped.Load(),
+	}
+}
+
 // Close stops the background trainer (waiting for an in-flight cycle),
-// cancels its labeling work and releases the pool subscription. The
-// estimator still answers estimates afterwards — on its last promoted
-// generation — but no longer adapts.
+// cancels its labeling work and releases the pool subscription. A durable
+// estimator then writes a final checkpoint of the current generation —
+// staged-but-untrained feedback stays in the WAL beyond the checkpoint's
+// applied LSN, so the next boot re-stages it — syncs and closes the store.
+// The estimator still answers estimates afterwards — on its last promoted
+// generation — but no longer adapts. Idempotent.
 func (e *AdaptiveEstimator) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
 	e.cancel()
 	e.trainer.Stop()
+	if e.store != nil {
+		e.checkpoint(e.box.Current())
+		_ = e.store.Sync()
+		_ = e.store.Close()
+	}
 	e.CardinalityEstimator.Close()
 }

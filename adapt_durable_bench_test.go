@@ -1,0 +1,92 @@
+package crn
+
+// Benchmarks for the PR 6 durability acceptance point: the cost a WAL
+// append adds to the feedback ingestion path. Run with
+//
+//	go test -bench RecordFeedback -benchtime 2000x
+//
+// ns/op is per RecordFeedbackQuery call — drift scoring against the live
+// model, validation, dedup, staging, and (in the durable variants) the
+// write-ahead journal append. The PR 6 acceptance criterion is the
+// default-policy durable path within 10% of the in-memory path: under
+// "interval" the append is a buffered copy (the background syncer owns
+// the fsync), so the only on-path costs are framing and a checksum.
+// "always" prices a full group-commit fsync per record — the upper bound,
+// dominated by device sync latency, included for visibility rather than
+// gated.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// feedbackBenchEnv builds an adaptive estimator sized so every one of the
+// b.N unique feedback records stages without overflow, plus the parsed
+// queries themselves (parsing happens off the clock: the metered path is
+// staging, not SQL decoding).
+func feedbackBenchEnv(b *testing.B, opts ...EstimatorOption) (*AdaptiveEstimator, []Query) {
+	b.Helper()
+	batchBenchEnv(b) // builds the shared system and model
+	ctx := context.Background()
+	pool := batchSys.NewQueriesPool()
+	if err := batchSys.SeedPool(ctx, pool, 60, 11); err != nil {
+		b.Fatal(err)
+	}
+	all := append([]EstimatorOption{
+		WithRetrainInterval(-1),
+		WithFeedbackBuffer(b.N + 16),
+		WithDriftTrigger(1e9, 64), // never trip: retrains would pollute timing
+	}, opts...)
+	ae, err := batchSys.OpenAdaptiveEstimator(batchModel, pool, all...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(ae.Close)
+	qs := make([]Query, b.N)
+	for i := range qs {
+		q, err := batchSys.ParseQuery(fmt.Sprintf(
+			"SELECT * FROM title WHERE title.production_year > %d", 1000+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		qs[i] = q
+	}
+	return ae, qs
+}
+
+func runFeedbackBench(b *testing.B, ae *AdaptiveEstimator, qs []Query) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc, err := ae.RecordFeedbackQuery(ctx, qs[i], int64(i%100+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !acc {
+			b.Fatalf("record %d not accepted", i)
+		}
+	}
+}
+
+// BenchmarkRecordFeedbackMemory is the in-memory staging baseline (PR 5
+// behavior: no data dir, nothing durable).
+func BenchmarkRecordFeedbackMemory(b *testing.B) {
+	ae, qs := feedbackBenchEnv(b)
+	runFeedbackBench(b, ae, qs)
+}
+
+// BenchmarkRecordFeedbackDurable journals through the WAL at the default
+// "interval" sync policy. Acceptance: within 10% of Memory.
+func BenchmarkRecordFeedbackDurable(b *testing.B) {
+	ae, qs := feedbackBenchEnv(b, WithDataDir(b.TempDir()), WithWALSync("interval"))
+	runFeedbackBench(b, ae, qs)
+}
+
+// BenchmarkRecordFeedbackDurableAlways journals with an fsync per record —
+// the group-commit upper bound, not gated.
+func BenchmarkRecordFeedbackDurableAlways(b *testing.B) {
+	ae, qs := feedbackBenchEnv(b, WithDataDir(b.TempDir()), WithWALSync("always"))
+	runFeedbackBench(b, ae, qs)
+}

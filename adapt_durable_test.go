@@ -1,0 +1,239 @@
+package crn
+
+import (
+	"context"
+	"testing"
+)
+
+// TestDurableKillAndRestart is the acceptance test of the durability
+// subsystem: a promoted-and-grown deployment is closed (simulating an
+// orderly kill) and reopened against the same data directory. The
+// restarted estimator must resume the promoted generation and the grown
+// pool, serve bit-identical estimates for the warm working set, and
+// replay feedback that was journaled but never trained.
+func TestDurableKillAndRestart(t *testing.T) {
+	ctx := context.Background()
+	sys, model, p := adaptFixture(t)
+	dir := t.TempDir()
+
+	ae, err := sys.OpenAdaptiveEstimator(model, p,
+		WithRetrainInterval(-1),
+		WithRetrainEpochs(2),
+		WithFeedbackPairs(4),
+		WithPromoteTolerance(100), // force promotion: this test is about state, not quality
+		WithDataDir(dir),
+		WithWALSync("always"),
+		WithCheckpointRetain(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	feedback := driftedWorkload(t, sys, 0, 24)
+	for _, lq := range feedback[:16] {
+		if _, err := ae.RecordFeedbackQuery(ctx, lq.Q, lq.Card); err != nil {
+			t.Fatal(err)
+		}
+	}
+	promoted, err := ae.Retrain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !promoted {
+		t.Fatal("fixture retrain did not promote")
+	}
+	// Promotion must have checkpointed, before any shutdown runs.
+	if !HasCheckpoint(dir) {
+		t.Fatal("no checkpoint on disk after promotion")
+	}
+
+	// Journal more feedback that the trainer never sees: it must survive
+	// the restart via WAL replay.
+	for _, lq := range feedback[16:] {
+		if _, err := ae.RecordFeedbackQuery(ctx, lq.Q, lq.Card); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stagedAtKill := ae.StagedFeedback()
+	if stagedAtKill == 0 {
+		t.Fatal("fixture produced no staged feedback")
+	}
+
+	gen := ae.ModelGeneration()
+	poolLen := p.Len()
+	probes := driftedWorkload(t, sys, 1, 12)
+	before := make([]float64, len(probes))
+	for i, lq := range probes {
+		if before[i], err = ae.EstimateCardinality(ctx, lq.Q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := ae.DurabilityStats()
+	if ds == nil {
+		t.Fatal("DurabilityStats = nil with a data dir configured")
+	}
+	if ds.WAL.Appends == 0 || ds.Checkpoints == 0 {
+		t.Fatalf("durability counters never moved: %+v", ds)
+	}
+	ae.Close()
+
+	// ---- restart: nil model, empty pool — everything comes from disk ----
+	p2 := sys.NewQueriesPool()
+	ae2, err := sys.OpenAdaptiveEstimator(nil, p2,
+		WithRetrainInterval(-1),
+		WithRetrainEpochs(2),
+		WithFeedbackPairs(4),
+		WithPromoteTolerance(100),
+		WithDataDir(dir),
+		WithWALSync("always"),
+		WithCheckpointRetain(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ae2.Close()
+
+	if got := ae2.ModelGeneration(); got != gen {
+		t.Fatalf("restarted generation = %d, want %d", got, gen)
+	}
+	if got := p2.Len(); got != poolLen {
+		t.Fatalf("restarted pool size = %d, want %d", got, poolLen)
+	}
+	for i, lq := range probes {
+		after, err := ae2.EstimateCardinality(ctx, lq.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after != before[i] {
+			t.Fatalf("probe %d: estimate %v after restart, %v before — must be bit-identical", i, after, before[i])
+		}
+	}
+	// Un-trained journaled feedback is staged again.
+	ds2 := ae2.DurabilityStats()
+	if ds2 == nil || ds2.ReplayedRecords == 0 {
+		t.Fatalf("restart replayed nothing: %+v", ds2)
+	}
+	if got := ae2.StagedFeedback(); got != stagedAtKill {
+		t.Fatalf("restarted staged feedback = %d, want %d (the un-trained records)", got, stagedAtKill)
+	}
+	// The replayed records are trainable: the next cycle promotes gen+1.
+	if promoted, err := ae2.Retrain(ctx); err != nil || !promoted {
+		t.Fatalf("post-restart retrain: promoted=%v err=%v", promoted, err)
+	}
+	if got := ae2.ModelGeneration(); got != gen+1 {
+		t.Fatalf("post-restart promotion reached generation %d, want %d", got, gen+1)
+	}
+}
+
+// TestSecondRestartAfterPromotion reopens the SAME data dir a third time
+// after the post-restart promotion, pinning that generation numbering
+// keeps ascending across restarts instead of resetting.
+func TestSecondRestartAfterPromotion(t *testing.T) {
+	ctx := context.Background()
+	sys, model, p := adaptFixture(t)
+	dir := t.TempDir()
+	open := func(m *ContainmentModel, pl *QueriesPool) *AdaptiveEstimator {
+		t.Helper()
+		ae, err := sys.OpenAdaptiveEstimator(m, pl,
+			WithRetrainInterval(-1), WithRetrainEpochs(1), WithFeedbackPairs(2),
+			WithPromoteTolerance(100), WithDataDir(dir), WithWALSync("always"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ae
+	}
+
+	ae := open(model, p)
+	for _, lq := range driftedWorkload(t, sys, 0, 12) {
+		if _, err := ae.RecordFeedbackQuery(ctx, lq.Q, lq.Card); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if promoted, err := ae.Retrain(ctx); err != nil || !promoted {
+		t.Fatalf("promoted=%v err=%v", promoted, err)
+	}
+	gen := ae.ModelGeneration()
+	ae.Close()
+
+	ae2 := open(nil, sys.NewQueriesPool())
+	if got := ae2.ModelGeneration(); got != gen {
+		t.Fatalf("first restart generation = %d, want %d", got, gen)
+	}
+	ae2.Close()
+
+	ae3 := open(nil, sys.NewQueriesPool())
+	defer ae3.Close()
+	if got := ae3.ModelGeneration(); got != gen {
+		t.Fatalf("second restart generation = %d, want %d", got, gen)
+	}
+}
+
+// TestNoDataDirBehavesLikeBefore pins the compatibility contract: without
+// WithDataDir the adaptive estimator must run fully in-memory — no
+// durability stats, feedback accepted, promotion functional.
+func TestNoDataDirBehavesLikeBefore(t *testing.T) {
+	ctx := context.Background()
+	sys, model, p := adaptFixture(t)
+	ae, err := sys.OpenAdaptiveEstimator(model, p,
+		WithRetrainInterval(-1), WithRetrainEpochs(1), WithFeedbackPairs(2),
+		WithPromoteTolerance(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ae.Close()
+	if ae.DurabilityStats() != nil {
+		t.Fatal("DurabilityStats must be nil without a data dir")
+	}
+	for _, lq := range driftedWorkload(t, sys, 0, 12) {
+		if _, err := ae.RecordFeedbackQuery(ctx, lq.Q, lq.Card); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if promoted, err := ae.Retrain(ctx); err != nil || !promoted {
+		t.Fatalf("promoted=%v err=%v", promoted, err)
+	}
+}
+
+// TestOpenWithoutModelOrCheckpointFails pins the error path: a fresh data
+// dir cannot conjure a model out of nothing.
+func TestOpenWithoutModelOrCheckpointFails(t *testing.T) {
+	sys, _, p := adaptFixture(t)
+	if _, err := sys.OpenAdaptiveEstimator(nil, p, WithDataDir(t.TempDir())); err == nil {
+		t.Fatal("open with nil model and empty data dir must fail")
+	}
+	if _, err := sys.OpenAdaptiveEstimator(nil, p); err == nil {
+		t.Fatal("open with nil model and no data dir must fail")
+	}
+}
+
+// TestLabelFreeFeedbackSavesOracleCalls exercises satellite (a): with
+// WithLabelFreeFeedback enabled, containment rates for feedback pairs
+// whose intersection cardinality is already known — |Q1∩Q2|/|Q1| — are
+// derived from journaled truths instead of oracle executions, and the
+// split is visible in AdaptationStats.
+func TestLabelFreeFeedbackSavesOracleCalls(t *testing.T) {
+	ctx := context.Background()
+	sys, model, p := adaptFixture(t)
+	ae, err := sys.OpenAdaptiveEstimator(model, p,
+		WithRetrainInterval(-1), WithRetrainEpochs(1), WithFeedbackPairs(4),
+		WithPromoteTolerance(100), WithLabelFreeFeedback(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ae.Close()
+
+	for _, lq := range driftedWorkload(t, sys, 0, 24) {
+		if _, err := ae.RecordFeedbackQuery(ctx, lq.Q, lq.Card); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ae.Retrain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := ae.AdaptationStats()
+	if st.Trainer.LabelFreePairs == 0 {
+		t.Fatalf("label-free labeling never fired: %+v", st.Trainer)
+	}
+	t.Logf("pairs labeled without the oracle: %d (oracle pairs: %d)",
+		st.Trainer.LabelFreePairs, st.Trainer.OraclePairs)
+}

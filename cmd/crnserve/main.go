@@ -68,6 +68,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"crn"
@@ -98,10 +99,14 @@ func main() {
 	promoteTolerance := flag.Float64("promote-tolerance", 0.05, "promotion gate: candidate validation q-error may exceed live by this fraction (adaptation)")
 	driftThreshold := flag.Float64("drift-threshold", 0, "windowed median q-error of live estimates vs feedback truths that kicks an early retrain (0: observe only)")
 	driftWindow := flag.Int("drift-window", 256, "rolling window size of the drift monitor (adaptation)")
+	labelFree := flag.Bool("label-free", false, "label feedback training pairs from the cardinality identity when possible instead of executing the truth oracle (adaptation)")
+	dataDir := flag.String("data-dir", "", "durable state directory: feedback WAL + promotion checkpoints, recovered on restart (empty: memory-only)")
+	walSync := flag.String("wal-sync", "interval", "feedback WAL sync policy: interval (batched fsync), always (fsync per record), none")
+	checkpointRetain := flag.Int("checkpoint-retain", 3, "checkpoints kept on disk; older ones and fully-covered WAL segments are pruned")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "crnserve: ", log.LstdFlags)
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	logger.Printf("opening synthetic database (titles=%d seed=%d)", *titles, *dbSeed)
@@ -110,8 +115,19 @@ func main() {
 		logger.Fatalf("open database: %v", err)
 	}
 
+	// A data dir with a completed checkpoint is a resumable deployment: the
+	// checkpoint's model generation and grown pool supersede startup
+	// training and seeding (an explicit -model still loads, as the escape
+	// hatch for swapping weights under a kept data dir).
+	resume := *adapt && *dataDir != "" && crn.HasCheckpoint(*dataDir)
+	if resume {
+		logger.Printf("data dir %s holds a checkpoint: resuming previous deployment (skipping startup training and pool seeding)", *dataDir)
+	}
+
 	var model *crn.ContainmentModel
-	if *modelPath != "" {
+	if resume && *modelPath == "" {
+		// The checkpoint carries the model; OpenAdaptiveEstimator restores it.
+	} else if *modelPath != "" {
 		blob, err := os.ReadFile(*modelPath)
 		if err != nil {
 			logger.Fatalf("read model: %v", err)
@@ -149,7 +165,7 @@ func main() {
 		logger.Printf("pool capacity bounded to %d entries (LRU-by-last-match eviction)", *poolCap)
 	}
 	pool := sys.NewQueriesPool(poolOpts...)
-	if *poolSize > 0 {
+	if *poolSize > 0 && !resume {
 		logger.Printf("seeding queries pool (n=%d)", *poolSize)
 		if err := sys.SeedPool(ctx, pool, *poolSize, *poolSeed); err != nil {
 			logger.Fatalf("seed pool: %v", err)
@@ -176,19 +192,39 @@ func main() {
 	var est *crn.CardinalityEstimator
 	var adaptive *crn.AdaptiveEstimator
 	if *adapt {
-		adaptive = sys.AdaptiveEstimator(model, pool, append(opts,
+		adaptOpts := append(opts,
 			crn.WithFeedbackBuffer(*feedbackBuffer),
 			crn.WithRetrainBatch(*feedbackMinBatch),
 			crn.WithRetrainInterval(*retrainInterval),
 			crn.WithRetrainEpochs(*retrainEpochs),
 			crn.WithPromoteTolerance(*promoteTolerance),
 			crn.WithDriftTrigger(*driftThreshold, *driftWindow),
-		)...)
+			crn.WithLabelFreeFeedback(*labelFree),
+		)
+		if *dataDir != "" {
+			adaptOpts = append(adaptOpts,
+				crn.WithDataDir(*dataDir),
+				crn.WithWALSync(*walSync),
+				crn.WithCheckpointRetain(*checkpointRetain),
+			)
+		}
+		adaptive, err = sys.OpenAdaptiveEstimator(model, pool, adaptOpts...)
+		if err != nil {
+			logger.Fatalf("open adaptive estimator: %v", err)
+		}
 		defer adaptive.Close()
 		est = adaptive.CardinalityEstimator
-		logger.Printf("online adaptation on (buffer=%d min-batch=%d interval=%v epochs=%d tolerance=%.2f drift-threshold=%g)",
-			*feedbackBuffer, *feedbackMinBatch, *retrainInterval, *retrainEpochs, *promoteTolerance, *driftThreshold)
+		logger.Printf("online adaptation on (buffer=%d min-batch=%d interval=%v epochs=%d tolerance=%.2f drift-threshold=%g label-free=%v)",
+			*feedbackBuffer, *feedbackMinBatch, *retrainInterval, *retrainEpochs, *promoteTolerance, *driftThreshold, *labelFree)
+		if ds := adaptive.DurabilityStats(); ds != nil {
+			logger.Printf("durable state on under %s (wal-sync=%s retain=%d): generation=%d pool=%d staged=%d replayed=%d",
+				*dataDir, *walSync, *checkpointRetain,
+				adaptive.ModelGeneration(), pool.Len(), adaptive.StagedFeedback(), ds.ReplayedRecords)
+		}
 	} else {
+		if *dataDir != "" {
+			logger.Printf("warning: -data-dir is ignored with -adapt=false (durability rides the adaptation loop)")
+		}
 		est = sys.CardinalityEstimator(model, pool, opts...)
 	}
 
@@ -219,5 +255,16 @@ func main() {
 	// ListenAndServe returns as soon as the listener closes; wait for
 	// Shutdown to finish draining in-flight requests before exiting.
 	<-drained
+	if adaptive != nil {
+		// Graceful teardown: the listener has drained, so no new feedback
+		// arrives; stop the trainer and — with -data-dir — flush the WAL and
+		// write the final checkpoint (staged feedback stays journaled past
+		// the checkpoint LSN and is re-staged on the next boot).
+		if adaptive.DurabilityStats() != nil {
+			logger.Printf("flushing durable state (generation=%d staged=%d)",
+				adaptive.ModelGeneration(), adaptive.StagedFeedback())
+		}
+		adaptive.Close()
+	}
 	fmt.Fprintln(os.Stderr, "crnserve: shut down")
 }

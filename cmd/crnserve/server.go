@@ -178,6 +178,10 @@ type healthzResponse struct {
 	// ingestion, background retraining and drift monitoring — and is
 	// omitted when the server runs with -adapt=false.
 	Online *crn.AdaptationStats `json:"online,omitempty"`
+	// Durable reports the durability layer — WAL appends/syncs/segments,
+	// checkpoint history, recovery replay counters — and is omitted without
+	// -data-dir.
+	Durable *crn.DurabilityStats `json:"durable,omitempty"`
 }
 
 type errorResponse struct {
@@ -218,7 +222,18 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, statusFor(err), err)
 			return
 		}
-		rate, err := s.model.EstimateContainment(r.Context(), q1, q2)
+		// Containment runs on the live generation when adaptation is on (and
+		// is the only path for a deployment resumed from a checkpoint, where
+		// there is no standalone model handle at all).
+		var rate float64
+		switch {
+		case s.adaptive != nil:
+			rate, err = s.adaptive.EstimateContainment(r.Context(), q1, q2)
+		case s.model != nil:
+			rate, err = s.model.EstimateContainment(r.Context(), q1, q2)
+		default:
+			err = errors.New("containment estimation unavailable: no model loaded")
+		}
 		if err != nil {
 			s.writeError(w, statusFor(err), err)
 			return
@@ -339,6 +354,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.adaptive != nil {
 		st := s.adaptive.AdaptationStats()
 		resp.Online = &st
+		resp.Durable = s.adaptive.DurabilityStats()
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

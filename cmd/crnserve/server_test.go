@@ -578,3 +578,72 @@ func TestFeedbackDisabledWithoutAdaptation(t *testing.T) {
 		t.Errorf("online section must be omitted without adaptation: %+v", hr.Online)
 	}
 }
+
+// TestHealthzDurableSection drives a durable adaptive server through the
+// HTTP surface: /feedback journals to the WAL, /healthz exposes the
+// "durable" section, and a non-durable server omits it.
+func TestHealthzDurableSection(t *testing.T) {
+	base := testServer(t)
+	ctx := context.Background()
+	pool := base.sys.NewQueriesPool()
+	if err := base.sys.SeedPool(ctx, pool, 10, 13); err != nil {
+		t.Fatal(err)
+	}
+	ae, err := base.sys.OpenAdaptiveEstimator(base.model, pool,
+		crn.WithRetrainInterval(-1),
+		crn.WithRetrainEpochs(1),
+		crn.WithFeedbackPairs(2),
+		crn.WithPromoteTolerance(10),
+		crn.WithDataDir(t.TempDir()),
+		crn.WithWALSync("always"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ae.Close)
+	srv := newServer(base.sys, base.model, pool, ae.CardinalityEstimator, nil)
+	srv.adaptive = ae
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	if status, _, err := postJSONErr(ts.URL+"/feedback", map[string]any{
+		"query": "SELECT * FROM title WHERE title.production_year > 1973", "cardinality": 21,
+	}); err != nil || status != http.StatusOK {
+		t.Fatalf("feedback: status %d err %v", status, err)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Durable == nil {
+		t.Fatal("healthz must report the durable section with a data dir")
+	}
+	if hr.Durable.WAL.Appends != 1 {
+		t.Errorf("wal appends = %d, want 1 (the accepted feedback)", hr.Durable.WAL.Appends)
+	}
+	if hr.Durable.DataDir == "" {
+		t.Errorf("durable stats missing data_dir: %+v", hr.Durable)
+	}
+
+	// A server without a data dir omits the section.
+	srv2 := adaptiveServer(t)
+	ts2 := httptest.NewServer(srv2.handler())
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var hr2 healthzResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&hr2); err != nil {
+		t.Fatal(err)
+	}
+	if hr2.Durable != nil {
+		t.Errorf("durable section must be omitted without a data dir: %+v", hr2.Durable)
+	}
+}

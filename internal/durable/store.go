@@ -1,0 +1,191 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Store ties the WAL and the checkpoint directory together under one data
+// directory and implements the recovery protocol:
+//
+//	<dataDir>/wal/            feedback log segments
+//	<dataDir>/checkpoints/    atomic promotion checkpoints
+//
+// Boot: Open the store, call Recover to get the newest valid checkpoint
+// (nil on a fresh directory), rebuild the in-memory state from it, then
+// Replay the WAL from the checkpoint's AppliedLSN to re-stage feedback the
+// checkpoint does not cover. Run: Append every accepted feedback record;
+// Checkpoint on every promotion (which also prunes old checkpoints and the
+// WAL segments every retained checkpoint covers).
+type Store struct {
+	dir     string
+	wal     *WAL
+	ckptDir string
+	retain  int
+
+	mu          sync.Mutex
+	checkpoints uint64
+	replayed    uint64
+	skippedCkpt uint64
+	lastCkptLSN uint64
+	lastCkptGen uint64
+	lastCkptAt  time.Time
+}
+
+// StoreOptions configures Open.
+type StoreOptions struct {
+	// WAL configures the feedback log.
+	WAL WALOptions
+	// Retain is how many checkpoints to keep (default 3, minimum 1).
+	Retain int
+}
+
+// Open opens (creating if necessary) the durable store rooted at dir.
+func Open(dir string, opts StoreOptions) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("durable: empty data dir")
+	}
+	if opts.Retain < 1 {
+		opts.Retain = 3
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: open store: %w", err)
+	}
+	wal, err := OpenWAL(filepath.Join(dir, "wal"), opts.WAL)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		dir:     dir,
+		wal:     wal,
+		ckptDir: filepath.Join(dir, "checkpoints"),
+		retain:  opts.Retain,
+	}, nil
+}
+
+// HasCheckpoint reports whether dir contains at least one completed
+// checkpoint directory, without opening or validating anything — the cheap
+// boot-time question "is there a deployment to resume here?".
+func HasCheckpoint(dir string) bool {
+	names, err := listCheckpoints(filepath.Join(dir, "checkpoints"))
+	return err == nil && len(names) > 0
+}
+
+// Recover loads the newest valid checkpoint, falling back to older ones on
+// corruption. It returns (nil, nil) on a fresh data directory — the caller
+// starts from its seed state and replays the WAL from LSN 0.
+func (s *Store) Recover() (*Checkpoint, error) {
+	ck, skipped, err := LoadCheckpoint(s.ckptDir)
+	s.mu.Lock()
+	s.skippedCkpt += uint64(skipped)
+	s.mu.Unlock()
+	if err != nil {
+		if HasCheckpoint(s.dir) {
+			// Checkpoints exist but none validates: surface it — silently
+			// booting from seed would discard the adapted deployment.
+			return nil, err
+		}
+		return nil, nil
+	}
+	s.mu.Lock()
+	s.lastCkptGen = ck.Generation
+	s.lastCkptLSN = ck.AppliedLSN
+	s.lastCkptAt = ck.WrittenAt
+	s.mu.Unlock()
+	return ck, nil
+}
+
+// Append journals one feedback record; see WAL.Append.
+func (s *Store) Append(sql string, card int64, observedAt time.Time) (uint64, error) {
+	return s.wal.Append(sql, card, observedAt)
+}
+
+// Replay delivers every journaled record with LSN > since; see WAL.Replay.
+func (s *Store) Replay(since uint64, fn func(FeedbackRecord) error) (int, error) {
+	n, err := s.wal.Replay(since, fn)
+	s.mu.Lock()
+	s.replayed += uint64(n)
+	s.mu.Unlock()
+	return n, err
+}
+
+// Sync forces buffered WAL records down; see WAL.Sync.
+func (s *Store) Sync() error { return s.wal.Sync() }
+
+// LastLSN returns the newest journaled LSN.
+func (s *Store) LastLSN() uint64 { return s.wal.LastLSN() }
+
+// Checkpoint atomically persists ck, then applies retention: old
+// checkpoints beyond the retain count are removed and WAL segments fully
+// covered by every retained checkpoint are pruned. Retention failures are
+// reported but the checkpoint itself is durable once Checkpoint returns
+// a nil error from the write step.
+func (s *Store) Checkpoint(ck *Checkpoint) error {
+	if _, err := WriteCheckpoint(s.ckptDir, ck); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.checkpoints++
+	s.lastCkptGen = ck.Generation
+	s.lastCkptLSN = ck.AppliedLSN
+	s.lastCkptAt = ck.WrittenAt
+	s.mu.Unlock()
+	_, minLSN, err := PruneCheckpoints(s.ckptDir, s.retain)
+	if err != nil {
+		return err
+	}
+	if minLSN > 0 {
+		// Keep every record any retained checkpoint might still need: prune
+		// only through the OLDEST retained checkpoint's applied LSN, so
+		// falling back to it still finds its replay suffix.
+		if _, err := s.wal.PruneThrough(minLSN); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the WAL. It does NOT write a final checkpoint —
+// that needs serialized model/pool state only the owner has; callers
+// checkpoint first, then Close.
+func (s *Store) Close() error { return s.wal.Close() }
+
+// StoreStats is the durability section of the serving stats.
+type StoreStats struct {
+	DataDir string   `json:"data_dir"`
+	WAL     WALStats `json:"wal"`
+	// Checkpoints counts checkpoints written by this process.
+	Checkpoints uint64 `json:"checkpoints"`
+	// LastCheckpointGen/LSN identify the newest checkpoint (written or
+	// recovered); zero when none exists yet.
+	LastCheckpointGen uint64    `json:"last_checkpoint_generation"`
+	LastCheckpointLSN uint64    `json:"last_checkpoint_lsn"`
+	LastCheckpointAt  time.Time `json:"last_checkpoint_at"`
+	// ReplayedRecords counts WAL records re-delivered by recovery.
+	ReplayedRecords uint64 `json:"replayed_records"`
+	// SkippedCheckpoints counts corrupt checkpoints recovery stepped over.
+	SkippedCheckpoints uint64 `json:"skipped_checkpoints"`
+	// Retain is the checkpoint retention bound.
+	Retain int `json:"retain"`
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	st := StoreStats{
+		DataDir:            s.dir,
+		Checkpoints:        s.checkpoints,
+		LastCheckpointGen:  s.lastCkptGen,
+		LastCheckpointLSN:  s.lastCkptLSN,
+		LastCheckpointAt:   s.lastCkptAt,
+		ReplayedRecords:    s.replayed,
+		SkippedCheckpoints: s.skippedCkpt,
+		Retain:             s.retain,
+	}
+	s.mu.Unlock()
+	st.WAL = s.wal.Stats()
+	return st
+}

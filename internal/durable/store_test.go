@@ -1,0 +1,251 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testCkpt(gen, lsn uint64) *Checkpoint {
+	return &Checkpoint{
+		Generation: gen,
+		AppliedLSN: lsn,
+		Model:      []byte(fmt.Sprintf("model-gen-%d", gen)),
+		Pool:       []byte(fmt.Sprintf("pool-gen-%d", gen)),
+		Drift:      []float64{0.1, 0.2, float64(gen)},
+		WrittenAt:  time.Unix(int64(1000+gen), 0).UTC(),
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := testCkpt(3, 42)
+	if _, err := WriteCheckpoint(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped = %d, want 0", skipped)
+	}
+	if got.Generation != want.Generation || got.AppliedLSN != want.AppliedLSN {
+		t.Fatalf("loaded gen/lsn = %d/%d, want %d/%d", got.Generation, got.AppliedLSN, want.Generation, want.AppliedLSN)
+	}
+	if !bytes.Equal(got.Model, want.Model) || !bytes.Equal(got.Pool, want.Pool) {
+		t.Fatal("model/pool blobs did not round trip")
+	}
+	if len(got.Drift) != len(want.Drift) {
+		t.Fatalf("drift len = %d, want %d", len(got.Drift), len(want.Drift))
+	}
+	for i := range want.Drift {
+		if got.Drift[i] != want.Drift[i] {
+			t.Fatalf("drift[%d] = %v, want %v", i, got.Drift[i], want.Drift[i])
+		}
+	}
+}
+
+func TestLoadCheckpointEmptyDir(t *testing.T) {
+	if _, _, err := LoadCheckpoint(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestLoadCheckpointFallsBackOnCorruption(t *testing.T) {
+	dir := t.TempDir()
+	for gen := uint64(1); gen <= 3; gen++ {
+		if _, err := WriteCheckpoint(dir, testCkpt(gen, gen*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the newest checkpoint's model blob.
+	newest := filepath.Join(dir, ckptDirName(3, 30), modelBlobName)
+	if err := os.WriteFile(newest, []byte("model-gen-X"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 2 || skipped != 1 {
+		t.Fatalf("fell back to gen %d (skipped %d), want gen 2 (skipped 1)", got.Generation, skipped)
+	}
+}
+
+func TestLoadCheckpointIgnoresTornTmpDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteCheckpoint(dir, testCkpt(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-checkpoint: the tmp dir exists but was never renamed.
+	tmp := filepath.Join(dir, ckptTmpPrefix+ckptDirName(2, 9))
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, modelBlobName), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 1 {
+		t.Fatalf("loaded gen %d, want 1 (tmp dir must be ignored)", got.Generation)
+	}
+	// Pruning sweeps the tmp leftovers.
+	if _, _, err := PruneCheckpoints(dir, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("tmp checkpoint dir survived pruning: %v", err)
+	}
+}
+
+func TestPruneCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	for gen := uint64(1); gen <= 5; gen++ {
+		if _, err := WriteCheckpoint(dir, testCkpt(gen, gen*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, minLSN, err := PruneCheckpoints(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("removed = %d, want 3", removed)
+	}
+	// Retained: gens 4 and 5 → min applied LSN is 40.
+	if minLSN != 40 {
+		t.Fatalf("minRetainedLSN = %d, want 40", minLSN)
+	}
+	names, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("%d checkpoints remain, want 2", len(names))
+	}
+}
+
+func TestStoreRecoverFreshAndAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, StoreOptions{WAL: WALOptions{Sync: SyncAlways}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck, err := s.Recover(); err != nil || ck != nil {
+		t.Fatalf("fresh Recover = %v, %v; want nil, nil", ck, err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append(fmt.Sprintf("SELECT * FROM t WHERE t.a = %d", i), int64(i), time.Unix(1, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(testCkpt(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, StoreOptions{WAL: WALOptions{Sync: SyncAlways}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ck, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil || ck.Generation != 2 || ck.AppliedLSN != 3 {
+		t.Fatalf("recovered %+v, want gen 2 / lsn 3", ck)
+	}
+	// Records past the checkpoint's applied LSN must still be replayable.
+	var lsns []uint64
+	if _, err := s2.Replay(ck.AppliedLSN, func(r FeedbackRecord) error {
+		lsns = append(lsns, r.LSN)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != 2 || lsns[0] != 4 || lsns[1] != 5 {
+		t.Fatalf("replayed LSNs %v, want [4 5]", lsns)
+	}
+	if !HasCheckpoint(dir) {
+		t.Fatal("HasCheckpoint = false after checkpointing")
+	}
+	if HasCheckpoint(t.TempDir()) {
+		t.Fatal("HasCheckpoint = true on an empty dir")
+	}
+}
+
+func TestStoreRecoverFailsWhenAllCheckpointsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(testCkpt(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy the only checkpoint's manifest.
+	manifest := filepath.Join(dir, "checkpoints", ckptDirName(1, 0), manifestName)
+	if err := os.WriteFile(manifest, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Recover(); err == nil {
+		t.Fatal("Recover must fail when checkpoints exist but none validates")
+	}
+}
+
+func TestStoreCheckpointPrunesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, StoreOptions{
+		WAL:    WALOptions{Sync: SyncAlways, SegmentBytes: 256},
+		Retain: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 1; i <= 40; i++ {
+		if _, err := s.Append(fmt.Sprintf("SELECT * FROM t WHERE t.a = %d", i), int64(i), time.Unix(1, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(testCkpt(2, 35)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.WAL.PrunedSegments == 0 {
+		t.Fatalf("checkpoint at lsn 35 pruned no WAL segments: %+v", st.WAL)
+	}
+	// Everything after the checkpoint watermark must still replay.
+	var lsns []uint64
+	if _, err := s.Replay(35, func(r FeedbackRecord) error {
+		lsns = append(lsns, r.LSN)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != 5 || lsns[0] != 36 {
+		t.Fatalf("post-prune Replay(35) = %v, want [36..40]", lsns)
+	}
+	if st.LastCheckpointGen != 2 || st.LastCheckpointLSN != 35 {
+		t.Fatalf("stats checkpoint watermark = gen %d / lsn %d, want 2/35", st.LastCheckpointGen, st.LastCheckpointLSN)
+	}
+}

@@ -1,0 +1,646 @@
+// Package durable makes the *adapted* deployment the unit that survives a
+// restart. Everything the serving stack learns online — promoted model
+// generations, the feedback-grown queries pool, staged execution feedback,
+// the drift window — otherwise lives only in memory, so a crash silently
+// falls back to the seed model and throws away every correction the
+// workload paid for with real executions.
+//
+// Three cooperating pieces:
+//
+//   - WAL: a segmented, checksummed append-only log of validated execution
+//     feedback. Every record the collector accepts is appended (and carries
+//     a monotonic LSN) before it is staged, so feedback that has not yet
+//     made it into a promoted generation is recoverable by replay.
+//   - Checkpoints: atomic on-promotion snapshots (model weights, pool with
+//     LRU recency, drift window, last-applied LSN) written to a temp
+//     directory, fsynced, and renamed into place — a reader either sees a
+//     complete checkpoint or none. A retention policy prunes old
+//     checkpoints together with the WAL segments they fully cover.
+//   - Store: the recovery protocol over both — load the newest valid
+//     checkpoint (falling back to older ones on checksum failure), then
+//     replay WAL-since-LSN so un-checkpointed feedback re-enters the
+//     training pipeline. Torn tail records are truncated, never fatal.
+//
+// The package deliberately speaks strings and bytes (SQL text, serialized
+// model/pool blobs): it knows nothing about queries, models or pools, so it
+// sits below internal/online with no upward dependencies — and a future
+// replication follower can tail the same WAL format without importing the
+// serving stack.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects when WAL appends reach stable storage.
+type SyncPolicy uint8
+
+const (
+	// SyncInterval (the default) batches durability: appends land in an
+	// in-process buffer and a background syncer flushes and fsyncs every
+	// SyncEvery. A crash loses at most one sync window of feedback — an
+	// acceptable trade for keeping the append off the feedback hot path,
+	// since lost records are execution feedback the workload will simply
+	// re-observe.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs every append before it is acknowledged (group
+	// committed: one fsync covers every record appended up to it). Nothing
+	// acknowledged is ever lost; appends cost a disk flush.
+	SyncAlways
+	// SyncNone never fsyncs explicitly — the OS page cache decides. Fastest,
+	// loses up to the whole page cache on power failure; process crashes
+	// (the common case) still lose nothing once the buffer is flushed.
+	SyncNone
+)
+
+// ParseSyncPolicy resolves a policy from its flag spelling ("interval",
+// "always", "none"; empty selects the default).
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "interval":
+		return SyncInterval, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return SyncInterval, fmt.Errorf("durable: unknown wal sync policy %q (want interval, always or none)", s)
+}
+
+// String returns the flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	}
+	return "interval"
+}
+
+// FeedbackRecord is one durably logged piece of execution feedback: the SQL
+// text of a query the workload actually ran, its observed true cardinality,
+// and the monotonic log sequence number assigned at append.
+type FeedbackRecord struct {
+	LSN        uint64
+	SQL        string
+	Card       int64
+	ObservedAt time.Time
+}
+
+// Record framing. Every record is
+//
+//	uint32 payload length | uint32 CRC-32C of payload | payload
+//
+// with the payload
+//
+//	uint64 LSN | uint64 cardinality | int64 observed-at (unix nanos) | SQL bytes
+//
+// all little-endian. The CRC covers the whole payload, so a bit flip
+// anywhere in a record is detected; the length prefix bounds the read, so a
+// torn (partially written) tail record is detected by running out of bytes.
+const (
+	frameHeaderSize = 8
+	payloadFixed    = 24
+	// maxRecordSize bounds a single record (1 MiB matches the serving
+	// layer's request body bound). A length prefix beyond it is treated as
+	// corruption rather than an allocation request.
+	maxRecordSize = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks WAL bytes that fail validation (checksum mismatch,
+// impossible length, non-monotonic LSN) and truncated tail records alike.
+// Scanning stops at the first corrupt record; everything before it is good.
+var ErrCorrupt = errors.New("durable: corrupt wal record")
+
+// appendRecord encodes rec into dst and returns the extended slice.
+func appendRecord(dst []byte, rec FeedbackRecord) []byte {
+	payloadLen := payloadFixed + len(rec.SQL)
+	var hdr [frameHeaderSize + payloadFixed]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payloadLen))
+	binary.LittleEndian.PutUint64(hdr[8:16], rec.LSN)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(rec.Card))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(rec.ObservedAt.UnixNano()))
+	crc := crc32.Update(0, castagnoli, hdr[frameHeaderSize:])
+	crc = crc32.Update(crc, castagnoli, []byte(rec.SQL))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, rec.SQL...)
+}
+
+// parseRecord decodes the record at the head of b. It returns the decoded
+// record and the number of bytes consumed, or ErrCorrupt when the bytes are
+// torn or invalid. It never panics on arbitrary input (see FuzzWALDecode).
+func parseRecord(b []byte) (FeedbackRecord, int, error) {
+	if len(b) < frameHeaderSize {
+		return FeedbackRecord{}, 0, fmt.Errorf("%w: torn frame header (%d bytes)", ErrCorrupt, len(b))
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(b[0:4]))
+	if payloadLen < payloadFixed || payloadLen > maxRecordSize {
+		return FeedbackRecord{}, 0, fmt.Errorf("%w: impossible payload length %d", ErrCorrupt, payloadLen)
+	}
+	if len(b) < frameHeaderSize+payloadLen {
+		return FeedbackRecord{}, 0, fmt.Errorf("%w: torn payload (%d of %d bytes)", ErrCorrupt, len(b)-frameHeaderSize, payloadLen)
+	}
+	payload := b[frameHeaderSize : frameHeaderSize+payloadLen]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[4:8]); got != want {
+		return FeedbackRecord{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	rec := FeedbackRecord{
+		LSN:        binary.LittleEndian.Uint64(payload[0:8]),
+		Card:       int64(binary.LittleEndian.Uint64(payload[8:16])),
+		ObservedAt: time.Unix(0, int64(binary.LittleEndian.Uint64(payload[16:24]))),
+		SQL:        string(payload[payloadFixed:]),
+	}
+	return rec, frameHeaderSize + payloadLen, nil
+}
+
+// scanRecords walks the records serialized in data, calling fn for each.
+// firstLSN is the LSN the first record must carry; LSNs must then increase
+// by exactly one (the segment invariant), so a reordered or spliced file is
+// detected even when every individual checksum passes. It returns the
+// number of valid bytes consumed; err is ErrCorrupt-wrapped when scanning
+// stopped before the end of data. fn returning an error aborts the scan
+// with that error.
+func scanRecords(data []byte, firstLSN uint64, fn func(FeedbackRecord) error) (int, error) {
+	off := 0
+	next := firstLSN
+	for off < len(data) {
+		rec, n, err := parseRecord(data[off:])
+		if err != nil {
+			return off, err
+		}
+		if rec.LSN != next {
+			return off, fmt.Errorf("%w: lsn %d where %d expected", ErrCorrupt, rec.LSN, next)
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return off, err
+			}
+		}
+		off += n
+		next++
+	}
+	return off, nil
+}
+
+// WALOptions configures a WAL.
+type WALOptions struct {
+	// Sync is the durability policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncEvery is the background flush period under SyncInterval
+	// (default 50ms).
+	SyncEvery time.Duration
+	// SegmentBytes rolls to a fresh segment file once the current one
+	// reaches this size (default 4 MiB). Small segments prune sooner after
+	// checkpoints; large segments amortize file churn.
+	SegmentBytes int64
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+const segSuffix = ".wal"
+
+// segName renders the file name of the segment whose first record carries
+// the given LSN.
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("%016x%s", firstLSN, segSuffix)
+}
+
+// parseSegName inverts segName.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasSuffix(name, segSuffix) || len(name) != 16+len(segSuffix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// WAL is the segmented feedback log. Appends are serialized by one mutex —
+// the collector upstream already serializes offers, so a short critical
+// section here adds no new contention point. Buffered bytes become visible
+// to the OS (and to Replay) on Sync, roll and Close; fsync cadence follows
+// the sync policy.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	mu      sync.Mutex
+	f       *os.File
+	buf     []byte // appended since the last flush to the file
+	size    int64  // flushed bytes in the current segment
+	segLSN  uint64 // first LSN of the current segment
+	nextLSN uint64
+	dirty   bool // flushed-but-not-fsynced bytes exist
+	closed  bool
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+
+	appends   atomic.Uint64
+	bytes     atomic.Uint64
+	syncs     atomic.Uint64
+	rolls     atomic.Uint64
+	tornBytes atomic.Uint64
+	pruned    atomic.Uint64
+}
+
+// OpenWAL opens (creating if necessary) the log in dir. The tail segment is
+// scanned; a torn or corrupt tail is truncated to the last valid record —
+// recovery from a crash mid-append is silent and bounded. Appending resumes
+// at the next LSN after the last durable record.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: open wal: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts, nextLSN: 1, segLSN: 1}
+	segs, err := w.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := w.createSegmentLocked(1); err != nil {
+			return nil, err
+		}
+	} else {
+		// Only the tail segment needs scanning: its name tells us the first
+		// LSN, the records tell us the last, and crashes can only tear the
+		// tail. Earlier segments are re-validated lazily at Replay.
+		last := segs[len(segs)-1]
+		path := filepath.Join(dir, segName(last))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("durable: open wal: %w", err)
+		}
+		valid, scanErr := scanRecords(data, last, func(rec FeedbackRecord) error {
+			w.nextLSN = rec.LSN + 1
+			return nil
+		})
+		if scanErr != nil && !errors.Is(scanErr, ErrCorrupt) {
+			return nil, scanErr
+		}
+		if valid < len(data) {
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return nil, fmt.Errorf("durable: truncate torn wal tail: %w", err)
+			}
+			w.tornBytes.Add(uint64(len(data) - valid))
+		}
+		if w.nextLSN < last {
+			w.nextLSN = last // empty tail segment: next record is its first
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("durable: open wal: %w", err)
+		}
+		w.f = f
+		w.size = int64(valid)
+		w.segLSN = last
+	}
+	if opts.Sync == SyncInterval {
+		w.stopSync = make(chan struct{})
+		w.syncDone = make(chan struct{})
+		go w.syncLoop()
+	}
+	return w, nil
+}
+
+// segments returns the first LSNs of the on-disk segment files, ascending.
+func (w *WAL) segments() ([]uint64, error) {
+	ents, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: list wal segments: %w", err)
+	}
+	var out []uint64
+	for _, e := range ents {
+		if lsn, ok := parseSegName(e.Name()); ok {
+			out = append(out, lsn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// createSegmentLocked starts a fresh segment whose first record will carry
+// firstLSN, and fsyncs the directory so the file itself survives a crash.
+func (w *WAL) createSegmentLocked(firstLSN uint64) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(firstLSN)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: create wal segment: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.size = 0
+	w.segLSN = firstLSN
+	return nil
+}
+
+// Append logs one feedback record and returns its LSN. Under SyncAlways the
+// record is on stable storage when Append returns; under the other policies
+// it is buffered (flushed by the background syncer, an explicit Sync, a
+// segment roll, or Close).
+func (w *WAL) Append(sql string, card int64, observedAt time.Time) (uint64, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, errors.New("durable: wal is closed")
+	}
+	rec := FeedbackRecord{LSN: w.nextLSN, SQL: sql, Card: card, ObservedAt: observedAt}
+	before := len(w.buf)
+	w.buf = appendRecord(w.buf, rec)
+	n := len(w.buf) - before
+	if w.size+int64(len(w.buf)) > w.opts.SegmentBytes && w.size+int64(before) > 0 {
+		// The segment is full: flush what belongs to it (everything before
+		// this record fits by induction; the new record may straddle — keep
+		// it whole in the next segment unless it is the segment's only
+		// content).
+		if err := w.rollLocked(rec.LSN, before); err != nil {
+			w.mu.Unlock()
+			return 0, err
+		}
+	}
+	w.nextLSN++
+	w.appends.Add(1)
+	w.bytes.Add(uint64(n))
+	w.dirty = true
+	sync := w.opts.Sync == SyncAlways
+	var err error
+	if sync {
+		err = w.syncLocked()
+	}
+	w.mu.Unlock()
+	return rec.LSN, err
+}
+
+// rollLocked flushes and fsyncs everything up to byte offset upto of the
+// pending buffer into the current segment, closes it, and starts a new
+// segment beginning at firstLSN (keeping buf[upto:] pending for it).
+func (w *WAL) rollLocked(firstLSN uint64, upto int) error {
+	head := w.buf[:upto]
+	if len(head) > 0 {
+		if _, err := w.f.Write(head); err != nil {
+			return fmt.Errorf("durable: wal write: %w", err)
+		}
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: wal sync: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("durable: wal close segment: %w", err)
+	}
+	w.buf = append(w.buf[:0], w.buf[upto:]...)
+	w.rolls.Add(1)
+	return w.createSegmentLocked(firstLSN)
+}
+
+// flushLocked moves the pending buffer into the segment file (visible to
+// readers, not necessarily on stable storage).
+func (w *WAL) flushLocked() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	n, err := w.f.Write(w.buf)
+	if err != nil {
+		return fmt.Errorf("durable: wal write: %w", err)
+	}
+	w.size += int64(n)
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// syncLocked flushes and — policy permitting — fsyncs the current segment.
+func (w *WAL) syncLocked() error {
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	if !w.dirty {
+		return nil
+	}
+	if w.opts.Sync != SyncNone {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("durable: wal sync: %w", err)
+		}
+		w.syncs.Add(1)
+	}
+	w.dirty = false
+	return nil
+}
+
+// Sync makes every appended record visible and (except under SyncNone)
+// durable.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// syncLoop is the SyncInterval background flusher.
+func (w *WAL) syncLoop() {
+	defer close(w.syncDone)
+	t := time.NewTicker(w.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopSync:
+			return
+		case <-t.C:
+			_ = w.Sync()
+		}
+	}
+}
+
+// LastLSN returns the LSN of the most recently appended record (0: none).
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN - 1
+}
+
+// Replay walks every record with LSN strictly greater than since, in LSN
+// order. A corrupt record stops the walk: the error wraps ErrCorrupt and
+// the records already delivered are all valid — recovery treats the log as
+// ending there. Records buffered but not yet flushed are included.
+func (w *WAL) Replay(since uint64, fn func(FeedbackRecord) error) (replayed int, err error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, errors.New("durable: wal is closed")
+	}
+	if err := w.flushLocked(); err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	segs, err := w.segments()
+	w.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	for i, first := range segs {
+		if i+1 < len(segs) && segs[i+1] <= since+1 {
+			continue // every record in this segment has LSN <= since
+		}
+		data, err := os.ReadFile(filepath.Join(w.dir, segName(first)))
+		if err != nil {
+			return replayed, fmt.Errorf("durable: replay: %w", err)
+		}
+		_, err = scanRecords(data, first, func(rec FeedbackRecord) error {
+			if rec.LSN <= since {
+				return nil
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+			replayed++
+			return nil
+		})
+		if err != nil {
+			return replayed, fmt.Errorf("durable: replay segment %s: %w", segName(first), err)
+		}
+	}
+	return replayed, nil
+}
+
+// PruneThrough removes segments whose records ALL have LSN <= through — the
+// segments a checkpoint at that LSN fully covers. The active segment is
+// never removed. Returns the number of segments deleted.
+func (w *WAL) PruneThrough(through uint64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, nil
+	}
+	segs, err := w.segments()
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i, first := range segs {
+		if i+1 >= len(segs) {
+			break // the active segment stays
+		}
+		// Segment i holds LSNs [first, segs[i+1]); covered iff the next
+		// segment starts at or below through+1.
+		if segs[i+1] > through+1 {
+			break
+		}
+		if err := os.Remove(filepath.Join(w.dir, segName(first))); err != nil {
+			return removed, fmt.Errorf("durable: prune wal: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		w.pruned.Add(uint64(removed))
+		if err := syncDir(w.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// Close flushes, fsyncs and closes the log. Idempotent.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	flushErr := w.flushLocked()
+	if flushErr == nil && w.dirty {
+		flushErr = w.f.Sync()
+		w.dirty = false
+	}
+	closeErr := w.f.Close()
+	w.closed = true
+	stop := w.stopSync
+	done := w.syncDone
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// WALStats is a point-in-time snapshot of the log.
+type WALStats struct {
+	Segments int    `json:"segments"`
+	LastLSN  uint64 `json:"last_lsn"`
+	Appends  uint64 `json:"appends"`
+	Bytes    uint64 `json:"bytes"`
+	// Syncs counts explicit fsyncs (per append under "always", per flush
+	// window under "interval", zero under "none").
+	Syncs uint64 `json:"syncs"`
+	Rolls uint64 `json:"rolls"`
+	// TornBytes is how much invalid tail the last open truncated — nonzero
+	// exactly when the previous process died mid-append.
+	TornBytes uint64 `json:"torn_bytes"`
+	// PrunedSegments counts segments removed because a retained checkpoint
+	// fully covered them.
+	PrunedSegments uint64 `json:"pruned_segments"`
+	SyncPolicy     string `json:"sync_policy"`
+}
+
+// Stats returns the log counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	last := w.nextLSN - 1
+	w.mu.Unlock()
+	segs, _ := w.segments()
+	return WALStats{
+		Segments:       len(segs),
+		LastLSN:        last,
+		Appends:        w.appends.Load(),
+		Bytes:          w.bytes.Load(),
+		Syncs:          w.syncs.Load(),
+		Rolls:          w.rolls.Load(),
+		TornBytes:      w.tornBytes.Load(),
+		PrunedSegments: w.pruned.Load(),
+		SyncPolicy:     w.opts.Sync.String(),
+	}
+}
+
+// syncDir fsyncs a directory so entry creation/removal survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: sync dir: %w", err)
+	}
+	return nil
+}

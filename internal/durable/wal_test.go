@@ -1,0 +1,333 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func mustAppend(t *testing.T, w *WAL, sql string, card int64) uint64 {
+	t.Helper()
+	lsn, err := w.Append(sql, card, time.Unix(100, 200))
+	if err != nil {
+		t.Fatalf("Append(%q): %v", sql, err)
+	}
+	return lsn
+}
+
+func collect(t *testing.T, w *WAL, since uint64) []FeedbackRecord {
+	t.Helper()
+	var out []FeedbackRecord
+	if _, err := w.Replay(since, func(r FeedbackRecord) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay(%d): %v", since, err)
+	}
+	return out
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	obs := time.Unix(1234, 5678)
+	for i := 1; i <= 10; i++ {
+		lsn, err := w.Append(fmt.Sprintf("SELECT * FROM t WHERE t.a = %d", i), int64(i*10), obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("lsn = %d, want %d", lsn, i)
+		}
+	}
+	recs := collect(t, w, 0)
+	if len(recs) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(recs))
+	}
+	for i, r := range recs {
+		want := FeedbackRecord{
+			LSN:        uint64(i + 1),
+			SQL:        fmt.Sprintf("SELECT * FROM t WHERE t.a = %d", i+1),
+			Card:       int64((i + 1) * 10),
+			ObservedAt: obs,
+		}
+		if r.LSN != want.LSN || r.SQL != want.SQL || r.Card != want.Card || !r.ObservedAt.Equal(want.ObservedAt) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want)
+		}
+	}
+	if got := collect(t, w, 7); len(got) != 3 || got[0].LSN != 8 {
+		t.Fatalf("Replay(since=7) = %d records starting at %v, want 3 starting at 8", len(got), got)
+	}
+}
+
+func TestWALSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, "SELECT * FROM t", 1)
+	mustAppend(t, w, "SELECT * FROM u", 2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if lsn := mustAppend(t, w2, "SELECT * FROM v", 3); lsn != 3 {
+		t.Fatalf("post-reopen lsn = %d, want 3", lsn)
+	}
+	if recs := collect(t, w2, 0); len(recs) != 3 {
+		t.Fatalf("replayed %d records after reopen, want 3", len(recs))
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, "SELECT * FROM t", 1)
+	mustAppend(t, w, "SELECT * FROM u", 2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a partial frame at the tail.
+	path := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, err := OpenWAL(dir, WALOptions{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer w2.Close()
+	if st := w2.Stats(); st.TornBytes != 6 {
+		t.Fatalf("torn_bytes = %d, want 6", st.TornBytes)
+	}
+	if recs := collect(t, w2, 0); len(recs) != 2 {
+		t.Fatalf("replayed %d records after truncation, want 2", len(recs))
+	}
+	// The log must append cleanly after the truncated tail.
+	if lsn := mustAppend(t, w2, "SELECT * FROM v", 3); lsn != 3 {
+		t.Fatalf("post-truncation lsn = %d, want 3", lsn)
+	}
+	if recs := collect(t, w2, 0); len(recs) != 3 {
+		t.Fatalf("replayed %d records after post-truncation append, want 3", len(recs))
+	}
+}
+
+func TestWALBitFlipInTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		mustAppend(t, w, fmt.Sprintf("SELECT * FROM t WHERE t.a = %d", i), int64(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload bit in the middle of the active segment. Corruption
+	// in the tail segment is indistinguishable from a torn write, so open
+	// truncates from the first bad record onward rather than failing.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir, WALOptions{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("open with tail corruption: %v", err)
+	}
+	defer w2.Close()
+	if st := w2.Stats(); st.TornBytes == 0 {
+		t.Fatal("tail corruption did not register as torn bytes")
+	}
+	got := collect(t, w2, 0)
+	if len(got) >= 5 {
+		t.Fatalf("replay delivered %d records past corruption, want fewer than 5", len(got))
+	}
+	for i, r := range got {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("replayed lsn[%d] = %d, want %d (prefix must stay contiguous)", i, r.LSN, i+1)
+		}
+	}
+}
+
+func TestWALBitFlipInSealedSegmentStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 40; i++ {
+		mustAppend(t, w, fmt.Sprintf("SELECT * FROM t WHERE t.a = %d", i), int64(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the FIRST (sealed, non-tail) segment: replay must surface
+	// ErrCorrupt after delivering the contiguous valid prefix, because a
+	// sealed segment was fully synced — damage there is real corruption,
+	// not a torn write.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir, WALOptions{Sync: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("open with sealed-segment corruption: %v", err)
+	}
+	defer w2.Close()
+	var got []uint64
+	_, replayErr := w2.Replay(0, func(r FeedbackRecord) error {
+		got = append(got, r.LSN)
+		return nil
+	})
+	if !errors.Is(replayErr, ErrCorrupt) {
+		t.Fatalf("replay error = %v, want ErrCorrupt", replayErr)
+	}
+	for i, lsn := range got {
+		if lsn != uint64(i+1) {
+			t.Fatalf("replayed lsn[%d] = %d, want %d (prefix must stay contiguous)", i, lsn, i+1)
+		}
+	}
+}
+
+func TestWALSegmentRollAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 1; i <= 40; i++ {
+		mustAppend(t, w, fmt.Sprintf("SELECT * FROM t WHERE t.a = %d", i), int64(i))
+	}
+	st := w.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("segments = %d, want >= 3 with 256-byte segments", st.Segments)
+	}
+	if recs := collect(t, w, 0); len(recs) != 40 {
+		t.Fatalf("replayed %d records across segments, want 40", len(recs))
+	}
+
+	// Prune through LSN 20: segments whose records ALL have LSN <= 20 go.
+	removed, err := w.PruneThrough(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("PruneThrough(20) removed nothing")
+	}
+	// Records > 20 must all survive pruning.
+	recs := collect(t, w, 20)
+	if len(recs) != 20 || recs[0].LSN != 21 {
+		t.Fatalf("after prune: Replay(20) = %d records starting at %v, want 20 starting at 21", len(recs), recs)
+	}
+	// The active segment is never pruned.
+	if st := w.Stats(); st.Segments == 0 {
+		t.Fatal("prune removed the active segment")
+	}
+}
+
+func TestWALSyncIntervalFlushes(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncInterval, SyncEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, "SELECT * FROM t", 1)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if w.Stats().Syncs > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background syncer never flushed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The flushed record must be durable for a fresh reader.
+	w2, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if recs := collect(t, w2, 0); len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+}
+
+func TestWALEmptySQLAndLargeRecord(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	mustAppend(t, w, "", 0)
+	big := make([]byte, 64<<10)
+	for i := range big {
+		big[i] = byte('a' + i%26)
+	}
+	mustAppend(t, w, string(big), 1)
+	recs := collect(t, w, 0)
+	if len(recs) != 2 || recs[0].SQL != "" || recs[1].SQL != string(big) {
+		t.Fatalf("round trip failed for empty/large SQL (%d records)", len(recs))
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"":         SyncInterval,
+		"interval": SyncInterval,
+		"Always":   SyncAlways,
+		"none":     SyncNone,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("everysooften"); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+}

@@ -62,6 +62,34 @@ func (w *RollingWindow) Len() int {
 	return w.n
 }
 
+// Values returns the windowed observations oldest first — the serialization
+// order Restore expects, so a save/restore round trip preserves which
+// observation the next one displaces.
+func (w *RollingWindow) Values() []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]float64, 0, w.n)
+	if w.n == len(w.buf) {
+		out = append(out, w.buf[w.pos:]...) // wrapped: oldest sits at pos
+		return append(out, w.buf[:w.pos]...)
+	}
+	return append(out, w.buf[:w.n]...)
+}
+
+// Restore replaces the window's contents with vs (oldest first), keeping at
+// most the window capacity of the newest values. The lifetime total resumes
+// at the restored count.
+func (w *RollingWindow) Restore(vs []float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if over := len(vs) - len(w.buf); over > 0 {
+		vs = vs[over:]
+	}
+	w.n = copy(w.buf, vs)
+	w.pos = w.n % len(w.buf)
+	w.total = uint64(len(vs))
+}
+
 // Quantile returns the p'th percentile (0..100) over the window, or NaN
 // for an empty window.
 func (w *RollingWindow) Quantile(p float64) float64 {

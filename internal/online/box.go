@@ -107,6 +107,25 @@ func (b *ModelBox) Publish(next *Generation) *Generation {
 	return next
 }
 
+// Restore republishes a recovered model AT a recorded generation number —
+// the boot-time counterpart of Publish. A restarted deployment resumes the
+// generation it promoted before the crash instead of renumbering from 1,
+// so operators correlating generations across restarts (and the
+// kill-and-restart acceptance test) see one continuous sequence. The
+// superseded boot generation's cache is unsubscribed exactly as in a
+// promotion.
+func (b *ModelBox) Restore(m *icrn.Model, gen uint64) *Generation {
+	b.promoteMu.Lock()
+	defer b.promoteMu.Unlock()
+	old := b.cur.Load()
+	next := b.newGeneration(m, gen)
+	b.cur.Store(next)
+	if b.pool != nil && old.Rates.Cache != nil {
+		b.pool.Unsubscribe(old.Rates.Cache)
+	}
+	return next
+}
+
 // Close unsubscribes the live generation's cache from the pool.
 func (b *ModelBox) Close() {
 	b.promoteMu.Lock()

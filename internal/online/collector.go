@@ -11,12 +11,20 @@ import (
 )
 
 // Record is one piece of execution feedback: a query the DBMS actually ran
-// together with its observed true cardinality.
+// together with its observed true cardinality. LSN is the record's position
+// in the durable feedback journal (0 when the deployment runs without one).
 type Record struct {
 	Q          query.Query
 	Card       int64
 	ObservedAt time.Time
+	LSN        uint64
 }
+
+// JournalFunc persists one validated feedback record before it is staged
+// and returns the log sequence number it was assigned. An error rejects the
+// record: a deployment that opted into durability must not accept feedback
+// it cannot make durable.
+type JournalFunc func(sql string, card int64, observedAt time.Time) (uint64, error)
 
 // Collector validates, deduplicates and stages execution feedback in a
 // bounded buffer until the trainer drains it. It sits on the serving write
@@ -33,16 +41,19 @@ type Collector struct {
 	pool *pool.Pool
 	cap  int
 
-	mu     sync.Mutex
-	staged []Record
-	keys   map[string]bool
+	mu      sync.Mutex
+	staged  []Record
+	keys    map[string]bool
+	journal JournalFunc // nil: in-memory only
 
-	accepted   atomic.Uint64
-	duplicates atomic.Uint64
-	corrected  atomic.Uint64
-	invalid    atomic.Uint64
-	overflow   atomic.Uint64
-	drained    atomic.Uint64
+	accepted    atomic.Uint64
+	duplicates  atomic.Uint64
+	corrected   atomic.Uint64
+	invalid     atomic.Uint64
+	overflow    atomic.Uint64
+	drained     atomic.Uint64
+	journalErrs atomic.Uint64
+	appliedLSN  atomic.Uint64
 }
 
 // NewCollector creates a collector staging at most capacity records
@@ -54,6 +65,27 @@ func NewCollector(p *pool.Pool, capacity int) *Collector {
 	}
 	return &Collector{pool: p, cap: capacity, keys: make(map[string]bool)}
 }
+
+// SetJournal installs the durable journal hook: every record Offer accepts
+// is appended through it — and rejected with the journal's error when the
+// append fails — before it is staged (write-ahead ordering). Install before
+// feedback starts flowing; nil disables journaling.
+func (c *Collector) SetJournal(j JournalFunc) {
+	c.mu.Lock()
+	c.journal = j
+	c.mu.Unlock()
+}
+
+// SetAppliedLSN seeds the applied-LSN watermark at recovery time with the
+// checkpoint's value; Drain advances it from there.
+func (c *Collector) SetAppliedLSN(lsn uint64) { c.appliedLSN.Store(lsn) }
+
+// AppliedLSN returns the highest journal LSN among records already handed
+// to the trainer (drained). Staged records always carry higher LSNs —
+// appends assign LSNs in order and Drain is oldest-first — so a checkpoint
+// at this watermark misses no drained record, and every staged one is
+// recovered by replay.
+func (c *Collector) AppliedLSN() uint64 { return c.appliedLSN.Load() }
 
 // Offer stages one feedback record. It reports whether the record was
 // accepted; a negative cardinality is an error (feedback must carry an
@@ -89,8 +121,55 @@ func (c *Collector) Offer(q query.Query, card int64, observedAt time.Time) (bool
 		c.overflow.Add(1)
 		return false, nil
 	}
+	var lsn uint64
+	if c.journal != nil {
+		// Write-ahead: the record reaches the journal before the buffer, so
+		// a crash between here and the next checkpoint replays it. Journal
+		// failure rejects the feedback — accepting what cannot be made
+		// durable would silently narrow the durability contract.
+		var err error
+		if lsn, err = c.journal(q.SQL(), card, observedAt); err != nil {
+			c.journalErrs.Add(1)
+			return false, fmt.Errorf("online: journal feedback: %w", err)
+		}
+	}
 	c.keys[key] = true
-	c.staged = append(c.staged, Record{Q: q, Card: card, ObservedAt: observedAt})
+	c.staged = append(c.staged, Record{Q: q, Card: card, ObservedAt: observedAt, LSN: lsn})
+	c.accepted.Add(1)
+	return true, nil
+}
+
+// Restage re-stages one journaled record during recovery replay, bypassing
+// the journal (the record is already durable — re-appending it would
+// double-log every replayed record on every boot) but keeping the
+// validation and dedup semantics of Offer. The pool-correction path is
+// intentionally shared: a replayed correction record re-corrects the
+// checkpointed pool entry, converging on the pre-crash state.
+func (c *Collector) Restage(q query.Query, card int64, observedAt time.Time, lsn uint64) (bool, error) {
+	if card < 0 {
+		c.invalid.Add(1)
+		return false, fmt.Errorf("online: feedback cardinality must be non-negative, got %d", card)
+	}
+	key := q.Key()
+	if c.pool != nil && c.pool.Contains(q) {
+		if !c.pool.UpdateCard(q, card) {
+			c.duplicates.Add(1)
+			return false, nil
+		}
+		c.corrected.Add(1)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.keys[key] {
+		c.duplicates.Add(1)
+		return false, nil
+	}
+	if len(c.staged) >= c.cap {
+		c.overflow.Add(1)
+		return false, nil
+	}
+	c.keys[key] = true
+	c.staged = append(c.staged, Record{Q: q, Card: card, ObservedAt: observedAt, LSN: lsn})
 	c.accepted.Add(1)
 	return true, nil
 }
@@ -116,6 +195,9 @@ func (c *Collector) Drain(max int) []Record {
 	c.staged = c.staged[:rest]
 	for _, r := range out {
 		delete(c.keys, r.Q.Key())
+		if r.LSN > c.appliedLSN.Load() {
+			c.appliedLSN.Store(r.LSN)
+		}
 	}
 	c.drained.Add(uint64(n))
 	return out
@@ -141,18 +223,22 @@ type CollectorStats struct {
 	Invalid    uint64 `json:"invalid"`
 	Overflow   uint64 `json:"overflow"`
 	Drained    uint64 `json:"drained"`
+	// JournalErrors counts feedback rejected because the durable journal
+	// append failed (zero in memory-only deployments).
+	JournalErrors uint64 `json:"journal_errors"`
 }
 
 // Stats returns the ingestion counters.
 func (c *Collector) Stats() CollectorStats {
 	return CollectorStats{
-		Staged:     c.Staged(),
-		Capacity:   c.cap,
-		Accepted:   c.accepted.Load(),
-		Duplicates: c.duplicates.Load(),
-		Corrected:  c.corrected.Load(),
-		Invalid:    c.invalid.Load(),
-		Overflow:   c.overflow.Load(),
-		Drained:    c.drained.Load(),
+		Staged:        c.Staged(),
+		Capacity:      c.cap,
+		Accepted:      c.accepted.Load(),
+		Duplicates:    c.duplicates.Load(),
+		Corrected:     c.corrected.Load(),
+		Invalid:       c.invalid.Load(),
+		Overflow:      c.overflow.Load(),
+		Drained:       c.drained.Load(),
+		JournalErrors: c.journalErrs.Load(),
 	}
 }

@@ -69,6 +69,18 @@ func (d *DriftMonitor) Reset() {
 	d.drifted.Store(false)
 }
 
+// Values returns the windowed q-errors oldest first, for checkpointing.
+func (d *DriftMonitor) Values() []float64 { return d.win.Values() }
+
+// Restore refills the window from checkpointed values (oldest first). The
+// drifted latch is left cleared: recovery replay re-observes nothing, and
+// re-tripping from a restored-but-stale window would kick a retrain the
+// moment the process boots.
+func (d *DriftMonitor) Restore(vs []float64) {
+	d.win.Restore(vs)
+	d.drifted.Store(false)
+}
+
 // DriftStats is a point-in-time snapshot of drift monitoring.
 type DriftStats struct {
 	Threshold float64                `json:"threshold"` // 0: observe-only

@@ -80,6 +80,14 @@ type Config struct {
 	// DriftMinSamples is the minimum windowed sample count before the
 	// threshold can trip (default 32).
 	DriftMinSamples int
+	// LabelFree derives containment labels from the cardinality identity
+	// rate(Q1 ⊂% Q2) = |Q1∩Q2|/|Q1| whenever all three cardinalities are
+	// already known (the feedback truth, the partner's pooled truth, and
+	// the intersection query's truth when it is itself one of the two or
+	// pooled) instead of executing the intersection against the truth
+	// oracle. Pairs the identity cannot resolve still go to the oracle.
+	// Default off: the oracle path is the paper's exact labeling.
+	LabelFree bool
 }
 
 // withDefaults resolves zero fields to the documented defaults.

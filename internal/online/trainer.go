@@ -46,15 +46,23 @@ type Trainer struct {
 	once    sync.Once
 	started atomic.Bool
 
-	retrains      atomic.Uint64
-	promotions    atomic.Uint64
-	rejections    atomic.Uint64
-	driftRetrains atomic.Uint64
-	trainErrors   atomic.Uint64
-	labelErrors   atomic.Uint64
-	warmErrors    atomic.Uint64
-	lastLiveErr   atomic.Uint64 // math.Float64bits
-	lastCandErr   atomic.Uint64 // math.Float64bits
+	// onPromote, when set (before Start), runs after every promotion with
+	// the freshly published generation, still under the retrain lock — the
+	// durability layer checkpoints here, so a checkpoint can never see a
+	// half-promoted cycle.
+	onPromote func(*Generation)
+
+	retrains       atomic.Uint64
+	promotions     atomic.Uint64
+	rejections     atomic.Uint64
+	driftRetrains  atomic.Uint64
+	trainErrors    atomic.Uint64
+	labelErrors    atomic.Uint64
+	warmErrors     atomic.Uint64
+	oraclePairs    atomic.Uint64
+	labelFreePairs atomic.Uint64
+	lastLiveErr    atomic.Uint64 // math.Float64bits
+	lastCandErr    atomic.Uint64 // math.Float64bits
 }
 
 // NewTrainer wires a trainer over the box, collector, pool and truth
@@ -75,6 +83,11 @@ func NewTrainer(cfg Config, box *ModelBox, col *Collector, p *pool.Pool, oracle 
 	t.lastCandErr.Store(math.Float64bits(math.NaN()))
 	return t
 }
+
+// SetOnPromote installs the promotion hook; see the field comment. Install
+// before Start — the hook is read without synchronization from the retrain
+// path.
+func (t *Trainer) SetOnPromote(fn func(*Generation)) { t.onPromote = fn }
 
 // Start launches the background loop. Starting twice is a no-op; Stop
 // tears the loop down.
@@ -245,6 +258,9 @@ func (t *Trainer) RetrainNow(ctx context.Context) (promoted bool, err error) {
 		// The window described the previous generation's estimates.
 		t.drift.Reset()
 	}
+	if t.onPromote != nil {
+		t.onPromote(next)
+	}
 	return true, nil
 }
 
@@ -290,6 +306,7 @@ func (t *Trainer) labelRecords(ctx context.Context, recs []Record) ([]icrn.Sampl
 	var out []icrn.Sample
 	var partners []pool.Entry
 	var pairs []workload.Pair
+	var free []workload.LabeledPair
 	for _, r := range recs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -300,6 +317,7 @@ func (t *Trainer) labelRecords(ctx context.Context, recs []Record) ([]icrn.Sampl
 			stride = len(partners) / k
 		}
 		pairs = pairs[:0]
+		free = free[:0]
 		taken := 0
 		for i := 0; i < len(partners) && taken < t.cfg.PairsPerRecord; i += stride {
 			p := partners[i]
@@ -307,27 +325,90 @@ func (t *Trainer) labelRecords(ctx context.Context, recs []Record) ([]icrn.Sampl
 				continue
 			}
 			taken++
+			if t.cfg.LabelFree {
+				if r1, r2, ok := t.labelFreeRates(r, p); ok {
+					free = append(free,
+						workload.LabeledPair{Q1: r.Q, Q2: p.Q, Rate: r1},
+						workload.LabeledPair{Q1: p.Q, Q2: r.Q, Rate: r2})
+					continue
+				}
+			}
 			pairs = append(pairs, workload.Pair{Q1: r.Q, Q2: p.Q}, workload.Pair{Q1: p.Q, Q2: r.Q})
 		}
-		if len(pairs) == 0 {
+		if len(pairs) == 0 && len(free) == 0 {
 			continue
 		}
-		labeled, err := workload.LabelPairs(t.oracle, pairs, t.cfg.Workers)
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
+		var labeled []workload.LabeledPair
+		if len(pairs) > 0 {
+			var err error
+			labeled, err = workload.LabelPairs(t.oracle, pairs, t.cfg.Workers)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				t.labelErrors.Add(1)
+				continue
 			}
-			t.labelErrors.Add(1)
-			continue
 		}
+		// Mirror couples stay adjacent in both groups, so the downstream
+		// couple-aware splits keep working under mixed labeling.
+		labeled = append(labeled, free...)
 		samples, err := t.encodePairs(labeled)
 		if err != nil {
 			t.labelErrors.Add(1)
 			continue
 		}
+		t.oraclePairs.Add(uint64(len(pairs)))
+		t.labelFreePairs.Add(uint64(len(free)))
 		out = append(out, samples...)
 	}
 	return out, nil
+}
+
+// labelFreeRates labels both directions of a (feedback record, pool
+// partner) pair from the cardinality identity rate(Q1 ⊂% Q2) = |Q1∩Q2|/|Q1|
+// (§2) — no oracle execution. All three cardinalities must already be
+// known: the record's truth, the partner's pooled truth, and the
+// intersection's, which is free when the intersection collapses onto one of
+// the two queries (the containment-ordered case) and otherwise needs the
+// intersection itself to be pooled. Residual pairs report ok=false and fall
+// back to the oracle.
+func (t *Trainer) labelFreeRates(r Record, p pool.Entry) (recToPartner, partnerToRec float64, ok bool) {
+	qi, err := r.Q.Intersect(p.Q)
+	if err != nil {
+		return 0, 0, false
+	}
+	var ci int64
+	switch qi.Key() {
+	case r.Q.Key():
+		ci = r.Card
+	case p.Q.Key():
+		ci = p.Card
+	default:
+		var found bool
+		if ci, found = t.pool.CardOf(qi); !found {
+			return 0, 0, false
+		}
+	}
+	return identityRate(ci, r.Card), identityRate(ci, p.Card), true
+}
+
+// identityRate computes |Q1∩Q2|/|Q1| with the empty-Q1 and clamping
+// conventions of the executor's ContainmentRate (internal/exec): an empty
+// Q1 is contained nowhere (rate 0), and noise in independently observed
+// cardinalities must not push the rate outside [0,1].
+func identityRate(inter, card int64) float64 {
+	if card <= 0 {
+		return 0
+	}
+	rate := float64(inter) / float64(card)
+	if rate < 0 {
+		return 0
+	}
+	if rate > 1 {
+		return 1
+	}
+	return rate
 }
 
 // encodePairs featurizes labeled pairs into training samples.
@@ -422,6 +503,11 @@ type TrainerStats struct {
 	TrainErrors uint64 `json:"train_errors"`
 	LabelErrors uint64 `json:"label_errors"`
 	WarmErrors  uint64 `json:"warm_errors"`
+	// OraclePairs counts feedback pairs labeled by executing the truth
+	// oracle; LabelFreePairs counts pairs labeled from the cardinality
+	// identity instead — each one is an oracle execution saved.
+	OraclePairs    uint64 `json:"oracle_pairs"`
+	LabelFreePairs uint64 `json:"label_free_pairs"`
 	// LastLiveQError / LastCandidateQError are the promotion gate's most
 	// recent measurements (0 until the first gated cycle).
 	LastLiveQError      float64 `json:"last_live_q_error"`
@@ -435,14 +521,16 @@ func (t *Trainer) Stats() TrainerStats {
 	valN := len(t.valSet)
 	t.valMu.Unlock()
 	st := TrainerStats{
-		Retrains:      t.retrains.Load(),
-		Promotions:    t.promotions.Load(),
-		Rejections:    t.rejections.Load(),
-		DriftRetrains: t.driftRetrains.Load(),
-		TrainErrors:   t.trainErrors.Load(),
-		LabelErrors:   t.labelErrors.Load(),
-		WarmErrors:    t.warmErrors.Load(),
-		ValSamples:    valN,
+		Retrains:       t.retrains.Load(),
+		Promotions:     t.promotions.Load(),
+		Rejections:     t.rejections.Load(),
+		DriftRetrains:  t.driftRetrains.Load(),
+		TrainErrors:    t.trainErrors.Load(),
+		LabelErrors:    t.labelErrors.Load(),
+		WarmErrors:     t.warmErrors.Load(),
+		OraclePairs:    t.oraclePairs.Load(),
+		LabelFreePairs: t.labelFreePairs.Load(),
+		ValSamples:     valN,
 	}
 	if v := math.Float64frombits(t.lastLiveErr.Load()); !math.IsNaN(v) {
 		st.LastLiveQError = v

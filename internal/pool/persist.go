@@ -96,6 +96,38 @@ func Load(s *schema.Schema, r io.Reader, opts ...Option) (*Pool, error) {
 	return p, nil
 }
 
+// LoadInto replays a snapshot serialized by Save into an existing pool (the
+// recovery path: the caller owns the pool handle shared with estimators, so
+// restoring must refill that pool rather than swap in a new one). Entries
+// are re-inserted in ascending saved recency, exactly as in Load; entries
+// already pooled keep their current cardinality unless the snapshot
+// disagrees, in which case the snapshot wins (it is the newer truth on the
+// boot path, where the pool holds only seed entries). Returns how many
+// snapshot entries were applied (added or corrected).
+func LoadInto(p *Pool, s *schema.Schema, r io.Reader) (int, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("pool: load: %w", err)
+	}
+	var file persistPool
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&file); err != nil {
+		if legacyErr := gob.NewDecoder(bytes.NewReader(raw)).Decode(&file.Entries); legacyErr != nil {
+			return 0, fmt.Errorf("pool: load: %w", err)
+		}
+	}
+	applied := 0
+	for _, e := range file.Entries {
+		q, err := sqlparse.Parse(s, e.SQL)
+		if err != nil {
+			return applied, fmt.Errorf("pool: load entry %q: %w", e.SQL, err)
+		}
+		if p.Add(q, e.Card) || p.UpdateCard(q, e.Card) {
+			applied++
+		}
+	}
+	return applied, nil
+}
+
 // SaveFile writes the pool to a file.
 func (p *Pool) SaveFile(path string) error {
 	var buf bytes.Buffer

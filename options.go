@@ -130,6 +130,9 @@ type estimatorSettings struct {
 	coalesceBatch int
 	coalesceWait  time.Duration
 	adapt         online.Config
+	dataDir       string
+	walSync       string
+	ckptRetain    int
 }
 
 // EstimatorOption configures CardinalityEstimator and ImproveBaseline.
@@ -257,6 +260,48 @@ func WithDriftTrigger(threshold float64, window int) EstimatorOption {
 		s.adapt.DriftThreshold = threshold
 		s.adapt.DriftWindow = window
 	}
+}
+
+// WithLabelFreeFeedback derives containment labels for feedback training
+// pairs from the cardinality identity rate(Q1 ⊂% Q2) = |Q1∩Q2|/|Q1|
+// whenever all three cardinalities are already known (both queries' truths
+// plus the intersection's — free when the intersection collapses onto one
+// of the pair, otherwise looked up in the pool), skipping the truth-oracle
+// execution for those pairs. Pairs the identity cannot resolve still run
+// through the oracle; AdaptationStats reports the split (every label-free
+// pair is one oracle execution saved). Default off — the oracle path is the
+// paper's exact labeling.
+func WithLabelFreeFeedback(on bool) EstimatorOption {
+	return func(s *estimatorSettings) { s.adapt.LabelFree = on }
+}
+
+// --- Durability (AdaptiveEstimator only) -------------------------------------
+
+// WithDataDir enables durable deployment state under dir (created if
+// missing): every accepted feedback record is journaled to a write-ahead
+// log before staging, every promotion checkpoints the model generation,
+// pool and drift state atomically, and OpenAdaptiveEstimator recovers the
+// newest valid checkpoint plus un-checkpointed feedback on boot. Empty dir
+// (the default) keeps the deployment memory-only.
+func WithDataDir(dir string) EstimatorOption {
+	return func(s *estimatorSettings) { s.dataDir = dir }
+}
+
+// WithWALSync selects the feedback WAL sync policy: "interval" (default;
+// batched background fsync, bounded loss window), "always" (fsync before
+// every accepted feedback is acknowledged), or "none" (OS page cache
+// decides). Ignored without WithDataDir; an unknown policy fails
+// OpenAdaptiveEstimator.
+func WithWALSync(policy string) EstimatorOption {
+	return func(s *estimatorSettings) { s.walSync = policy }
+}
+
+// WithCheckpointRetain keeps the newest n checkpoints on disk (default 3,
+// minimum 1); older checkpoints and the WAL segments every retained
+// checkpoint fully covers are pruned after each new checkpoint. Ignored
+// without WithDataDir.
+func WithCheckpointRetain(n int) EstimatorOption {
+	return func(s *estimatorSettings) { s.ckptRetain = n }
 }
 
 // WithCoalescing enables request coalescing on EstimateCardinality: up to

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the repository's performance benchmarks with -benchmem and
-# record the results (plus the frozen pre-PR-5 baseline) in BENCH_5.json,
+# record the results (plus the frozen pre-PR-6 baseline) in BENCH_6.json,
 # the perf trajectory file. Usage:
 #
 #   scripts/bench.sh [output.json]
@@ -13,29 +13,30 @@
 # large-pool benchmarks run at 20 iterations (a full-scan iteration at 50k
 # entries costs tens of milliseconds).
 #
-# PR 5 additions:
-#   - AddSaturated / AddSaturatedWithSelection: Add on a capacity-bounded
-#     pool at its bound (every insert evicts). The frozen baseline is the
-#     pre-PR linear victim scan; the lazy min-heap makes eviction
-#     O(log pool) amortized.
-#   - EstimateCardinalityTrainer{Idle,Active}: single-query estimate
-#     throughput (-cpu 4, coalescing on) with the online-adaptation loop
-#     quiescent vs. actively retraining/hot-swapping one cycle per second.
-#     The acceptance gate of PR 5 is Active within ~10% of Idle: the hot
-#     path never blocks on retraining, so the remaining gap is background
-#     CPU contention (labeling runs on one worker) plus scheduler noise —
-#     these run at -benchtime 4s so several whole retrain cycles land
-#     inside every measurement window.
+# PR 6 additions:
+#   - WALAppend/{none,interval,always}: one journaled feedback record per
+#     sync policy. "interval" (the default serving policy) is a buffered
+#     copy + CRC — the fsync belongs to the background syncer; "always"
+#     prices a group-commit fsync per record and is bounded by the
+#     device's sync latency, not this code.
+#   - RecoveryReplay: boot-time WAL replay throughput (decode + checksum
+#     + callback) over a 10k-record log.
+#   - RecordFeedback{Memory,Durable,DurableAlways}: the full feedback
+#     ingestion path (drift scoring, validation, dedup, staging) without a
+#     data dir, with the WAL at the default "interval" policy, and with
+#     fsync-per-record. The PR 6 acceptance gate is Durable within ~10% of
+#     Memory: at the default policy the journal adds only framing and a
+#     checksum to the hot path. These run at -benchtime 2000x so the
+#     buffered-append cost amortizes past cold-start noise.
 #
-# The frozen baseline below is the PR 4 code measured on this machine
-# (BENCH_4.json results). AddSaturated's baseline is the pre-heap linear
-# scan measured with the PR 5 harness before the heap landed; the trainer
-# benchmarks did not exist before PR 5 — TrainerIdle IS the reference point
-# for TrainerActive, so neither carries a pre-PR baseline.
+# The frozen baseline below is the PR 5 code measured on this machine
+# (BENCH_5.json results). The durability benchmarks did not exist before
+# PR 6 — RecordFeedbackMemory IS the reference point for
+# RecordFeedbackDurable, so none of them carries a pre-PR baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_5.json}"
+OUT="${1:-BENCH_6.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -53,6 +54,10 @@ echo "== saturated-pool eviction benchmarks (lazy min-heap vs linear scan) ==" >
 go test ./internal/pool -run '^$' -bench 'AddSaturated' -benchmem -benchtime 100x | tee -a "$RAW"
 echo "== feedback-loop benchmarks (trainer idle vs active, -cpu 4) ==" >&2
 go test . -run '^$' -bench 'EstimateCardinalityTrainer' -cpu 4 -benchmem -benchtime 4s | tee -a "$RAW"
+echo "== durability benchmarks (WAL append per policy, recovery replay) ==" >&2
+go test ./internal/durable -run '^$' -bench 'WALAppend|RecoveryReplay' -benchmem -benchtime 200x | tee -a "$RAW"
+echo "== durable feedback-path benchmarks (WAL overhead on ingestion) ==" >&2
+go test . -run '^$' -bench 'RecordFeedback' -benchmem -benchtime 2000x | tee -a "$RAW"
 
 # Render "BenchmarkFoo[-P]  N  ns/op  B/op  allocs/op" lines as JSON. The
 # GOMAXPROCS suffix is meaningful for the Parallel/Solo/Trainer benchmarks
@@ -82,40 +87,42 @@ CPU="$(awk -F': *' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null ||
 
 cat > "$OUT" <<EOF
 {
-  "pr": 5,
-  "description": "Online adaptation subsystem: feedback ingestion, background incremental retraining, pre-warmed model hot-swap, drift monitoring; O(log n) heap eviction; surgical rep-cache invalidation",
+  "pr": 6,
+  "description": "Durable deployment state: segmented checksummed feedback WAL, atomic generation checkpoints with retention, point-in-time crash recovery; label-free containment labeling from the cardinality identity",
   "date": "$DATE",
   "go": "$GOVERSION",
   "cpu": "$CPU",
-  "baseline_commit": "ce6513a",
+  "baseline_commit": "6509840",
   "baseline": {
-    "_comment": "pre-PR-5 measurements on the same machine: BENCH_4.json results, plus AddSaturated under the pre-heap linear victim scan (measured with the PR 5 harness before the heap landed). TrainerIdle/TrainerActive are new in PR 5; Idle is Active's reference.",
-    "MatMul128": {"ns_per_op": 736421, "bytes_per_op": 0, "allocs_per_op": 0},
-    "MatMulBatchForward": {"ns_per_op": 844945, "bytes_per_op": 0, "allocs_per_op": 0},
-    "DenseForwardBackward": {"ns_per_op": 1780927, "bytes_per_op": 196704, "allocs_per_op": 4},
-    "SetEncoderForward": {"ns_per_op": 598523, "bytes_per_op": 196704, "allocs_per_op": 4},
-    "AdamStep": {"ns_per_op": 450918, "bytes_per_op": 0, "allocs_per_op": 0},
-    "TrainEpoch": {"ns_per_op": 99147502, "bytes_per_op": 677825, "allocs_per_op": 159},
-    "PredictBatch": {"ns_per_op": 4515528, "bytes_per_op": 217635, "allocs_per_op": 4},
-    "PredictShared": {"ns_per_op": 14456168, "bytes_per_op": 449401, "allocs_per_op": 19},
-    "EstimateCardinalityBatch64": {"ns_per_op": 279258, "bytes_per_op": 122880, "allocs_per_op": 122},
-    "EstimateCardinalitySingleLoop64": {"ns_per_op": 351731, "bytes_per_op": 132354, "allocs_per_op": 842},
-    "EstimateCardinalityParallel": {"ns_per_op": 6219, "bytes_per_op": 2165, "allocs_per_op": 14},
-    "EstimateCardinalityParallel-4": {"ns_per_op": 8235, "bytes_per_op": 2208, "allocs_per_op": 11},
-    "EstimateCardinalityParallelNoCoalesce": {"ns_per_op": 6599, "bytes_per_op": 2068, "allocs_per_op": 13},
-    "EstimateCardinalityParallelNoCoalesce-4": {"ns_per_op": 11091, "bytes_per_op": 2068, "allocs_per_op": 13},
-    "EstimateCardinalitySoloCoalesced": {"ns_per_op": 6694, "bytes_per_op": 2164, "allocs_per_op": 14},
-    "EstimateCardinalitySoloCoalesced-4": {"ns_per_op": 8016, "bytes_per_op": 2164, "allocs_per_op": 14},
-    "EstimateCardinalityLargePool/entries=1000/full": {"ns_per_op": 900231, "bytes_per_op": 333528, "allocs_per_op": 27},
-    "EstimateCardinalityLargePool/entries=1000/k=64": {"ns_per_op": 93887, "bytes_per_op": 31088, "allocs_per_op": 28},
-    "EstimateCardinalityLargePool/entries=10000/full": {"ns_per_op": 10286958, "bytes_per_op": 3316616, "allocs_per_op": 62},
-    "EstimateCardinalityLargePool/entries=10000/k=64": {"ns_per_op": 357283, "bytes_per_op": 31088, "allocs_per_op": 28},
-    "EstimateCardinalityLargePool/entries=50000/full": {"ns_per_op": 56308219, "bytes_per_op": 16360200, "allocs_per_op": 164},
-    "EstimateCardinalityLargePool/entries=50000/k=64": {"ns_per_op": 1871935, "bytes_per_op": 31088, "allocs_per_op": 28},
-    "AddSaturated/entries=1000": {"ns_per_op": 8029, "bytes_per_op": 32, "allocs_per_op": 1},
-    "AddSaturated/entries=10000": {"ns_per_op": 74664, "bytes_per_op": 32, "allocs_per_op": 1},
-    "AddSaturated/entries=50000": {"ns_per_op": 962895, "bytes_per_op": 32, "allocs_per_op": 1},
-    "AddSaturatedWithSelection": {"ns_per_op": 212695, "bytes_per_op": 2290, "allocs_per_op": 2}
+    "_comment": "pre-PR-6 measurements on the same machine: BENCH_5.json results. The WAL/recovery/feedback-path benchmarks are new in PR 6; RecordFeedbackMemory is RecordFeedbackDurable's reference.",
+    "MatMul128": {"ns_per_op": 669787, "bytes_per_op": 0, "allocs_per_op": 0},
+    "MatMulBatchForward": {"ns_per_op": 895913, "bytes_per_op": 0, "allocs_per_op": 0},
+    "DenseForwardBackward": {"ns_per_op": 1779556, "bytes_per_op": 196704, "allocs_per_op": 4},
+    "SetEncoderForward": {"ns_per_op": 744514, "bytes_per_op": 196704, "allocs_per_op": 4},
+    "AdamStep": {"ns_per_op": 471987, "bytes_per_op": 0, "allocs_per_op": 0},
+    "TrainEpoch": {"ns_per_op": 105327823, "bytes_per_op": 677825, "allocs_per_op": 159},
+    "PredictBatch": {"ns_per_op": 4672811, "bytes_per_op": 217635, "allocs_per_op": 4},
+    "PredictShared": {"ns_per_op": 12556516, "bytes_per_op": 449401, "allocs_per_op": 19},
+    "EstimateCardinalityBatch64": {"ns_per_op": 282028, "bytes_per_op": 122880, "allocs_per_op": 122},
+    "EstimateCardinalitySingleLoop64": {"ns_per_op": 359164, "bytes_per_op": 132354, "allocs_per_op": 842},
+    "EstimateCardinalityParallel": {"ns_per_op": 6371, "bytes_per_op": 2165, "allocs_per_op": 14},
+    "EstimateCardinalityParallel-4": {"ns_per_op": 8143, "bytes_per_op": 2206, "allocs_per_op": 11},
+    "EstimateCardinalityParallelNoCoalesce": {"ns_per_op": 6033, "bytes_per_op": 2068, "allocs_per_op": 13},
+    "EstimateCardinalityParallelNoCoalesce-4": {"ns_per_op": 9595, "bytes_per_op": 2068, "allocs_per_op": 13},
+    "EstimateCardinalitySoloCoalesced": {"ns_per_op": 7710, "bytes_per_op": 2164, "allocs_per_op": 14},
+    "EstimateCardinalitySoloCoalesced-4": {"ns_per_op": 9659, "bytes_per_op": 2164, "allocs_per_op": 14},
+    "EstimateCardinalityLargePool/entries=1000/full": {"ns_per_op": 1148442, "bytes_per_op": 333528, "allocs_per_op": 27},
+    "EstimateCardinalityLargePool/entries=1000/k=64": {"ns_per_op": 116512, "bytes_per_op": 31088, "allocs_per_op": 28},
+    "EstimateCardinalityLargePool/entries=10000/full": {"ns_per_op": 18563897, "bytes_per_op": 3316616, "allocs_per_op": 62},
+    "EstimateCardinalityLargePool/entries=10000/k=64": {"ns_per_op": 413248, "bytes_per_op": 31088, "allocs_per_op": 28},
+    "EstimateCardinalityLargePool/entries=50000/full": {"ns_per_op": 58705519, "bytes_per_op": 16360200, "allocs_per_op": 164},
+    "EstimateCardinalityLargePool/entries=50000/k=64": {"ns_per_op": 2396611, "bytes_per_op": 31090, "allocs_per_op": 28},
+    "AddSaturated/entries=1000": {"ns_per_op": 481.3, "bytes_per_op": 32, "allocs_per_op": 1},
+    "AddSaturated/entries=10000": {"ns_per_op": 984.9, "bytes_per_op": 32, "allocs_per_op": 1},
+    "AddSaturated/entries=50000": {"ns_per_op": 1780, "bytes_per_op": 32, "allocs_per_op": 1},
+    "AddSaturatedWithSelection": {"ns_per_op": 41319, "bytes_per_op": 2290, "allocs_per_op": 2},
+    "EstimateCardinalityTrainerIdle-4": {"ns_per_op": 10445, "bytes_per_op": 2216, "allocs_per_op": 10},
+    "EstimateCardinalityTrainerActive-4": {"ns_per_op": 10521, "bytes_per_op": 2622, "allocs_per_op": 10}
   },
   "results": {
 $RESULTS
