@@ -17,9 +17,10 @@ race:
 # bench runs the nn-kernel, compute-core and serving benchmarks (including
 # the concurrent serving benchmarks at -cpu 1,4, the large-pool top-K
 # benchmarks, the saturated-pool eviction benchmarks, the feedback-loop
-# trainer-idle/active benchmarks and the PR 6 durability benchmarks) with
+# trainer-idle/active benchmarks, the PR 6 durability benchmarks and the
+# PR 7 guarded serving benchmark with its <= 5% overhead gate) with
 # -benchmem and records results (plus the frozen pre-PR baseline) in
-# BENCH_6.json.
+# BENCH_7.json.
 bench:
 	scripts/bench.sh
 
@@ -32,11 +33,12 @@ bench:
 # point; the trainer benchmarks run one whole retrain/promotion cycle under
 # estimate traffic, the pool benchmarks one heap eviction per size, the
 # WAL benchmarks one append per sync policy plus a full 10k-record
-# recovery replay, and the feedback-path benchmarks one journaled record
-# per variant.
+# recovery replay, the feedback-path benchmarks one journaled record
+# per variant, and the guarded serving benchmark one pass through the
+# admission gate + breaker + deadline stack.
 bench-smoke:
 	go test ./internal/nn ./internal/crn -run '^$$' -bench . -benchtime 1x -benchmem
-	go test . -run '^$$' -bench 'EstimateCardinality(Parallel|SoloCoalesced)' -cpu 1,4 -benchtime 1x -benchmem
+	go test . -run '^$$' -bench 'EstimateCardinality(Parallel|SoloCoalesced|Guarded)' -cpu 1,4 -benchtime 1x -benchmem
 	go test . -run '^$$' -bench 'EstimateCardinalityLargePool' -benchtime 1x -benchmem
 	go test . -run '^$$' -bench 'EstimateCardinalityTrainer' -cpu 4 -benchtime 1x -benchmem
 	go test ./internal/pool -run '^$$' -bench 'AddSaturated' -benchtime 1x -benchmem

@@ -12,6 +12,7 @@ import (
 	"crn/internal/contain"
 	icrn "crn/internal/crn"
 	"crn/internal/durable"
+	"crn/internal/guard"
 	"crn/internal/online"
 	"crn/internal/pool"
 )
@@ -45,6 +46,15 @@ type AdaptiveEstimator struct {
 	ckptErrs      atomic.Uint64
 	replaySkipped atomic.Uint64
 	closed        atomic.Bool
+
+	// reprobe* drive the degraded-durability recovery loop: while the
+	// collector is staging in memory only (a WAL append failed), a
+	// background goroutine re-probes the disk with exponential backoff,
+	// re-journals the staged records on recovery, and writes a catch-up
+	// checkpoint. Nil without WithDataDir.
+	reprobeStop    chan struct{}
+	reprobeDone    chan struct{}
+	reupgradeCkpts atomic.Uint64
 }
 
 // CollectorStats reports feedback-ingestion counters (see
@@ -177,6 +187,7 @@ func (s *System) OpenAdaptiveEstimator(m *ContainmentModel, p *QueriesPool, opts
 	est.Rates = box
 	ce := &CardinalityEstimator{est: est, pool: p, box: box}
 	ce.initCoalescer(set)
+	ce.applyGuards(set)
 
 	cfg := set.adapt
 	ae := &AdaptiveEstimator{
@@ -185,6 +196,15 @@ func (s *System) OpenAdaptiveEstimator(m *ContainmentModel, p *QueriesPool, opts
 		col:                  online.NewCollector(p, cfg.BufferCap),
 		drift:                online.NewDriftMonitor(cfg.DriftThreshold, cfg.DriftWindow, cfg.DriftMinSamples),
 		store:                store,
+	}
+	if set.breaker != nil && set.breaker.Alarm == nil {
+		// The adaptive deployment has a live unreliability signal the plain
+		// estimator lacks: wire the drift monitor's alarm bit into the
+		// breaker, so a drifted model diverts to the fallback immediately
+		// instead of waiting for the error window to fill.
+		bc := *set.breaker
+		bc.Alarm = ae.drift.Drifted
+		ce.breaker = guard.NewBreaker(bc)
 	}
 	if ck != nil {
 		ae.drift.Restore(ck.Drift)
@@ -225,9 +245,45 @@ func (s *System) OpenAdaptiveEstimator(m *ContainmentModel, p *QueriesPool, opts
 		// lock): the persisted (generation, pool, drift, applied LSN) tuple
 		// is exactly the promoted cycle's, never a torn mix of two cycles.
 		ae.trainer.SetOnPromote(func(g *online.Generation) { ae.checkpoint(g) })
+		ae.reprobeStop = make(chan struct{})
+		ae.reprobeDone = make(chan struct{})
+		go ae.reprobeLoop()
 	}
 	ae.trainer.Start()
 	return ae, nil
+}
+
+// reprobeLoop restores durability after a degradation. While the collector
+// reports Degraded (a journal append failed; feedback is staged in memory
+// only), the loop re-journals the staged records with exponential backoff —
+// each attempt doubles as a disk probe. On success it syncs the WAL and
+// writes a catch-up checkpoint, shrinking the recovery tail that grew while
+// the disk was down, and the collector resumes journaling inline.
+func (e *AdaptiveEstimator) reprobeLoop() {
+	defer close(e.reprobeDone)
+	const minBackoff, maxBackoff = 50 * time.Millisecond, 5 * time.Second
+	backoff := minBackoff
+	for {
+		select {
+		case <-e.reprobeStop:
+			return
+		case <-time.After(backoff):
+		}
+		if !e.col.Degraded() {
+			backoff = minBackoff
+			continue
+		}
+		if _, err := e.col.ReJournal(); err != nil {
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		_ = e.store.Sync()
+		e.checkpoint(e.box.Current())
+		e.reupgradeCkpts.Add(1)
+		backoff = minBackoff
+	}
 }
 
 // HasCheckpoint reports whether dataDir holds at least one completed
@@ -366,6 +422,14 @@ type DurabilityStats struct {
 	// ReplaySkipped counts journaled records recovery could not re-parse
 	// (schema changed underneath the data dir) and dropped.
 	ReplaySkipped uint64 `json:"replay_skipped"`
+	// Degraded reports degraded durability RIGHT NOW: a WAL append failed
+	// and feedback is being staged in memory only until the re-probe loop
+	// re-journals it. Reupgrades counts recoveries back to full
+	// durability; ReupgradeCheckpoints the catch-up checkpoints they
+	// wrote.
+	Degraded             bool   `json:"durability_degraded"`
+	Reupgrades           uint64 `json:"reupgrades"`
+	ReupgradeCheckpoints uint64 `json:"reupgrade_checkpoints"`
 }
 
 // DurabilityStats returns the durability snapshot, or nil for a memory-only
@@ -374,10 +438,14 @@ func (e *AdaptiveEstimator) DurabilityStats() *DurabilityStats {
 	if e.store == nil {
 		return nil
 	}
+	cs := e.col.Stats()
 	return &DurabilityStats{
-		StoreStats:       e.store.Stats(),
-		CheckpointErrors: e.ckptErrs.Load(),
-		ReplaySkipped:    e.replaySkipped.Load(),
+		StoreStats:           e.store.Stats(),
+		CheckpointErrors:     e.ckptErrs.Load(),
+		ReplaySkipped:        e.replaySkipped.Load(),
+		Degraded:             cs.Degraded,
+		Reupgrades:           cs.Reupgrades,
+		ReupgradeCheckpoints: e.reupgradeCkpts.Load(),
 	}
 }
 
@@ -395,6 +463,8 @@ func (e *AdaptiveEstimator) Close() {
 	e.cancel()
 	e.trainer.Stop()
 	if e.store != nil {
+		close(e.reprobeStop)
+		<-e.reprobeDone
 		e.checkpoint(e.box.Current())
 		_ = e.store.Sync()
 		_ = e.store.Close()

@@ -12,6 +12,8 @@
 //	POST /record          {"query": "SELECT ..."}              -> {"cardinality": 17, "added": true, "pool_size": 301}
 //	POST /feedback        {"query": "...", "cardinality": 17}  -> {"accepted": true, "staged": 3, ...}
 //	GET  /healthz                                              -> {"status": "ok", ...}
+//	GET  /livez                                                -> {"status": "alive"}
+//	GET  /readyz                                               -> {"status": "ready"} or 503
 //
 // /estimate/batch amortizes feature encoding and runs the CRN forward pass
 // matrix-batched across the whole request. /record executes the query
@@ -47,8 +49,21 @@
 // -retrain-epochs; observe on /healthz ("online": generation, collector,
 // trainer, drift).
 //
+// Operational guards: -max-inflight sheds estimation requests beyond a
+// concurrency ceiling with 429 + Retry-After (and independently bounds
+// /record + /feedback, which execute the truth oracle); -request-timeout
+// deadlines every estimate; -breaker-error-rate / -breaker-p99 arm a circuit
+// breaker that diverts estimates to the baseline fallback while the primary
+// path is failing or slow, with half-open probing after -breaker-cooldown.
+// /livez answers process liveness (always 200 while serving); /readyz turns
+// 503 during startup, shutdown drain, or while the breaker is open. /healthz
+// reports guard and per-endpoint counters ("guard", "ingest_gate",
+// "endpoints").
+//
 // Errors map typed facade sentinels to statuses: unparseable dialect -> 400,
-// no usable pool match (estimator without fallback) -> 422, cancelled -> 503.
+// no usable pool match (estimator without fallback) -> 422, shed by
+// admission control -> 429, cancelled or breaker-diverted without
+// fallback -> 503.
 //
 // Usage:
 //
@@ -103,6 +118,13 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable state directory: feedback WAL + promotion checkpoints, recovered on restart (empty: memory-only)")
 	walSync := flag.String("wal-sync", "interval", "feedback WAL sync policy: interval (batched fsync), always (fsync per record), none")
 	checkpointRetain := flag.Int("checkpoint-retain", 3, "checkpoints kept on disk; older ones and fully-covered WAL segments are pruned")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent estimation requests admitted before shedding with 429; also bounds /record+/feedback (0: unlimited)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request estimation deadline (0: none)")
+	breakerErrorRate := flag.Float64("breaker-error-rate", 0, "windowed error rate that trips the circuit breaker onto the fallback path (0 with -breaker-p99 0: breaker off)")
+	breakerP99 := flag.Duration("breaker-p99", 0, "windowed p99 estimate latency that trips the circuit breaker (0: latency trip off)")
+	breakerWindow := flag.Int("breaker-window", 128, "outcome window size of the circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open time before the breaker half-opens and probes the primary path")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "graceful shutdown drain deadline for in-flight requests")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "crnserve: ", log.LstdFlags)
@@ -188,6 +210,24 @@ func main() {
 		opts = append(opts, crn.WithMaxCandidates(*maxCandidates))
 		logger.Printf("candidate selection bounded to top-%d pool entries per estimate", *maxCandidates)
 	}
+	if *maxInflight > 0 {
+		opts = append(opts, crn.WithMaxInflight(*maxInflight))
+		logger.Printf("admission control on (max %d concurrent estimates, overflow shed with 429)", *maxInflight)
+	}
+	if *requestTimeout > 0 {
+		opts = append(opts, crn.WithRequestTimeout(*requestTimeout))
+		logger.Printf("per-request estimation deadline %v", *requestTimeout)
+	}
+	if *breakerErrorRate > 0 || *breakerP99 > 0 {
+		opts = append(opts, crn.WithBreaker(crn.BreakerConfig{
+			Window:     *breakerWindow,
+			ErrorRate:  *breakerErrorRate,
+			LatencyP99: *breakerP99,
+			Cooldown:   *breakerCooldown,
+		}))
+		logger.Printf("circuit breaker armed (window=%d error-rate=%g p99=%v cooldown=%v)",
+			*breakerWindow, *breakerErrorRate, *breakerP99, *breakerCooldown)
+	}
 
 	var est *crn.CardinalityEstimator
 	var adaptive *crn.AdaptiveEstimator
@@ -231,19 +271,32 @@ func main() {
 	handler := newServer(sys, model, pool, est, logger)
 	handler.adaptive = adaptive
 	handler.pprof = *pprofFlag
+	handler.setIngestLimit(*maxInflight)
 	if *pprofFlag {
 		logger.Printf("pprof enabled under /debug/pprof/")
 	}
+	// Construction is done: model published (trained, loaded, or recovered)
+	// and any WAL replay absorbed — flip /readyz before the listener opens.
+	handler.setReady(true)
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler.handler(),
+		Addr:    *addr,
+		Handler: handler.handler(),
+		// Full-lifecycle timeouts so a stalled or malicious peer cannot pin a
+		// connection: headers, whole-request read, whole-response write, and
+		// keep-alive idle. WriteTimeout leaves headroom over any
+		// -request-timeout since it also covers response serialization.
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      90 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Unready first so load balancers drain before the listener closes.
+		handler.setReady(false)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
 	}()

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"crn"
+	"crn/internal/guard"
 )
 
 // server is the HTTP front end over the estimation facade: a trained
@@ -40,24 +41,50 @@ type server struct {
 	// flag); off by default so production profiling is an explicit opt-in.
 	pprof bool
 
+	// ready gates /readyz: set once startup (training or recovery replay,
+	// model publication) completes, cleared when shutdown starts so load
+	// balancers stop routing here before the listener closes.
+	ready atomic.Bool
+
+	// ingestGate sheds /record and /feedback under overload. Those
+	// endpoints execute the truth oracle and so bypass the estimator's own
+	// admission gate — without their own ceiling a feedback storm could
+	// exhaust the server even while /estimate is protected. Nil: unlimited.
+	ingestGate *guard.Gate
+
 	estimateLatency latencyStats // single-query /estimate (cardinality mode)
 	batchLatency    latencyStats // /estimate/batch
+
+	epEstimate endpointCounters
+	epBatch    endpointCounters
+	epRecord   endpointCounters
+	epFeedback endpointCounters
 }
 
 func newServer(sys *crn.System, model *crn.ContainmentModel, pool *crn.QueriesPool, est *crn.CardinalityEstimator, logger *log.Logger) *server {
 	return &server{sys: sys, model: model, pool: pool, est: est, started: time.Now(), logger: logger}
 }
 
+// setReady flips the /readyz gate; main sets it once construction (training
+// or checkpoint recovery, model publication) finishes and clears it when
+// shutdown begins.
+func (s *server) setReady(ready bool) { s.ready.Store(ready) }
+
+// setIngestLimit bounds concurrent /record + /feedback requests (0: off).
+func (s *server) setIngestLimit(n int) { s.ingestGate = guard.NewGate(n) }
+
 // handler builds the route table.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /estimate", s.handleEstimate)
-	mux.HandleFunc("POST /estimate/batch", s.handleEstimateBatch)
-	mux.HandleFunc("POST /record", s.handleRecord)
+	mux.HandleFunc("POST /estimate", s.counted(&s.epEstimate, s.handleEstimate))
+	mux.HandleFunc("POST /estimate/batch", s.counted(&s.epBatch, s.handleEstimateBatch))
+	mux.HandleFunc("POST /record", s.counted(&s.epRecord, s.handleRecord))
 	if s.adaptive != nil {
-		mux.HandleFunc("POST /feedback", s.handleFeedback)
+		mux.HandleFunc("POST /feedback", s.counted(&s.epFeedback, s.handleFeedback))
 	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleLivez)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -102,6 +129,58 @@ func (l *latencyStats) snapshot() latencySnapshot {
 		out.AvgMicros = float64(l.totalNs.Load()) / float64(n) / 1e3
 	}
 	return out
+}
+
+// --- Per-endpoint accounting ------------------------------------------------
+
+// endpointCounters tracks outcomes per route with lock-free counters: total
+// requests, requests shed with 429 (admission control), and other failures.
+type endpointCounters struct {
+	requests atomic.Uint64
+	shed     atomic.Uint64
+	failed   atomic.Uint64
+}
+
+// endpointSnapshot is the wire form of endpointCounters.
+type endpointSnapshot struct {
+	Requests uint64 `json:"requests"`
+	Shed     uint64 `json:"shed"`
+	Failed   uint64 `json:"failed"`
+}
+
+func (c *endpointCounters) snapshot() endpointSnapshot {
+	return endpointSnapshot{
+		Requests: c.requests.Load(),
+		Shed:     c.shed.Load(),
+		Failed:   c.failed.Load(),
+	}
+}
+
+// statusWriter captures the response status so counted can classify the
+// outcome without threading counters through every writeError call site.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// counted wraps a handler with per-endpoint outcome accounting.
+func (s *server) counted(ep *endpointCounters, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ep.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		switch {
+		case sw.status == http.StatusTooManyRequests:
+			ep.shed.Add(1)
+		case sw.status >= 400:
+			ep.failed.Add(1)
+		}
+	}
 }
 
 // --- Wire types -------------------------------------------------------------
@@ -182,6 +261,15 @@ type healthzResponse struct {
 	// checkpoint history, recovery replay counters — and is omitted without
 	// -data-dir.
 	Durable *crn.DurabilityStats `json:"durable,omitempty"`
+	// Guard reports the estimator's operational guards: admission gate
+	// (inflight/peak/shed) and circuit breaker (state, trips, diversions).
+	// All zeros unless -max-inflight or a breaker flag is set.
+	Guard crn.GuardStats `json:"guard"`
+	// IngestGate reports the server-level admission gate over /record and
+	// /feedback (the endpoints that execute the truth oracle).
+	IngestGate crn.GateStats `json:"ingest_gate"`
+	// Endpoints reports per-route request/shed/failure counters.
+	Endpoints map[string]endpointSnapshot `json:"endpoints"`
 }
 
 type errorResponse struct {
@@ -275,6 +363,11 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleRecord(w http.ResponseWriter, r *http.Request) {
+	if err := s.ingestGate.Acquire(); err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	defer s.ingestGate.Release()
 	var req recordRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -309,6 +402,11 @@ func (s *server) handleRecord(w http.ResponseWriter, r *http.Request) {
 // loop (pool growth, background retraining, drift monitoring); the call
 // itself never blocks on training.
 func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if err := s.ingestGate.Acquire(); err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	defer s.ingestGate.Release()
 	var req feedbackRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -350,6 +448,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Coalescer:       s.est.CoalescerStats(),
 		EstimateLatency: s.estimateLatency.snapshot(),
 		BatchLatency:    s.batchLatency.snapshot(),
+		Guard:           s.est.GuardStats(),
+		IngestGate:      s.ingestGate.Stats(),
+		Endpoints: map[string]endpointSnapshot{
+			"estimate":       s.epEstimate.snapshot(),
+			"estimate_batch": s.epBatch.snapshot(),
+			"record":         s.epRecord.snapshot(),
+			"feedback":       s.epFeedback.snapshot(),
+		},
 	}
 	if s.adaptive != nil {
 		st := s.adaptive.AdaptationStats()
@@ -357,6 +463,33 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Durable = s.adaptive.DurabilityStats()
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLivez answers liveness: the process is up and serving HTTP. It
+// stays 200 through overload, open breakers, and degraded durability — a
+// restart fixes none of those, so orchestrators must not kill on them.
+func (s *server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
+}
+
+// handleReadyz answers readiness: startup (training or recovery replay,
+// model publication) completed, shutdown has not begun, and the circuit
+// breaker is not open. An open breaker means primary estimates are being
+// diverted — still correct via the fallback, but a load balancer with a
+// healthy replica should prefer it.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case !s.ready.Load():
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "unready", "reason": "starting or shutting down",
+		})
+	case s.est.BreakerOpen():
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "unready", "reason": "circuit breaker open",
+		})
+	default:
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 // --- Plumbing ---------------------------------------------------------------
@@ -380,6 +513,10 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, crn.ErrNoPoolMatch):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, crn.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, crn.ErrBreakerOpen):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
 	default:
@@ -398,6 +535,11 @@ func (s *server) writeJSON(w http.ResponseWriter, status int, body any) {
 func (s *server) writeError(w http.ResponseWriter, status int, err error) {
 	if s.logger != nil && status >= 500 {
 		s.logger.Printf("request failed: %v", err)
+	}
+	if status == http.StatusTooManyRequests {
+		// Shed by admission control: momentary pressure, retry immediately
+		// after a short pause rather than backing off for long.
+		w.Header().Set("Retry-After", "1")
 	}
 	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }

@@ -54,6 +54,7 @@ import (
 	"crn/internal/db"
 	"crn/internal/exec"
 	"crn/internal/feature"
+	"crn/internal/guard/failpoint"
 	"crn/internal/optimizer"
 	"crn/internal/pg"
 	"crn/internal/pool"
@@ -161,16 +162,25 @@ func (s *System) TrueContainment(ctx context.Context, q1, q2 Query) (float64, er
 
 // ctxOracle threads a request context into the executor behind the
 // context-free workload.Oracle interface used by generation and labeling.
+// Both methods carry failpoints (oracle/cardinality, oracle/containment):
+// the truth oracle is the adaptation loop's external dependency, and the
+// fault-matrix suite must be able to make it time out or error en masse.
 type ctxOracle struct {
 	ctx context.Context
 	ex  *exec.Executor
 }
 
 func (o ctxOracle) Cardinality(q query.Query) (int64, error) {
+	if err := failpoint.Inject(failpoint.OracleCardinality); err != nil {
+		return 0, err
+	}
 	return o.ex.CardinalityCtx(o.ctx, q)
 }
 
 func (o ctxOracle) ContainmentRate(q1, q2 query.Query) (float64, error) {
+	if err := failpoint.Inject(failpoint.OracleContainment); err != nil {
+		return 0, err
+	}
 	return o.ex.ContainmentRateCtx(o.ctx, q1, q2)
 }
 

@@ -4,6 +4,7 @@ import (
 	"crn/internal/card"
 	"crn/internal/contain"
 	icrn "crn/internal/crn"
+	"crn/internal/guard"
 	"crn/internal/sqlparse"
 )
 
@@ -29,4 +30,16 @@ var (
 	// ErrNotComparable reports a containment request over queries with
 	// different FROM clauses — containment is undefined between them (§2).
 	ErrNotComparable = contain.ErrNotComparable
+
+	// ErrOverloaded reports a request shed by the admission gate
+	// (WithMaxInflight): admitting it would have exceeded the concurrency
+	// ceiling. Retryable backpressure — cmd/crnserve maps it to HTTP 429
+	// with a Retry-After header.
+	ErrOverloaded = guard.ErrOverloaded
+
+	// ErrBreakerOpen reports an estimate diverted by an open circuit
+	// breaker (WithBreaker) on an estimator without a fallback to absorb
+	// the diverted traffic. With WithFallback configured the diversion is
+	// answered by the fallback instead and no error is returned.
+	ErrBreakerOpen = guard.ErrBreakerOpen
 )

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"time"
 
 	"crn/internal/card"
+	"crn/internal/contain"
 	icrn "crn/internal/crn"
+	"crn/internal/guard"
 	"crn/internal/online"
 	"crn/internal/serve"
 )
@@ -39,6 +42,44 @@ type CardinalityEstimator struct {
 	// read through one atomic pointer load per estimation pass, so a
 	// background promotion swaps both coherently under live traffic.
 	box *online.ModelBox
+
+	// Operational guards (all optional, all nil-safe): gate sheds load
+	// beyond WithMaxInflight, reqTimeout deadline-bounds each call, and
+	// breaker diverts an unhealthy learned path to the fallback estimator.
+	gate       *guard.Gate
+	breaker    *guard.Breaker
+	reqTimeout time.Duration
+	// wheel amortizes the per-request deadline for non-cancellable parent
+	// contexts: one shared timer per granule instead of one per request
+	// (see guard.DeadlineWheel). Cancellable parents — every HTTP request
+	// context — fall back to context.WithTimeout for real cancel
+	// propagation.
+	wheel *guard.DeadlineWheel
+}
+
+// applyGuards wires the admission gate, request timeout and circuit
+// breaker from the collected options.
+func (e *CardinalityEstimator) applyGuards(set estimatorSettings) {
+	e.gate = guard.NewGate(set.maxInflight)
+	e.reqTimeout = set.reqTimeout
+	e.wheel = guard.NewDeadlineWheel(set.reqTimeout)
+	if set.breaker != nil {
+		e.breaker = guard.NewBreaker(*set.breaker)
+	}
+}
+
+// withTimeout applies the configured per-request deadline (a no-op cancel
+// is returned when none is configured). Non-cancellable parents get a
+// shared-timer deadline from the wheel — no allocation-and-timer per
+// request; cancellable parents get a real context.WithTimeout.
+func (e *CardinalityEstimator) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if e.reqTimeout <= 0 {
+		return ctx, func() {}
+	}
+	if wctx, ok := e.wheel.Context(ctx); ok {
+		return wctx, func() {}
+	}
+	return context.WithTimeout(ctx, e.reqTimeout)
 }
 
 // activeCache resolves the representation cache estimates run against: the
@@ -94,6 +135,7 @@ func (s *System) CardinalityEstimator(m *ContainmentModel, p *QueriesPool, opts 
 		}
 	}
 	ce.initCoalescer(set)
+	ce.applyGuards(set)
 	return ce
 }
 
@@ -150,6 +192,7 @@ func (s *System) ImproveBaseline(m BaselineEstimator, p *QueriesPool, opts ...Es
 	}
 	ce := &CardinalityEstimator{est: est, pool: p}
 	ce.initCoalescer(set)
+	ce.applyGuards(set)
 	return ce
 }
 
@@ -175,7 +218,54 @@ func (e *CardinalityEstimator) revalidate() {
 // query in the batch was the one that failed). A request that ran on the
 // coalescer's solo fast path already executed alone, so its error is
 // returned directly without the redundant retry.
+// Operational guards apply when configured: WithMaxInflight sheds the call
+// with ErrOverloaded before any work happens, WithRequestTimeout bounds it
+// with a deadline, and an open WithBreaker diverts it to the fallback
+// estimator (ErrBreakerOpen without one).
 func (e *CardinalityEstimator) EstimateCardinality(ctx context.Context, q Query) (float64, error) {
+	if err := e.gate.Acquire(); err != nil {
+		return 0, err
+	}
+	defer e.gate.Release()
+	ctx, cancel := e.withTimeout(ctx)
+	defer cancel()
+	if e.breaker == nil {
+		return e.estimatePrimary(ctx, q)
+	}
+	allowed, probe := e.breaker.Allow()
+	if !allowed {
+		return e.fallbackOne(ctx, q)
+	}
+	var start time.Time
+	if e.breaker.TracksLatency() {
+		start = time.Now()
+	}
+	v, err := e.estimatePrimary(ctx, q)
+	failed := breakerCountable(ctx, err)
+	var lat time.Duration
+	if !start.IsZero() {
+		lat = time.Since(start)
+	}
+	if probe {
+		e.breaker.RecordProbe(lat, failed)
+	} else {
+		e.breaker.Record(lat, failed)
+	}
+	if failed {
+		// A countable primary failure with a fallback available: answer
+		// degraded instead of erroring — the same routing an open breaker
+		// applies, one request early.
+		if fv, ferr := e.fallbackOne(ctx, q); ferr == nil {
+			return fv, nil
+		}
+	}
+	return v, err
+}
+
+// estimatePrimary is the learned estimate path (pre-guard
+// EstimateCardinality): coalesced when configured, with the solo-error
+// unwrap and the retry-alone fallback on shared-batch failure.
+func (e *CardinalityEstimator) estimatePrimary(ctx context.Context, q Query) (float64, error) {
 	e.revalidate()
 	if e.coal == nil {
 		return e.est.EstimateCardCtx(ctx, q)
@@ -194,6 +284,55 @@ func (e *CardinalityEstimator) EstimateCardinality(ctx context.Context, q Query)
 	return e.est.EstimateCardCtx(ctx, q)
 }
 
+// fallbackOne answers one query from the configured fallback estimator —
+// the breaker's divert target. Mirrors card.Estimator's own fallback
+// dispatch (context-aware when the fallback supports it).
+func (e *CardinalityEstimator) fallbackOne(ctx context.Context, q Query) (float64, error) {
+	fb := e.est.Fallback
+	if fb == nil {
+		return 0, guard.ErrBreakerOpen
+	}
+	if cfb, ok := fb.(contain.CtxCardEstimator); ok {
+		return cfb.EstimateCardCtx(ctx, q)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return fb.EstimateCard(q)
+}
+
+// fallbackBatch is fallbackOne over a batch; it fails as a whole like the
+// primary batch path.
+func (e *CardinalityEstimator) fallbackBatch(ctx context.Context, queries []Query) ([]float64, error) {
+	out := make([]float64, len(queries))
+	for i, q := range queries {
+		v, err := e.fallbackOne(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// breakerCountable reports whether an estimate error should count against
+// the circuit breaker. Client errors (bad dialect, no pool match,
+// incomparable queries) and caller cancellation say nothing about the
+// health of the learned path; internal failures and deadline blowouts do.
+func breakerCountable(ctx context.Context, err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrDialect) || errors.Is(err, ErrNoPoolMatch) ||
+		errors.Is(err, ErrNotComparable) || errors.Is(err, guard.ErrOverloaded) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true
+}
+
 // EstimateCardinalityBatch estimates |q| for every query with one amortized
 // containment-rate pass over all pool pairs of the batch: feature encoding
 // and the set-module forward of recurring pool entries are shared (and
@@ -201,9 +340,45 @@ func (e *CardinalityEstimator) EstimateCardinality(ctx context.Context, q Query)
 // runs matrix-batched. Results are identical to per-query
 // EstimateCardinality calls; the batch fails as a whole on the first query
 // that errors.
+// The operational guards apply per batch call: one admission slot, one
+// deadline, one breaker outcome — a batch is one unit of serving work.
 func (e *CardinalityEstimator) EstimateCardinalityBatch(ctx context.Context, queries []Query) ([]float64, error) {
+	if err := e.gate.Acquire(); err != nil {
+		return nil, err
+	}
+	defer e.gate.Release()
+	ctx, cancel := e.withTimeout(ctx)
+	defer cancel()
+	if e.breaker == nil {
+		e.revalidate()
+		return e.est.EstimateCards(ctx, queries)
+	}
+	allowed, probe := e.breaker.Allow()
+	if !allowed {
+		return e.fallbackBatch(ctx, queries)
+	}
+	var start time.Time
+	if e.breaker.TracksLatency() {
+		start = time.Now()
+	}
 	e.revalidate()
-	return e.est.EstimateCards(ctx, queries)
+	out, err := e.est.EstimateCards(ctx, queries)
+	failed := breakerCountable(ctx, err)
+	var lat time.Duration
+	if !start.IsZero() {
+		lat = time.Since(start)
+	}
+	if probe {
+		e.breaker.RecordProbe(lat, failed)
+	} else {
+		e.breaker.Record(lat, failed)
+	}
+	if failed {
+		if fout, ferr := e.fallbackBatch(ctx, queries); ferr == nil {
+			return fout, nil
+		}
+	}
+	return out, err
 }
 
 // InvalidateRepresentations explicitly discards every cached set-module
@@ -227,6 +402,32 @@ func (e *CardinalityEstimator) CacheStats() RepCacheStats {
 // estimator without WithCoalescing.
 func (e *CardinalityEstimator) CoalescerStats() CoalescerStats {
 	return e.coal.Stats()
+}
+
+// GateStats reports admission-gate counters (see GuardStats).
+type GateStats = guard.GateStats
+
+// BreakerStats reports circuit-breaker state and counters (see GuardStats).
+type BreakerStats = guard.BreakerStats
+
+// GuardStats is a point-in-time snapshot of the estimator's operational
+// guards, shaped for health endpoints. Unconfigured guards report zero
+// values (breaker state "closed", gate ceiling 0 = unlimited).
+type GuardStats struct {
+	Gate    GateStats    `json:"gate"`
+	Breaker BreakerStats `json:"breaker"`
+}
+
+// GuardStats returns the admission-gate and circuit-breaker snapshot.
+func (e *CardinalityEstimator) GuardStats() GuardStats {
+	return GuardStats{Gate: e.gate.Stats(), Breaker: e.breaker.Stats()}
+}
+
+// BreakerOpen reports whether the circuit breaker is currently open
+// (readiness probes route traffic away while it is). Always false without
+// WithBreaker.
+func (e *CardinalityEstimator) BreakerOpen() bool {
+	return e.breaker.State() == guard.BreakerOpen
 }
 
 // WithFallback sets a fallback estimator for queries without a usable pool

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"crn/internal/contain"
+	"crn/internal/guard/failpoint"
 	"crn/internal/pool"
 	"crn/internal/query"
 )
@@ -106,6 +107,9 @@ func (e *Estimator) EstimateCardCtx(ctx context.Context, qnew query.Query) (floa
 func (e *Estimator) EstimateCards(ctx context.Context, queries []query.Query) ([]float64, error) {
 	if e.Rates == nil || e.Pool == nil {
 		return nil, fmt.Errorf("card: estimator needs a rate model and a queries pool")
+	}
+	if err := failpoint.Inject(failpoint.EstimateCards); err != nil {
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"crn/internal/guard/failpoint"
 )
 
 // A checkpoint is one directory holding everything needed to resume the
@@ -145,6 +147,9 @@ func WriteCheckpoint(dir string, ck *Checkpoint) (string, error) {
 	}
 	if err := os.RemoveAll(final); err != nil {
 		return "", fmt.Errorf("durable: write checkpoint: %w", err)
+	}
+	if err := failpoint.Inject(failpoint.CheckpointRename); err != nil {
+		return "", fmt.Errorf("durable: publish checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, final); err != nil {
 		return "", fmt.Errorf("durable: publish checkpoint: %w", err)

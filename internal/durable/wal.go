@@ -41,6 +41,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"crn/internal/guard/failpoint"
 )
 
 // SyncPolicy selects when WAL appends reach stable storage.
@@ -257,6 +259,13 @@ type WAL struct {
 	nextLSN uint64
 	dirty   bool // flushed-but-not-fsynced bytes exist
 	closed  bool
+	// lastErr is the sticky I/O error: set when a flush, fsync or roll
+	// fails (disk full, device error), cleared when one later succeeds.
+	// While set, Append retries the failed flush first (append-as-probe)
+	// and rejects the new record cleanly if the disk is still down, so the
+	// collector can degrade to in-memory staging instead of crashing the
+	// feedback path.
+	lastErr error
 
 	stopSync chan struct{}
 	syncDone chan struct{}
@@ -267,6 +276,8 @@ type WAL struct {
 	rolls     atomic.Uint64
 	tornBytes atomic.Uint64
 	pruned    atomic.Uint64
+	ioErrs    atomic.Uint64
+	panics    atomic.Uint64
 }
 
 // OpenWAL opens (creating if necessary) the log in dir. The tail segment is
@@ -366,58 +377,97 @@ func (w *WAL) createSegmentLocked(firstLSN uint64) error {
 // record is on stable storage when Append returns; under the other policies
 // it is buffered (flushed by the background syncer, an explicit Sync, a
 // segment roll, or Close).
+//
+// Error semantics under disk faults: an error with LSN 0 means the record
+// was rejected cleanly (nothing buffered, no LSN consumed) — the log's
+// sticky I/O error is still in force and this Append was its re-probe. An
+// error with a non-zero LSN means the record is framed in the log's buffer
+// (its LSN is consumed, it will reach the disk when a later flush
+// succeeds) but durability could not be confirmed now. Either way the
+// caller should treat the record as non-durable and degrade.
 func (w *WAL) Append(sql string, card int64, observedAt time.Time) (uint64, error) {
 	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.closed {
-		w.mu.Unlock()
 		return 0, errors.New("durable: wal is closed")
+	}
+	if err := failpoint.Inject(failpoint.WALAppend); err != nil {
+		err = fmt.Errorf("durable: wal append: %w", err)
+		w.setErrLocked(err)
+		return 0, err
+	}
+	if w.lastErr != nil {
+		// Append-as-probe: a previous flush or fsync failed and its bytes
+		// are still pending. Retry them before framing new bytes — if the
+		// disk is still down the new record is rejected cleanly, keeping
+		// the LSN sequence free of records that never existed.
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
 	}
 	rec := FeedbackRecord{LSN: w.nextLSN, SQL: sql, Card: card, ObservedAt: observedAt}
 	before := len(w.buf)
 	w.buf = appendRecord(w.buf, rec)
 	n := len(w.buf) - before
-	if w.size+int64(len(w.buf)) > w.opts.SegmentBytes && w.size+int64(before) > 0 {
-		// The segment is full: flush what belongs to it (everything before
-		// this record fits by induction; the new record may straddle — keep
-		// it whole in the next segment unless it is the segment's only
-		// content).
-		if err := w.rollLocked(rec.LSN, before); err != nil {
-			w.mu.Unlock()
-			return 0, err
-		}
-	}
 	w.nextLSN++
 	w.appends.Add(1)
 	w.bytes.Add(uint64(n))
 	w.dirty = true
-	sync := w.opts.Sync == SyncAlways
-	var err error
-	if sync {
-		err = w.syncLocked()
+	if w.size+int64(len(w.buf)) > w.opts.SegmentBytes && w.size+int64(before) > 0 {
+		// The segment is full: flush what belongs to it (everything before
+		// this record fits by induction; the new record may straddle — keep
+		// it whole in the next segment unless it is the segment's only
+		// content). A roll failure leaves the record framed in the buffer
+		// with its LSN assigned; the oversized segment rolls when the disk
+		// recovers.
+		if err := w.rollLocked(rec.LSN, before); err != nil {
+			w.setErrLocked(err)
+			return rec.LSN, err
+		}
 	}
-	w.mu.Unlock()
-	return rec.LSN, err
+	if w.opts.Sync == SyncAlways {
+		if err := w.syncLocked(); err != nil {
+			return rec.LSN, err
+		}
+	}
+	return rec.LSN, nil
 }
 
 // rollLocked flushes and fsyncs everything up to byte offset upto of the
 // pending buffer into the current segment, closes it, and starts a new
-// segment beginning at firstLSN (keeping buf[upto:] pending for it).
+// segment beginning at firstLSN (keeping buf[upto:] pending for it). On
+// failure the current segment stays open and the unflushed suffix stays
+// buffered, so a later probe can finish the job.
 func (w *WAL) rollLocked(firstLSN uint64, upto int) error {
 	head := w.buf[:upto]
 	if len(head) > 0 {
-		if _, err := w.f.Write(head); err != nil {
+		if err := failpoint.Inject(failpoint.WALFlush); err != nil {
 			return fmt.Errorf("durable: wal write: %w", err)
 		}
+		wn, err := w.f.Write(head)
+		if err != nil {
+			return fmt.Errorf("durable: wal write: %w", err)
+		}
+		w.size += int64(wn)
+	}
+	if err := failpoint.Inject(failpoint.WALSync); err != nil {
+		return fmt.Errorf("durable: wal sync: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("durable: wal sync: %w", err)
 	}
-	if err := w.f.Close(); err != nil {
-		return fmt.Errorf("durable: wal close segment: %w", err)
-	}
+	// The head is durable in the old segment: drop it from the buffer
+	// before anything else can fail, so a retry cannot write it twice.
 	w.buf = append(w.buf[:0], w.buf[upto:]...)
+	old := w.f
+	if err := w.createSegmentLocked(firstLSN); err != nil {
+		// createSegmentLocked mutates nothing on failure: the old segment
+		// stays active (oversized) and rolls on a later append.
+		return err
+	}
+	_ = old.Close()
 	w.rolls.Add(1)
-	return w.createSegmentLocked(firstLSN)
+	return nil
 }
 
 // flushLocked moves the pending buffer into the segment file (visible to
@@ -425,6 +475,9 @@ func (w *WAL) rollLocked(firstLSN uint64, upto int) error {
 func (w *WAL) flushLocked() error {
 	if len(w.buf) == 0 {
 		return nil
+	}
+	if err := failpoint.Inject(failpoint.WALFlush); err != nil {
+		return fmt.Errorf("durable: wal write: %w", err)
 	}
 	n, err := w.f.Write(w.buf)
 	if err != nil {
@@ -436,21 +489,38 @@ func (w *WAL) flushLocked() error {
 }
 
 // syncLocked flushes and — policy permitting — fsyncs the current segment.
+// It owns the sticky error: any failure sets it, a full success clears it.
 func (w *WAL) syncLocked() error {
 	if err := w.flushLocked(); err != nil {
+		w.setErrLocked(err)
 		return err
 	}
 	if !w.dirty {
+		w.lastErr = nil
 		return nil
 	}
 	if w.opts.Sync != SyncNone {
+		if err := failpoint.Inject(failpoint.WALSync); err != nil {
+			err = fmt.Errorf("durable: wal sync: %w", err)
+			w.setErrLocked(err)
+			return err
+		}
 		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("durable: wal sync: %w", err)
+			err = fmt.Errorf("durable: wal sync: %w", err)
+			w.setErrLocked(err)
+			return err
 		}
 		w.syncs.Add(1)
 	}
 	w.dirty = false
+	w.lastErr = nil
 	return nil
+}
+
+// setErrLocked records a failed I/O operation and arms the sticky error.
+func (w *WAL) setErrLocked(err error) {
+	w.ioErrs.Add(1)
+	w.lastErr = err
 }
 
 // Sync makes every appended record visible and (except under SyncNone)
@@ -464,7 +534,10 @@ func (w *WAL) Sync() error {
 	return w.syncLocked()
 }
 
-// syncLoop is the SyncInterval background flusher.
+// syncLoop is the SyncInterval background flusher. Sync errors are sticky
+// (surfaced to the next Append, which degrades the collector) and a panic
+// in a flush tick is counted and absorbed rather than crashing the
+// process — the loop keeps ticking.
 func (w *WAL) syncLoop() {
 	defer close(w.syncDone)
 	t := time.NewTicker(w.opts.SyncEvery)
@@ -474,9 +547,21 @@ func (w *WAL) syncLoop() {
 		case <-w.stopSync:
 			return
 		case <-t.C:
-			_ = w.Sync()
+			w.safeSync()
 		}
 	}
+}
+
+// safeSync runs one background flush tick, converting a panic into a
+// counted event. Sync releases the WAL mutex via defer, so recovery leaves
+// the lock free.
+func (w *WAL) safeSync() {
+	defer func() {
+		if r := recover(); r != nil {
+			w.panics.Add(1)
+		}
+	}()
+	_ = w.Sync()
 }
 
 // LastLSN returns the LSN of the most recently appended record (0: none).
@@ -611,12 +696,23 @@ type WALStats struct {
 	// fully covered them.
 	PrunedSegments uint64 `json:"pruned_segments"`
 	SyncPolicy     string `json:"sync_policy"`
+	// IOErrors counts failed append/flush/fsync operations; LastError is
+	// the sticky error currently in force (empty when the log is healthy).
+	// FlusherPanics counts background flush ticks that panicked and were
+	// absorbed.
+	IOErrors      uint64 `json:"io_errors"`
+	LastError     string `json:"last_error,omitempty"`
+	FlusherPanics uint64 `json:"flusher_panics,omitempty"`
 }
 
 // Stats returns the log counters.
 func (w *WAL) Stats() WALStats {
 	w.mu.Lock()
 	last := w.nextLSN - 1
+	lastErr := ""
+	if w.lastErr != nil {
+		lastErr = w.lastErr.Error()
+	}
 	w.mu.Unlock()
 	segs, _ := w.segments()
 	return WALStats{
@@ -629,6 +725,9 @@ func (w *WAL) Stats() WALStats {
 		TornBytes:      w.tornBytes.Load(),
 		PrunedSegments: w.pruned.Load(),
 		SyncPolicy:     w.opts.Sync.String(),
+		IOErrors:       w.ioErrs.Load(),
+		LastError:      lastErr,
+		FlusherPanics:  w.panics.Load(),
 	}
 }
 

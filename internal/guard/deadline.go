@@ -1,0 +1,144 @@
+package guard
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// DeadlineWheel hands out per-request deadline contexts without paying a
+// runtime timer per request. Requests whose deadlines land in the same
+// granule (Timeout/8 by default) share one expiry channel closed by one
+// time.AfterFunc — under load, thousands of requests amortize a handful
+// of timers per second. The price is slack: the effective timeout is in
+// [Timeout, Timeout+granule), i.e. at most 12.5% longer than configured,
+// which a load-shedding deadline tolerates by design (it exists to bound
+// runaway requests, not to time anything precisely).
+//
+// The wheel only serves parents with no cancellation and no deadline of
+// their own (Done() == nil, Deadline() unset — context.Background and
+// friends): a cancellable parent needs real cancel propagation, which is
+// exactly what context.WithTimeout provides, so Context reports ok=false
+// and the caller falls back. Contexts from the wheel enforce their
+// deadline two ways: Err() compares against the clock (the cooperative
+// poll on the compute path), and Done() closes at the shared expiry (the
+// blocking select on the coalescer wait path).
+type DeadlineWheel struct {
+	timeout time.Duration
+	granule time.Duration
+	cur     atomic.Pointer[wheelBucket]
+}
+
+// wheelShards is how many expiry channels a bucket fans out over. A
+// blocking select registers (and on wake unregisters) on its channel's
+// internal lock; with every in-flight request sharing one channel that
+// lock is a global serialization point — round-robin over 16 shards makes
+// it contention-free at serving concurrency. One timer still closes them
+// all.
+const wheelShards = 16
+
+type wheelBucket struct {
+	expiry int64 // unix nanoseconds; the shared, granule-aligned deadline
+	chs    [wheelShards]chan struct{}
+	// ctxs are pre-built contexts over context.Background(), one per
+	// shard: the overwhelmingly common non-cancellable parent, served with
+	// zero per-request allocation.
+	ctxs  [wheelShards]*wheelCtx
+	timer *time.Timer
+}
+
+// NewDeadlineWheel returns a wheel issuing deadlines of at least timeout.
+// Returns nil (and Context always falls back) for timeout <= 0.
+func NewDeadlineWheel(timeout time.Duration) *DeadlineWheel {
+	if timeout <= 0 {
+		return nil
+	}
+	g := timeout / 8
+	if g < time.Millisecond {
+		g = time.Millisecond
+	}
+	return &DeadlineWheel{timeout: timeout, granule: g}
+}
+
+// Context returns a deadline context over parent from the shared wheel.
+// ok=false when parent carries cancellation or its own deadline — the
+// caller must use context.WithTimeout instead. The returned context needs
+// no cancel: it holds no per-request resources, and its shared timer fires
+// once per granule regardless.
+func (w *DeadlineWheel) Context(parent context.Context) (context.Context, bool) {
+	if w == nil || parent.Done() != nil {
+		return nil, false
+	}
+	if _, has := parent.Deadline(); has {
+		return nil, false
+	}
+	now := time.Now()
+	b := w.bucket(now)
+	// Shard selection from clock entropy already in hand (bits 6..: below
+	// them the clock quantizes, above them calls within a service time
+	// would collide) — no shared round-robin counter to bounce between
+	// cores.
+	idx := uint64(now.UnixNano()>>6) % wheelShards
+	if parent == context.Background() {
+		return b.ctxs[idx], true
+	}
+	return &wheelCtx{parent: parent, expiry: b.expiry, done: b.chs[idx]}, true
+}
+
+// bucket returns the current expiry bucket, rotating to a fresh one when
+// the cached bucket can no longer guarantee the full timeout.
+func (w *DeadlineWheel) bucket(now time.Time) *wheelBucket {
+	target := now.UnixNano() + int64(w.timeout)
+	for {
+		b := w.cur.Load()
+		if b != nil && b.expiry >= target && b.expiry < target+int64(w.granule) {
+			return b
+		}
+		g := int64(w.granule)
+		expiry := (target + g - 1) / g * g
+		nb := &wheelBucket{expiry: expiry}
+		for i := range nb.chs {
+			nb.chs[i] = make(chan struct{})
+			nb.ctxs[i] = &wheelCtx{parent: context.Background(), expiry: expiry, done: nb.chs[i]}
+		}
+		nb.timer = time.AfterFunc(time.Duration(expiry-now.UnixNano()), func() {
+			for _, ch := range nb.chs {
+				close(ch)
+			}
+		})
+		if w.cur.CompareAndSwap(b, nb) {
+			return nb
+		}
+		// Another goroutine rotated first; discard ours and retry with
+		// theirs (stopping the timer before the channel leaks a close).
+		nb.timer.Stop()
+	}
+}
+
+// wheelCtx is the context.Context handed out by the wheel: parent values,
+// a granule-aligned deadline, a shared expiry channel, and a lazy Err.
+type wheelCtx struct {
+	parent context.Context
+	expiry int64
+	done   <-chan struct{}
+}
+
+func (c *wheelCtx) Deadline() (time.Time, bool) { return time.Unix(0, c.expiry), true }
+func (c *wheelCtx) Done() <-chan struct{}       { return c.done }
+func (c *wheelCtx) Value(k any) any             { return c.parent.Value(k) }
+
+func (c *wheelCtx) Err() error {
+	if err := c.parent.Err(); err != nil {
+		return err
+	}
+	// The compute path polls Err per chunk: a non-blocking receive on the
+	// expiry channel is a lock-free check while the channel is open — no
+	// clock read per poll (expiry is the channel close, exactly what Done
+	// reports).
+	select {
+	case <-c.done:
+		return context.DeadlineExceeded
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,138 @@
+// Package failpoint is a build-tag-free fault-injection registry: named
+// hook points compiled permanently into production code paths (WAL file
+// operations, checkpoint publication, the truth oracle, the retrainer)
+// that tests arm with error returns, latency, or panics to drive the
+// fault-matrix suite.
+//
+// The design constraint is the disarmed cost, because the hooks sit on
+// serving and durability hot paths: Inject with nothing armed anywhere is
+// one atomic load of a counter that is zero, a predictable branch, and a
+// return — no map lookup, no interface value, no allocation. Only while at
+// least one failpoint is armed does Inject fall into the slow path that
+// resolves the name.
+//
+// A failpoint's action is an arbitrary func() error. Returning a non-nil
+// error injects that error at the hook; returning nil lets the call
+// proceed (useful for latency injection: sleep, return nil); panicking
+// propagates the panic out of Inject (how trainer-panic faults are
+// staged). Hits are counted either way.
+package failpoint
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// armed counts enabled failpoints process-wide. Inject's fast path reads
+// only this; the registry map is untouched until something is armed.
+var armed atomic.Int64
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+type point struct {
+	fn   func() error
+	hits atomic.Uint64
+}
+
+// Enable arms the named failpoint with an action. Re-enabling replaces the
+// action and keeps the hit count. Actions run on the goroutine that hits
+// the failpoint and must be safe for concurrent calls.
+func Enable(name string, fn func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		p.fn = fn
+		return
+	}
+	points[name] = &point{fn: fn}
+	armed.Add(1)
+}
+
+// EnableError arms the named failpoint to return err on every hit.
+func EnableError(name string, err error) {
+	Enable(name, func() error { return err })
+}
+
+// Disable disarms the named failpoint. Unknown names are a no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// DisableAll disarms every failpoint — test teardown.
+func DisableAll() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int64(len(points)))
+	clear(points)
+}
+
+// Inject runs the named failpoint's armed action and returns its error.
+// With nothing armed (production), it is one atomic load and a return.
+func Inject(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return inject(name)
+}
+
+// inject is the armed slow path, kept out of Inject so the disarmed fast
+// path stays inlinable.
+func inject(name string) error {
+	mu.Lock()
+	p, ok := points[name]
+	mu.Unlock()
+	if !ok {
+		return nil
+	}
+	p.hits.Add(1)
+	return p.fn()
+}
+
+// Hits reports how many times the named failpoint fired since it was first
+// enabled (0 for unknown or disarmed names — counts do not survive
+// Disable).
+func Hits(name string) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.hits.Load()
+	}
+	return 0
+}
+
+// Names of the failpoints compiled into the repository, in one place so
+// tests and the hooks themselves cannot drift apart on spelling.
+const (
+	// WALAppend fires at the head of WAL.Append, before the record is
+	// framed: an injected error simulates an append-time I/O failure
+	// (ENOSPC at the write syscall).
+	WALAppend = "durable/wal-append"
+	// WALFlush fires inside the WAL's flush step, where buffered records
+	// hit the file: an injected error simulates the disk filling up under
+	// the background syncer or a segment roll.
+	WALFlush = "durable/wal-flush"
+	// WALSync fires before the WAL fsyncs a flushed segment.
+	WALSync = "durable/wal-sync"
+	// CheckpointRename fires before a completed checkpoint temp directory
+	// is renamed into place — the atomic publication step.
+	CheckpointRename = "durable/checkpoint-rename"
+	// OracleCardinality / OracleContainment fire in the truth oracle the
+	// trainer labels feedback pairs with (and SeedPool seeds from).
+	OracleCardinality = "oracle/cardinality"
+	OracleContainment = "oracle/containment"
+	// TrainerRetrain fires inside a retrain cycle after feedback is
+	// drained; arm it with a panicking action to stage a trainer crash.
+	TrainerRetrain = "online/trainer-retrain"
+	// EstimateCards fires at the head of the pool-based estimate path;
+	// arming it with errors simulates an estimate-path error storm (the
+	// circuit breaker's trip input), with a sleep a latency storm.
+	EstimateCards = "card/estimate"
+)

@@ -1,0 +1,107 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInjectDisarmedIsNil(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Inject("nothing/armed"); err != nil {
+		t.Fatalf("disarmed inject: %v", err)
+	}
+}
+
+func TestEnableErrorAndDisable(t *testing.T) {
+	t.Cleanup(DisableAll)
+	boom := errors.New("boom")
+	EnableError("x/y", boom)
+	if err := Inject("x/y"); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	// Arming one point must not affect others.
+	if err := Inject("x/other"); err != nil {
+		t.Fatalf("unarmed sibling: %v", err)
+	}
+	if Hits("x/y") != 1 {
+		t.Fatalf("hits: %d", Hits("x/y"))
+	}
+	Disable("x/y")
+	if err := Inject("x/y"); err != nil {
+		t.Fatalf("after disable: %v", err)
+	}
+}
+
+func TestEnableCountdown(t *testing.T) {
+	// A stateful action: fail the first 2 hits, then recover — the shape
+	// degraded-durability tests use to model a disk that comes back.
+	t.Cleanup(DisableAll)
+	left := 2
+	Enable("disk/full", func() error {
+		if left > 0 {
+			left--
+			return errors.New("ENOSPC")
+		}
+		return nil
+	})
+	if Inject("disk/full") == nil || Inject("disk/full") == nil {
+		t.Fatalf("first two hits must fail")
+	}
+	if err := Inject("disk/full"); err != nil {
+		t.Fatalf("third hit should pass: %v", err)
+	}
+	if Hits("disk/full") != 3 {
+		t.Fatalf("hits: %d", Hits("disk/full"))
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	t.Cleanup(DisableAll)
+	Enable("slow/op", func() error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	start := time.Now()
+	if err := Inject("slow/op"); err != nil {
+		t.Fatalf("latency injection must not error: %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatalf("sleep did not happen")
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	t.Cleanup(DisableAll)
+	Enable("trainer/crash", func() error { panic("injected") })
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("panic must propagate out of Inject")
+		}
+	}()
+	_ = Inject("trainer/crash")
+}
+
+func TestDisableAllRearms(t *testing.T) {
+	t.Cleanup(DisableAll)
+	EnableError("a", errors.New("a"))
+	EnableError("b", errors.New("b"))
+	DisableAll()
+	if Inject("a") != nil || Inject("b") != nil {
+		t.Fatalf("DisableAll must disarm everything")
+	}
+	EnableError("a", errors.New("a2"))
+	if Inject("a") == nil {
+		t.Fatalf("re-arming after DisableAll must work")
+	}
+}
+
+func BenchmarkInjectDisarmed(b *testing.B) {
+	DisableAll()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Inject(WALAppend) != nil {
+			b.Fatal("disarmed inject errored")
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateShedsBeyondCeiling(t *testing.T) {
+	g := NewGate(2)
+	if err := g.Acquire(); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := g.Acquire(); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if err := g.Acquire(); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third acquire: want ErrOverloaded, got %v", err)
+	}
+	g.Release()
+	if err := g.Acquire(); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	st := g.Stats()
+	if st.Admitted != 3 || st.Shed != 1 || st.Inflight != 2 || st.MaxInflight != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.PeakInflight != 2 {
+		t.Fatalf("peak: %+v", st)
+	}
+}
+
+func TestGateNilAndUnlimited(t *testing.T) {
+	if g := NewGate(0); g != nil {
+		t.Fatalf("NewGate(0) should be nil (unlimited)")
+	}
+	var g *Gate
+	for i := 0; i < 100; i++ {
+		if err := g.Acquire(); err != nil {
+			t.Fatalf("nil gate must admit: %v", err)
+		}
+	}
+	g.Release()
+	if st := g.Stats(); st != (GateStats{}) {
+		t.Fatalf("nil gate stats: %+v", st)
+	}
+}
+
+// TestGateConcurrent hammers the gate from many goroutines and checks the
+// inflight invariant never exceeds the ceiling and accounting balances.
+func TestGateConcurrent(t *testing.T) {
+	const ceiling = 8
+	g := NewGate(ceiling)
+	var wg sync.WaitGroup
+	var maxSeen atomic.Int64
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if g.Acquire() != nil {
+					continue
+				}
+				n := g.inflight.Load()
+				for {
+					m := maxSeen.Load()
+					if n <= m || maxSeen.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				g.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := maxSeen.Load(); n > ceiling {
+		t.Fatalf("observed %d inflight, ceiling %d", n, ceiling)
+	}
+	st := g.Stats()
+	if st.Inflight != 0 {
+		t.Fatalf("inflight should drain to zero: %+v", st)
+	}
+	if st.Admitted+st.Shed != 64*200 {
+		t.Fatalf("admitted %d + shed %d != %d", st.Admitted, st.Shed, 64*200)
+	}
+}
+
+func TestBreakerTripsOnErrorRate(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Window: 10, MinSamples: 4, ErrorRate: 0.5, Cooldown: time.Hour})
+	for i := 0; i < 3; i++ {
+		b.Record(time.Millisecond, true)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("should not trip below MinSamples")
+	}
+	b.Record(time.Millisecond, true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("should trip at 4/4 failures, state %v", b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatalf("open breaker must divert")
+	}
+	st := b.Stats()
+	if st.Trips != 1 || st.Diverted != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Window: 8, MinSamples: 2, ErrorRate: 0.5, Cooldown: time.Minute, ProbeQuota: 2})
+	clock := time.Unix(1000, 0)
+	b.now = func() time.Time { return clock }
+
+	b.Record(time.Millisecond, true)
+	b.Record(time.Millisecond, true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("want open, got %v", b.State())
+	}
+
+	// Before cooldown: diverted.
+	if ok, _ := b.Allow(); ok {
+		t.Fatalf("should divert during cooldown")
+	}
+	clock = clock.Add(2 * time.Minute)
+
+	// After cooldown: exactly ProbeQuota probes admitted, the rest diverted.
+	ok1, probe1 := b.Allow()
+	ok2, probe2 := b.Allow()
+	if !ok1 || !probe1 || !ok2 || !probe2 {
+		t.Fatalf("want two probes, got (%v,%v) (%v,%v)", ok1, probe1, ok2, probe2)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatalf("probe quota exhausted, should divert")
+	}
+	b.RecordProbe(time.Millisecond, false)
+	b.RecordProbe(time.Millisecond, false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("want closed after probe quota, got %v", b.State())
+	}
+	if st := b.Stats(); st.Closes != 1 || st.WindowSamples != 0 {
+		t.Fatalf("window should reset on close: %+v", st)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Window: 8, MinSamples: 2, ErrorRate: 0.5, Cooldown: time.Minute, ProbeQuota: 3})
+	clock := time.Unix(1000, 0)
+	b.now = func() time.Time { return clock }
+	b.Record(0, true)
+	b.Record(0, true)
+	clock = clock.Add(2 * time.Minute)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatalf("want probe")
+	}
+	b.RecordProbe(0, true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("probe failure must reopen, got %v", b.State())
+	}
+	// Reopened: a fresh cooldown starts from the failure.
+	if ok, _ := b.Allow(); ok {
+		t.Fatalf("should divert after reopen")
+	}
+}
+
+func TestBreakerAlarmTrip(t *testing.T) {
+	alarm := false
+	b := NewBreaker(BreakerConfig{Cooldown: time.Hour, Alarm: func() bool { return alarm }})
+	if ok, _ := b.Allow(); !ok {
+		t.Fatalf("healthy breaker must allow")
+	}
+	alarm = true
+	if ok, _ := b.Allow(); ok {
+		t.Fatalf("alarm must trip and divert")
+	}
+	if st := b.Stats(); st.AlarmTrips != 1 || st.State != "open" {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestBreakerLatencyTrip(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Window: 8, MinSamples: 4, ErrorRate: 0.99, LatencyP99: 10 * time.Millisecond, Cooldown: time.Hour})
+	for i := 0; i < 3; i++ {
+		b.Record(time.Millisecond, false)
+	}
+	b.Record(50*time.Millisecond, false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("p99 over threshold must trip, got %v", b.State())
+	}
+}
+
+func TestBreakerNil(t *testing.T) {
+	var b *Breaker
+	if ok, probe := b.Allow(); !ok || probe {
+		t.Fatalf("nil breaker must allow, not probe")
+	}
+	b.Record(0, true)
+	b.RecordProbe(0, true)
+	b.Trip()
+	if b.State() != BreakerClosed {
+		t.Fatalf("nil breaker state")
+	}
+	if st := b.Stats(); st.State != "closed" {
+		t.Fatalf("nil stats: %+v", st)
+	}
+}
+
+func TestDeadlineWheelEnforcesTimeout(t *testing.T) {
+	w := NewDeadlineWheel(20 * time.Millisecond)
+	ctx, ok := w.Context(context.Background())
+	if !ok {
+		t.Fatal("wheel must serve a Background parent")
+	}
+	dl, has := ctx.Deadline()
+	if !has {
+		t.Fatal("wheel context must carry a deadline")
+	}
+	// At least the configured timeout, at most one granule of slack
+	// (granule floor is 1ms for timeouts under 8ms).
+	if until := time.Until(dl); until < 15*time.Millisecond || until > 30*time.Millisecond {
+		t.Fatalf("deadline %v from now, want ~[20ms, 23ms)", until)
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("premature Err: %v", ctx.Err())
+	}
+	select {
+	case <-ctx.Done():
+		t.Fatal("Done closed before the deadline")
+	default:
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(100 * time.Millisecond):
+		t.Fatal("Done never closed after the deadline")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err after deadline = %v, want DeadlineExceeded", ctx.Err())
+	}
+}
+
+func TestDeadlineWheelSharesBuckets(t *testing.T) {
+	w := NewDeadlineWheel(time.Second)
+	a, _ := w.Context(context.Background())
+	b, _ := w.Context(context.Background())
+	da, _ := a.Deadline()
+	db, _ := b.Deadline()
+	if !da.Equal(db) {
+		t.Fatal("back-to-back requests must share one expiry bucket")
+	}
+	// Expiry channels come from the bucket's fixed shard set — reused
+	// across requests in a granule, never allocated per request.
+	distinct := map[<-chan struct{}]bool{a.Done(): true, b.Done(): true}
+	for i := 0; i < 200; i++ {
+		c, _ := w.Context(context.Background())
+		distinct[c.Done()] = true
+	}
+	if len(distinct) > wheelShards {
+		t.Fatalf("%d distinct expiry channels in one granule, want <= %d shards", len(distinct), wheelShards)
+	}
+}
+
+func TestDeadlineWheelRejectsCancellableParents(t *testing.T) {
+	w := NewDeadlineWheel(time.Second)
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, ok := w.Context(cctx); ok {
+		t.Fatal("a cancellable parent needs real cancel propagation; wheel must decline")
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Minute)
+	defer dcancel()
+	if _, ok := w.Context(dctx); ok {
+		t.Fatal("a parent with its own deadline must decline")
+	}
+	if _, ok := NewDeadlineWheel(0).Context(context.Background()); ok {
+		t.Fatal("nil wheel (timeout 0) must decline")
+	}
+}
+
+func TestDeadlineWheelParentValues(t *testing.T) {
+	type key struct{}
+	parent := context.WithValue(context.Background(), key{}, "v")
+	w := NewDeadlineWheel(time.Second)
+	ctx, ok := w.Context(parent)
+	if !ok {
+		t.Fatal("value-only parents have nil Done; wheel must serve them")
+	}
+	if got := ctx.Value(key{}); got != "v" {
+		t.Fatalf("Value = %v, want parent's", got)
+	}
+}
+
+func TestBreakerWindowEviction(t *testing.T) {
+	// Old failures must age out of the ring: 4 failures then many
+	// successes should leave the failure count at 0.
+	b := NewBreaker(BreakerConfig{Window: 4, MinSamples: 100, ErrorRate: 0.5, Cooldown: time.Hour})
+	for i := 0; i < 4; i++ {
+		b.Record(0, true)
+	}
+	for i := 0; i < 4; i++ {
+		b.Record(0, false)
+	}
+	st := b.Stats()
+	if st.WindowFailures != 0 || st.WindowSamples != 4 {
+		t.Fatalf("eviction: %+v", st)
+	}
+}

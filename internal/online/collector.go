@@ -21,9 +21,11 @@ type Record struct {
 }
 
 // JournalFunc persists one validated feedback record before it is staged
-// and returns the log sequence number it was assigned. An error rejects the
-// record: a deployment that opted into durability must not accept feedback
-// it cannot make durable.
+// and returns the log sequence number it was assigned. An error degrades
+// the collector to in-memory staging (see Offer) rather than rejecting the
+// record: feedback is signal the workload paid real executions for, and
+// losing it to a full disk would be strictly worse than holding it in
+// memory until the disk recovers.
 type JournalFunc func(sql string, card int64, observedAt time.Time) (uint64, error)
 
 // Collector validates, deduplicates and stages execution feedback in a
@@ -46,14 +48,21 @@ type Collector struct {
 	keys    map[string]bool
 	journal JournalFunc // nil: in-memory only
 
-	accepted    atomic.Uint64
-	duplicates  atomic.Uint64
-	corrected   atomic.Uint64
-	invalid     atomic.Uint64
-	overflow    atomic.Uint64
-	drained     atomic.Uint64
-	journalErrs atomic.Uint64
-	appliedLSN  atomic.Uint64
+	// degraded marks durability degraded: a journal append failed, and
+	// until ReJournal succeeds new feedback is staged in memory only
+	// (LSN 0). The flag is the serving layer's durability_degraded signal.
+	degraded atomic.Bool
+
+	accepted     atomic.Uint64
+	duplicates   atomic.Uint64
+	corrected    atomic.Uint64
+	invalid      atomic.Uint64
+	overflow     atomic.Uint64
+	drained      atomic.Uint64
+	journalErrs  atomic.Uint64
+	appliedLSN   atomic.Uint64
+	degradedRecs atomic.Uint64
+	reupgrades   atomic.Uint64
 }
 
 // NewCollector creates a collector staging at most capacity records
@@ -122,15 +131,27 @@ func (c *Collector) Offer(q query.Query, card int64, observedAt time.Time) (bool
 		return false, nil
 	}
 	var lsn uint64
-	if c.journal != nil {
+	switch {
+	case c.journal == nil:
+		// In-memory deployment: nothing to journal.
+	case c.degraded.Load():
+		// Durability already degraded: don't hammer the broken disk on the
+		// feedback hot path — ReJournal's backoff loop owns the re-probe.
+		c.degradedRecs.Add(1)
+	default:
 		// Write-ahead: the record reaches the journal before the buffer, so
 		// a crash between here and the next checkpoint replays it. Journal
-		// failure rejects the feedback — accepting what cannot be made
-		// durable would silently narrow the durability contract.
+		// failure DEGRADES instead of rejecting: the record is staged with
+		// LSN 0 (in memory only, lost if we crash before ReJournal catches
+		// up — a bounded, flagged narrowing of the durability contract) and
+		// the degraded flag routes future feedback past the disk until a
+		// re-probe succeeds.
 		var err error
 		if lsn, err = c.journal(q.SQL(), card, observedAt); err != nil {
 			c.journalErrs.Add(1)
-			return false, fmt.Errorf("online: journal feedback: %w", err)
+			c.degraded.Store(true)
+			c.degradedRecs.Add(1)
+			lsn = 0
 		}
 	}
 	c.keys[key] = true
@@ -172,6 +193,45 @@ func (c *Collector) Restage(q query.Query, card int64, observedAt time.Time, lsn
 	c.staged = append(c.staged, Record{Q: q, Card: card, ObservedAt: observedAt, LSN: lsn})
 	c.accepted.Add(1)
 	return true, nil
+}
+
+// Degraded reports whether durability is degraded: journaling failed and
+// feedback since then is staged in memory only.
+func (c *Collector) Degraded() bool { return c.degraded.Load() }
+
+// ReJournal attempts to restore durability after a degradation: every
+// staged record accepted without a journal entry (LSN 0) is appended now,
+// oldest first, through the same journal hook. The journal calls double as
+// disk probes — the first failure aborts and keeps the collector degraded
+// for the next backoff round. Once every staged record is journaled (or
+// none needed it), the degraded flag clears and new feedback journals
+// inline again. It returns how many records were re-journaled.
+//
+// Records drained to the trainer while degraded are gone from the staging
+// buffer and cannot be re-journaled: a crash loses them. That bounded,
+// flagged loss window is the degraded-mode contract.
+func (c *Collector) ReJournal() (journaled int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil || !c.degraded.Load() {
+		return 0, nil
+	}
+	for i := range c.staged {
+		if c.staged[i].LSN != 0 {
+			continue
+		}
+		r := &c.staged[i]
+		lsn, jerr := c.journal(r.Q.SQL(), r.Card, r.ObservedAt)
+		if jerr != nil {
+			c.journalErrs.Add(1)
+			return journaled, fmt.Errorf("online: re-journal feedback: %w", jerr)
+		}
+		r.LSN = lsn
+		journaled++
+	}
+	c.degraded.Store(false)
+	c.reupgrades.Add(1)
+	return journaled, nil
 }
 
 // Drain removes and returns up to max staged records, oldest first
@@ -223,22 +283,31 @@ type CollectorStats struct {
 	Invalid    uint64 `json:"invalid"`
 	Overflow   uint64 `json:"overflow"`
 	Drained    uint64 `json:"drained"`
-	// JournalErrors counts feedback rejected because the durable journal
-	// append failed (zero in memory-only deployments).
-	JournalErrors uint64 `json:"journal_errors"`
+	// JournalErrors counts failed journal appends (zero in memory-only
+	// deployments). Degraded reports whether durability is degraded right
+	// now; DegradedAccepted counts feedback accepted in memory only while
+	// degraded, and Reupgrades counts successful returns to full
+	// durability.
+	JournalErrors    uint64 `json:"journal_errors"`
+	Degraded         bool   `json:"durability_degraded"`
+	DegradedAccepted uint64 `json:"degraded_accepted"`
+	Reupgrades       uint64 `json:"reupgrades"`
 }
 
 // Stats returns the ingestion counters.
 func (c *Collector) Stats() CollectorStats {
 	return CollectorStats{
-		Staged:        c.Staged(),
-		Capacity:      c.cap,
-		Accepted:      c.accepted.Load(),
-		Duplicates:    c.duplicates.Load(),
-		Corrected:     c.corrected.Load(),
-		Invalid:       c.invalid.Load(),
-		Overflow:      c.overflow.Load(),
-		Drained:       c.drained.Load(),
-		JournalErrors: c.journalErrs.Load(),
+		Staged:           c.Staged(),
+		Capacity:         c.cap,
+		Accepted:         c.accepted.Load(),
+		Duplicates:       c.duplicates.Load(),
+		Corrected:        c.corrected.Load(),
+		Invalid:          c.invalid.Load(),
+		Overflow:         c.overflow.Load(),
+		Drained:          c.drained.Load(),
+		JournalErrors:    c.journalErrs.Load(),
+		Degraded:         c.degraded.Load(),
+		DegradedAccepted: c.degradedRecs.Load(),
+		Reupgrades:       c.reupgrades.Load(),
 	}
 }

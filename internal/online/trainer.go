@@ -9,6 +9,7 @@ import (
 	"time"
 
 	icrn "crn/internal/crn"
+	"crn/internal/guard/failpoint"
 	"crn/internal/pool"
 	"crn/internal/query"
 	"crn/internal/workload"
@@ -53,6 +54,7 @@ type Trainer struct {
 	onPromote func(*Generation)
 
 	retrains       atomic.Uint64
+	panics         atomic.Uint64
 	promotions     atomic.Uint64
 	rejections     atomic.Uint64
 	driftRetrains  atomic.Uint64
@@ -90,12 +92,19 @@ func NewTrainer(cfg Config, box *ModelBox, col *Collector, p *pool.Pool, oracle 
 func (t *Trainer) SetOnPromote(fn func(*Generation)) { t.onPromote = fn }
 
 // Start launches the background loop. Starting twice is a no-op; Stop
-// tears the loop down.
+// tears the loop down. A panic escaping a scheduler iteration (RetrainNow
+// already absorbs its own) is counted and the loop restarted — background
+// adaptation must never take the process down.
 func (t *Trainer) Start() {
 	if t.started.Swap(true) {
 		return
 	}
-	go t.loop()
+	go func() {
+		defer close(t.done)
+		for !t.loop() {
+			t.panics.Add(1)
+		}
+	}()
 }
 
 // Stop terminates the background loop and waits for an in-flight retrain
@@ -118,8 +127,14 @@ func (t *Trainer) Kick() {
 
 // loop is the scheduler: a retrain runs every Interval when enough
 // feedback is staged, or immediately on a kick with whatever is staged.
-func (t *Trainer) loop() {
-	defer close(t.done)
+// It reports true on clean shutdown; a recovered panic reports false so
+// Start's wrapper restarts it.
+func (t *Trainer) loop() (clean bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			clean = false
+		}
+	}()
 	var tick <-chan time.Time
 	if t.cfg.Interval > 0 {
 		ticker := time.NewTicker(t.cfg.Interval)
@@ -135,7 +150,7 @@ func (t *Trainer) loop() {
 	for {
 		select {
 		case <-t.stop:
-			return
+			return true
 		case <-tick:
 			// A drifted window lowers the bar to "anything staged": the
 			// trip itself kicks only once (edge-triggered), so sustained
@@ -167,6 +182,18 @@ func (t *Trainer) loop() {
 func (t *Trainer) RetrainNow(ctx context.Context) (promoted bool, err error) {
 	t.trainMu.Lock()
 	defer t.trainMu.Unlock()
+	// A panicking cycle (a bug in labeling or training, or an injected
+	// fault) must not take the process down: serving never depends on a
+	// retrain completing. The panic becomes a counted error; the drained
+	// records are lost to training but remain in the pool and journal.
+	defer func() {
+		if r := recover(); r != nil {
+			t.panics.Add(1)
+			t.trainErrors.Add(1)
+			promoted = false
+			err = fmt.Errorf("online: retrain cycle panicked: %v", r)
+		}
+	}()
 	if t.pool == nil {
 		// A configuration error, not a crash: the estimator side reports
 		// the nil pool on its own paths, and staged feedback stays staged.
@@ -178,6 +205,10 @@ func (t *Trainer) RetrainNow(ctx context.Context) (promoted bool, err error) {
 		return false, nil
 	}
 	t.retrains.Add(1)
+	if err := failpoint.Inject(failpoint.TrainerRetrain); err != nil {
+		t.trainErrors.Add(1)
+		return false, fmt.Errorf("online: retrain: %w", err)
+	}
 
 	// Feedback is ground truth: every record becomes a pool entry, so the
 	// Cnt2Crd technique can use it immediately (this alone sharpens
@@ -492,9 +523,12 @@ func cloneModel(m *icrn.Model) (*icrn.Model, error) {
 
 // TrainerStats is a point-in-time snapshot of the retraining loop.
 type TrainerStats struct {
-	Retrains      uint64 `json:"retrains"`
-	Promotions    uint64 `json:"promotions"`
-	Rejections    uint64 `json:"rejections"`
+	Retrains   uint64 `json:"retrains"`
+	Promotions uint64 `json:"promotions"`
+	Rejections uint64 `json:"rejections"`
+	// Panics counts retrain cycles (or scheduler iterations) that
+	// panicked, were recovered, and left serving untouched.
+	Panics        uint64 `json:"panics"`
 	DriftRetrains uint64 `json:"drift_retrains"`
 	// TrainErrors counts failed retrain cycles (clone/training/config
 	// failures); LabelErrors counts records whose pair labeling failed and
@@ -524,6 +558,7 @@ func (t *Trainer) Stats() TrainerStats {
 		Retrains:       t.retrains.Load(),
 		Promotions:     t.promotions.Load(),
 		Rejections:     t.rejections.Load(),
+		Panics:         t.panics.Load(),
 		DriftRetrains:  t.driftRetrains.Load(),
 		TrainErrors:    t.trainErrors.Load(),
 		LabelErrors:    t.labelErrors.Load(),

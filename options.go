@@ -6,6 +6,7 @@ import (
 	"crn/internal/card"
 	icrn "crn/internal/crn"
 	"crn/internal/datagen"
+	"crn/internal/guard"
 	"crn/internal/online"
 	"crn/internal/pool"
 )
@@ -133,6 +134,9 @@ type estimatorSettings struct {
 	dataDir       string
 	walSync       string
 	ckptRetain    int
+	maxInflight   int
+	reqTimeout    time.Duration
+	breaker       *guard.BreakerConfig
 }
 
 // EstimatorOption configures CardinalityEstimator and ImproveBaseline.
@@ -302,6 +306,42 @@ func WithWALSync(policy string) EstimatorOption {
 // without WithDataDir.
 func WithCheckpointRetain(n int) EstimatorOption {
 	return func(s *estimatorSettings) { s.ckptRetain = n }
+}
+
+// --- Operational guards -------------------------------------------------------
+
+// WithMaxInflight caps concurrent estimate calls at n: the (n+1)th
+// concurrent EstimateCardinality / EstimateCardinalityBatch call is shed
+// immediately with ErrOverloaded instead of queueing, so latency under
+// overload stays bounded by the admitted work. Shedding happens before the
+// coalescer and the estimation pass, so a shed request costs nothing.
+// n <= 0 (the default) leaves admission unlimited.
+func WithMaxInflight(n int) EstimatorOption {
+	return func(s *estimatorSettings) { s.maxInflight = n }
+}
+
+// WithRequestTimeout bounds every estimate call to d: the call's context
+// gets a deadline, so a slow pass fails with context.DeadlineExceeded (and
+// counts against the circuit breaker) instead of holding an admission slot
+// indefinitely. d <= 0 (the default) sets no deadline beyond the caller's.
+func WithRequestTimeout(d time.Duration) EstimatorOption {
+	return func(s *estimatorSettings) { s.reqTimeout = d }
+}
+
+// BreakerConfig tunes the estimate-path circuit breaker; see WithBreaker.
+// The zero value takes sensible defaults (window 128, error rate 0.5,
+// cooldown 5s, probe quota 3, latency trip off).
+type BreakerConfig = guard.BreakerConfig
+
+// WithBreaker arms a circuit breaker on the estimate path: when the rolling
+// window's error rate or p99 latency crosses its threshold — or the drift
+// monitor of an AdaptiveEstimator alarms (cfg.Alarm defaults to it there) —
+// the learned path is tripped open and estimates are answered by the
+// WithFallback estimator until half-open probes prove recovery. Without a
+// fallback, diverted estimates fail with ErrBreakerOpen. A degraded answer
+// beats a 500: the breaker never sheds, it reroutes.
+func WithBreaker(cfg BreakerConfig) EstimatorOption {
+	return func(s *estimatorSettings) { s.breaker = &cfg }
 }
 
 // WithCoalescing enables request coalescing on EstimateCardinality: up to

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // parallelBenchLoop drives est with single-query calls from pb, spreading
@@ -82,6 +83,68 @@ func BenchmarkEstimateCardinalitySoloCoalesced(b *testing.B) {
 		b.Fatalf("solo fast path served %d of %d serial requests; the bypass regressed", solo, b.N)
 	}
 }
+
+// BenchmarkEstimateCardinalityGuarded is BenchmarkEstimateCardinalityParallel
+// with the full operational-guard stack armed — admission gate, per-request
+// deadline, circuit breaker — on healthy traffic. The delta against the
+// unguarded parallel benchmark is the guard overhead on the happy path,
+// pinned at <= 5% in CI (BENCH_7); the post-run assertions prove the guards
+// stayed out of the way (nothing shed, breaker closed) so the measurement
+// really is overhead, not divergence onto the fallback path.
+func BenchmarkEstimateCardinalityGuarded(b *testing.B) {
+	est, queries := guardedBenchEnv(b)
+	var next atomic.Int64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		parallelBenchLoop(b, pb, est, queries, &next)
+	})
+	b.StopTimer()
+	gs := est.GuardStats()
+	if gs.Gate.Shed != 0 {
+		b.Fatalf("guarded benchmark shed %d requests; raise the ceiling, this must measure the happy path", gs.Gate.Shed)
+	}
+	if gs.Breaker.State != "closed" || gs.Breaker.Trips != 0 {
+		b.Fatalf("breaker left closed state on healthy traffic: %+v", gs.Breaker)
+	}
+}
+
+// guardedBenchEnv is parallelBenchEnv plus the operational guards at
+// serving-realistic settings: a ceiling far above the benchmark's
+// concurrency, a deadline far above any single estimate, and a
+// default-configured breaker.
+func guardedBenchEnv(b *testing.B) (*CardinalityEstimator, []Query) {
+	b.Helper()
+	batchBenchEnv(b)
+	guardedOnce.Do(func() {
+		base, err := batchSys.AnalyzeBaseline()
+		if err != nil {
+			guardedErr = err
+			return
+		}
+		guardedEst = batchSys.CardinalityEstimator(batchModel, batchPool,
+			WithFallback(base), WithCoalescing(64, 0),
+			WithMaxInflight(4096), WithRequestTimeout(time.Second),
+			WithBreaker(BreakerConfig{}))
+		ctx := context.Background()
+		for i := 0; i < 2; i++ {
+			if _, err := guardedEst.EstimateCardinalityBatch(ctx, batchQueries); err != nil {
+				guardedErr = err
+				return
+			}
+		}
+	})
+	if guardedErr != nil {
+		b.Fatal(guardedErr)
+	}
+	return guardedEst, batchQueries
+}
+
+var (
+	guardedOnce sync.Once
+	guardedEst  *CardinalityEstimator
+	guardedErr  error
+)
 
 // parallelBenchEnv returns the concurrent serving configuration: the same
 // trained system and pool as batchBenchEnv, but with request coalescing on

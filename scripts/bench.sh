@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the repository's performance benchmarks with -benchmem and
-# record the results (plus the frozen pre-PR-6 baseline) in BENCH_6.json,
+# record the results (plus the frozen pre-PR-7 baseline) in BENCH_7.json,
 # the perf trajectory file. Usage:
 #
 #   scripts/bench.sh [output.json]
@@ -13,30 +13,21 @@
 # large-pool benchmarks run at 20 iterations (a full-scan iteration at 50k
 # entries costs tens of milliseconds).
 #
-# PR 6 additions:
-#   - WALAppend/{none,interval,always}: one journaled feedback record per
-#     sync policy. "interval" (the default serving policy) is a buffered
-#     copy + CRC — the fsync belongs to the background syncer; "always"
-#     prices a group-commit fsync per record and is bounded by the
-#     device's sync latency, not this code.
-#   - RecoveryReplay: boot-time WAL replay throughput (decode + checksum
-#     + callback) over a 10k-record log.
-#   - RecordFeedback{Memory,Durable,DurableAlways}: the full feedback
-#     ingestion path (drift scoring, validation, dedup, staging) without a
-#     data dir, with the WAL at the default "interval" policy, and with
-#     fsync-per-record. The PR 6 acceptance gate is Durable within ~10% of
-#     Memory: at the default policy the journal adds only framing and a
-#     checksum to the hot path. These run at -benchtime 2000x so the
-#     buffered-append cost amortizes past cold-start noise.
+# PR 7 addition:
+#   - EstimateCardinalityGuarded: the parallel serving benchmark with the
+#     full operational-guard stack armed (admission gate, per-request
+#     deadline, circuit breaker) on healthy traffic. Its delta against
+#     EstimateCardinalityParallel is the guard overhead on the happy path;
+#     this script FAILS if the -4 point exceeds the unguarded -4 point by
+#     more than 5% (the PR 7 acceptance gate).
 #
-# The frozen baseline below is the PR 5 code measured on this machine
-# (BENCH_5.json results). The durability benchmarks did not exist before
-# PR 6 — RecordFeedbackMemory IS the reference point for
-# RecordFeedbackDurable, so none of them carries a pre-PR baseline.
+# The frozen baseline below is the PR 6 code measured on this machine
+# (BENCH_6.json results). The guarded benchmark did not exist before PR 7 —
+# EstimateCardinalityParallel IS its reference point.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_7.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -46,8 +37,8 @@ echo "== compute-core benchmarks (training epoch, batched inference) ==" >&2
 go test ./internal/crn -run '^$' -bench 'TrainEpoch|PredictBatch|PredictShared' -benchmem -benchtime 10x | tee -a "$RAW"
 echo "== serving benchmarks (batched cardinality estimation) ==" >&2
 go test . -run '^$' -bench 'EstimateCardinality(Batch|SingleLoop)64' -benchmem -benchtime 20x | tee -a "$RAW"
-echo "== concurrent serving benchmarks (coalescing + solo bypass, -cpu 1,4) ==" >&2
-go test . -run '^$' -bench 'EstimateCardinality(Parallel|SoloCoalesced)' -cpu 1,4 -benchmem -benchtime 2s | tee -a "$RAW"
+echo "== concurrent serving benchmarks (coalescing + solo bypass + guards, -cpu 1,4) ==" >&2
+go test . -run '^$' -bench 'EstimateCardinality(Parallel|SoloCoalesced|Guarded)' -cpu 1,4 -benchmem -benchtime 2s | tee -a "$RAW"
 echo "== large-pool benchmarks (signature-indexed top-K vs full scan) ==" >&2
 go test . -run '^$' -bench 'EstimateCardinalityLargePool' -benchmem -benchtime 20x | tee -a "$RAW"
 echo "== saturated-pool eviction benchmarks (lazy min-heap vs linear scan) ==" >&2
@@ -59,13 +50,36 @@ go test ./internal/durable -run '^$' -bench 'WALAppend|RecoveryReplay' -benchmem
 echo "== durable feedback-path benchmarks (WAL overhead on ingestion) ==" >&2
 go test . -run '^$' -bench 'RecordFeedback' -benchmem -benchtime 2000x | tee -a "$RAW"
 
+# The PR 7 acceptance gate: guard overhead on the parallel serving point.
+# A dedicated -count 3 run comparing MINIMA — single-iteration deltas on a
+# shared machine swing +-20% from scheduler noise; the minimum of three is
+# the least-perturbed measurement of each side.
+echo "== guard-overhead gate (guarded vs unguarded, min of 3) ==" >&2
+GATE_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$GATE_RAW"' EXIT
+go test . -run '^$' -bench 'EstimateCardinality(Parallel$|Guarded)' -cpu 4 -benchtime 2s -count 3 | tee "$GATE_RAW" >&2
+awk '
+  $1 == "BenchmarkEstimateCardinalityParallel-4" { if (!u || $3 + 0 < u) u = $3 + 0 }
+  $1 == "BenchmarkEstimateCardinalityGuarded-4"  { if (!g || $3 + 0 < g) g = $3 + 0 }
+  END {
+    if (!u || !g) {
+      print "guard-overhead gate: missing benchmark results" > "/dev/stderr"; exit 1
+    }
+    pct = (g / u - 1) * 100
+    printf "guard overhead at -cpu 4: %.1f%% (guarded min %d ns/op vs unguarded min %d ns/op)\n", pct, g, u > "/dev/stderr"
+    if (g > u * 1.05) {
+      print "guard-overhead gate FAILED: > 5%" > "/dev/stderr"; exit 1
+    }
+  }
+' "$GATE_RAW"
+
 # Render "BenchmarkFoo[-P]  N  ns/op  B/op  allocs/op" lines as JSON. The
-# GOMAXPROCS suffix is meaningful for the Parallel/Solo/Trainer benchmarks
-# (run at explicit -cpu settings) and stripped everywhere else.
+# GOMAXPROCS suffix is meaningful for the Parallel/Solo/Trainer/Guarded
+# benchmarks (run at explicit -cpu settings) and stripped everywhere else.
 RESULTS="$(awk '
   /^Benchmark/ {
     name = $1
-    if (name !~ /Parallel|Solo|Trainer/) sub(/-[0-9]+$/, "", name)
+    if (name !~ /Parallel|Solo|Trainer|Guarded/) sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
     ns = ""; bytes = ""; allocs = ""
     for (i = 2; i < NF; i++) {
@@ -87,42 +101,49 @@ CPU="$(awk -F': *' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null ||
 
 cat > "$OUT" <<EOF
 {
-  "pr": 6,
-  "description": "Durable deployment state: segmented checksummed feedback WAL, atomic generation checkpoints with retention, point-in-time crash recovery; label-free containment labeling from the cardinality identity",
+  "pr": 7,
+  "description": "Operational hardening: admission control with load shedding, circuit-breaker fallback routing, degraded-mode durability with automatic re-upgrade, build-tag-free fault-injection registry",
   "date": "$DATE",
   "go": "$GOVERSION",
   "cpu": "$CPU",
-  "baseline_commit": "6509840",
+  "baseline_commit": "6e8b2c5",
   "baseline": {
-    "_comment": "pre-PR-6 measurements on the same machine: BENCH_5.json results. The WAL/recovery/feedback-path benchmarks are new in PR 6; RecordFeedbackMemory is RecordFeedbackDurable's reference.",
-    "MatMul128": {"ns_per_op": 669787, "bytes_per_op": 0, "allocs_per_op": 0},
-    "MatMulBatchForward": {"ns_per_op": 895913, "bytes_per_op": 0, "allocs_per_op": 0},
-    "DenseForwardBackward": {"ns_per_op": 1779556, "bytes_per_op": 196704, "allocs_per_op": 4},
-    "SetEncoderForward": {"ns_per_op": 744514, "bytes_per_op": 196704, "allocs_per_op": 4},
-    "AdamStep": {"ns_per_op": 471987, "bytes_per_op": 0, "allocs_per_op": 0},
-    "TrainEpoch": {"ns_per_op": 105327823, "bytes_per_op": 677825, "allocs_per_op": 159},
-    "PredictBatch": {"ns_per_op": 4672811, "bytes_per_op": 217635, "allocs_per_op": 4},
-    "PredictShared": {"ns_per_op": 12556516, "bytes_per_op": 449401, "allocs_per_op": 19},
-    "EstimateCardinalityBatch64": {"ns_per_op": 282028, "bytes_per_op": 122880, "allocs_per_op": 122},
-    "EstimateCardinalitySingleLoop64": {"ns_per_op": 359164, "bytes_per_op": 132354, "allocs_per_op": 842},
-    "EstimateCardinalityParallel": {"ns_per_op": 6371, "bytes_per_op": 2165, "allocs_per_op": 14},
-    "EstimateCardinalityParallel-4": {"ns_per_op": 8143, "bytes_per_op": 2206, "allocs_per_op": 11},
-    "EstimateCardinalityParallelNoCoalesce": {"ns_per_op": 6033, "bytes_per_op": 2068, "allocs_per_op": 13},
-    "EstimateCardinalityParallelNoCoalesce-4": {"ns_per_op": 9595, "bytes_per_op": 2068, "allocs_per_op": 13},
-    "EstimateCardinalitySoloCoalesced": {"ns_per_op": 7710, "bytes_per_op": 2164, "allocs_per_op": 14},
-    "EstimateCardinalitySoloCoalesced-4": {"ns_per_op": 9659, "bytes_per_op": 2164, "allocs_per_op": 14},
-    "EstimateCardinalityLargePool/entries=1000/full": {"ns_per_op": 1148442, "bytes_per_op": 333528, "allocs_per_op": 27},
-    "EstimateCardinalityLargePool/entries=1000/k=64": {"ns_per_op": 116512, "bytes_per_op": 31088, "allocs_per_op": 28},
-    "EstimateCardinalityLargePool/entries=10000/full": {"ns_per_op": 18563897, "bytes_per_op": 3316616, "allocs_per_op": 62},
-    "EstimateCardinalityLargePool/entries=10000/k=64": {"ns_per_op": 413248, "bytes_per_op": 31088, "allocs_per_op": 28},
-    "EstimateCardinalityLargePool/entries=50000/full": {"ns_per_op": 58705519, "bytes_per_op": 16360200, "allocs_per_op": 164},
-    "EstimateCardinalityLargePool/entries=50000/k=64": {"ns_per_op": 2396611, "bytes_per_op": 31090, "allocs_per_op": 28},
-    "AddSaturated/entries=1000": {"ns_per_op": 481.3, "bytes_per_op": 32, "allocs_per_op": 1},
-    "AddSaturated/entries=10000": {"ns_per_op": 984.9, "bytes_per_op": 32, "allocs_per_op": 1},
-    "AddSaturated/entries=50000": {"ns_per_op": 1780, "bytes_per_op": 32, "allocs_per_op": 1},
-    "AddSaturatedWithSelection": {"ns_per_op": 41319, "bytes_per_op": 2290, "allocs_per_op": 2},
-    "EstimateCardinalityTrainerIdle-4": {"ns_per_op": 10445, "bytes_per_op": 2216, "allocs_per_op": 10},
-    "EstimateCardinalityTrainerActive-4": {"ns_per_op": 10521, "bytes_per_op": 2622, "allocs_per_op": 10}
+    "_comment": "pre-PR-7 measurements on the same machine: BENCH_6.json results. EstimateCardinalityGuarded is new in PR 7; EstimateCardinalityParallel is its reference (gate: guarded within 5% of unguarded at -cpu 4).",
+    "MatMul128": {"ns_per_op": 636914, "bytes_per_op": 0, "allocs_per_op": 0},
+    "MatMulBatchForward": {"ns_per_op": 889223, "bytes_per_op": 0, "allocs_per_op": 0},
+    "DenseForwardBackward": {"ns_per_op": 1833472, "bytes_per_op": 196704, "allocs_per_op": 4},
+    "SetEncoderForward": {"ns_per_op": 614574, "bytes_per_op": 196704, "allocs_per_op": 4},
+    "AdamStep": {"ns_per_op": 434833, "bytes_per_op": 0, "allocs_per_op": 0},
+    "TrainEpoch": {"ns_per_op": 111865761, "bytes_per_op": 677825, "allocs_per_op": 159},
+    "PredictBatch": {"ns_per_op": 4785421, "bytes_per_op": 217635, "allocs_per_op": 4},
+    "PredictShared": {"ns_per_op": 13162969, "bytes_per_op": 449401, "allocs_per_op": 19},
+    "EstimateCardinalityBatch64": {"ns_per_op": 334981, "bytes_per_op": 122880, "allocs_per_op": 122},
+    "EstimateCardinalitySingleLoop64": {"ns_per_op": 365167, "bytes_per_op": 132354, "allocs_per_op": 842},
+    "EstimateCardinalityParallel": {"ns_per_op": 7046, "bytes_per_op": 2165, "allocs_per_op": 14},
+    "EstimateCardinalityParallel-4": {"ns_per_op": 10020, "bytes_per_op": 2215, "allocs_per_op": 10},
+    "EstimateCardinalityParallelNoCoalesce": {"ns_per_op": 6488, "bytes_per_op": 2068, "allocs_per_op": 13},
+    "EstimateCardinalityParallelNoCoalesce-4": {"ns_per_op": 10169, "bytes_per_op": 2068, "allocs_per_op": 13},
+    "EstimateCardinalitySoloCoalesced": {"ns_per_op": 7788, "bytes_per_op": 2164, "allocs_per_op": 14},
+    "EstimateCardinalitySoloCoalesced-4": {"ns_per_op": 10770, "bytes_per_op": 2164, "allocs_per_op": 14},
+    "EstimateCardinalityLargePool/entries=1000/full": {"ns_per_op": 1764626, "bytes_per_op": 333528, "allocs_per_op": 27},
+    "EstimateCardinalityLargePool/entries=1000/k=64": {"ns_per_op": 161241, "bytes_per_op": 31088, "allocs_per_op": 28},
+    "EstimateCardinalityLargePool/entries=10000/full": {"ns_per_op": 15061763, "bytes_per_op": 3316616, "allocs_per_op": 62},
+    "EstimateCardinalityLargePool/entries=10000/k=64": {"ns_per_op": 536676, "bytes_per_op": 31088, "allocs_per_op": 28},
+    "EstimateCardinalityLargePool/entries=50000/full": {"ns_per_op": 74221404, "bytes_per_op": 16360200, "allocs_per_op": 164},
+    "EstimateCardinalityLargePool/entries=50000/k=64": {"ns_per_op": 3109080, "bytes_per_op": 31088, "allocs_per_op": 28},
+    "AddSaturated/entries=1000": {"ns_per_op": 450.3, "bytes_per_op": 32, "allocs_per_op": 1},
+    "AddSaturated/entries=10000": {"ns_per_op": 881.2, "bytes_per_op": 32, "allocs_per_op": 1},
+    "AddSaturated/entries=50000": {"ns_per_op": 2943, "bytes_per_op": 32, "allocs_per_op": 1},
+    "AddSaturatedWithSelection": {"ns_per_op": 52643, "bytes_per_op": 2290, "allocs_per_op": 2},
+    "EstimateCardinalityTrainerIdle-4": {"ns_per_op": 10731, "bytes_per_op": 2219, "allocs_per_op": 10},
+    "EstimateCardinalityTrainerActive-4": {"ns_per_op": 13856, "bytes_per_op": 2649, "allocs_per_op": 9},
+    "WALAppend/none": {"ns_per_op": 3905, "bytes_per_op": 584, "allocs_per_op": 4},
+    "WALAppend/interval": {"ns_per_op": 3335, "bytes_per_op": 586, "allocs_per_op": 4},
+    "WALAppend/always": {"ns_per_op": 195712, "bytes_per_op": 168, "allocs_per_op": 4},
+    "RecoveryReplay": {"ns_per_op": 2733460, "bytes_per_op": 3765279, "allocs_per_op": 20043},
+    "RecordFeedbackMemory": {"ns_per_op": 15439, "bytes_per_op": 5016, "allocs_per_op": 19},
+    "RecordFeedbackDurable": {"ns_per_op": 14953, "bytes_per_op": 5497, "allocs_per_op": 21},
+    "RecordFeedbackDurableAlways": {"ns_per_op": 231422, "bytes_per_op": 5112, "allocs_per_op": 21}
   },
   "results": {
 $RESULTS
