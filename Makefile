@@ -16,11 +16,13 @@ race:
 
 # bench runs the nn-kernel, compute-core and serving benchmarks (including
 # the concurrent serving benchmarks at -cpu 1,4, the large-pool top-K
-# benchmarks, the saturated-pool eviction benchmarks, the feedback-loop
-# trainer-idle/active benchmarks, the PR 6 durability benchmarks and the
-# PR 7 guarded serving benchmark with its <= 5% overhead gate) with
-# -benchmem and records results (plus the frozen pre-PR baseline) in
-# BENCH_7.json.
+# benchmarks with the inverted index on AND off plus batch-level candidate
+# sharing, the saturated-pool eviction benchmarks, the feedback-loop
+# trainer-idle/active benchmarks, the PR 6 durability benchmarks, the PR 7
+# guarded serving benchmark with its <= 5% overhead gate, and the PR 8
+# index gate: indexed selection >= 5x the linear scan at 50k entries and
+# <= 5% over it at 1k) with -benchmem and records results (plus the frozen
+# pre-PR baseline) in BENCH_8.json.
 bench:
 	scripts/bench.sh
 
@@ -29,7 +31,8 @@ bench:
 # coalescer, pool-index, adaptation-loop or durability changes still
 # execute. The parallel serving benchmarks run at -cpu 1,4 so both the
 # single- and multi-GOMAXPROCS dispatch paths execute; the large-pool
-# benchmarks exercise signature selection and the solo bypass once per size
+# benchmarks exercise inverted-index selection, the index-off linear scan,
+# the unbounded full scan and batch-level candidate sharing once per size
 # point; the trainer benchmarks run one whole retrain/promotion cycle under
 # estimate traffic, the pool benchmarks one heap eviction per size, the
 # WAL benchmarks one append per sync policy plus a full 10k-record

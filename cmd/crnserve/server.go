@@ -243,10 +243,16 @@ type healthzResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Pool reports the candidate index and capacity bound: entries and FROM
 	// keys, configured capacity (0: unbounded), LRU evictions, bounded
-	// (top-K) selections and the candidates they scanned/truncated. All
-	// selection counters stay zero when -max-candidates is 0.
+	// (top-K) selections, the candidates they scanned/truncated, and the
+	// indexed-vs-linear split (index_hits / index_fallbacks routing,
+	// scanned_indexed / scanned_fallback cost). All selection counters stay
+	// zero when -max-candidates is 0.
 	Pool     crn.PoolStats     `json:"pool"`
 	RepCache crn.RepCacheStats `json:"rep_cache"`
+	// Selection reports batch-level candidate sharing: candidate selections
+	// requested vs answered by reusing an earlier selection of the same
+	// batch. Shared stays zero without -share-candidates.
+	Selection crn.SelectionStats `json:"selection"`
 	// Coalescer reports request-coalescing effectiveness: calls vs batch
 	// executions, average and max batch size (batched_items / batches),
 	// dedup hits, and abandons. All zeros when -coalesce-batch < 2.
@@ -445,6 +451,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:   time.Since(s.started).Seconds(),
 		Pool:            s.pool.Stats(),
 		RepCache:        s.est.CacheStats(),
+		Selection:       s.est.SelectionStats(),
 		Coalescer:       s.est.CoalescerStats(),
 		EstimateLatency: s.estimateLatency.snapshot(),
 		BatchLatency:    s.batchLatency.snapshot(),

@@ -404,6 +404,14 @@ func (e *CardinalityEstimator) CoalescerStats() CoalescerStats {
 	return e.coal.Stats()
 }
 
+// SelectionStats reports batch-level candidate-sharing counters: how many
+// per-probe candidate selections the estimator performed and how many were
+// answered by reusing an earlier selection of the same batch. Shared stays
+// zero without WithSharedSelection.
+func (e *CardinalityEstimator) SelectionStats() SelectionStats {
+	return e.est.SelectionStats()
+}
+
 // GateStats reports admission-gate counters (see GuardStats).
 type GateStats = guard.GateStats
 

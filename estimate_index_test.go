@@ -1,0 +1,241 @@
+package crn
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// rebuildPool re-adds every entry of src into a fresh pool built with opts,
+// in ascending entry-ID order so the rebuilt pool assigns the same relative
+// IDs and candidate-selection tie-breaks coincide with the original.
+func rebuildPool(sys *System, src *QueriesPool, opts ...PoolOption) *QueriesPool {
+	entries := src.Entries()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	dst := sys.NewQueriesPool(opts...)
+	for _, e := range entries {
+		dst.Add(e.Q, e.Card)
+	}
+	return dst
+}
+
+// TestIndexedSelectionEquivalence pins the PR 8 acceptance contract at the
+// facade: with a binding candidate bound, estimates over the default
+// (indexed) pool are bit-identical to estimates over the same entries with
+// WithIndexedSelection(false) — the exact PR 4 linear-scan behavior.
+func TestIndexedSelectionEquivalence(t *testing.T) {
+	ctx := context.Background()
+	sys, model, p, probes := topKFixture(t)
+	linear := rebuildPool(sys, p, WithIndexedSelection(false))
+
+	indexed := sys.CardinalityEstimator(model, p, WithMaxCandidates(4))
+	reference := sys.CardinalityEstimator(model, linear, WithMaxCandidates(4))
+
+	want, err := reference.EstimateCardinalityBatch(ctx, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := indexed.EstimateCardinalityBatch(ctx, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("indexed batch[%d] = %v, want %v (must be bit-identical to the linear scan)",
+				i, got[i], want[i])
+		}
+	}
+	for i, q := range probes {
+		single, err := indexed.EstimateCardinality(ctx, q)
+		if err != nil {
+			t.Fatalf("single %d: %v", i, err)
+		}
+		if single != want[i] {
+			t.Errorf("indexed single[%d] = %v, want %v", i, single, want[i])
+		}
+	}
+	// Both pools must have used the selection path their configuration
+	// promises.
+	if st := p.Stats(); st.IndexHits == 0 || st.ScannedFallback != 0 {
+		t.Errorf("default pool should serve bounded selection from the index: %+v", st)
+	}
+	if st := linear.Stats(); st.IndexHits != 0 || st.ScannedIndexed != 0 || st.ScannedFallback == 0 {
+		t.Errorf("index-off pool should scan linearly: %+v", st)
+	}
+}
+
+// TestSharedSelectionUnboundedExact pins the exact half of batch-level
+// candidate sharing: with an unbounded scan, probes sharing a FROM clause
+// receive the identical candidate set whether or not selection is shared,
+// so shared batch estimates are bit-identical to unshared ones — and the
+// sharing counters show the reuse actually happened.
+func TestSharedSelectionUnboundedExact(t *testing.T) {
+	ctx := context.Background()
+	sys, model, p, probes := topKFixture(t)
+
+	plain := sys.CardinalityEstimator(model, p)
+	shared := sys.CardinalityEstimator(model, p, WithSharedSelection(true))
+
+	want, err := plain.EstimateCardinalityBatch(ctx, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := shared.EstimateCardinalityBatch(ctx, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("shared batch[%d] = %v, want %v (unbounded sharing must be exact)", i, got[i], want[i])
+		}
+	}
+	st := shared.SelectionStats()
+	if st.Selections != uint64(len(probes)) {
+		t.Errorf("selections = %d, want %d", st.Selections, len(probes))
+	}
+	// Three of the four fixture probes share FROM "title": the first selects,
+	// the other two reuse.
+	if st.Shared != 2 {
+		t.Errorf("shared = %d, want 2 (probes sharing the title clause): %+v", st.Shared, st)
+	}
+	if ps := plain.SelectionStats(); ps.Shared != 0 {
+		t.Errorf("unshared estimator must never share: %+v", ps)
+	}
+}
+
+// TestSharedSelectionBounded exercises the approximate half: under a
+// binding top-K bound, probes sharing a FROM clause AND a signature pattern
+// reuse one ranked selection. The first probe of each share bucket must
+// still match the unshared estimate exactly, repeats must be deterministic,
+// and the stats must count one selection per bucket.
+func TestSharedSelectionBounded(t *testing.T) {
+	ctx := context.Background()
+	sys, model, p, _ := topKFixture(t)
+
+	// Five probes, two signature patterns: year-gt (x4, distinct values) and
+	// kind-eq (x1). Bounded sharing buckets the year-gt probes together.
+	probes := make([]Query, 0, 5)
+	for _, sql := range []string{
+		"SELECT * FROM title WHERE title.production_year > 1935",
+		"SELECT * FROM title WHERE title.production_year > 1950",
+		"SELECT * FROM title WHERE title.kind_id = 2",
+		"SELECT * FROM title WHERE title.production_year > 1961",
+		"SELECT * FROM title WHERE title.production_year > 1977",
+	} {
+		q, err := sys.ParseQuery(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probes = append(probes, q)
+	}
+
+	plain := sys.CardinalityEstimator(model, p, WithMaxCandidates(4))
+	shared := sys.CardinalityEstimator(model, p, WithMaxCandidates(4), WithSharedSelection(true))
+
+	want, err := plain.EstimateCardinalityBatch(ctx, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := shared.EstimateCardinalityBatch(ctx, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket leaders (first of each pattern) run their own selection and must
+	// agree exactly with the unshared estimator.
+	for _, i := range []int{0, 2} {
+		if got[i] != want[i] {
+			t.Errorf("bucket-leader probe %d: shared %v != unshared %v", i, got[i], want[i])
+		}
+	}
+	for i, v := range got {
+		if v < 0 {
+			t.Errorf("probe %d: negative estimate %v", i, v)
+		}
+	}
+	again, err := shared.EstimateCardinalityBatch(ctx, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Errorf("shared bounded estimate not deterministic: probe %d %v vs %v", i, got[i], again[i])
+		}
+	}
+	st := shared.SelectionStats()
+	if st.Selections != 2*uint64(len(probes)) {
+		t.Errorf("selections = %d, want %d", st.Selections, 2*len(probes))
+	}
+	// Per batch: 5 probes, 2 buckets -> 3 reuses; two batches ran.
+	if st.Shared != 6 {
+		t.Errorf("shared = %d, want 6: %+v", st.Shared, st)
+	}
+}
+
+// TestSharedSelectionSingleProbe: sharing must not change the solo path —
+// a one-probe batch has nothing to share and takes no share bookkeeping.
+func TestSharedSelectionSingleProbe(t *testing.T) {
+	ctx := context.Background()
+	sys, model, p, probes := topKFixture(t)
+	plain := sys.CardinalityEstimator(model, p)
+	shared := sys.CardinalityEstimator(model, p, WithSharedSelection(true))
+	want, err := plain.EstimateCardinality(ctx, probes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := shared.EstimateCardinality(ctx, probes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("solo shared estimate %v != %v", got, want)
+	}
+	if st := shared.SelectionStats(); st.Shared != 0 {
+		t.Errorf("solo estimate must not share: %+v", st)
+	}
+}
+
+// TestIndexedSelectionCoexistsWithEviction drives the facade loop the
+// serving deployment runs — record, estimate, record — on a bounded
+// indexed pool and checks against the same loop over a linear pool.
+func TestIndexedSelectionCoexistsWithEviction(t *testing.T) {
+	ctx := context.Background()
+	sys, model, p, probes := topKFixture(t)
+	// Two bounded twins seeded with the fixture pool's entries.
+	idxPool := rebuildPool(sys, p, WithPoolCap(30))
+	linPool := rebuildPool(sys, p, WithPoolCap(30), WithIndexedSelection(false))
+
+	indexed := sys.CardinalityEstimator(model, idxPool, WithMaxCandidates(4))
+	reference := sys.CardinalityEstimator(model, linPool, WithMaxCandidates(4))
+
+	// The cap-30 pools evict the few join-FROM entries; probe only the
+	// single-table clauses both pools are guaranteed to retain.
+	probes = probes[:3]
+	for round := 0; round < 6; round++ {
+		q, err := sys.ParseQuery(fmt.Sprintf(
+			"SELECT * FROM title WHERE title.production_year > %d AND title.kind_id = %d",
+			1900+7*round, round%3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same mutation on both pools (Add keeps tick clocks aligned).
+		idxPool.Add(q, int64(100+round))
+		linPool.Add(q, int64(100+round))
+		want, err := reference.EstimateCardinalityBatch(ctx, probes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := indexed.EstimateCardinalityBatch(ctx, probes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d probe %d: indexed %v != linear %v", round, i, got[i], want[i])
+			}
+		}
+	}
+	if st := idxPool.Stats(); st.Evictions == 0 {
+		t.Fatalf("bounded fixture never evicted: %+v", st)
+	}
+}

@@ -142,9 +142,16 @@ func (p *Pool) evictScanLocked() {
 // the evicted key. Callers hold the write lock.
 func (p *Pool) removeEntryLocked(from string, idx *fromIndex, pos int) {
 	e := idx.entries[pos]
+	sig := idx.sigs[pos]
 	key := e.Q.Key()
 	delete(p.byKey, key)
 	delete(idx.byID, e.ID)
+	if e.Card > 0 {
+		idx.nPos--
+	}
+	// After the byID delete: indexRemove's compaction decides liveness by
+	// byID membership.
+	idx.indexRemove(sig, e.ID)
 	last := len(idx.entries) - 1
 	if pos != last {
 		idx.entries[pos] = idx.entries[last]

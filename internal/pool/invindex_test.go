@@ -1,0 +1,386 @@
+package pool
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"crn/internal/query"
+	"crn/internal/sqlparse"
+)
+
+// randIndexSQL generates a random conjunctive query over the star schema
+// with deliberately overlapping predicate structure: a small column set,
+// tight value range and occasional joins, so pools built from it contain
+// recurring signature classes, value buckets, conflicts and join variants —
+// the full case surface of the inverted index.
+func randIndexSQL(r *rand.Rand) string {
+	cols := []string{"title.kind_id", "title.production_year", "title.season_nr", "title.episode_nr"}
+	ops := []string{"<", "=", ">"}
+	var preds []string
+	for n := 1 + r.Intn(3); n > 0; n-- {
+		preds = append(preds, fmt.Sprintf("%s %s %d",
+			cols[r.Intn(len(cols))], ops[r.Intn(len(ops))], r.Intn(40)))
+	}
+	if r.Intn(4) == 0 {
+		preds = append(preds, "title.id = cast_info.movie_id")
+		if r.Intn(2) == 0 {
+			preds = append(preds, fmt.Sprintf("cast_info.role_id = %d", r.Intn(6)))
+		}
+		return "SELECT * FROM cast_info, title WHERE " + strings.Join(preds, " AND ")
+	}
+	return "SELECT * FROM title WHERE " + strings.Join(preds, " AND ")
+}
+
+// mustTopKEqual asserts two TopK results are fully identical: same entries,
+// same order, same cardinalities.
+func mustTopKEqual(t *testing.T, ctx string, got, want []Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d entries, want %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Card != want[i].Card {
+			t.Fatalf("%s: entry %d = (ID %d, card %d), want (ID %d, card %d)",
+				ctx, i, got[i].ID, got[i].Card, want[i].ID, want[i].Card)
+		}
+	}
+}
+
+// TestIndexedTopKMatchesLinearScan pins the tentpole equivalence: for
+// random pools and probes, selection through the signature-class index
+// returns exactly — same set, same order, bit for bit — what the linear
+// scan returns, across every k regime (unbound, non-binding, binding,
+// k = 1).
+func TestIndexedTopKMatchesLinearScan(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	idxPool := New()
+	linPool := New(WithIndexedSelection(false))
+	for n := 0; n < 400; n++ {
+		q := sqlparse.MustParse(s, randIndexSQL(r))
+		card := int64(r.Intn(50)) // includes 0: dead entries both paths skip
+		idxPool.Add(q, card)
+		linPool.Add(q, card)
+	}
+	ks := []int{1, 2, 3, 8, 50, idxPool.Len() - 1, idxPool.Len(), 0}
+	for probeN := 0; probeN < 60; probeN++ {
+		probe := sqlparse.MustParse(s, randIndexSQL(r))
+		for _, k := range ks {
+			mustTopKEqual(t, fmt.Sprintf("probe %d k=%d (%s)", probeN, k, probe.SQL()),
+				idxPool.TopK(probe, k), linPool.TopK(probe, k))
+		}
+	}
+	ist, lst := idxPool.Stats(), linPool.Stats()
+	if ist.TopKCalls != lst.TopKCalls || ist.TruncatedCalls != lst.TruncatedCalls {
+		t.Errorf("call accounting diverged: indexed %+v vs linear %+v", ist, lst)
+	}
+	if ist.IndexHits == 0 || ist.ScannedIndexed == 0 {
+		t.Errorf("indexed pool never used the index: %+v", ist)
+	}
+	if ist.ScannedIndexed >= lst.ScannedFallback {
+		t.Errorf("index scanned %d candidates, linear scanned %d — no pruning happened",
+			ist.ScannedIndexed, lst.ScannedFallback)
+	}
+}
+
+// TestIndexCoherenceUnderMutation drives an indexed bounded pool and a
+// linear twin through one identical randomized interleaving of Add (with
+// LRU eviction pressure), UpdateCard (including to/from zero) and TopK, and
+// requires bit-identical selection throughout. Both pools see the same
+// operation sequence, so their tick clocks, IDs and eviction victims
+// coincide; any divergence is index incoherence.
+func TestIndexCoherenceUnderMutation(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	idxPool := New(WithCap(120))
+	linPool := New(WithCap(120), WithIndexedSelection(false))
+	var added []query.Query
+	for step := 0; step < 4000; step++ {
+		switch r.Intn(5) {
+		case 0, 1: // add (evicts once full)
+			q := sqlparse.MustParse(s, randIndexSQL(r))
+			card := int64(r.Intn(40))
+			if idxPool.Add(q, card) != linPool.Add(q, card) {
+				t.Fatalf("step %d: add outcome diverged for %s", step, q.SQL())
+			}
+			added = append(added, q)
+		case 2: // update a previously added query's truth (may be evicted: no-op)
+			if len(added) == 0 {
+				continue
+			}
+			q := added[r.Intn(len(added))]
+			card := int64(r.Intn(40)) // 0 flips liveness
+			if idxPool.UpdateCard(q, card) != linPool.UpdateCard(q, card) {
+				t.Fatalf("step %d: update outcome diverged for %s", step, q.SQL())
+			}
+		default: // select
+			probe := sqlparse.MustParse(s, randIndexSQL(r))
+			k := 1 + r.Intn(12)
+			mustTopKEqual(t, fmt.Sprintf("step %d k=%d (%s)", step, k, probe.SQL()),
+				idxPool.TopK(probe, k), linPool.TopK(probe, k))
+		}
+	}
+	if idxPool.Len() != linPool.Len() {
+		t.Fatalf("pool sizes diverged: %d vs %d", idxPool.Len(), linPool.Len())
+	}
+	ist := idxPool.Stats()
+	if ist.Evictions == 0 {
+		t.Fatal("interleaving never evicted — the coherence test lost its point")
+	}
+	if ist.IndexHits == 0 {
+		t.Fatalf("interleaving never exercised the index: %+v", ist)
+	}
+	if ist.TruncatedCalls != linPool.Stats().TruncatedCalls {
+		t.Errorf("truncation accounting diverged: indexed %+v vs linear %+v", ist, linPool.Stats())
+	}
+}
+
+// TestIndexedTopKAfterSaveLoad round-trips a mutated indexed pool through
+// Save/Load (the index is rebuilt by Load's re-Adds) and checks selection
+// still matches a linear-scan load of the same bytes.
+func TestIndexedTopKAfterSaveLoad(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	p := New(WithCap(150))
+	for n := 0; n < 300; n++ {
+		p.Add(sqlparse.MustParse(s, randIndexSQL(r)), int64(r.Intn(40)))
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	idxPool, err := Load(s, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load indexed: %v", err)
+	}
+	linPool, err := Load(s, bytes.NewReader(buf.Bytes()), WithIndexedSelection(false))
+	if err != nil {
+		t.Fatalf("load linear: %v", err)
+	}
+	for probeN := 0; probeN < 40; probeN++ {
+		probe := sqlparse.MustParse(s, randIndexSQL(r))
+		k := 1 + r.Intn(10)
+		mustTopKEqual(t, fmt.Sprintf("probe %d k=%d", probeN, k),
+			idxPool.TopK(probe, k), linPool.TopK(probe, k))
+	}
+}
+
+// TestIndexDensityFallback pins the density guard: a large FROM clause
+// whose entries nearly all carry distinct signature patterns gains nothing
+// from class-at-a-time scoring, so bounded selection must fall back to the
+// linear scan and say so in the stats.
+func TestIndexDensityFallback(t *testing.T) {
+	p := New()
+	cols := []string{"title.kind_id", "title.production_year", "title.season_nr", "title.episode_nr"}
+	ops := []string{"<", "=", ">"}
+	// Mixed-radix enumeration of per-column shapes: each column absent or
+	// constrained by one operator class, every combination a distinct
+	// pattern... 4^4-1 = 255 single-op patterns, extended past the density
+	// threshold by two-column-two-op combinations.
+	n := 0
+	for code := 1; n < minIndexEntries; code++ {
+		var preds []string
+		c := code
+		for i := 0; i < len(cols) && c > 0; i, c = i+1, c/7 {
+			switch d := c % 7; {
+			case d == 0: // column absent
+			case d <= 3:
+				preds = append(preds, fmt.Sprintf("%s %s %d", cols[i], ops[d-1], 10+i))
+			default: // two predicates: both-bounded / conflicting shapes
+				preds = append(preds, fmt.Sprintf("%s %s %d", cols[i], ops[(d-4)%3], 5+i),
+					fmt.Sprintf("%s %s %d", cols[i], ops[(d-3)%3], 25+i))
+			}
+		}
+		if len(preds) == 0 {
+			continue
+		}
+		if p.Add(sqlparse.MustParse(s, "SELECT * FROM title WHERE "+strings.Join(preds, " AND ")), 10) {
+			n++
+		}
+	}
+	probe := sqlparse.MustParse(s, "SELECT * FROM title WHERE title.production_year > 11")
+	lin := New(WithIndexedSelection(false))
+	for _, e := range p.Entries() {
+		lin.Add(e.Q, e.Card)
+	}
+	mustTopKEqual(t, "fallback selection", p.TopK(probe, 16), lin.TopK(probe, 16))
+	st := p.Stats()
+	if st.IndexFallbacks != 1 || st.IndexHits != 0 {
+		t.Errorf("density guard did not trigger: %+v", st)
+	}
+	if st.ScannedFallback == 0 || st.ScannedIndexed != 0 {
+		t.Errorf("fallback selection misattributed its scan: %+v", st)
+	}
+}
+
+// TestConcurrentIndexedTopKEvictionUpdate races indexed selection against
+// eviction-heavy writes and cardinality updates on one bounded pool. Run
+// with -race (CI does); assertions only check shape invariants, the
+// detector checks index maintenance synchronization.
+func TestConcurrentIndexedTopKEvictionUpdate(t *testing.T) {
+	const capacity = 200
+	p := New(WithCap(capacity))
+	queries := make([]query.Query, 600)
+	r := rand.New(rand.NewSource(3))
+	for i := range queries {
+		queries[i] = sqlparse.MustParse(s, randIndexSQL(r))
+	}
+	probes := make([]query.Query, 16)
+	for i := range probes {
+		probes[i] = sqlparse.MustParse(s, randIndexSQL(r))
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := w; i < len(queries); i += 4 {
+				p.Add(queries[i], int64(i%37))
+			}
+		}(w)
+	}
+	for u := 0; u < 2; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			<-start
+			for i := u; i < len(queries); i += 2 {
+				p.UpdateCard(queries[i], int64((i+1)%23))
+			}
+		}(u)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 300; i++ {
+				k := 1 + (i+g)%16
+				if got := p.TopK(probes[(i+g)%len(probes)], k); len(got) > k {
+					t.Errorf("TopK(%d) returned %d entries", k, len(got))
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if p.Len() > capacity {
+		t.Errorf("pool size %d exceeds capacity %d", p.Len(), capacity)
+	}
+	// The pool must still be coherent after the storm: selection equals a
+	// linear rebuild of the surviving entries.
+	lin := New(WithIndexedSelection(false))
+	entries := p.Entries()
+	// Rebuild in ascending ID order so tie-breaks match.
+	for id := int64(0); int(id) < len(queries)+1; id++ {
+		for _, e := range entries {
+			if e.ID == id {
+				lin.Add(e.Q, e.Card)
+			}
+		}
+	}
+	for i, probe := range probes {
+		got, want := p.TopK(probe, 8), lin.TopK(probe, 8)
+		if len(got) != len(want) {
+			t.Fatalf("post-storm probe %d: %d entries vs %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j].Card != want[j].Card || got[j].Q.SQL() != want[j].Q.SQL() {
+				t.Fatalf("post-storm probe %d entry %d: (%s, %d) vs (%s, %d)",
+					i, j, got[j].Q.SQL(), got[j].Card, want[j].Q.SQL(), want[j].Card)
+			}
+		}
+	}
+}
+
+// FuzzSignatureIndex interprets the fuzz input as an operation stream
+// driven against an indexed bounded pool and a linear twin: inserts,
+// cardinality updates and bounded selections, with a Save/Load round-trip
+// at the end. The index must never panic, never select an entry the linear
+// scan would not, and survive persistence.
+func FuzzSignatureIndex(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x17, 0x80, 0x02, 0x99})
+	f.Add([]byte("add-update-select"))
+	f.Add(bytes.Repeat([]byte{0x07, 0xe1}, 40))
+	cols := []string{"title.kind_id", "title.production_year", "title.season_nr", "title.episode_nr"}
+	ops := []string{"<", "=", ">"}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idxPool := New(WithCap(48))
+		linPool := New(WithCap(48), WithIndexedSelection(false))
+		var added []query.Query
+		buildQuery := func(b1, b2 byte) query.Query {
+			var preds []string
+			for i := 0; i < 1+int(b1%3); i++ {
+				sel := int(b1)>>uint(2*i) + int(b2)*i
+				preds = append(preds, fmt.Sprintf("%s %s %d",
+					cols[sel%len(cols)], ops[(sel/4)%len(ops)], int(b2)%32))
+			}
+			return sqlparse.MustParse(s, "SELECT * FROM title WHERE "+strings.Join(preds, " AND "))
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			op, b1, b2 := data[i], data[i+1], data[i+2]
+			switch op % 3 {
+			case 0:
+				q := buildQuery(b1, b2)
+				card := int64(b2 % 17)
+				if idxPool.Add(q, card) != linPool.Add(q, card) {
+					t.Fatalf("add diverged for %s", q.SQL())
+				}
+				added = append(added, q)
+			case 1:
+				if len(added) == 0 {
+					continue
+				}
+				q := added[int(b1)%len(added)]
+				card := int64(b2 % 11)
+				if idxPool.UpdateCard(q, card) != linPool.UpdateCard(q, card) {
+					t.Fatalf("update diverged for %s", q.SQL())
+				}
+			case 2:
+				probe := buildQuery(b1, b2)
+				k := 1 + int(b1%9)
+				got, want := idxPool.TopK(probe, k), linPool.TopK(probe, k)
+				if len(got) != len(want) {
+					t.Fatalf("TopK(%d) size diverged: %d vs %d (%s)", k, len(got), len(want), probe.SQL())
+				}
+				for j := range got {
+					if got[j].ID != want[j].ID || got[j].Card != want[j].Card {
+						t.Fatalf("TopK(%d)[%d] diverged: (ID %d, %d) vs (ID %d, %d) for %s",
+							k, j, got[j].ID, got[j].Card, want[j].ID, want[j].Card, probe.SQL())
+					}
+				}
+			}
+		}
+		// Persistence round-trip: the rebuilt index must agree with a linear
+		// load of the same bytes.
+		var buf bytes.Buffer
+		if err := idxPool.Save(&buf); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		reIdx, err := Load(s, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		reLin, err := Load(s, bytes.NewReader(buf.Bytes()), WithIndexedSelection(false))
+		if err != nil {
+			t.Fatalf("load linear: %v", err)
+		}
+		if reIdx.Len() != idxPool.Len() {
+			t.Fatalf("round-trip lost entries: %d vs %d", reIdx.Len(), idxPool.Len())
+		}
+		for _, q := range added {
+			got, want := reIdx.TopK(q, 5), reLin.TopK(q, 5)
+			if len(got) != len(want) {
+				t.Fatalf("post-load TopK size diverged: %d vs %d", len(got), len(want))
+			}
+			for j := range got {
+				if got[j].ID != want[j].ID {
+					t.Fatalf("post-load TopK[%d] diverged: ID %d vs %d", j, got[j].ID, want[j].ID)
+				}
+			}
+		}
+	})
+}

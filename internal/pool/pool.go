@@ -49,6 +49,14 @@ type fromIndex struct {
 	sigs    []Signature
 	lastHit []int64
 	byID    map[int64]int
+
+	// classes is the inverted signature-class index over the clause's
+	// entries (see invindex.go); nil when indexed selection is disabled.
+	// nPos counts entries with Card > 0 — the linear scan's "usable"
+	// candidate count, maintained on every mutation so the indexed path
+	// reproduces truncation accounting without touching every entry.
+	classes map[string]*sigClass
+	nPos    int
 }
 
 // Pool is a FROM-clause-indexed collection of executed queries. It is safe
@@ -61,7 +69,8 @@ type Pool struct {
 	entries int
 	nextID  int64
 	version uint64
-	cap     int // 0: unbounded
+	cap     int  // 0: unbounded
+	indexOn bool // maintain + consult the inverted signature-class index
 
 	// tick is the logical clock of candidate selection: every Matching/TopK
 	// call stamps the entries it returns, and eviction removes the entry
@@ -76,10 +85,13 @@ type Pool struct {
 	// Subscribe.
 	listeners []MutationListener
 
-	evictions atomic.Uint64
-	topKCalls atomic.Uint64
-	scanned   atomic.Uint64 // candidates scored across all TopK calls
-	truncated atomic.Uint64 // TopK calls that actually dropped candidates
+	evictions      atomic.Uint64
+	topKCalls      atomic.Uint64
+	scannedIdx     atomic.Uint64 // candidates visited by indexed selections
+	scannedFall    atomic.Uint64 // candidates scored by linear-scan selections
+	indexHits      atomic.Uint64 // bounded selections served by the index
+	indexFallbacks atomic.Uint64 // bounded selections the density guard sent to the scan
+	truncated      atomic.Uint64 // TopK calls that actually dropped candidates
 }
 
 // Option configures a new pool.
@@ -98,9 +110,19 @@ func WithCap(n int) Option {
 	}
 }
 
+// WithIndexedSelection toggles the inverted signature-class index behind
+// TopK (see invindex.go). On by default: indexed selection returns results
+// bit-identical to the linear scan at a fraction of its cost on pools with
+// recurring predicate structure. Off restores the PR 4 full linear scan —
+// useful as an A/B reference and as a memory dial (the index costs a few
+// machine words per entry).
+func WithIndexedSelection(on bool) Option {
+	return func(p *Pool) { p.indexOn = on }
+}
+
 // New creates an empty pool.
 func New(opts ...Option) *Pool {
-	p := &Pool{byFrom: make(map[string]*fromIndex), byKey: make(map[string]int64)}
+	p := &Pool{byFrom: make(map[string]*fromIndex), byKey: make(map[string]int64), indexOn: true}
 	for _, o := range opts {
 		o(p)
 	}
@@ -139,6 +161,12 @@ func (p *Pool) Add(q query.Query, card int64) bool {
 	idx.byID[id] = len(idx.entries)
 	idx.entries = append(idx.entries, Entry{Q: q, Card: card, ID: id})
 	idx.sigs = append(idx.sigs, sig)
+	if card > 0 {
+		idx.nPos++
+	}
+	if p.indexOn {
+		idx.indexAdd(sig, id)
+	}
 	// A fresh entry starts as most-recently matched: it must survive long
 	// enough for estimates to have a chance to select it.
 	now := p.tick.Add(1)
@@ -262,19 +290,18 @@ func (p *Pool) AppendTopK(dst []Entry, q query.Query, k int) []Entry {
 		return append(dst, idx.entries...)
 	}
 	p.topKCalls.Add(1)
-	p.scanned.Add(uint64(len(idx.entries)))
-	heap := newTopKHeap(k)
-	usable := 0
-	for i := range idx.entries {
-		if idx.entries[i].Card <= 0 {
-			// Empty-result entries carry no information; the estimator drops
-			// them anyway, so skipping them here is not a truncation.
-			continue
+	var refs []scoredRef
+	var usable int
+	indexed := false
+	if p.indexOn {
+		refs, usable, indexed = p.selectIndexedLocked(idx, probe, k)
+		if !indexed {
+			p.indexFallbacks.Add(1)
 		}
-		usable++
-		heap.offer(scoredRef{score: probe.Similarity(idx.sigs[i]), idx: i, id: idx.entries[i].ID})
 	}
-	refs := heap.sorted()
+	if !indexed {
+		refs, usable = p.selectLinearLocked(idx, probe, k)
+	}
 	if len(refs) < usable {
 		p.truncated.Add(1)
 	}
@@ -288,6 +315,26 @@ func (p *Pool) AppendTopK(dst []Entry, q query.Query, k int) []Entry {
 		dst = append(dst, idx.entries[r.idx])
 	}
 	return dst
+}
+
+// selectLinearLocked is the PR 4 selection path: score every candidate of
+// the FROM clause against the probe. Callers hold at least the read lock
+// and have checked 0 < k < len(entries). The second return is the usable
+// (Card > 0) candidate count, the reference for truncation accounting.
+func (p *Pool) selectLinearLocked(idx *fromIndex, probe Signature, k int) ([]scoredRef, int) {
+	p.scannedFall.Add(uint64(len(idx.entries)))
+	heap := newTopKHeap(k)
+	usable := 0
+	for i := range idx.entries {
+		if idx.entries[i].Card <= 0 {
+			// Empty-result entries carry no information; the estimator drops
+			// them anyway, so skipping them here is not a truncation.
+			continue
+		}
+		usable++
+		heap.offer(scoredRef{score: probe.Similarity(idx.sigs[i]), idx: i, id: idx.entries[i].ID})
+	}
+	return heap.sorted(), usable
 }
 
 // touchAllLocked stamps every entry of an index as just-matched. Callers
@@ -330,6 +377,13 @@ func (p *Pool) UpdateCard(q query.Query, card int64) bool {
 	pos, ok := idx.byID[id]
 	if !ok || idx.entries[pos].Card == card {
 		return false
+	}
+	if old := idx.entries[pos].Card; (old > 0) != (card > 0) {
+		if card > 0 {
+			idx.nPos++
+		} else {
+			idx.nPos--
+		}
 	}
 	idx.entries[pos].Card = card
 	p.version++
@@ -440,9 +494,22 @@ type Stats struct {
 	// TopKCalls counts bounded candidate selections (full-scan fallbacks,
 	// where the bound did not bind, are excluded).
 	TopKCalls uint64 `json:"topk_calls"`
-	// ScannedCandidates is the total number of signatures scored across all
-	// TopKCalls — the index-side cost of bounded selection.
+	// ScannedCandidates is the total number of candidates visited across all
+	// TopKCalls — the selection-side cost of bounded selection; the sum of
+	// ScannedIndexed and ScannedFallback.
 	ScannedCandidates uint64 `json:"scanned_candidates"`
+	// ScannedIndexed counts candidates visited by index-served selections —
+	// sublinear in the FROM clause's entry count when classes recur.
+	ScannedIndexed uint64 `json:"scanned_indexed"`
+	// ScannedFallback counts candidates scored by linear-scan selections
+	// (index disabled, or the density guard rejected the clause).
+	ScannedFallback uint64 `json:"scanned_fallback"`
+	// IndexHits counts bounded selections served by the signature-class
+	// index; IndexFallbacks counts those the density guard sent to the
+	// linear scan. Hits + fallbacks = TopKCalls on an index-enabled pool;
+	// both stay zero with WithIndexedSelection(false).
+	IndexHits      uint64 `json:"index_hits"`
+	IndexFallbacks uint64 `json:"index_fallbacks"`
 	// TruncatedCalls counts TopK selections that dropped at least one
 	// candidate (the bound actually bound).
 	TruncatedCalls uint64 `json:"truncated_calls"`
@@ -452,13 +519,18 @@ type Stats struct {
 func (p *Pool) Stats() Stats {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
+	si, sf := p.scannedIdx.Load(), p.scannedFall.Load()
 	return Stats{
 		Entries:           p.entries,
 		FROMKeys:          len(p.byFrom),
 		Capacity:          p.cap,
 		Evictions:         p.evictions.Load(),
 		TopKCalls:         p.topKCalls.Load(),
-		ScannedCandidates: p.scanned.Load(),
+		ScannedCandidates: si + sf,
+		ScannedIndexed:    si,
+		ScannedFallback:   sf,
+		IndexHits:         p.indexHits.Load(),
+		IndexFallbacks:    p.indexFallbacks.Load(),
 		TruncatedCalls:    p.truncated.Load(),
 	}
 }

@@ -1,258 +1,28 @@
 package pool
 
 import (
-	"math/bits"
 	"sort"
 
 	"crn/internal/query"
-	"crn/internal/schema"
 )
 
-// Signature is a compact summary of one query's predicate structure,
-// computed once when the query enters the pool and scanned — instead of the
-// query itself — when a probe asks for its most containment-comparable
-// candidates (TopK). It captures, schema-free (column and join identities
-// are hashed into 64-bit masks), the three things that decide whether the
-// Cnt2Crd transformation extracts signal from an (old, new) pair:
-//
-//   - which columns each side constrains (column-set bitmask): a column the
-//     old query constrains but the new one does not drives the y_rate
-//     Qnew ⊂% Qold toward zero and into the ε guard;
-//   - how each column is constrained (per-operator-class masks and the
-//     conjunction's per-column value interval): overlapping ranges keep
-//     both rates informative, disjoint ranges zero them out;
-//   - which join edges each side applies (join bitmask): a differing join
-//     set changes the result shape the same way extra predicates do.
-//
-// Hash collisions (two columns sharing a mask bit) only blur the ranking —
-// selection stays a strict subset of the FROM-clause candidates, so they
-// can never make an incomparable pair comparable.
-type Signature struct {
-	Cols  uint64             // mask of predicate columns
-	Joins uint64             // mask of join edges
-	Ops   [numOpClass]uint64 // per-operator-class column masks (<, =, >)
-
-	// ranges holds the conjunction's value interval per predicate column,
-	// sorted by column hash for merge-joining two signatures.
-	ranges []colRange
-}
+// Signature is the compact predicate-structure summary scanned during
+// candidate selection. Its definition lived here through PR 7 and moved to
+// internal/query in PR 8 so a query.Query can carry its signature
+// precomputed alongside the canonical key (the coalesced batch path probes
+// the pool once per query — recomputing the signature per probe was the
+// last redundant work on that path). The pool-side name is kept as an alias
+// for the package's own files and tests.
+type Signature = query.Signature
 
 // numOpClass is the number of predicate operator classes (<, =, >).
-const numOpClass = 3
+const numOpClass = query.NumOpClass
 
-// colRange is the value interval a conjunction of predicates pins one
-// column to. Unbounded sides are marked rather than saturated so interval
-// similarity can treat "no constraint" distinctly from "huge range".
-type colRange struct {
-	col      uint64 // column hash (identity for merging, bit source for masks)
-	lo, hi   int64
-	hasLo    bool
-	hasHi    bool
-	conflict bool // contradictory conjunction (e.g. =1 AND =2): empty range
-}
-
-// opClass maps a predicate operator to its class ordinal.
-func opClass(op string) int {
-	switch op {
-	case schema.OpLT:
-		return 0
-	case schema.OpEQ:
-		return 1
-	default: // schema.OpGT
-		return 2
-	}
-}
-
-// hashString is FNV-1a, the same mixing the rep cache uses for sharding;
-// signatures only need stable, well-spread identities.
-func hashString(s string) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime64
-	}
-	return h
-}
-
-// ComputeSignature summarizes q. It is pure and deterministic: equal
+// ComputeSignature summarizes q: the cached signature for queries built by
+// query.New / Intersect / WithPredicate (one pointer read), a fresh
+// computation for literal-built values. Pure and deterministic: equal
 // canonical queries yield equal signatures.
-func ComputeSignature(q query.Query) Signature {
-	var sig Signature
-	for _, j := range q.Joins {
-		sig.Joins |= 1 << (hashString(schema.EdgeKey(j.Left, j.Right)) & 63)
-	}
-	for _, p := range q.Preds {
-		col := hashString(p.Col.String())
-		bit := uint64(1) << (col & 63)
-		sig.Cols |= bit
-		sig.Ops[opClass(p.Op)] |= bit
-		sig.ranges = tightenRange(sig.ranges, col, p)
-	}
-	// Canonical predicate order sorts by column STRING; the merge-join in
-	// Similarity walks intervals by column HASH.
-	sortRanges(sig.ranges)
-	return sig
-}
-
-// tightenRange intersects predicate p into the interval of its column,
-// appending a fresh interval for a first-seen column. Predicates arrive in
-// canonical order (sorted by column string), so ranges stay grouped by
-// column; the final slice is re-sorted by hash before use.
-func tightenRange(ranges []colRange, col uint64, p query.Predicate) []colRange {
-	var r *colRange
-	for i := range ranges {
-		if ranges[i].col == col {
-			r = &ranges[i]
-			break
-		}
-	}
-	if r == nil {
-		ranges = append(ranges, colRange{col: col})
-		r = &ranges[len(ranges)-1]
-	}
-	switch p.Op {
-	case schema.OpLT: // col < v  =>  hi = min(hi, v-1)
-		if !r.hasHi || p.Val-1 < r.hi {
-			r.hi, r.hasHi = p.Val-1, true
-		}
-	case schema.OpGT: // col > v  =>  lo = max(lo, v+1)
-		if !r.hasLo || p.Val+1 > r.lo {
-			r.lo, r.hasLo = p.Val+1, true
-		}
-	case schema.OpEQ:
-		if !r.hasLo || p.Val > r.lo {
-			r.lo, r.hasLo = p.Val, true
-		}
-		if !r.hasHi || p.Val < r.hi {
-			r.hi, r.hasHi = p.Val, true
-		}
-	}
-	if r.hasLo && r.hasHi && r.lo > r.hi {
-		r.conflict = true
-	}
-	return ranges
-}
-
-// sortRanges orders a signature's intervals by column hash (insertion sort:
-// queries carry a handful of predicates).
-func sortRanges(ranges []colRange) {
-	for i := 1; i < len(ranges); i++ {
-		for j := i; j > 0 && ranges[j-1].col > ranges[j].col; j-- {
-			ranges[j-1], ranges[j] = ranges[j], ranges[j-1]
-		}
-	}
-}
-
-// Similarity scoring weights. The ranking favors old queries whose
-// constraint set is dominated by the probe's: a shared column with an
-// overlapping range keeps both containment rates informative; a column only
-// the OLD query constrains shrinks y_rate = Qnew ⊂% Qold toward the ε guard
-// (the candidate contributes nothing), so it is penalized hardest; a column
-// only the NEW query constrains merely tightens x_rate and often marks a
-// containing anchor (y_rate ≈ 1), so its penalty is mild. Values are
-// heuristic; the accuracy gate in internal/experiments pins the ranking's
-// effect on median q-error.
-const (
-	wSharedCol   = 2.0
-	wExtraOldCol = 1.5
-	wExtraNewCol = 0.25
-	wOpClass     = 0.25
-	wRange       = 1.0
-	wSharedJoin  = 1.0
-	wJoinDiff    = 1.0
-)
-
-// Similarity scores how containment-comparable an old query's signature is
-// to the probe's, higher is better. Deterministic and symmetric in nothing:
-// the probe is the NEW query, old is the pooled one.
-func (probe Signature) Similarity(old Signature) float64 {
-	shared := probe.Cols & old.Cols
-	score := wSharedCol*float64(popcount(shared)) -
-		wExtraOldCol*float64(popcount(old.Cols&^probe.Cols)) -
-		wExtraNewCol*float64(popcount(probe.Cols&^old.Cols))
-	for c := 0; c < numOpClass; c++ {
-		score += wOpClass * float64(popcount(probe.Ops[c]&old.Ops[c]&shared))
-	}
-	score += wSharedJoin*float64(popcount(probe.Joins&old.Joins)) -
-		wJoinDiff*float64(popcount(probe.Joins^old.Joins))
-	// Merge-join the per-column intervals of columns both sides constrain.
-	i, j := 0, 0
-	for i < len(probe.ranges) && j < len(old.ranges) {
-		a, b := &probe.ranges[i], &old.ranges[j]
-		switch {
-		case a.col < b.col:
-			i++
-		case a.col > b.col:
-			j++
-		default:
-			score += wRange * rangeAffinity(*a, *b)
-			i++
-			j++
-		}
-	}
-	return score
-}
-
-// rangeAffinity returns the interval similarity of two per-column ranges in
-// [-1, 1]: 1 for identical bounded ranges, a Jaccard-style fraction for
-// partial overlap, 0 when one side is effectively unbounded, and -1 for
-// provably disjoint ranges (the pair's rates are pinned at 0, the candidate
-// is dead weight).
-func rangeAffinity(a, b colRange) float64 {
-	if a.conflict || b.conflict {
-		return -1
-	}
-	// Disjointness is decidable whenever one side's lower bound exceeds the
-	// other's upper bound.
-	if (a.hasLo && b.hasHi && a.lo > b.hi) || (b.hasLo && a.hasHi && b.lo > a.hi) {
-		return -1
-	}
-	if !a.hasLo && !a.hasHi || !b.hasLo && !b.hasHi {
-		return 0
-	}
-	// Jaccard on bounded intervals below; a half-bounded pair that overlaps
-	// falls through to a flat weak-signal score (its overlap has no
-	// measurable fraction).
-	aw, awOK := width(a)
-	bw, bwOK := width(b)
-	if awOK && bwOK {
-		lo := a.lo
-		if b.lo > lo {
-			lo = b.lo
-		}
-		hi := a.hi
-		if b.hi < hi {
-			hi = b.hi
-		}
-		inter := float64(hi-lo) + 1
-		if inter < 0 {
-			inter = 0
-		}
-		union := aw + bw - inter
-		if union <= 0 {
-			return 1
-		}
-		return inter / union
-	}
-	// One side half-bounded: overlapping but not measurable — weak signal.
-	return 0.5
-}
-
-// width returns the element count of a bounded interval.
-func width(r colRange) (float64, bool) {
-	if !r.hasLo || !r.hasHi {
-		return 0, false
-	}
-	return float64(r.hi-r.lo) + 1, true
-}
-
-// popcount narrows bits.OnesCount64 (a compiler intrinsic — a single POPCNT
-// on amd64) at the scoring loop's call sites.
-func popcount(x uint64) int { return bits.OnesCount64(x) }
+func ComputeSignature(q query.Query) Signature { return q.Signature() }
 
 // scoredRef is one candidate during top-K selection: its index in the FROM
 // index plus its score. Ordering: better = higher score, ties broken by
@@ -274,7 +44,10 @@ func (a scoredRef) better(b scoredRef) bool {
 // topKHeap is a fixed-capacity min-heap on better-ness: the root is the
 // WORST of the current best K, so a new candidate only pays heap work when
 // it beats the root. Selection over n candidates costs O(n) score
-// comparisons plus O(k log k) heap churn.
+// comparisons plus O(k log k) heap churn. Because better-ness is a strict
+// total order (IDs are unique), the kept set depends only on the offered
+// multiset, not the offer order — the indexed and linear selection paths
+// produce bit-identical results.
 type topKHeap struct {
 	refs []scoredRef
 	k    int
@@ -296,6 +69,10 @@ func (h *topKHeap) offer(r scoredRef) {
 	h.refs[0] = r
 	h.down(0)
 }
+
+// full reports whether the heap holds k candidates; h.refs[0] is then the
+// worst kept candidate, the pruning threshold of the indexed path.
+func (h *topKHeap) full() bool { return len(h.refs) == h.k }
 
 func (h *topKHeap) up(i int) {
 	for i > 0 {

@@ -119,8 +119,25 @@ func TestTopKSelectsMostSimilar(t *testing.T) {
 		}
 	}
 	st := p.Stats()
-	if st.TopKCalls != 1 || st.ScannedCandidates != 23 || st.TruncatedCalls != 1 {
+	if st.TopKCalls != 1 || st.TruncatedCalls != 1 || st.IndexHits != 1 || st.IndexFallbacks != 0 {
 		t.Errorf("unexpected index stats: %+v", st)
+	}
+	// The signature-class index prunes the decoy class (its similarity upper
+	// bound loses to the three kept candidates), so indexed selection visits
+	// exactly the 3 near-misses where the linear scan scored all 23.
+	if st.ScannedIndexed != 3 || st.ScannedFallback != 0 || st.ScannedCandidates != 3 {
+		t.Errorf("unexpected scan split: %+v", st)
+	}
+	// The linear reference pool scores every candidate and reports it on the
+	// fallback counter.
+	lin := New(WithIndexedSelection(false))
+	for _, e := range p.Entries() {
+		lin.Add(e.Q, e.Card)
+	}
+	lin.TopK(probe, 3)
+	if st := lin.Stats(); st.ScannedFallback != 23 || st.ScannedIndexed != 0 ||
+		st.ScannedCandidates != 23 || st.IndexHits != 0 || st.IndexFallbacks != 0 {
+		t.Errorf("unexpected linear-pool scan split: %+v", st)
 	}
 }
 

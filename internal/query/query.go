@@ -68,6 +68,12 @@ type Query struct {
 	// hot path (cache lookups, pool dedup) never re-renders it. Literal-built
 	// values leave it empty and fall back to rendering on demand.
 	key string
+
+	// sig is the predicate signature, precomputed like key so the pool's
+	// candidate selection never recomputes it per probe. Immutable once set;
+	// Clone shares it. Literal-built values leave it nil and Signature()
+	// computes on demand.
+	sig *Signature
 }
 
 // New assembles a Query, canonicalizing table, join and predicate order and
@@ -126,7 +132,14 @@ func New(s *schema.Schema, tables []string, joins []Join, preds []Predicate) (Qu
 	// pooling of the set encoders).
 	q.Preds = dedupPreds(q.Preds)
 	q.key = q.render()
+	q.cacheSignature()
 	return q, nil
+}
+
+// cacheSignature precomputes and pins the query's predicate signature.
+func (q *Query) cacheSignature() {
+	sig := computeSignature(*q)
+	q.sig = &sig
 }
 
 // dedupPreds removes adjacent duplicates from a sorted predicate slice.
@@ -235,6 +248,7 @@ func (q Query) Intersect(other Query) (Query, error) {
 	}
 	sortPreds(out.Preds)
 	out.key = out.render()
+	out.cacheSignature()
 	return out, nil
 }
 
@@ -257,6 +271,7 @@ func (q Query) Clone() Query {
 		Joins:  append([]Join(nil), q.Joins...),
 		Preds:  append([]Predicate(nil), q.Preds...),
 		key:    q.key,
+		sig:    q.sig,
 	}
 }
 
@@ -270,6 +285,7 @@ func (q Query) WithPredicate(p Predicate) Query {
 	out.Preds = append(out.Preds, p)
 	sortPreds(out.Preds)
 	out.key = out.render()
+	out.cacheSignature()
 	return out
 }
 

@@ -1,0 +1,391 @@
+package query
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"crn/internal/schema"
+)
+
+// Signature is a compact summary of one query's predicate structure,
+// computed once when the query is constructed (New caches it alongside the
+// canonical key) and scanned — instead of the query itself — when a probe
+// asks for its most containment-comparable candidates (the queries pool's
+// TopK). It captures, schema-free (column and join identities are hashed
+// into 64-bit masks), the three things that decide whether the Cnt2Crd
+// transformation extracts signal from an (old, new) pair:
+//
+//   - which columns each side constrains (column-set bitmask): a column the
+//     old query constrains but the new one does not drives the y_rate
+//     Qnew ⊂% Qold toward zero and into the ε guard;
+//   - how each column is constrained (per-operator-class masks and the
+//     conjunction's per-column value interval): overlapping ranges keep
+//     both rates informative, disjoint ranges zero them out;
+//   - which join edges each side applies (join bitmask): a differing join
+//     set changes the result shape the same way extra predicates do.
+//
+// Hash collisions (two columns sharing a mask bit) only blur the ranking —
+// selection stays a strict subset of the FROM-clause candidates, so they
+// can never make an incomparable pair comparable.
+//
+// Signature lived in internal/pool through PR 7; it moved here so a Query
+// can carry its signature precomputed (the pool package aliases the name).
+type Signature struct {
+	Cols  uint64             // mask of predicate columns
+	Joins uint64             // mask of join edges
+	Ops   [NumOpClass]uint64 // per-operator-class column masks (<, =, >)
+
+	// Ranges holds the conjunction's value interval per predicate column,
+	// sorted by column hash for merge-joining two signatures. Shared, not
+	// copied, when a cached signature is returned: callers must treat it as
+	// immutable.
+	Ranges []ColRange
+}
+
+// NumOpClass is the number of predicate operator classes (<, =, >).
+const NumOpClass = 3
+
+// ColRange is the value interval a conjunction of predicates pins one
+// column to. Unbounded sides are marked rather than saturated so interval
+// similarity can treat "no constraint" distinctly from "huge range".
+type ColRange struct {
+	Col      uint64 // column hash (identity for merging, bit source for masks)
+	Lo, Hi   int64
+	HasLo    bool
+	HasHi    bool
+	Conflict bool // contradictory conjunction (e.g. =1 AND =2): empty range
+}
+
+// opClass maps a predicate operator to its class ordinal.
+func opClass(op string) int {
+	switch op {
+	case schema.OpLT:
+		return 0
+	case schema.OpEQ:
+		return 1
+	default: // schema.OpGT
+		return 2
+	}
+}
+
+// hashString is FNV-1a, the same mixing the rep cache uses for sharding;
+// signatures only need stable, well-spread identities.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Signature returns the query's predicate signature: precomputed for
+// queries built by New, Intersect or WithPredicate (the serving hot path
+// never recomputes it — one pointer read per TopK probe), computed on
+// demand for literal-built values.
+func (q Query) Signature() Signature {
+	if q.sig != nil {
+		return *q.sig
+	}
+	return computeSignature(q)
+}
+
+// computeSignature summarizes q. It is pure and deterministic: equal
+// canonical queries yield equal signatures.
+func computeSignature(q Query) Signature {
+	var sig Signature
+	for _, j := range q.Joins {
+		sig.Joins |= 1 << (hashString(schema.EdgeKey(j.Left, j.Right)) & 63)
+	}
+	for _, p := range q.Preds {
+		col := hashString(p.Col.String())
+		bit := uint64(1) << (col & 63)
+		sig.Cols |= bit
+		sig.Ops[opClass(p.Op)] |= bit
+		sig.Ranges = tightenRange(sig.Ranges, col, p)
+	}
+	// Canonical predicate order sorts by column STRING; the merge-join in
+	// Similarity walks intervals by column HASH.
+	sortRanges(sig.Ranges)
+	return sig
+}
+
+// tightenRange intersects predicate p into the interval of its column,
+// appending a fresh interval for a first-seen column. Predicates arrive in
+// canonical order (sorted by column string), so ranges stay grouped by
+// column; the final slice is re-sorted by hash before use.
+func tightenRange(ranges []ColRange, col uint64, p Predicate) []ColRange {
+	var r *ColRange
+	for i := range ranges {
+		if ranges[i].Col == col {
+			r = &ranges[i]
+			break
+		}
+	}
+	if r == nil {
+		ranges = append(ranges, ColRange{Col: col})
+		r = &ranges[len(ranges)-1]
+	}
+	switch p.Op {
+	case schema.OpLT: // col < v  =>  hi = min(hi, v-1)
+		if !r.HasHi || p.Val-1 < r.Hi {
+			r.Hi, r.HasHi = p.Val-1, true
+		}
+	case schema.OpGT: // col > v  =>  lo = max(lo, v+1)
+		if !r.HasLo || p.Val+1 > r.Lo {
+			r.Lo, r.HasLo = p.Val+1, true
+		}
+	case schema.OpEQ:
+		if !r.HasLo || p.Val > r.Lo {
+			r.Lo, r.HasLo = p.Val, true
+		}
+		if !r.HasHi || p.Val < r.Hi {
+			r.Hi, r.HasHi = p.Val, true
+		}
+	}
+	if r.HasLo && r.HasHi && r.Lo > r.Hi {
+		r.Conflict = true
+	}
+	return ranges
+}
+
+// sortRanges orders a signature's intervals by column hash (insertion sort:
+// queries carry a handful of predicates).
+func sortRanges(ranges []ColRange) {
+	for i := 1; i < len(ranges); i++ {
+		for j := i; j > 0 && ranges[j-1].Col > ranges[j].Col; j-- {
+			ranges[j-1], ranges[j] = ranges[j], ranges[j-1]
+		}
+	}
+}
+
+// Similarity scoring weights. The ranking favors old queries whose
+// constraint set is dominated by the probe's: a shared column with an
+// overlapping range keeps both containment rates informative; a column only
+// the OLD query constrains shrinks y_rate = Qnew ⊂% Qold toward the ε guard
+// (the candidate contributes nothing), so it is penalized hardest; a column
+// only the NEW query constrains merely tightens x_rate and often marks a
+// containing anchor (y_rate ≈ 1), so its penalty is mild. Values are
+// heuristic; the accuracy gate in internal/experiments pins the ranking's
+// effect on median q-error.
+const (
+	wSharedCol   = 2.0
+	wExtraOldCol = 1.5
+	wExtraNewCol = 0.25
+	wOpClass     = 0.25
+	wRange       = 1.0
+	wSharedJoin  = 1.0
+	wJoinDiff    = 1.0
+)
+
+// Similarity scores how containment-comparable an old query's signature is
+// to the probe's, higher is better. Deterministic and symmetric in nothing:
+// the probe is the NEW query, old is the pooled one.
+func (probe Signature) Similarity(old Signature) float64 {
+	score := probe.MaskSimilarity(old)
+	// Merge-join the per-column intervals of columns both sides constrain.
+	i, j := 0, 0
+	for i < len(probe.Ranges) && j < len(old.Ranges) {
+		a, b := &probe.Ranges[i], &old.Ranges[j]
+		switch {
+		case a.Col < b.Col:
+			i++
+		case a.Col > b.Col:
+			j++
+		default:
+			score += wRange * rangeAffinity(*a, *b)
+			i++
+			j++
+		}
+	}
+	return score
+}
+
+// MaskSimilarity is the mask-and-join part of Similarity — everything that
+// depends only on the column, operator-class and join bitmasks, not on the
+// per-column interval values. It performs exactly the floating-point
+// operations Similarity performs before its range merge-join, in the same
+// order, so Similarity(probe, old) continues from this value bit for bit;
+// the pool's signature-class index relies on that to score a whole class of
+// range-value-variant signatures with one call.
+func (probe Signature) MaskSimilarity(old Signature) float64 {
+	shared := probe.Cols & old.Cols
+	score := wSharedCol*float64(popcount(shared)) -
+		wExtraOldCol*float64(popcount(old.Cols&^probe.Cols)) -
+		wExtraNewCol*float64(popcount(probe.Cols&^old.Cols))
+	for c := 0; c < NumOpClass; c++ {
+		score += wOpClass * float64(popcount(probe.Ops[c]&old.Ops[c]&shared))
+	}
+	score += wSharedJoin*float64(popcount(probe.Joins&old.Joins)) -
+		wJoinDiff*float64(popcount(probe.Joins^old.Joins))
+	return score
+}
+
+// SimilarityBound bounds Similarity over a signature CLASS: given a pattern
+// signature (masks plus range shapes; the range VALUES are ignored), it
+// returns an upper bound on Similarity(probe, m) over every signature m
+// sharing the pattern's masks and per-column boundedness/conflict shape,
+// and reports whether the score is flat — the same, bit for bit, for every
+// such m (no matched column's affinity depends on the member's bound
+// values). The bound accumulates in Similarity's exact operation order with
+// pointwise-greater-or-equal addends, so floating-point monotonicity makes
+// it a true upper bound of every member's computed score.
+func (probe Signature) SimilarityBound(pattern Signature) (ub float64, flat bool) {
+	ub = probe.MaskSimilarity(pattern)
+	flat = true
+	i, j := 0, 0
+	for i < len(probe.Ranges) && j < len(pattern.Ranges) {
+		a, b := &probe.Ranges[i], &pattern.Ranges[j]
+		switch {
+		case a.Col < b.Col:
+			i++
+		case a.Col > b.Col:
+			j++
+		default:
+			maxAff, constant := rangeAffinityBound(*a, *b)
+			ub += wRange * maxAff
+			flat = flat && constant
+			i++
+			j++
+		}
+	}
+	return ub, flat
+}
+
+// rangeAffinityBound is the per-column case analysis behind SimilarityBound:
+// the maximum rangeAffinity(a, b') over all b' sharing b's column and
+// boundedness/conflict flags, and whether the affinity is the same constant
+// for every such b'. The cases mirror rangeAffinity exactly:
+//
+//   - either side conflicted: always -1;
+//   - both sides half-bounded on the SAME side (lo,lo or hi,hi): never
+//     provably disjoint, never measurable — always 0.5;
+//   - both sides fully bounded: Jaccard in [0,1] or disjoint, max 1;
+//   - any other mix (opposing half-bounds, or half against full): disjoint
+//     or the flat half-bounded overlap score, max 0.5.
+func rangeAffinityBound(a, b ColRange) (maxAff float64, constant bool) {
+	if a.Conflict || b.Conflict {
+		return -1, true
+	}
+	if (!a.HasLo && !a.HasHi) || (!b.HasLo && !b.HasHi) {
+		// Defensive: computed signatures never carry a fully unbounded range.
+		return 0, true
+	}
+	aBoth := a.HasLo && a.HasHi
+	bBoth := b.HasLo && b.HasHi
+	switch {
+	case !aBoth && !bBoth && a.HasLo == b.HasLo:
+		return 0.5, true
+	case aBoth && bBoth:
+		return 1, false
+	default:
+		return 0.5, false
+	}
+}
+
+// rangeAffinity returns the interval similarity of two per-column ranges in
+// [-1, 1]: 1 for identical bounded ranges, a Jaccard-style fraction for
+// partial overlap, 0 when one side is effectively unbounded, and -1 for
+// provably disjoint ranges (the pair's rates are pinned at 0, the candidate
+// is dead weight).
+func rangeAffinity(a, b ColRange) float64 {
+	if a.Conflict || b.Conflict {
+		return -1
+	}
+	// Disjointness is decidable whenever one side's lower bound exceeds the
+	// other's upper bound.
+	if (a.HasLo && b.HasHi && a.Lo > b.Hi) || (b.HasLo && a.HasHi && b.Lo > a.Hi) {
+		return -1
+	}
+	if !a.HasLo && !a.HasHi || !b.HasLo && !b.HasHi {
+		return 0
+	}
+	// Jaccard on bounded intervals below; a half-bounded pair that overlaps
+	// falls through to a flat weak-signal score (its overlap has no
+	// measurable fraction).
+	aw, awOK := width(a)
+	bw, bwOK := width(b)
+	if awOK && bwOK {
+		lo := a.Lo
+		if b.Lo > lo {
+			lo = b.Lo
+		}
+		hi := a.Hi
+		if b.Hi < hi {
+			hi = b.Hi
+		}
+		inter := float64(hi-lo) + 1
+		if inter < 0 {
+			inter = 0
+		}
+		union := aw + bw - inter
+		if union <= 0 {
+			return 1
+		}
+		return inter / union
+	}
+	// One side half-bounded: overlapping but not measurable — weak signal.
+	return 0.5
+}
+
+// width returns the element count of a bounded interval.
+func width(r ColRange) (float64, bool) {
+	if !r.HasLo || !r.HasHi {
+		return 0, false
+	}
+	return float64(r.Hi-r.Lo) + 1, true
+}
+
+// popcount narrows bits.OnesCount64 (a compiler intrinsic — a single POPCNT
+// on amd64) at the scoring loop's call sites.
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+// PatternKey returns a value-free binary encoding of the signature: the
+// three mask sets plus, per range, the column hash and its boundedness and
+// conflict flags — but not the bound values. Two signatures share a
+// PatternKey exactly when every probe's Similarity walk hits the same case
+// structure against both, differing only where rangeAffinity reads bound
+// values; the pool's inverted index partitions each FROM clause's entries
+// into such classes.
+func (s Signature) PatternKey() string {
+	buf := make([]byte, 0, 5*8+len(s.Ranges)*9)
+	buf = binary.BigEndian.AppendUint64(buf, s.Cols)
+	buf = binary.BigEndian.AppendUint64(buf, s.Joins)
+	for _, m := range s.Ops {
+		buf = binary.BigEndian.AppendUint64(buf, m)
+	}
+	for _, r := range s.Ranges {
+		buf = binary.BigEndian.AppendUint64(buf, r.Col)
+		var f byte
+		if r.HasLo {
+			f |= 1
+		}
+		if r.HasHi {
+			f |= 2
+		}
+		if r.Conflict {
+			f |= 4
+		}
+		buf = append(buf, f)
+	}
+	return string(buf)
+}
+
+// ValueKey returns a binary encoding of the signature's range bound values
+// (unset sides encode as zero — the flags distinguishing them live in
+// PatternKey). Within one PatternKey class, signatures are fully identical
+// exactly when their ValueKeys are equal; the pool's index groups class
+// members into such buckets so each distinct signature is scored once per
+// probe.
+func (s Signature) ValueKey() string {
+	buf := make([]byte, 0, len(s.Ranges)*16)
+	for _, r := range s.Ranges {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.Lo))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.Hi))
+	}
+	return string(buf)
+}

@@ -28,7 +28,9 @@ var largePoolSizes = []int{1000, 10000, 50000}
 
 type largePoolEnv struct {
 	full   *CardinalityEstimator // unbounded scan
-	topK   *CardinalityEstimator // MaxCandidates = 64
+	topK   *CardinalityEstimator // MaxCandidates = 64, indexed selection
+	noIdx  *CardinalityEstimator // MaxCandidates = 64, WithIndexedSelection(false)
+	shared *CardinalityEstimator // MaxCandidates = 64, batch-level candidate sharing
 	pool   *QueriesPool
 	probes []Query
 }
@@ -73,6 +75,9 @@ func largePoolBenchEnv(b *testing.B, n int) *largePoolEnv {
 		}
 		p.Add(q, int64(1+i%9973))
 	}
+	// Twin pool with the inverted index disabled: the PR 4 linear-scan
+	// baseline, kept in the grid so the speedup is measured in-run.
+	lin := rebuildPool(sys, p, WithIndexedSelection(false))
 
 	probes := make([]Query, 0, 8)
 	for i := 0; i < 8; i++ {
@@ -97,12 +102,17 @@ func largePoolBenchEnv(b *testing.B, n int) *largePoolEnv {
 			WithFallback(base), WithRepCacheSize(2*n+1024)),
 		topK: sys.CardinalityEstimator(model, p,
 			WithFallback(base), WithRepCacheSize(2*n+1024), WithMaxCandidates(64)),
+		noIdx: sys.CardinalityEstimator(model, lin,
+			WithFallback(base), WithRepCacheSize(2*n+1024), WithMaxCandidates(64)),
+		shared: sys.CardinalityEstimator(model, p,
+			WithFallback(base), WithRepCacheSize(2*n+1024), WithMaxCandidates(64),
+			WithSharedSelection(true)),
 		pool:   p,
 		probes: probes,
 	}
 	// Warm each estimator to resident steady state: sighting, promotion,
 	// resident read.
-	for _, est := range []*CardinalityEstimator{env.full, env.topK} {
+	for _, est := range []*CardinalityEstimator{env.full, env.topK, env.noIdx, env.shared} {
 		for pass := 0; pass < 3; pass++ {
 			for _, q := range probes {
 				if _, err := est.EstimateCardinality(ctx, q); err != nil {
@@ -115,21 +125,24 @@ func largePoolBenchEnv(b *testing.B, n int) *largePoolEnv {
 	return env
 }
 
-// BenchmarkEstimateCardinalityLargePool is the PR 4 acceptance benchmark:
-// per-request latency vs pool size, unbounded (k=0) against top-64
-// candidate selection.
+// BenchmarkEstimateCardinalityLargePool is the PR 4 acceptance benchmark
+// extended for PR 8: per-request latency vs pool size — unbounded scan
+// (full), indexed top-64 selection (k=64, the default path), and the same
+// bound with the inverted index disabled (k=64-noindex, the PR 4 linear
+// baseline). k=64 over k=64-noindex at a given size is the index speedup.
 func BenchmarkEstimateCardinalityLargePool(b *testing.B) {
 	for _, n := range largePoolSizes {
-		for _, k := range []int{0, 64} {
-			label := "full"
-			if k > 0 {
-				label = fmt.Sprintf("k=%d", k)
-			}
+		for _, label := range []string{"full", "k=64", "k=64-noindex"} {
 			b.Run(fmt.Sprintf("entries=%d/%s", n, label), func(b *testing.B) {
 				env := largePoolBenchEnv(b, n)
-				est := env.full
-				if k > 0 {
+				var est *CardinalityEstimator
+				switch label {
+				case "full":
+					est = env.full
+				case "k=64":
 					est = env.topK
+				default:
+					est = env.noIdx
 				}
 				ctx := context.Background()
 				b.ResetTimer()
@@ -140,5 +153,28 @@ func BenchmarkEstimateCardinalityLargePool(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkEstimateCardinalityLargePoolBatch measures an 8-probe batch
+// against the 50k-entry pool with top-64 selection, with and without
+// batch-level candidate sharing. ns/op is the whole batch; shared=on
+// collapses same-FROM same-pattern probes onto one ranked selection.
+func BenchmarkEstimateCardinalityLargePoolBatch(b *testing.B) {
+	for _, mode := range []string{"shared=off", "shared=on"} {
+		b.Run(fmt.Sprintf("entries=50000/%s", mode), func(b *testing.B) {
+			env := largePoolBenchEnv(b, 50000)
+			est := env.topK
+			if mode == "shared=on" {
+				est = env.shared
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.EstimateCardinalityBatch(ctx, env.probes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

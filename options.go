@@ -103,9 +103,26 @@ type PoolOption = pool.Option
 // the workload).
 func WithPoolCap(n int) PoolOption { return pool.WithCap(n) }
 
+// WithIndexedSelection toggles the pool's inverted signature-class index
+// behind top-K candidate selection (default on). Indexed selection returns
+// exactly the candidates the PR 4 linear scan would — bit-identical scores,
+// set and order — while visiting only the signature classes that can still
+// beat the current top K, so bounded selection cost depends on the clause's
+// predicate-structure diversity instead of its entry count. Clauses too
+// diverse to profit (more than one distinct signature pattern per four
+// entries at 1024+ entries) automatically fall back to the linear scan;
+// PoolStats splits the traffic (IndexHits / IndexFallbacks) and the cost
+// (ScannedIndexed / ScannedFallback). Off restores the unconditional linear
+// scan — an A/B reference and a memory dial.
+func WithIndexedSelection(on bool) PoolOption { return pool.WithIndexedSelection(on) }
+
 // PoolStats reports pool occupancy plus candidate-index and eviction
 // counters (see QueriesPool.Stats).
 type PoolStats = pool.Stats
+
+// SelectionStats reports batch-level candidate-sharing counters (see
+// CardinalityEstimator.SelectionStats and WithSharedSelection).
+type SelectionStats = card.SelectionStats
 
 // --- Cardinality estimation -------------------------------------------------
 
@@ -188,6 +205,21 @@ func WithMaxCandidates(k int) EstimatorOption {
 		// must be able to override an earlier bound.
 		s.est.MaxCandidates = k
 	}
+}
+
+// WithSharedSelection deduplicates candidate selection across each batch
+// (coalesced or explicit): probes sharing a FROM clause — and, under a
+// WithMaxCandidates bound, a predicate-signature pattern — reuse one pool
+// selection per batch instead of probing the pool per query. Containment
+// rates are still estimated per (probe, candidate) pair. With an unbounded
+// scan (MaxCandidates 0) sharing is exact: every probe of a FROM clause
+// receives the identical candidate set either way. With a binding bound it
+// is an approximation — same-pattern probes with different predicate values
+// reuse a top-K ranked for the first probe's values — hence opt-in
+// (default off; the Median final function is robust to near-miss candidate
+// sets, and SelectionStats reports how often sharing fired).
+func WithSharedSelection(on bool) EstimatorOption {
+	return func(s *estimatorSettings) { s.est.ShareCandidates = on }
 }
 
 // WithRepCacheSize bounds the representation cache of a CRN-backed
