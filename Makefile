@@ -1,7 +1,7 @@
 # Development entry points. Everything is plain `go` underneath; the
 # targets just bundle the flags used by CI and the perf trajectory.
 
-.PHONY: all build test race bench bench-smoke fmt vet clean-data
+.PHONY: all build test race test-noasm bench bench-smoke fmt vet clean-data
 
 all: build test
 
@@ -14,15 +14,25 @@ test:
 race:
 	go test -race ./...
 
-# bench runs the nn-kernel, compute-core and serving benchmarks (including
-# the concurrent serving benchmarks at -cpu 1,4, the large-pool top-K
-# benchmarks with the inverted index on AND off plus batch-level candidate
-# sharing, the saturated-pool eviction benchmarks, the feedback-loop
-# trainer-idle/active benchmarks, the PR 6 durability benchmarks, the PR 7
-# guarded serving benchmark with its <= 5% overhead gate, and the PR 8
-# index gate: indexed selection >= 5x the linear scan at 50k entries and
-# <= 5% over it at 1k) with -benchmem and records results (plus the frozen
-# pre-PR baseline) in BENCH_8.json.
+# test-noasm builds and tests the portable configuration: the AVX2+FMA
+# assembly and its dispatch compiled out, generic Go kernels everywhere —
+# what every non-amd64 platform runs. CI runs this plus a GOARCH=arm64
+# cross-compile on every push.
+test-noasm:
+	go build -tags noasm ./...
+	go test -tags noasm ./...
+
+# bench runs the nn-kernel, wire-codec, compute-core and serving benchmarks
+# (including the concurrent serving benchmarks at -cpu 1,4, the large-pool
+# top-K benchmarks with the inverted index on AND off plus batch-level
+# candidate sharing, the saturated-pool eviction benchmarks, the
+# feedback-loop trainer-idle/active benchmarks, the PR 6 durability
+# benchmarks, the PR 7 guarded serving benchmark with its <= 5% overhead
+# gate, the PR 8 index gate, and the PR 9 gates: dispatched MatMul128 >= 2x
+# the noasm build where AVX2+FMA was selected, binary batch codec allocs
+# <= 20% of JSON) with -benchmem and records results (plus the frozen
+# pre-PR baseline) in BENCH_9.json. Kernel and wire rows record minima over
+# repeated runs — see the noise policy note in BENCH_9.json.
 bench:
 	scripts/bench.sh
 
@@ -40,7 +50,7 @@ bench:
 # per variant, and the guarded serving benchmark one pass through the
 # admission gate + breaker + deadline stack.
 bench-smoke:
-	go test ./internal/nn ./internal/crn -run '^$$' -bench . -benchtime 1x -benchmem
+	go test ./internal/nn ./internal/crn ./internal/wire -run '^$$' -bench . -benchtime 1x -benchmem
 	go test . -run '^$$' -bench 'EstimateCardinality(Parallel|SoloCoalesced|Guarded)' -cpu 1,4 -benchtime 1x -benchmem
 	go test . -run '^$$' -bench 'EstimateCardinalityLargePool' -benchtime 1x -benchmem
 	go test . -run '^$$' -bench 'EstimateCardinalityTrainer' -cpu 4 -benchtime 1x -benchmem

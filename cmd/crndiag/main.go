@@ -8,6 +8,10 @@
 // Usage:
 //
 //	crndiag [-titles 2000] [-pairs 6000] [-worst 8] [-entries 5]
+//
+// With -kernels it instead prints the inner-loop kernel set package nn
+// selected for this host ("avx2+fma" or "generic") and exits — used by
+// scripts/bench.sh to decide whether the SIMD kernel gate applies.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 
 	"crn/internal/experiments"
 	"crn/internal/metrics"
+	"crn/internal/nn"
 	"crn/internal/query"
 )
 
@@ -27,7 +32,13 @@ func main() {
 	epochs := flag.Int("epochs", 16, "CRN training epochs")
 	worst := flag.Int("worst", 8, "how many worst queries to explain")
 	entries := flag.Int("entries", 5, "pool entries to dump per query")
+	kernels := flag.Bool("kernels", false, "print the selected nn kernel ISA and exit")
 	flag.Parse()
+
+	if *kernels {
+		fmt.Println(nn.KernelISA())
+		return
+	}
 
 	cfg := experiments.SmallConfig()
 	cfg.DBTitles = *titles

@@ -22,6 +22,15 @@
 // containment estimates run under the request context, so a disconnecting
 // client cancels that work.
 //
+// High-QPS clients can POST /estimate/batch with Content-Type:
+// application/x-crn-batch — a length-prefixed little-endian binary frame
+// protocol (format spec in the README and internal/wire) that skips JSON
+// reflection entirely and runs on pooled buffers; cardinalities are
+// bit-identical to the JSON path. JSON stays the default, and
+// -binary-batch=false is the kill switch: binary requests then get 415
+// while JSON is unaffected. /healthz reports per-codec traffic and the
+// buffer reuse rate under "wire".
+//
 // Concurrent single-query /estimate requests are coalesced into shared
 // batched passes (bit-identical results, one pool scan per batch instead of
 // one per request); tune with -coalesce-batch / -coalesce-wait, observe on
@@ -115,6 +124,7 @@ func main() {
 	coalesceBatch := flag.Int("coalesce-batch", 64, "max concurrent /estimate requests coalesced into one batched pass (< 2 disables coalescing)")
 	coalesceWait := flag.Duration("coalesce-wait", 0, "how long to hold a non-full coalescing batch open for stragglers (0: adaptive, never waits)")
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling opt-in)")
+	binaryBatch := flag.Bool("binary-batch", true, "serve the application/x-crn-batch binary frame protocol on /estimate/batch (=false answers binary requests with 415; JSON unaffected)")
 	adapt := flag.Bool("adapt", true, "enable the online-adaptation loop (/feedback ingestion, background retraining, model hot-swap)")
 	feedbackBuffer := flag.Int("feedback-buffer", 1024, "staged execution-feedback records before /feedback rejects (adaptation)")
 	feedbackMinBatch := flag.Int("feedback-min-batch", 16, "staged records that make a scheduled retrain worthwhile (adaptation)")
@@ -288,6 +298,7 @@ func main() {
 	handler := newServer(sys, model, pool, est, logger)
 	handler.adaptive = adaptive
 	handler.pprof = *pprofFlag
+	handler.binaryBatch = *binaryBatch
 	handler.setIngestLimit(*maxInflight)
 	if *pprofFlag {
 		logger.Printf("pprof enabled under /debug/pprof/")

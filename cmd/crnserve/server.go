@@ -5,14 +5,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"crn"
 	"crn/internal/guard"
+	"crn/internal/wire"
 )
 
 // server is the HTTP front end over the estimation facade: a trained
@@ -52,6 +56,14 @@ type server struct {
 	// exhaust the server even while /estimate is protected. Nil: unlimited.
 	ingestGate *guard.Gate
 
+	// binaryBatch serves the application/x-crn-batch protocol on
+	// /estimate/batch (the -binary-batch flag; default on). When off,
+	// binary requests get 415 and JSON is unaffected — the operational kill
+	// switch if a client misencodes frames.
+	binaryBatch bool
+	wireIO      wireStats
+	bufPool     wire.BufferPool
+
 	estimateLatency latencyStats // single-query /estimate (cardinality mode)
 	batchLatency    latencyStats // /estimate/batch
 
@@ -62,7 +74,7 @@ type server struct {
 }
 
 func newServer(sys *crn.System, model *crn.ContainmentModel, pool *crn.QueriesPool, est *crn.CardinalityEstimator, logger *log.Logger) *server {
-	return &server{sys: sys, model: model, pool: pool, est: est, started: time.Now(), logger: logger}
+	return &server{sys: sys, model: model, pool: pool, est: est, started: time.Now(), logger: logger, binaryBatch: true}
 }
 
 // setReady flips the /readyz gate; main sets it once construction (training
@@ -183,6 +195,102 @@ func (s *server) counted(ep *endpointCounters, h http.HandlerFunc) http.HandlerF
 	}
 }
 
+// --- Batch wire accounting ---------------------------------------------------
+
+// wireStats tracks /estimate/batch traffic per codec with lock-free
+// counters; /healthz renders the snapshot under "wire".
+type wireStats struct {
+	jsonRequests   atomic.Uint64
+	jsonBytesIn    atomic.Uint64
+	jsonBytesOut   atomic.Uint64
+	binaryRequests atomic.Uint64
+	binaryBytesIn  atomic.Uint64
+	binaryBytesOut atomic.Uint64
+}
+
+// wireCodecSnapshot is one codec's traffic counters.
+type wireCodecSnapshot struct {
+	Requests uint64 `json:"requests"`
+	BytesIn  uint64 `json:"bytes_in"`
+	BytesOut uint64 `json:"bytes_out"`
+}
+
+// wireSnapshot is the "wire" section of /healthz: per-codec batch traffic
+// plus the pooled-buffer reuse rate of the binary path.
+type wireSnapshot struct {
+	BinaryEnabled   bool              `json:"binary_enabled"`
+	JSON            wireCodecSnapshot `json:"json"`
+	Binary          wireCodecSnapshot `json:"binary"`
+	BufferGets      uint64            `json:"buffer_gets"`
+	BufferMisses    uint64            `json:"buffer_misses"`
+	BufferReuseRate float64           `json:"buffer_reuse_rate"`
+}
+
+func (s *server) wireSnapshot() wireSnapshot {
+	gets, misses := s.bufPool.Stats()
+	snap := wireSnapshot{
+		BinaryEnabled: s.binaryBatch,
+		JSON: wireCodecSnapshot{
+			Requests: s.wireIO.jsonRequests.Load(),
+			BytesIn:  s.wireIO.jsonBytesIn.Load(),
+			BytesOut: s.wireIO.jsonBytesOut.Load(),
+		},
+		Binary: wireCodecSnapshot{
+			Requests: s.wireIO.binaryRequests.Load(),
+			BytesIn:  s.wireIO.binaryBytesIn.Load(),
+			BytesOut: s.wireIO.binaryBytesOut.Load(),
+		},
+		BufferGets:   gets,
+		BufferMisses: misses,
+	}
+	if gets > 0 {
+		snap.BufferReuseRate = float64(gets-misses) / float64(gets)
+	}
+	return snap
+}
+
+// countingReader counts body bytes actually read on the JSON batch path.
+type countingReader struct {
+	io.ReadCloser
+	n uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.ReadCloser.Read(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+// countingWriter counts response bytes written on the JSON batch path.
+type countingWriter struct {
+	http.ResponseWriter
+	n uint64
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.n += uint64(n)
+	return n, err
+}
+
+// readAllInto reads r to EOF appending into buf (typically pooled), like
+// io.ReadAll without the fresh allocation.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
 // --- Wire types -------------------------------------------------------------
 
 // estimateRequest drives /estimate: either Query (cardinality mode) or Q1+Q2
@@ -259,6 +367,10 @@ type healthzResponse struct {
 	Coalescer       crn.CoalescerStats `json:"coalescer"`
 	EstimateLatency latencySnapshot    `json:"estimate_latency"`
 	BatchLatency    latencySnapshot    `json:"batch_latency"`
+	// Wire reports /estimate/batch traffic per codec (json vs the
+	// application/x-crn-batch binary protocol) and the binary path's
+	// pooled-buffer reuse rate.
+	Wire wireSnapshot `json:"wire"`
 	// Online reports the adaptation loop — live model generation, feedback
 	// ingestion, background retraining and drift monitoring — and is
 	// omitted when the server runs with -adapt=false.
@@ -340,32 +452,116 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); ct == wire.ContentType ||
+		strings.HasPrefix(ct, wire.ContentType+";") {
+		s.handleEstimateBatchBinary(w, r)
+		return
+	}
+	s.wireIO.jsonRequests.Add(1)
+	cr := &countingReader{ReadCloser: r.Body}
+	r.Body = cr
+	cw := &countingWriter{ResponseWriter: w}
+	defer func() {
+		s.wireIO.jsonBytesIn.Add(cr.n)
+		s.wireIO.jsonBytesOut.Add(cw.n)
+	}()
 	var req batchRequest
 	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(cw, http.StatusBadRequest, err)
 		return
 	}
 	if len(req.Queries) == 0 {
-		s.writeError(w, http.StatusBadRequest, errors.New(`"queries" must be non-empty`))
+		s.writeError(cw, http.StatusBadRequest, errors.New(`"queries" must be non-empty`))
 		return
 	}
-	queries := make([]crn.Query, len(req.Queries))
-	for i, sql := range req.Queries {
+	cards, status, err := s.estimateBatchSQL(r.Context(), req.Queries)
+	if err != nil {
+		s.writeError(cw, status, err)
+		return
+	}
+	s.writeJSON(cw, http.StatusOK, batchResponse{Cardinalities: cards, Count: len(cards)})
+}
+
+// estimateBatchSQL is the codec-independent core of /estimate/batch: parse
+// every query, run the batched estimate, record latency. Both content types
+// funnel through it, so JSON and binary responses are bit-identical for the
+// same queries.
+func (s *server) estimateBatchSQL(ctx context.Context, sqls []string) ([]float64, int, error) {
+	queries := make([]crn.Query, len(sqls))
+	for i, sql := range sqls {
 		q, err := s.sys.ParseQuery(sql)
 		if err != nil {
-			s.writeError(w, statusFor(err), fmt.Errorf("queries[%d]: %w", i, err))
-			return
+			return nil, statusFor(err), fmt.Errorf("queries[%d]: %w", i, err)
 		}
 		queries[i] = q
 	}
 	start := time.Now()
-	cards, err := s.est.EstimateCardinalityBatch(r.Context(), queries)
+	cards, err := s.est.EstimateCardinalityBatch(ctx, queries)
 	s.batchLatency.observe(time.Since(start))
 	if err != nil {
-		s.writeError(w, statusFor(err), err)
+		return nil, statusFor(err), err
+	}
+	return cards, http.StatusOK, nil
+}
+
+// maxBatchQueries bounds a binary batch's declared query count before any
+// per-query work happens (the JSON path is equivalently bounded by
+// maxBodyBytes and parse cost).
+const maxBatchQueries = 1 << 16
+
+// handleEstimateBatchBinary serves the application/x-crn-batch frame
+// protocol (see internal/wire): pooled buffers carry the request body in
+// and the response frame out, the decoder's arena carries the query
+// strings, and no JSON reflection runs anywhere on the path. Errors are
+// still reported as JSON bodies with the usual status mapping — a client
+// that speaks the protocol can always read them.
+func (s *server) handleEstimateBatchBinary(w http.ResponseWriter, r *http.Request) {
+	if !s.binaryBatch {
+		s.writeError(w, http.StatusUnsupportedMediaType,
+			errors.New("binary batch protocol disabled (-binary-batch=false); use application/json"))
 		return
 	}
-	s.writeJSON(w, http.StatusOK, batchResponse{Cardinalities: cards, Count: len(cards)})
+	s.wireIO.binaryRequests.Add(1)
+	body, err := readAllInto(s.bufPool.Get(), http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.bufPool.Put(body)
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.wireIO.binaryBytesIn.Add(uint64(len(body)))
+	sqls, err := wire.DecodeRequest(body, maxBatchQueries)
+	s.bufPool.Put(body) // decoded strings live in their own arena, not body
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(sqls) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("batch must contain at least one query"))
+		return
+	}
+	cards, status, err := s.estimateBatchSQL(r.Context(), sqls)
+	if err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	out := s.bufPool.Get()
+	if cap(out) < wire.ResponseSize(len(cards)) {
+		out = make([]byte, 0, wire.ResponseSize(len(cards)))
+	}
+	out = wire.AppendResponse(out, cards)
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(out); err != nil && s.logger != nil {
+		s.logger.Printf("write response: %v", err)
+	}
+	s.wireIO.binaryBytesOut.Add(uint64(len(out)))
+	s.bufPool.Put(out)
 }
 
 func (s *server) handleRecord(w http.ResponseWriter, r *http.Request) {
@@ -455,6 +651,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Coalescer:       s.est.CoalescerStats(),
 		EstimateLatency: s.estimateLatency.snapshot(),
 		BatchLatency:    s.batchLatency.snapshot(),
+		Wire:            s.wireSnapshot(),
 		Guard:           s.est.GuardStats(),
 		IngestGate:      s.ingestGate.Stats(),
 		Endpoints: map[string]endpointSnapshot{

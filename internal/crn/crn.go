@@ -518,29 +518,14 @@ func (p *PairPredictor) PredictInto(dst []float64, pairs [][2]int, ws *nn.Worksp
 			}
 			mn *= -2
 			pr := a * b
-			row3 := p.f.w3[k*cols : (k+1)*cols]
-			row4 := p.f.w4[k*cols : (k+1)*cols][:len(row3)]
-			zr := zz[:len(row3)]
-			// 4-wide unroll: this is the serving hot loop (every pair pays
-			// it h times), and cols is a multiple of 4 for any even H.
-			j := 0
-			for ; j+4 <= len(row3); j += 4 {
-				zr[j] += mn*row3[j] + pr*row4[j]
-				zr[j+1] += mn*row3[j+1] + pr*row4[j+1]
-				zr[j+2] += mn*row3[j+2] + pr*row4[j+2]
-				zr[j+3] += mn*row3[j+3] + pr*row4[j+3]
-			}
-			for ; j < len(row3); j++ {
-				zr[j] += mn*row3[j] + pr*row4[j]
-			}
+			// This is the serving hot loop (every pair pays it h times);
+			// nn.Axpy2 routes it through the dispatched kernel set, so it
+			// vectorizes with the rest of the model on AVX2 hosts.
+			nn.Axpy2(zz, p.f.w3[k*cols:(k+1)*cols], p.f.w4[k*cols:(k+1)*cols], mn, pr)
 		}
-		// Bias, ReLU, second layer, sigmoid — scalar output per pair.
-		s := p.f.b2
-		for j, zv := range zz {
-			if a := zv + p.f.b1[j]; a > 0 {
-				s += a * p.f.w2[j]
-			}
-		}
+		// Bias, ReLU, second layer, sigmoid — scalar output per pair, with
+		// the hidden-layer contraction fused in one dispatched pass.
+		s := p.f.b2 + nn.BiasReLUDot(zz, p.f.b1, p.f.w2)
 		out[i] = 1 / (1 + math.Exp(-s))
 	}
 }

@@ -1,0 +1,192 @@
+package nn
+
+// Kernel dispatch. The matrix kernels in matrix.go and the fused dense/ReLU
+// row loops in layers.go funnel every inner loop through the function
+// variables below. At package init exactly one implementation set is
+// selected — hand-written AVX2+FMA assembly when the CPU supports it (amd64
+// builds without the noasm tag; see kernels_amd64.go), the portable Go
+// fallbacks in this file otherwise — and the choice never changes for the
+// life of the process. Every call site shares the one dispatched set, so
+// coalesced, cached, resident and plain serving paths stay mutually
+// bit-identical whatever was selected.
+//
+// Equivalence discipline: the vector implementations may fuse
+// multiply-adds (one rounding instead of two) and reassociate sums across
+// lanes, so axpy/axpy4/dot/dot4 agree with the generic fallbacks to the
+// tolerance gates in kernels_test.go / kernels_simd_test.go rather than
+// bitwise — exactly the contract the register-blocked kernels already have
+// against the naive references. addBiasReLU and reluMask perform no
+// reassociation (elementwise add, compare, mask) and are pinned
+// bit-identical to the generic loops.
+
+var (
+	// axpy computes dst[j] += a·x[j]. len(x) must be ≥ len(dst).
+	axpy func(dst []float64, a float64, x []float64) = axpyGeneric
+
+	// axpy2 computes dst[j] += a0·b0[j] + a1·b1[j] — the CRN head's
+	// per-hidden-unit update (see Axpy2). Both b slices must be ≥ len(dst).
+	axpy2 func(dst, b0, b1 []float64, a0, a1 float64) = axpy2Generic
+
+	// axpy4 computes dst[j] += a0·b0[j] + a1·b1[j] + a2·b2[j] + a3·b3[j] —
+	// the quad-row update of MatMul's dense path and MatMulTransAAcc. Every
+	// b slice must be ≥ len(dst).
+	axpy4 func(dst, b0, b1, b2, b3 []float64, a0, a1, a2, a3 float64) = axpy4Generic
+
+	// vecMat accumulates dst[j] += Σ_k a[k]·b[k*len(dst)+j] — one dense
+	// output row of MatMul in a single call, so the vector implementation
+	// can keep a register block of dst columns live across the whole k
+	// loop. b is row-major len(a)×len(dst); len(b) must be ≥
+	// len(a)·len(dst). Each dst element is accumulated serially in k order,
+	// preserving the determinism invariant of matrix.go.
+	vecMat func(dst, a, b []float64) = vecMatGeneric
+
+	// dot computes Σ a[k]·b[k] over len(a). len(b) must be ≥ len(a).
+	dot func(a, b []float64) float64 = dotGeneric
+
+	// dot4 computes the four dot products of a against b0..b3 in one pass —
+	// the quad-column update of MatMulTransB. Every b slice must be ≥ len(a).
+	dot4 func(a, b0, b1, b2, b3 []float64) (s0, s1, s2, s3 float64) = dot4Generic
+
+	// addBiasReLU computes row[j] = max(0, row[j]+bias[j]) — the fused
+	// epilogue of Dense.ForwardReLU. len(bias) must be ≥ len(row).
+	// Bit-identical across implementations.
+	addBiasReLU func(row, bias []float64) = addBiasReLUGeneric
+
+	// reluMask computes dst[i] = dy[i] when y[i] > 0, else 0 — the
+	// ReLUBackward mask. len(dy) and len(y) must be ≥ len(dst).
+	// Bit-identical across implementations.
+	reluMask func(dst, dy, y []float64) = reluMaskGeneric
+
+	// biasReLUDot computes Σ_j max(0, z[j]+bias[j])·w[j] — the CRN head's
+	// fused hidden-layer epilogue (see BiasReLUDot). len(bias) and len(w)
+	// must be ≥ len(z).
+	biasReLUDot func(z, bias, w []float64) float64 = biasReLUDotGeneric
+
+	// kernelISA names the selected implementation set.
+	kernelISA = "generic"
+)
+
+// KernelISA reports which inner-loop kernel set package init selected:
+// "avx2+fma" on amd64 hosts with AVX2 and FMA3 (unless built with -tags
+// noasm or run with CRN_NOSIMD set), "generic" otherwise.
+func KernelISA() string { return kernelISA }
+
+// Axpy2 computes dst[j] += a0·b0[j] + a1·b1[j] through the dispatched
+// kernel set — exported for the CRN head's serving loop in internal/crn,
+// which runs outside this package's matrix types. Both b slices must be at
+// least len(dst) long.
+func Axpy2(dst, b0, b1 []float64, a0, a1 float64) { axpy2(dst, b0, b1, a0, a1) }
+
+// BiasReLUDot computes Σ_j max(0, z[j]+bias[j])·w[j] through the dispatched
+// kernel set — the CRN head's fused bias + ReLU + output-layer contraction.
+// len(bias) and len(w) must be at least len(z).
+func BiasReLUDot(z, bias, w []float64) float64 { return biasReLUDot(z, bias, w) }
+
+// --- Generic fallbacks ------------------------------------------------------
+//
+// These are the portable kernels: the default on non-amd64 architectures
+// and under -tags noasm, and the reference the SIMD implementations are
+// tested against. They are exactly the loops the register-blocked kernels
+// inlined before dispatch existed, so a noasm build reproduces the historic
+// results bit for bit.
+
+func axpyGeneric(dst []float64, a float64, x []float64) {
+	x = x[:len(dst)]
+	for j, v := range x {
+		dst[j] += a * v
+	}
+}
+
+func axpy2Generic(dst, b0, b1 []float64, a0, a1 float64) {
+	b0 = b0[:len(dst)]
+	b1 = b1[:len(dst)]
+	for j, v := range b0 {
+		dst[j] += a0*v + a1*b1[j]
+	}
+}
+
+func axpy4Generic(dst, b0, b1, b2, b3 []float64, a0, a1, a2, a3 float64) {
+	b0 = b0[:len(dst)]
+	b1 = b1[:len(dst)]
+	b2 = b2[:len(dst)]
+	b3 = b3[:len(dst)]
+	for j, v := range b0 {
+		dst[j] += a0*v + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+func vecMatGeneric(dst, a, b []float64) {
+	bc := len(dst)
+	k := 0
+	for ; k+3 < len(a); k += 4 {
+		axpy4Generic(dst,
+			b[k*bc:k*bc+bc],
+			b[(k+1)*bc:(k+1)*bc+bc],
+			b[(k+2)*bc:(k+2)*bc+bc],
+			b[(k+3)*bc:(k+3)*bc+bc],
+			a[k], a[k+1], a[k+2], a[k+3])
+	}
+	for ; k < len(a); k++ {
+		if av := a[k]; av != 0 {
+			axpyGeneric(dst, av, b[k*bc:k*bc+bc])
+		}
+	}
+}
+
+func dotGeneric(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s float64
+	for k, av := range a {
+		s += av * b[k]
+	}
+	return s
+}
+
+func dot4Generic(a, b0, b1, b2, b3 []float64) (s0, s1, s2, s3 float64) {
+	b0 = b0[:len(a)]
+	b1 = b1[:len(a)]
+	b2 = b2[:len(a)]
+	b3 = b3[:len(a)]
+	for k, av := range a {
+		s0 += av * b0[k]
+		s1 += av * b1[k]
+		s2 += av * b2[k]
+		s3 += av * b3[k]
+	}
+	return s0, s1, s2, s3
+}
+
+func addBiasReLUGeneric(row, bias []float64) {
+	bias = bias[:len(row)]
+	for j, b := range bias {
+		if v := row[j] + b; v > 0 {
+			row[j] = v
+		} else {
+			row[j] = 0
+		}
+	}
+}
+
+func biasReLUDotGeneric(z, bias, w []float64) float64 {
+	bias = bias[:len(z)]
+	w = w[:len(z)]
+	var s float64
+	for j, zv := range z {
+		if a := zv + bias[j]; a > 0 {
+			s += a * w[j]
+		}
+	}
+	return s
+}
+
+func reluMaskGeneric(dst, dy, y []float64) {
+	dyd := dy[:len(dst)]
+	yd := y[:len(dst)]
+	for i := range dst {
+		if yd[i] > 0 {
+			dst[i] = dyd[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}

@@ -1,0 +1,727 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2+FMA inner-loop kernels. Conventions shared by every routine:
+//
+//   - Lengths come from the FIRST slice argument (the destination for the
+//     in-place kernels, the probe row for the dot kernels); the Go wrappers
+//     in matrix.go/layers.go guarantee every other slice is at least that
+//     long, mirroring the generic kernels' reslicing.
+//   - All loads/stores are unaligned (VMOVUPD): matrix rows start at
+//     arbitrary offsets inside workspace arenas.
+//   - Multiply-accumulate uses FMA (one rounding), so axpy/axpy4/dot/dot4
+//     differ from the generic two-rounding loops by ulps — covered by the
+//     tolerance gates in kernels_simd_test.go. addBiasReLU and reluMask use
+//     only adds, ordered compares and bitmasks, so they are bit-identical
+//     to the generic loops (VMAXPD/VCMPPD with the zero operand in the
+//     second-source slot reproduces the scalar `v > 0` branch exactly,
+//     including NaN -> 0 and -0 -> +0).
+//   - Go assembly reverses Intel operand order: VFMADD231PD x, a, acc
+//     computes acc += a*x.
+//
+// func axpyAVX2(dst []float64, a float64, x []float64)
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ x_base+32(FP), SI
+	VBROADCASTSD a+24(FP), Y0
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+
+axpy_loop16:
+	CMPQ AX, DX
+	JGE  axpy_head4
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD 32(DI)(AX*8), Y5
+	VMOVUPD 64(DI)(AX*8), Y6
+	VMOVUPD 96(DI)(AX*8), Y7
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VFMADD231PD Y1, Y0, Y4
+	VFMADD231PD Y2, Y0, Y5
+	VMOVUPD 64(SI)(AX*8), Y1
+	VMOVUPD 96(SI)(AX*8), Y2
+	VFMADD231PD Y1, Y0, Y6
+	VFMADD231PD Y2, Y0, Y7
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, 32(DI)(AX*8)
+	VMOVUPD Y6, 64(DI)(AX*8)
+	VMOVUPD Y7, 96(DI)(AX*8)
+	ADDQ $16, AX
+	JMP  axpy_loop16
+
+axpy_head4:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+axpy_loop4:
+	CMPQ AX, DX
+	JGE  axpy_tail
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD (SI)(AX*8), Y1
+	VFMADD231PD Y1, Y0, Y4
+	VMOVUPD Y4, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  axpy_loop4
+
+axpy_tail:
+	CMPQ AX, CX
+	JGE  axpy_done
+	VMOVSD (DI)(AX*8), X4
+	VMOVSD (SI)(AX*8), X1
+	VFMADD231SD X1, X0, X4
+	VMOVSD X4, (DI)(AX*8)
+	INCQ AX
+	JMP  axpy_tail
+
+axpy_done:
+	VZEROUPPER
+	RET
+
+// func axpy4AVX2(dst, b0, b1, b2, b3 []float64, a0, a1, a2, a3 float64)
+TEXT ·axpy4AVX2(SB), NOSPLIT, $0-152
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ b0_base+24(FP), SI
+	MOVQ b1_base+48(FP), R8
+	MOVQ b2_base+72(FP), R9
+	MOVQ b3_base+96(FP), R10
+	VBROADCASTSD a0+120(FP), Y0
+	VBROADCASTSD a1+128(FP), Y1
+	VBROADCASTSD a2+136(FP), Y2
+	VBROADCASTSD a3+144(FP), Y3
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+
+axpy4_loop16:
+	CMPQ AX, DX
+	JGE  axpy4_head4
+	VMOVUPD (DI)(AX*8), Y8
+	VMOVUPD 32(DI)(AX*8), Y9
+	VMOVUPD 64(DI)(AX*8), Y10
+	VMOVUPD 96(DI)(AX*8), Y11
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMOVUPD 64(SI)(AX*8), Y6
+	VMOVUPD 96(SI)(AX*8), Y7
+	VFMADD231PD Y4, Y0, Y8
+	VFMADD231PD Y5, Y0, Y9
+	VFMADD231PD Y6, Y0, Y10
+	VFMADD231PD Y7, Y0, Y11
+	VMOVUPD (R8)(AX*8), Y4
+	VMOVUPD 32(R8)(AX*8), Y5
+	VMOVUPD 64(R8)(AX*8), Y6
+	VMOVUPD 96(R8)(AX*8), Y7
+	VFMADD231PD Y4, Y1, Y8
+	VFMADD231PD Y5, Y1, Y9
+	VFMADD231PD Y6, Y1, Y10
+	VFMADD231PD Y7, Y1, Y11
+	VMOVUPD (R9)(AX*8), Y4
+	VMOVUPD 32(R9)(AX*8), Y5
+	VMOVUPD 64(R9)(AX*8), Y6
+	VMOVUPD 96(R9)(AX*8), Y7
+	VFMADD231PD Y4, Y2, Y8
+	VFMADD231PD Y5, Y2, Y9
+	VFMADD231PD Y6, Y2, Y10
+	VFMADD231PD Y7, Y2, Y11
+	VMOVUPD (R10)(AX*8), Y4
+	VMOVUPD 32(R10)(AX*8), Y5
+	VMOVUPD 64(R10)(AX*8), Y6
+	VMOVUPD 96(R10)(AX*8), Y7
+	VFMADD231PD Y4, Y3, Y8
+	VFMADD231PD Y5, Y3, Y9
+	VFMADD231PD Y6, Y3, Y10
+	VFMADD231PD Y7, Y3, Y11
+	VMOVUPD Y8, (DI)(AX*8)
+	VMOVUPD Y9, 32(DI)(AX*8)
+	VMOVUPD Y10, 64(DI)(AX*8)
+	VMOVUPD Y11, 96(DI)(AX*8)
+	ADDQ $16, AX
+	JMP  axpy4_loop16
+
+axpy4_head4:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+axpy4_loop4:
+	CMPQ AX, DX
+	JGE  axpy4_tail
+	VMOVUPD (DI)(AX*8), Y8
+	VMOVUPD (SI)(AX*8), Y4
+	VFMADD231PD Y4, Y0, Y8
+	VMOVUPD (R8)(AX*8), Y5
+	VFMADD231PD Y5, Y1, Y8
+	VMOVUPD (R9)(AX*8), Y6
+	VFMADD231PD Y6, Y2, Y8
+	VMOVUPD (R10)(AX*8), Y7
+	VFMADD231PD Y7, Y3, Y8
+	VMOVUPD Y8, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  axpy4_loop4
+
+axpy4_tail:
+	CMPQ AX, CX
+	JGE  axpy4_done
+	VMOVSD (DI)(AX*8), X8
+	VMOVSD (SI)(AX*8), X4
+	VFMADD231SD X4, X0, X8
+	VMOVSD (R8)(AX*8), X5
+	VFMADD231SD X5, X1, X8
+	VMOVSD (R9)(AX*8), X6
+	VFMADD231SD X6, X2, X8
+	VMOVSD (R10)(AX*8), X7
+	VFMADD231SD X7, X3, X8
+	VMOVSD X8, (DI)(AX*8)
+	INCQ AX
+	JMP  axpy4_tail
+
+axpy4_done:
+	VZEROUPPER
+	RET
+
+// func dotAVX2(a, b []float64) float64
+TEXT ·dotAVX2(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), R8
+	VXORPD Y8, Y8, Y8
+	VXORPD Y12, Y12, Y12
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+dot_loop8:
+	CMPQ AX, DX
+	JGE  dot_head4
+	VMOVUPD (SI)(AX*8), Y0
+	VMOVUPD 32(SI)(AX*8), Y1
+	VMOVUPD (R8)(AX*8), Y2
+	VMOVUPD 32(R8)(AX*8), Y3
+	VFMADD231PD Y2, Y0, Y8
+	VFMADD231PD Y3, Y1, Y12
+	ADDQ $8, AX
+	JMP  dot_loop8
+
+dot_head4:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+dot_loop4:
+	CMPQ AX, DX
+	JGE  dot_fold
+	VMOVUPD (SI)(AX*8), Y0
+	VMOVUPD (R8)(AX*8), Y2
+	VFMADD231PD Y2, Y0, Y8
+	ADDQ $4, AX
+	JMP  dot_loop4
+
+dot_fold:
+	VADDPD Y12, Y8, Y8
+	VEXTRACTF128 $1, Y8, X4
+	VADDPD X4, X8, X8
+	VHADDPD X8, X8, X8
+
+dot_tail:
+	CMPQ AX, CX
+	JGE  dot_done
+	VMOVSD (SI)(AX*8), X0
+	VMOVSD (R8)(AX*8), X2
+	VFMADD231SD X2, X0, X8
+	INCQ AX
+	JMP  dot_tail
+
+dot_done:
+	VMOVSD X8, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func dot4AVX2(a, b0, b1, b2, b3 []float64) (s0, s1, s2, s3 float64)
+TEXT ·dot4AVX2(SB), NOSPLIT, $0-152
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b0_base+24(FP), R8
+	MOVQ b1_base+48(FP), R9
+	MOVQ b2_base+72(FP), R10
+	MOVQ b3_base+96(FP), R11
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+	VXORPD Y12, Y12, Y12
+	VXORPD Y13, Y13, Y13
+	VXORPD Y14, Y14, Y14
+	VXORPD Y15, Y15, Y15
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+dot4_loop8:
+	CMPQ AX, DX
+	JGE  dot4_head4
+	VMOVUPD (SI)(AX*8), Y0
+	VMOVUPD 32(SI)(AX*8), Y1
+	VMOVUPD (R8)(AX*8), Y2
+	VMOVUPD 32(R8)(AX*8), Y3
+	VFMADD231PD Y2, Y0, Y8
+	VFMADD231PD Y3, Y1, Y12
+	VMOVUPD (R9)(AX*8), Y4
+	VMOVUPD 32(R9)(AX*8), Y5
+	VFMADD231PD Y4, Y0, Y9
+	VFMADD231PD Y5, Y1, Y13
+	VMOVUPD (R10)(AX*8), Y6
+	VMOVUPD 32(R10)(AX*8), Y7
+	VFMADD231PD Y6, Y0, Y10
+	VFMADD231PD Y7, Y1, Y14
+	VMOVUPD (R11)(AX*8), Y2
+	VMOVUPD 32(R11)(AX*8), Y3
+	VFMADD231PD Y2, Y0, Y11
+	VFMADD231PD Y3, Y1, Y15
+	ADDQ $8, AX
+	JMP  dot4_loop8
+
+dot4_head4:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+dot4_loop4:
+	CMPQ AX, DX
+	JGE  dot4_fold
+	VMOVUPD (SI)(AX*8), Y0
+	VMOVUPD (R8)(AX*8), Y2
+	VFMADD231PD Y2, Y0, Y8
+	VMOVUPD (R9)(AX*8), Y3
+	VFMADD231PD Y3, Y0, Y9
+	VMOVUPD (R10)(AX*8), Y4
+	VFMADD231PD Y4, Y0, Y10
+	VMOVUPD (R11)(AX*8), Y5
+	VFMADD231PD Y5, Y0, Y11
+	ADDQ $4, AX
+	JMP  dot4_loop4
+
+dot4_fold:
+	VADDPD Y12, Y8, Y8
+	VADDPD Y13, Y9, Y9
+	VADDPD Y14, Y10, Y10
+	VADDPD Y15, Y11, Y11
+	VEXTRACTF128 $1, Y8, X4
+	VADDPD X4, X8, X8
+	VHADDPD X8, X8, X8
+	VEXTRACTF128 $1, Y9, X5
+	VADDPD X5, X9, X9
+	VHADDPD X9, X9, X9
+	VEXTRACTF128 $1, Y10, X6
+	VADDPD X6, X10, X10
+	VHADDPD X10, X10, X10
+	VEXTRACTF128 $1, Y11, X7
+	VADDPD X7, X11, X11
+	VHADDPD X11, X11, X11
+
+dot4_tail:
+	CMPQ AX, CX
+	JGE  dot4_done
+	VMOVSD (SI)(AX*8), X0
+	VMOVSD (R8)(AX*8), X2
+	VFMADD231SD X2, X0, X8
+	VMOVSD (R9)(AX*8), X3
+	VFMADD231SD X3, X0, X9
+	VMOVSD (R10)(AX*8), X4
+	VFMADD231SD X4, X0, X10
+	VMOVSD (R11)(AX*8), X5
+	VFMADD231SD X5, X0, X11
+	INCQ AX
+	JMP  dot4_tail
+
+dot4_done:
+	VMOVSD X8, s0+120(FP)
+	VMOVSD X9, s1+128(FP)
+	VMOVSD X10, s2+136(FP)
+	VMOVSD X11, s3+144(FP)
+	VZEROUPPER
+	RET
+
+// func addBiasReLUAVX2(row, bias []float64)
+TEXT ·addBiasReLUAVX2(SB), NOSPLIT, $0-48
+	MOVQ row_base+0(FP), DI
+	MOVQ row_len+8(FP), CX
+	MOVQ bias_base+24(FP), SI
+	VXORPD Y0, Y0, Y0
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+biasrelu_loop8:
+	CMPQ AX, DX
+	JGE  biasrelu_head4
+	VMOVUPD (DI)(AX*8), Y1
+	VMOVUPD 32(DI)(AX*8), Y2
+	VMOVUPD (SI)(AX*8), Y3
+	VMOVUPD 32(SI)(AX*8), Y4
+	VADDPD Y3, Y1, Y1
+	VADDPD Y4, Y2, Y2
+	VMAXPD Y0, Y1, Y1
+	VMAXPD Y0, Y2, Y2
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  biasrelu_loop8
+
+biasrelu_head4:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+biasrelu_loop4:
+	CMPQ AX, DX
+	JGE  biasrelu_tail
+	VMOVUPD (DI)(AX*8), Y1
+	VMOVUPD (SI)(AX*8), Y3
+	VADDPD Y3, Y1, Y1
+	VMAXPD Y0, Y1, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  biasrelu_loop4
+
+biasrelu_tail:
+	CMPQ AX, CX
+	JGE  biasrelu_done
+	VMOVSD (DI)(AX*8), X1
+	VMOVSD (SI)(AX*8), X3
+	VADDSD X3, X1, X1
+	VMAXSD X0, X1, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	JMP  biasrelu_tail
+
+biasrelu_done:
+	VZEROUPPER
+	RET
+
+// func reluMaskAVX2(dst, dy, y []float64)
+TEXT ·reluMaskAVX2(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ dy_base+24(FP), SI
+	MOVQ y_base+48(FP), R8
+	VXORPD Y0, Y0, Y0
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+relumask_loop8:
+	CMPQ AX, DX
+	JGE  relumask_head4
+	VMOVUPD (R8)(AX*8), Y1
+	VMOVUPD 32(R8)(AX*8), Y2
+	VCMPPD $0x1e, Y0, Y1, Y3
+	VCMPPD $0x1e, Y0, Y2, Y4
+	VMOVUPD (SI)(AX*8), Y5
+	VMOVUPD 32(SI)(AX*8), Y6
+	VANDPD Y5, Y3, Y5
+	VANDPD Y6, Y4, Y6
+	VMOVUPD Y5, (DI)(AX*8)
+	VMOVUPD Y6, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  relumask_loop8
+
+relumask_head4:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+relumask_loop4:
+	CMPQ AX, DX
+	JGE  relumask_tail
+	VMOVUPD (R8)(AX*8), Y1
+	VCMPPD $0x1e, Y0, Y1, Y3
+	VMOVUPD (SI)(AX*8), Y5
+	VANDPD Y5, Y3, Y5
+	VMOVUPD Y5, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  relumask_loop4
+
+relumask_tail:
+	CMPQ AX, CX
+	JGE  relumask_done
+	VMOVSD (R8)(AX*8), X1
+	VCMPSD $0x1e, X0, X1, X3
+	VMOVSD (SI)(AX*8), X5
+	VANDPD X3, X5, X5
+	VMOVSD X5, (DI)(AX*8)
+	INCQ AX
+	JMP  relumask_tail
+
+relumask_done:
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	MOVL $0, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func vecMatAVX2(dst, a, b []float64)
+//
+// One dense MatMul output row per call: a register block of 16 dst columns
+// stays live in Y8..Y11 across the entire k loop, so dst traffic is one
+// load + one store per 16 columns total and the inner loop is pure
+// broadcast/load/FMA. Each dst element still accumulates serially in k
+// order (determinism invariant).
+TEXT ·vecMatAVX2(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), R8
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ b_base+48(FP), BX
+	MOVQ R8, R9
+	SHLQ $3, R9          // b row stride in bytes
+	XORQ R10, R10        // j: dst column index
+	MOVQ R8, DX
+	ANDQ $-16, DX
+
+vm_chunk16:
+	CMPQ R10, DX
+	JGE  vm_chunk4_setup
+	LEAQ (DI)(R10*8), R13
+	VMOVUPD (R13), Y8
+	VMOVUPD 32(R13), Y9
+	VMOVUPD 64(R13), Y10
+	VMOVUPD 96(R13), Y11
+	LEAQ (BX)(R10*8), R11
+	XORQ AX, AX
+
+vm_k16:
+	CMPQ AX, CX
+	JGE  vm_store16
+	VBROADCASTSD (SI)(AX*8), Y0
+	VMOVUPD (R11), Y4
+	VMOVUPD 32(R11), Y5
+	VMOVUPD 64(R11), Y6
+	VMOVUPD 96(R11), Y7
+	VFMADD231PD Y4, Y0, Y8
+	VFMADD231PD Y5, Y0, Y9
+	VFMADD231PD Y6, Y0, Y10
+	VFMADD231PD Y7, Y0, Y11
+	ADDQ R9, R11
+	INCQ AX
+	JMP  vm_k16
+
+vm_store16:
+	VMOVUPD Y8, (R13)
+	VMOVUPD Y9, 32(R13)
+	VMOVUPD Y10, 64(R13)
+	VMOVUPD Y11, 96(R13)
+	ADDQ $16, R10
+	JMP  vm_chunk16
+
+vm_chunk4_setup:
+	MOVQ R8, DX
+	ANDQ $-4, DX
+
+vm_chunk4:
+	CMPQ R10, DX
+	JGE  vm_cols_tail
+	LEAQ (DI)(R10*8), R13
+	VMOVUPD (R13), Y8
+	LEAQ (BX)(R10*8), R11
+	XORQ AX, AX
+
+vm_k4:
+	CMPQ AX, CX
+	JGE  vm_store4
+	VBROADCASTSD (SI)(AX*8), Y0
+	VMOVUPD (R11), Y4
+	VFMADD231PD Y4, Y0, Y8
+	ADDQ R9, R11
+	INCQ AX
+	JMP  vm_k4
+
+vm_store4:
+	VMOVUPD Y8, (R13)
+	ADDQ $4, R10
+	JMP  vm_chunk4
+
+vm_cols_tail:
+	CMPQ R10, R8
+	JGE  vm_done
+	LEAQ (DI)(R10*8), R13
+	VMOVSD (R13), X8
+	LEAQ (BX)(R10*8), R11
+	XORQ AX, AX
+
+vm_ktail:
+	CMPQ AX, CX
+	JGE  vm_store1
+	VMOVSD (SI)(AX*8), X0
+	VMOVSD (R11), X4
+	VFMADD231SD X4, X0, X8
+	ADDQ R9, R11
+	INCQ AX
+	JMP  vm_ktail
+
+vm_store1:
+	VMOVSD X8, (R13)
+	INCQ R10
+	JMP  vm_cols_tail
+
+vm_done:
+	VZEROUPPER
+	RET
+
+// func axpy2AVX2(dst, b0, b1 []float64, a0, a1 float64)
+TEXT ·axpy2AVX2(SB), NOSPLIT, $0-88
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ b0_base+24(FP), SI
+	MOVQ b1_base+48(FP), R8
+	VBROADCASTSD a0+72(FP), Y0
+	VBROADCASTSD a1+80(FP), Y1
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+
+axpy2_loop16:
+	CMPQ AX, DX
+	JGE  axpy2_head4
+	VMOVUPD (DI)(AX*8), Y8
+	VMOVUPD 32(DI)(AX*8), Y9
+	VMOVUPD 64(DI)(AX*8), Y10
+	VMOVUPD 96(DI)(AX*8), Y11
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMOVUPD 64(SI)(AX*8), Y6
+	VMOVUPD 96(SI)(AX*8), Y7
+	VFMADD231PD Y4, Y0, Y8
+	VFMADD231PD Y5, Y0, Y9
+	VFMADD231PD Y6, Y0, Y10
+	VFMADD231PD Y7, Y0, Y11
+	VMOVUPD (R8)(AX*8), Y4
+	VMOVUPD 32(R8)(AX*8), Y5
+	VMOVUPD 64(R8)(AX*8), Y6
+	VMOVUPD 96(R8)(AX*8), Y7
+	VFMADD231PD Y4, Y1, Y8
+	VFMADD231PD Y5, Y1, Y9
+	VFMADD231PD Y6, Y1, Y10
+	VFMADD231PD Y7, Y1, Y11
+	VMOVUPD Y8, (DI)(AX*8)
+	VMOVUPD Y9, 32(DI)(AX*8)
+	VMOVUPD Y10, 64(DI)(AX*8)
+	VMOVUPD Y11, 96(DI)(AX*8)
+	ADDQ $16, AX
+	JMP  axpy2_loop16
+
+axpy2_head4:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+axpy2_loop4:
+	CMPQ AX, DX
+	JGE  axpy2_tail
+	VMOVUPD (DI)(AX*8), Y8
+	VMOVUPD (SI)(AX*8), Y4
+	VFMADD231PD Y4, Y0, Y8
+	VMOVUPD (R8)(AX*8), Y5
+	VFMADD231PD Y5, Y1, Y8
+	VMOVUPD Y8, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  axpy2_loop4
+
+axpy2_tail:
+	CMPQ AX, CX
+	JGE  axpy2_done
+	VMOVSD (DI)(AX*8), X8
+	VMOVSD (SI)(AX*8), X4
+	VFMADD231SD X4, X0, X8
+	VMOVSD (R8)(AX*8), X5
+	VFMADD231SD X5, X1, X8
+	VMOVSD X8, (DI)(AX*8)
+	INCQ AX
+	JMP  axpy2_tail
+
+axpy2_done:
+	VZEROUPPER
+	RET
+
+// func biasReLUDotAVX2(z, bias, w []float64) float64
+TEXT ·biasReLUDotAVX2(SB), NOSPLIT, $0-80
+	MOVQ z_base+0(FP), SI
+	MOVQ z_len+8(FP), CX
+	MOVQ bias_base+24(FP), R8
+	MOVQ w_base+48(FP), R9
+	VXORPD Y0, Y0, Y0
+	VXORPD Y8, Y8, Y8
+	VXORPD Y12, Y12, Y12
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+brdot_loop8:
+	CMPQ AX, DX
+	JGE  brdot_head4
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VMOVUPD (R8)(AX*8), Y3
+	VMOVUPD 32(R8)(AX*8), Y4
+	VADDPD Y3, Y1, Y1
+	VADDPD Y4, Y2, Y2
+	VMAXPD Y0, Y1, Y1
+	VMAXPD Y0, Y2, Y2
+	VMOVUPD (R9)(AX*8), Y5
+	VMOVUPD 32(R9)(AX*8), Y6
+	VFMADD231PD Y5, Y1, Y8
+	VFMADD231PD Y6, Y2, Y12
+	ADDQ $8, AX
+	JMP  brdot_loop8
+
+brdot_head4:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+brdot_loop4:
+	CMPQ AX, DX
+	JGE  brdot_fold
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD (R8)(AX*8), Y3
+	VADDPD Y3, Y1, Y1
+	VMAXPD Y0, Y1, Y1
+	VMOVUPD (R9)(AX*8), Y5
+	VFMADD231PD Y5, Y1, Y8
+	ADDQ $4, AX
+	JMP  brdot_loop4
+
+brdot_fold:
+	VADDPD Y12, Y8, Y8
+	VEXTRACTF128 $1, Y8, X4
+	VADDPD X4, X8, X8
+	VHADDPD X8, X8, X8
+
+brdot_tail:
+	CMPQ AX, CX
+	JGE  brdot_done
+	VMOVSD (SI)(AX*8), X1
+	VMOVSD (R8)(AX*8), X3
+	VADDSD X3, X1, X1
+	VMAXSD X0, X1, X1
+	VMOVSD (R9)(AX*8), X5
+	VFMADD231SD X5, X1, X8
+	INCQ AX
+	JMP  brdot_tail
+
+brdot_done:
+	VMOVSD X8, ret+72(FP)
+	VZEROUPPER
+	RET

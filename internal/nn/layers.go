@@ -95,14 +95,7 @@ func (d *Dense) ForwardReLU(ws *Workspace, x *Matrix) *Matrix {
 	MatMul(y, x, d.weights())
 	bias := d.B.W
 	for i := 0; i < y.Rows; i++ {
-		row := y.Row(i)[:len(bias)]
-		for j, b := range bias {
-			if v := row[j] + b; v > 0 {
-				row[j] = v
-			} else {
-				row[j] = 0
-			}
-		}
+		addBiasReLU(y.Row(i)[:len(bias)], bias)
 	}
 	return y
 }
@@ -119,10 +112,9 @@ func (d *Dense) BackwardWS(ws *Workspace, x, dy *Matrix, needDX bool) *Matrix {
 	MatMulTransAAcc(d.gradW(), x, dy)
 	db := d.B.Grad
 	for i := 0; i < dy.Rows; i++ {
-		row := dy.Row(i)[:len(db)]
-		for j, v := range row {
-			db[j] += v
-		}
+		// FMA with multiplier 1 rounds like a plain add, so this stays
+		// bit-identical to the scalar accumulation whatever was dispatched.
+		axpy(db, 1, dy.Row(i))
 	}
 	if !needDX {
 		return nil
@@ -168,15 +160,7 @@ func ReLUBackward(dy, y *Matrix) *Matrix { return ReLUBackwardWS(nil, dy, y) }
 // ReLUBackwardWS is ReLUBackward writing into a workspace buffer.
 func ReLUBackwardWS(ws *Workspace, dy, y *Matrix) *Matrix {
 	dx := ws.Take(dy.Rows, dy.Cols)
-	yd := y.Data[:len(dx.Data)]
-	dyd := dy.Data[:len(dx.Data)]
-	for i := range dx.Data {
-		if yd[i] > 0 {
-			dx.Data[i] = dyd[i]
-		} else {
-			dx.Data[i] = 0
-		}
-	}
+	reluMask(dx.Data, dy.Data, y.Data)
 	return dx
 }
 
@@ -286,10 +270,7 @@ func (e *SetEncoder) ForwardWS(ws *Workspace, b SetBatch) (pooled, hidden *Matri
 		}
 		copy(out, hidden.Row(lo))
 		for r := lo + 1; r < hi; r++ {
-			row := hidden.Row(r)[:len(out)]
-			for j, v := range row {
-				out[j] += v
-			}
+			axpy(out, 1, hidden.Row(r)) // multiplier 1: bit-identical to +=
 		}
 		inv := 1 / float64(hi-lo)
 		for j := range out {

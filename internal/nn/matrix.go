@@ -12,14 +12,18 @@
 // reference kernels in reference.go. The optimized kernels may reassociate
 // floating-point sums, so they agree with the reference to the 1e-9 gate
 // enforced by the kernel tests rather than bitwise. Results are
-// deterministic across machines because no kernel lets core count affect
-// any output element's summation order: MatMul/MatMulTransB parallelize by
-// partitioning output rows (each element is still accumulated serially in
-// fixed k order), and MatMulTransAAcc splits its shared dimension into a
-// shape-derived fixed chunk count (transASplit), never GOMAXPROCS. Any new
-// kernel must preserve this invariant. Every serving path shares one
-// kernel set, so estimates stay bit-identical across batch compositions
-// and entry points.
+// deterministic across machines with the same kernel ISA because no kernel
+// lets core count affect any output element's summation order:
+// MatMul/MatMulTransB parallelize by partitioning output rows (each element
+// is still accumulated serially in fixed k order), and MatMulTransAAcc
+// splits its shared dimension into a shape-derived fixed chunk count
+// (transASplit), never GOMAXPROCS. Any new kernel must preserve this
+// invariant. The inner loops themselves are the dispatched kernel set of
+// kernels.go (AVX2+FMA assembly where available, portable Go otherwise;
+// see KernelISA) — selection happens once at init, so within a process
+// every serving path shares one kernel set and estimates stay bit-identical
+// across batch compositions and entry points, while results may differ by
+// ulps between hosts that dispatch different ISAs (or a noasm build).
 package nn
 
 import (
@@ -136,34 +140,7 @@ func matMulRows(dst, a, b *Matrix, lo, hi int) {
 			}
 			continue
 		}
-		k := 0
-		for ; k+3 < ac; k += 4 {
-			a0, a1, a2, a3 := aRow[k], aRow[k+1], aRow[k+2], aRow[k+3]
-			b0 := bd[k*bc : k*bc+bc]
-			b1 := bd[(k+1)*bc : (k+1)*bc+bc]
-			b2 := bd[(k+2)*bc : (k+2)*bc+bc]
-			b3 := bd[(k+3)*bc : (k+3)*bc+bc]
-			dr := dstRow[:len(b0)]
-			b1 = b1[:len(b0)]
-			b2 = b2[:len(b0)]
-			b3 = b3[:len(b0)]
-			for j, v := range b0 {
-				dr[j] += a0*v + a1*b1[j] + a2*b2[j] + a3*b3[j]
-			}
-		}
-		for ; k < ac; k++ {
-			if av := aRow[k]; av != 0 {
-				axpy(dstRow, av, bd[k*bc:k*bc+bc])
-			}
-		}
-	}
-}
-
-// axpy computes dst += a·x over the shared length.
-func axpy(dst []float64, a float64, x []float64) {
-	x = x[:len(dst)]
-	for j, v := range x {
-		dst[j] += a * v
+		vecMat(dstRow, aRow, bd[:ac*bc])
 	}
 }
 
@@ -273,9 +250,7 @@ func transAAccRange(acc []float64, a, b *Matrix, lo, hi int) {
 			a1, a2, a3 := aR1[i], aR2[i], aR3[i]
 			dr := acc[i*bc : i*bc+bc][:len(bR0)]
 			if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
-				for j, v := range bR0 {
-					dr[j] += a0*v + a1*bR1[j] + a2*bR2[j] + a3*bR3[j]
-				}
+				axpy4(dr, bR0, bR1, bR2, bR3, a0, a1, a2, a3)
 				continue
 			}
 			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
@@ -350,33 +325,14 @@ func matMulTransBRows(dst, a, b *Matrix, lo, hi int) {
 		dstRow := dst.Data[i*dc : i*dc+dc]
 		j := 0
 		for ; j+3 < b.Rows; j += 4 {
-			b0 := bd[j*ac : j*ac+ac]
-			b1 := bd[(j+1)*ac : (j+1)*ac+ac]
-			b2 := bd[(j+2)*ac : (j+2)*ac+ac]
-			b3 := bd[(j+3)*ac : (j+3)*ac+ac]
-			b0 = b0[:len(aRow)]
-			b1 = b1[:len(aRow)]
-			b2 = b2[:len(aRow)]
-			b3 = b3[:len(aRow)]
-			var s0, s1, s2, s3 float64
-			for k, av := range aRow {
-				s0 += av * b0[k]
-				s1 += av * b1[k]
-				s2 += av * b2[k]
-				s3 += av * b3[k]
-			}
-			dstRow[j] = s0
-			dstRow[j+1] = s1
-			dstRow[j+2] = s2
-			dstRow[j+3] = s3
+			dstRow[j], dstRow[j+1], dstRow[j+2], dstRow[j+3] = dot4(aRow,
+				bd[j*ac:j*ac+ac],
+				bd[(j+1)*ac:(j+1)*ac+ac],
+				bd[(j+2)*ac:(j+2)*ac+ac],
+				bd[(j+3)*ac:(j+3)*ac+ac])
 		}
 		for ; j < b.Rows; j++ {
-			bRow := bd[j*ac : j*ac+ac][:len(aRow)]
-			var s float64
-			for k, av := range aRow {
-				s += av * bRow[k]
-			}
-			dstRow[j] = s
+			dstRow[j] = dot(aRow, bd[j*ac:j*ac+ac])
 		}
 	}
 }

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # bench.sh — run the repository's performance benchmarks with -benchmem and
-# record the results (plus the frozen pre-PR-8 baseline) in BENCH_8.json,
+# record the results (plus the frozen pre-PR-9 baseline) in BENCH_9.json,
 # the perf trajectory file. Usage:
 #
 #   scripts/bench.sh [output.json]
 #
-# or `make bench`. Pure `go test` — no extra tooling, no cmd/ binaries.
+# or `make bench`. Pure `go test` — no extra tooling, no cmd/ binaries
+# (except `go run ./cmd/crndiag -kernels` to ask which kernel ISA package nn
+# dispatched, which decides whether the SIMD gate applies).
 #
 # The concurrent serving benchmarks run at -cpu 1,4 (the parallel
 # single-query throughput point of PR 3), so their names keep the -N
@@ -13,36 +15,70 @@
 # large-pool benchmarks run at 20 iterations (a full-scan iteration at 50k
 # entries costs tens of milliseconds).
 #
-# PR 8 additions:
-#   - EstimateCardinalityLargePool/.../k=64-noindex: the bounded top-64
-#     selection with the inverted signature index disabled — the PR 4
-#     linear-scan baseline measured in-run, on the same machine, same
-#     entries. k=64 against k=64-noindex at a given size is the index
-#     speedup.
-#   - EstimateCardinalityLargePoolBatch/entries=50000/shared={off,on}: an
-#     8-probe batch with and without batch-level candidate sharing.
-#   - Index gate (the PR 8 acceptance gate, min of 3): FAILS unless indexed
-#     selection at 50k entries is at least 5x faster than the in-run linear
-#     baseline, or if indexed selection at 1k entries regresses more than 5%
-#     against the linear scan there (small pools gain little from the
-#     index; they must not pay for it).
+# PR 9 additions:
+#   - Kernel rows are the MINIMUM of 5 runs (see the noise policy note in
+#     BENCH_9.json): the pure-compute kernels drifted 722us -> 1004us
+#     between BENCH_7 and BENCH_8 from shared-machine noise alone, so a
+#     single sample is not a measurement.
+#   - MatMul128Noasm: the same 128^3 matmul compiled with -tags noasm — the
+#     generic-kernel reference measured in-run, on the same machine. The
+#     plain MatMul128 row against it is the SIMD speedup.
+#   - BatchWire/codec={json,binary}: the /estimate/batch request+response
+#     codec cost for a 64-query batch, JSON reflection vs the length-prefixed
+#     binary frame with pooled buffers.
+#   - Kernel gate: on hosts where package nn dispatched "avx2+fma",
+#     MatMul128 must be at least 2x faster than MatMul128Noasm (min of 5
+#     each). On generic hosts the gate is skipped with a note — there is no
+#     SIMD to measure.
+#   - Wire gate: the binary codec must allocate at most 20% of what the JSON
+#     codec allocates per 64-query batch.
 #
-# PR 7 gate (kept): EstimateCardinalityGuarded-4 must stay within 5% of
-# EstimateCardinalityParallel-4 (guard overhead on the happy path).
+# PR 8 gate (kept): indexed candidate selection >= 5x the linear scan at 50k
+# entries, <= 5% over it at 1k. PR 7 gate (kept): guard overhead <= 5% on
+# the parallel serving point.
 #
-# The frozen baseline below is the PR 7 code measured on this machine
-# (BENCH_7.json results). The k=64-noindex and LargePoolBatch benchmarks did
-# not exist before PR 8; the baseline k=64 rows — which ran the linear
-# scan — are their reference points.
+# The frozen baseline below is the PR 8 code measured on this machine
+# (BENCH_8.json results). MatMul128Noasm and the BatchWire benchmarks did
+# not exist before PR 9; MatMul128 at BENCH_8 ran the generic kernels, so it
+# doubles as the historic reference for the SIMD rows.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_8.json}"
+OUT="${1:-BENCH_9.json}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+KERN_RAW="$(mktemp)"
+NOASM_RAW="$(mktemp)"
+WIRE_RAW="$(mktemp)"
+GATE_RAW="$(mktemp)"
+IDX_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$KERN_RAW" "$NOASM_RAW" "$WIRE_RAW" "$GATE_RAW" "$IDX_RAW"' EXIT
 
-echo "== nn kernel benchmarks ==" >&2
-go test ./internal/nn -run '^$' -bench 'MatMul|Dense|SetEncoder|Adam' -benchmem -benchtime 50x | tee -a "$RAW"
+# min_rows: collapse a -count N benchmark run to one row per benchmark name,
+# keeping the row with the minimum ns/op. On a shared single-core machine
+# the minimum is the least-perturbed sample; means drag scheduler noise in.
+min_rows() {
+  awk '
+    /^Benchmark/ {
+      ns = ""
+      for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") ns = $i + 0
+      if (ns == "") next
+      if (!($1 in bestns)) { order[++n] = $1 }
+      if (!($1 in bestns) || ns < bestns[$1]) { bestns[$1] = ns; best[$1] = $0 }
+    }
+    END { for (i = 1; i <= n; i++) print best[order[i]] }
+  ' "$1"
+}
+
+echo "== nn kernel benchmarks (min of 5) ==" >&2
+go test ./internal/nn -run '^$' -bench 'MatMul|Dense|SetEncoder|Adam' -benchmem -benchtime 50x -count 5 | tee "$KERN_RAW" >&2
+min_rows "$KERN_RAW" >> "$RAW"
+echo "== noasm kernel reference (generic Go loops, min of 5) ==" >&2
+go test -tags noasm ./internal/nn -run '^$' -bench 'MatMul128$' -benchmem -benchtime 50x -count 5 \
+  | sed 's/^BenchmarkMatMul128\b/BenchmarkMatMul128Noasm/' | tee "$NOASM_RAW" >&2
+min_rows "$NOASM_RAW" >> "$RAW"
+echo "== wire codec benchmarks (binary frame vs JSON, 64-query batch) ==" >&2
+go test ./internal/wire -run '^$' -bench 'BatchWire' -benchmem -benchtime 1000x -count 3 | tee "$WIRE_RAW" >&2
+min_rows "$WIRE_RAW" >> "$RAW"
 echo "== compute-core benchmarks (training epoch, batched inference) ==" >&2
 go test ./internal/crn -run '^$' -bench 'TrainEpoch|PredictBatch|PredictShared' -benchmem -benchtime 10x | tee -a "$RAW"
 echo "== serving benchmarks (batched cardinality estimation) ==" >&2
@@ -60,14 +96,54 @@ go test ./internal/durable -run '^$' -bench 'WALAppend|RecoveryReplay' -benchmem
 echo "== durable feedback-path benchmarks (WAL overhead on ingestion) ==" >&2
 go test . -run '^$' -bench 'RecordFeedback' -benchmem -benchtime 2000x | tee -a "$RAW"
 
+# The PR 9 kernel gate: the dispatched SIMD matmul against the generic
+# build, both already min-of-5 in $RAW. Only meaningful when package nn
+# actually selected the vector kernels — on generic hosts (no AVX2/FMA,
+# noasm builds, CRN_NOSIMD) the two rows measure the same code, so skip.
+echo "== SIMD kernel gate (dispatched vs noasm MatMul128, min of 5) ==" >&2
+ISA="$(go run ./cmd/crndiag -kernels)"
+if [ "$ISA" = "avx2+fma" ]; then
+  awk '
+    $1 == "BenchmarkMatMul128"      { if (!s || $3 + 0 < s) s = $3 + 0 }
+    $1 == "BenchmarkMatMul128Noasm" { if (!g || $3 + 0 < g) g = $3 + 0 }
+    END {
+      if (!s || !g) {
+        print "kernel gate: missing benchmark results" > "/dev/stderr"; exit 1
+      }
+      printf "SIMD matmul speedup: %.2fx (avx2+fma min %d ns/op vs noasm min %d ns/op)\n", g / s, s, g > "/dev/stderr"
+      if (s * 2 > g) {
+        print "kernel gate FAILED: dispatched MatMul128 < 2x the noasm build" > "/dev/stderr"; exit 1
+      }
+    }
+  ' "$RAW"
+else
+  echo "kernel gate SKIPPED: dispatched ISA is '$ISA', nothing to compare" >&2
+fi
+
+# The PR 9 wire gate: the binary batch codec must allocate at most 20% of
+# the JSON codec per 64-query batch. Allocation counts are deterministic,
+# so no min-taking subtlety here — the min_rows pass already left one row
+# per codec.
+echo "== wire allocation gate (binary <= 20% of JSON allocs/op) ==" >&2
+awk '
+  $1 ~ /^BenchmarkBatchWire\/codec=json(-[0-9]+)?$/   { for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") j = $i + 0 }
+  $1 ~ /^BenchmarkBatchWire\/codec=binary(-[0-9]+)?$/ { for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") b = $i + 0 }
+  END {
+    if (j == "" || b == "") {
+      print "wire gate: missing benchmark results" > "/dev/stderr"; exit 1
+    }
+    printf "wire allocs per 64-query batch: binary %d vs json %d (%.1f%%)\n", b, j, b * 100 / j > "/dev/stderr"
+    if (b * 5 > j) {
+      print "wire gate FAILED: binary allocs > 20% of JSON" > "/dev/stderr"; exit 1
+    }
+  }
+' "$RAW"
+
 # The PR 7 acceptance gate: guard overhead on the parallel serving point.
 # A dedicated -count 3 run comparing MINIMA — single-iteration deltas on a
 # shared machine swing +-20% from scheduler noise; the minimum of three is
 # the least-perturbed measurement of each side.
 echo "== guard-overhead gate (guarded vs unguarded, min of 3) ==" >&2
-GATE_RAW="$(mktemp)"
-IDX_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$GATE_RAW" "$IDX_RAW"' EXIT
 go test . -run '^$' -bench 'EstimateCardinality(Parallel$|Guarded)' -cpu 4 -benchtime 2s -count 3 | tee "$GATE_RAW" >&2
 awk '
   $1 == "BenchmarkEstimateCardinalityParallel-4" { if (!u || $3 + 0 < u) u = $3 + 0 }
@@ -138,54 +214,61 @@ RESULTS="$(awk '
 DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 GOVERSION="$(go env GOVERSION)"
 CPU="$(awk -F': *' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)"
+ISA="$(go run ./cmd/crndiag -kernels)"
 
 cat > "$OUT" <<EOF
 {
-  "pr": 8,
-  "description": "Sublinear candidate retrieval: inverted signature index with upper-bound pruning and density fallback, split indexed/fallback scan counters, batch-level candidate sharing",
+  "pr": 9,
+  "description": "Raw speed: runtime-dispatched AVX2+FMA float64 kernels behind the nn matrix ops and the CRN serving head, plus a zero-copy length-prefixed binary protocol for /estimate/batch",
   "date": "$DATE",
   "go": "$GOVERSION",
   "cpu": "$CPU",
-  "baseline_commit": "e030e4c",
+  "kernel_isa": "$ISA",
+  "baseline_commit": "c9eb0b1",
   "baseline": {
-    "_comment": "pre-PR-8 measurements on the same machine: BENCH_7.json results. The k=64-noindex and LargePoolBatch benchmarks are new in PR 8; the baseline LargePool k=64 rows ran the linear scan and are their reference (gates: indexed >= 5x linear at 50k, <= 5% over linear at 1k).",
-    "MatMul128": {"ns_per_op": 721865, "bytes_per_op": 0, "allocs_per_op": 0},
-    "MatMulBatchForward": {"ns_per_op": 1254503, "bytes_per_op": 0, "allocs_per_op": 0},
-    "DenseForwardBackward": {"ns_per_op": 2312943, "bytes_per_op": 196704, "allocs_per_op": 4},
-    "SetEncoderForward": {"ns_per_op": 846989, "bytes_per_op": 196704, "allocs_per_op": 4},
-    "AdamStep": {"ns_per_op": 534649, "bytes_per_op": 0, "allocs_per_op": 0},
-    "TrainEpoch": {"ns_per_op": 122360909, "bytes_per_op": 677825, "allocs_per_op": 159},
-    "PredictBatch": {"ns_per_op": 5139764, "bytes_per_op": 217635, "allocs_per_op": 4},
-    "PredictShared": {"ns_per_op": 13668657, "bytes_per_op": 449401, "allocs_per_op": 19},
-    "EstimateCardinalityBatch64": {"ns_per_op": 316379, "bytes_per_op": 122880, "allocs_per_op": 122},
-    "EstimateCardinalitySingleLoop64": {"ns_per_op": 376461, "bytes_per_op": 132354, "allocs_per_op": 842},
-    "EstimateCardinalityParallel": {"ns_per_op": 6919, "bytes_per_op": 2165, "allocs_per_op": 14},
-    "EstimateCardinalityParallel-4": {"ns_per_op": 9585, "bytes_per_op": 2212, "allocs_per_op": 10},
-    "EstimateCardinalityParallelNoCoalesce": {"ns_per_op": 7237, "bytes_per_op": 2068, "allocs_per_op": 13},
-    "EstimateCardinalityParallelNoCoalesce-4": {"ns_per_op": 9257, "bytes_per_op": 2068, "allocs_per_op": 13},
-    "EstimateCardinalitySoloCoalesced": {"ns_per_op": 7296, "bytes_per_op": 2164, "allocs_per_op": 14},
-    "EstimateCardinalitySoloCoalesced-4": {"ns_per_op": 8552, "bytes_per_op": 2164, "allocs_per_op": 14},
-    "EstimateCardinalityGuarded": {"ns_per_op": 7867, "bytes_per_op": 2166, "allocs_per_op": 14},
-    "EstimateCardinalityGuarded-4": {"ns_per_op": 11239, "bytes_per_op": 2205, "allocs_per_op": 11},
-    "EstimateCardinalityLargePool/entries=1000/full": {"ns_per_op": 1280319, "bytes_per_op": 333528, "allocs_per_op": 27},
-    "EstimateCardinalityLargePool/entries=1000/k=64": {"ns_per_op": 115917, "bytes_per_op": 31088, "allocs_per_op": 28},
-    "EstimateCardinalityLargePool/entries=10000/full": {"ns_per_op": 12392462, "bytes_per_op": 3316616, "allocs_per_op": 62},
-    "EstimateCardinalityLargePool/entries=10000/k=64": {"ns_per_op": 477844, "bytes_per_op": 31088, "allocs_per_op": 28},
-    "EstimateCardinalityLargePool/entries=50000/full": {"ns_per_op": 64337240, "bytes_per_op": 16360200, "allocs_per_op": 164},
-    "EstimateCardinalityLargePool/entries=50000/k=64": {"ns_per_op": 3115117, "bytes_per_op": 31088, "allocs_per_op": 28},
-    "AddSaturated/entries=1000": {"ns_per_op": 746.0, "bytes_per_op": 32, "allocs_per_op": 1},
-    "AddSaturated/entries=10000": {"ns_per_op": 903.5, "bytes_per_op": 32, "allocs_per_op": 1},
-    "AddSaturated/entries=50000": {"ns_per_op": 3595, "bytes_per_op": 32, "allocs_per_op": 1},
-    "AddSaturatedWithSelection": {"ns_per_op": 40690, "bytes_per_op": 2290, "allocs_per_op": 2},
-    "EstimateCardinalityTrainerIdle-4": {"ns_per_op": 10051, "bytes_per_op": 2216, "allocs_per_op": 10},
-    "EstimateCardinalityTrainerActive-4": {"ns_per_op": 10187, "bytes_per_op": 2604, "allocs_per_op": 10},
-    "WALAppend/none": {"ns_per_op": 2586, "bytes_per_op": 610, "allocs_per_op": 4},
-    "WALAppend/interval": {"ns_per_op": 3088, "bytes_per_op": 586, "allocs_per_op": 4},
-    "WALAppend/always": {"ns_per_op": 165210, "bytes_per_op": 168, "allocs_per_op": 4},
-    "RecoveryReplay": {"ns_per_op": 1836904, "bytes_per_op": 3765309, "allocs_per_op": 20043},
-    "RecordFeedbackMemory": {"ns_per_op": 12489, "bytes_per_op": 4842, "allocs_per_op": 19},
-    "RecordFeedbackDurable": {"ns_per_op": 12645, "bytes_per_op": 5280, "allocs_per_op": 21},
-    "RecordFeedbackDurableAlways": {"ns_per_op": 215105, "bytes_per_op": 4938, "allocs_per_op": 21}
+    "_comment": "pre-PR-9 measurements on the same machine: BENCH_8.json results, generic Go kernels throughout. Noise policy: single-sample kernel rows drifted 722us -> 1004us for MatMul128 between BENCH_7 and BENCH_8 on this shared machine, so from PR 9 on the nn-kernel, noasm-reference and wire-codec rows record the MINIMUM over repeated runs (-count 5 kernels, -count 3 wire) — the minimum is the least scheduler-perturbed sample; compare minima to minima, never a min to a historic single sample. MatMul128Noasm and BatchWire/* are new in PR 9; baseline MatMul128 ran the generic kernels, so it is also the historic reference for the SIMD speedup (gates: dispatched MatMul128 >= 2x noasm when the host dispatched avx2+fma, binary codec allocs <= 20% of JSON).",
+    "MatMul128": {"ns_per_op": 1004349, "bytes_per_op": 0, "allocs_per_op": 0},
+    "MatMulBatchForward": {"ns_per_op": 1413278, "bytes_per_op": 0, "allocs_per_op": 0},
+    "DenseForwardBackward": {"ns_per_op": 2989382, "bytes_per_op": 196704, "allocs_per_op": 4},
+    "SetEncoderForward": {"ns_per_op": 935573, "bytes_per_op": 196704, "allocs_per_op": 4},
+    "AdamStep": {"ns_per_op": 490068, "bytes_per_op": 0, "allocs_per_op": 0},
+    "TrainEpoch": {"ns_per_op": 131923100, "bytes_per_op": 677825, "allocs_per_op": 159},
+    "PredictBatch": {"ns_per_op": 5961096, "bytes_per_op": 217635, "allocs_per_op": 4},
+    "PredictShared": {"ns_per_op": 16450274, "bytes_per_op": 449401, "allocs_per_op": 19},
+    "EstimateCardinalityBatch64": {"ns_per_op": 427887, "bytes_per_op": 131072, "allocs_per_op": 122},
+    "EstimateCardinalitySingleLoop64": {"ns_per_op": 565617, "bytes_per_op": 144066, "allocs_per_op": 842},
+    "EstimateCardinalityParallel": {"ns_per_op": 9579, "bytes_per_op": 2349, "allocs_per_op": 14},
+    "EstimateCardinalityParallel-4": {"ns_per_op": 11139, "bytes_per_op": 2420, "allocs_per_op": 10},
+    "EstimateCardinalityParallelNoCoalesce": {"ns_per_op": 8035, "bytes_per_op": 2251, "allocs_per_op": 13},
+    "EstimateCardinalityParallelNoCoalesce-4": {"ns_per_op": 12430, "bytes_per_op": 2251, "allocs_per_op": 13},
+    "EstimateCardinalitySoloCoalesced": {"ns_per_op": 9030, "bytes_per_op": 2347, "allocs_per_op": 14},
+    "EstimateCardinalitySoloCoalesced-4": {"ns_per_op": 11602, "bytes_per_op": 2347, "allocs_per_op": 14},
+    "EstimateCardinalityGuarded": {"ns_per_op": 9159, "bytes_per_op": 2349, "allocs_per_op": 14},
+    "EstimateCardinalityGuarded-4": {"ns_per_op": 12833, "bytes_per_op": 2394, "allocs_per_op": 11},
+    "EstimateCardinalityLargePool/entries=1000/full": {"ns_per_op": 1361350, "bytes_per_op": 350040, "allocs_per_op": 27},
+    "EstimateCardinalityLargePool/entries=1000/k=64": {"ns_per_op": 82637, "bytes_per_op": 31936, "allocs_per_op": 30},
+    "EstimateCardinalityLargePool/entries=1000/k=64-noindex": {"ns_per_op": 126889, "bytes_per_op": 31760, "allocs_per_op": 26},
+    "EstimateCardinalityLargePool/entries=10000/full": {"ns_per_op": 12765272, "bytes_per_op": 3480584, "allocs_per_op": 62},
+    "EstimateCardinalityLargePool/entries=10000/k=64": {"ns_per_op": 76344, "bytes_per_op": 31936, "allocs_per_op": 30},
+    "EstimateCardinalityLargePool/entries=10000/k=64-noindex": {"ns_per_op": 811897, "bytes_per_op": 31760, "allocs_per_op": 26},
+    "EstimateCardinalityLargePool/entries=50000/full": {"ns_per_op": 86351892, "bytes_per_op": 17154952, "allocs_per_op": 164},
+    "EstimateCardinalityLargePool/entries=50000/k=64": {"ns_per_op": 100390, "bytes_per_op": 31936, "allocs_per_op": 30},
+    "EstimateCardinalityLargePool/entries=50000/k=64-noindex": {"ns_per_op": 4564861, "bytes_per_op": 31760, "allocs_per_op": 26},
+    "EstimateCardinalityLargePoolBatch/entries=50000/shared=off": {"ns_per_op": 649390, "bytes_per_op": 244496, "allocs_per_op": 93},
+    "EstimateCardinalityLargePoolBatch/entries=50000/shared=on": {"ns_per_op": 515063, "bytes_per_op": 118688, "allocs_per_op": 58},
+    "AddSaturated/entries=1000": {"ns_per_op": 1033, "bytes_per_op": 344, "allocs_per_op": 9},
+    "AddSaturated/entries=10000": {"ns_per_op": 2828, "bytes_per_op": 344, "allocs_per_op": 9},
+    "AddSaturated/entries=50000": {"ns_per_op": 4825, "bytes_per_op": 344, "allocs_per_op": 9},
+    "AddSaturatedWithSelection": {"ns_per_op": 6486, "bytes_per_op": 2661, "allocs_per_op": 10},
+    "EstimateCardinalityTrainerIdle-4": {"ns_per_op": 10541, "bytes_per_op": 2417, "allocs_per_op": 10},
+    "EstimateCardinalityTrainerActive-4": {"ns_per_op": 12965, "bytes_per_op": 2881, "allocs_per_op": 10},
+    "WALAppend/none": {"ns_per_op": 4899, "bytes_per_op": 610, "allocs_per_op": 4},
+    "WALAppend/interval": {"ns_per_op": 3884, "bytes_per_op": 586, "allocs_per_op": 4},
+    "WALAppend/always": {"ns_per_op": 475550, "bytes_per_op": 168, "allocs_per_op": 4},
+    "RecoveryReplay": {"ns_per_op": 2831192, "bytes_per_op": 3765310, "allocs_per_op": 20043},
+    "RecordFeedbackMemory": {"ns_per_op": 18281, "bytes_per_op": 5014, "allocs_per_op": 19},
+    "RecordFeedbackDurable": {"ns_per_op": 19757, "bytes_per_op": 5452, "allocs_per_op": 21},
+    "RecordFeedbackDurableAlways": {"ns_per_op": 475096, "bytes_per_op": 5111, "allocs_per_op": 21}
   },
   "results": {
 $RESULTS
