@@ -28,11 +28,14 @@ test-noasm:
 # candidate sharing, the saturated-pool eviction benchmarks, the
 # feedback-loop trainer-idle/active benchmarks, the PR 6 durability
 # benchmarks, the PR 7 guarded serving benchmark with its <= 5% overhead
-# gate, the PR 8 index gate, and the PR 9 gates: dispatched MatMul128 >= 2x
+# gate, the PR 8 index gate, the PR 9 gates — dispatched MatMul128 >= 2x
 # the noasm build where AVX2+FMA was selected, binary batch codec allocs
-# <= 20% of JSON) with -benchmem and records results (plus the frozen
-# pre-PR baseline) in BENCH_9.json. Kernel and wire rows record minima over
-# repeated runs — see the noise policy note in BENCH_9.json.
+# <= 20% of JSON — and the PR 10 telemetry gate: the fully instrumented
+# estimator <= 3% over the bare one on the parallel serving point) with
+# -benchmem and records results (plus the frozen pre-PR baseline and the
+# per-stage latency breakdown of the HTTP estimate path) in BENCH_10.json.
+# Kernel and wire rows record minima over repeated runs — see the noise
+# policy note in BENCH_10.json.
 bench:
 	scripts/bench.sh
 
@@ -47,11 +50,12 @@ bench:
 # estimate traffic, the pool benchmarks one heap eviction per size, the
 # WAL benchmarks one append per sync policy plus a full 10k-record
 # recovery replay, the feedback-path benchmarks one journaled record
-# per variant, and the guarded serving benchmark one pass through the
-# admission gate + breaker + deadline stack.
+# per variant, the guarded serving benchmark one pass through the
+# admission gate + breaker + deadline stack, and the telemetry benchmark
+# one pass through the fully instrumented estimator.
 bench-smoke:
 	go test ./internal/nn ./internal/crn ./internal/wire -run '^$$' -bench . -benchtime 1x -benchmem
-	go test . -run '^$$' -bench 'EstimateCardinality(Parallel|SoloCoalesced|Guarded)' -cpu 1,4 -benchtime 1x -benchmem
+	go test . -run '^$$' -bench 'EstimateCardinality(Parallel|SoloCoalesced|Guarded|Telemetry)' -cpu 1,4 -benchtime 1x -benchmem
 	go test . -run '^$$' -bench 'EstimateCardinalityLargePool' -benchtime 1x -benchmem
 	go test . -run '^$$' -bench 'EstimateCardinalityTrainer' -cpu 4 -benchtime 1x -benchmem
 	go test ./internal/pool -run '^$$' -bench 'AddSaturated' -benchtime 1x -benchmem

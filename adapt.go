@@ -15,6 +15,7 @@ import (
 	"crn/internal/guard"
 	"crn/internal/online"
 	"crn/internal/pool"
+	"crn/internal/telemetry"
 )
 
 // This file is the facade over internal/online: the execution-feedback
@@ -188,6 +189,7 @@ func (s *System) OpenAdaptiveEstimator(m *ContainmentModel, p *QueriesPool, opts
 	ce := &CardinalityEstimator{est: est, pool: p, box: box}
 	ce.initCoalescer(set)
 	ce.applyGuards(set)
+	ce.applyTelemetry(set)
 
 	cfg := set.adapt
 	ae := &AdaptiveEstimator{
@@ -240,6 +242,12 @@ func (s *System) OpenAdaptiveEstimator(m *ContainmentModel, p *QueriesPool, opts
 	ctx, cancel := context.WithCancel(context.Background())
 	ae.cancel = cancel
 	ae.trainer = online.NewTrainer(cfg, box, ae.col, p, ctxOracle{ctx: ctx, ex: s.exec}, ae.drift)
+	if set.tel != nil {
+		if store != nil {
+			store.SetTelemetry(set.tel.WALFsync, set.tel.Checkpoint)
+		}
+		ae.registerAdaptiveCollectors()
+	}
 	if store != nil {
 		// Checkpoint inside the promotion path (still under the retrain
 		// lock): the persisted (generation, pool, drift, applied LSN) tuple
@@ -251,6 +259,67 @@ func (s *System) OpenAdaptiveEstimator(m *ContainmentModel, p *QueriesPool, opts
 	}
 	ae.trainer.Start()
 	return ae, nil
+}
+
+// registerAdaptiveCollectors bridges the adaptation loop's and the
+// durability layer's stats onto the telemetry registry, gathered at
+// exposition time from the same atomics /healthz reports.
+func (e *AdaptiveEstimator) registerAdaptiveCollectors() {
+	r := e.tel.Registry()
+
+	r.GaugeFunc("crn_model_generation", "Live model generation (1 at startup, +1 per promotion).",
+		func() float64 { return float64(e.box.Generation()) })
+	r.CollectCounter("crn_trainer_events_total",
+		"Background-trainer lifecycle events.",
+		"event", func(emit telemetry.Emit) {
+			ts := e.trainer.Stats()
+			emit(float64(ts.Retrains), "retrain")
+			emit(float64(ts.Promotions), "promotion")
+			emit(float64(ts.Rejections), "rejection")
+			emit(float64(ts.DriftRetrains), "drift_retrain")
+			emit(float64(ts.TrainErrors), "train_error")
+			emit(float64(ts.Panics), "panic")
+		})
+	r.CollectCounter("crn_feedback_total",
+		"Execution-feedback ingestion results.",
+		"result", func(emit telemetry.Emit) {
+			cs := e.col.Stats()
+			emit(float64(cs.Accepted), "accepted")
+			emit(float64(cs.Duplicates), "duplicate")
+			emit(float64(cs.Corrected), "corrected")
+			emit(float64(cs.Invalid), "invalid")
+			emit(float64(cs.Overflow), "overflow")
+		})
+	r.GaugeFunc("crn_drift_score", "Windowed median q-error of live estimates against arriving truths.",
+		func() float64 { return e.drift.Stats().QError.P50 })
+	r.GaugeFunc("crn_drift_alarm", "1 while the drift monitor is tripped, else 0.",
+		func() float64 {
+			if e.drift.Stats().Drifted {
+				return 1
+			}
+			return 0
+		})
+
+	if e.store != nil {
+		r.CollectCounter("crn_wal_records_total",
+			"Feedback WAL activity: appended records, fsyncs, segment rolls, I/O errors.",
+			"kind", func(emit telemetry.Emit) {
+				ws := e.store.Stats().WAL
+				emit(float64(ws.Appends), "append")
+				emit(float64(ws.Syncs), "sync")
+				emit(float64(ws.Rolls), "roll")
+				emit(float64(ws.IOErrors), "io_error")
+			})
+		r.CollectCounter("crn_checkpoints_total", "Checkpoints written by this process.",
+			"", func(emit telemetry.Emit) { emit(float64(e.store.Stats().Checkpoints), "") })
+		r.GaugeFunc("crn_durability_degraded", "1 while feedback is staged in memory only (WAL down), else 0.",
+			func() float64 {
+				if e.col.Degraded() {
+					return 1
+				}
+				return 0
+			})
+	}
 }
 
 // reprobeLoop restores durability after a degradation. While the collector
@@ -348,6 +417,13 @@ func (e *AdaptiveEstimator) RecordFeedbackQuery(ctx context.Context, q Query, ca
 		// Invalid feedback must not touch the drift window; the collector
 		// rejects it with the error and counts it.
 		return e.col.Offer(q, card, time.Now())
+	}
+	// Live accuracy: join the truth against the most recent served estimate
+	// of this query (if the ring still holds one) BEFORE drift accounting
+	// computes a fresh estimate below — the q-error per arm should score
+	// what was actually served, not a post-hoc recomputation.
+	if e.tel != nil {
+		e.tel.Accuracy.Truth(q.Key(), float64(card))
 	}
 	// Drift accounting: how wrong was the live model about this truth?
 	// Queries the estimator cannot answer (no pool match, no fallback) are

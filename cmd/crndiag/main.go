@@ -12,6 +12,14 @@
 // With -kernels it instead prints the inner-loop kernel set package nn
 // selected for this host ("avx2+fma" or "generic") and exits — used by
 // scripts/bench.sh to decide whether the SIMD kernel gate applies.
+//
+// With -watch it instead becomes a terminal dashboard over a running
+// crnserve: it polls the server's /metrics exposition (-metrics URL) every
+// -interval and renders QPS, per-stage latency quantiles, cache/index hit
+// rates, breaker state, and the live per-arm q-error distributions. -n
+// bounds the number of frames (0: poll forever):
+//
+//	crndiag -watch -metrics http://localhost:8080/metrics -interval 2s
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"crn/internal/experiments"
 	"crn/internal/metrics"
@@ -33,10 +42,20 @@ func main() {
 	worst := flag.Int("worst", 8, "how many worst queries to explain")
 	entries := flag.Int("entries", 5, "pool entries to dump per query")
 	kernels := flag.Bool("kernels", false, "print the selected nn kernel ISA and exit")
+	watch := flag.Bool("watch", false, "poll a crnserve /metrics endpoint and render a terminal dashboard")
+	metricsURL := flag.String("metrics", "http://localhost:8080/metrics", "metrics endpoint polled by -watch")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval of -watch")
+	frames := flag.Int("n", 0, "frames to render before exiting under -watch (0: forever)")
 	flag.Parse()
 
 	if *kernels {
 		fmt.Println(nn.KernelISA())
+		return
+	}
+	if *watch {
+		if err := watchLoop(*metricsURL, *interval, *frames, os.Stdout); err != nil {
+			fail("watch: %v", err)
+		}
 		return
 	}
 

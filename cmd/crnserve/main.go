@@ -14,6 +14,7 @@
 //	GET  /healthz                                              -> {"status": "ok", ...}
 //	GET  /livez                                                -> {"status": "alive"}
 //	GET  /readyz                                               -> {"status": "ready"} or 503
+//	GET  /metrics                                              -> Prometheus text exposition
 //
 // /estimate/batch amortizes feature encoding and runs the CRN forward pass
 // matrix-batched across the whole request. /record executes the query
@@ -76,6 +77,17 @@
 // reports guard and per-endpoint counters ("guard", "ingest_gate",
 // "endpoints").
 //
+// Telemetry (on by default, disable with -telemetry=false): the serving
+// stack records per-stage latency histograms (admission → coalesce-wait →
+// cache-lookup → candidate-selection → NN-forward → finalize), request
+// outcomes, subsystem counters, and live per-arm q-error (feedback truths
+// joined against recent estimates), all exposed on GET /metrics in
+// Prometheus text format with no external dependency. /healthz renders its
+// latency, stage and accuracy sections from the same registry.
+// -metrics-addr moves /metrics plus /debug/pprof onto a separate listener
+// so operational endpoints stay off the public serving port. `crndiag
+// -watch` renders a terminal dashboard over /metrics.
+//
 // Errors map typed facade sentinels to statuses: unparseable dialect -> 400,
 // no usable pool match (estimator without fallback) -> 422, shed by
 // admission control -> 429, cancelled or breaker-diverted without
@@ -124,6 +136,8 @@ func main() {
 	coalesceBatch := flag.Int("coalesce-batch", 64, "max concurrent /estimate requests coalesced into one batched pass (< 2 disables coalescing)")
 	coalesceWait := flag.Duration("coalesce-wait", 0, "how long to hold a non-full coalescing batch open for stragglers (0: adaptive, never waits)")
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling opt-in)")
+	telemetryOn := flag.Bool("telemetry", true, "enable the serving telemetry layer: per-stage timers, /metrics Prometheus exposition, live q-error tracking (=false removes even the nanosecond clock reads)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this separate listener so operational endpoints stay off the public port (empty: /metrics rides -addr)")
 	binaryBatch := flag.Bool("binary-batch", true, "serve the application/x-crn-batch binary frame protocol on /estimate/batch (=false answers binary requests with 415; JSON unaffected)")
 	adapt := flag.Bool("adapt", true, "enable the online-adaptation loop (/feedback ingestion, background retraining, model hot-swap)")
 	feedbackBuffer := flag.Int("feedback-buffer", 1024, "staged execution-feedback records before /feedback rejects (adaptation)")
@@ -218,6 +232,11 @@ func main() {
 	}
 
 	opts := []crn.EstimatorOption{}
+	var tel *crn.Telemetry
+	if *telemetryOn {
+		tel = crn.NewTelemetry()
+		opts = append(opts, crn.WithTelemetry(tel))
+	}
 	if !*noFallback {
 		base, err := sys.AnalyzeBaseline()
 		if err != nil {
@@ -300,8 +319,18 @@ func main() {
 	handler.pprof = *pprofFlag
 	handler.binaryBatch = *binaryBatch
 	handler.setIngestLimit(*maxInflight)
+	handler.setTelemetry(tel)
+	handler.metricsOnMain = *metricsAddr == ""
 	if *pprofFlag {
 		logger.Printf("pprof enabled under /debug/pprof/")
+	}
+	switch {
+	case tel != nil && *metricsAddr == "":
+		logger.Printf("telemetry on (/metrics on the serving port; stage timers and live q-error tracking armed)")
+	case tel != nil:
+		logger.Printf("telemetry on (stage timers and live q-error tracking armed)")
+	case *metricsAddr != "":
+		logger.Printf("warning: -telemetry=false leaves the %s listener with /debug/pprof only (no /metrics)", *metricsAddr)
 	}
 	// Construction is done: model published (trained, loaded, or recovered)
 	// and any WAL replay absorbed — flip /readyz before the listener opens.
@@ -318,6 +347,20 @@ func main() {
 		WriteTimeout:      90 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		metricsSrv = &http.Server{
+			Addr:              *metricsAddr,
+			Handler:           handler.metricsHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Printf("operational listener on %s (/metrics + /debug/pprof/)", *metricsAddr)
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("metrics listener: %v", err)
+			}
+		}()
+	}
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -327,6 +370,9 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
+		if metricsSrv != nil {
+			_ = metricsSrv.Shutdown(shutdownCtx)
+		}
 	}()
 
 	logger.Printf("serving on %s (pool=%d)", *addr, pool.Len())

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"crn"
+	"crn/internal/telemetry"
+)
+
+// drive pushes a little traffic through every instrumented route so the
+// metric families below have samples: single estimates, a JSON batch, and
+// a /record append.
+func drive(t *testing.T, url string) {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		status, body, err := postJSONErr(url+"/estimate",
+			map[string]string{"query": "SELECT * FROM title WHERE title.production_year > 1975"})
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("estimate: status %d err %v body %s", status, err, body)
+		}
+	}
+	status, body, err := postJSONErr(url+"/estimate/batch", map[string]any{"queries": []string{
+		"SELECT * FROM title WHERE title.kind_id = 1",
+		"SELECT * FROM title WHERE title.production_year > 1960",
+	}})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("batch: status %d err %v body %s", status, err, body)
+	}
+	status, body, err = postJSONErr(url+"/record",
+		map[string]string{"query": "SELECT * FROM title WHERE title.kind_id = 3"})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("record: status %d err %v body %s", status, err, body)
+	}
+}
+
+// TestMetricsExposition is the /metrics acceptance: the endpoint serves
+// lint-clean Prometheus text exposition whose families cover the guard,
+// serve, pool, and wire subsystems plus the estimate path, and the moving
+// counters actually moved.
+func TestMetricsExposition(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).handler())
+	defer ts.Close()
+	drive(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != crn.MetricsContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, crn.MetricsContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	if problems := telemetry.Lint(strings.NewReader(text)); len(problems) != 0 {
+		t.Fatalf("exposition lint: %v", problems)
+	}
+	fams, err := telemetry.ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One family per instrumented subsystem, by name: estimate path,
+	// guard, serve (coalescer), pool, cache, wire, HTTP front end.
+	for _, name := range []string{
+		"crn_estimate_requests_total",
+		"crn_estimate_duration_seconds",
+		"crn_estimate_stage_duration_seconds",
+		"crn_gate_inflight",
+		"crn_breaker_state",
+		"crn_coalesce_batches_total",
+		"crn_pool_entries",
+		"crn_repcache_lookups_total",
+		"crn_accuracy_qerror",
+		"crn_wire_requests_total",
+		"crn_http_requests_total",
+	} {
+		if fams[name] == nil {
+			t.Errorf("family %s missing from /metrics", name)
+		}
+	}
+	if v, ok := fams["crn_estimate_requests_total"].Sample("outcome", "ok"); !ok || v < 3 {
+		t.Errorf("crn_estimate_requests_total{outcome=ok} = %v (ok=%v), want >= 3", v, ok)
+	}
+	if v, ok := fams["crn_wire_requests_total"].Sample("codec", "json"); !ok || v < 1 {
+		t.Errorf("crn_wire_requests_total{codec=json} = %v (ok=%v), want >= 1", v, ok)
+	}
+	if h := fams["crn_estimate_duration_seconds"].Hist("", ""); h == nil || h.Count < 3 {
+		t.Errorf("crn_estimate_duration_seconds count = %+v, want >= 3", h)
+	}
+	// The stage decomposition: the per-pass stages must have recorded at
+	// least one span each by now.
+	for _, stage := range []string{
+		telemetry.StageAdmission, telemetry.StageCacheLookup,
+		telemetry.StageCandidateSelection, telemetry.StageNNForward,
+		telemetry.StageFinalize,
+	} {
+		if h := fams["crn_estimate_stage_duration_seconds"].Hist("stage", stage); h == nil || h.Count == 0 {
+			t.Errorf("stage %s never recorded", stage)
+		}
+	}
+}
+
+// TestHealthzTelemetrySection: with telemetry on, /healthz carries the
+// registry-snapshot section — request outcomes, stage quantiles, q-error
+// arms — and its latency snapshots come from the same histograms /metrics
+// serves.
+func TestHealthzTelemetrySection(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).handler())
+	defer ts.Close()
+	drive(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Telemetry == nil {
+		t.Fatal("healthz telemetry section missing with telemetry on")
+	}
+	if hr.Telemetry.Requests["ok"] < 3 {
+		t.Errorf("telemetry.requests.ok = %d, want >= 3", hr.Telemetry.Requests["ok"])
+	}
+	st, ok := hr.Telemetry.Stages[telemetry.StageNNForward]
+	if !ok || st.Count == 0 || st.P99Micros < st.P50Micros {
+		t.Errorf("nn_forward stage quantiles wrong: %+v (ok=%v)", st, ok)
+	}
+	if _, ok := hr.Telemetry.QError["crn"]; !ok {
+		t.Errorf("qerror arms missing: %+v", hr.Telemetry.QError)
+	}
+	if hr.EstimateLatency.Count < 3 || hr.EstimateLatency.AvgMicros <= 0 {
+		t.Errorf("snapshot-derived estimate latency wrong: %+v", hr.EstimateLatency)
+	}
+}
+
+// TestMetricsAddrSplit: with metricsOnMain off (the -metrics-addr
+// configuration), the public mux stops serving /metrics while the
+// operational mux serves /metrics and /debug/pprof.
+func TestMetricsAddrSplit(t *testing.T) {
+	base := testServer(t)
+	split := newServer(base.sys, base.model, base.pool, base.est, nil)
+	split.tel = base.tel // reuse the bundle; collectors already registered
+	split.metricsOnMain = false
+
+	pub := httptest.NewServer(split.handler())
+	defer pub.Close()
+	resp, err := http.Get(pub.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("public /metrics with -metrics-addr: status %d, want 404", resp.StatusCode)
+	}
+
+	ops := httptest.NewServer(split.metricsHandler())
+	defer ops.Close()
+	for _, path := range []string{"/metrics", "/debug/pprof/"} {
+		resp, err := http.Get(ops.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("operational %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"crn"
 	"crn/internal/guard"
+	"crn/internal/telemetry"
 	"crn/internal/wire"
 )
 
@@ -64,6 +65,19 @@ type server struct {
 	wireIO      wireStats
 	bufPool     wire.BufferPool
 
+	// tel, when non-nil, is the serving telemetry bundle shared with the
+	// estimator (the -telemetry flag, default on): GET /metrics serves its
+	// registry, /healthz renders latency/stage/accuracy sections from one
+	// snapshot of it, and the frame-size histogram children below record
+	// /estimate/batch body sizes per codec. Set via setTelemetry before
+	// serving.
+	tel           *crn.Telemetry
+	metricsOnMain bool // mount /metrics on the public mux (no -metrics-addr)
+	jsonReqBytes  *telemetry.Histogram
+	jsonRespBytes *telemetry.Histogram
+	binReqBytes   *telemetry.Histogram
+	binRespBytes  *telemetry.Histogram
+
 	estimateLatency latencyStats // single-query /estimate (cardinality mode)
 	batchLatency    latencyStats // /estimate/batch
 
@@ -74,7 +88,7 @@ type server struct {
 }
 
 func newServer(sys *crn.System, model *crn.ContainmentModel, pool *crn.QueriesPool, est *crn.CardinalityEstimator, logger *log.Logger) *server {
-	return &server{sys: sys, model: model, pool: pool, est: est, started: time.Now(), logger: logger, binaryBatch: true}
+	return &server{sys: sys, model: model, pool: pool, est: est, started: time.Now(), logger: logger, binaryBatch: true, metricsOnMain: true}
 }
 
 // setReady flips the /readyz gate; main sets it once construction (training
@@ -97,6 +111,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /livez", s.handleLivez)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.tel != nil && s.metricsOnMain {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -388,6 +405,10 @@ type healthzResponse struct {
 	IngestGate crn.GateStats `json:"ingest_gate"`
 	// Endpoints reports per-route request/shed/failure counters.
 	Endpoints map[string]endpointSnapshot `json:"endpoints"`
+	// Telemetry reports the serving telemetry bundle — request outcomes,
+	// per-stage latency quantiles, live per-arm q-error — rendered from one
+	// registry gather shared with /metrics. Omitted with -telemetry=false.
+	Telemetry *telemetrySummary `json:"telemetry,omitempty"`
 }
 
 type errorResponse struct {
@@ -464,6 +485,8 @@ func (s *server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		s.wireIO.jsonBytesIn.Add(cr.n)
 		s.wireIO.jsonBytesOut.Add(cw.n)
+		s.jsonReqBytes.Observe(float64(cr.n))
+		s.jsonRespBytes.Observe(float64(cw.n))
 	}()
 	var req batchRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -534,6 +557,7 @@ func (s *server) handleEstimateBatchBinary(w http.ResponseWriter, r *http.Reques
 		return
 	}
 	s.wireIO.binaryBytesIn.Add(uint64(len(body)))
+	s.binReqBytes.Observe(float64(len(body)))
 	sqls, err := wire.DecodeRequest(body, maxBatchQueries)
 	s.bufPool.Put(body) // decoded strings live in their own arena, not body
 	if err != nil {
@@ -561,6 +585,7 @@ func (s *server) handleEstimateBatchBinary(w http.ResponseWriter, r *http.Reques
 		s.logger.Printf("write response: %v", err)
 	}
 	s.wireIO.binaryBytesOut.Add(uint64(len(out)))
+	s.binRespBytes.Observe(float64(len(out)))
 	s.bufPool.Put(out)
 }
 
@@ -665,6 +690,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		st := s.adaptive.AdaptationStats()
 		resp.Online = &st
 		resp.Durable = s.adaptive.DurabilityStats()
+	}
+	if s.tel != nil {
+		// One coherent gather: every telemetry-backed section — the latency
+		// snapshots included — comes from a single pass over the registry's
+		// histograms and counters (the same instruments /metrics exposes)
+		// instead of field-by-field reads interleaved with the render.
+		resp.Telemetry, resp.EstimateLatency, resp.BatchLatency = s.telemetrySnapshot()
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

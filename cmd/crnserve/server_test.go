@@ -21,8 +21,10 @@ var (
 
 // testServer builds one tiny trained serving stack for the whole test
 // package; individual tests get fresh httptest servers over its handler but
-// share the model (training dominates setup time).
-func testServer(t *testing.T) *server {
+// share the model (training dominates setup time). Benchmarks share it too
+// (TB), which is why BenchmarkServeStages reports quantiles from a windowed
+// snapshot delta rather than the cumulative histograms.
+func testServer(t testing.TB) *server {
 	t.Helper()
 	envOnce.Do(func() {
 		ctx := context.Background()
@@ -54,9 +56,13 @@ func testServer(t *testing.T) *server {
 		// Coalescing on, as in the default serving configuration: the
 		// equivalence assertions below (batch == single) therefore also pin
 		// the coalesced path to the batched path through the HTTP surface.
+		// Telemetry on too, so every handler test also exercises the
+		// instrumented path and /healthz renders from the registry snapshot.
+		tel := crn.NewTelemetry()
 		est := sys.CardinalityEstimator(model, pool,
-			crn.WithFallback(base), crn.WithCoalescing(16, 0))
+			crn.WithFallback(base), crn.WithCoalescing(16, 0), crn.WithTelemetry(tel))
 		envSrv = newServer(sys, model, pool, est, nil)
+		envSrv.setTelemetry(tel)
 	})
 	if envErr != nil {
 		t.Fatal(envErr)

@@ -12,6 +12,7 @@ import (
 	"crn/internal/guard"
 	"crn/internal/online"
 	"crn/internal/serve"
+	"crn/internal/telemetry"
 )
 
 // CardinalityEstimator is the pool-based Cnt2Crd estimator of §5. It is
@@ -55,6 +56,11 @@ type CardinalityEstimator struct {
 	// context — fall back to context.WithTimeout for real cancel
 	// propagation.
 	wheel *guard.DeadlineWheel
+
+	// tel, when non-nil, records per-request latency spans, outcome
+	// counters and subsystem collector families (see WithTelemetry). Nil
+	// keeps the estimate path free of clock reads.
+	tel *telemetry.Telemetry
 }
 
 // applyGuards wires the admission gate, request timeout and circuit
@@ -66,6 +72,167 @@ func (e *CardinalityEstimator) applyGuards(set estimatorSettings) {
 	if set.breaker != nil {
 		e.breaker = guard.NewBreaker(*set.breaker)
 	}
+}
+
+// applyTelemetry threads the telemetry bundle through every layer the
+// estimator owns — stage histograms into the coalescer, card estimator,
+// rate adapter and pool; collector families over the guard, cache,
+// coalescer and pool stats the facade already keeps. Called once at
+// construction, before any traffic, because the subsystem telemetry
+// fields are read without synchronization.
+func (e *CardinalityEstimator) applyTelemetry(set estimatorSettings) {
+	t := set.tel
+	if t == nil {
+		return
+	}
+	e.tel = t
+	e.est.Tel = t
+	e.coal.SetTelemetry(t.Stages.CoalesceWait, t.CoalesceBatch)
+	if e.pool != nil {
+		e.pool.SetTelemetry(t.TopKScanned, t.TopKPruned)
+	}
+	if e.box != nil {
+		e.box.SetStages(t.Stages)
+	} else if r, ok := e.est.Rates.(*icrn.Rates); ok {
+		// Stage-instrument a private copy so sibling estimators sharing the
+		// model's adapter stay untouched.
+		r2 := *r
+		r2.Stages = t.Stages
+		e.est.Rates = &r2
+	}
+	e.registerCollectors()
+}
+
+// registerCollectors bridges the estimator's existing stats atomics onto
+// the registry as gather-time collector families, so /healthz and /metrics
+// render from the same source of truth without a second set of hot-path
+// writes.
+func (e *CardinalityEstimator) registerCollectors() {
+	r := e.tel.Registry()
+
+	// Admission gate.
+	r.GaugeFunc("crn_gate_inflight", "Currently admitted estimate calls.",
+		func() float64 { return float64(e.gate.Stats().Inflight) })
+	r.CollectCounter("crn_gate_requests_total",
+		"Admission decisions: admitted into the estimate path vs shed with ErrOverloaded.",
+		"decision", func(emit telemetry.Emit) {
+			gs := e.gate.Stats()
+			emit(float64(gs.Admitted), "admitted")
+			emit(float64(gs.Shed), "shed")
+		})
+
+	// Circuit breaker.
+	r.GaugeFunc("crn_breaker_state", "Circuit breaker state: 0 closed, 1 half-open, 2 open.",
+		func() float64 {
+			switch e.breaker.State() {
+			case guard.BreakerOpen:
+				return 2
+			case guard.BreakerHalfOpen:
+				return 1
+			}
+			return 0
+		})
+	r.CollectCounter("crn_breaker_events_total",
+		"Circuit-breaker lifecycle events and diverted requests.",
+		"event", func(emit telemetry.Emit) {
+			bs := e.breaker.Stats()
+			emit(float64(bs.Trips), "trip")
+			emit(float64(bs.Closes), "close")
+			emit(float64(bs.Diverted), "diverted")
+		})
+
+	// Representation cache.
+	r.CollectCounter("crn_repcache_lookups_total",
+		"Representation-cache lookups by result.",
+		"result", func(emit telemetry.Emit) {
+			cs := e.CacheStats()
+			emit(float64(cs.Hits), "hit")
+			emit(float64(cs.Misses), "miss")
+		})
+	r.GaugeFunc("crn_repcache_entries", "Cached representations across both tiers.",
+		func() float64 { return float64(e.CacheStats().Size) })
+	r.GaugeFunc("crn_repcache_resident", "Representations in the zero-copy resident tier.",
+		func() float64 { return float64(e.CacheStats().Resident) })
+
+	// Request coalescer.
+	r.CollectCounter("crn_coalesce_calls_total",
+		"Coalescer call dispositions: total Do invocations, calls answered by another call's slot, solo fast-path runs, early abandonments.",
+		"kind", func(emit telemetry.Emit) {
+			cs := e.coal.Stats()
+			emit(float64(cs.Calls), "call")
+			emit(float64(cs.Deduped), "deduped")
+			emit(float64(cs.Solo), "solo")
+			emit(float64(cs.Abandoned), "abandoned")
+		})
+	r.CollectCounter("crn_coalesce_batches_total", "Batch executions (solo runs included).",
+		"", func(emit telemetry.Emit) { emit(float64(e.coal.Stats().Batches), "") })
+
+	// Queries pool.
+	if e.pool != nil {
+		r.GaugeFunc("crn_pool_entries", "Pooled executed queries.",
+			func() float64 { return float64(e.pool.Stats().Entries) })
+		r.CollectCounter("crn_pool_evictions_total", "Entries evicted by the capacity bound.",
+			"", func(emit telemetry.Emit) { emit(float64(e.pool.Stats().Evictions), "") })
+		r.CollectCounter("crn_pool_selections_total",
+			"Bounded top-K selections by serving path (signature-class index vs linear scan).",
+			"path", func(emit telemetry.Emit) {
+				ps := e.pool.Stats()
+				emit(float64(ps.IndexHits), "indexed")
+				emit(float64(ps.IndexFallbacks), "fallback")
+			})
+		r.CollectCounter("crn_pool_scanned_total",
+			"Candidates visited by bounded selection, by serving path.",
+			"path", func(emit telemetry.Emit) {
+				ps := e.pool.Stats()
+				emit(float64(ps.ScannedIndexed), "indexed")
+				emit(float64(ps.ScannedFallback), "fallback")
+			})
+	}
+
+	// Batch-level candidate sharing.
+	r.CollectCounter("crn_candidate_selections_total",
+		"Per-probe candidate gatherings: requested across all batches, and the subset answered by reusing an earlier selection of the same batch.",
+		"kind", func(emit telemetry.Emit) {
+			ss := e.est.SelectionStats()
+			emit(float64(ss.Selections), "requested")
+			emit(float64(ss.Shared), "shared")
+		})
+}
+
+// finish closes out one request's telemetry: end-to-end latency (into the
+// batch histogram when batch is set) and the outcome counter. fellBack
+// marks answers diverted to the fallback estimator (breaker-open routing
+// or the degraded-answer path).
+func (e *CardinalityEstimator) finish(st telemetry.StageTimer, batch bool, err error, fellBack bool) {
+	if e.tel == nil {
+		return
+	}
+	hist := e.tel.E2E
+	if batch {
+		hist = e.tel.BatchE2E
+	}
+	hist.ObserveDuration(st.Total())
+	switch {
+	case fellBack && err == nil:
+		e.tel.ReqFallback.Inc()
+	case err != nil:
+		e.tel.ReqError.Inc()
+	default:
+		e.tel.ReqOK.Inc()
+	}
+}
+
+// shed counts one request shed at the admission gate.
+func (e *CardinalityEstimator) shed(st telemetry.StageTimer, batch bool) {
+	if e.tel == nil {
+		return
+	}
+	hist := e.tel.E2E
+	if batch {
+		hist = e.tel.BatchE2E
+	}
+	hist.ObserveDuration(st.Total())
+	e.tel.ReqShed.Inc()
 }
 
 // withTimeout applies the configured per-request deadline (a no-op cancel
@@ -136,6 +303,7 @@ func (s *System) CardinalityEstimator(m *ContainmentModel, p *QueriesPool, opts 
 	}
 	ce.initCoalescer(set)
 	ce.applyGuards(set)
+	ce.applyTelemetry(set)
 	return ce
 }
 
@@ -193,6 +361,7 @@ func (s *System) ImproveBaseline(m BaselineEstimator, p *QueriesPool, opts ...Es
 	ce := &CardinalityEstimator{est: est, pool: p}
 	ce.initCoalescer(set)
 	ce.applyGuards(set)
+	ce.applyTelemetry(set)
 	return ce
 }
 
@@ -223,18 +392,27 @@ func (e *CardinalityEstimator) revalidate() {
 // with a deadline, and an open WithBreaker diverts it to the fallback
 // estimator (ErrBreakerOpen without one).
 func (e *CardinalityEstimator) EstimateCardinality(ctx context.Context, q Query) (float64, error) {
+	st := e.tel.StartTimer()
 	if err := e.gate.Acquire(); err != nil {
+		e.shed(st, false)
 		return 0, err
 	}
 	defer e.gate.Release()
 	ctx, cancel := e.withTimeout(ctx)
 	defer cancel()
+	if e.tel != nil {
+		st.Mark(e.tel.Stages.Admission)
+	}
 	if e.breaker == nil {
-		return e.estimatePrimary(ctx, q)
+		v, err := e.estimatePrimary(ctx, q)
+		e.finish(st, false, err, false)
+		return v, err
 	}
 	allowed, probe := e.breaker.Allow()
 	if !allowed {
-		return e.fallbackOne(ctx, q)
+		v, err := e.fallbackOne(ctx, q)
+		e.finish(st, false, err, true)
+		return v, err
 	}
 	var start time.Time
 	if e.breaker.TracksLatency() {
@@ -256,9 +434,11 @@ func (e *CardinalityEstimator) EstimateCardinality(ctx context.Context, q Query)
 		// degraded instead of erroring — the same routing an open breaker
 		// applies, one request early.
 		if fv, ferr := e.fallbackOne(ctx, q); ferr == nil {
+			e.finish(st, false, nil, true)
 			return fv, nil
 		}
 	}
+	e.finish(st, false, err, false)
 	return v, err
 }
 
@@ -292,13 +472,22 @@ func (e *CardinalityEstimator) fallbackOne(ctx context.Context, q Query) (float6
 	if fb == nil {
 		return 0, guard.ErrBreakerOpen
 	}
+	var v float64
+	var err error
 	if cfb, ok := fb.(contain.CtxCardEstimator); ok {
-		return cfb.EstimateCardCtx(ctx, q)
+		v, err = cfb.EstimateCardCtx(ctx, q)
+	} else if cerr := ctx.Err(); cerr != nil {
+		return 0, cerr
+	} else {
+		v, err = fb.EstimateCard(q)
 	}
-	if err := ctx.Err(); err != nil {
-		return 0, err
+	if err == nil && e.tel != nil {
+		// The divert path bypasses card.EstimateCards, which notes every
+		// estimate it serves; note the fallback answer here so execution
+		// feedback still joins it into the fallback arm's q-error.
+		e.tel.Accuracy.Note(q.Key(), v, telemetry.ArmFallback)
 	}
-	return fb.EstimateCard(q)
+	return v, err
 }
 
 // fallbackBatch is fallbackOne over a batch; it fails as a whole like the
@@ -343,19 +532,28 @@ func breakerCountable(ctx context.Context, err error) bool {
 // The operational guards apply per batch call: one admission slot, one
 // deadline, one breaker outcome — a batch is one unit of serving work.
 func (e *CardinalityEstimator) EstimateCardinalityBatch(ctx context.Context, queries []Query) ([]float64, error) {
+	st := e.tel.StartTimer()
 	if err := e.gate.Acquire(); err != nil {
+		e.shed(st, true)
 		return nil, err
 	}
 	defer e.gate.Release()
 	ctx, cancel := e.withTimeout(ctx)
 	defer cancel()
+	if e.tel != nil {
+		st.Mark(e.tel.Stages.Admission)
+	}
 	if e.breaker == nil {
 		e.revalidate()
-		return e.est.EstimateCards(ctx, queries)
+		out, err := e.est.EstimateCards(ctx, queries)
+		e.finish(st, true, err, false)
+		return out, err
 	}
 	allowed, probe := e.breaker.Allow()
 	if !allowed {
-		return e.fallbackBatch(ctx, queries)
+		out, err := e.fallbackBatch(ctx, queries)
+		e.finish(st, true, err, true)
+		return out, err
 	}
 	var start time.Time
 	if e.breaker.TracksLatency() {
@@ -375,9 +573,11 @@ func (e *CardinalityEstimator) EstimateCardinalityBatch(ctx context.Context, que
 	}
 	if failed {
 		if fout, ferr := e.fallbackBatch(ctx, queries); ferr == nil {
+			e.finish(st, true, nil, true)
 			return fout, nil
 		}
 	}
+	e.finish(st, true, err, false)
 	return out, err
 }
 

@@ -30,6 +30,7 @@ import (
 	"crn/internal/guard/failpoint"
 	"crn/internal/pool"
 	"crn/internal/query"
+	"crn/internal/telemetry"
 )
 
 // DefaultEpsilon is the y_rate guard of Figure 8: matching old queries with
@@ -86,6 +87,12 @@ type Estimator struct {
 	// predicate values reuse a top-K ranked for the first probe's values —
 	// an approximation, so sharing is opt-in (default off).
 	ShareCandidates bool
+
+	// Tel, when non-nil, receives the estimator's stage spans (candidate
+	// selection, finalize) and notes every served estimate with its arm
+	// (CRN vs fallback) into the live accuracy ring. Set before serving;
+	// nil keeps the path free of clock reads.
+	Tel *telemetry.Telemetry
 
 	// selections / sharedSels count candidate selections performed and
 	// reused across all EstimateCards calls (atomics; see SelectionStats).
@@ -169,6 +176,15 @@ func (e *Estimator) EstimateCards(ctx context.Context, queries []query.Query) ([
 	if final == nil {
 		final = pool.Median
 	}
+	var st telemetry.StageTimer
+	var acc *telemetry.Accuracy
+	if e.Tel != nil {
+		// Sampled pass timer: most passes skip the clock entirely, the
+		// sampled ones record candidate-selection and finalize spans at
+		// inverse-probability weight (see telemetry.SampleRate).
+		st = e.Tel.Stages.Sample()
+		acc = e.Tel.Accuracy
+	}
 
 	// Gather every query's pool candidates into one arena and lay their
 	// rate pairs out in one flat list: (Qold, Qnew) then (Qnew, Qold) per
@@ -225,6 +241,9 @@ func (e *Estimator) EstimateCards(ctx context.Context, queries []query.Query) ([
 			shareIdx[sk] = i
 		}
 	}
+	if e.Tel != nil {
+		st.Mark(e.Tel.Stages.CandidateSelection)
+	}
 
 	var rates []float64
 	var err error
@@ -259,6 +278,9 @@ func (e *Estimator) EstimateCards(ctx context.Context, queries []query.Query) ([
 		}
 		rates, err = e.estimateRates(ctx, pairs)
 	}
+	// The rate model times its own cache-lookup and forward spans (see
+	// crn.Rates.Stages); Touch excludes that interval from finalize.
+	st.Touch()
 	if err != nil {
 		return nil, err
 	}
@@ -282,9 +304,14 @@ func (e *Estimator) EstimateCards(ctx context.Context, queries []query.Query) ([
 				return nil, err
 			}
 			out[i] = est
+			acc.Note(qnew.Key(), est, telemetry.ArmFallback)
 			continue
 		}
 		out[i] = final(results)
+		acc.Note(qnew.Key(), out[i], telemetry.ArmCRN)
+	}
+	if e.Tel != nil {
+		st.Mark(e.Tel.Stages.Finalize)
 	}
 	return out, nil
 }

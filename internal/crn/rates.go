@@ -8,6 +8,7 @@ import (
 	"crn/internal/feature"
 	"crn/internal/nn"
 	"crn/internal/query"
+	"crn/internal/telemetry"
 )
 
 // headChunk bounds the number of pairs per head forward pass; chunking keeps
@@ -34,6 +35,12 @@ type Rates struct {
 	// RepCache); cached and uncached paths are bit-identical because a
 	// representation depends only on its own query.
 	Cache *RepCache
+
+	// Stages, when non-nil, receives the adapter's per-pass stage spans:
+	// cache resolution (pairPredictor — cache tiers plus the set-module
+	// pass over misses) and the matrix-batched head forward. Set before
+	// serving traffic; nil keeps the hot path free of clock reads.
+	Stages *telemetry.StageSet
 }
 
 // NewRates creates the adapter (no representation cache; set Cache or use
@@ -248,12 +255,19 @@ func (r *Rates) EstimateRatesIndexed(ctx context.Context, queries []query.Query,
 	}
 	ws := r.M.getWS()
 	defer r.M.putWS(ws)
+	// Sampled pass timer (nil-safe on a nil stage set): most passes skip
+	// the clock entirely, the sampled ones record cache-lookup and
+	// nn-forward spans at inverse-probability weight.
+	st := r.Stages.Sample()
 	// One precomputation — weight fold (memoized on the model),
 	// representations and partial products (resolved against the serving
 	// cache) — shared by every chunk below.
 	pred, err := r.pairPredictor(ws, queries)
 	if err != nil {
 		return nil, err
+	}
+	if r.Stages != nil {
+		st.Mark(r.Stages.CacheLookup)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -275,6 +289,9 @@ func (r *Rates) EstimateRatesIndexed(ctx context.Context, queries []query.Query,
 				hi = len(idx)
 			}
 			pred.PredictInto(out[lo:hi], idx[lo:hi], ws)
+		}
+		if r.Stages != nil {
+			st.Mark(r.Stages.NNForward)
 		}
 		return out, ctx.Err()
 	}
@@ -306,6 +323,9 @@ func (r *Rates) EstimateRatesIndexed(ctx context.Context, queries []query.Query,
 	}
 	close(next)
 	wg.Wait()
+	if r.Stages != nil {
+		st.Mark(r.Stages.NNForward)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

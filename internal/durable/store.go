@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"crn/internal/telemetry"
 )
 
 // Store ties the WAL and the checkpoint directory together under one data
@@ -33,6 +35,18 @@ type Store struct {
 	lastCkptLSN uint64
 	lastCkptGen uint64
 	lastCkptAt  time.Time
+
+	// ckptHist, when non-nil, records end-to-end checkpoint duration
+	// (write + retention). Set via SetTelemetry before serving.
+	ckptHist *telemetry.Histogram
+}
+
+// SetTelemetry attaches the store's durability histograms: WAL fsync
+// latency and checkpoint duration. Call before appends begin; the fields
+// are read without synchronization.
+func (s *Store) SetTelemetry(fsync, checkpoint *telemetry.Histogram) {
+	s.wal.SetTelemetry(fsync)
+	s.ckptHist = checkpoint
 }
 
 // StoreOptions configures Open.
@@ -124,6 +138,10 @@ func (s *Store) LastLSN() uint64 { return s.wal.LastLSN() }
 // reported but the checkpoint itself is durable once Checkpoint returns
 // a nil error from the write step.
 func (s *Store) Checkpoint(ck *Checkpoint) error {
+	if s.ckptHist != nil {
+		start := time.Now()
+		defer func() { s.ckptHist.ObserveDuration(time.Since(start)) }()
+	}
 	if _, err := WriteCheckpoint(s.ckptDir, ck); err != nil {
 		return err
 	}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"crn/internal/guard/failpoint"
+	"crn/internal/telemetry"
 )
 
 // SyncPolicy selects when WAL appends reach stable storage.
@@ -278,6 +279,30 @@ type WAL struct {
 	pruned    atomic.Uint64
 	ioErrs    atomic.Uint64
 	panics    atomic.Uint64
+
+	// fsyncHist, when non-nil, records the latency of every fsync of the
+	// segment file — the dominant cost of the durability path and the first
+	// thing to inspect when feedback appends slow down. Set via SetTelemetry
+	// before appends begin.
+	fsyncHist *telemetry.Histogram
+}
+
+// SetTelemetry attaches the fsync-latency histogram. Call before the WAL
+// serves appends: the field is read without synchronization.
+func (w *WAL) SetTelemetry(fsync *telemetry.Histogram) {
+	w.fsyncHist = fsync
+}
+
+// fsyncLocked syncs the segment file, timing the call when telemetry is
+// attached.
+func (w *WAL) fsyncLocked() error {
+	if w.fsyncHist == nil {
+		return w.f.Sync()
+	}
+	start := time.Now()
+	err := w.f.Sync()
+	w.fsyncHist.ObserveDuration(time.Since(start))
+	return err
 }
 
 // OpenWAL opens (creating if necessary) the log in dir. The tail segment is
@@ -453,7 +478,7 @@ func (w *WAL) rollLocked(firstLSN uint64, upto int) error {
 	if err := failpoint.Inject(failpoint.WALSync); err != nil {
 		return fmt.Errorf("durable: wal sync: %w", err)
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.fsyncLocked(); err != nil {
 		return fmt.Errorf("durable: wal sync: %w", err)
 	}
 	// The head is durable in the old segment: drop it from the buffer
@@ -505,7 +530,7 @@ func (w *WAL) syncLocked() error {
 			w.setErrLocked(err)
 			return err
 		}
-		if err := w.f.Sync(); err != nil {
+		if err := w.fsyncLocked(); err != nil {
 			err = fmt.Errorf("durable: wal sync: %w", err)
 			w.setErrLocked(err)
 			return err
@@ -661,7 +686,7 @@ func (w *WAL) Close() error {
 	}
 	flushErr := w.flushLocked()
 	if flushErr == nil && w.dirty {
-		flushErr = w.f.Sync()
+		flushErr = w.fsyncLocked()
 		w.dirty = false
 	}
 	closeErr := w.f.Close()

@@ -10,6 +10,7 @@ import (
 	"crn/internal/feature"
 	"crn/internal/pool"
 	"crn/internal/query"
+	"crn/internal/telemetry"
 )
 
 // Generation is one published model generation: the trained model, its
@@ -39,6 +40,7 @@ type ModelBox struct {
 	enc       *feature.Encoder
 	cacheSize int
 	pool      *pool.Pool
+	stages    *telemetry.StageSet // applied to every generation's Rates
 
 	// promoteMu serializes promotions (the trainer is the only writer in
 	// the deployment, but tests and operators may race RetrainNow calls).
@@ -55,9 +57,19 @@ func NewModelBox(m *icrn.Model, enc *feature.Encoder, cacheSize int, p *pool.Poo
 	return b
 }
 
+// SetStages attaches the stage-span set every generation's rate adapter
+// records into (cache lookup, NN forward). Call before serving: the field
+// is read without synchronization when generations are built, and the
+// current generation is re-pointed immediately.
+func (b *ModelBox) SetStages(s *telemetry.StageSet) {
+	b.stages = s
+	b.cur.Load().Rates.Stages = s
+}
+
 // newGeneration binds a model into a Generation with a fresh cache.
 func (b *ModelBox) newGeneration(m *icrn.Model, gen uint64) *Generation {
 	rates := icrn.NewRates(m, b.enc)
+	rates.Stages = b.stages
 	if b.cacheSize > 0 {
 		rates.Cache = icrn.NewRepCache(b.cacheSize)
 		if b.pool != nil {

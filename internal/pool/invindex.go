@@ -171,13 +171,15 @@ type classRef struct {
 // Callers hold at least the read lock and have checked 0 < k < len(entries).
 // ok=false means the density guard rejected the index for this FROM clause
 // and the caller must fall back to the linear scan; on success the returned
-// refs and usable count are bit-identical to selectLinearLocked's.
-func (p *Pool) selectIndexedLocked(idx *fromIndex, probe Signature, k int) (refs []scoredRef, usable int, ok bool) {
+// refs and usable count are bit-identical to selectLinearLocked's, and
+// visited reports how many candidates the class walk actually scored (the
+// per-call pruning signal behind the scanned/pruned histograms).
+func (p *Pool) selectIndexedLocked(idx *fromIndex, probe Signature, k int) (refs []scoredRef, usable int, visited uint64, ok bool) {
 	if idx.classes == nil {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	if len(idx.entries) >= minIndexEntries && len(idx.classes)*classDensityDiv > len(idx.entries) {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	classes := make([]classRef, 0, len(idx.classes))
 	for _, c := range idx.classes {
@@ -186,7 +188,6 @@ func (p *Pool) selectIndexedLocked(idx *fromIndex, probe Signature, k int) (refs
 	}
 	sort.Slice(classes, func(i, j int) bool { return classes[i].ub > classes[j].ub })
 	heap := newTopKHeap(k)
-	visited := uint64(0)
 	for _, cr := range classes {
 		if heap.full() && cr.ub < heap.refs[0].score {
 			// Bounds are sorted descending: every remaining class is provably
@@ -202,7 +203,7 @@ func (p *Pool) selectIndexedLocked(idx *fromIndex, probe Signature, k int) (refs
 	}
 	p.indexHits.Add(1)
 	p.scannedIdx.Add(visited)
-	return heap.sorted(), idx.nPos, true
+	return heap.sorted(), idx.nPos, visited, true
 }
 
 // offerClassFlat offers a flat class's members: every member scores

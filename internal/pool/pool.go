@@ -25,6 +25,7 @@ import (
 
 	"crn/internal/metrics"
 	"crn/internal/query"
+	"crn/internal/telemetry"
 )
 
 // Entry is one pooled query with its actual cardinality. ID is a stable
@@ -92,6 +93,13 @@ type Pool struct {
 	indexHits      atomic.Uint64 // bounded selections served by the index
 	indexFallbacks atomic.Uint64 // bounded selections the density guard sent to the scan
 	truncated      atomic.Uint64 // TopK calls that actually dropped candidates
+
+	// scannedHist / prunedHist, when non-nil, record the per-call candidate
+	// scan work of bounded selection: candidates actually scored, and usable
+	// candidates the index's bound pruning never touched. Set once via
+	// SetTelemetry before the pool serves reads; nil-safe.
+	scannedHist *telemetry.Histogram
+	prunedHist  *telemetry.Histogram
 }
 
 // Option configures a new pool.
@@ -131,6 +139,14 @@ func New(opts ...Option) *Pool {
 
 // Cap returns the configured capacity bound (0: unbounded).
 func (p *Pool) Cap() int { return p.cap }
+
+// SetTelemetry attaches per-call selection histograms (candidates scanned
+// and candidates pruned by bounded selection). Call before the pool serves
+// reads: the fields are read without synchronization on the hot path.
+func (p *Pool) SetTelemetry(scanned, pruned *telemetry.Histogram) {
+	p.scannedHist = scanned
+	p.prunedHist = pruned
+}
 
 // Add inserts a query with its actual cardinality. Duplicate queries (same
 // canonical form) are ignored, mirroring the paper's unique-queries pools.
@@ -292,15 +308,25 @@ func (p *Pool) AppendTopK(dst []Entry, q query.Query, k int) []Entry {
 	p.topKCalls.Add(1)
 	var refs []scoredRef
 	var usable int
+	var scanned uint64
 	indexed := false
 	if p.indexOn {
-		refs, usable, indexed = p.selectIndexedLocked(idx, probe, k)
+		refs, usable, scanned, indexed = p.selectIndexedLocked(idx, probe, k)
 		if !indexed {
 			p.indexFallbacks.Add(1)
 		}
 	}
 	if !indexed {
 		refs, usable = p.selectLinearLocked(idx, probe, k)
+		scanned = uint64(len(idx.entries))
+	}
+	if p.scannedHist != nil {
+		p.scannedHist.Observe(float64(scanned))
+		pruned := 0.0
+		if indexed && uint64(usable) > scanned {
+			pruned = float64(uint64(usable) - scanned)
+		}
+		p.prunedHist.Observe(pruned)
 	}
 	if len(refs) < usable {
 		p.truncated.Add(1)

@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"crn/internal/telemetry"
 )
 
 // Coalescer aggregates concurrent Do calls into batched executions of at
@@ -60,6 +62,16 @@ type Coalescer[T, R any] struct {
 	calls, batches, batched   atomic.Uint64
 	maxSeen, deduped, dropped atomic.Uint64
 	solo                      atomic.Uint64
+
+	// Optional telemetry (nil = off): waitHist records how long a
+	// shared-batch caller waited between submitting and its batch starting
+	// to execute (the coalesce-wait stage) — sampled, like every stage
+	// span, so the per-request cost of the extra clock read amortizes;
+	// sizeHist records executed batch sizes. Set before serving traffic
+	// (SetTelemetry).
+	waitHist   *telemetry.Histogram
+	sizeHist   *telemetry.Histogram
+	waitSample telemetry.Sampler
 }
 
 // group is one batch shared by all its callers: items are appended under
@@ -71,6 +83,10 @@ type group[T, R any] struct {
 	done  chan struct{}
 	outs  []R
 	err   error
+	// execNs is stamped by exec (monotonic nanos, telemetry only) before
+	// results are published; the close of done is the happens-before edge
+	// that makes it readable by every caller.
+	execNs int64
 }
 
 // NewCoalescer builds a coalescer over a batch runner. maxBatch bounds the
@@ -125,6 +141,13 @@ func (c *Coalescer[T, R]) Do(ctx context.Context, v T) (R, error) {
 		c.mu.Unlock()
 		return c.doSolo(ctx, v)
 	}
+	var submitNs int64
+	var submitW uint64
+	if c.waitHist != nil {
+		if submitW = c.waitSample.Next(); submitW != 0 {
+			submitNs = telemetry.Now()
+		}
+	}
 	g := c.cur
 	if g == nil {
 		g = &group[T, R]{items: make([]T, 0, c.maxBatch), done: make(chan struct{})}
@@ -155,6 +178,9 @@ func (c *Coalescer[T, R]) Do(ctx context.Context, v T) (R, error) {
 	}
 	select {
 	case <-g.done:
+		if submitW != 0 && g.execNs != 0 {
+			c.waitHist.ObserveN(float64(g.execNs-submitNs)*1e-9, submitW)
+		}
 		if g.err != nil {
 			var zero R
 			return zero, g.err
@@ -195,6 +221,7 @@ func (c *Coalescer[T, R]) doSolo(ctx context.Context, v T) (R, error) {
 		c.dropped.Add(1)
 	} else {
 		c.solo.Add(1)
+		c.sizeHist.Observe(1)
 		c.batches.Add(1)
 		c.batched.Add(1)
 		if c.maxSeen.Load() == 0 {
@@ -325,8 +352,23 @@ func (c *Coalescer[T, R]) fill() {
 	}
 }
 
+// SetTelemetry attaches the coalesce-wait and batch-size histograms
+// (nil = off). Call before the coalescer serves traffic: the fields are
+// read without synchronization on the hot path.
+func (c *Coalescer[T, R]) SetTelemetry(wait, size *telemetry.Histogram) {
+	if c == nil {
+		return
+	}
+	c.waitHist = wait
+	c.sizeHist = size
+}
+
 // exec runs one batch and publishes its results before closing done.
 func (c *Coalescer[T, R]) exec(g *group[T, R]) {
+	if c.waitHist != nil || c.sizeHist != nil {
+		g.execNs = telemetry.Now() // once per batch, amortized over its callers
+		c.sizeHist.Observe(float64(len(g.items)))
+	}
 	c.batches.Add(1)
 	c.batched.Add(uint64(len(g.items)))
 	for {

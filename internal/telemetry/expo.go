@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type of WriteText's output.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText gathers every registered family and writes it in Prometheus
+// text exposition format (version 0.0.4): one # HELP and # TYPE comment
+// per family followed by its samples, families sorted by name, series in
+// stable registration order. Histograms expose cumulative le-buckets
+// thinned to power-of-two bounds (every 4th internal bucket — quartic
+// sub-buckets stay available to in-process quantile readers, the wire
+// carries 28 bounds instead of 113), plus the conventional _sum
+// (midpoint-approximated, see HistSnapshot.ApproxSum) and _count series.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		if f.typ == typeHistogram {
+			writeHistFamily(bw, f)
+			continue
+		}
+		for _, s := range f.gatherSamples() {
+			bw.WriteString(f.name)
+			writeLabels(bw, f.labelKey, s.label, "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistFamily(bw *bufio.Writer, f *family) {
+	labels, snaps := f.gatherHists()
+	for i, snap := range snaps {
+		lv := labels[i]
+		var cum uint64
+		for b, c := range snap.Counts {
+			cum += c
+			last := b == len(snap.Counts)-1
+			if !last && (b+1)%4 != 0 {
+				continue // thin to power-of-two bounds
+			}
+			le := "+Inf"
+			if !last {
+				le = formatValue(snap.upperBound(b))
+			}
+			bw.WriteString(f.name)
+			bw.WriteString("_bucket")
+			writeLabels(bw, f.labelKey, lv, le)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatUint(cum, 10))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString(f.name)
+		bw.WriteString("_sum")
+		writeLabels(bw, f.labelKey, lv, "")
+		bw.WriteByte(' ')
+		bw.WriteString(formatValue(snap.ApproxSum()))
+		bw.WriteByte('\n')
+		bw.WriteString(f.name)
+		bw.WriteString("_count")
+		writeLabels(bw, f.labelKey, lv, "")
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+}
+
+// writeLabels writes the {key="value"} block; empty key and le omit their
+// pair, both empty omits the block.
+func writeLabels(bw *bufio.Writer, key, value, le string) {
+	if key == "" && le == "" {
+		return
+	}
+	bw.WriteByte('{')
+	if key != "" {
+		bw.WriteString(key)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(value))
+		bw.WriteByte('"')
+		if le != "" {
+			bw.WriteByte(',')
+		}
+	}
+	if le != "" {
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,425 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format: a small parser for
+// the Prometheus text format (enough for everything WriteText emits) used
+// by crndiag -watch to consume /metrics, and a linter the test suite runs
+// over the exposition output (valid line syntax, no duplicate series,
+// naming conventions, coherent histograms).
+
+// ParsedSample is one non-histogram exposition sample.
+type ParsedSample struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedBucket is one cumulative histogram bucket.
+type ParsedBucket struct {
+	LE  float64 // upper bound, +Inf for the last
+	Cum uint64
+}
+
+// ParsedHist is one histogram child (one label set) reassembled from its
+// _bucket/_sum/_count series.
+type ParsedHist struct {
+	Labels  map[string]string
+	Buckets []ParsedBucket
+	Sum     float64
+	Count   uint64
+}
+
+// Quantile estimates the q-quantile from the cumulative buckets with
+// geometric interpolation (bounds are log-spaced). Returns 0 when empty.
+func (h *ParsedHist) Quantile(q float64) float64 {
+	if h == nil || h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var prevCum uint64
+	prevLE := 0.0
+	for _, b := range h.Buckets {
+		if float64(b.Cum) >= rank {
+			if math.IsInf(b.LE, 1) {
+				return prevLE // everything past the last finite bound: report its floor
+			}
+			lo := prevLE
+			if lo <= 0 {
+				lo = b.LE / 2 // bounds are ×2-spaced; synthesize the first floor
+			}
+			in := b.Cum - prevCum
+			if in == 0 {
+				return b.LE
+			}
+			frac := (rank - float64(prevCum)) / float64(in)
+			return lo * math.Pow(b.LE/lo, frac)
+		}
+		prevCum = b.Cum
+		if !math.IsInf(b.LE, 1) {
+			prevLE = b.LE
+		}
+	}
+	return prevLE
+}
+
+// Sub returns the windowed difference h−o for two parses of the same
+// histogram series (bucket-aligned by le); mismatched layouts return h.
+func (h *ParsedHist) Sub(o *ParsedHist) *ParsedHist {
+	if h == nil || o == nil || len(h.Buckets) != len(o.Buckets) {
+		return h
+	}
+	out := &ParsedHist{Labels: h.Labels, Sum: h.Sum - o.Sum}
+	if h.Count >= o.Count {
+		out.Count = h.Count - o.Count
+	}
+	out.Buckets = make([]ParsedBucket, len(h.Buckets))
+	for i, b := range h.Buckets {
+		ob := o.Buckets[i]
+		if b.LE != ob.LE {
+			return h
+		}
+		out.Buckets[i] = ParsedBucket{LE: b.LE}
+		if b.Cum >= ob.Cum {
+			out.Buckets[i].Cum = b.Cum - ob.Cum
+		}
+	}
+	return out
+}
+
+// ParsedFamily is one metric family from an exposition parse.
+type ParsedFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []ParsedSample         // counter/gauge samples
+	Hists   map[string]*ParsedHist // histogram children by canonical label key
+}
+
+// Hist returns the histogram child whose labels contain key=value (or the
+// sole child for key == ""). Nil when absent.
+func (f *ParsedFamily) Hist(key, value string) *ParsedHist {
+	if f == nil {
+		return nil
+	}
+	for _, h := range f.Hists {
+		if key == "" && len(h.Labels) == 0 {
+			return h
+		}
+		if h.Labels[key] == value {
+			return h
+		}
+	}
+	return nil
+}
+
+// Sample returns the value of the sample whose labels contain key=value
+// (key == "" matches the unlabeled sample); ok reports whether it exists.
+func (f *ParsedFamily) Sample(key, value string) (v float64, ok bool) {
+	if f == nil {
+		return 0, false
+	}
+	for _, s := range f.Samples {
+		if key == "" && len(s.Labels) == 0 {
+			return s.Value, true
+		}
+		if key != "" && s.Labels[key] == value {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// canonicalLabels serializes a label map (minus le) into a stable child
+// key.
+func canonicalLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// ParseText parses a Prometheus text exposition into families keyed by
+// name. Histogram _bucket/_sum/_count series are reassembled under their
+// base family. Returns the first syntax error encountered.
+func ParseText(r io.Reader) (map[string]*ParsedFamily, error) {
+	fams, _, err := parseText(r)
+	return fams, err
+}
+
+// baseName strips a histogram series suffix, returning the family name
+// and which series kind the line carried.
+func baseName(name string) (base, kind string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf), suf
+		}
+	}
+	return name, ""
+}
+
+func parseText(r io.Reader) (map[string]*ParsedFamily, []string, error) {
+	fams := make(map[string]*ParsedFamily)
+	var problems []string
+	seenSeries := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) >= 3 && (parts[1] == "HELP" || parts[1] == "TYPE") {
+				name := parts[2]
+				f := fams[name]
+				if f == nil {
+					f = &ParsedFamily{Name: name, Hists: map[string]*ParsedHist{}}
+					fams[name] = f
+				}
+				if parts[1] == "HELP" {
+					if len(parts) == 4 {
+						f.Help = parts[3]
+					}
+				} else {
+					if f.Type != "" {
+						problems = append(problems, fmt.Sprintf("line %d: duplicate TYPE for %s", lineNo, name))
+					}
+					if len(parts) < 4 {
+						problems = append(problems, fmt.Sprintf("line %d: TYPE without a type", lineNo))
+						continue
+					}
+					switch parts[3] {
+					case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+						f.Type = parts[3]
+					default:
+						problems = append(problems, fmt.Sprintf("line %d: unknown type %q", lineNo, parts[3]))
+					}
+					if len(f.Samples) > 0 || len(f.Hists) > 0 {
+						problems = append(problems, fmt.Sprintf("line %d: TYPE for %s after its samples", lineNo, name))
+					}
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return fams, problems, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if !validName(name) {
+			return fams, problems, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		base, kind := baseName(name)
+		f := fams[base]
+		isHistSeries := kind != "" && f != nil && f.Type == typeHistogram
+		if !isHistSeries {
+			f = fams[name]
+			if f == nil {
+				problems = append(problems, fmt.Sprintf("line %d: sample for %s without TYPE", lineNo, name))
+				f = &ParsedFamily{Name: name, Hists: map[string]*ParsedHist{}}
+				fams[name] = f
+			}
+			seriesKey := name + "{" + canonicalLabels(labels) + "}"
+			if le, ok := labels["le"]; ok {
+				seriesKey += "le=" + le
+			}
+			if seenSeries[seriesKey] {
+				problems = append(problems, fmt.Sprintf("line %d: duplicate series %s", lineNo, seriesKey))
+			}
+			seenSeries[seriesKey] = true
+			f.Samples = append(f.Samples, ParsedSample{Labels: labels, Value: value})
+			continue
+		}
+		childKey := canonicalLabels(labels)
+		h := f.Hists[childKey]
+		if h == nil {
+			hl := make(map[string]string, len(labels))
+			for k, v := range labels {
+				if k != "le" {
+					hl[k] = v
+				}
+			}
+			h = &ParsedHist{Labels: hl}
+			f.Hists[childKey] = h
+		}
+		switch kind {
+		case "_bucket":
+			leStr, ok := labels["le"]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("line %d: %s without le label", lineNo, name))
+				continue
+			}
+			le, err := parseLE(leStr)
+			if err != nil {
+				return fams, problems, fmt.Errorf("line %d: bad le %q", lineNo, leStr)
+			}
+			seriesKey := base + "{" + childKey + "}le=" + leStr
+			if seenSeries[seriesKey] {
+				problems = append(problems, fmt.Sprintf("line %d: duplicate series %s", lineNo, seriesKey))
+			}
+			seenSeries[seriesKey] = true
+			h.Buckets = append(h.Buckets, ParsedBucket{LE: le, Cum: uint64(value)})
+		case "_sum":
+			h.Sum = value
+		case "_count":
+			h.Count = uint64(value)
+		}
+	}
+	return fams, problems, sc.Err()
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseSampleLine splits `name{k="v",...} value` into parts.
+func parseSampleLine(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		labels = make(map[string]string)
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed labels in %q", line)
+			}
+			key := strings.TrimSpace(rest[:eq])
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			closed := false
+			for i := 0; i < len(rest); i++ {
+				c := rest[i]
+				if c == '\\' && i+1 < len(rest) {
+					i++
+					switch rest[i] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[i])
+					}
+					continue
+				}
+				if c == '"' {
+					rest = rest[i+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			labels[key] = val.String()
+			rest = strings.TrimPrefix(rest, ",")
+		}
+	} else if i := strings.IndexByte(rest, ' '); i >= 0 {
+		name = rest[:i]
+		rest = rest[i:]
+	} else {
+		return "", nil, 0, fmt.Errorf("no value in %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	return name, labels, v, nil
+}
+
+// Lint parses an exposition and returns every format problem found:
+// syntax errors, samples without TYPE, duplicate series, counters not
+// ending in _total, histograms with non-monotone or +Inf-less buckets or
+// a _count disagreeing with the +Inf bucket. An empty slice means the
+// exposition is clean.
+func Lint(r io.Reader) []string {
+	fams, problems, err := parseText(r)
+	if err != nil {
+		return append(problems, err.Error())
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		switch f.Type {
+		case typeCounter:
+			if !strings.HasSuffix(f.Name, "_total") {
+				problems = append(problems, fmt.Sprintf("counter %s does not end in _total", f.Name))
+			}
+		case typeHistogram:
+			for _, h := range f.Hists {
+				if len(h.Buckets) == 0 {
+					problems = append(problems, fmt.Sprintf("histogram %s has no buckets", f.Name))
+					continue
+				}
+				last := h.Buckets[len(h.Buckets)-1]
+				if !math.IsInf(last.LE, 1) {
+					problems = append(problems, fmt.Sprintf("histogram %s lacks a +Inf bucket", f.Name))
+				} else if last.Cum != h.Count {
+					problems = append(problems, fmt.Sprintf("histogram %s: +Inf bucket %d != count %d", f.Name, last.Cum, h.Count))
+				}
+				for i := 1; i < len(h.Buckets); i++ {
+					if h.Buckets[i].LE <= h.Buckets[i-1].LE {
+						problems = append(problems, fmt.Sprintf("histogram %s: le bounds not increasing", f.Name))
+					}
+					if h.Buckets[i].Cum < h.Buckets[i-1].Cum {
+						problems = append(problems, fmt.Sprintf("histogram %s: cumulative counts decrease", f.Name))
+					}
+				}
+			}
+		}
+	}
+	return problems
+}

@@ -9,6 +9,7 @@ import (
 	"crn/internal/guard"
 	"crn/internal/online"
 	"crn/internal/pool"
+	"crn/internal/telemetry"
 )
 
 // This file defines the functional options of the facade. Options replace
@@ -154,6 +155,7 @@ type estimatorSettings struct {
 	maxInflight   int
 	reqTimeout    time.Duration
 	breaker       *guard.BreakerConfig
+	tel           *telemetry.Telemetry
 }
 
 // EstimatorOption configures CardinalityEstimator and ImproveBaseline.
@@ -374,6 +376,20 @@ type BreakerConfig = guard.BreakerConfig
 // beats a 500: the breaker never sheds, it reroutes.
 func WithBreaker(cfg BreakerConfig) EstimatorOption {
 	return func(s *estimatorSettings) { s.breaker = &cfg }
+}
+
+// WithTelemetry attaches a telemetry bundle (see NewTelemetry) to the
+// estimator: every estimate is decomposed into per-stage latency spans
+// (admission → coalesce-wait → cache-lookup → candidate-selection →
+// NN-forward → finalize), outcome counters and subsystem collector
+// families are registered on the bundle's registry, and every served
+// estimate is noted in the live accuracy ring so execution feedback joins
+// it into per-arm q-error histograms. Recording costs one atomic add per
+// instrument plus a handful of nanosecond clock reads per request; without
+// this option the hot path carries no clocks at all. One bundle serves one
+// estimator — metric family names are unique per registry.
+func WithTelemetry(t *Telemetry) EstimatorOption {
+	return func(s *estimatorSettings) { s.tel = t }
 }
 
 // WithCoalescing enables request coalescing on EstimateCardinality: up to

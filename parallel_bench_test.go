@@ -182,3 +182,56 @@ var (
 	coalescedEst  *CardinalityEstimator
 	coalescedErr  error
 )
+
+// BenchmarkEstimateCardinalityTelemetry is BenchmarkEstimateCardinalityParallel
+// with the full telemetry bundle armed — per-request stage timing, outcome
+// counters, latency histograms, accuracy ring. The delta against the
+// uninstrumented parallel benchmark is the telemetry overhead on the hot
+// path, pinned at <= 3% in CI (BENCH_10).
+func BenchmarkEstimateCardinalityTelemetry(b *testing.B) {
+	est, queries := telemetryBenchEnv(b)
+	var next atomic.Int64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		parallelBenchLoop(b, pb, est, queries, &next)
+	})
+	b.StopTimer()
+	if n := telemetryBench.E2E.Snapshot().Total(); n == 0 {
+		b.Fatal("telemetry recorded nothing; the benchmark measured the uninstrumented path")
+	}
+}
+
+// telemetryBenchEnv is parallelBenchEnv's configuration plus WithTelemetry.
+func telemetryBenchEnv(b *testing.B) (*CardinalityEstimator, []Query) {
+	b.Helper()
+	batchBenchEnv(b)
+	telemetryOnce.Do(func() {
+		base, err := batchSys.AnalyzeBaseline()
+		if err != nil {
+			telemetryErr = err
+			return
+		}
+		telemetryBench = NewTelemetry()
+		telemetryEst = batchSys.CardinalityEstimator(batchModel, batchPool,
+			WithFallback(base), WithCoalescing(64, 0), WithTelemetry(telemetryBench))
+		ctx := context.Background()
+		for i := 0; i < 2; i++ {
+			if _, err := telemetryEst.EstimateCardinalityBatch(ctx, batchQueries); err != nil {
+				telemetryErr = err
+				return
+			}
+		}
+	})
+	if telemetryErr != nil {
+		b.Fatal(telemetryErr)
+	}
+	return telemetryEst, batchQueries
+}
+
+var (
+	telemetryOnce  sync.Once
+	telemetryEst   *CardinalityEstimator
+	telemetryBench *Telemetry
+	telemetryErr   error
+)

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the repository's performance benchmarks with -benchmem and
-# record the results (plus the frozen pre-PR-9 baseline) in BENCH_9.json,
+# record the results (plus the frozen pre-PR-10 baseline) in BENCH_10.json,
 # the perf trajectory file. Usage:
 #
 #   scripts/bench.sh [output.json]
@@ -15,43 +15,39 @@
 # large-pool benchmarks run at 20 iterations (a full-scan iteration at 50k
 # entries costs tens of milliseconds).
 #
-# PR 9 additions:
-#   - Kernel rows are the MINIMUM of 5 runs (see the noise policy note in
-#     BENCH_9.json): the pure-compute kernels drifted 722us -> 1004us
-#     between BENCH_7 and BENCH_8 from shared-machine noise alone, so a
-#     single sample is not a measurement.
-#   - MatMul128Noasm: the same 128^3 matmul compiled with -tags noasm — the
-#     generic-kernel reference measured in-run, on the same machine. The
-#     plain MatMul128 row against it is the SIMD speedup.
-#   - BatchWire/codec={json,binary}: the /estimate/batch request+response
-#     codec cost for a 64-query batch, JSON reflection vs the length-prefixed
-#     binary frame with pooled buffers.
-#   - Kernel gate: on hosts where package nn dispatched "avx2+fma",
-#     MatMul128 must be at least 2x faster than MatMul128Noasm (min of 5
-#     each). On generic hosts the gate is skipped with a note — there is no
-#     SIMD to measure.
-#   - Wire gate: the binary codec must allocate at most 20% of what the JSON
-#     codec allocates per 64-query batch.
+# PR 10 additions:
+#   - EstimateCardinalityTelemetry: the parallel serving point with the full
+#     telemetry bundle armed (stage timers, outcome counters, latency
+#     histograms, accuracy ring).
+#   - Telemetry gate: telemetry-on must cost at most 3% over telemetry-off
+#     on the parallel serving point (min of 3 each, same noise policy as the
+#     guard gate).
+#   - Stage-latency breakdown: BenchmarkServeStages drives the full HTTP
+#     estimate path and dumps per-stage latency quantiles via
+#     CRN_STAGE_REPORT; the JSON lands under "stage_latency" in the output.
 #
+# PR 9 gates (kept): dispatched MatMul128 >= 2x the noasm build when the
+# host dispatched avx2+fma; binary batch codec allocs <= 20% of JSON.
 # PR 8 gate (kept): indexed candidate selection >= 5x the linear scan at 50k
 # entries, <= 5% over it at 1k. PR 7 gate (kept): guard overhead <= 5% on
 # the parallel serving point.
 #
-# The frozen baseline below is the PR 8 code measured on this machine
-# (BENCH_8.json results). MatMul128Noasm and the BatchWire benchmarks did
-# not exist before PR 9; MatMul128 at BENCH_8 ran the generic kernels, so it
-# doubles as the historic reference for the SIMD rows.
+# The frozen baseline below is the PR 9 code measured on this machine
+# (BENCH_9.json results). EstimateCardinalityTelemetry did not exist before
+# PR 10 — its in-run reference is EstimateCardinalityParallel-4.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_9.json}"
+OUT="${1:-BENCH_10.json}"
 RAW="$(mktemp)"
 KERN_RAW="$(mktemp)"
 NOASM_RAW="$(mktemp)"
 WIRE_RAW="$(mktemp)"
 GATE_RAW="$(mktemp)"
 IDX_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$KERN_RAW" "$NOASM_RAW" "$WIRE_RAW" "$GATE_RAW" "$IDX_RAW"' EXIT
+TEL_RAW="$(mktemp)"
+STAGE_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$KERN_RAW" "$NOASM_RAW" "$WIRE_RAW" "$GATE_RAW" "$IDX_RAW" "$TEL_RAW" "$STAGE_RAW"' EXIT
 
 # min_rows: collapse a -count N benchmark run to one row per benchmark name,
 # keeping the row with the minimum ns/op. On a shared single-core machine
@@ -83,8 +79,8 @@ echo "== compute-core benchmarks (training epoch, batched inference) ==" >&2
 go test ./internal/crn -run '^$' -bench 'TrainEpoch|PredictBatch|PredictShared' -benchmem -benchtime 10x | tee -a "$RAW"
 echo "== serving benchmarks (batched cardinality estimation) ==" >&2
 go test . -run '^$' -bench 'EstimateCardinality(Batch|SingleLoop)64' -benchmem -benchtime 20x | tee -a "$RAW"
-echo "== concurrent serving benchmarks (coalescing + solo bypass + guards, -cpu 1,4) ==" >&2
-go test . -run '^$' -bench 'EstimateCardinality(Parallel|SoloCoalesced|Guarded)' -cpu 1,4 -benchmem -benchtime 2s | tee -a "$RAW"
+echo "== concurrent serving benchmarks (coalescing + solo bypass + guards + telemetry, -cpu 1,4) ==" >&2
+go test . -run '^$' -bench 'EstimateCardinality(Parallel|SoloCoalesced|Guarded|Telemetry)' -cpu 1,4 -benchmem -benchtime 2s | tee -a "$RAW"
 echo "== large-pool benchmarks (indexed vs linear top-K vs full scan, batch sharing) ==" >&2
 go test . -run '^$' -bench 'EstimateCardinalityLargePool' -benchmem -benchtime 20x | tee -a "$RAW"
 echo "== saturated-pool eviction benchmarks (lazy min-heap vs linear scan) ==" >&2
@@ -160,6 +156,26 @@ awk '
   }
 ' "$GATE_RAW"
 
+# The PR 10 acceptance gate: telemetry overhead on the parallel serving
+# point — the fully instrumented estimator (stage timers, counters, latency
+# histograms, accuracy ring) against the uninstrumented one, min of 3 each.
+echo "== telemetry-overhead gate (instrumented vs bare, min of 3) ==" >&2
+go test . -run '^$' -bench 'EstimateCardinality(Parallel$|Telemetry)' -cpu 4 -benchtime 2s -count 3 | tee "$TEL_RAW" >&2
+awk '
+  $1 == "BenchmarkEstimateCardinalityParallel-4"  { if (!u || $3 + 0 < u) u = $3 + 0 }
+  $1 == "BenchmarkEstimateCardinalityTelemetry-4" { if (!t || $3 + 0 < t) t = $3 + 0 }
+  END {
+    if (!u || !t) {
+      print "telemetry-overhead gate: missing benchmark results" > "/dev/stderr"; exit 1
+    }
+    pct = (t / u - 1) * 100
+    printf "telemetry overhead at -cpu 4: %.1f%% (instrumented min %d ns/op vs bare min %d ns/op)\n", pct, t, u > "/dev/stderr"
+    if (t > u * 1.03) {
+      print "telemetry-overhead gate FAILED: > 3%" > "/dev/stderr"; exit 1
+    }
+  }
+' "$TEL_RAW"
+
 # The PR 8 acceptance gate: indexed candidate selection vs the linear scan,
 # measured in the same run on the same pools (min of 3, same noise
 # rationale as above). At 50k entries the index must win by at least 5x; at
@@ -189,13 +205,22 @@ awk '
   }
 ' "$IDX_RAW"
 
+# The PR 10 stage-latency breakdown: BenchmarkServeStages drives the full
+# HTTP estimate path (mux, JSON codec, gate, coalescer, estimator) and
+# dumps per-stage latency quantiles from the telemetry histograms via
+# CRN_STAGE_REPORT. The report is embedded verbatim under "stage_latency".
+echo "== stage-latency breakdown (HTTP estimate path under parallel load) ==" >&2
+CRN_STAGE_REPORT="$STAGE_RAW" go test ./cmd/crnserve -run '^$' -bench 'ServeStages' -benchtime 2s >&2
+sed 's/^/  /' "$STAGE_RAW" >&2
+
 # Render "BenchmarkFoo[-P]  N  ns/op  B/op  allocs/op" lines as JSON. The
-# GOMAXPROCS suffix is meaningful for the Parallel/Solo/Trainer/Guarded
-# benchmarks (run at explicit -cpu settings) and stripped everywhere else.
+# GOMAXPROCS suffix is meaningful for the Parallel/Solo/Trainer/Guarded/
+# Telemetry benchmarks (run at explicit -cpu settings) and stripped
+# everywhere else.
 RESULTS="$(awk '
   /^Benchmark/ {
     name = $1
-    if (name !~ /Parallel|Solo|Trainer|Guarded/) sub(/-[0-9]+$/, "", name)
+    if (name !~ /Parallel|Solo|Trainer|Guarded|Telemetry/) sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
     ns = ""; bytes = ""; allocs = ""
     for (i = 2; i < NF; i++) {
@@ -211,6 +236,7 @@ RESULTS="$(awk '
   END { print out }
 ' "$RAW")"
 
+STAGES="$(sed 's/^/  /' "$STAGE_RAW")"
 DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 GOVERSION="$(go env GOVERSION)"
 CPU="$(awk -F': *' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)"
@@ -218,58 +244,63 @@ ISA="$(go run ./cmd/crndiag -kernels)"
 
 cat > "$OUT" <<EOF
 {
-  "pr": 9,
-  "description": "Raw speed: runtime-dispatched AVX2+FMA float64 kernels behind the nn matrix ops and the CRN serving head, plus a zero-copy length-prefixed binary protocol for /estimate/batch",
+  "pr": 10,
+  "description": "Production telemetry layer: lock-free metrics registry, per-stage hot-path timing, Prometheus exposition, and live accuracy (q-error) tracking",
   "date": "$DATE",
   "go": "$GOVERSION",
   "cpu": "$CPU",
   "kernel_isa": "$ISA",
-  "baseline_commit": "c9eb0b1",
+  "baseline_commit": "d415ff5",
   "baseline": {
-    "_comment": "pre-PR-9 measurements on the same machine: BENCH_8.json results, generic Go kernels throughout. Noise policy: single-sample kernel rows drifted 722us -> 1004us for MatMul128 between BENCH_7 and BENCH_8 on this shared machine, so from PR 9 on the nn-kernel, noasm-reference and wire-codec rows record the MINIMUM over repeated runs (-count 5 kernels, -count 3 wire) — the minimum is the least scheduler-perturbed sample; compare minima to minima, never a min to a historic single sample. MatMul128Noasm and BatchWire/* are new in PR 9; baseline MatMul128 ran the generic kernels, so it is also the historic reference for the SIMD speedup (gates: dispatched MatMul128 >= 2x noasm when the host dispatched avx2+fma, binary codec allocs <= 20% of JSON).",
-    "MatMul128": {"ns_per_op": 1004349, "bytes_per_op": 0, "allocs_per_op": 0},
-    "MatMulBatchForward": {"ns_per_op": 1413278, "bytes_per_op": 0, "allocs_per_op": 0},
-    "DenseForwardBackward": {"ns_per_op": 2989382, "bytes_per_op": 196704, "allocs_per_op": 4},
-    "SetEncoderForward": {"ns_per_op": 935573, "bytes_per_op": 196704, "allocs_per_op": 4},
-    "AdamStep": {"ns_per_op": 490068, "bytes_per_op": 0, "allocs_per_op": 0},
-    "TrainEpoch": {"ns_per_op": 131923100, "bytes_per_op": 677825, "allocs_per_op": 159},
-    "PredictBatch": {"ns_per_op": 5961096, "bytes_per_op": 217635, "allocs_per_op": 4},
-    "PredictShared": {"ns_per_op": 16450274, "bytes_per_op": 449401, "allocs_per_op": 19},
-    "EstimateCardinalityBatch64": {"ns_per_op": 427887, "bytes_per_op": 131072, "allocs_per_op": 122},
-    "EstimateCardinalitySingleLoop64": {"ns_per_op": 565617, "bytes_per_op": 144066, "allocs_per_op": 842},
-    "EstimateCardinalityParallel": {"ns_per_op": 9579, "bytes_per_op": 2349, "allocs_per_op": 14},
-    "EstimateCardinalityParallel-4": {"ns_per_op": 11139, "bytes_per_op": 2420, "allocs_per_op": 10},
-    "EstimateCardinalityParallelNoCoalesce": {"ns_per_op": 8035, "bytes_per_op": 2251, "allocs_per_op": 13},
-    "EstimateCardinalityParallelNoCoalesce-4": {"ns_per_op": 12430, "bytes_per_op": 2251, "allocs_per_op": 13},
-    "EstimateCardinalitySoloCoalesced": {"ns_per_op": 9030, "bytes_per_op": 2347, "allocs_per_op": 14},
-    "EstimateCardinalitySoloCoalesced-4": {"ns_per_op": 11602, "bytes_per_op": 2347, "allocs_per_op": 14},
-    "EstimateCardinalityGuarded": {"ns_per_op": 9159, "bytes_per_op": 2349, "allocs_per_op": 14},
-    "EstimateCardinalityGuarded-4": {"ns_per_op": 12833, "bytes_per_op": 2394, "allocs_per_op": 11},
-    "EstimateCardinalityLargePool/entries=1000/full": {"ns_per_op": 1361350, "bytes_per_op": 350040, "allocs_per_op": 27},
-    "EstimateCardinalityLargePool/entries=1000/k=64": {"ns_per_op": 82637, "bytes_per_op": 31936, "allocs_per_op": 30},
-    "EstimateCardinalityLargePool/entries=1000/k=64-noindex": {"ns_per_op": 126889, "bytes_per_op": 31760, "allocs_per_op": 26},
-    "EstimateCardinalityLargePool/entries=10000/full": {"ns_per_op": 12765272, "bytes_per_op": 3480584, "allocs_per_op": 62},
-    "EstimateCardinalityLargePool/entries=10000/k=64": {"ns_per_op": 76344, "bytes_per_op": 31936, "allocs_per_op": 30},
-    "EstimateCardinalityLargePool/entries=10000/k=64-noindex": {"ns_per_op": 811897, "bytes_per_op": 31760, "allocs_per_op": 26},
-    "EstimateCardinalityLargePool/entries=50000/full": {"ns_per_op": 86351892, "bytes_per_op": 17154952, "allocs_per_op": 164},
-    "EstimateCardinalityLargePool/entries=50000/k=64": {"ns_per_op": 100390, "bytes_per_op": 31936, "allocs_per_op": 30},
-    "EstimateCardinalityLargePool/entries=50000/k=64-noindex": {"ns_per_op": 4564861, "bytes_per_op": 31760, "allocs_per_op": 26},
-    "EstimateCardinalityLargePoolBatch/entries=50000/shared=off": {"ns_per_op": 649390, "bytes_per_op": 244496, "allocs_per_op": 93},
-    "EstimateCardinalityLargePoolBatch/entries=50000/shared=on": {"ns_per_op": 515063, "bytes_per_op": 118688, "allocs_per_op": 58},
-    "AddSaturated/entries=1000": {"ns_per_op": 1033, "bytes_per_op": 344, "allocs_per_op": 9},
-    "AddSaturated/entries=10000": {"ns_per_op": 2828, "bytes_per_op": 344, "allocs_per_op": 9},
-    "AddSaturated/entries=50000": {"ns_per_op": 4825, "bytes_per_op": 344, "allocs_per_op": 9},
-    "AddSaturatedWithSelection": {"ns_per_op": 6486, "bytes_per_op": 2661, "allocs_per_op": 10},
-    "EstimateCardinalityTrainerIdle-4": {"ns_per_op": 10541, "bytes_per_op": 2417, "allocs_per_op": 10},
-    "EstimateCardinalityTrainerActive-4": {"ns_per_op": 12965, "bytes_per_op": 2881, "allocs_per_op": 10},
-    "WALAppend/none": {"ns_per_op": 4899, "bytes_per_op": 610, "allocs_per_op": 4},
-    "WALAppend/interval": {"ns_per_op": 3884, "bytes_per_op": 586, "allocs_per_op": 4},
-    "WALAppend/always": {"ns_per_op": 475550, "bytes_per_op": 168, "allocs_per_op": 4},
-    "RecoveryReplay": {"ns_per_op": 2831192, "bytes_per_op": 3765310, "allocs_per_op": 20043},
-    "RecordFeedbackMemory": {"ns_per_op": 18281, "bytes_per_op": 5014, "allocs_per_op": 19},
-    "RecordFeedbackDurable": {"ns_per_op": 19757, "bytes_per_op": 5452, "allocs_per_op": 21},
-    "RecordFeedbackDurableAlways": {"ns_per_op": 475096, "bytes_per_op": 5111, "allocs_per_op": 21}
+    "_comment": "pre-PR-10 measurements on the same machine: BENCH_9.json results. Noise policy unchanged since PR 9: the nn-kernel, noasm-reference and wire-codec rows record the MINIMUM over repeated runs (-count 5 kernels, -count 3 wire) — the minimum is the least scheduler-perturbed sample; compare minima to minima, never a min to a historic single sample. EstimateCardinalityTelemetry is new in PR 10; its reference is EstimateCardinalityParallel-4 measured in the same run (gate: instrumented <= 1.03x bare). The stage_latency section is also new: per-stage latency quantiles of the full HTTP estimate path from the telemetry histograms themselves.",
+    "MatMul128": {"ns_per_op": 188840, "bytes_per_op": 0, "allocs_per_op": 0},
+    "MatMulBatchForward": {"ns_per_op": 241157, "bytes_per_op": 0, "allocs_per_op": 0},
+    "DenseForwardBackward": {"ns_per_op": 749993, "bytes_per_op": 196704, "allocs_per_op": 4},
+    "SetEncoderForward": {"ns_per_op": 232811, "bytes_per_op": 196704, "allocs_per_op": 4},
+    "AdamStep": {"ns_per_op": 447036, "bytes_per_op": 0, "allocs_per_op": 0},
+    "MatMul128Noasm": {"ns_per_op": 580624, "bytes_per_op": 0, "allocs_per_op": 0},
+    "BatchWire/codec=json": {"ns_per_op": 47738, "bytes_per_op": 16240, "allocs_per_op": 143},
+    "BatchWire/codec=binary": {"ns_per_op": 3173, "bytes_per_op": 7322, "allocs_per_op": 3},
+    "TrainEpoch": {"ns_per_op": 60494339, "bytes_per_op": 677825, "allocs_per_op": 159},
+    "PredictBatch": {"ns_per_op": 1857981, "bytes_per_op": 217635, "allocs_per_op": 4},
+    "PredictShared": {"ns_per_op": 5690622, "bytes_per_op": 449401, "allocs_per_op": 19},
+    "EstimateCardinalityBatch64": {"ns_per_op": 189756, "bytes_per_op": 131072, "allocs_per_op": 122},
+    "EstimateCardinalitySingleLoop64": {"ns_per_op": 314421, "bytes_per_op": 144064, "allocs_per_op": 842},
+    "EstimateCardinalityParallel": {"ns_per_op": 6701, "bytes_per_op": 2348, "allocs_per_op": 14},
+    "EstimateCardinalityParallel-4": {"ns_per_op": 8204, "bytes_per_op": 2393, "allocs_per_op": 11},
+    "EstimateCardinalityParallelNoCoalesce": {"ns_per_op": 8292, "bytes_per_op": 2251, "allocs_per_op": 13},
+    "EstimateCardinalityParallelNoCoalesce-4": {"ns_per_op": 10474, "bytes_per_op": 2251, "allocs_per_op": 13},
+    "EstimateCardinalitySoloCoalesced": {"ns_per_op": 8383, "bytes_per_op": 2347, "allocs_per_op": 14},
+    "EstimateCardinalitySoloCoalesced-4": {"ns_per_op": 7069, "bytes_per_op": 2347, "allocs_per_op": 14},
+    "EstimateCardinalityGuarded": {"ns_per_op": 9543, "bytes_per_op": 2349, "allocs_per_op": 14},
+    "EstimateCardinalityGuarded-4": {"ns_per_op": 12075, "bytes_per_op": 2397, "allocs_per_op": 11},
+    "EstimateCardinalityLargePool/entries=1000/full": {"ns_per_op": 869545, "bytes_per_op": 350040, "allocs_per_op": 27},
+    "EstimateCardinalityLargePool/entries=1000/k=64": {"ns_per_op": 62290, "bytes_per_op": 31936, "allocs_per_op": 30},
+    "EstimateCardinalityLargePool/entries=1000/k=64-noindex": {"ns_per_op": 94411, "bytes_per_op": 31760, "allocs_per_op": 26},
+    "EstimateCardinalityLargePool/entries=10000/full": {"ns_per_op": 9541517, "bytes_per_op": 3480584, "allocs_per_op": 62},
+    "EstimateCardinalityLargePool/entries=10000/k=64": {"ns_per_op": 64511, "bytes_per_op": 31936, "allocs_per_op": 30},
+    "EstimateCardinalityLargePool/entries=10000/k=64-noindex": {"ns_per_op": 678879, "bytes_per_op": 31760, "allocs_per_op": 26},
+    "EstimateCardinalityLargePool/entries=50000/full": {"ns_per_op": 52702463, "bytes_per_op": 17154952, "allocs_per_op": 164},
+    "EstimateCardinalityLargePool/entries=50000/k=64": {"ns_per_op": 244211, "bytes_per_op": 31936, "allocs_per_op": 30},
+    "EstimateCardinalityLargePool/entries=50000/k=64-noindex": {"ns_per_op": 3066531, "bytes_per_op": 31760, "allocs_per_op": 26},
+    "EstimateCardinalityLargePoolBatch/entries=50000/shared=off": {"ns_per_op": 354325, "bytes_per_op": 244496, "allocs_per_op": 93},
+    "EstimateCardinalityLargePoolBatch/entries=50000/shared=on": {"ns_per_op": 276766, "bytes_per_op": 118688, "allocs_per_op": 58},
+    "AddSaturated/entries=1000": {"ns_per_op": 747.7, "bytes_per_op": 344, "allocs_per_op": 9},
+    "AddSaturated/entries=10000": {"ns_per_op": 5049, "bytes_per_op": 344, "allocs_per_op": 9},
+    "AddSaturated/entries=50000": {"ns_per_op": 4684, "bytes_per_op": 344, "allocs_per_op": 9},
+    "AddSaturatedWithSelection": {"ns_per_op": 10325, "bytes_per_op": 2661, "allocs_per_op": 10},
+    "EstimateCardinalityTrainerIdle-4": {"ns_per_op": 6906, "bytes_per_op": 2393, "allocs_per_op": 11},
+    "EstimateCardinalityTrainerActive-4": {"ns_per_op": 7708, "bytes_per_op": 2761, "allocs_per_op": 11},
+    "WALAppend/none": {"ns_per_op": 6074, "bytes_per_op": 610, "allocs_per_op": 4},
+    "WALAppend/interval": {"ns_per_op": 4638, "bytes_per_op": 586, "allocs_per_op": 4},
+    "WALAppend/always": {"ns_per_op": 260146, "bytes_per_op": 168, "allocs_per_op": 4},
+    "RecoveryReplay": {"ns_per_op": 2150693, "bytes_per_op": 3765310, "allocs_per_op": 20043},
+    "RecordFeedbackMemory": {"ns_per_op": 10001, "bytes_per_op": 5014, "allocs_per_op": 19},
+    "RecordFeedbackDurable": {"ns_per_op": 10521, "bytes_per_op": 5452, "allocs_per_op": 21},
+    "RecordFeedbackDurableAlways": {"ns_per_op": 248326, "bytes_per_op": 5110, "allocs_per_op": 21}
   },
+  "stage_latency":
+$STAGES,
   "results": {
 $RESULTS
   }

@@ -1,0 +1,26 @@
+package crn
+
+import "crn/internal/telemetry"
+
+// This file is the facade surface of the production telemetry layer (see
+// internal/telemetry): a dependency-free lock-free metrics registry with
+// Prometheus text exposition, per-request stage timing, and a live
+// accuracy tracker. A bundle is created once per serving process, passed
+// to the estimator via WithTelemetry, and exposed over HTTP by writing
+// Registry().WriteText to a /metrics handler.
+
+// Telemetry is the serving telemetry bundle: the metrics registry plus
+// every hot-path instrument resolved at construction. A nil *Telemetry
+// disables everything at the cost of a nil check.
+type Telemetry = telemetry.Telemetry
+
+// MetricsContentType is the Content-Type a /metrics handler should set
+// when serving Telemetry.Registry().WriteText output (Prometheus text
+// exposition format 0.0.4).
+const MetricsContentType = telemetry.ExpositionContentType
+
+// NewTelemetry creates a telemetry bundle over a fresh registry. Pass it
+// to CardinalityEstimator / AdaptiveEstimator via WithTelemetry and serve
+// its registry on /metrics; one bundle per estimator (family names are
+// unique per registry).
+func NewTelemetry() *Telemetry { return telemetry.New() }

@@ -1,0 +1,149 @@
+package crn
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"crn/internal/telemetry"
+)
+
+// TestStageSpansSumToE2E pins the stage-decomposition invariant: on a
+// serial workload the six stage spans are recorded by nested timers that
+// partition the estimate's wall time, so their summed durations
+// reconstruct the end-to-end histogram's sum. Stage spans are sampled
+// (1-in-SampleRate passes, observed at inverse-probability weight), so the
+// reconstruction is statistical: the workload warms up first — a sampled
+// cold-start outlier would carry its weight into the sum — and then runs
+// enough measured requests for the weighted estimate to settle. The
+// tolerance is asymmetric: untimed glue (option plumbing, slice
+// allocation) can only make the stage sum FALL SHORT of e2e, while
+// sampling noise and ApproxSum's geometric-midpoint error (≤12% per
+// histogram) cut both ways.
+func TestStageSpansSumToE2E(t *testing.T) {
+	ctx := context.Background()
+	sys, model, pool := adaptFixture(t)
+	base, err := sys.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := NewTelemetry()
+	est := sys.CardinalityEstimator(model, pool, WithFallback(base), WithTelemetry(tel))
+
+	warm := labeledWorkload(t, sys, 21, 2*telemetry.SampleRate)
+	for _, lq := range warm {
+		if _, err := est.EstimateCardinality(ctx, lq.Q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := tel.Stages
+	stages := []*telemetry.Histogram{
+		s.Admission, s.CoalesceWait, s.CacheLookup,
+		s.CandidateSelection, s.NNForward, s.Finalize,
+	}
+	e2eBefore := tel.E2E.Snapshot()
+	stagesBefore := make([]telemetry.HistSnapshot, len(stages))
+	for i, h := range stages {
+		stagesBefore[i] = h.Snapshot()
+	}
+
+	probes := labeledWorkload(t, sys, 22, 240)
+	for _, lq := range probes {
+		if _, err := est.EstimateCardinality(ctx, lq.Q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	e2e := tel.E2E.Snapshot().Sub(e2eBefore)
+	if got := e2e.Total(); got != uint64(len(probes)) {
+		t.Fatalf("e2e count = %d, want %d", got, len(probes))
+	}
+	var stageSum float64
+	for i, h := range stages {
+		stageSum += h.Snapshot().Sub(stagesBefore[i]).ApproxSum()
+	}
+	if ratio := stageSum / e2e.ApproxSum(); ratio < 0.4 || ratio > 1.6 {
+		t.Errorf("stage sum / e2e = %.3f (stages %.6fs, e2e %.6fs), want within [0.4, 1.6]",
+			ratio, stageSum, e2e.ApproxSum())
+	}
+}
+
+// TestAccuracyJoinsFeedback drives the live-accuracy loop end to end on an
+// adaptive estimator: estimates ring their values by query key, feedback
+// truths join against the ring, and the per-arm q-error family fills in —
+// the same histograms /metrics exposes. The exposition itself must also
+// cover the online-adaptation and durability families and pass the lint.
+func TestAccuracyJoinsFeedback(t *testing.T) {
+	ctx := context.Background()
+	sys, model, pool := adaptFixture(t)
+	base, err := sys.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := NewTelemetry()
+	ae := sys.AdaptiveEstimator(model, pool,
+		WithFallback(base),
+		WithTelemetry(tel),
+		WithDataDir(t.TempDir()),
+		WithRetrainInterval(-1),
+	)
+	defer ae.Close()
+
+	probes := labeledWorkload(t, sys, 23, 20)
+	for _, lq := range probes {
+		if _, err := ae.EstimateCardinality(ctx, lq.Q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tel.Accuracy.Joined() != 0 {
+		t.Fatalf("joins before any feedback: %d", tel.Accuracy.Joined())
+	}
+	for _, lq := range probes {
+		if _, err := ae.RecordFeedbackQuery(ctx, lq.Q, lq.Card); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if joined := tel.Accuracy.Joined(); joined == 0 {
+		t.Fatal("no feedback truth joined a ringed estimate")
+	}
+	crnN := tel.Accuracy.Hist(telemetry.ArmCRN).Snapshot().Total()
+	fbN := tel.Accuracy.Hist(telemetry.ArmFallback).Snapshot().Total()
+	if crnN+fbN == 0 {
+		t.Fatal("q-error histograms empty after joins")
+	}
+	if crnN > 0 {
+		snap := tel.Accuracy.Hist(telemetry.ArmCRN).Snapshot()
+		if q := snap.Quantile(0.50); q < 1 {
+			t.Errorf("crn-arm q-error p50 = %.3f, want >= 1 (q-error is clamped)", q)
+		}
+	}
+
+	var b strings.Builder
+	if err := tel.Registry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if problems := telemetry.Lint(strings.NewReader(text)); len(problems) != 0 {
+		t.Fatalf("exposition lint: %v", problems)
+	}
+	for _, fam := range []string{
+		"crn_accuracy_qerror", "crn_accuracy_joined_total",
+		"crn_model_generation", "crn_feedback_total", "crn_drift_score",
+		"crn_wal_records_total", "crn_checkpoints_total", "crn_durability_degraded",
+	} {
+		if !strings.Contains(text, fam) {
+			t.Errorf("family %s missing from exposition", fam)
+		}
+	}
+	fams, err := telemetry.ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fams["crn_feedback_total"].Sample("result", "accepted"); !ok || v == 0 {
+		t.Errorf("crn_feedback_total{result=accepted} = %v (ok=%v), want > 0", v, ok)
+	}
+	if v, ok := fams["crn_wal_records_total"].Sample("kind", "append"); !ok || v == 0 {
+		t.Errorf("crn_wal_records_total{kind=append} = %v (ok=%v), want > 0", v, ok)
+	}
+}
